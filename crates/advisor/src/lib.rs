@@ -1,0 +1,382 @@
+//! # laser-advisor
+//!
+//! The design advisor of Section 6: given a workload trace (per-level
+//! operation mix with projections) and the LSM-Tree structural parameters, it
+//! selects a column-group configuration for every level that minimises the
+//! per-level workload cost (Equation 9) subject to the CG containment
+//! constraint.
+//!
+//! The algorithm follows the paper's three-step, Hyrise-inspired approach:
+//!
+//! 1. **Split** — generate primary partitions: the finest subsets of the
+//!    level's columns such that every subset is either fully inside or fully
+//!    outside every observed projection.
+//! 2. **Merge / enumerate** — enumerate ways of merging the primary subsets
+//!    into candidate column groups.
+//! 3. **Select** — evaluate Equation 9 for every candidate layout and keep the
+//!    cheapest one.
+//!
+//! The containment constraint is enforced exactly as in Section 6.3: when
+//! optimising level *i*, the advisor solves one sub-problem per column group
+//! of level *i−1*, restricted to that group's columns.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use laser_core::{ColumnGroup, ColumnId, LayoutSpec, LevelLayout, Projection, Schema};
+use laser_cost_model::{level_workload_cost, LevelWorkload, TreeParameters};
+use laser_core::lsm_storage::{Error, Result};
+
+/// A workload trace: the structural parameters plus the per-level slice of
+/// the workload (what §6.1 calls `wl_i`).
+#[derive(Debug, Clone)]
+pub struct WorkloadTrace {
+    /// Structural parameters of the tree (`T`, `B`, `c`, ...).
+    pub params: TreeParameters,
+    /// `per_level[i]` is the workload observed at level `i`.
+    pub per_level: Vec<LevelWorkload>,
+}
+
+impl WorkloadTrace {
+    /// Creates a trace with empty per-level workloads.
+    pub fn new(params: TreeParameters, num_levels: usize) -> Self {
+        WorkloadTrace { params, per_level: vec![LevelWorkload::default(); num_levels] }
+    }
+
+    /// Number of levels covered by the trace.
+    pub fn num_levels(&self) -> usize {
+        self.per_level.len()
+    }
+}
+
+/// Maximum number of primary subsets enumerated exhaustively per sub-problem.
+/// Beyond this the advisor greedily merges the smallest subsets first, which
+/// keeps the running time polynomial while preserving the projection
+/// boundaries that matter most.
+const MAX_PRIMARY_SUBSETS: usize = 8;
+
+/// Configuration of the advisor.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    /// Number of levels to lay out.
+    pub num_levels: usize,
+    /// Name given to the produced design.
+    pub design_name: String,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> Self {
+        AdvisorOptions { num_levels: 8, design_name: "D-opt".into() }
+    }
+}
+
+/// Selects a per-level column-group design for `schema` under `trace`.
+pub fn select_design(
+    schema: &Schema,
+    trace: &WorkloadTrace,
+    options: &AdvisorOptions,
+) -> Result<LayoutSpec> {
+    if options.num_levels == 0 {
+        return Err(Error::invalid("advisor needs at least one level"));
+    }
+    let mut layouts: Vec<LevelLayout> = Vec::with_capacity(options.num_levels);
+    // Level 0 is always row-oriented.
+    layouts.push(LevelLayout::row_oriented(schema));
+    for level in 1..options.num_levels {
+        let workload = trace
+            .per_level
+            .get(level)
+            .cloned()
+            .unwrap_or_default();
+        let parent = layouts[level - 1].clone();
+        let mut groups: Vec<ColumnGroup> = Vec::new();
+        for parent_group in parent.groups() {
+            let sub = optimise_subproblem(
+                &trace.params,
+                parent_group.columns(),
+                &workload,
+            );
+            groups.extend(sub);
+        }
+        layouts.push(LevelLayout::new(groups));
+    }
+    LayoutSpec::new(schema.clone(), layouts, options.design_name.clone())
+}
+
+/// Solves one sub-problem: partition `columns` (a single parent CG) into
+/// column groups minimising Equation 9 for the level's workload restricted to
+/// those columns.
+fn optimise_subproblem(
+    params: &TreeParameters,
+    columns: &[ColumnId],
+    workload: &LevelWorkload,
+) -> Vec<ColumnGroup> {
+    if columns.len() <= 1 {
+        return vec![ColumnGroup::new(columns.to_vec())];
+    }
+    let restricted = restrict_workload(workload, columns);
+    // Step 1: primary partitions from the observed projections.
+    let mut subsets = primary_partitions(columns, &restricted);
+    // Bound the enumeration.
+    while subsets.len() > MAX_PRIMARY_SUBSETS {
+        subsets.sort_by_key(|s| s.len());
+        let a = subsets.remove(0);
+        let mut b = subsets.remove(0);
+        b.extend(a);
+        b.sort_unstable();
+        subsets.push(b);
+    }
+    // Steps 2+3: enumerate every way of merging the subsets; keep the cheapest.
+    let mut best: Option<(f64, Vec<ColumnGroup>)> = None;
+    for partition in set_partitions(subsets.len()) {
+        let groups: Vec<ColumnGroup> = partition
+            .iter()
+            .map(|block| {
+                let mut cols: Vec<ColumnId> =
+                    block.iter().flat_map(|&i| subsets[i].iter().copied()).collect();
+                cols.sort_unstable();
+                ColumnGroup::new(cols)
+            })
+            .collect();
+        let layout = LevelLayout::new(groups.clone());
+        let cost = level_workload_cost(params, &layout, &restricted);
+        if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+            best = Some((cost, groups));
+        }
+    }
+    best.map(|(_, g)| g)
+        .unwrap_or_else(|| vec![ColumnGroup::new(columns.to_vec())])
+}
+
+/// Restricts every projection of `workload` to `columns`, dropping operations
+/// whose projection does not touch them.
+fn restrict_workload(workload: &LevelWorkload, columns: &[ColumnId]) -> LevelWorkload {
+    let restrict = |p: &Projection| p.intersect(columns);
+    LevelWorkload {
+        inserts: workload.inserts,
+        point_reads: workload
+            .point_reads
+            .iter()
+            .filter_map(|(p, n)| {
+                let r = restrict(p);
+                (!r.is_empty()).then_some((r, *n))
+            })
+            .collect(),
+        scans: workload
+            .scans
+            .iter()
+            .filter_map(|(p, s, n)| {
+                let r = restrict(p);
+                (!r.is_empty()).then_some((r, *s, *n))
+            })
+            .collect(),
+        updates: workload
+            .updates
+            .iter()
+            .filter_map(|(p, n)| {
+                let r = restrict(p);
+                (!r.is_empty()).then_some((r, *n))
+            })
+            .collect(),
+    }
+}
+
+/// Step 1 of §6.3: recursively split `columns` using every observed
+/// projection, producing the finest subsets in which all columns are
+/// co-accessed identically.
+fn primary_partitions(columns: &[ColumnId], workload: &LevelWorkload) -> Vec<Vec<ColumnId>> {
+    let mut subsets: Vec<Vec<ColumnId>> = vec![columns.to_vec()];
+    let projections: Vec<&Projection> = workload
+        .point_reads
+        .iter()
+        .map(|(p, _)| p)
+        .chain(workload.scans.iter().map(|(p, _, _)| p))
+        .chain(workload.updates.iter().map(|(p, _)| p))
+        .collect();
+    for proj in projections {
+        let mut next = Vec::with_capacity(subsets.len() + 1);
+        for subset in subsets {
+            let (inside, outside): (Vec<ColumnId>, Vec<ColumnId>) =
+                subset.iter().partition(|c| proj.contains(**c));
+            if inside.is_empty() || outside.is_empty() {
+                next.push(subset);
+            } else {
+                next.push(inside);
+                next.push(outside);
+            }
+        }
+        subsets = next;
+    }
+    subsets
+}
+
+/// Enumerates all set partitions of `{0, .., n-1}` (restricted-growth strings).
+fn set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    fn recurse(i: usize, n: usize, blocks: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+        if i == n {
+            out.push(blocks.clone());
+            return;
+        }
+        for b in 0..blocks.len() {
+            blocks[b].push(i);
+            recurse(i + 1, n, blocks, out);
+            blocks[b].pop();
+        }
+        blocks.push(vec![i]);
+        recurse(i + 1, n, blocks, out);
+        blocks.pop();
+    }
+    let mut out = Vec::new();
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut blocks = Vec::new();
+    recurse(0, n, &mut blocks, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(c: usize) -> TreeParameters {
+        TreeParameters {
+            num_entries: 1_000_000,
+            size_ratio: 2,
+            entries_per_block: 40.0,
+            level0_blocks: 100,
+            num_columns: c,
+        }
+    }
+
+    #[test]
+    fn set_partition_counts_are_bell_numbers() {
+        assert_eq!(set_partitions(0).len(), 1);
+        assert_eq!(set_partitions(1).len(), 1);
+        assert_eq!(set_partitions(2).len(), 2);
+        assert_eq!(set_partitions(3).len(), 5);
+        assert_eq!(set_partitions(4).len(), 15);
+        assert_eq!(set_partitions(5).len(), 52);
+    }
+
+    #[test]
+    fn primary_partitions_match_paper_example() {
+        // §6.3 example: R = {a1..a4}, Π1={a2,a3,a4}, Π2={a1,a2}, Π3=all.
+        let columns = vec![0, 1, 2, 3];
+        let workload = LevelWorkload {
+            point_reads: vec![
+                (Projection::of([1, 2, 3]), 1),
+                (Projection::of([0, 1]), 1),
+                (Projection::of([0, 1, 2, 3]), 1),
+            ],
+            ..Default::default()
+        };
+        let mut subsets = primary_partitions(&columns, &workload);
+        for s in &mut subsets {
+            s.sort_unstable();
+        }
+        subsets.sort();
+        assert_eq!(subsets, vec![vec![0], vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn scan_heavy_level_gets_narrow_groups() {
+        let schema = Schema::with_columns(6);
+        let mut trace = WorkloadTrace::new(params(6), 3);
+        // Level 2 is scanned on column a6 only, heavily.
+        trace.per_level[2].scans = vec![(Projection::of([5]), 50_000.0, 100)];
+        let design = select_design(&schema, &trace, &AdvisorOptions { num_levels: 3, design_name: "t".into() }).unwrap();
+        let l2 = design.level(2);
+        // Column a6 must be isolated from the rest.
+        let g = l2.group_of(5).unwrap();
+        assert_eq!(l2.groups()[g].size(), 1, "layout: {l2}");
+    }
+
+    #[test]
+    fn point_read_heavy_level_stays_wide() {
+        let schema = Schema::with_columns(6);
+        let mut trace = WorkloadTrace::new(params(6), 3);
+        trace.per_level[1].point_reads = vec![(Projection::all(&schema), 100_000)];
+        let design = select_design(&schema, &trace, &AdvisorOptions { num_levels: 3, design_name: "t".into() }).unwrap();
+        assert_eq!(design.level(1).num_groups(), 1, "wide reads keep the level row-oriented");
+    }
+
+    #[test]
+    fn produced_designs_always_satisfy_containment() {
+        let schema = Schema::with_columns(12);
+        let mut trace = WorkloadTrace::new(params(12), 6);
+        trace.per_level[1].point_reads = vec![(Projection::all(&schema), 1000)];
+        trace.per_level[2].point_reads = vec![(Projection::range_1based(1, 6), 500)];
+        trace.per_level[3].scans = vec![(Projection::range_1based(7, 9), 10_000.0, 20)];
+        trace.per_level[4].scans = vec![(Projection::range_1based(10, 12), 50_000.0, 20)];
+        trace.per_level[5].scans = vec![(Projection::range_1based(12, 12), 80_000.0, 10)];
+        let design = select_design(
+            &schema,
+            &trace,
+            &AdvisorOptions { num_levels: 6, design_name: "chk".into() },
+        )
+        .unwrap();
+        // LayoutSpec::new already validates, but double-check key properties.
+        design.validate().unwrap();
+        assert_eq!(design.num_levels(), 6);
+        // Group counts never decrease going down (finer or equal layouts).
+        let gs = design.groups_per_level();
+        assert!(gs.windows(2).all(|w| w[1] >= w[0]), "groups per level: {gs:?}");
+    }
+
+    #[test]
+    fn empty_trace_yields_row_store() {
+        let schema = Schema::with_columns(8);
+        let trace = WorkloadTrace::new(params(8), 4);
+        let design = select_design(
+            &schema,
+            &trace,
+            &AdvisorOptions { num_levels: 4, design_name: "empty".into() },
+        )
+        .unwrap();
+        // Without any read/scan evidence, inserts dominate and the advisor
+        // keeps every level row-oriented (fewest groups minimises Eq. 9).
+        assert!(design.groups_per_level().iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn advisor_handles_wide_schema_quickly() {
+        // §6.3 claims seconds for 100 columns and 8 levels; the bounded
+        // enumeration must stay fast.
+        let schema = Schema::wide();
+        let mut trace = WorkloadTrace::new(params(100), 8);
+        for level in 1..8 {
+            trace.per_level[level].point_reads = vec![(Projection::range_1based(1, 50), 100)];
+            trace.per_level[level].scans =
+                vec![(Projection::range_1based(90, 100), 10_000.0, 10)];
+        }
+        let start = std::time::Instant::now();
+        let design = select_design(
+            &schema,
+            &trace,
+            &AdvisorOptions { num_levels: 8, design_name: "wide".into() },
+        )
+        .unwrap();
+        assert!(design.num_levels() == 8);
+        assert!(
+            start.elapsed().as_secs() < 10,
+            "advisor too slow: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn restrict_workload_drops_foreign_projections() {
+        let wl = LevelWorkload {
+            inserts: 5,
+            point_reads: vec![(Projection::of([0, 1]), 3), (Projection::of([5]), 2)],
+            scans: vec![(Projection::of([5, 6]), 10.0, 1)],
+            updates: vec![(Projection::of([1]), 4)],
+        };
+        let r = restrict_workload(&wl, &[0, 1, 2]);
+        assert_eq!(r.inserts, 5);
+        assert_eq!(r.point_reads.len(), 1);
+        assert_eq!(r.scans.len(), 0);
+        assert_eq!(r.updates.len(), 1);
+    }
+}

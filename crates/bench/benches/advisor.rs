@@ -1,0 +1,40 @@
+//! Criterion bench for the design advisor (Section 6.3 reports ~3 s for 100
+//! columns and 8 levels at paper scale).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laser_advisor::{select_design, AdvisorOptions};
+use laser_core::Schema;
+use laser_cost_model::TreeParameters;
+use laser_workload::{build_workload_trace, HtapWorkloadSpec};
+
+fn bench_advisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for columns in [30usize, 100] {
+        let spec = HtapWorkloadSpec { num_columns: columns, ..HtapWorkloadSpec::scaled_down() };
+        let schema = Schema::with_columns(columns);
+        let params = TreeParameters {
+            num_entries: spec.total_keys(),
+            size_ratio: 2,
+            entries_per_block: 32.0,
+            level0_blocks: 16,
+            num_columns: columns,
+        };
+        let trace = build_workload_trace(&spec, &params, 8);
+        group.bench_with_input(BenchmarkId::new("select_design", columns), &columns, |b, _| {
+            b.iter(|| {
+                select_design(
+                    &schema,
+                    &trace,
+                    &AdvisorOptions { num_levels: 8, design_name: "bench".into() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing Figure 7(a)/(b): point-read latency across
+//! column-group sizes and projection widths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laser_bench::{build_db, load_phase, Scale};
+use laser_core::{LayoutSpec, Projection, Schema};
+
+fn bench_reads(c: &mut Criterion) {
+    let schema = Schema::narrow();
+    let mut group = c.benchmark_group("fig7_read");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for cg_size in [1usize, 6, 30] {
+        let design = if cg_size == 30 {
+            LayoutSpec::row_store(&schema, 6)
+        } else {
+            LayoutSpec::equi_width(&schema, 6, cg_size)
+        };
+        let db = build_db(design, Scale::Tiny, 2, 6);
+        load_phase(&db, Scale::Tiny.load_keys()).unwrap();
+        for proj_size in [1usize, 15, 30] {
+            let projection = Projection::of(0..proj_size);
+            group.bench_with_input(
+                BenchmarkId::new(format!("cg{cg_size}"), proj_size),
+                &proj_size,
+                |b, _| {
+                    let mut key = 0u64;
+                    b.iter(|| {
+                        key = (key + 17) % Scale::Tiny.load_keys();
+                        db.read(key, &projection).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

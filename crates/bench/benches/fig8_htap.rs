@@ -1,0 +1,49 @@
+//! Criterion bench backing Figure 8: steady-phase HW throughput for the row
+//! store, the column store and LASER's D-opt design.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laser_bench::{build_db, load_phase, run_operations, Scale};
+use laser_core::{LayoutSpec, Schema};
+use laser_workload::HtapWorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hw(c: &mut Criterion) {
+    let schema = Schema::narrow();
+    let spec = HtapWorkloadSpec {
+        load_keys: 1_200,
+        steady_inserts: 200,
+        q2a_count: 50,
+        q2b_count: 50,
+        q4_count: 1,
+        q5_count: 1,
+        ..HtapWorkloadSpec::scaled_down()
+    };
+    let mut group = c.benchmark_group("fig8_htap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let designs = vec![
+        LayoutSpec::row_store(&schema, 8),
+        LayoutSpec::column_store(&schema, 8),
+        LayoutSpec::d_opt_paper(&schema).unwrap().with_name("LASER-D-opt"),
+    ];
+    for design in designs {
+        let name = design.name().to_string();
+        group.bench_with_input(BenchmarkId::new("steady-phase", &name), &design, |b, design| {
+            b.iter_with_setup(
+                || {
+                    let db = build_db(design.clone(), Scale::Tiny, 2, 8);
+                    load_phase(&db, spec.load_keys).unwrap();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let stream = spec.generate_steady(&mut rng);
+                    (db, stream)
+                },
+                |(db, stream)| run_operations(&db, &stream).unwrap(),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

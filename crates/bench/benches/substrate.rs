@@ -1,0 +1,37 @@
+//! Criterion bench for the LSM substrate: memtable inserts, SST point reads
+//! and full-tree scans of the plain key-value engine.
+use criterion::{criterion_group, criterion_main, Criterion};
+use laser_core::lsm_storage::{LsmDb, LsmOptions};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("put", |b| {
+        let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            db.put(key, vec![0u8; 64]).unwrap()
+        })
+    });
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    for key in 0..5_000u64 {
+        db.put(key, vec![0u8; 64]).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_until_stable().unwrap();
+    group.bench_function("get", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 37) % 5_000;
+            db.get(key).unwrap()
+        })
+    });
+    group.bench_function("scan_1k", |b| b.iter(|| db.scan(1_000, 2_000).unwrap().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Figure 7: validation of the cost model (reads, scans,
+//! compaction) on the narrow (T=2) and wide (T=10) tables.
+//!
+//! Usage: fig7_cost_validation [read|scan|compaction|all] [narrow|wide|both]
+use laser_bench::fig7::{render, run_compaction, run_read_scan, Fig7Config};
+use laser_bench::Scale;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let table = std::env::args().nth(2).unwrap_or_else(|| "narrow".into());
+    let configs: Vec<(&str, Fig7Config)> = match table.as_str() {
+        "wide" => vec![("wide table, T=10", Fig7Config::wide(Scale::Tiny))],
+        "both" => vec![
+            ("narrow table, T=2", Fig7Config::narrow(Scale::Small)),
+            ("wide table, T=10", Fig7Config::wide(Scale::Tiny))],
+        _ => vec![("narrow table, T=2", Fig7Config::narrow(Scale::Small))],
+    };
+    for (label, config) in configs {
+        let mut result = laser_bench::fig7::Fig7Result::default();
+        if what == "all" || what == "read" || what == "scan" {
+            let rs = run_read_scan(&config).expect("read/scan sweep");
+            result.reads = rs.reads;
+            result.scans = rs.scans;
+        }
+        if what == "all" || what == "compaction" {
+            result.compaction = run_compaction(&config).expect("compaction sweep");
+        }
+        println!("{}", render(&result, label));
+    }
+}

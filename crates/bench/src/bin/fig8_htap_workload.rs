@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: the lifecycle-driven HTAP workload HW across the
+//! evaluation's designs, plus the Table 3 workload summary.
+use laser_bench::fig8;
+use laser_bench::Scale;
+use laser_workload::HtapWorkloadSpec;
+
+fn main() {
+    let spec = HtapWorkloadSpec::scaled_down();
+    let results = fig8::run(&spec, Scale::Small, 2024).expect("run HW");
+    println!("{}", fig8::render(&spec, &results));
+}

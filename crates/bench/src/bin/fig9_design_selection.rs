@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: the HW read patterns and the design the advisor
+//! selects (compared to the paper's published D-opt).
+use laser_workload::HtapWorkloadSpec;
+
+fn main() {
+    let spec = HtapWorkloadSpec::scaled_down();
+    let result = laser_bench::fig9::run(&spec, 8).expect("design selection");
+    println!("{}", laser_bench::fig9::render(&spec, &result));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the analytic cost summary.
+fn main() {
+    println!("{}", laser_bench::table2::render());
+}

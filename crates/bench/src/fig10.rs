@@ -1,0 +1,197 @@
+//! Figure 10: robustness of a fixed D-opt design to workload shifts.
+//!
+//! * (a) vertical shift — the Q2a/Q2b read recency means move toward older
+//!   data; read latency/cost rises then plateaus.
+//! * (b) horizontal shift — the Q5 projection moves left across column-group
+//!   boundaries; scan cost degrades by up to ~2x when the projection straddles
+//!   wide CGs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use laser_core::lsm_storage::Result;
+use laser_core::{LayoutSpec, Schema};
+use laser_workload::{HtapWorkloadSpec, HwQuery, WorkloadShift};
+
+use crate::harness::{build_db, load_phase, Scale};
+
+/// One point of the vertical-shift sweep (Figure 10a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerticalPoint {
+    /// Offset applied to the read-distribution means.
+    pub offset: f64,
+    /// Mean read latency in microseconds.
+    pub read_latency_us: f64,
+    /// Mean blocks read per point read.
+    pub read_blocks: f64,
+}
+
+/// One point of the horizontal-shift sweep (Figure 10b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizontalPoint {
+    /// How many columns the Q5 projection moved left.
+    pub offset: usize,
+    /// Mean scan latency in microseconds.
+    pub scan_latency_us: f64,
+    /// Mean blocks read per scan.
+    pub scan_blocks: f64,
+}
+
+/// Runs the vertical-shift sweep: point-read cost as the read pattern drifts
+/// toward older data while the design stays fixed at D-opt.
+pub fn run_vertical(spec: &HtapWorkloadSpec, offsets: &[f64], scale: Scale) -> Result<Vec<VerticalPoint>> {
+    let schema = Schema::with_columns(spec.num_columns);
+    let design = if spec.num_columns == 30 {
+        LayoutSpec::d_opt_paper(&schema)?
+    } else {
+        LayoutSpec::equi_width(&schema, 8, (spec.num_columns / 4).max(1))
+    };
+    let db = build_db(design, scale, 2, 8);
+    let keys = spec.load_keys;
+    load_phase(&db, keys)?;
+    let io = db.storage().io_stats();
+    let reads_per_point = match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 150,
+    };
+    let mut rng = StdRng::seed_from_u64(0xF1_0A);
+    let mut points = Vec::new();
+    for &offset in offsets {
+        let shifted = spec.clone().with_shift(WorkloadShift { vertical_read_offset: offset, ..Default::default() });
+        let q2a = shifted.key_distribution_for(HwQuery::Q2a).unwrap();
+        let q2b = shifted.key_distribution_for(HwQuery::Q2b).unwrap();
+        let proj_a = shifted.projection_for(HwQuery::Q2a);
+        let proj_b = shifted.projection_for(HwQuery::Q2b);
+        let before = io.snapshot();
+        let start = std::time::Instant::now();
+        for i in 0..reads_per_point {
+            if i % 2 == 0 {
+                db.read(q2a.sample_key(&mut rng, keys), &proj_a)?;
+            } else {
+                db.read(q2b.sample_key(&mut rng, keys), &proj_b)?;
+            }
+        }
+        let elapsed = start.elapsed();
+        let blocks = io.snapshot().delta_since(&before).blocks_read;
+        points.push(VerticalPoint {
+            offset,
+            read_latency_us: elapsed.as_secs_f64() * 1e6 / reads_per_point as f64,
+            read_blocks: blocks as f64 / reads_per_point as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the horizontal-shift sweep: Q5 scan cost as its projection moves left
+/// across the D-opt column-group boundaries.
+pub fn run_horizontal(
+    spec: &HtapWorkloadSpec,
+    offsets: &[usize],
+    scale: Scale,
+) -> Result<Vec<HorizontalPoint>> {
+    let schema = Schema::with_columns(spec.num_columns);
+    let design = if spec.num_columns == 30 {
+        LayoutSpec::d_opt_paper(&schema)?
+    } else {
+        LayoutSpec::equi_width(&schema, 8, (spec.num_columns / 4).max(1))
+    };
+    let db = build_db(design, scale, 2, 8);
+    let keys = spec.load_keys;
+    load_phase(&db, keys)?;
+    let io = db.storage().io_stats();
+    let scans_per_point = match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 3,
+    };
+    let mut rng = StdRng::seed_from_u64(0xF1_0B);
+    let mut points = Vec::new();
+    for &offset in offsets {
+        let shifted = spec
+            .clone()
+            .with_shift(WorkloadShift { horizontal_projection_offset: offset, ..Default::default() });
+        let projection = shifted.projection_for(HwQuery::Q5);
+        let span = ((keys as f64) * spec.q5_selectivity) as u64;
+        let before = io.snapshot();
+        let start = std::time::Instant::now();
+        for _ in 0..scans_per_point {
+            let lo = rng.gen_range(0..keys.saturating_sub(span).max(1));
+            db.scan(lo, lo + span, &projection)?;
+        }
+        let elapsed = start.elapsed();
+        let blocks = io.snapshot().delta_since(&before).blocks_read;
+        points.push(HorizontalPoint {
+            offset,
+            scan_latency_us: elapsed.as_secs_f64() * 1e6 / scans_per_point as f64,
+            scan_blocks: blocks as f64 / scans_per_point as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders the Figure 10 report.
+pub fn render(vertical: &[VerticalPoint], horizontal: &[HorizontalPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 10(a): vertical shift of the read pattern ==\n");
+    out.push_str(&format!("{:>8} {:>18} {:>14}\n", "offset", "read latency (us)", "blocks/read"));
+    for p in vertical {
+        out.push_str(&format!("{:>8.2} {:>18.1} {:>14.2}\n", p.offset, p.read_latency_us, p.read_blocks));
+    }
+    out.push_str("\n== Figure 10(b): horizontal shift of the Q5 projection ==\n");
+    out.push_str(&format!("{:>8} {:>18} {:>14}\n", "offset", "scan latency (us)", "blocks/scan"));
+    for p in horizontal {
+        out.push_str(&format!("{:>8} {:>18.1} {:>14.1}\n", p.offset, p.scan_latency_us, p.scan_blocks));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> HtapWorkloadSpec {
+        HtapWorkloadSpec {
+            num_columns: 30,
+            load_keys: 1_500,
+            steady_inserts: 0,
+            q2a_count: 0,
+            q2b_count: 0,
+            update_ratio: 0.0,
+            q4_count: 0,
+            q5_count: 0,
+            q4_selectivity: 0.05,
+            q5_selectivity: 0.3,
+            shift: Default::default(),
+        }
+    }
+
+    #[test]
+    fn vertical_shift_does_not_reduce_read_cost() {
+        let points = run_vertical(&tiny_spec(), &[0.0, 0.3, 0.6], Scale::Tiny).unwrap();
+        assert_eq!(points.len(), 3);
+        // Reads of older data cannot be cheaper than reads of the freshest data
+        // (they go at least as deep in the tree). Allow a small tolerance for noise.
+        assert!(
+            points[2].read_blocks + 0.5 >= points[0].read_blocks,
+            "shifted reads ({}) should cost at least as much as unshifted ({})",
+            points[2].read_blocks,
+            points[0].read_blocks
+        );
+    }
+
+    #[test]
+    fn horizontal_shift_changes_scan_cost_at_cg_boundaries() {
+        // Offset 14 makes the Q5 projection span the <1-15> and <16-20> CGs of
+        // D-opt, which the paper reports as the worst case (~2x).
+        let points = run_horizontal(&tiny_spec(), &[0, 14], Scale::Tiny).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].scan_blocks >= points[0].scan_blocks,
+            "misaligned projection ({}) should cost at least as much as aligned ({})",
+            points[1].scan_blocks,
+            points[0].scan_blocks
+        );
+        let text = render(&[], &points);
+        assert!(text.contains("Figure 10(a)"));
+        assert!(text.contains("Figure 10(b)"));
+    }
+}

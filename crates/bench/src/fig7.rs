@@ -1,0 +1,372 @@
+//! Figure 7: validation of the cost model (Section 7.1).
+//!
+//! * (a)/(b) — point-read cost vs. projection size and vs. number of CGs.
+//! * (c)/(d) — range-scan cost vs. projection size and vs. CG size.
+//! * (e)     — compaction (write-amplification) time and bytes vs. number of CGs.
+//!
+//! The harness reports measured block reads (and wall-clock time) next to the
+//! analytic prediction from `laser-cost-model`, for both the narrow table
+//! (T=2) and, optionally, the wide table (T=10).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use laser_core::lsm_storage::Result;
+use laser_core::{LayoutSpec, Projection, Schema};
+use laser_cost_model::{CostModel, TreeParameters};
+
+use crate::harness::{build_db, load_phase, Scale};
+
+/// One measured data point of Figure 7(a)–(d).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostPoint {
+    /// CG size of the design (`c` for the row store, 1 for the column store).
+    pub cg_size: usize,
+    /// Projection size `|Π|`.
+    pub projection_size: usize,
+    /// Mean blocks read per operation (the measured cost).
+    pub measured_blocks: f64,
+    /// Mean latency per operation in microseconds.
+    pub measured_latency_us: f64,
+    /// The analytic prediction (Equation 5 for reads, Equation 6 for scans).
+    pub predicted: f64,
+}
+
+/// One measured data point of Figure 7(e).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionPoint {
+    /// Number of column groups per level.
+    pub num_cgs: usize,
+    /// Time to compact the loaded data to quiescence (milliseconds).
+    pub compaction_time_ms: f64,
+    /// Bytes written by compaction.
+    pub compaction_bytes: u64,
+    /// Analytic write-amplification prediction (Equation 4).
+    pub predicted_amplification: f64,
+}
+
+/// The full Figure 7 report for one table width.
+#[derive(Debug, Clone, Default)]
+pub struct Fig7Result {
+    /// Read cost points (a)/(b).
+    pub reads: Vec<CostPoint>,
+    /// Scan cost points (c)/(d).
+    pub scans: Vec<CostPoint>,
+    /// Compaction points (e).
+    pub compaction: Vec<CompactionPoint>,
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Number of payload columns (30 = narrow, 100 = wide).
+    pub num_columns: usize,
+    /// Size ratio T (2 for narrow, 10 for wide in the paper).
+    pub size_ratio: u64,
+    /// Number of levels.
+    pub num_levels: usize,
+    /// CG sizes of the evaluated designs.
+    pub cg_sizes: Vec<usize>,
+    /// Projection sizes to sweep.
+    pub projection_sizes: Vec<usize>,
+    /// Scale of the loaded data.
+    pub scale: Scale,
+    /// Point reads per configuration.
+    pub reads_per_config: usize,
+    /// Scans per configuration.
+    pub scans_per_config: usize,
+}
+
+impl Fig7Config {
+    /// The narrow-table configuration (30 columns, T=2, 8 levels).
+    pub fn narrow(scale: Scale) -> Self {
+        Fig7Config {
+            num_columns: 30,
+            size_ratio: 2,
+            num_levels: 8,
+            cg_sizes: vec![1, 2, 3, 6, 15, 30],
+            projection_sizes: vec![1, 5, 10, 15, 20, 25, 30],
+            scale,
+            reads_per_config: match scale {
+                Scale::Tiny => 20,
+                Scale::Small => 60,
+            },
+            scans_per_config: match scale {
+                Scale::Tiny => 2,
+                Scale::Small => 4,
+            },
+        }
+    }
+
+    /// The wide-table configuration (100 columns, T=10, 5 levels).
+    pub fn wide(scale: Scale) -> Self {
+        Fig7Config {
+            num_columns: 100,
+            size_ratio: 10,
+            num_levels: 5,
+            cg_sizes: vec![1, 4, 10, 100],
+            projection_sizes: vec![1, 25, 50, 100],
+            scale,
+            reads_per_config: match scale {
+                Scale::Tiny => 10,
+                Scale::Small => 30,
+            },
+            scans_per_config: match scale {
+                Scale::Tiny => 1,
+                Scale::Small => 2,
+            },
+        }
+    }
+}
+
+fn contiguous_projection(size: usize, num_columns: usize) -> Projection {
+    Projection::of(0..size.min(num_columns))
+}
+
+/// Runs the read and scan sweeps of Figure 7(a)–(d).
+pub fn run_read_scan(config: &Fig7Config) -> Result<Fig7Result> {
+    let schema = Schema::with_columns(config.num_columns);
+    let mut result = Fig7Result::default();
+    let params = TreeParameters {
+        num_entries: config.scale.load_keys(),
+        size_ratio: config.size_ratio,
+        entries_per_block: 4096.0 / (8.0 + 8.0 * config.num_columns as f64),
+        level0_blocks: config.scale.level0_bytes() / 4096,
+        num_columns: config.num_columns,
+    };
+    let mut rng = StdRng::seed_from_u64(0xF16_7);
+    for &cg_size in &config.cg_sizes {
+        let design = if cg_size >= config.num_columns {
+            LayoutSpec::row_store(&schema, config.num_levels)
+        } else {
+            LayoutSpec::equi_width(&schema, config.num_levels, cg_size)
+        };
+        let model = CostModel::new(params.clone(), design.clone(), config.num_levels);
+        let db = build_db(design, config.scale, config.size_ratio, config.num_levels);
+        let keys = config.scale.load_keys();
+        load_phase(&db, keys)?;
+        let io = db.storage().io_stats();
+
+        for &proj_size in &config.projection_sizes {
+            let projection = contiguous_projection(proj_size, config.num_columns);
+            // Point reads.
+            let before = io.snapshot();
+            let start = std::time::Instant::now();
+            for _ in 0..config.reads_per_config {
+                let key = rng.gen_range(0..keys);
+                db.read(key, &projection)?;
+            }
+            let elapsed = start.elapsed();
+            let blocks = io.snapshot().delta_since(&before).blocks_read;
+            result.reads.push(CostPoint {
+                cg_size,
+                projection_size: proj_size,
+                measured_blocks: blocks as f64 / config.reads_per_config as f64,
+                measured_latency_us: elapsed.as_secs_f64() * 1e6 / config.reads_per_config as f64,
+                predicted: model.point_lookup_cost(&projection),
+            });
+            // Scans over ~20% of the key space.
+            let span = keys / 5;
+            let before = io.snapshot();
+            let start = std::time::Instant::now();
+            for _ in 0..config.scans_per_config {
+                let lo = rng.gen_range(0..keys.saturating_sub(span).max(1));
+                db.scan(lo, lo + span, &projection)?;
+            }
+            let elapsed = start.elapsed();
+            let blocks = io.snapshot().delta_since(&before).blocks_read;
+            result.scans.push(CostPoint {
+                cg_size,
+                projection_size: proj_size,
+                measured_blocks: blocks as f64 / config.scans_per_config as f64,
+                measured_latency_us: elapsed.as_secs_f64() * 1e6 / config.scans_per_config as f64,
+                predicted: model.range_query_cost(&projection, span as f64),
+            });
+        }
+    }
+    Ok(result)
+}
+
+/// Runs the compaction sweep of Figure 7(e): loads the data with automatic
+/// compaction disabled, then compacts to quiescence and measures time/bytes.
+pub fn run_compaction(config: &Fig7Config) -> Result<Vec<CompactionPoint>> {
+    let schema = Schema::with_columns(config.num_columns);
+    let params = TreeParameters {
+        num_entries: config.scale.load_keys(),
+        size_ratio: config.size_ratio,
+        entries_per_block: 4096.0 / (8.0 + 8.0 * config.num_columns as f64),
+        level0_blocks: config.scale.level0_bytes() / 4096,
+        num_columns: config.num_columns,
+    };
+    let mut points = Vec::new();
+    for &cg_size in &config.cg_sizes {
+        let design = if cg_size >= config.num_columns {
+            LayoutSpec::row_store(&schema, config.num_levels)
+        } else {
+            LayoutSpec::equi_width(&schema, config.num_levels, cg_size)
+        };
+        let num_cgs = design.level(config.num_levels - 1).num_groups();
+        let model = CostModel::new(params.clone(), design.clone(), config.num_levels);
+        let mut options = laser_core::LaserOptions::small_for_tests(design);
+        options.memtable_size_bytes = config.scale.memtable_bytes();
+        options.level0_size_bytes = config.scale.level0_bytes();
+        options.sst_target_size_bytes = config.scale.level0_bytes();
+        options.size_ratio = config.size_ratio;
+        options.num_levels = config.num_levels;
+        options.auto_compact = false;
+        let db = laser_core::LaserDb::open_in_memory(options)?;
+        for key in 0..config.scale.load_keys() {
+            db.insert_int_row(key, key as i64 % 1000)?;
+        }
+        db.flush()?;
+        let before = db.stats().compaction_bytes_written;
+        let start = std::time::Instant::now();
+        db.compact_until_stable()?;
+        let elapsed = start.elapsed();
+        points.push(CompactionPoint {
+            num_cgs,
+            compaction_time_ms: elapsed.as_secs_f64() * 1e3,
+            compaction_bytes: db.stats().compaction_bytes_written - before,
+            predicted_amplification: model.insert_amplification(),
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a Figure 7 result as text tables.
+pub fn render(result: &Fig7Result, label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== Figure 7 ({label}) — point reads (a/b) ==\n"));
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>16} {:>16} {:>14}\n",
+        "cg_size", "|projection|", "blocks/read", "latency (us)", "model E^g"
+    ));
+    for p in &result.reads {
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>16.2} {:>16.1} {:>14.1}\n",
+            p.cg_size, p.projection_size, p.measured_blocks, p.measured_latency_us, p.predicted
+        ));
+    }
+    out.push_str(&format!("\n== Figure 7 ({label}) — range scans (c/d) ==\n"));
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>16} {:>16} {:>14}\n",
+        "cg_size", "|projection|", "blocks/scan", "latency (us)", "model Q"
+    ));
+    for p in &result.scans {
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>16.1} {:>16.1} {:>14.1}\n",
+            p.cg_size, p.projection_size, p.measured_blocks, p.measured_latency_us, p.predicted
+        ));
+    }
+    if !result.compaction.is_empty() {
+        out.push_str(&format!("\n== Figure 7 ({label}) — compaction (e) ==\n"));
+        out.push_str(&format!(
+            "{:>8} {:>18} {:>18} {:>16}\n",
+            "#CGs", "time (ms)", "bytes written", "model W"
+        ));
+        for p in &result.compaction {
+            out.push_str(&format!(
+                "{:>8} {:>18.1} {:>18} {:>16.4}\n",
+                p.num_cgs, p.compaction_time_ms, p.compaction_bytes, p.predicted_amplification
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig7Config {
+        Fig7Config {
+            num_columns: 16,
+            size_ratio: 2,
+            num_levels: 6,
+            cg_sizes: vec![1, 4, 16],
+            projection_sizes: vec![1, 8, 16],
+            scale: Scale::Tiny,
+            reads_per_config: 20,
+            scans_per_config: 2,
+        }
+    }
+
+    #[test]
+    fn read_cost_grows_with_projection_for_small_cgs_but_not_large() {
+        let result = run_read_scan(&tiny_config()).unwrap();
+        // Column layout (cg_size=1): reading 16 columns costs more blocks than 1 column.
+        let col_narrow = result.reads.iter().find(|p| p.cg_size == 1 && p.projection_size == 1).unwrap();
+        let col_wide = result.reads.iter().find(|p| p.cg_size == 1 && p.projection_size == 16).unwrap();
+        assert!(
+            col_wide.measured_blocks > col_narrow.measured_blocks,
+            "column layout: wide projection ({}) should cost more than narrow ({})",
+            col_wide.measured_blocks,
+            col_narrow.measured_blocks
+        );
+        // Row layout (cg_size=16): cost roughly flat with projection size.
+        let row_narrow = result.reads.iter().find(|p| p.cg_size == 16 && p.projection_size == 1).unwrap();
+        let row_wide = result.reads.iter().find(|p| p.cg_size == 16 && p.projection_size == 16).unwrap();
+        assert!(
+            (row_wide.measured_blocks - row_narrow.measured_blocks).abs()
+                <= row_narrow.measured_blocks.max(1.0) * 0.75,
+            "row layout should be roughly flat: {} vs {}",
+            row_narrow.measured_blocks,
+            row_wide.measured_blocks
+        );
+        // Model agrees on the direction.
+        assert!(col_wide.predicted > col_narrow.predicted);
+        assert!((row_wide.predicted - row_narrow.predicted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_cost_for_narrow_projection_smaller_with_small_cgs() {
+        let result = run_read_scan(&tiny_config()).unwrap();
+        let col = result.scans.iter().find(|p| p.cg_size == 1 && p.projection_size == 1).unwrap();
+        let row = result.scans.iter().find(|p| p.cg_size == 16 && p.projection_size == 1).unwrap();
+        assert!(
+            col.measured_blocks <= row.measured_blocks,
+            "narrow scan: column layout ({}) should not read more than row layout ({})",
+            col.measured_blocks,
+            row.measured_blocks
+        );
+        assert!(col.predicted < row.predicted);
+    }
+
+    #[test]
+    fn compaction_work_grows_with_number_of_cgs() {
+        let config = tiny_config();
+        let points = run_compaction(&config).unwrap();
+        assert_eq!(points.len(), config.cg_sizes.len());
+        let row = points.iter().find(|p| p.num_cgs == 1).unwrap();
+        let col = points.iter().find(|p| p.num_cgs == 16).unwrap();
+        assert!(
+            col.compaction_bytes > row.compaction_bytes,
+            "more CGs -> more bytes written ({} vs {})",
+            col.compaction_bytes,
+            row.compaction_bytes
+        );
+        assert!(col.predicted_amplification > row.predicted_amplification);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let mut result = run_read_scan(&Fig7Config {
+            cg_sizes: vec![1, 16],
+            projection_sizes: vec![1, 16],
+            reads_per_config: 4,
+            scans_per_config: 1,
+            ..tiny_config()
+        })
+        .unwrap();
+        result.compaction = vec![CompactionPoint {
+            num_cgs: 1,
+            compaction_time_ms: 1.0,
+            compaction_bytes: 10,
+            predicted_amplification: 0.5,
+        }];
+        let text = render(&result, "test");
+        assert!(text.contains("point reads"));
+        assert!(text.contains("range scans"));
+        assert!(text.contains("compaction"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Shared experiment infrastructure: scaled-down engine construction, the
+//! design roster of the evaluation, workload execution and I/O accounting.
+
+use std::time::{Duration, Instant};
+
+use laser_core::lsm_storage::storage::IoStatsSnapshot;
+use laser_core::lsm_storage::Result;
+use laser_core::{LaserDb, LaserOptions, LayoutSpec, Schema};
+use laser_workload::{Operation, OperationKind, OperationStream};
+
+/// How aggressively the experiments are scaled down from the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Very small: suitable for unit tests and CI (hundreds of keys).
+    Tiny,
+    /// The default for the experiment binaries (thousands of keys).
+    Small,
+}
+
+impl Scale {
+    /// Number of keys loaded before measurements.
+    pub fn load_keys(self) -> u64 {
+        match self {
+            Scale::Tiny => 1_500,
+            Scale::Small => 6_000,
+        }
+    }
+
+    /// Memtable size in bytes.
+    pub fn memtable_bytes(self) -> usize {
+        match self {
+            Scale::Tiny => 8 << 10,
+            Scale::Small => 32 << 10,
+        }
+    }
+
+    /// Level-0 capacity in bytes.
+    pub fn level0_bytes(self) -> u64 {
+        match self {
+            Scale::Tiny => 12 << 10,
+            Scale::Small => 48 << 10,
+        }
+    }
+}
+
+/// Builds an in-memory LASER engine for `design` at the given scale.
+pub fn build_db(design: LayoutSpec, scale: Scale, size_ratio: u64, num_levels: usize) -> LaserDb {
+    let mut options = LaserOptions::small_for_tests(design);
+    options.memtable_size_bytes = scale.memtable_bytes();
+    options.level0_size_bytes = scale.level0_bytes();
+    options.sst_target_size_bytes = scale.level0_bytes();
+    options.size_ratio = size_ratio;
+    options.num_levels = num_levels;
+    options.auto_compact = true;
+    LaserDb::open_in_memory(options).expect("open in-memory LASER engine")
+}
+
+/// The seven in-engine designs compared in Figure 8, plus D-opt (LASER).
+pub fn designs_for_fig8(schema: &Schema, num_levels: usize) -> Vec<LayoutSpec> {
+    let mut designs = vec![
+        LayoutSpec::row_store(schema, num_levels),
+        LayoutSpec::equi_width(schema, num_levels, 15),
+        LayoutSpec::equi_width(schema, num_levels, 6),
+        LayoutSpec::equi_width(schema, num_levels, 3),
+        LayoutSpec::equi_width(schema, num_levels, 2),
+        LayoutSpec::column_store(schema, num_levels),
+        // HTAP-simple: 25% most recent data row-oriented -> with T=2 the last
+        // two of eight levels hold 75% of the data, so levels 0..5 are
+        // row-oriented and the last two are columnar (as the paper configures).
+        LayoutSpec::htap_simple(schema, num_levels, num_levels.saturating_sub(2).max(1)),
+    ];
+    if schema.num_columns() == 30 {
+        designs.push(LayoutSpec::d_opt_paper(schema).expect("narrow schema").with_name("LASER (D-opt)"));
+    }
+    designs
+}
+
+/// Loads `n` sequential keys into the engine and returns throughput
+/// (inserts per second) of the load phase.
+pub fn load_phase(db: &LaserDb, n: u64) -> Result<f64> {
+    let start = Instant::now();
+    for key in 0..n {
+        db.insert_int_row(key, key as i64 % 1000)?;
+    }
+    db.flush()?;
+    db.compact_until_stable()?;
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(n as f64 / elapsed)
+}
+
+/// Per-operation-kind measurements of a workload run.
+#[derive(Debug, Clone, Default)]
+pub struct KindReport {
+    /// Number of operations executed.
+    pub count: u64,
+    /// Total wall-clock time spent.
+    pub total_time: Duration,
+    /// Total 4 KiB blocks read from storage while executing these operations.
+    pub blocks_read: u64,
+}
+
+impl KindReport {
+    /// Mean latency per operation in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_time.as_secs_f64() * 1e6 / self.count as f64
+        }
+    }
+
+    /// Mean blocks read per operation.
+    pub fn mean_blocks_read(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.blocks_read as f64 / self.count as f64
+        }
+    }
+}
+
+/// The result of running a workload against one design.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Design name.
+    pub design: String,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Per-kind breakdown.
+    pub per_kind: Vec<(OperationKind, KindReport)>,
+    /// Storage I/O delta over the run.
+    pub io: IoStatsSnapshot,
+    /// Bytes written by flush/compaction during the run (write amplification).
+    pub compaction_bytes_written: u64,
+}
+
+impl RunReport {
+    /// Looks up the report for one operation kind.
+    pub fn kind(&self, kind: OperationKind) -> KindReport {
+        self.per_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Executes `stream` against `db`, recording per-kind latency and block I/O.
+pub fn run_operations(db: &LaserDb, stream: &OperationStream) -> Result<RunReport> {
+    let io_stats = db.storage().io_stats();
+    let start_io = io_stats.snapshot();
+    let start_comp = db.stats().compaction_bytes_written;
+    let mut per_kind: Vec<(OperationKind, KindReport)> = Vec::new();
+    let run_start = Instant::now();
+    for op in stream.iter() {
+        let kind = op.kind();
+        let before_io = io_stats.snapshot();
+        let op_start = Instant::now();
+        match op {
+            Operation::Insert { key, base } => {
+                db.insert_int_row(*key, *base)?;
+            }
+            Operation::PointRead { key, projection } => {
+                db.read(*key, projection)?;
+            }
+            Operation::Update { key, values } => {
+                db.update(*key, values.clone())?;
+            }
+            Operation::Scan { lo, hi, projection } => {
+                db.scan(*lo, *hi, projection)?;
+            }
+            Operation::Delete { key } => {
+                db.delete(*key)?;
+            }
+        }
+        let elapsed = op_start.elapsed();
+        let blocks = io_stats.snapshot().delta_since(&before_io).blocks_read;
+        let entry = match per_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, r)) => r,
+            None => {
+                per_kind.push((kind, KindReport::default()));
+                &mut per_kind.last_mut().unwrap().1
+            }
+        };
+        entry.count += 1;
+        entry.total_time += elapsed;
+        entry.blocks_read += blocks;
+    }
+    Ok(RunReport {
+        design: db.layout().name().to_string(),
+        total_time: run_start.elapsed(),
+        per_kind,
+        io: io_stats.snapshot().delta_since(&start_io),
+        compaction_bytes_written: db.stats().compaction_bytes_written - start_comp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_workload::HtapWorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig8_roster_contains_expected_designs() {
+        let schema = Schema::narrow();
+        let designs = designs_for_fig8(&schema, 8);
+        let names: Vec<&str> = designs.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"rocksdb-row"));
+        assert!(names.contains(&"rocksdb-col"));
+        assert!(names.contains(&"cg-size-6"));
+        assert!(names.contains(&"HTAP-simple"));
+        assert!(names.contains(&"LASER (D-opt)"));
+        assert_eq!(designs.len(), 8);
+        // Non-narrow schemas simply omit the paper's D-opt.
+        assert_eq!(designs_for_fig8(&Schema::with_columns(8), 6).len(), 7);
+    }
+
+    #[test]
+    fn run_operations_produces_consistent_report() {
+        let schema = Schema::with_columns(8);
+        let db = build_db(LayoutSpec::equi_width(&schema, 5, 2), Scale::Tiny, 2, 5);
+        load_phase(&db, 400).unwrap();
+        let spec = HtapWorkloadSpec::tiny();
+        let mut rng = StdRng::seed_from_u64(11);
+        let stream = spec.generate_steady(&mut rng);
+        let report = run_operations(&db, &stream).unwrap();
+        let reads = report.kind(OperationKind::PointRead);
+        let scans = report.kind(OperationKind::Scan);
+        assert_eq!(reads.count, spec.q2a_count + spec.q2b_count);
+        assert_eq!(scans.count, spec.q4_count + spec.q5_count);
+        assert!(report.total_time.as_nanos() > 0);
+        assert!(scans.mean_blocks_read() >= 0.0);
+        assert!(reads.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn load_phase_reports_throughput() {
+        let schema = Schema::with_columns(8);
+        let db = build_db(LayoutSpec::row_store(&schema, 4), Scale::Tiny, 2, 4);
+        let tput = load_phase(&db, 300).unwrap();
+        assert!(tput > 0.0);
+        assert!(db.read(0, &laser_core::Projection::of([0])).unwrap().is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! # laser-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! LASER paper's evaluation (Section 7) at laptop scale.
+//!
+//! Each experiment is a library function returning a structured report (so it
+//! is unit-testable) plus a small binary that prints the same rows/series the
+//! paper reports. Costs are reported both as wall-clock time and as 4 KiB
+//! block I/Os measured on the instrumented in-memory storage backend — the
+//! unit the paper's cost model uses — so the *shapes* of the results
+//! (who wins, linear vs. flat trends, crossovers) are comparable even though
+//! the absolute data volumes are scaled down from the paper's 400 M-row HDD
+//! testbed.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Figure 2 (key age by level, two compaction priorities) | [`fig2`] | `fig2_key_distribution` |
+//! | Table 2 (cost summary) | [`table2`] | `table2_cost_summary` |
+//! | Figure 7 (cost-model validation) | [`fig7`] | `fig7_cost_validation` |
+//! | Figure 8 (HTAP workload HW across designs) | [`fig8`] | `fig8_htap_workload` |
+//! | Figure 9 (design selection / D-opt) | [`fig9`] | `fig9_design_selection` |
+//! | Figure 10 (robustness to workload shifts) | [`fig10`] | `fig10_robustness` |
+//! | §4.1 storage-size comparison | [`storage_size`] | `storage_size` |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig10;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod harness;
+pub mod storage_size;
+pub mod table2;
+
+pub use harness::{build_db, designs_for_fig8, load_phase, run_operations, RunReport, Scale};

@@ -1,0 +1,55 @@
+//! Table 2: evaluates the closed-form cost summary for the paper's
+//! configurations and renders it next to the symbolic expressions.
+
+use laser_core::{LayoutSpec, Projection, Schema};
+use laser_cost_model::{table2::render_table2, table2_rows, TreeParameters};
+
+/// Renders Table 2 for the narrow table under a representative projection
+/// (the paper's Q2b, columns 16–30) and a narrow analytic projection
+/// (Q5, columns 28–30), using the D-opt design as the Real-Time column.
+pub fn render() -> String {
+    let schema = Schema::narrow();
+    let params = TreeParameters::narrow_example();
+    let num_levels = 8;
+    let dopt = LayoutSpec::d_opt_paper(&schema).expect("narrow schema");
+    let mut out = String::new();
+    out.push_str("== Table 2: analytic costs (narrow table, T=2, L=8, D-opt as Real-Time design) ==\n");
+    out.push_str("\n-- projection: Q2b (columns 16-30), selectivity 5% --\n");
+    let rows = table2_rows(
+        &params,
+        &dopt,
+        num_levels,
+        &Projection::range_1based(16, 30),
+        params.num_entries as f64 * 0.05,
+    );
+    out.push_str(&render_table2(&rows));
+    out.push_str("\n-- projection: Q5 (columns 28-30), selectivity 50% --\n");
+    let rows = table2_rows(
+        &params,
+        &dopt,
+        num_levels,
+        &Projection::range_1based(28, 30),
+        params.num_entries as f64 * 0.5,
+    );
+    out.push_str(&render_table2(&rows));
+    out.push_str("\nsymbolic forms (as printed in the paper):\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<28} row: {:<24} real-time: {:<28} column: {}\n",
+            r.operation, r.row_formula, r.realtime_formula, r.column_formula
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_both_projections_and_formulas() {
+        let text = super::render();
+        assert!(text.contains("Q2b"));
+        assert!(text.contains("Q5"));
+        assert!(text.contains("Insert amplification"));
+        assert!(text.contains("O(T.L/B)"));
+    }
+}

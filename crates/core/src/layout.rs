@@ -1,0 +1,538 @@
+//! Column groups and per-level layouts: the design space of Real-Time
+//! LSM-Trees (Section 3 of the paper).
+//!
+//! A [`ColumnGroup`] is a set of columns stored together in row format. A
+//! [`LevelLayout`] partitions the schema's columns into column groups for one
+//! level. A [`LayoutSpec`] assigns a layout to every level of the tree —
+//! Level 0 is always row-oriented (a single CG spanning the schema), and each
+//! deeper level must satisfy the **CG containment assumption**: every CG at
+//! level `i` is a subset of exactly one CG at level `i-1`.
+//!
+//! The built-in constructors cover every design evaluated in the paper:
+//! pure row store, pure column store, equi-width `cg_size` designs,
+//! `HTAP-simple` and the advisor's `D-opt` (Figure 9b).
+
+use crate::schema::{ColumnId, Projection, Schema};
+use lsm_storage::{Error, Result};
+use std::fmt;
+
+/// A set of columns stored together in row format.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnGroup {
+    columns: Vec<ColumnId>,
+}
+
+impl ColumnGroup {
+    /// Creates a column group (column ids are sorted and deduplicated).
+    pub fn new(mut columns: Vec<ColumnId>) -> Self {
+        columns.sort_unstable();
+        columns.dedup();
+        ColumnGroup { columns }
+    }
+
+    /// A column group over a contiguous 1-based column range, matching the
+    /// paper's notation: `<16-30>` → `ColumnGroup::range_1based(16, 30)`.
+    pub fn range_1based(start: usize, end: usize) -> Self {
+        ColumnGroup::new((start..=end).map(|i| i - 1).collect())
+    }
+
+    /// The columns in this group, ascending.
+    pub fn columns(&self) -> &[ColumnId] {
+        &self.columns
+    }
+
+    /// Number of columns (the paper's `cg_size`).
+    pub fn size(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns true if the group has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Returns true if `col` belongs to this group.
+    pub fn contains(&self, col: ColumnId) -> bool {
+        self.columns.binary_search(&col).is_ok()
+    }
+
+    /// Returns true if every column of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &ColumnGroup) -> bool {
+        self.columns.iter().all(|c| other.contains(*c))
+    }
+
+    /// Returns true if this group shares at least one column with `projection`.
+    pub fn overlaps_projection(&self, projection: &Projection) -> bool {
+        self.columns.iter().any(|c| projection.contains(*c))
+    }
+
+    /// Returns true if this group shares at least one column with `other`.
+    pub fn overlaps(&self, other: &ColumnGroup) -> bool {
+        self.columns.iter().any(|c| other.contains(*c))
+    }
+}
+
+impl fmt::Display for ColumnGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render contiguous runs like the paper: <1-15> or <16,18,20>.
+        if self.columns.is_empty() {
+            return write!(f, "<>");
+        }
+        let one_based: Vec<usize> = self.columns.iter().map(|c| c + 1).collect();
+        let contiguous = one_based.windows(2).all(|w| w[1] == w[0] + 1);
+        if contiguous && one_based.len() > 1 {
+            write!(f, "<{}-{}>", one_based[0], one_based[one_based.len() - 1])
+        } else {
+            let parts: Vec<String> = one_based.iter().map(|c| c.to_string()).collect();
+            write!(f, "<{}>", parts.join(","))
+        }
+    }
+}
+
+/// The column-group partition used by one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelLayout {
+    groups: Vec<ColumnGroup>,
+}
+
+impl LevelLayout {
+    /// Creates a layout from groups. Groups are kept in the given order.
+    pub fn new(groups: Vec<ColumnGroup>) -> Self {
+        LevelLayout { groups }
+    }
+
+    /// A single group containing every schema column (row-oriented level).
+    pub fn row_oriented(schema: &Schema) -> Self {
+        LevelLayout { groups: vec![ColumnGroup::new(schema.all_columns())] }
+    }
+
+    /// One group per column (column-oriented level).
+    pub fn column_oriented(schema: &Schema) -> Self {
+        LevelLayout {
+            groups: (0..schema.num_columns()).map(|c| ColumnGroup::new(vec![c])).collect(),
+        }
+    }
+
+    /// Equal-width groups of `cg_size` columns (the last group may be smaller),
+    /// as used throughout the paper's cost-model validation (Figure 7).
+    pub fn equi_width(schema: &Schema, cg_size: usize) -> Self {
+        let cg_size = cg_size.max(1);
+        let groups = schema
+            .all_columns()
+            .chunks(cg_size)
+            .map(|chunk| ColumnGroup::new(chunk.to_vec()))
+            .collect();
+        LevelLayout { groups }
+    }
+
+    /// The column groups.
+    pub fn groups(&self) -> &[ColumnGroup] {
+        &self.groups
+    }
+
+    /// Number of groups (the paper's `g_i`).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns the index of the group containing `col`, if any.
+    pub fn group_of(&self, col: ColumnId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(col))
+    }
+
+    /// Indices of the groups that overlap `projection` (the paper's `G_i`).
+    pub fn groups_overlapping(&self, projection: &Projection) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.overlaps_projection(projection))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The paper's `E^g_i`: number of CGs needed to answer `projection`.
+    pub fn required_groups(&self, projection: &Projection) -> usize {
+        self.groups_overlapping(projection).len()
+    }
+
+    /// The paper's `E^G_i`: the sum of `(1 + cg_size)` over the CGs needed by
+    /// `projection` (each fetched CG carries the key alongside its columns).
+    pub fn required_group_width(&self, projection: &Projection) -> usize {
+        self.groups_overlapping(projection)
+            .iter()
+            .map(|&i| 1 + self.groups[i].size())
+            .sum()
+    }
+
+    /// Validates that the layout is a partition of the schema's columns:
+    /// every column appears in exactly one group.
+    pub fn validate_partition(&self, schema: &Schema) -> Result<()> {
+        let mut seen = vec![false; schema.num_columns()];
+        for g in &self.groups {
+            if g.is_empty() {
+                return Err(Error::invalid("empty column group"));
+            }
+            for &c in g.columns() {
+                if c >= schema.num_columns() {
+                    return Err(Error::invalid(format!("column {c} outside schema")));
+                }
+                if seen[c] {
+                    return Err(Error::invalid(format!("column {c} appears in two groups")));
+                }
+                seen[c] = true;
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(Error::invalid("layout does not cover every schema column"));
+        }
+        Ok(())
+    }
+
+    /// Checks the CG containment constraint: every group of `self` must be a
+    /// subset of some group of `coarser` (the layout of the level above).
+    pub fn is_contained_in(&self, coarser: &LevelLayout) -> bool {
+        self.groups
+            .iter()
+            .all(|g| coarser.groups.iter().any(|cg| g.is_subset_of(cg)))
+    }
+}
+
+impl fmt::Display for LevelLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.groups {
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete Real-Time LSM-Tree design: one [`LevelLayout`] per disk level.
+///
+/// Level 0 is always row-oriented; `layouts[i]` describes level `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutSpec {
+    schema: Schema,
+    layouts: Vec<LevelLayout>,
+    name: String,
+}
+
+impl LayoutSpec {
+    /// Creates a spec from per-level layouts. `layouts[0]` must be
+    /// row-oriented and every level must satisfy partition validity and CG
+    /// containment with respect to the level above.
+    pub fn new(schema: Schema, layouts: Vec<LevelLayout>, name: impl Into<String>) -> Result<Self> {
+        if layouts.is_empty() {
+            return Err(Error::invalid("a layout spec needs at least one level"));
+        }
+        let spec = LayoutSpec { schema, layouts, name: name.into() };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates partitioning, the row-oriented Level-0 rule and containment.
+    pub fn validate(&self) -> Result<()> {
+        if self.layouts[0].num_groups() != 1
+            || self.layouts[0].groups()[0].size() != self.schema.num_columns()
+        {
+            return Err(Error::invalid("level 0 must be row-oriented (a single CG)"));
+        }
+        for (i, layout) in self.layouts.iter().enumerate() {
+            layout.validate_partition(&self.schema).map_err(|e| {
+                Error::invalid(format!("level {i}: {e}"))
+            })?;
+            if i > 0 && !layout.is_contained_in(&self.layouts[i - 1]) {
+                return Err(Error::invalid(format!(
+                    "level {i} violates the CG containment constraint"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The schema this design applies to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A human-readable design name (e.g. `rocksdb-row`, `cg-size-6`, `D-opt`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of levels covered by the spec.
+    pub fn num_levels(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Layout of level `i` (clamped to the deepest described level, so a tree
+    /// with more levels than the spec keeps the last layout for extra levels).
+    pub fn level(&self, i: usize) -> &LevelLayout {
+        &self.layouts[i.min(self.layouts.len() - 1)]
+    }
+
+    /// All layouts.
+    pub fn levels(&self) -> &[LevelLayout] {
+        &self.layouts
+    }
+
+    /// The paper's `g_i` for every level.
+    pub fn groups_per_level(&self) -> Vec<usize> {
+        self.layouts.iter().map(|l| l.num_groups()).collect()
+    }
+
+    // --- Built-in designs used in the evaluation -------------------------
+
+    /// Pure row-oriented design (default RocksDB): every level is one CG.
+    pub fn row_store(schema: &Schema, num_levels: usize) -> Self {
+        let layouts = vec![LevelLayout::row_oriented(schema); num_levels.max(1)];
+        LayoutSpec { schema: schema.clone(), layouts, name: "rocksdb-row".into() }
+    }
+
+    /// Pure column-oriented design: Level 0 row-oriented, all deeper levels
+    /// one CG per column.
+    pub fn column_store(schema: &Schema, num_levels: usize) -> Self {
+        let mut layouts = vec![LevelLayout::row_oriented(schema)];
+        for _ in 1..num_levels.max(1) {
+            layouts.push(LevelLayout::column_oriented(schema));
+        }
+        LayoutSpec { schema: schema.clone(), layouts, name: "rocksdb-col".into() }
+    }
+
+    /// Equi-width design: Level 0 row-oriented, all deeper levels split into
+    /// groups of `cg_size` columns (the paper's `cg-size-k` baselines).
+    pub fn equi_width(schema: &Schema, num_levels: usize, cg_size: usize) -> Self {
+        let mut layouts = vec![LevelLayout::row_oriented(schema)];
+        for _ in 1..num_levels.max(1) {
+            layouts.push(LevelLayout::equi_width(schema, cg_size));
+        }
+        LayoutSpec {
+            schema: schema.clone(),
+            layouts,
+            name: format!("cg-size-{cg_size}"),
+        }
+    }
+
+    /// The paper's `HTAP-simple` baseline: the first `row_levels` levels are
+    /// row-oriented and the remaining levels are column-oriented.
+    pub fn htap_simple(schema: &Schema, num_levels: usize, row_levels: usize) -> Self {
+        let mut layouts = Vec::with_capacity(num_levels.max(1));
+        for i in 0..num_levels.max(1) {
+            if i < row_levels.max(1) {
+                layouts.push(LevelLayout::row_oriented(schema));
+            } else {
+                layouts.push(LevelLayout::column_oriented(schema));
+            }
+        }
+        LayoutSpec { schema: schema.clone(), layouts, name: "HTAP-simple".into() }
+    }
+
+    /// The `D-opt` design of Figure 9(b): the layout the design advisor picks
+    /// for the paper's HTAP workload `HW` on the 30-column table, 8 levels.
+    ///
+    /// ```text
+    /// L0: <1-30>                    L4: <1-15><16-20><21-30>
+    /// L1: <1-30>                    L5: <1-15><16-20><21-30>
+    /// L2: <1-15><16-30>             L6: <1-15><16-20><21-27><28-30>
+    /// L3: <1-15><16-30>             L7: <1-15><16-20><21-27><28-30>
+    /// ```
+    pub fn d_opt_paper(schema: &Schema) -> Result<Self> {
+        if schema.num_columns() != 30 {
+            return Err(Error::invalid("D-opt (paper) is defined for the 30-column table"));
+        }
+        let cg = ColumnGroup::range_1based;
+        let layouts = vec![
+            LevelLayout::row_oriented(schema),
+            LevelLayout::row_oriented(schema),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 30)]),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 30)]),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 20), cg(21, 30)]),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 20), cg(21, 30)]),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 20), cg(21, 27), cg(28, 30)]),
+            LevelLayout::new(vec![cg(1, 15), cg(16, 20), cg(21, 27), cg(28, 30)]),
+        ];
+        LayoutSpec::new(schema.clone(), layouts, "D-opt")
+    }
+
+    /// Renames the spec (used by the advisor and benchmarks).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for LayoutSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {} ({} levels):", self.name, self.layouts.len())?;
+        for (i, layout) in self.layouts.iter().enumerate() {
+            writeln!(f, "  L{i}: {layout}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_group_basics() {
+        let g = ColumnGroup::new(vec![3, 1, 2, 3]);
+        assert_eq!(g.columns(), &[1, 2, 3]);
+        assert_eq!(g.size(), 3);
+        assert!(g.contains(2));
+        assert!(!g.contains(0));
+        assert!(ColumnGroup::new(vec![1, 2]).is_subset_of(&g));
+        assert!(!ColumnGroup::new(vec![0, 1]).is_subset_of(&g));
+        assert!(g.overlaps(&ColumnGroup::new(vec![3, 4])));
+        assert!(!g.overlaps(&ColumnGroup::new(vec![4, 5])));
+        assert!(g.overlaps_projection(&Projection::of([3, 9])));
+        assert!(!g.overlaps_projection(&Projection::of([0, 9])));
+    }
+
+    #[test]
+    fn column_group_display_matches_paper_notation() {
+        assert_eq!(ColumnGroup::range_1based(1, 15).to_string(), "<1-15>");
+        assert_eq!(ColumnGroup::range_1based(28, 30).to_string(), "<28-30>");
+        assert_eq!(ColumnGroup::new(vec![0]).to_string(), "<1>");
+        assert_eq!(ColumnGroup::new(vec![0, 2]).to_string(), "<1,3>");
+    }
+
+    #[test]
+    fn level_layout_constructors() {
+        let schema = Schema::with_columns(10);
+        assert_eq!(LevelLayout::row_oriented(&schema).num_groups(), 1);
+        assert_eq!(LevelLayout::column_oriented(&schema).num_groups(), 10);
+        let equi = LevelLayout::equi_width(&schema, 3);
+        assert_eq!(equi.num_groups(), 4); // 3+3+3+1
+        assert_eq!(equi.groups()[3].size(), 1);
+        for layout in [
+            LevelLayout::row_oriented(&schema),
+            LevelLayout::column_oriented(&schema),
+            equi,
+        ] {
+            layout.validate_partition(&schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn required_groups_matches_paper_examples() {
+        // Paper §5: CGs <A,B>;<C,D>, Π={A,C} -> E^g=2, Π={A,B} -> E^g=1.
+        let layout = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0, 1]),
+            ColumnGroup::new(vec![2, 3]),
+        ]);
+        assert_eq!(layout.required_groups(&Projection::of([0, 2])), 2);
+        assert_eq!(layout.required_groups(&Projection::of([0, 1])), 1);
+        // E^G: Π={A,C} -> (1+2)+(1+2)=6, Π={A,B} -> 3.
+        assert_eq!(layout.required_group_width(&Projection::of([0, 2])), 6);
+        assert_eq!(layout.required_group_width(&Projection::of([0, 1])), 3);
+        assert_eq!(layout.group_of(3), Some(1));
+        assert_eq!(layout.group_of(9), None);
+    }
+
+    #[test]
+    fn partition_validation_rejects_bad_layouts() {
+        let schema = Schema::with_columns(4);
+        // Missing column 3.
+        let l = LevelLayout::new(vec![ColumnGroup::new(vec![0, 1]), ColumnGroup::new(vec![2])]);
+        assert!(l.validate_partition(&schema).is_err());
+        // Duplicate column.
+        let l = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0, 1, 2]),
+            ColumnGroup::new(vec![2, 3]),
+        ]);
+        assert!(l.validate_partition(&schema).is_err());
+        // Out-of-range column.
+        let l = LevelLayout::new(vec![ColumnGroup::new(vec![0, 1, 2, 3, 4])]);
+        assert!(l.validate_partition(&schema).is_err());
+        // Empty group.
+        let l = LevelLayout::new(vec![ColumnGroup::new(vec![]), ColumnGroup::new(vec![0, 1, 2, 3])]);
+        assert!(l.validate_partition(&schema).is_err());
+    }
+
+    #[test]
+    fn containment_constraint() {
+        // Paper §3.2: level-1 has <A,B>;<C,D>. <B,C> is not valid below it.
+        let upper = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0, 1]),
+            ColumnGroup::new(vec![2, 3]),
+        ]);
+        let ok = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0]),
+            ColumnGroup::new(vec![1]),
+            ColumnGroup::new(vec![2, 3]),
+        ]);
+        let bad = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0]),
+            ColumnGroup::new(vec![1, 2]),
+            ColumnGroup::new(vec![3]),
+        ]);
+        assert!(ok.is_contained_in(&upper));
+        assert!(!bad.is_contained_in(&upper));
+    }
+
+    #[test]
+    fn builtin_designs_are_valid() {
+        let narrow = Schema::narrow();
+        let wide = Schema::wide();
+        for spec in [
+            LayoutSpec::row_store(&narrow, 8),
+            LayoutSpec::column_store(&narrow, 8),
+            LayoutSpec::equi_width(&narrow, 8, 2),
+            LayoutSpec::equi_width(&narrow, 8, 3),
+            LayoutSpec::equi_width(&narrow, 8, 6),
+            LayoutSpec::equi_width(&narrow, 8, 15),
+            LayoutSpec::htap_simple(&narrow, 8, 6),
+            LayoutSpec::d_opt_paper(&narrow).unwrap(),
+            LayoutSpec::column_store(&wide, 5),
+            LayoutSpec::equi_width(&wide, 5, 10),
+        ] {
+            spec.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name()));
+        }
+    }
+
+    #[test]
+    fn spec_rejects_invalid_constructions() {
+        let schema = Schema::with_columns(4);
+        // Level 0 not row-oriented.
+        let bad = LayoutSpec::new(
+            schema.clone(),
+            vec![LevelLayout::column_oriented(&schema)],
+            "bad",
+        );
+        assert!(bad.is_err());
+        // Containment violated between levels 1 and 2.
+        let bad = LayoutSpec::new(
+            schema.clone(),
+            vec![
+                LevelLayout::row_oriented(&schema),
+                LevelLayout::new(vec![ColumnGroup::new(vec![0, 1]), ColumnGroup::new(vec![2, 3])]),
+                LevelLayout::new(vec![ColumnGroup::new(vec![0]), ColumnGroup::new(vec![1, 2]), ColumnGroup::new(vec![3])]),
+            ],
+            "bad",
+        );
+        assert!(bad.is_err());
+        // Empty spec.
+        assert!(LayoutSpec::new(schema, vec![], "bad").is_err());
+    }
+
+    #[test]
+    fn d_opt_matches_figure_9b() {
+        let spec = LayoutSpec::d_opt_paper(&Schema::narrow()).unwrap();
+        assert_eq!(spec.num_levels(), 8);
+        assert_eq!(spec.groups_per_level(), vec![1, 1, 2, 2, 3, 3, 4, 4]);
+        assert_eq!(spec.level(6).groups()[3].to_string(), "<28-30>");
+        assert_eq!(spec.level(2).groups()[0].to_string(), "<1-15>");
+        // Requesting a level beyond the spec clamps to the deepest layout.
+        assert_eq!(spec.level(20).num_groups(), 4);
+        assert!(LayoutSpec::d_opt_paper(&Schema::wide()).is_err());
+    }
+
+    #[test]
+    fn spec_display_lists_levels() {
+        let spec = LayoutSpec::equi_width(&Schema::with_columns(4), 3, 2);
+        let text = spec.to_string();
+        assert!(text.contains("L0: <1-4>"));
+        assert!(text.contains("L1: <1-2><3-4>"));
+    }
+}

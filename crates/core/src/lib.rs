@@ -1,0 +1,65 @@
+//! # laser-core
+//!
+//! LASER — a Lifecycle-Aware Storage Engine for Real-time analytics — built
+//! on a **Real-Time LSM-Tree**: an LSM-Tree in which every on-disk level may
+//! store its data in a different column-group layout, from purely
+//! row-oriented (recent data, OLTP access) to purely column-oriented (old
+//! data, OLAP access). This crate reproduces the system described in
+//! "Real-Time LSM-Trees for HTAP Workloads" (Saxena, Golab, Idreos, Ilyas —
+//! ICDE 2023) on top of the from-scratch LSM substrate in `lsm-storage`.
+//!
+//! ## Concepts
+//!
+//! * [`schema::Schema`] / [`schema::Projection`] — tables with an integer key
+//!   and `c` payload columns; projections are the column sets queries touch.
+//! * [`layout::ColumnGroup`] / [`layout::LevelLayout`] / [`layout::LayoutSpec`]
+//!   — the design space of Real-Time LSM-Trees (Section 3), including the
+//!   paper's baselines (`rocksdb-row`, `rocksdb-col`, `cg-size-k`,
+//!   `HTAP-simple`) and the advisor's `D-opt` design (Figure 9b).
+//! * [`row::RowFragment`] — full rows, partial rows (column updates, §4.2) and
+//!   column-group fragments (§4.1), all with the same encoding.
+//! * [`iters`] — `ColumnMergingIterator` and `LevelMergingIterator` (§4.3–4.4).
+//! * [`db::LaserDb`] — the engine: `insert`, `read(key, Π)`, `scan(lo, hi, Π)`,
+//!   `update(key, valueΠ)`, `delete`, flush, and CG-local compaction that
+//!   changes the data layout as records age through the levels.
+//! * [`stats`] — per-level workload profiling consumed by the design advisor.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use laser_core::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema, Value};
+//!
+//! let schema = Schema::with_columns(8);
+//! let design = LayoutSpec::equi_width(&schema, 6, 2);
+//! let db = LaserDb::open_in_memory(LaserOptions::small_for_tests(design)).unwrap();
+//!
+//! db.insert_int_row(1, 100).unwrap();
+//! db.update(1, vec![(3, Value::Int(-1))]).unwrap();
+//! let row = db.read(1, &Projection::of([0, 3])).unwrap().unwrap();
+//! assert_eq!(row.get(3), Some(&Value::Int(-1)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod db;
+pub mod iters;
+pub mod layout;
+pub mod options;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use db::{LaserDb, LevelSummary};
+pub use iters::{ColumnMergingIterator, ConcatIterator, FragmentSource, LevelMergingIterator};
+pub use layout::{ColumnGroup, LayoutSpec, LevelLayout};
+pub use options::LaserOptions;
+pub use row::RowFragment;
+pub use schema::{ColumnId, Projection, Schema};
+pub use stats::{EngineStats, EngineStatsSnapshot, LevelProfile};
+pub use value::Value;
+
+/// Re-export of the storage substrate for callers that need direct access to
+/// storage backends, I/O statistics or the plain key-value LSM engine.
+pub use lsm_storage;

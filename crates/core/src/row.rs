@@ -1,0 +1,329 @@
+//! Rows and row fragments.
+//!
+//! A [`RowFragment`] is a set of `(column id, value)` pairs for one key. It
+//! represents, uniformly:
+//!
+//! * a complete row (every schema column present) — an insert;
+//! * a partial row (a subset of columns) — a LASER column update (§4.2);
+//! * a column-group fragment stored in one CG's sorted run (§4.1, the
+//!   "simulated column-group representation": the key is stored alongside the
+//!   CG's column values).
+//!
+//! Fragments are encoded as a presence bitmap over the schema's columns
+//! followed by the encoded values of the present columns in ascending column
+//! order. Merging fragments (newer over older) implements the paper's
+//! partial-row semantics: `100:-,b',c',-` merged with `100:a,b,c,d` gives
+//! `100:a,b',c',d`.
+
+use crate::schema::{ColumnId, Projection, Schema};
+use crate::value::Value;
+use lsm_storage::{Error, Result};
+
+/// A set of column values for a single key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowFragment {
+    /// Present columns, sorted by column id.
+    cells: Vec<(ColumnId, Value)>,
+}
+
+impl RowFragment {
+    /// An empty fragment.
+    pub fn empty() -> Self {
+        RowFragment::default()
+    }
+
+    /// Builds a fragment from `(column, value)` pairs (need not be sorted).
+    pub fn from_cells(mut cells: Vec<(ColumnId, Value)>) -> Self {
+        cells.sort_by_key(|(c, _)| *c);
+        cells.dedup_by_key(|(c, _)| *c);
+        RowFragment { cells }
+    }
+
+    /// Builds a complete row over `schema` from values in column order.
+    /// Panics if the number of values does not match the schema width.
+    pub fn full_row(schema: &Schema, values: Vec<Value>) -> Self {
+        assert_eq!(
+            values.len(),
+            schema.num_columns(),
+            "full_row requires one value per schema column"
+        );
+        RowFragment { cells: values.into_iter().enumerate().collect() }
+    }
+
+    /// Builds the benchmark's integer row: column `ai` gets value `base + i`.
+    pub fn int_row(schema: &Schema, base: i64) -> Self {
+        RowFragment {
+            cells: (0..schema.num_columns())
+                .map(|c| (c, Value::Int(base + c as i64 + 1)))
+                .collect(),
+        }
+    }
+
+    /// Number of present columns.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns true if no columns are present.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Returns the value of `col`, if present.
+    pub fn get(&self, col: ColumnId) -> Option<&Value> {
+        self.cells
+            .binary_search_by_key(&col, |(c, _)| *c)
+            .ok()
+            .map(|i| &self.cells[i].1)
+    }
+
+    /// Sets (or replaces) the value of `col`.
+    pub fn set(&mut self, col: ColumnId, value: Value) {
+        match self.cells.binary_search_by_key(&col, |(c, _)| *c) {
+            Ok(i) => self.cells[i].1 = value,
+            Err(i) => self.cells.insert(i, (col, value)),
+        }
+    }
+
+    /// Returns true if `col` is present.
+    pub fn contains(&self, col: ColumnId) -> bool {
+        self.get(col).is_some()
+    }
+
+    /// Iterates `(column, value)` pairs in ascending column order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnId, &Value)> {
+        self.cells.iter().map(|(c, v)| (*c, v))
+    }
+
+    /// The set of present columns as a [`Projection`].
+    pub fn columns(&self) -> Projection {
+        Projection::of(self.cells.iter().map(|(c, _)| *c))
+    }
+
+    /// Returns true if every schema column is present.
+    pub fn is_complete(&self, schema: &Schema) -> bool {
+        self.len() == schema.num_columns()
+            && self.cells.iter().enumerate().all(|(i, (c, _))| i == *c)
+    }
+
+    /// Returns true if every column of `cols` is present.
+    pub fn covers(&self, cols: &Projection) -> bool {
+        cols.iter().all(|c| self.contains(c))
+    }
+
+    /// Returns a new fragment restricted to the columns in `cols`.
+    pub fn restrict(&self, cols: &[ColumnId]) -> RowFragment {
+        RowFragment {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(c, _)| cols.contains(c))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Returns a new fragment restricted to a [`Projection`].
+    pub fn project(&self, projection: &Projection) -> RowFragment {
+        RowFragment {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(c, _)| projection.contains(*c))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Overlays `self` (newer) on top of `older`, returning the merged
+    /// fragment: columns present in `self` win; other columns come from
+    /// `older`. This is the paper's §4.2 merge of partial rows.
+    pub fn merge_over(&self, older: &RowFragment) -> RowFragment {
+        let mut merged = older.clone();
+        for (c, v) in &self.cells {
+            merged.set(*c, v.clone());
+        }
+        merged
+    }
+
+    /// Adds every column of `other` that is not already present. Used when
+    /// accumulating newest-first: earlier (newer) values are never overwritten.
+    pub fn fill_missing_from(&mut self, other: &RowFragment) {
+        for (c, v) in &other.cells {
+            if !self.contains(*c) {
+                self.set(*c, v.clone());
+            }
+        }
+    }
+
+    /// Approximate in-memory size of the fragment in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cells.iter().map(|(_, v)| v.size_bytes() + 4).sum()
+    }
+
+    /// Encodes the fragment for storage: presence bitmap over
+    /// `schema_columns` bits, then the present values in column order.
+    pub fn encode(&self, schema_columns: usize) -> Vec<u8> {
+        let bitmap_len = schema_columns.div_ceil(8);
+        let mut out = vec![0u8; bitmap_len];
+        for (c, _) in &self.cells {
+            debug_assert!(*c < schema_columns, "column id out of schema range");
+            out[c / 8] |= 1 << (c % 8);
+        }
+        for (_, v) in &self.cells {
+            v.encode_to(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a fragment encoded by [`RowFragment::encode`].
+    pub fn decode(buf: &[u8], schema_columns: usize) -> Result<RowFragment> {
+        let bitmap_len = schema_columns.div_ceil(8);
+        if buf.len() < bitmap_len {
+            return Err(Error::corruption("row fragment shorter than its bitmap"));
+        }
+        let (bitmap, mut rest) = buf.split_at(bitmap_len);
+        let mut cells = Vec::new();
+        for c in 0..schema_columns {
+            if bitmap[c / 8] & (1 << (c % 8)) != 0 {
+                let (v, n) = Value::decode(rest)?;
+                cells.push((c, v));
+                rest = &rest[n..];
+            }
+        }
+        if !rest.is_empty() {
+            return Err(Error::corruption("trailing bytes after row fragment"));
+        }
+        Ok(RowFragment { cells })
+    }
+}
+
+impl FromIterator<(ColumnId, Value)> for RowFragment {
+    fn from_iter<T: IntoIterator<Item = (ColumnId, Value)>>(iter: T) -> Self {
+        RowFragment::from_cells(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(cells: &[(usize, i64)]) -> RowFragment {
+        RowFragment::from_cells(cells.iter().map(|&(c, v)| (c, Value::Int(v))).collect())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let f = frag(&[(3, 30), (1, 10), (2, 20)]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get(1), Some(&Value::Int(10)));
+        assert_eq!(f.get(0), None);
+        assert!(f.contains(3));
+        assert!(!f.contains(0));
+        assert_eq!(f.columns().to_vec(), vec![1, 2, 3]);
+        let order: Vec<ColumnId> = f.iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn full_row_and_completeness() {
+        let schema = Schema::with_columns(4);
+        let row = RowFragment::full_row(&schema, vec![1.into(), 2.into(), 3.into(), 4.into()]);
+        assert!(row.is_complete(&schema));
+        assert!(!frag(&[(0, 1), (2, 3)]).is_complete(&schema));
+        let int_row = RowFragment::int_row(&schema, 100);
+        assert!(int_row.is_complete(&schema));
+        assert_eq!(int_row.get(2), Some(&Value::Int(103)));
+    }
+
+    #[test]
+    fn restrict_and_project() {
+        let f = frag(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = f.restrict(&[1, 3, 9]);
+        assert_eq!(r.columns().to_vec(), vec![1, 3]);
+        let p = f.project(&Projection::of([0, 2]));
+        assert_eq!(p.columns().to_vec(), vec![0, 2]);
+        assert!(f.covers(&Projection::of([1, 2])));
+        assert!(!f.covers(&Projection::of([1, 7])));
+    }
+
+    #[test]
+    fn merge_over_matches_paper_example() {
+        // Key 100: update of columns B,C over the full row a,b,c,d (paper §4.2).
+        let older = frag(&[(0, 1), (1, 2), (2, 3), (3, 4)]); // a,b,c,d
+        let newer = frag(&[(1, 20), (2, 30)]); // -,b',c',-
+        let merged = newer.merge_over(&older);
+        assert_eq!(merged.get(0), Some(&Value::Int(1)));
+        assert_eq!(merged.get(1), Some(&Value::Int(20)));
+        assert_eq!(merged.get(2), Some(&Value::Int(30)));
+        assert_eq!(merged.get(3), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn fill_missing_does_not_overwrite() {
+        let mut acc = frag(&[(1, 100)]);
+        acc.fill_missing_from(&frag(&[(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(acc.get(0), Some(&Value::Int(1)));
+        assert_eq!(acc.get(1), Some(&Value::Int(100)), "newer value must win");
+        assert_eq!(acc.get(2), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for schema_cols in [1usize, 8, 9, 30, 100] {
+            let cells: Vec<(ColumnId, Value)> = (0..schema_cols)
+                .step_by(3)
+                .map(|c| (c, Value::Int(c as i64 * 7 - 5)))
+                .collect();
+            let f = RowFragment::from_cells(cells);
+            let enc = f.encode(schema_cols);
+            let dec = RowFragment::decode(&enc, schema_cols).unwrap();
+            assert_eq!(dec, f);
+        }
+    }
+
+    #[test]
+    fn encode_decode_empty_fragment() {
+        let f = RowFragment::empty();
+        let enc = f.encode(30);
+        assert_eq!(enc.len(), 4); // just the bitmap
+        assert_eq!(RowFragment::decode(&enc, 30).unwrap(), f);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let f = frag(&[(0, 1), (5, 2)]);
+        let enc = f.encode(8);
+        assert!(RowFragment::decode(&enc[..enc.len() - 1], 8).is_err());
+        let mut extended = enc.clone();
+        extended.push(0);
+        assert!(RowFragment::decode(&extended, 8).is_err());
+        assert!(RowFragment::decode(&[], 8).is_err());
+    }
+
+    #[test]
+    fn mixed_value_types_roundtrip() {
+        let f = RowFragment::from_cells(vec![
+            (0, Value::Int(-3)),
+            (2, Value::Float(1.25)),
+            (4, Value::string("hello")),
+        ]);
+        let enc = f.encode(6);
+        assert_eq!(RowFragment::decode(&enc, 6).unwrap(), f);
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut f = frag(&[(1, 1)]);
+        f.set(1, Value::Int(2));
+        f.set(0, Value::Int(0));
+        assert_eq!(f.get(1), Some(&Value::Int(2)));
+        assert_eq!(f.columns().to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_cells_dedups_keeping_first() {
+        let f = RowFragment::from_cells(vec![(1, Value::Int(10)), (1, Value::Int(20))]);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Table schema and projections.
+//!
+//! A table has a 64-bit integer primary key (the paper's `a0`) and `c`
+//! payload columns `a1..ac`. A [`Projection`] is the set of payload columns a
+//! query touches (the paper's `Π`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a payload column: 0-based index into the schema.
+pub type ColumnId = usize;
+
+/// A table schema: ordered payload column names (the key column is implicit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Schema { columns }
+    }
+
+    /// Creates a schema with `c` integer payload columns named `a1..ac`,
+    /// matching the paper's benchmark tables (narrow: c=30, wide: c=100).
+    pub fn with_columns(c: usize) -> Self {
+        Schema { columns: (1..=c).map(|i| format!("a{i}")).collect() }
+    }
+
+    /// The paper's narrow table: 30 payload columns.
+    pub fn narrow() -> Self {
+        Self::with_columns(30)
+    }
+
+    /// The paper's wide table: 100 payload columns.
+    pub fn wide() -> Self {
+        Self::with_columns(100)
+    }
+
+    /// Number of payload columns (`c` in the paper).
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Name of column `id`.
+    pub fn column_name(&self, id: ColumnId) -> Option<&str> {
+        self.columns.get(id).map(|s| s.as_str())
+    }
+
+    /// Looks up a column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All column ids.
+    pub fn all_columns(&self) -> Vec<ColumnId> {
+        (0..self.columns.len()).collect()
+    }
+
+    /// Returns true if `id` is a valid column of this schema.
+    pub fn contains(&self, id: ColumnId) -> bool {
+        id < self.columns.len()
+    }
+}
+
+/// A set of projected payload columns (the paper's `Π`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Projection {
+    columns: BTreeSet<ColumnId>,
+}
+
+impl Projection {
+    /// An empty projection.
+    pub fn empty() -> Self {
+        Projection::default()
+    }
+
+    /// A projection over the given columns.
+    pub fn of(columns: impl IntoIterator<Item = ColumnId>) -> Self {
+        Projection { columns: columns.into_iter().collect() }
+    }
+
+    /// Every column of `schema`.
+    pub fn all(schema: &Schema) -> Self {
+        Projection::of(schema.all_columns())
+    }
+
+    /// A contiguous range of columns `[start, end]` using the paper's 1-based
+    /// numbering (`columns 16-30` → `Projection::range_1based(16, 30)`).
+    pub fn range_1based(start: usize, end: usize) -> Self {
+        Projection::of((start..=end).map(|i| i - 1))
+    }
+
+    /// Number of projected columns (`|Π|`).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns true if no columns are projected.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Returns true if `col` is projected.
+    pub fn contains(&self, col: ColumnId) -> bool {
+        self.columns.contains(&col)
+    }
+
+    /// Iterates the projected columns in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.columns.iter().copied()
+    }
+
+    /// Returns the projected columns as a vector.
+    pub fn to_vec(&self) -> Vec<ColumnId> {
+        self.columns.iter().copied().collect()
+    }
+
+    /// Returns true if this projection intersects `other` (any shared column).
+    pub fn intersects(&self, other: &[ColumnId]) -> bool {
+        other.iter().any(|c| self.columns.contains(c))
+    }
+
+    /// Returns the intersection with a column list.
+    pub fn intersect(&self, other: &[ColumnId]) -> Projection {
+        Projection::of(other.iter().copied().filter(|c| self.columns.contains(c)))
+    }
+
+    /// Returns true if every column of this projection appears in `other`.
+    pub fn is_subset_of(&self, other: &[ColumnId]) -> bool {
+        self.columns.iter().all(|c| other.contains(c))
+    }
+
+    /// Adds a column.
+    pub fn insert(&mut self, col: ColumnId) {
+        self.columns.insert(col);
+    }
+
+    /// Removes a column.
+    pub fn remove(&mut self, col: ColumnId) {
+        self.columns.remove(&col);
+    }
+
+    /// Set difference: columns in `self` but not in `other`.
+    pub fn difference(&self, other: &Projection) -> Projection {
+        Projection { columns: self.columns.difference(&other.columns).copied().collect() }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Projection) -> Projection {
+        Projection { columns: self.columns.union(&other.columns).copied().collect() }
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.columns.iter().map(|c| format!("a{}", c + 1)).collect();
+        write!(f, "{{{}}}", cols.join(","))
+    }
+}
+
+impl FromIterator<ColumnId> for Projection {
+    fn from_iter<T: IntoIterator<Item = ColumnId>>(iter: T) -> Self {
+        Projection::of(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_construction() {
+        let s = Schema::narrow();
+        assert_eq!(s.num_columns(), 30);
+        assert_eq!(s.column_name(0), Some("a1"));
+        assert_eq!(s.column_name(29), Some("a30"));
+        assert_eq!(s.column_name(30), None);
+        assert_eq!(s.column_id("a15"), Some(14));
+        assert_eq!(s.column_id("bogus"), None);
+        assert!(s.contains(29));
+        assert!(!s.contains(30));
+        assert_eq!(Schema::wide().num_columns(), 100);
+        let custom = Schema::new(vec!["price".into(), "qty".into()]);
+        assert_eq!(custom.column_id("qty"), Some(1));
+    }
+
+    #[test]
+    fn projection_basics() {
+        let p = Projection::of([2, 0, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(0));
+        assert!(!p.contains(1));
+        assert_eq!(p.to_vec(), vec![0, 2, 5]);
+        assert!(Projection::empty().is_empty());
+    }
+
+    #[test]
+    fn projection_range_is_1based() {
+        // "columns 16-30" in the paper = ids 15..=29.
+        let p = Projection::range_1based(16, 30);
+        assert_eq!(p.len(), 15);
+        assert!(p.contains(15));
+        assert!(p.contains(29));
+        assert!(!p.contains(14));
+    }
+
+    #[test]
+    fn projection_set_operations() {
+        let a = Projection::of([0, 1, 2, 3]);
+        let b = Projection::of([2, 3, 4]);
+        assert_eq!(a.intersect(&[2, 3, 4]).to_vec(), vec![2, 3]);
+        assert!(a.intersects(&[3, 9]));
+        assert!(!a.intersects(&[9, 10]));
+        assert!(Projection::of([2, 3]).is_subset_of(&[1, 2, 3, 4]));
+        assert!(!Projection::of([2, 5]).is_subset_of(&[1, 2, 3, 4]));
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 1]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn projection_all_and_display() {
+        let s = Schema::with_columns(4);
+        let p = Projection::all(&s);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.to_string(), "{a1,a2,a3,a4}");
+    }
+
+    #[test]
+    fn projection_mutation() {
+        let mut p = Projection::empty();
+        p.insert(3);
+        p.insert(1);
+        p.insert(3);
+        assert_eq!(p.to_vec(), vec![1, 3]);
+        p.remove(1);
+        assert_eq!(p.to_vec(), vec![3]);
+    }
+}

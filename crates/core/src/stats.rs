@@ -1,0 +1,241 @@
+//! Engine statistics: per-operation counters, per-level access profiling and
+//! write-amplification accounting.
+//!
+//! The per-level profile is what the design advisor (Section 6.1: "Profiling
+//! the workload wl_i at each level allows us to determine w, p_i, q_i, u_i and
+//! s_i") consumes, and what EXPERIMENTS.md reports alongside the paper's
+//! figures.
+
+use parking_lot::Mutex;
+
+use crate::schema::Projection;
+
+/// Per-level workload observation: how many operations of each kind were
+/// served at that level and with which projections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelProfile {
+    /// Point reads that touched this level (`p_i`).
+    pub point_reads: u64,
+    /// Column groups fetched by point reads at this level (sums `E^g_i`).
+    pub point_read_groups_fetched: u64,
+    /// Range scans that touched this level (`q_i`).
+    pub scans: u64,
+    /// Entries returned by scans from this level (`s_i`, summed).
+    pub scan_entries: u64,
+    /// Updates whose columns were eventually merged at this level (`u_i`).
+    pub updates: u64,
+    /// Projections observed at this level (reads, scans and updates),
+    /// with multiplicity. The advisor splits candidate column groups on these.
+    pub projections: Vec<(Projection, u64)>,
+}
+
+impl LevelProfile {
+    /// Records one occurrence of a projection.
+    pub fn record_projection(&mut self, projection: &Projection) {
+        if let Some(entry) = self.projections.iter_mut().find(|(p, _)| p == projection) {
+            entry.1 += 1;
+        } else {
+            self.projections.push((projection.clone(), 1));
+        }
+    }
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStatsSnapshot {
+    /// Number of insert operations.
+    pub inserts: u64,
+    /// Number of update (partial-row) operations.
+    pub updates: u64,
+    /// Number of delete operations.
+    pub deletes: u64,
+    /// Number of point reads.
+    pub point_reads: u64,
+    /// Number of range scans.
+    pub scans: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compaction jobs executed.
+    pub compactions: u64,
+    /// Bytes written by flushes and compactions (write amplification).
+    pub compaction_bytes_written: u64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: u64,
+    /// Entries written by flushes and compactions.
+    pub compaction_entries_written: u64,
+    /// Per-level access profile.
+    pub levels: Vec<LevelProfile>,
+}
+
+impl EngineStatsSnapshot {
+    /// Total column groups fetched by point reads across all levels
+    /// (the empirical counterpart of Equation 5 summed over the workload).
+    pub fn total_point_read_groups(&self) -> u64 {
+        self.levels.iter().map(|l| l.point_read_groups_fetched).sum()
+    }
+}
+
+/// Thread-safe statistics collector owned by the engine.
+#[derive(Debug)]
+pub struct EngineStats {
+    inner: Mutex<EngineStatsSnapshot>,
+}
+
+impl EngineStats {
+    /// Creates a collector for a tree with `num_levels` levels.
+    pub fn new(num_levels: usize) -> Self {
+        EngineStats {
+            inner: Mutex::new(EngineStatsSnapshot {
+                levels: vec![LevelProfile::default(); num_levels],
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Records an insert.
+    pub fn record_insert(&self) {
+        self.inner.lock().inserts += 1;
+    }
+
+    /// Records an update.
+    pub fn record_update(&self) {
+        self.inner.lock().updates += 1;
+    }
+
+    /// Records a delete.
+    pub fn record_delete(&self) {
+        self.inner.lock().deletes += 1;
+    }
+
+    /// Records a point read that fetched `groups_fetched` CGs at `level`.
+    pub fn record_point_read_level(&self, level: usize, groups_fetched: u64, projection: &Projection) {
+        let mut inner = self.inner.lock();
+        if let Some(profile) = inner.levels.get_mut(level) {
+            profile.point_reads += 1;
+            profile.point_read_groups_fetched += groups_fetched;
+            profile.record_projection(projection);
+        }
+    }
+
+    /// Records the completion of a point read.
+    pub fn record_point_read(&self) {
+        self.inner.lock().point_reads += 1;
+    }
+
+    /// Records a scan that returned `entries` entries from `level`.
+    pub fn record_scan_level(&self, level: usize, entries: u64, projection: &Projection) {
+        let mut inner = self.inner.lock();
+        if let Some(profile) = inner.levels.get_mut(level) {
+            profile.scans += 1;
+            profile.scan_entries += entries;
+            profile.record_projection(projection);
+        }
+    }
+
+    /// Records the completion of a range scan.
+    pub fn record_scan(&self) {
+        self.inner.lock().scans += 1;
+    }
+
+    /// Records an update projection profile against `level`.
+    pub fn record_update_level(&self, level: usize, projection: &Projection) {
+        let mut inner = self.inner.lock();
+        if let Some(profile) = inner.levels.get_mut(level) {
+            profile.updates += 1;
+            profile.record_projection(projection);
+        }
+    }
+
+    /// Records a flush that wrote `bytes` / `entries`.
+    pub fn record_flush(&self, bytes: u64, entries: u64) {
+        let mut inner = self.inner.lock();
+        inner.flushes += 1;
+        inner.compaction_bytes_written += bytes;
+        inner.compaction_entries_written += entries;
+    }
+
+    /// Records a compaction job.
+    pub fn record_compaction(&self, bytes_read: u64, bytes_written: u64, entries: u64) {
+        let mut inner = self.inner.lock();
+        inner.compactions += 1;
+        inner.compaction_bytes_read += bytes_read;
+        inner.compaction_bytes_written += bytes_written;
+        inner.compaction_entries_written += entries;
+    }
+
+    /// Returns a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        self.inner.lock().clone()
+    }
+
+    /// Resets every counter (level profiles keep their size).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        let levels = inner.levels.len();
+        *inner = EngineStatsSnapshot {
+            levels: vec![LevelProfile::default(); levels],
+            ..Default::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = EngineStats::new(4);
+        stats.record_insert();
+        stats.record_insert();
+        stats.record_update();
+        stats.record_delete();
+        stats.record_point_read();
+        stats.record_scan();
+        stats.record_flush(1000, 10);
+        stats.record_compaction(500, 800, 8);
+        let snap = stats.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.updates, 1);
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.point_reads, 1);
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.compactions, 1);
+        assert_eq!(snap.compaction_bytes_written, 1800);
+        assert_eq!(snap.compaction_bytes_read, 500);
+        assert_eq!(snap.compaction_entries_written, 18);
+    }
+
+    #[test]
+    fn per_level_profiles() {
+        let stats = EngineStats::new(3);
+        let proj = Projection::of([0, 1]);
+        stats.record_point_read_level(1, 2, &proj);
+        stats.record_point_read_level(1, 1, &proj);
+        stats.record_scan_level(2, 100, &Projection::of([5]));
+        stats.record_update_level(0, &proj);
+        let snap = stats.snapshot();
+        assert_eq!(snap.levels[1].point_reads, 2);
+        assert_eq!(snap.levels[1].point_read_groups_fetched, 3);
+        assert_eq!(snap.levels[1].projections, vec![(proj.clone(), 2)]);
+        assert_eq!(snap.levels[2].scans, 1);
+        assert_eq!(snap.levels[2].scan_entries, 100);
+        assert_eq!(snap.levels[0].updates, 1);
+        assert_eq!(snap.total_point_read_groups(), 3);
+        // Out-of-range level is ignored, not a panic.
+        stats.record_point_read_level(99, 1, &proj);
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_levels() {
+        let stats = EngineStats::new(5);
+        stats.record_insert();
+        stats.record_point_read_level(3, 1, &Projection::of([0]));
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.inserts, 0);
+        assert_eq!(snap.levels.len(), 5);
+        assert_eq!(snap.levels[3].point_reads, 0);
+    }
+}

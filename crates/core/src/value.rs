@@ -1,0 +1,236 @@
+//! Cell values and their binary encoding.
+//!
+//! The HTAP benchmark of the paper uses integer columns, but the engine is
+//! value-type agnostic: a cell is an [`Value`] (integer, float or byte
+//! string). Values are encoded compactly (zig-zag varints for integers) so
+//! the storage-size experiment of Section 4.1 is meaningful.
+
+use lsm_storage::coding::{get_varint64, put_varint64};
+use lsm_storage::{Error, Result};
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer (covers the benchmark's 4-byte int columns).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An arbitrary byte string.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Convenience constructor for integer values.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for string values.
+    pub fn string(s: impl Into<String>) -> Self {
+        Value::Bytes(s.into().into_bytes())
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is an [`Value::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte payload if this is an [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size of the value in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Bytes(b) => b.len() + 4,
+        }
+    }
+
+    /// Encodes the value: a one-byte tag followed by the payload.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        match self {
+            Value::Int(v) => {
+                dst.push(0);
+                put_varint64(dst, zigzag_encode(*v));
+            }
+            Value::Float(v) => {
+                dst.push(1);
+                dst.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Bytes(b) => {
+                dst.push(2);
+                put_varint64(dst, b.len() as u64);
+                dst.extend_from_slice(b);
+            }
+        }
+    }
+
+    /// Decodes a value from `src`, returning the value and bytes consumed.
+    pub fn decode(src: &[u8]) -> Result<(Value, usize)> {
+        if src.is_empty() {
+            return Err(Error::corruption("empty value encoding"));
+        }
+        match src[0] {
+            0 => {
+                let (raw, n) = get_varint64(&src[1..])?;
+                Ok((Value::Int(zigzag_decode(raw)), 1 + n))
+            }
+            1 => {
+                if src.len() < 9 {
+                    return Err(Error::corruption("truncated float value"));
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&src[1..9]);
+                Ok((Value::Float(f64::from_le_bytes(b)), 9))
+            }
+            2 => {
+                let (len, n) = get_varint64(&src[1..])?;
+                let len = len as usize;
+                if src.len() < 1 + n + len {
+                    return Err(Error::corruption("truncated bytes value"));
+                }
+                Ok((Value::Bytes(src[1 + n..1 + n + len].to_vec()), 1 + n + len))
+            }
+            t => Err(Error::corruption(format!("unknown value tag {t}"))),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Bytes(v.as_bytes().to_vec())
+    }
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 40] {
+            let mut buf = Vec::new();
+            Value::Int(v).encode_to(&mut buf);
+            let (decoded, n) = Value::decode(&buf).unwrap();
+            assert_eq!(decoded, Value::Int(v));
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_ints_encode_compactly() {
+        let mut buf = Vec::new();
+        Value::Int(5).encode_to(&mut buf);
+        assert!(buf.len() <= 2, "small int should take <= 2 bytes, took {}", buf.len());
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+            let mut buf = Vec::new();
+            Value::Float(v).encode_to(&mut buf);
+            let (decoded, _) = Value::decode(&buf).unwrap();
+            assert_eq!(decoded, Value::Float(v));
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for v in [b"".to_vec(), b"hello".to_vec(), vec![0u8; 1000]] {
+            let mut buf = Vec::new();
+            Value::Bytes(v.clone()).encode_to(&mut buf);
+            let (decoded, n) = Value::decode(&buf).unwrap();
+            assert_eq!(decoded, Value::Bytes(v));
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_values_decode_sequentially() {
+        let values = vec![Value::Int(-7), Value::string("abc"), Value::Float(2.5)];
+        let mut buf = Vec::new();
+        for v in &values {
+            v.encode_to(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (v, n) = Value::decode(&buf[pos..]).unwrap();
+            decoded.push(v);
+            pos += n;
+        }
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn corrupt_values_rejected() {
+        assert!(Value::decode(&[]).is_err());
+        assert!(Value::decode(&[9, 0]).is_err());
+        assert!(Value::decode(&[1, 0, 0]).is_err());
+        assert!(Value::decode(&[2, 10, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::string("x").as_bytes(), Some(&b"x"[..]));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::Bytes(b"hi".to_vec()));
+        assert!(Value::Bytes(vec![0; 10]).size_bytes() >= 10);
+    }
+
+    #[test]
+    fn zigzag_properties() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        for v in [-1000i64, -3, 0, 3, 1000, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+}

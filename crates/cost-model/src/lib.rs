@@ -1,0 +1,309 @@
+//! # laser-cost-model
+//!
+//! The analytic cost model of the LASER paper (Sections 2.2 and 5): closed-form
+//! I/O costs for inserts, point lookups, range scans, updates and space
+//! amplification, for row-style, column-style and arbitrary Real-Time
+//! LSM-Tree designs, plus the per-level workload cost of Equation 9 used by
+//! the design advisor and the Table 2 summary.
+//!
+//! All costs are expressed in block I/Os, exactly as the paper expresses them;
+//! the benchmark harness compares these predictions against the block
+//! counters of the instrumented storage backend.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use laser_core::{LayoutSpec, Projection};
+
+pub mod table2;
+pub mod workload_cost;
+
+pub use table2::{table2_rows, Table2Row};
+pub use workload_cost::{level_workload_cost, total_workload_cost, LevelWorkload, WorkloadCounts};
+
+/// Structural parameters of an LSM-Tree (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParameters {
+    /// `N` — total number of entries.
+    pub num_entries: u64,
+    /// `T` — size ratio between adjacent levels.
+    pub size_ratio: u64,
+    /// `B` — number of row-style entries per block.
+    pub entries_per_block: f64,
+    /// `pg` — number of blocks in Level-0.
+    pub level0_blocks: u64,
+    /// `c` — number of payload columns.
+    pub num_columns: usize,
+}
+
+impl TreeParameters {
+    /// Parameters for the paper's narrow-table configuration (30 columns).
+    pub fn narrow_example() -> Self {
+        // 4 KiB blocks, ~128-byte rows -> B ≈ 32; Level-0 of 64 MiB -> pg = 16384.
+        TreeParameters {
+            num_entries: 400_000_000,
+            size_ratio: 2,
+            entries_per_block: 32.0,
+            level0_blocks: 16_384,
+            num_columns: 30,
+        }
+    }
+
+    /// `L` — number of levels needed to hold `N` entries (Equation 1).
+    pub fn num_levels(&self) -> usize {
+        let t = self.size_ratio as f64;
+        let capacity_l0 = self.entries_per_block * self.level0_blocks as f64;
+        if capacity_l0 <= 0.0 || self.num_entries == 0 {
+            return 1;
+        }
+        let inner = (self.num_entries as f64 / capacity_l0) * ((t - 1.0) / t);
+        inner.log(t).ceil().max(1.0) as usize
+    }
+
+    /// `B_{ji}` — entries per block for a column group of `cg_size` columns
+    /// (Equation 3): `B * (1 + c) / (1 + cg_size)`.
+    pub fn entries_per_block_for_cg(&self, cg_size: usize) -> f64 {
+        self.entries_per_block * (1.0 + self.num_columns as f64) / (1.0 + cg_size as f64)
+    }
+}
+
+/// The analytic cost model for a particular Real-Time LSM-Tree design.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    params: TreeParameters,
+    layout: LayoutSpec,
+    num_levels: usize,
+}
+
+impl CostModel {
+    /// Creates a model for `layout` with the given structural parameters and
+    /// number of levels (levels beyond the layout reuse its deepest entry).
+    pub fn new(params: TreeParameters, layout: LayoutSpec, num_levels: usize) -> Self {
+        CostModel { params, layout, num_levels: num_levels.max(1) }
+    }
+
+    /// The structural parameters.
+    pub fn params(&self) -> &TreeParameters {
+        &self.params
+    }
+
+    /// The design being modelled.
+    pub fn layout(&self) -> &LayoutSpec {
+        &self.layout
+    }
+
+    /// Number of levels modelled.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// `g_i` for level `i`.
+    fn groups_at(&self, level: usize) -> usize {
+        self.layout.level(level).num_groups()
+    }
+
+    /// Insert (write) amplification `W` (Equation 4):
+    /// `T·L/B + (T / (B·c)) · Σ_i g_i`.
+    pub fn insert_amplification(&self) -> f64 {
+        let t = self.params.size_ratio as f64;
+        let b = self.params.entries_per_block;
+        let c = self.params.num_columns as f64;
+        let l = self.num_levels as f64;
+        let sum_groups: f64 = (0..self.num_levels).map(|i| self.groups_at(i) as f64).sum();
+        t * l / b + t * sum_groups / (b * c)
+    }
+
+    /// Point-lookup cost `P` for an existing key (Equation 5): `Σ_i E^g_i`,
+    /// the number of column groups that must be probed across the levels to
+    /// cover the projection.
+    pub fn point_lookup_cost(&self, projection: &Projection) -> f64 {
+        (0..self.num_levels)
+            .map(|i| self.layout.level(i).required_groups(projection) as f64)
+            .sum()
+    }
+
+    /// Range-query cost `Q` (Equation 6): `Σ_i s_i · E^G_i / (c·B)`, where
+    /// `s_i` is the per-level selectivity. `selectivity` is the total number
+    /// of qualifying entries (`s`); it is apportioned across levels by level
+    /// capacity, exactly as Section 5 prescribes.
+    pub fn range_query_cost(&self, projection: &Projection, selectivity: f64) -> f64 {
+        let c = self.params.num_columns as f64;
+        let b = self.params.entries_per_block;
+        let t = self.params.size_ratio as f64;
+        // Level i holds T^i * B * pg entries; fraction of data at level i.
+        let level_capacity: Vec<f64> = (0..self.num_levels).map(|i| t.powi(i as i32)).collect();
+        let total: f64 = level_capacity.iter().sum();
+        (0..self.num_levels)
+            .map(|i| {
+                let s_i = selectivity * level_capacity[i] / total;
+                let e_g = self.layout.level(i).required_group_width(projection) as f64;
+                s_i * e_g / (c * b)
+            })
+            .sum()
+    }
+
+    /// Update amplification `U` (Equation 7): `Σ_i T · E^G_i / (c·B)`.
+    pub fn update_amplification(&self, projection: &Projection) -> f64 {
+        let c = self.params.num_columns as f64;
+        let b = self.params.entries_per_block;
+        let t = self.params.size_ratio as f64;
+        (0..self.num_levels)
+            .map(|i| {
+                let e_g = self.layout.level(i).required_group_width(projection) as f64;
+                t * e_g / (c * b)
+            })
+            .sum()
+    }
+
+    /// Worst-case space amplification (Section 5): `O(1/T)` independent of the
+    /// column-group configuration.
+    pub fn space_amplification(&self) -> f64 {
+        1.0 / self.params.size_ratio as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_core::Schema;
+
+    fn params(c: usize) -> TreeParameters {
+        TreeParameters {
+            num_entries: 1_000_000,
+            size_ratio: 2,
+            entries_per_block: 40.0,
+            level0_blocks: 100,
+            num_columns: c,
+        }
+    }
+
+    #[test]
+    fn equation_1_levels() {
+        let p = TreeParameters {
+            num_entries: 1_000_000,
+            size_ratio: 2,
+            entries_per_block: 40.0,
+            level0_blocks: 100,
+            num_columns: 30,
+        };
+        // capacity L0 = 4000; N*(T-1)/T = 500000; log2(125) ≈ 6.97 -> 7 levels.
+        assert_eq!(p.num_levels(), 7);
+        let p10 = TreeParameters { size_ratio: 10, ..p };
+        // log10(225) ≈ 2.35 -> 3 levels.
+        assert_eq!(p10.num_levels(), 3);
+    }
+
+    #[test]
+    fn equation_3_entries_per_block() {
+        let p = params(4);
+        // Row layout: cg_size = c -> B_ji = B.
+        assert!((p.entries_per_block_for_cg(4) - 40.0).abs() < 1e-9);
+        // Column layout: cg_size = 1 -> B_ji = B(1+c)/2 = 100.
+        assert!((p.entries_per_block_for_cg(1) - 100.0).abs() < 1e-9);
+        // Paper example: c=4, CG <A,B> -> B(1+4)/(1+2) = 5B/3.
+        assert!((p.entries_per_block_for_cg(2) - 40.0 * 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_ordering() {
+        // Row store has the lowest write amplification; column store the
+        // highest; hybrids in between (Equation 4 and Table 2).
+        let schema = Schema::narrow();
+        let p = params(30);
+        let levels = 8;
+        let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
+        let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
+        let hybrid = CostModel::new(p.clone(), LayoutSpec::equi_width(&schema, levels, 6), levels);
+        let w_row = row.insert_amplification();
+        let w_col = col.insert_amplification();
+        let w_hyb = hybrid.insert_amplification();
+        assert!(w_row < w_hyb && w_hyb < w_col, "{w_row} < {w_hyb} < {w_col}");
+        // The column-store overhead over the row store is at most T*L/B
+        // (Section 5: "This overhead is at most TL/B").
+        let t = 2.0;
+        let l = levels as f64;
+        let b = 40.0;
+        assert!(w_col - w_row <= t * l / b + 1e-9);
+    }
+
+    #[test]
+    fn point_lookup_cost_matches_layout() {
+        let schema = Schema::narrow();
+        let p = params(30);
+        let levels = 8;
+        let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
+        let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
+        // Row store: one CG per level regardless of projection.
+        assert_eq!(row.point_lookup_cost(&Projection::of([0])), levels as f64);
+        assert_eq!(row.point_lookup_cost(&Projection::all(&schema)), levels as f64);
+        // Column store: |Π| CGs per level (level 0 is row-oriented -> 1).
+        let narrow = col.point_lookup_cost(&Projection::of([0]));
+        let wide = col.point_lookup_cost(&Projection::all(&schema));
+        assert_eq!(narrow, 1.0 + (levels - 1) as f64);
+        assert_eq!(wide, 1.0 + ((levels - 1) * 30) as f64);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn range_query_cost_trends() {
+        // For narrow projections the column store wins; for full-width
+        // projections the row store wins (Figure 7(c)/(d) trends).
+        let schema = Schema::narrow();
+        let p = params(30);
+        let levels = 8;
+        let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
+        let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
+        let s = 100_000.0;
+        let narrow_proj = Projection::of([0]);
+        let full_proj = Projection::all(&schema);
+        assert!(col.range_query_cost(&narrow_proj, s) < row.range_query_cost(&narrow_proj, s));
+        assert!(row.range_query_cost(&full_proj, s) < col.range_query_cost(&full_proj, s));
+        // Cost grows with selectivity.
+        assert!(row.range_query_cost(&narrow_proj, 2.0 * s) > row.range_query_cost(&narrow_proj, s));
+    }
+
+    #[test]
+    fn update_amplification_trends() {
+        // Updating a single column is cheaper in a column store than a row
+        // store (Table 2: U = T·L·|Π| / (c·B) vs T·L/B).
+        let schema = Schema::narrow();
+        let p = params(30);
+        let levels = 8;
+        let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
+        let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
+        let one_col = Projection::of([3]);
+        assert!(col.update_amplification(&one_col) < row.update_amplification(&one_col));
+        // Updating every column is cheaper in the row store (no per-CG key overhead).
+        let all = Projection::all(&schema);
+        assert!(row.update_amplification(&all) < col.update_amplification(&all));
+    }
+
+    #[test]
+    fn space_amplification_only_depends_on_t() {
+        let schema = Schema::narrow();
+        let p2 = params(30);
+        let mut p10 = params(30);
+        p10.size_ratio = 10;
+        let m2 = CostModel::new(p2, LayoutSpec::row_store(&schema, 4), 4);
+        let m10 = CostModel::new(p10, LayoutSpec::column_store(&schema, 4), 4);
+        assert!((m2.space_amplification() - 0.5).abs() < 1e-12);
+        assert!((m10.space_amplification() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d_opt_costs_sit_between_extremes_for_hw_projections() {
+        let schema = Schema::narrow();
+        let p = params(30);
+        let levels = 8;
+        let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
+        let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
+        let dopt = CostModel::new(p, LayoutSpec::d_opt_paper(&schema).unwrap(), levels);
+        // Q5-style scan: columns 28-30, 50% selectivity.
+        let proj = Projection::range_1based(28, 30);
+        let s = 200_000.0;
+        let q_row = row.range_query_cost(&proj, s);
+        let q_col = col.range_query_cost(&proj, s);
+        let q_dopt = dopt.range_query_cost(&proj, s);
+        assert!(q_col <= q_dopt && q_dopt <= q_row, "{q_col} <= {q_dopt} <= {q_row}");
+    }
+}

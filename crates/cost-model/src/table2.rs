@@ -1,0 +1,129 @@
+//! Table 2 of the paper: closed-form cost summary for the three layout
+//! families (row-style, Real-Time, column-style LSM-Trees).
+
+use crate::{CostModel, TreeParameters};
+use laser_core::{LayoutSpec, Projection, Schema};
+
+/// One row of Table 2, evaluated numerically for a given parameterisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Operation name (`W`, `P`, `Q`, `U`).
+    pub operation: &'static str,
+    /// The symbolic expression for the row-style LSM-Tree (as in the paper).
+    pub row_formula: &'static str,
+    /// The symbolic expression for the Real-Time LSM-Tree.
+    pub realtime_formula: &'static str,
+    /// The symbolic expression for the column-style LSM-Tree.
+    pub column_formula: &'static str,
+    /// Numeric cost for the row-style tree.
+    pub row_cost: f64,
+    /// Numeric cost for the supplied Real-Time design.
+    pub realtime_cost: f64,
+    /// Numeric cost for the column-style tree.
+    pub column_cost: f64,
+}
+
+/// Evaluates Table 2 for a given Real-Time design, projection and selectivity.
+///
+/// `projection` parameterises the `P`, `Q` and `U` rows (the paper's `Π`);
+/// `selectivity` is the number of entries a range query touches (`s`).
+pub fn table2_rows(
+    params: &TreeParameters,
+    realtime: &LayoutSpec,
+    num_levels: usize,
+    projection: &Projection,
+    selectivity: f64,
+) -> Vec<Table2Row> {
+    let schema = Schema::with_columns(params.num_columns);
+    let row_model = CostModel::new(params.clone(), LayoutSpec::row_store(&schema, num_levels), num_levels);
+    let col_model =
+        CostModel::new(params.clone(), LayoutSpec::column_store(&schema, num_levels), num_levels);
+    let rt_model = CostModel::new(params.clone(), realtime.clone(), num_levels);
+
+    vec![
+        Table2Row {
+            operation: "Insert amplification (W)",
+            row_formula: "O(T.L/B)",
+            realtime_formula: "O(T.L/B + T.Σg_i/(B.c))",
+            column_formula: "O(T.L/B)  [+ key overhead ≤ T.L/B]",
+            row_cost: row_model.insert_amplification(),
+            realtime_cost: rt_model.insert_amplification(),
+            column_cost: col_model.insert_amplification(),
+        },
+        Table2Row {
+            operation: "Existing key lookup (P)",
+            row_formula: "O(1) per level (L total)",
+            realtime_formula: "O(Σ E^g_i)",
+            column_formula: "O(|Π|) per level",
+            row_cost: row_model.point_lookup_cost(projection),
+            realtime_cost: rt_model.point_lookup_cost(projection),
+            column_cost: col_model.point_lookup_cost(projection),
+        },
+        Table2Row {
+            operation: "Range query (Q)",
+            row_formula: "O(s/B)",
+            realtime_formula: "O(Σ s_i.E^G_i/(c.B))",
+            column_formula: "O(|Π|.s/(c.B))",
+            row_cost: row_model.range_query_cost(projection, selectivity),
+            realtime_cost: rt_model.range_query_cost(projection, selectivity),
+            column_cost: col_model.range_query_cost(projection, selectivity),
+        },
+        Table2Row {
+            operation: "Update amplification (U)",
+            row_formula: "O(T.L/B)",
+            realtime_formula: "O(Σ T.E^G_i/(c.B))",
+            column_formula: "O(T.L.|Π|/(c.B))",
+            row_cost: row_model.update_amplification(projection),
+            realtime_cost: rt_model.update_amplification(projection),
+            column_cost: col_model.update_amplification(projection),
+        },
+    ]
+}
+
+/// Renders Table 2 as a plain-text table.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>14} {:>14} {:>14}\n",
+        "Operation", "Row-style", "Real-Time", "Column-style"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>14.4} {:>14.4} {:>14.4}\n",
+            r.operation, r.row_cost, r.realtime_cost, r.column_cost
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_four_rows_and_expected_ordering() {
+        let schema = Schema::narrow();
+        let params = TreeParameters {
+            num_entries: 10_000_000,
+            size_ratio: 2,
+            entries_per_block: 32.0,
+            level0_blocks: 1000,
+            num_columns: 30,
+        };
+        let dopt = LayoutSpec::d_opt_paper(&schema).unwrap();
+        // Narrow projection (Q5-style) with 50% selectivity.
+        let rows = table2_rows(&params, &dopt, 8, &Projection::range_1based(28, 30), 5_000_000.0);
+        assert_eq!(rows.len(), 4);
+        // W: row <= realtime <= column.
+        assert!(rows[0].row_cost <= rows[0].realtime_cost);
+        assert!(rows[0].realtime_cost <= rows[0].column_cost);
+        // Q for a narrow projection: column <= realtime <= row.
+        assert!(rows[2].column_cost <= rows[2].realtime_cost + 1e-9);
+        assert!(rows[2].realtime_cost <= rows[2].row_cost + 1e-9);
+        // U for a narrow projection: column cheapest.
+        assert!(rows[3].column_cost <= rows[3].row_cost);
+        let text = render_table2(&rows);
+        assert!(text.contains("Insert amplification"));
+        assert!(text.contains("Range query"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-level workload cost (Equations 8 and 9): the objective the design
+//! advisor minimises when choosing a column-group configuration per level.
+
+use laser_core::{LevelLayout, Projection};
+
+use crate::TreeParameters;
+
+/// Aggregate operation counts of a workload (`w`, `p`, `q`, `u` in §6.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkloadCounts {
+    /// Number of insert operations (`w`).
+    pub inserts: u64,
+    /// Number of point reads (`p`).
+    pub point_reads: u64,
+    /// Number of range scans (`q`).
+    pub scans: u64,
+    /// Number of updates (`u`).
+    pub updates: u64,
+}
+
+/// The slice of a workload served at one level (`wl_i` in §6.1): the
+/// operations that touch the level together with their projections and, for
+/// scans, the per-level selectivity `s_i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelWorkload {
+    /// Total insert count of the workload (`w` — inserts touch every level
+    /// through compaction, so the same count applies at each level).
+    pub inserts: u64,
+    /// Point reads served at this level, with their projections: `(Π, count)`.
+    pub point_reads: Vec<(Projection, u64)>,
+    /// Scans touching this level: `(Π, s_i, count)`.
+    pub scans: Vec<(Projection, f64, u64)>,
+    /// Updates whose columns live at this level: `(Π, count)`.
+    pub updates: Vec<(Projection, u64)>,
+}
+
+impl LevelWorkload {
+    /// Returns true if no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inserts == 0
+            && self.point_reads.is_empty()
+            && self.scans.is_empty()
+            && self.updates.is_empty()
+    }
+}
+
+/// Equation 9: the cost of serving `workload` at one level under `layout`.
+///
+/// `cost(CG_i) = w·T·g_i/(B·c) + Σ_p E^g_i + Σ_q s_i·E^G_i/(c·B) + Σ_u T·E^G_i/(c·B)`
+pub fn level_workload_cost(
+    params: &TreeParameters,
+    layout: &LevelLayout,
+    workload: &LevelWorkload,
+) -> f64 {
+    let t = params.size_ratio as f64;
+    let b = params.entries_per_block;
+    let c = params.num_columns as f64;
+    let g_i = layout.num_groups() as f64;
+
+    let insert_cost = workload.inserts as f64 * t * g_i / (b * c);
+
+    let read_cost: f64 = workload
+        .point_reads
+        .iter()
+        .map(|(proj, count)| layout.required_groups(proj) as f64 * *count as f64)
+        .sum();
+
+    let scan_cost: f64 = workload
+        .scans
+        .iter()
+        .map(|(proj, s_i, count)| {
+            let e_g = layout.required_group_width(proj) as f64;
+            s_i * e_g / (c * b) * *count as f64
+        })
+        .sum();
+
+    let update_cost: f64 = workload
+        .updates
+        .iter()
+        .map(|(proj, count)| {
+            let e_g = layout.required_group_width(proj) as f64;
+            t * e_g / (c * b) * *count as f64
+        })
+        .sum();
+
+    insert_cost + read_cost + scan_cost + update_cost
+}
+
+/// Equation 8: the total workload cost of a design is the sum of the
+/// per-level costs.
+pub fn total_workload_cost(
+    params: &TreeParameters,
+    layouts: &[&LevelLayout],
+    per_level: &[LevelWorkload],
+) -> f64 {
+    layouts
+        .iter()
+        .zip(per_level.iter())
+        .map(|(layout, wl)| level_workload_cost(params, layout, wl))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_core::{LevelLayout, Schema};
+
+    fn params() -> TreeParameters {
+        TreeParameters {
+            num_entries: 1_000_000,
+            size_ratio: 2,
+            entries_per_block: 40.0,
+            level0_blocks: 100,
+            num_columns: 4,
+        }
+    }
+
+    #[test]
+    fn insert_cost_grows_with_group_count() {
+        let schema = Schema::with_columns(4);
+        let wl = LevelWorkload { inserts: 1000, ..Default::default() };
+        let row = level_workload_cost(&params(), &LevelLayout::row_oriented(&schema), &wl);
+        let col = level_workload_cost(&params(), &LevelLayout::column_oriented(&schema), &wl);
+        assert!(row < col, "more CGs -> more insert overhead ({row} vs {col})");
+    }
+
+    #[test]
+    fn narrow_scans_prefer_narrow_groups() {
+        let schema = Schema::with_columns(4);
+        let wl = LevelWorkload {
+            scans: vec![(Projection::of([3]), 10_000.0, 100)],
+            ..Default::default()
+        };
+        let row = level_workload_cost(&params(), &LevelLayout::row_oriented(&schema), &wl);
+        let col = level_workload_cost(&params(), &LevelLayout::column_oriented(&schema), &wl);
+        assert!(col < row);
+    }
+
+    #[test]
+    fn wide_point_reads_prefer_wide_groups() {
+        let schema = Schema::with_columns(4);
+        let wl = LevelWorkload {
+            point_reads: vec![(Projection::all(&schema), 1000)],
+            ..Default::default()
+        };
+        let row = level_workload_cost(&params(), &LevelLayout::row_oriented(&schema), &wl);
+        let col = level_workload_cost(&params(), &LevelLayout::column_oriented(&schema), &wl);
+        assert!(row < col);
+    }
+
+    #[test]
+    fn total_cost_sums_levels() {
+        let schema = Schema::with_columns(4);
+        let row = LevelLayout::row_oriented(&schema);
+        let col = LevelLayout::column_oriented(&schema);
+        let wl0 = LevelWorkload { point_reads: vec![(Projection::all(&schema), 10)], ..Default::default() };
+        let wl1 = LevelWorkload { scans: vec![(Projection::of([0]), 100.0, 5)], ..Default::default() };
+        let total = total_workload_cost(&params(), &[&row, &col], &[wl0.clone(), wl1.clone()]);
+        let sum = level_workload_cost(&params(), &row, &wl0) + level_workload_cost(&params(), &col, &wl1);
+        assert!((total - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_is_free() {
+        let schema = Schema::with_columns(4);
+        let wl = LevelWorkload::default();
+        assert!(wl.is_empty());
+        assert_eq!(
+            level_workload_cost(&params(), &LevelLayout::row_oriented(&schema), &wl),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Bloom filter over user keys, attached to every SST.
+//!
+//! The paper assumes SST bloom filters are cached in memory and give an
+//! effective point-lookup cost of O(1) for row-style trees (Section 2.2). We
+//! use double hashing (Kirsch–Mitzenmacher) over a single 64-bit hash, which
+//! is the same construction RocksDB and LevelDB use.
+
+use crate::coding::{get_u32, put_u32};
+use crate::error::{Error, Result};
+use crate::hash::hash64_seeded;
+
+/// A builder that accumulates keys and produces an encoded bloom filter.
+#[derive(Debug, Clone)]
+pub struct BloomFilterBuilder {
+    bits_per_key: usize,
+    hashes: Vec<u64>,
+}
+
+impl BloomFilterBuilder {
+    /// Creates a builder targeting `bits_per_key` bits per key (10 gives a
+    /// false-positive rate of roughly 1%, the value the paper assumes).
+    pub fn new(bits_per_key: usize) -> Self {
+        BloomFilterBuilder { bits_per_key: bits_per_key.max(1), hashes: Vec::new() }
+    }
+
+    /// Adds a key.
+    pub fn add(&mut self, key: &[u8]) {
+        self.hashes.push(hash64_seeded(key, 0xb10f));
+    }
+
+    /// Number of keys added so far.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Returns true if no keys have been added.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Builds the encoded filter. Layout: `[bit array][num_probes: u32][num_bits: u32]`.
+    pub fn finish(&self) -> Vec<u8> {
+        let n = self.hashes.len().max(1);
+        let num_bits = (n * self.bits_per_key).max(64);
+        // Optimal probe count is ln(2) * bits/key, clamped to a sane range.
+        let num_probes = ((self.bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let num_bytes = num_bits.div_ceil(8);
+        let num_bits = num_bytes * 8;
+        let mut bits = vec![0u8; num_bytes];
+        for &h in &self.hashes {
+            let mut h1 = h;
+            let h2 = h.rotate_left(17) | 1;
+            for _ in 0..num_probes {
+                let pos = (h1 % num_bits as u64) as usize;
+                bits[pos / 8] |= 1 << (pos % 8);
+                h1 = h1.wrapping_add(h2);
+            }
+        }
+        let mut out = bits;
+        put_u32(&mut out, num_probes);
+        put_u32(&mut out, num_bits as u32);
+        out
+    }
+}
+
+/// A decoded bloom filter that answers membership queries.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    num_probes: u32,
+    num_bits: u64,
+}
+
+impl BloomFilter {
+    /// Decodes a filter produced by [`BloomFilterBuilder::finish`].
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < 8 {
+            return Err(Error::corruption("bloom filter too short"));
+        }
+        let num_probes = get_u32(&data[data.len() - 8..])?;
+        let num_bits = get_u32(&data[data.len() - 4..])? as u64;
+        let bits = data[..data.len() - 8].to_vec();
+        if (bits.len() as u64) * 8 < num_bits {
+            return Err(Error::corruption("bloom filter bit array shorter than header claims"));
+        }
+        if num_probes == 0 || num_probes > 64 {
+            return Err(Error::corruption("bloom filter probe count out of range"));
+        }
+        Ok(BloomFilter { bits, num_probes, num_bits })
+    }
+
+    /// Returns true if `key` *may* be in the set; false means definitely not.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.num_bits == 0 {
+            return true;
+        }
+        let h = hash64_seeded(key, 0xb10f);
+        let mut h1 = h;
+        let h2 = h.rotate_left(17) | 1;
+        for _ in 0..self.num_probes {
+            let pos = (h1 % self.num_bits) as usize;
+            if self.bits[pos / 8] & (1 << (pos % 8)) == 0 {
+                return false;
+            }
+            h1 = h1.wrapping_add(h2);
+        }
+        true
+    }
+
+    /// Size of the encoded bit array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilterBuilder::new(10);
+        for i in 0..5_000u64 {
+            b.add(&key(i));
+        }
+        let f = BloomFilter::decode(&b.finish()).unwrap();
+        for i in 0..5_000u64 {
+            assert!(f.may_contain(&key(i)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut b = BloomFilterBuilder::new(10);
+        for i in 0..10_000u64 {
+            b.add(&key(i));
+        }
+        let f = BloomFilter::decode(&b.finish()).unwrap();
+        let mut fp = 0usize;
+        let trials = 20_000u64;
+        for i in 1_000_000..1_000_000 + trials {
+            if f.may_contain(&key(i)) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / trials as f64;
+        // 10 bits/key should give ~1%; allow generous slack.
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_decodes() {
+        let b = BloomFilterBuilder::new(10);
+        assert!(b.is_empty());
+        let f = BloomFilter::decode(&b.finish()).unwrap();
+        // An empty filter may return false for everything (no false negatives
+        // are possible since no key was added).
+        let _ = f.may_contain(&key(1));
+    }
+
+    #[test]
+    fn corrupt_filters_rejected() {
+        assert!(BloomFilter::decode(&[1, 2, 3]).is_err());
+        // Header claims more bits than the array holds.
+        let mut bogus = vec![0u8; 4];
+        put_u32(&mut bogus, 4);
+        put_u32(&mut bogus, 1_000_000);
+        assert!(BloomFilter::decode(&bogus).is_err());
+        // Zero probes.
+        let mut bogus = vec![0u8; 16];
+        put_u32(&mut bogus, 0);
+        put_u32(&mut bogus, 64);
+        assert!(BloomFilter::decode(&bogus).is_err());
+    }
+
+    #[test]
+    fn one_bit_per_key_still_has_no_false_negatives() {
+        let mut b = BloomFilterBuilder::new(1);
+        for i in 0..1_000u64 {
+            b.add(&key(i));
+        }
+        let f = BloomFilter::decode(&b.finish()).unwrap();
+        for i in 0..1_000u64 {
+            assert!(f.may_contain(&key(i)));
+        }
+    }
+}

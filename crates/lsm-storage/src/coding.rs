@@ -1,0 +1,262 @@
+//! Low-level binary coding helpers: fixed-width integers and varints.
+//!
+//! All fixed-width encodings are little-endian except where a big-endian
+//! encoding is needed to make lexicographic byte order agree with numeric
+//! order (internal keys, see [`crate::types`]).
+
+use crate::error::{Error, Result};
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` (little-endian) from the start of `src`.
+pub fn get_u32(src: &[u8]) -> Result<u32> {
+    if src.len() < 4 {
+        return Err(Error::corruption("buffer too short for u32"));
+    }
+    Ok(u32::from_le_bytes([src[0], src[1], src[2], src[3]]))
+}
+
+/// Reads a `u64` (little-endian) from the start of `src`.
+pub fn get_u64(src: &[u8]) -> Result<u64> {
+    if src.len() < 8 {
+        return Err(Error::corruption("buffer too short for u64"));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&src[..8]);
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Appends a `u64` as a LEB128-style varint (1..=10 bytes).
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Appends a `u32` as a varint.
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64);
+}
+
+/// Decodes a varint `u64` from `src`, returning the value and the number of
+/// bytes consumed.
+pub fn get_varint64(src: &[u8]) -> Result<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in src.iter().enumerate() {
+        if shift > 63 {
+            return Err(Error::corruption("varint64 overflow"));
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::corruption("truncated varint64"))
+}
+
+/// Decodes a varint `u32` from `src`, returning the value and bytes consumed.
+pub fn get_varint32(src: &[u8]) -> Result<(u32, usize)> {
+    let (v, n) = get_varint64(src)?;
+    if v > u32::MAX as u64 {
+        return Err(Error::corruption("varint32 overflow"));
+    }
+    Ok((v as u32, n))
+}
+
+/// Appends a length-prefixed byte slice (varint length followed by the bytes).
+pub fn put_length_prefixed(dst: &mut Vec<u8>, data: &[u8]) {
+    put_varint64(dst, data.len() as u64);
+    dst.extend_from_slice(data);
+}
+
+/// Reads a length-prefixed slice, returning the slice and total bytes consumed.
+pub fn get_length_prefixed(src: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, n) = get_varint64(src)?;
+    let len = len as usize;
+    if src.len() < n + len {
+        return Err(Error::corruption("truncated length-prefixed slice"));
+    }
+    Ok((&src[n..n + len], n + len))
+}
+
+/// A cursor over a byte slice for sequential decoding.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes remaining to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns true if the entire buffer has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current absolute position in the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a varint-encoded `u64`.
+    pub fn varint64(&mut self) -> Result<u64> {
+        let (v, n) = get_varint64(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a varint-encoded `u32`.
+    pub fn varint32(&mut self) -> Result<u32> {
+        let (v, n) = get_varint32(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a fixed little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let v = get_u32(&self.buf[self.pos..])?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads a fixed little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let v = get_u64(&self.buf[self.pos..])?;
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        if self.remaining() < 1 {
+            return Err(Error::corruption("buffer too short for u8"));
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::corruption("buffer too short for bytes"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn length_prefixed(&mut self) -> Result<&'a [u8]> {
+        let (s, n) = get_length_prefixed(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdeadbeef);
+        put_u64(&mut buf, 0x0123456789abcdef);
+        assert_eq!(get_u32(&buf).unwrap(), 0xdeadbeef);
+        assert_eq!(get_u64(&buf[4..]).unwrap(), 0x0123456789abcdef);
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &values {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (decoded, n) = get_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_error() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(get_varint64(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn varint32_overflow_is_error() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u32::MAX as u64 + 1);
+        assert!(get_varint32(&buf).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        put_length_prefixed(&mut buf, &[7u8; 300]);
+        let (a, n1) = get_length_prefixed(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, n2) = get_length_prefixed(&buf[n1..]).unwrap();
+        assert_eq!(b, b"");
+        let (c, _) = get_length_prefixed(&buf[n1 + n2..]).unwrap();
+        assert_eq!(c, &[7u8; 300][..]);
+    }
+
+    #[test]
+    fn decoder_sequential_reads() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 300);
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, 9);
+        buf.push(42);
+        put_length_prefixed(&mut buf, b"xyz");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.varint64().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), 9);
+        assert_eq!(d.u8().unwrap(), 42);
+        assert_eq!(d.length_prefixed().unwrap(), b"xyz");
+        assert!(d.is_empty());
+        assert!(d.u8().is_err());
+    }
+}

@@ -1,0 +1,955 @@
+//! A plain key-value LSM-Tree engine with leveled compaction.
+//!
+//! This is the substrate's stand-in for unmodified RocksDB: a row-style
+//! LSM-Tree where each entry is an opaque value blob. It provides the
+//! baseline behaviour the paper relies on — write batching, flush to Level-0,
+//! leveled compaction with a configurable picking priority, bloom-filtered
+//! point lookups and merged range scans — and is used directly by the
+//! Figure 2 experiment (key age distribution across levels under the two
+//! compaction priorities).
+//!
+//! The Real-Time LSM-Tree engine (crate `laser-core`) builds its per-level,
+//! per-column-group structure from the same components (memtable, SSTs,
+//! merging iterators) rather than wrapping this type, because its compaction
+//! jobs span column groups rather than whole levels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::iterator::{BoxedIterator, KvIterator, MergingIterator};
+use crate::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
+use crate::memtable::{MemTable, MemTableRef};
+use crate::options::{CompactionPriority, LsmOptions};
+use crate::sst::{TableBuilder, TableHandle};
+use crate::storage::StorageRef;
+use crate::types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, MAX_SEQNO};
+use crate::wal::{recover as wal_recover, remove as wal_remove, WalWriter};
+
+/// Counters describing flush/compaction work performed by the engine.
+#[derive(Debug, Default)]
+pub struct CompactionStats {
+    /// Number of memtable flushes.
+    pub flushes: AtomicU64,
+    /// Number of compaction jobs run.
+    pub compactions: AtomicU64,
+    /// Total bytes written by flushes and compactions (write amplification).
+    pub bytes_written: AtomicU64,
+    /// Total bytes read by compactions.
+    pub bytes_read: AtomicU64,
+    /// Total entries written out by flushes and compactions.
+    pub entries_written: AtomicU64,
+}
+
+impl CompactionStats {
+    /// Point-in-time snapshot as plain integers.
+    pub fn snapshot(&self) -> CompactionStatsSnapshot {
+        CompactionStatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            entries_written: self.entries_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned snapshot of [`CompactionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStatsSnapshot {
+    /// Number of memtable flushes.
+    pub flushes: u64,
+    /// Number of compaction jobs run.
+    pub compactions: u64,
+    /// Total bytes written by flushes and compactions.
+    pub bytes_written: u64,
+    /// Total bytes read by compactions.
+    pub bytes_read: u64,
+    /// Total entries written out.
+    pub entries_written: u64,
+}
+
+/// One SST file attached to a level.
+#[derive(Clone, Debug)]
+struct LevelFile {
+    meta: FileMeta,
+    table: TableHandle,
+}
+
+#[derive(Default)]
+struct DbInner {
+    mutable: Option<MemTableRef>,
+    /// Frozen memtables awaiting flush, oldest first.
+    immutables: Vec<MemTableRef>,
+    /// `levels[i]` holds the files of level `i`. Level 0 files may overlap and
+    /// are ordered oldest-first; deeper levels hold disjoint files sorted by key.
+    levels: Vec<Vec<LevelFile>>,
+    next_file_number: u64,
+    last_seq: SeqNo,
+    wal: Option<WalWriter>,
+    wal_name: String,
+}
+
+/// A plain key-value LSM-Tree database.
+pub struct LsmDb {
+    storage: StorageRef,
+    options: LsmOptions,
+    inner: RwLock<DbInner>,
+    stats: CompactionStats,
+}
+
+impl LsmDb {
+    /// Opens (or creates) a database on `storage`, recovering any previous
+    /// state from the manifest and WAL.
+    pub fn open(storage: StorageRef, options: LsmOptions) -> Result<Self> {
+        options.validate()?;
+        let snapshot = read_manifest(&storage)?;
+        let mut inner = DbInner {
+            levels: vec![Vec::new(); options.num_levels],
+            next_file_number: snapshot.next_file_number.max(1),
+            last_seq: snapshot.last_seq,
+            ..Default::default()
+        };
+        for meta in &snapshot.files {
+            let table = TableHandle::open(&storage, &meta.file_name())?;
+            let level = meta.level as usize;
+            if level >= inner.levels.len() {
+                return Err(Error::corruption(format!(
+                    "manifest references level {level} but num_levels is {}",
+                    options.num_levels
+                )));
+            }
+            inner.levels[level].push(LevelFile { meta: meta.clone(), table });
+        }
+        for (level, files) in inner.levels.iter_mut().enumerate() {
+            if level == 0 {
+                files.sort_by_key(|f| f.meta.max_seq);
+            } else {
+                files.sort_by_key(|f| f.meta.min_user_key);
+            }
+        }
+
+        let db = LsmDb { storage, options, inner: RwLock::new(inner), stats: CompactionStats::default() };
+
+        // Recover outstanding writes from the WAL, if one exists.
+        let wal_name = "wal-current.log".to_string();
+        {
+            let mut inner = db.inner.write();
+            inner.wal_name = wal_name.clone();
+            inner.mutable = Some(Arc::new(MemTable::new()));
+            // Recover outstanding records before the old log is truncated.
+            let records = if db.storage.exists(&wal_name) {
+                wal_recover(&db.storage, &wal_name)?.0
+            } else {
+                Vec::new()
+            };
+            let mut wal = WalWriter::create(&db.storage, &wal_name, db.options.sync_wal)?;
+            for record in &records {
+                // Re-log with the original sequence numbers so a second
+                // recovery replays identically.
+                wal.append(record.start_seq, &record.batch)?;
+                let mut seq = record.start_seq;
+                for entry in record.batch.iter() {
+                    inner.mutable.as_ref().unwrap().insert(seq, entry);
+                    inner.last_seq = inner.last_seq.max(seq);
+                    seq += 1;
+                }
+            }
+            inner.wal = Some(wal);
+        }
+        Ok(db)
+    }
+
+    /// Opens a database backed by a fresh in-memory storage (for tests).
+    pub fn open_in_memory(options: LsmOptions) -> Result<Self> {
+        Self::open(crate::storage::MemStorage::new_ref(), options)
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &LsmOptions {
+        &self.options
+    }
+
+    /// The storage backend.
+    pub fn storage(&self) -> &StorageRef {
+        &self.storage
+    }
+
+    /// Flush/compaction statistics.
+    pub fn stats(&self) -> CompactionStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The last sequence number assigned.
+    pub fn last_seq(&self) -> SeqNo {
+        self.inner.read().last_seq
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Applies a write batch atomically.
+    pub fn write(&self, batch: &WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut inner = self.inner.write();
+            let start_seq = inner.last_seq + 1;
+            inner
+                .wal
+                .as_mut()
+                .ok_or(Error::Closed)?
+                .append(start_seq, batch)?;
+            let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+            let mut seq = start_seq;
+            for entry in batch.iter() {
+                mutable.insert(seq, entry);
+                seq += 1;
+            }
+            inner.last_seq = seq - 1;
+        }
+        self.maybe_flush()?;
+        if self.options.auto_compact {
+            self.compact_until_stable()?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a single key/value pair.
+    pub fn put(&self, key: UserKey, value: Vec<u8>) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.put(key, value);
+        self.write(&b)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: UserKey) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key);
+        self.write(&b)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Returns the newest value for `key`, or `None` if absent or deleted.
+    pub fn get(&self, key: UserKey) -> Result<Option<Vec<u8>>> {
+        self.get_at(key, MAX_SEQNO)
+    }
+
+    /// Returns the newest value for `key` visible at `snapshot_seq`.
+    pub fn get_at(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.read();
+        // 1. Mutable memtable.
+        if let Some(mutable) = &inner.mutable {
+            if let Some((ik, value)) = mutable.get(key, snapshot_seq) {
+                return Ok(filter_tombstone(ik, value));
+            }
+        }
+        // 2. Immutable memtables, newest first.
+        for imm in inner.immutables.iter().rev() {
+            if let Some((ik, value)) = imm.get(key, snapshot_seq) {
+                return Ok(filter_tombstone(ik, value));
+            }
+        }
+        // 3. Level 0, newest file first.
+        for file in inner.levels[0].iter().rev() {
+            if let Some((ik, value)) = file.table.get(key, snapshot_seq)? {
+                return Ok(filter_tombstone(ik, value));
+            }
+        }
+        // 4. Deeper levels: at most one file can contain the key.
+        for level in inner.levels.iter().skip(1) {
+            let idx = level.partition_point(|f| f.meta.max_user_key < key);
+            if idx < level.len() && level[idx].meta.min_user_key <= key {
+                if let Some((ik, value)) = level[idx].table.get(key, snapshot_seq)? {
+                    return Ok(filter_tombstone(ik, value));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Scans keys in `[lo, hi]`, returning the newest visible version of each
+    /// (tombstoned keys are omitted).
+    pub fn scan(&self, lo: UserKey, hi: UserKey) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        self.scan_at(lo, hi, MAX_SEQNO)
+    }
+
+    /// Scans keys in `[lo, hi]` as of `snapshot_seq`.
+    pub fn scan_at(&self, lo: UserKey, hi: UserKey, snapshot_seq: SeqNo) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        let mut iter = self.range_iterator(lo, hi)?;
+        let mut out = Vec::new();
+        iter.seek(&InternalKey::seek_to(lo).encode())?;
+        let mut last_emitted: Option<UserKey> = None;
+        while iter.valid() {
+            let ik = InternalKey::decode(iter.key())?;
+            if ik.user_key > hi {
+                break;
+            }
+            if ik.seq <= snapshot_seq && last_emitted != Some(ik.user_key) {
+                last_emitted = Some(ik.user_key);
+                if ik.kind != ValueKind::Tombstone {
+                    out.push((ik.user_key, iter.value().to_vec()));
+                }
+            }
+            iter.next()?;
+        }
+        Ok(out)
+    }
+
+    /// Builds a merging iterator over every source that may contain keys in
+    /// `[lo, hi]`: memtables, all Level-0 files and the overlapping files of
+    /// each deeper level. Children are ordered newest-to-oldest so ties
+    /// resolve toward fresher data.
+    pub fn range_iterator(&self, lo: UserKey, hi: UserKey) -> Result<MergingIterator> {
+        let inner = self.inner.read();
+        let mut children: Vec<BoxedIterator> = Vec::new();
+        if let Some(mutable) = &inner.mutable {
+            children.push(Box::new(mutable.iter()));
+        }
+        for imm in inner.immutables.iter().rev() {
+            children.push(Box::new(imm.iter()));
+        }
+        for file in inner.levels[0].iter().rev() {
+            if file.meta.overlaps(lo, hi) {
+                children.push(Box::new(file.table.iter()));
+            }
+        }
+        for level in inner.levels.iter().skip(1) {
+            for file in level {
+                if file.meta.overlaps(lo, hi) {
+                    children.push(Box::new(file.table.iter()));
+                }
+            }
+        }
+        Ok(MergingIterator::new(children))
+    }
+
+    /// Iterates every entry (all versions) currently stored in `level`.
+    /// Used by experiments that inspect how data ages through the tree.
+    pub fn iter_level(&self, level: usize) -> Result<MergingIterator> {
+        let inner = self.inner.read();
+        if level >= inner.levels.len() {
+            return Err(Error::invalid(format!("level {level} out of range")));
+        }
+        let children: Vec<BoxedIterator> = inner.levels[level]
+            .iter()
+            .map(|f| Box::new(f.table.iter()) as BoxedIterator)
+            .collect();
+        Ok(MergingIterator::new(children))
+    }
+
+    /// Returns the metadata of every file, grouped by level.
+    pub fn level_files(&self) -> Vec<Vec<FileMeta>> {
+        let inner = self.inner.read();
+        inner
+            .levels
+            .iter()
+            .map(|files| files.iter().map(|f| f.meta.clone()).collect())
+            .collect()
+    }
+
+    /// Total bytes stored in each level.
+    pub fn level_sizes(&self) -> Vec<u64> {
+        let inner = self.inner.read();
+        inner
+            .levels
+            .iter()
+            .map(|files| files.iter().map(|f| f.meta.file_size).sum())
+            .collect()
+    }
+
+    /// Number of entries in the mutable memtable (for tests).
+    pub fn memtable_len(&self) -> usize {
+        let inner = self.inner.read();
+        inner.mutable.as_ref().map(|m| m.len()).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Flush
+    // ------------------------------------------------------------------
+
+    fn maybe_flush(&self) -> Result<()> {
+        let should_flush = {
+            let inner = self.inner.read();
+            inner
+                .mutable
+                .as_ref()
+                .map(|m| m.approximate_bytes() >= self.options.memtable_size_bytes)
+                .unwrap_or(false)
+        };
+        if should_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the mutable memtable to a new Level-0 SST and starts a fresh
+    /// WAL. No-op when the memtable is empty.
+    pub fn flush(&self) -> Result<()> {
+        let (memtable, file_number) = {
+            let mut inner = self.inner.write();
+            let mutable = inner.mutable.take().unwrap_or_else(|| Arc::new(MemTable::new()));
+            if mutable.is_empty() {
+                inner.mutable = Some(mutable);
+                return Ok(());
+            }
+            inner.immutables.push(Arc::clone(&mutable));
+            inner.mutable = Some(Arc::new(MemTable::new()));
+            let file_number = inner.next_file_number;
+            inner.next_file_number += 1;
+            (mutable, file_number)
+        };
+
+        // Build the SST outside the lock.
+        let meta = self.build_sst_from_entries(file_number, 0, 0, memtable.to_sorted_vec())?;
+
+        {
+            let mut inner = self.inner.write();
+            let table = TableHandle::open(&self.storage, &meta.file_name())?;
+            inner.levels[0].push(LevelFile { meta, table });
+            inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+            // The flushed data is durable; start a fresh WAL.
+            let wal_name = inner.wal_name.clone();
+            inner.wal = Some(WalWriter::create(&self.storage, &wal_name, self.options.sync_wal)?);
+            self.persist_manifest(&inner)?;
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn build_sst_from_entries(
+        &self,
+        file_number: u64,
+        level: u32,
+        column_group: u32,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<FileMeta> {
+        let name = format!("{file_number:08}.sst");
+        let file = self.storage.create(&name)?;
+        let mut builder = TableBuilder::new(file, self.options.table.clone());
+        for (k, v) in &entries {
+            builder.add(k, v)?;
+        }
+        let props = builder.finish()?;
+        self.stats.bytes_written.fetch_add(props.file_size, Ordering::Relaxed);
+        self.stats.entries_written.fetch_add(props.num_entries, Ordering::Relaxed);
+        Ok(FileMeta {
+            file_number,
+            level,
+            min_user_key: props.min_user_key,
+            max_user_key: props.max_user_key,
+            num_entries: props.num_entries,
+            file_size: props.file_size,
+            min_seq: props.min_seq,
+            max_seq: props.max_seq,
+            column_group,
+        })
+    }
+
+    fn persist_manifest(&self, inner: &DbInner) -> Result<()> {
+        let snapshot = VersionSnapshot {
+            next_file_number: inner.next_file_number,
+            last_seq: inner.last_seq,
+            files: inner
+                .levels
+                .iter()
+                .flat_map(|files| files.iter().map(|f| f.meta.clone()))
+                .collect(),
+        };
+        write_manifest(&self.storage, &snapshot)
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// Returns the level with the highest overflow score (> 1.0), if any.
+    /// The last level never overflows (there is nowhere to push its data).
+    fn pick_compaction_level(&self, inner: &DbInner) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (level, files) in inner.levels.iter().enumerate() {
+            if level + 1 >= inner.levels.len() {
+                break;
+            }
+            let size: u64 = files.iter().map(|f| f.meta.file_size).sum();
+            let capacity = self.options.level_capacity_bytes(level);
+            if capacity == 0 {
+                continue;
+            }
+            let score = size as f64 / capacity as f64;
+            if score > 1.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((level, score));
+            }
+        }
+        best.map(|(level, _)| level)
+    }
+
+    /// Picks which files of `level` should be compacted, honouring the
+    /// configured [`CompactionPriority`].
+    fn pick_input_files(&self, inner: &DbInner, level: usize) -> Vec<u64> {
+        let files = &inner.levels[level];
+        if files.is_empty() {
+            return Vec::new();
+        }
+        if level == 0 {
+            // Level-0 files overlap; compact all of them together.
+            return files.iter().map(|f| f.meta.file_number).collect();
+        }
+        let chosen = match self.options.compaction_priority {
+            CompactionPriority::ByCompensatedSize => {
+                files.iter().max_by_key(|f| f.meta.file_size)
+            }
+            CompactionPriority::OldestSmallestSeqFirst => {
+                files.iter().min_by_key(|f| f.meta.min_seq)
+            }
+        };
+        chosen.map(|f| vec![f.meta.file_number]).unwrap_or_default()
+    }
+
+    /// Runs a single compaction job if any level overflows. Returns `true`
+    /// if work was done.
+    pub fn compact_once(&self) -> Result<bool> {
+        // Snapshot the plan under the read lock.
+        let plan = {
+            let inner = self.inner.read();
+            let Some(level) = self.pick_compaction_level(&inner) else {
+                return Ok(false);
+            };
+            let inputs = self.pick_input_files(&inner, level);
+            if inputs.is_empty() {
+                return Ok(false);
+            }
+            (level, inputs)
+        };
+        let (level, input_numbers) = plan;
+        self.compact_files(level, &input_numbers)?;
+        Ok(true)
+    }
+
+    /// Repeatedly compacts until no level overflows.
+    pub fn compact_until_stable(&self) -> Result<()> {
+        while self.compact_once()? {}
+        Ok(())
+    }
+
+    /// Compacts the given files of `level` into `level + 1`.
+    fn compact_files(&self, level: usize, input_numbers: &[u64]) -> Result<()> {
+        let target_level = level + 1;
+        // Gather inputs and overlapping files in the target level.
+        let (inputs, overlaps, output_is_last_level) = {
+            let inner = self.inner.read();
+            let inputs: Vec<LevelFile> = inner.levels[level]
+                .iter()
+                .filter(|f| input_numbers.contains(&f.meta.file_number))
+                .cloned()
+                .collect();
+            if inputs.is_empty() {
+                return Ok(());
+            }
+            let lo = inputs.iter().map(|f| f.meta.min_user_key).min().unwrap();
+            let hi = inputs.iter().map(|f| f.meta.max_user_key).max().unwrap();
+            let overlaps: Vec<LevelFile> = inner.levels[target_level]
+                .iter()
+                .filter(|f| f.meta.overlaps(lo, hi))
+                .cloned()
+                .collect();
+            let output_is_last_level = target_level + 1 >= inner.levels.len();
+            (inputs, overlaps, output_is_last_level)
+        };
+
+        let input_bytes: u64 = inputs
+            .iter()
+            .chain(overlaps.iter())
+            .map(|f| f.meta.file_size)
+            .sum();
+        self.stats.bytes_read.fetch_add(input_bytes, Ordering::Relaxed);
+
+        // Merge: newer sources first so ties resolve toward fresher versions.
+        let mut children: Vec<BoxedIterator> = Vec::new();
+        for f in inputs.iter().rev() {
+            children.push(Box::new(f.table.iter()));
+        }
+        for f in &overlaps {
+            children.push(Box::new(f.table.iter()));
+        }
+        let mut merge = MergingIterator::new(children);
+        merge.seek_to_first()?;
+
+        // Drain, keeping only the newest version of each user key. Tombstones
+        // are dropped once they reach the last level.
+        let mut outputs: Vec<FileMeta> = Vec::new();
+        let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut current_bytes = 0u64;
+        let mut last_user_key: Option<UserKey> = None;
+        while merge.valid() {
+            let ik = InternalKey::decode(merge.key())?;
+            let is_duplicate = last_user_key == Some(ik.user_key);
+            last_user_key = Some(ik.user_key);
+            if !is_duplicate {
+                let drop_entry = output_is_last_level && ik.kind == ValueKind::Tombstone;
+                if !drop_entry {
+                    current_bytes += (merge.key().len() + merge.value().len()) as u64;
+                    current.push((merge.key().to_vec(), merge.value().to_vec()));
+                    if current_bytes >= self.options.sst_target_size_bytes {
+                        outputs.push(self.write_compaction_output(
+                            target_level as u32,
+                            std::mem::take(&mut current),
+                        )?);
+                        current_bytes = 0;
+                    }
+                }
+            }
+            merge.next()?;
+        }
+        if !current.is_empty() {
+            outputs.push(self.write_compaction_output(target_level as u32, current)?);
+        }
+
+        // Install the new version.
+        {
+            let mut inner = self.inner.write();
+            let input_set: Vec<u64> = inputs.iter().map(|f| f.meta.file_number).collect();
+            let overlap_set: Vec<u64> = overlaps.iter().map(|f| f.meta.file_number).collect();
+            inner.levels[level].retain(|f| !input_set.contains(&f.meta.file_number));
+            inner.levels[target_level].retain(|f| !overlap_set.contains(&f.meta.file_number));
+            for meta in &outputs {
+                let table = TableHandle::open(&self.storage, &meta.file_name())?;
+                inner.levels[target_level].push(LevelFile { meta: meta.clone(), table });
+            }
+            inner.levels[target_level].sort_by_key(|f| f.meta.min_user_key);
+            self.persist_manifest(&inner)?;
+            // Delete the replaced files.
+            for f in inputs.iter().chain(overlaps.iter()) {
+                let _ = self.storage.delete(&f.meta.file_name());
+            }
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_compaction_output(
+        &self,
+        level: u32,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<FileMeta> {
+        let file_number = {
+            let mut inner = self.inner.write();
+            let n = inner.next_file_number;
+            inner.next_file_number += 1;
+            n
+        };
+        self.build_sst_from_entries(file_number, level, 0, entries)
+    }
+
+    /// Flushes outstanding data and persists the manifest.
+    pub fn close(&self) -> Result<()> {
+        self.flush()?;
+        let inner = self.inner.read();
+        self.persist_manifest(&inner)?;
+        Ok(())
+    }
+
+    /// Removes the current WAL file (used by tests that simulate crashes
+    /// after a clean flush).
+    pub fn remove_wal(&self) -> Result<()> {
+        let inner = self.inner.read();
+        wal_remove(&self.storage, &inner.wal_name)
+    }
+}
+
+fn filter_tombstone(ik: InternalKey, value: Vec<u8>) -> Option<Vec<u8>> {
+    if ik.kind == ValueKind::Tombstone {
+        None
+    } else {
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn small_db() -> LsmDb {
+        LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = small_db();
+        db.put(1, b"one".to_vec()).unwrap();
+        db.put(2, b"two".to_vec()).unwrap();
+        assert_eq!(db.get(1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(db.get(2).unwrap(), Some(b"two".to_vec()));
+        assert_eq!(db.get(3).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let db = small_db();
+        db.put(7, b"v1".to_vec()).unwrap();
+        db.put(7, b"v2".to_vec()).unwrap();
+        assert_eq!(db.get(7).unwrap(), Some(b"v2".to_vec()));
+        db.flush().unwrap();
+        db.put(7, b"v3".to_vec()).unwrap();
+        assert_eq!(db.get(7).unwrap(), Some(b"v3".to_vec()));
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let db = small_db();
+        db.put(5, b"x".to_vec()).unwrap();
+        db.delete(5).unwrap();
+        assert_eq!(db.get(5).unwrap(), None);
+        // Deleting a missing key is fine.
+        db.delete(99).unwrap();
+        assert_eq!(db.get(99).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_reads_see_past_versions() {
+        let db = small_db();
+        db.put(1, b"a".to_vec()).unwrap();
+        let snap = db.last_seq();
+        db.put(1, b"b".to_vec()).unwrap();
+        assert_eq!(db.get_at(1, snap).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(db.get(1).unwrap(), Some(b"b".to_vec()));
+    }
+
+    #[test]
+    fn flush_moves_data_to_level0() {
+        let db = small_db();
+        for i in 0..100u64 {
+            db.put(i, vec![i as u8; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.memtable_len(), 0);
+        let files = db.level_files();
+        let total_l0_plus: usize = files.iter().map(|l| l.len()).sum();
+        assert!(total_l0_plus > 0, "expected at least one SST after flush");
+        for i in 0..100u64 {
+            assert_eq!(db.get(i).unwrap(), Some(vec![i as u8; 64]));
+        }
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_disk() {
+        let db = small_db();
+        for i in 0..50u64 {
+            db.put(i, vec![1]).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 50..100u64 {
+            db.put(i, vec![2]).unwrap();
+        }
+        let all = db.scan(0, 99).unwrap();
+        assert_eq!(all.len(), 100);
+        assert_eq!(all.first().unwrap().0, 0);
+        assert_eq!(all.last().unwrap().0, 99);
+        let window = db.scan(40, 59).unwrap();
+        assert_eq!(window.len(), 20);
+        assert!(window.iter().all(|(k, v)| if *k < 50 { v == &vec![1] } else { v == &vec![2] }));
+    }
+
+    #[test]
+    fn scan_skips_deleted_and_old_versions() {
+        let db = small_db();
+        for i in 0..20u64 {
+            db.put(i, b"old".to_vec()).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..10u64 {
+            db.put(i, b"new".to_vec()).unwrap();
+        }
+        for i in 15..20u64 {
+            db.delete(i).unwrap();
+        }
+        let result = db.scan(0, 19).unwrap();
+        assert_eq!(result.len(), 15);
+        for (k, v) in &result {
+            if *k < 10 {
+                assert_eq!(v, b"new");
+            } else {
+                assert_eq!(v, b"old");
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_data_correct_and_bounded() {
+        let mut options = LsmOptions::small_for_tests();
+        options.auto_compact = true;
+        let db = LsmDb::open_in_memory(options).unwrap();
+        // Write enough data (with overwrites) to force several compactions.
+        for round in 0..6u64 {
+            for i in 0..400u64 {
+                db.put(i, format!("round-{round}-key-{i}").into_bytes()).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        let stats = db.stats();
+        assert!(stats.compactions > 0, "expected compactions to run");
+        // All keys resolve to the latest round.
+        for i in (0..400u64).step_by(17) {
+            assert_eq!(db.get(i).unwrap(), Some(format!("round-5-key-{i}").into_bytes()));
+        }
+        // No level (other than the last) exceeds its capacity.
+        let sizes = db.level_sizes();
+        for (level, size) in sizes.iter().enumerate().take(sizes.len() - 1) {
+            let cap = db.options().level_capacity_bytes(level);
+            assert!(
+                *size <= cap,
+                "level {level} has {size} bytes, capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_ages_into_deeper_levels() {
+        let mut options = LsmOptions::small_for_tests();
+        options.compaction_priority = CompactionPriority::OldestSmallestSeqFirst;
+        let db = LsmDb::open_in_memory(options).unwrap();
+        for i in 0..3000u64 {
+            db.put(i, vec![0u8; 32]).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        let files = db.level_files();
+        let populated: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            populated.iter().any(|&l| l >= 1),
+            "expected data to reach level >= 1, levels populated: {populated:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_from_manifest_and_wal() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let options = LsmOptions::small_for_tests();
+        {
+            let db = LsmDb::open(Arc::clone(&storage), options.clone()).unwrap();
+            for i in 0..500u64 {
+                db.put(i, i.to_le_bytes().to_vec()).unwrap();
+            }
+            db.flush().unwrap();
+            // These writes stay only in the WAL (no flush).
+            for i in 500..600u64 {
+                db.put(i, i.to_le_bytes().to_vec()).unwrap();
+            }
+            // Drop without closing: simulates a crash.
+        }
+        let db = LsmDb::open(Arc::clone(&storage), options).unwrap();
+        for i in (0..600u64).step_by(29) {
+            assert_eq!(
+                db.get(i).unwrap(),
+                Some(i.to_le_bytes().to_vec()),
+                "key {i} lost after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_without_wal_keeps_flushed_data_only() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let options = LsmOptions::small_for_tests();
+        {
+            let db = LsmDb::open(Arc::clone(&storage), options.clone()).unwrap();
+            for i in 0..100u64 {
+                db.put(i, vec![1]).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 100..150u64 {
+                db.put(i, vec![2]).unwrap();
+            }
+            db.remove_wal().unwrap();
+        }
+        let db = LsmDb::open(Arc::clone(&storage), options).unwrap();
+        assert_eq!(db.get(50).unwrap(), Some(vec![1]));
+        assert_eq!(db.get(120).unwrap(), None, "unflushed data without WAL is lost");
+    }
+
+    #[test]
+    fn compaction_priorities_differ_in_choice() {
+        // Construct a level-1 with two files: one big and new, one small and old.
+        // ByCompensatedSize must pick the big one, OldestSmallestSeqFirst the old one.
+        for (priority, expect_oldest) in [
+            (CompactionPriority::ByCompensatedSize, false),
+            (CompactionPriority::OldestSmallestSeqFirst, true),
+        ] {
+            let mut options = LsmOptions::small_for_tests();
+            options.compaction_priority = priority;
+            options.auto_compact = false;
+            let db = LsmDb::open_in_memory(options).unwrap();
+            // Old small batch.
+            for i in 0..50u64 {
+                db.put(i, vec![0u8; 16]).unwrap();
+            }
+            db.flush().unwrap();
+            // New large batch over a disjoint range.
+            for i in 10_000..10_400u64 {
+                db.put(i, vec![0u8; 64]).unwrap();
+            }
+            db.flush().unwrap();
+            {
+                // Both flushed files sit in level 0; compact them into level 1
+                // so the priority choice applies to level 1 next time.
+                db.compact_until_stable().unwrap();
+            }
+            let inner = db.inner.read();
+            if inner.levels[1].len() < 2 {
+                // Not enough structure to differentiate priorities; acceptable
+                // for the small sizes, skip assertion.
+                continue;
+            }
+            let chosen = db.pick_input_files(&inner, 1);
+            assert_eq!(chosen.len(), 1);
+            let chosen_meta = inner.levels[1]
+                .iter()
+                .find(|f| f.meta.file_number == chosen[0])
+                .unwrap()
+                .meta
+                .clone();
+            let oldest = inner.levels[1].iter().map(|f| f.meta.min_seq).min().unwrap();
+            let biggest = inner.levels[1].iter().map(|f| f.meta.file_size).max().unwrap();
+            if expect_oldest {
+                assert_eq!(chosen_meta.min_seq, oldest);
+            } else {
+                assert_eq!(chosen_meta.file_size, biggest);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_writes() {
+        let db = small_db();
+        for i in 0..2000u64 {
+            db.put(i, vec![0u8; 32]).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert!(stats.flushes >= 1);
+        assert!(stats.bytes_written > 0);
+        assert!(stats.entries_written >= 2000);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let db = small_db();
+        let before = db.last_seq();
+        db.write(&WriteBatch::new()).unwrap();
+        assert_eq!(db.last_seq(), before);
+    }
+}

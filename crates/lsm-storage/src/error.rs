@@ -1,0 +1,109 @@
+//! Error types shared across the storage substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error from the operating system.
+    Io(std::io::Error),
+    /// A block, SST, WAL record or manifest failed its checksum or structural validation.
+    Corruption(String),
+    /// The caller asked for something that does not exist (file, key range, level).
+    NotFound(String),
+    /// The caller passed arguments that violate an invariant (e.g. unsorted keys to a builder).
+    InvalidArgument(String),
+    /// The storage backend refused the operation (e.g. injected fault, read-only backend).
+    StorageFault(String),
+    /// The engine is shutting down or has been closed.
+    Closed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::NotFound(msg) => write!(f, "not found: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::StorageFault(msg) => write!(f, "storage fault: {msg}"),
+            Error::Closed => write!(f, "engine closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for not-found errors.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Returns true if this error is a corruption error.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+
+    /// Returns true if this error is a not-found error.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::corruption("bad block");
+        assert_eq!(e.to_string(), "corruption: bad block");
+        let e = Error::not_found("key 42");
+        assert_eq!(e.to_string(), "not found: key 42");
+        let e = Error::invalid("keys out of order");
+        assert_eq!(e.to_string(), "invalid argument: keys out of order");
+        assert_eq!(Error::Closed.to_string(), "engine closed");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Error::corruption("x").is_corruption());
+        assert!(!Error::corruption("x").is_not_found());
+        assert!(Error::not_found("x").is_not_found());
+    }
+}

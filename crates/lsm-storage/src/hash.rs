@@ -1,0 +1,101 @@
+//! Non-cryptographic hash functions used by the bloom filter and block cache.
+//!
+//! We implement FNV-1a and a 64-bit mix-based hash (inspired by
+//! MurmurHash3's finalizer) in-repo to avoid external dependencies.
+
+/// 64-bit FNV-1a hash.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A fast 64-bit hash with a seed, built from 8-byte chunks and a strong
+/// avalanche finalizer. Suitable for bloom filters and hash partitioning.
+pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        let k = u64::from_le_bytes(buf);
+        h ^= mix64(k);
+        h = h.rotate_left(27).wrapping_mul(0x5851_F42D_4C95_7F2D);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h ^= mix64(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+    }
+    mix64(h)
+}
+
+/// Unseeded convenience wrapper around [`hash64_seeded`].
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seeded(data, 0x1234_5678_9ABC_DEF0)
+}
+
+/// splitmix64-style avalanche mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a 64-bit of the empty string is the offset basis.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        // "a" -> well-known FNV-1a vector.
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash64(b"key-1"), hash64(b"key-1"));
+        assert_eq!(hash64_seeded(b"key-1", 7), hash64_seeded(b"key-1", 7));
+        assert_ne!(hash64_seeded(b"key-1", 7), hash64_seeded(b"key-1", 8));
+    }
+
+    #[test]
+    fn different_inputs_rarely_collide() {
+        let mut seen = HashSet::new();
+        for i in 0u64..10_000 {
+            let h = hash64(&i.to_le_bytes());
+            seen.insert(h);
+        }
+        // With a 64-bit hash, 10k inputs should essentially never collide.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        let a = hash64(b"abcdefgh");
+        let b = hash64(b"abcdefgi");
+        let differing = (a ^ b).count_ones();
+        // Expect roughly half the bits to flip; require at least a quarter.
+        assert!(differing >= 16, "weak avalanche: only {differing} bits differ");
+    }
+
+    #[test]
+    fn short_and_empty_inputs() {
+        assert_ne!(hash64(b""), hash64(b"\0"));
+        assert_ne!(hash64(b"\0"), hash64(b"\0\0"));
+        assert_ne!(hash64(b"1234567"), hash64(b"12345678"));
+    }
+}

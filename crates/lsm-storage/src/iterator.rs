@@ -1,0 +1,305 @@
+//! Iterator abstractions: the [`KvIterator`] trait implemented by memtables,
+//! SSTs and merging iterators, plus a k-way [`MergingIterator`] used for range
+//! queries and compaction.
+//!
+//! The paper's `LevelMergingIterator` (Section 4.4) is built from this
+//! generic k-way merge: each child iterates one level's sorted run(s) and the
+//! merge emits entries in internal-key order, so all versions of a user key
+//! appear consecutively, newest first.
+
+use crate::error::Result;
+
+/// A cursor over `(encoded internal key, value)` pairs in ascending key order.
+pub trait KvIterator {
+    /// Positions the iterator at the first entry.
+    fn seek_to_first(&mut self) -> Result<()>;
+    /// Positions the iterator at the first entry with key >= `target`.
+    fn seek(&mut self, target: &[u8]) -> Result<()>;
+    /// Advances to the next entry.
+    fn next(&mut self) -> Result<()>;
+    /// Returns true while positioned on a valid entry.
+    fn valid(&self) -> bool;
+    /// Current key (encoded internal key). Only valid while `valid()`.
+    fn key(&self) -> &[u8];
+    /// Current value. Only valid while `valid()`.
+    fn value(&self) -> &[u8];
+}
+
+/// Boxed iterator alias used when composing heterogeneous children.
+pub type BoxedIterator = Box<dyn KvIterator + Send>;
+
+/// An iterator over an in-memory vector of `(key, value)` pairs.
+///
+/// Used for tests, for iterating immutable memtable snapshots, and as a
+/// building block in higher layers.
+#[derive(Debug, Clone, Default)]
+pub struct VecIterator {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+    valid: bool,
+}
+
+impl VecIterator {
+    /// Creates an iterator over `entries`, which must already be sorted by key.
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted and unique");
+        VecIterator { entries, pos: 0, valid: false }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl KvIterator for VecIterator {
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.pos = 0;
+        self.valid = !self.entries.is_empty();
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        self.pos = self.entries.partition_point(|(k, _)| k.as_slice() < target);
+        self.valid = self.pos < self.entries.len();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<()> {
+        if self.valid {
+            self.pos += 1;
+            self.valid = self.pos < self.entries.len();
+        }
+        Ok(())
+    }
+
+    fn valid(&self) -> bool {
+        self.valid
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+/// K-way merging iterator.
+///
+/// Children are assigned priorities by their position: when two children are
+/// positioned on equal keys, the child with the lower index wins and the other
+/// children are *not* skipped (duplicate keys are emitted). Callers that need
+/// newest-version-wins semantics order children from newest to oldest and
+/// de-duplicate by user key while draining (see the engine's read paths).
+pub struct MergingIterator {
+    children: Vec<BoxedIterator>,
+    /// Index of the child currently holding the smallest key, or `None`.
+    current: Option<usize>,
+}
+
+impl MergingIterator {
+    /// Creates a merging iterator over `children`. Order matters: earlier
+    /// children win ties, so put newer sources first.
+    pub fn new(children: Vec<BoxedIterator>) -> Self {
+        MergingIterator { children, current: None }
+    }
+
+    /// Number of child iterators.
+    pub fn num_children(&self) -> usize {
+        self.children.len()
+    }
+
+    fn find_smallest(&mut self) {
+        let mut smallest: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            match smallest {
+                None => smallest = Some(i),
+                Some(s) => {
+                    // Strictly smaller wins; ties keep the earlier (newer) child.
+                    if child.key() < self.children[s].key() {
+                        smallest = Some(i);
+                    }
+                }
+            }
+        }
+        self.current = smallest;
+    }
+}
+
+impl KvIterator for MergingIterator {
+    fn seek_to_first(&mut self) -> Result<()> {
+        for child in &mut self.children {
+            child.seek_to_first()?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        for child in &mut self.children {
+            child.seek(target)?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<()> {
+        if let Some(cur) = self.current {
+            self.children[cur].next()?;
+            self.find_smallest();
+        }
+        Ok(())
+    }
+
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("iterator not valid")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("iterator not valid")].value()
+    }
+}
+
+/// Drains an iterator into a vector of owned pairs. Convenience for tests and
+/// small result sets.
+pub fn collect_all(iter: &mut dyn KvIterator) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut out = Vec::new();
+    iter.seek_to_first()?;
+    while iter.valid() {
+        out.push((iter.key().to_vec(), iter.value().to_vec()));
+        iter.next()?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{InternalKey, ValueKind};
+
+    fn enc(key: u64, seq: u64) -> Vec<u8> {
+        InternalKey::new(key, seq, ValueKind::Full).encode().to_vec()
+    }
+
+    fn vec_iter(pairs: &[(u64, u64, &str)]) -> BoxedIterator {
+        let entries = pairs
+            .iter()
+            .map(|&(k, s, v)| (enc(k, s), v.as_bytes().to_vec()))
+            .collect();
+        Box::new(VecIterator::new(entries))
+    }
+
+    #[test]
+    fn vec_iterator_basics() {
+        let mut it = VecIterator::new(vec![
+            (enc(1, 1), b"a".to_vec()),
+            (enc(2, 1), b"b".to_vec()),
+            (enc(3, 1), b"c".to_vec()),
+        ]);
+        assert_eq!(it.len(), 3);
+        it.seek_to_first().unwrap();
+        assert!(it.valid());
+        assert_eq!(it.value(), b"a");
+        it.seek(&enc(2, u64::MAX >> 8)).unwrap();
+        // seek target has max seq which sorts before seq=1 for the same key
+        assert_eq!(InternalKey::decode(it.key()).unwrap().user_key, 2);
+        it.seek(&enc(4, 0)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn empty_vec_iterator() {
+        let mut it = VecIterator::new(vec![]);
+        assert!(it.is_empty());
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+        it.seek(&enc(1, 1)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merge_two_sorted_streams() {
+        let a = vec_iter(&[(1, 1, "a1"), (3, 1, "a3"), (5, 1, "a5")]);
+        let b = vec_iter(&[(2, 1, "b2"), (4, 1, "b4"), (6, 1, "b6")]);
+        let mut m = MergingIterator::new(vec![a, b]);
+        let all = collect_all(&mut m).unwrap();
+        let keys: Vec<u64> = all
+            .iter()
+            .map(|(k, _)| InternalKey::decode(k).unwrap().user_key)
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_emits_all_versions_newest_first() {
+        // Same user key in two children with different sequence numbers: the
+        // internal-key ordering puts the newer version first.
+        let newer = vec_iter(&[(10, 20, "new")]);
+        let older = vec_iter(&[(10, 5, "old")]);
+        let mut m = MergingIterator::new(vec![older, newer]);
+        let all = collect_all(&mut m).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, b"new");
+        assert_eq!(all[1].1, b"old");
+    }
+
+    #[test]
+    fn merge_with_empty_children() {
+        let a = vec_iter(&[]);
+        let b = vec_iter(&[(1, 1, "x")]);
+        let c = vec_iter(&[]);
+        let mut m = MergingIterator::new(vec![a, b, c]);
+        assert_eq!(m.num_children(), 3);
+        let all = collect_all(&mut m).unwrap();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn merge_seek_positions_all_children() {
+        let a = vec_iter(&[(1, 1, "a"), (10, 1, "a10")]);
+        let b = vec_iter(&[(5, 1, "b5"), (15, 1, "b15")]);
+        let mut m = MergingIterator::new(vec![a, b]);
+        m.seek(&enc(6, u64::MAX >> 8)).unwrap();
+        let mut seen = Vec::new();
+        while m.valid() {
+            seen.push(InternalKey::decode(m.key()).unwrap().user_key);
+            m.next().unwrap();
+        }
+        assert_eq!(seen, vec![10, 15]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_invalid() {
+        let mut m = MergingIterator::new(vec![]);
+        m.seek_to_first().unwrap();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_is_stable_for_identical_keys() {
+        // Two children with byte-identical keys: the earlier child wins first.
+        let a = vec_iter(&[(7, 3, "first")]);
+        let b = vec_iter(&[(7, 3, "second")]);
+        let mut m = MergingIterator::new(vec![a, b]);
+        m.seek_to_first().unwrap();
+        assert_eq!(m.value(), b"first");
+        m.next().unwrap();
+        assert_eq!(m.value(), b"second");
+        m.next().unwrap();
+        assert!(!m.valid());
+    }
+}

@@ -1,0 +1,69 @@
+//! # lsm-storage
+//!
+//! A from-scratch Log-Structured Merge-Tree storage substrate, built as the
+//! foundation for the LASER Real-Time LSM-Tree reproduction (Saxena et al.,
+//! "Real-Time LSM-Trees for HTAP Workloads", ICDE 2023).
+//!
+//! The paper prototypes LASER inside RocksDB; this crate provides the same
+//! structural ingredients RocksDB provides, so that the Real-Time LSM-Tree
+//! (crate `laser-core`) can be built on top of them:
+//!
+//! * [`skiplist`] / [`memtable`] — the in-memory write buffer.
+//! * [`wal`] — the write-ahead log for durability.
+//! * [`block`] — data blocks with restart points and key prefix compression.
+//! * [`bloom`] — per-SST bloom filters.
+//! * [`sst`] — Sorted String Table files (data blocks + index block + bloom
+//!   filter + footer).
+//! * [`iterator`] — the `KvIterator` trait and a k-way merging iterator.
+//! * [`manifest`] — version metadata (which file lives in which level).
+//! * [`storage`] — pluggable backends: durable files, instrumented in-memory
+//!   storage (counts 4 KiB-block I/O, matching the paper's cost model), and a
+//!   fault-injecting wrapper for failure testing.
+//! * [`db`] — [`db::LsmDb`], a plain key-value LSM engine with leveled
+//!   compaction and both compaction priorities compared in Figure 2 of the
+//!   paper (`ByCompensatedSize`, `OldestSmallestSeqFirst`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lsm_storage::{LsmDb, LsmOptions};
+//!
+//! let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+//! db.put(42, b"hello".to_vec()).unwrap();
+//! assert_eq!(db.get(42).unwrap(), Some(b"hello".to_vec()));
+//! db.delete(42).unwrap();
+//! assert_eq!(db.get(42).unwrap(), None);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod bloom;
+pub mod checksum;
+pub mod coding;
+pub mod db;
+pub mod error;
+pub mod hash;
+pub mod iterator;
+pub mod manifest;
+pub mod memtable;
+pub mod options;
+pub mod skiplist;
+pub mod sst;
+pub mod storage;
+pub mod types;
+pub mod wal;
+
+pub use db::{CompactionStatsSnapshot, LsmDb};
+pub use error::{Error, Result};
+pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
+pub use manifest::FileMeta;
+pub use memtable::{MemTable, MemTableRef};
+pub use options::{CompactionPriority, LsmOptions};
+pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
+pub use storage::{
+    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage,
+    Storage, StorageRef,
+};
+pub use types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, WriteEntry, MAX_SEQNO};

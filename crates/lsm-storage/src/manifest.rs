@@ -1,0 +1,230 @@
+//! Version metadata: which SST files belong to which level.
+//!
+//! The manifest is a single file containing a checksummed snapshot of the
+//! current version (file lists per level, the next file number and the last
+//! sequence number). It is rewritten atomically (write to a temporary name
+//! then rename) every time the version changes, which keeps recovery trivial:
+//! read the one manifest, open the listed files, replay the WAL.
+
+use crate::checksum::crc32;
+use crate::coding::{put_u32, put_u64, put_varint64, Decoder};
+use crate::error::{Error, Result};
+use crate::storage::StorageRef;
+use crate::types::{SeqNo, UserKey};
+
+/// Magic number at the start of a manifest file.
+const MANIFEST_MAGIC: u64 = 0x4C41_5345_524D_414E; // "LASERMAN"
+
+/// Metadata describing one SST file in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Monotonically increasing file number; the file name is derived from it.
+    pub file_number: u64,
+    /// Level the file belongs to.
+    pub level: u32,
+    /// Smallest user key in the file.
+    pub min_user_key: UserKey,
+    /// Largest user key in the file.
+    pub max_user_key: UserKey,
+    /// Number of entries.
+    pub num_entries: u64,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Smallest sequence number in the file.
+    pub min_seq: SeqNo,
+    /// Largest sequence number in the file.
+    pub max_seq: SeqNo,
+    /// Identifier of the column group this file stores (always 0 for the plain
+    /// key-value engine; LASER uses one file set per column group per level).
+    pub column_group: u32,
+}
+
+impl FileMeta {
+    /// The storage file name for this SST.
+    pub fn file_name(&self) -> String {
+        format!("{:08}.sst", self.file_number)
+    }
+
+    /// Returns true if this file's key range overlaps `[lo, hi]`.
+    pub fn overlaps(&self, lo: UserKey, hi: UserKey) -> bool {
+        self.min_user_key <= hi && lo <= self.max_user_key
+    }
+
+    fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint64(dst, self.file_number);
+        put_varint64(dst, self.level as u64);
+        put_u64(dst, self.min_user_key);
+        put_u64(dst, self.max_user_key);
+        put_varint64(dst, self.num_entries);
+        put_varint64(dst, self.file_size);
+        put_u64(dst, self.min_seq);
+        put_u64(dst, self.max_seq);
+        put_varint64(dst, self.column_group as u64);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self> {
+        Ok(FileMeta {
+            file_number: d.varint64()?,
+            level: d.varint64()? as u32,
+            min_user_key: d.u64()?,
+            max_user_key: d.u64()?,
+            num_entries: d.varint64()?,
+            file_size: d.varint64()?,
+            min_seq: d.u64()?,
+            max_seq: d.u64()?,
+            column_group: d.varint64()? as u32,
+        })
+    }
+}
+
+/// A complete snapshot of the tree's on-disk state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionSnapshot {
+    /// Next file number to allocate.
+    pub next_file_number: u64,
+    /// Last sequence number assigned to a write.
+    pub last_seq: SeqNo,
+    /// All live files (any level, any column group).
+    pub files: Vec<FileMeta>,
+}
+
+impl VersionSnapshot {
+    /// Encodes the snapshot with a trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u64(&mut body, MANIFEST_MAGIC);
+        put_varint64(&mut body, self.next_file_number);
+        put_u64(&mut body, self.last_seq);
+        put_varint64(&mut body, self.files.len() as u64);
+        for f in &self.files {
+            f.encode_to(&mut body);
+        }
+        let mut out = body;
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decodes and verifies a snapshot.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < 12 {
+            return Err(Error::corruption("manifest too short"));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = crate::coding::get_u32(crc_bytes)?;
+        if crc32(body) != stored {
+            return Err(Error::corruption("manifest checksum mismatch"));
+        }
+        let mut d = Decoder::new(body);
+        if d.u64()? != MANIFEST_MAGIC {
+            return Err(Error::corruption("bad manifest magic"));
+        }
+        let next_file_number = d.varint64()?;
+        let last_seq = d.u64()?;
+        let count = d.varint64()? as usize;
+        let mut files = Vec::with_capacity(count);
+        for _ in 0..count {
+            files.push(FileMeta::decode(&mut d)?);
+        }
+        Ok(VersionSnapshot { next_file_number, last_seq, files })
+    }
+}
+
+/// Name of the live manifest file.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Persists a snapshot atomically (write temp, sync, rename).
+pub fn write_manifest(storage: &StorageRef, snapshot: &VersionSnapshot) -> Result<()> {
+    let mut f = storage.create(MANIFEST_TMP)?;
+    f.append(&snapshot.encode())?;
+    f.sync()?;
+    storage.rename(MANIFEST_TMP, MANIFEST_NAME)?;
+    Ok(())
+}
+
+/// Reads the current manifest, or returns an empty snapshot if none exists.
+pub fn read_manifest(storage: &StorageRef) -> Result<VersionSnapshot> {
+    if !storage.exists(MANIFEST_NAME) {
+        return Ok(VersionSnapshot::default());
+    }
+    let data = storage.open(MANIFEST_NAME)?.read_all()?;
+    VersionSnapshot::decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn sample_file(n: u64, level: u32) -> FileMeta {
+        FileMeta {
+            file_number: n,
+            level,
+            min_user_key: n * 100,
+            max_user_key: n * 100 + 99,
+            num_entries: 1000 + n,
+            file_size: 4096 * n,
+            min_seq: n,
+            max_seq: n + 10,
+            column_group: (n % 3) as u32,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let snap = VersionSnapshot {
+            next_file_number: 42,
+            last_seq: 99,
+            files: (1..10).map(|n| sample_file(n, (n % 4) as u32)).collect(),
+        };
+        let enc = snap.encode();
+        let dec = VersionSnapshot::decode(&enc).unwrap();
+        assert_eq!(dec, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrip() {
+        let snap = VersionSnapshot::default();
+        assert_eq!(VersionSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let snap = VersionSnapshot { next_file_number: 1, last_seq: 2, files: vec![sample_file(1, 0)] };
+        let mut enc = snap.encode();
+        enc[10] ^= 0xFF;
+        assert!(VersionSnapshot::decode(&enc).is_err());
+        assert!(VersionSnapshot::decode(&enc[..4]).is_err());
+    }
+
+    #[test]
+    fn write_and_read_manifest() {
+        let storage: StorageRef = MemStorage::new_ref();
+        // Missing manifest -> empty snapshot.
+        assert_eq!(read_manifest(&storage).unwrap(), VersionSnapshot::default());
+        let snap = VersionSnapshot {
+            next_file_number: 7,
+            last_seq: 123,
+            files: vec![sample_file(3, 1), sample_file(4, 2)],
+        };
+        write_manifest(&storage, &snap).unwrap();
+        assert_eq!(read_manifest(&storage).unwrap(), snap);
+        // Overwrite with a newer snapshot.
+        let snap2 = VersionSnapshot { next_file_number: 8, last_seq: 200, files: vec![] };
+        write_manifest(&storage, &snap2).unwrap();
+        assert_eq!(read_manifest(&storage).unwrap(), snap2);
+        // Temp file is not left behind.
+        assert!(!storage.exists(MANIFEST_TMP));
+    }
+
+    #[test]
+    fn file_meta_helpers() {
+        let f = sample_file(2, 1);
+        assert_eq!(f.file_name(), "00000002.sst");
+        assert!(f.overlaps(150, 250));
+        assert!(f.overlaps(299, 400));
+        assert!(!f.overlaps(300, 400));
+        assert!(!f.overlaps(0, 100));
+    }
+}

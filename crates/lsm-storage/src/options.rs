@@ -1,0 +1,142 @@
+//! Engine configuration.
+
+use crate::sst::TableOptions;
+
+/// Which SST a compaction job picks from an overflowing level.
+///
+/// Mirrors the two RocksDB policies the paper compares in Figure 2:
+/// `kByCompensatedSize` (largest file first) and `kOldestSmallestSeqFirst`
+/// (the file whose data has gone the longest without compaction). The paper
+/// adopts the time-based priority because it best preserves the
+/// "data age increases with level depth" property LASER relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPriority {
+    /// Pick the largest SST in the overflowing level (RocksDB `kByCompensatedSize`).
+    ByCompensatedSize,
+    /// Pick the SST containing the oldest data, i.e. the smallest minimum
+    /// sequence number (RocksDB `kOldestSmallestSeqFirst`).
+    #[default]
+    OldestSmallestSeqFirst,
+}
+
+/// Options for the plain key-value LSM engine ([`crate::db::LsmDb`]).
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Size at which the mutable memtable is frozen and flushed, in bytes.
+    pub memtable_size_bytes: usize,
+    /// Capacity of Level-0 in bytes; level `i` holds `level0 * T^i` bytes.
+    pub level0_size_bytes: u64,
+    /// Size ratio `T` between adjacent levels.
+    pub size_ratio: u64,
+    /// Maximum number of on-disk levels `L` (levels are numbered 0..L-1).
+    pub num_levels: usize,
+    /// Target size for individual SST files produced by compaction.
+    pub sst_target_size_bytes: u64,
+    /// Compaction picking policy.
+    pub compaction_priority: CompactionPriority,
+    /// Whether to fsync the WAL after every write batch.
+    pub sync_wal: bool,
+    /// Whether compaction is triggered automatically after writes and flushes.
+    /// Disable to schedule compaction manually (as the Fig. 7(e) experiment does).
+    pub auto_compact: bool,
+    /// SST/block construction parameters.
+    pub table: TableOptions,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            memtable_size_bytes: 4 << 20,
+            level0_size_bytes: 64 << 20,
+            size_ratio: 2,
+            num_levels: 7,
+            sst_target_size_bytes: 8 << 20,
+            compaction_priority: CompactionPriority::default(),
+            sync_wal: false,
+            auto_compact: true,
+            table: TableOptions::default(),
+        }
+    }
+}
+
+impl LsmOptions {
+    /// A small configuration suitable for unit tests and scaled-down
+    /// experiments: tiny memtable and Level-0 so the tree develops several
+    /// populated levels with modest data volumes.
+    pub fn small_for_tests() -> Self {
+        LsmOptions {
+            memtable_size_bytes: 16 << 10,
+            level0_size_bytes: 32 << 10,
+            size_ratio: 2,
+            num_levels: 5,
+            sst_target_size_bytes: 16 << 10,
+            compaction_priority: CompactionPriority::default(),
+            sync_wal: false,
+            auto_compact: true,
+            table: TableOptions::default(),
+        }
+    }
+
+    /// Capacity of level `i` in bytes.
+    pub fn level_capacity_bytes(&self, level: usize) -> u64 {
+        self.level0_size_bytes.saturating_mul(self.size_ratio.saturating_pow(level as u32))
+    }
+
+    /// Validates option consistency.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if self.size_ratio < 2 {
+            return Err(crate::error::Error::invalid("size_ratio must be at least 2"));
+        }
+        if self.num_levels == 0 {
+            return Err(crate::error::Error::invalid("num_levels must be at least 1"));
+        }
+        if self.memtable_size_bytes == 0 || self.level0_size_bytes == 0 {
+            return Err(crate::error::Error::invalid("sizes must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        LsmOptions::default().validate().unwrap();
+        LsmOptions::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn level_capacity_grows_geometrically() {
+        let mut o = LsmOptions::default();
+        o.level0_size_bytes = 100;
+        o.size_ratio = 2;
+        assert_eq!(o.level_capacity_bytes(0), 100);
+        assert_eq!(o.level_capacity_bytes(1), 200);
+        assert_eq!(o.level_capacity_bytes(4), 1600);
+        o.size_ratio = 10;
+        assert_eq!(o.level_capacity_bytes(3), 100_000);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut o = LsmOptions::default();
+        o.size_ratio = 1;
+        assert!(o.validate().is_err());
+        let mut o = LsmOptions::default();
+        o.num_levels = 0;
+        assert!(o.validate().is_err());
+        let mut o = LsmOptions::default();
+        o.memtable_size_bytes = 0;
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn default_priority_is_time_based() {
+        assert_eq!(
+            CompactionPriority::default(),
+            CompactionPriority::OldestSmallestSeqFirst
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! An arena-backed skiplist used by the in-memory write buffer (memtable).
+//!
+//! The paper keeps the memory component of the Real-Time LSM-Tree identical
+//! to a classic LSM-Tree: "two or more skiplists of user-configured size"
+//! (Section 2.1). This implementation stores nodes in a `Vec` arena and links
+//! them with indices, which keeps the code free of `unsafe` while preserving
+//! the expected O(log n) insert/seek behaviour.
+//!
+//! Keys are arbitrary byte strings compared lexicographically (the engine
+//! stores encoded internal keys). Inserting a key that already exists is not
+//! supported — the memtable never does this because every write carries a
+//! fresh sequence number, which makes internal keys unique.
+
+const MAX_HEIGHT: usize = 12;
+/// Probability numerator for growing a tower by one level (1/4 like LevelDB).
+const BRANCHING: u32 = 4;
+
+#[derive(Debug)]
+struct Node {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// next[i] = index of the next node at level i, or `NIL`.
+    next: Vec<u32>,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A single-writer, multi-reader (externally synchronized) skiplist.
+#[derive(Debug)]
+pub struct SkipList {
+    /// Arena of nodes; index 0 is the head sentinel.
+    nodes: Vec<Node>,
+    height: usize,
+    len: usize,
+    /// Approximate memory usage of keys and values in bytes.
+    approximate_bytes: usize,
+    /// Simple xorshift PRNG state for tower heights (deterministic).
+    rng_state: u64,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        let head = Node { key: Vec::new(), value: Vec::new(), next: vec![NIL; MAX_HEIGHT] };
+        SkipList {
+            nodes: vec![head],
+            height: 1,
+            len: 0,
+            approximate_bytes: 0,
+            rng_state: 0x853c_49e6_748f_ea9b,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate bytes used by keys and values.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let mut r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut height = 1usize;
+        while height < MAX_HEIGHT && (r % BRANCHING as u64) == 0 {
+            height += 1;
+            r /= BRANCHING as u64;
+        }
+        height
+    }
+
+    /// Inserts a key/value pair. The key must not already be present.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) {
+        let mut prev = [0u32; MAX_HEIGHT];
+        let mut x = 0u32; // head
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[x as usize].next[level];
+                if next != NIL && self.nodes[next as usize].key.as_slice() < key {
+                    x = next;
+                } else {
+                    break;
+                }
+            }
+            prev[level] = x;
+        }
+        debug_assert!(
+            {
+                let next = self.nodes[prev[0] as usize].next[0];
+                next == NIL || self.nodes[next as usize].key.as_slice() != key
+            },
+            "duplicate key inserted into skiplist"
+        );
+        let height = self.random_height();
+        if height > self.height {
+            for item in prev.iter_mut().take(height).skip(self.height) {
+                *item = 0;
+            }
+            self.height = height;
+        }
+        let new_idx = self.nodes.len() as u32;
+        let mut next = vec![NIL; height];
+        for (level, slot) in next.iter_mut().enumerate() {
+            *slot = self.nodes[prev[level] as usize].next[level];
+        }
+        self.approximate_bytes += key.len() + value.len() + std::mem::size_of::<Node>();
+        self.nodes.push(Node { key: key.to_vec(), value: value.to_vec(), next });
+        for level in 0..height {
+            self.nodes[prev[level] as usize].next[level] = new_idx;
+        }
+        self.len += 1;
+    }
+
+    /// Finds the first node whose key is >= `target`, returning its index.
+    fn find_greater_or_equal(&self, target: &[u8]) -> u32 {
+        let mut x = 0u32;
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[x as usize].next[level];
+                if next != NIL && self.nodes[next as usize].key.as_slice() < target {
+                    x = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.nodes[x as usize].next[0]
+    }
+
+    /// Returns the value stored for exactly `key`, if present.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let idx = self.find_greater_or_equal(key);
+        if idx == NIL {
+            return None;
+        }
+        let node = &self.nodes[idx as usize];
+        if node.key.as_slice() == key {
+            Some(&node.value)
+        } else {
+            None
+        }
+    }
+
+    /// Creates a cursor positioned before the first entry.
+    pub fn iter(&self) -> SkipListIter<'_> {
+        SkipListIter { list: self, current: NIL }
+    }
+
+    /// Drains the list into a sorted vector of owned pairs.
+    pub fn to_sorted_vec(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut idx = self.nodes[0].next[0];
+        while idx != NIL {
+            let node = &self.nodes[idx as usize];
+            out.push((node.key.clone(), node.value.clone()));
+            idx = node.next[0];
+        }
+        out
+    }
+}
+
+/// A borrowing cursor over a [`SkipList`].
+#[derive(Debug, Clone)]
+pub struct SkipListIter<'a> {
+    list: &'a SkipList,
+    current: u32,
+}
+
+impl<'a> SkipListIter<'a> {
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.current = self.list.nodes[0].next[0];
+    }
+
+    /// Positions at the first entry with key >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.current = self.list.find_greater_or_equal(target);
+    }
+
+    /// Advances to the next entry.
+    pub fn next_entry(&mut self) {
+        if self.current != NIL {
+            self.current = self.list.nodes[self.current as usize].next[0];
+        }
+    }
+
+    /// Returns true while positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.current != NIL
+    }
+
+    /// Current key. Only valid while `valid()`.
+    pub fn key(&self) -> &'a [u8] {
+        &self.list.nodes[self.current as usize].key
+    }
+
+    /// Current value. Only valid while `valid()`.
+    pub fn value(&self) -> &'a [u8] {
+        &self.list.nodes[self.current as usize].value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_and_get() {
+        let mut list = SkipList::new();
+        assert!(list.is_empty());
+        list.insert(b"b", b"2");
+        list.insert(b"a", b"1");
+        list.insert(b"c", b"3");
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(list.get(b"b"), Some(&b"2"[..]));
+        assert_eq!(list.get(b"c"), Some(&b"3"[..]));
+        assert_eq!(list.get(b"d"), None);
+        assert_eq!(list.get(b""), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut list = SkipList::new();
+        let keys: Vec<u64> = vec![5, 1, 9, 3, 7, 2, 8, 0, 6, 4];
+        for k in &keys {
+            list.insert(&k.to_be_bytes(), &k.to_le_bytes());
+        }
+        let sorted = list.to_sorted_vec();
+        let expected: Vec<Vec<u8>> = (0..10u64).map(|k| k.to_be_bytes().to_vec()).collect();
+        let actual: Vec<Vec<u8>> = sorted.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn seek_semantics() {
+        let mut list = SkipList::new();
+        for k in [10u64, 20, 30, 40] {
+            list.insert(&k.to_be_bytes(), b"v");
+        }
+        let mut it = list.iter();
+        it.seek(&20u64.to_be_bytes());
+        assert!(it.valid());
+        assert_eq!(it.key(), &20u64.to_be_bytes());
+        it.seek(&21u64.to_be_bytes());
+        assert_eq!(it.key(), &30u64.to_be_bytes());
+        it.seek(&100u64.to_be_bytes());
+        assert!(!it.valid());
+        it.seek_to_first();
+        assert_eq!(it.key(), &10u64.to_be_bytes());
+        it.next_entry();
+        assert_eq!(it.key(), &20u64.to_be_bytes());
+    }
+
+    #[test]
+    fn matches_btreemap_model_on_many_keys() {
+        let mut list = SkipList::new();
+        let mut model = BTreeMap::new();
+        // Insert keys in a scrambled but deterministic order.
+        let mut k = 1u64;
+        for _ in 0..5_000 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (k % 1_000_000).to_be_bytes().to_vec();
+            if model.contains_key(&key) {
+                continue;
+            }
+            let value = k.to_le_bytes().to_vec();
+            list.insert(&key, &value);
+            model.insert(key, value);
+        }
+        assert_eq!(list.len(), model.len());
+        let from_list = list.to_sorted_vec();
+        let from_model: Vec<_> = model.into_iter().collect();
+        assert_eq!(from_list, from_model);
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let mut list = SkipList::new();
+        assert_eq!(list.approximate_bytes(), 0);
+        list.insert(&[0u8; 100], &[0u8; 900]);
+        assert!(list.approximate_bytes() >= 1000);
+    }
+
+    #[test]
+    fn empty_iterator_is_invalid() {
+        let list = SkipList::new();
+        let mut it = list.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek(b"anything");
+        assert!(!it.valid());
+    }
+}

@@ -1,0 +1,695 @@
+//! Pluggable storage backends.
+//!
+//! The engine never touches the filesystem directly; everything goes through
+//! the [`Storage`] trait. Three implementations are provided:
+//!
+//! * [`FileStorage`] — durable files on a local directory (the "real" backend).
+//! * [`MemStorage`] — an in-memory backend that counts 4 KiB-block reads and
+//!   writes. The paper's cost model is expressed in block I/Os, so all
+//!   experiments report these counters in addition to wall-clock time.
+//! * [`FaultInjectingStorage`] — wraps another backend and fails operations on
+//!   demand, used by failure-injection tests.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{Error, Result};
+
+/// The block size used for I/O accounting (matches the 4 KiB page the paper
+/// assumes for its cost model).
+pub const IO_BLOCK_SIZE: u64 = 4096;
+
+/// Counters describing the I/O a storage backend has performed.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Number of read calls.
+    pub reads: AtomicU64,
+    /// Number of write (append) calls.
+    pub writes: AtomicU64,
+    /// Total bytes read.
+    pub bytes_read: AtomicU64,
+    /// Total bytes written.
+    pub bytes_written: AtomicU64,
+    /// Number of 4 KiB blocks touched by reads (each read is rounded up).
+    pub blocks_read: AtomicU64,
+    /// Number of 4 KiB blocks touched by writes.
+    pub blocks_written: AtomicU64,
+    /// Number of sync/flush calls.
+    pub syncs: AtomicU64,
+}
+
+impl IoStats {
+    /// Records a read of `len` bytes.
+    pub fn record_read(&self, len: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.blocks_read
+            .fetch_add(len.div_ceil(IO_BLOCK_SIZE).max(1), Ordering::Relaxed);
+    }
+
+    /// Records a write of `len` bytes.
+    pub fn record_write(&self, len: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        self.blocks_written
+            .fetch_add(len.div_ceil(IO_BLOCK_SIZE).max(1), Ordering::Relaxed);
+    }
+
+    /// Records a sync.
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of the counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned, copyable snapshot of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of read calls.
+    pub reads: u64,
+    /// Number of write calls.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// 4 KiB blocks read.
+    pub blocks_read: u64,
+    /// 4 KiB blocks written.
+    pub blocks_written: u64,
+    /// Sync calls.
+    pub syncs: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
+        }
+    }
+}
+
+/// A file opened for appending.
+pub trait WritableFile: Send + Sync {
+    /// Appends bytes at the end of the file.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+    /// Forces buffered data to durable storage.
+    fn sync(&mut self) -> Result<()>;
+    /// Current length of the file in bytes.
+    fn len(&self) -> u64;
+    /// Returns true if nothing has been appended yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A file opened for random-access reads.
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads `len` bytes starting at `offset`. Returns fewer bytes only at EOF.
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
+    /// Total length of the file in bytes.
+    fn len(&self) -> u64;
+    /// Returns true if the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Reads the entire file.
+    fn read_all(&self) -> Result<Vec<u8>> {
+        self.read_at(0, self.len() as usize)
+    }
+}
+
+/// A named-file storage backend (the substrate's equivalent of an `Env`).
+pub trait Storage: Send + Sync {
+    /// Creates (or truncates) a file for appending.
+    fn create(&self, name: &str) -> Result<Box<dyn WritableFile>>;
+    /// Opens an existing file for random-access reads.
+    fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>>;
+    /// Deletes a file. Deleting a missing file is an error.
+    fn delete(&self, name: &str) -> Result<()>;
+    /// Returns true if the file exists.
+    fn exists(&self, name: &str) -> bool;
+    /// Lists all file names in the backend (unordered).
+    fn list(&self) -> Result<Vec<String>>;
+    /// Atomically renames a file, replacing the destination if present.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+    /// Returns the I/O statistics collector for this backend.
+    fn io_stats(&self) -> Arc<IoStats>;
+    /// Size of a file in bytes.
+    fn size_of(&self, name: &str) -> Result<u64> {
+        Ok(self.open(name)?.len())
+    }
+}
+
+/// Shared handle to a storage backend.
+pub type StorageRef = Arc<dyn Storage>;
+
+// ---------------------------------------------------------------------------
+// In-memory storage
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct MemInner {
+    files: HashMap<String, Arc<RwLock<Vec<u8>>>>,
+}
+
+/// In-memory storage backend with block-I/O accounting.
+///
+/// Used by tests (hermetic, fast) and by the benchmark harness (deterministic
+/// I/O counts that map directly onto the paper's cost model).
+pub struct MemStorage {
+    inner: RwLock<MemInner>,
+    stats: Arc<IoStats>,
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStorage {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        MemStorage { inner: RwLock::new(MemInner::default()), stats: Arc::new(IoStats::default()) }
+    }
+
+    /// Creates an empty backend wrapped in an [`Arc`] for sharing.
+    pub fn new_ref() -> StorageRef {
+        Arc::new(Self::new())
+    }
+
+    /// Total bytes currently stored across all files.
+    pub fn total_size(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.files.values().map(|f| f.read().len() as u64).sum()
+    }
+}
+
+struct MemWritable {
+    buf: Arc<RwLock<Vec<u8>>>,
+    stats: Arc<IoStats>,
+}
+
+impl WritableFile for MemWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.stats.record_write(data.len() as u64);
+        self.buf.write().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.read().len() as u64
+    }
+}
+
+struct MemReadable {
+    buf: Arc<RwLock<Vec<u8>>>,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for MemReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let buf = self.buf.read();
+        let start = (offset as usize).min(buf.len());
+        let end = (start + len).min(buf.len());
+        self.stats.record_read((end - start) as u64);
+        Ok(buf[start..end].to_vec())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.read().len() as u64
+    }
+}
+
+impl Storage for MemStorage {
+    fn create(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        let buf = Arc::new(RwLock::new(Vec::new()));
+        self.inner.write().files.insert(name.to_string(), Arc::clone(&buf));
+        Ok(Box::new(MemWritable { buf, stats: Arc::clone(&self.stats) }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
+        let inner = self.inner.read();
+        let buf = inner
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("file {name}")))?;
+        Ok(Box::new(MemReadable { buf, stats: Arc::clone(&self.stats) }))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner
+            .write()
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found(format!("file {name}")))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.read().files.contains_key(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.inner.read().files.keys().cloned().collect())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let buf = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| Error::not_found(format!("file {from}")))?;
+        inner.files.insert(to.to_string(), buf);
+        Ok(())
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed storage
+// ---------------------------------------------------------------------------
+
+/// Durable storage rooted at a directory on the local filesystem.
+pub struct FileStorage {
+    root: PathBuf,
+    stats: Arc<IoStats>,
+}
+
+impl FileStorage {
+    /// Opens (creating if necessary) a storage rooted at `root`.
+    pub fn open_dir(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FileStorage { root, stats: Arc::new(IoStats::default()) })
+    }
+
+    /// Opens a file storage wrapped in an [`Arc`].
+    pub fn open_ref(root: impl Into<PathBuf>) -> Result<StorageRef> {
+        Ok(Arc::new(Self::open_dir(root)?))
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+struct FileWritable {
+    file: std::fs::File,
+    len: u64,
+    stats: Arc<IoStats>,
+}
+
+impl WritableFile for FileWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct FileReadable {
+    file: Mutex<std::fs::File>,
+    len: u64,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for FileReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut read = 0usize;
+        while read < len {
+            let n = file.read(&mut buf[read..])?;
+            if n == 0 {
+                break;
+            }
+            read += n;
+        }
+        buf.truncate(read);
+        self.stats.record_read(read as u64);
+        Ok(buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+impl Storage for FileStorage {
+    fn create(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(self.path(name))?;
+        Ok(Box::new(FileWritable { file, len: 0, stats: Arc::clone(&self.stats) }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
+        let path = self.path(name);
+        let file = std::fs::File::open(&path)
+            .map_err(|_| Error::not_found(format!("file {name}")))?;
+        let len = file.metadata()?.len();
+        Ok(Box::new(FileReadable { file: Mutex::new(file), len, stats: Arc::clone(&self.stats) }))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        std::fs::remove_file(self.path(name))
+            .map_err(|_| Error::not_found(format!("file {name}")))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(self.path(from), self.path(to))?;
+        Ok(())
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Which operations the fault injector should fail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Fail every `create` call.
+    pub fail_create: bool,
+    /// Fail every `append` call on writable files.
+    pub fail_append: bool,
+    /// Fail every `sync` call.
+    pub fail_sync: bool,
+    /// Fail every `read_at` call.
+    pub fail_read: bool,
+    /// Fail after this many successful appends (0 = disabled).
+    pub fail_after_appends: u64,
+}
+
+/// A storage wrapper that injects failures according to a mutable [`FaultConfig`].
+pub struct FaultInjectingStorage {
+    inner: StorageRef,
+    config: Arc<RwLock<FaultConfig>>,
+    appends: Arc<AtomicU64>,
+}
+
+impl FaultInjectingStorage {
+    /// Wraps `inner` with fault injection (initially disabled).
+    pub fn new(inner: StorageRef) -> Self {
+        FaultInjectingStorage {
+            inner,
+            config: Arc::new(RwLock::new(FaultConfig::default())),
+            appends: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replaces the fault configuration.
+    pub fn set_config(&self, config: FaultConfig) {
+        *self.config.write() = config;
+    }
+
+    /// Returns the current fault configuration.
+    pub fn config(&self) -> FaultConfig {
+        *self.config.read()
+    }
+}
+
+struct FaultWritable {
+    inner: Box<dyn WritableFile>,
+    config: Arc<RwLock<FaultConfig>>,
+    appends: Arc<AtomicU64>,
+}
+
+impl WritableFile for FaultWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let cfg = *self.config.read();
+        if cfg.fail_append {
+            return Err(Error::StorageFault("injected append failure".into()));
+        }
+        let count = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if cfg.fail_after_appends > 0 && count > cfg.fail_after_appends {
+            return Err(Error::StorageFault(format!(
+                "injected append failure after {} appends",
+                cfg.fail_after_appends
+            )));
+        }
+        self.inner.append(data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.config.read().fail_sync {
+            return Err(Error::StorageFault("injected sync failure".into()));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultReadable {
+    inner: Box<dyn RandomAccessFile>,
+    config: Arc<RwLock<FaultConfig>>,
+}
+
+impl RandomAccessFile for FaultReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        if self.config.read().fail_read {
+            return Err(Error::StorageFault("injected read failure".into()));
+        }
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Storage for FaultInjectingStorage {
+    fn create(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        if self.config.read().fail_create {
+            return Err(Error::StorageFault("injected create failure".into()));
+        }
+        Ok(Box::new(FaultWritable {
+            inner: self.inner.create(name)?,
+            config: Arc::clone(&self.config),
+            appends: Arc::clone(&self.appends),
+        }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
+        Ok(Box::new(FaultReadable {
+            inner: self.inner.open(name)?,
+            config: Arc::clone(&self.config),
+        }))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner.delete(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.inner.io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(storage: &dyn Storage) {
+        let mut f = storage.create("a.sst").unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.len(), 11);
+        assert!(storage.exists("a.sst"));
+
+        let r = storage.open("a.sst").unwrap();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(r.read_at(6, 5).unwrap(), b"world");
+        assert_eq!(r.read_at(6, 100).unwrap(), b"world");
+        assert_eq!(r.read_all().unwrap(), b"hello world");
+
+        storage.rename("a.sst", "b.sst").unwrap();
+        assert!(!storage.exists("a.sst"));
+        assert!(storage.exists("b.sst"));
+        assert!(storage.list().unwrap().contains(&"b.sst".to_string()));
+        assert_eq!(storage.size_of("b.sst").unwrap(), 11);
+
+        storage.delete("b.sst").unwrap();
+        assert!(!storage.exists("b.sst"));
+        assert!(storage.delete("b.sst").is_err());
+        assert!(storage.open("missing").is_err());
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        roundtrip(&MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lsm-storage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = FileStorage::open_dir(&dir).unwrap();
+        roundtrip(&storage);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_storage_counts_blocks() {
+        let storage = MemStorage::new();
+        let mut f = storage.create("x").unwrap();
+        f.append(&vec![0u8; 10_000]).unwrap();
+        let r = storage.open("x").unwrap();
+        r.read_at(0, 5000).unwrap();
+        let snap = storage.io_stats().snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 10_000);
+        assert_eq!(snap.blocks_written, 3); // ceil(10000/4096)
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.blocks_read, 2); // ceil(5000/4096)
+    }
+
+    #[test]
+    fn io_stats_delta_and_reset() {
+        let stats = IoStats::default();
+        stats.record_read(100);
+        let before = stats.snapshot();
+        stats.record_read(5000);
+        stats.record_write(1);
+        let after = stats.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.blocks_read, 2);
+        assert_eq!(delta.writes, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_injection_append_and_read() {
+        let storage = FaultInjectingStorage::new(MemStorage::new_ref());
+        let mut f = storage.create("f").unwrap();
+        f.append(b"ok").unwrap();
+        storage.set_config(FaultConfig { fail_append: true, ..Default::default() });
+        assert!(matches!(f.append(b"no"), Err(Error::StorageFault(_))));
+        storage.set_config(FaultConfig { fail_read: true, ..Default::default() });
+        let r = storage.open("f").unwrap();
+        assert!(r.read_at(0, 2).is_err());
+        storage.set_config(FaultConfig::default());
+        assert_eq!(r.read_at(0, 2).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn fault_injection_fail_after_n_appends() {
+        let storage = FaultInjectingStorage::new(MemStorage::new_ref());
+        storage.set_config(FaultConfig { fail_after_appends: 2, ..Default::default() });
+        let mut f = storage.create("f").unwrap();
+        assert!(f.append(b"1").is_ok());
+        assert!(f.append(b"2").is_ok());
+        assert!(f.append(b"3").is_err());
+    }
+
+    #[test]
+    fn fault_injection_create() {
+        let storage = FaultInjectingStorage::new(MemStorage::new_ref());
+        storage.set_config(FaultConfig { fail_create: true, ..Default::default() });
+        assert!(storage.create("x").is_err());
+    }
+}

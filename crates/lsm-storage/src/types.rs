@@ -1,0 +1,362 @@
+//! Core key types of the LSM-Tree.
+//!
+//! User keys are 64-bit unsigned integers (the paper's benchmark uses an
+//! 8-byte integer primary key `a0`). Internally every write is tagged with a
+//! monotonically increasing sequence number and a [`ValueKind`], forming an
+//! [`InternalKey`]. Internal keys are ordered by `(user_key asc, seq desc)`,
+//! so the newest version of a key sorts first, and the byte encoding is
+//! designed so that comparing encoded keys as raw bytes yields the same order.
+
+use crate::error::{Error, Result};
+
+/// A user-visible key. The HTAP benchmark uses 64-bit integer primary keys.
+pub type UserKey = u64;
+
+/// Monotonically increasing sequence number assigned to every write.
+pub type SeqNo = u64;
+
+/// The maximum sequence number; used when seeking for "the newest visible
+/// version" of a key.
+pub const MAX_SEQNO: SeqNo = u64::MAX >> 8;
+
+/// Length in bytes of an encoded [`InternalKey`].
+pub const INTERNAL_KEY_LEN: usize = 17;
+
+/// What kind of record an internal key refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ValueKind {
+    /// A complete row (or complete column-group fragment): all columns present.
+    Full = 0,
+    /// A partial row carrying only a subset of columns (LASER column updates,
+    /// Section 4.2 of the paper). Merged with older versions at compaction.
+    Partial = 1,
+    /// A deletion marker. Older versions of the key are discarded when the
+    /// tombstone reaches the last level.
+    Tombstone = 2,
+}
+
+impl ValueKind {
+    /// Decodes a kind from its byte tag.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(ValueKind::Full),
+            1 => Ok(ValueKind::Partial),
+            2 => Ok(ValueKind::Tombstone),
+            other => Err(Error::corruption(format!("invalid value kind {other}"))),
+        }
+    }
+
+    /// Returns true for tombstones.
+    pub fn is_tombstone(self) -> bool {
+        matches!(self, ValueKind::Tombstone)
+    }
+}
+
+/// An internal key: user key + sequence number + kind.
+///
+/// Ordering: ascending by user key, then *descending* by sequence number,
+/// then ascending by kind tag. This places the newest version of each user
+/// key first within a sorted run, which is what point lookups and merging
+/// iterators rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InternalKey {
+    /// The user key.
+    pub user_key: UserKey,
+    /// The sequence number of the write.
+    pub seq: SeqNo,
+    /// The record kind.
+    pub kind: ValueKind,
+}
+
+impl InternalKey {
+    /// Creates a new internal key.
+    pub fn new(user_key: UserKey, seq: SeqNo, kind: ValueKind) -> Self {
+        InternalKey { user_key, seq, kind }
+    }
+
+    /// The largest internal key for `user_key` (sorts before all real versions
+    /// of that user key). Useful as a seek target for "newest version of key".
+    pub fn seek_to(user_key: UserKey) -> Self {
+        InternalKey::new(user_key, MAX_SEQNO, ValueKind::Full)
+    }
+
+    /// Encodes the key so that lexicographic byte comparison of encodings
+    /// equals [`Ord`] on the struct: big-endian user key, then the bitwise
+    /// complement of the sequence number (so larger sequence numbers sort
+    /// first), then the kind tag.
+    pub fn encode(&self) -> [u8; INTERNAL_KEY_LEN] {
+        let mut out = [0u8; INTERNAL_KEY_LEN];
+        out[..8].copy_from_slice(&self.user_key.to_be_bytes());
+        out[8..16].copy_from_slice(&(!self.seq).to_be_bytes());
+        out[16] = self.kind as u8;
+        out
+    }
+
+    /// Appends the encoding to a buffer.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        dst.extend_from_slice(&self.encode());
+    }
+
+    /// Decodes an internal key from its 17-byte encoding.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() != INTERNAL_KEY_LEN {
+            return Err(Error::corruption(format!(
+                "internal key must be {INTERNAL_KEY_LEN} bytes, got {}",
+                buf.len()
+            )));
+        }
+        let mut k = [0u8; 8];
+        k.copy_from_slice(&buf[..8]);
+        let mut s = [0u8; 8];
+        s.copy_from_slice(&buf[8..16]);
+        Ok(InternalKey {
+            user_key: u64::from_be_bytes(k),
+            seq: !u64::from_be_bytes(s),
+            kind: ValueKind::from_u8(buf[16])?,
+        })
+    }
+
+    /// Extracts just the user key from an encoded internal key.
+    pub fn decode_user_key(buf: &[u8]) -> Result<UserKey> {
+        if buf.len() < 8 {
+            return Err(Error::corruption("encoded internal key too short"));
+        }
+        let mut k = [0u8; 8];
+        k.copy_from_slice(&buf[..8]);
+        Ok(u64::from_be_bytes(k))
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            .then(other.seq.cmp(&self.seq))
+            .then((self.kind as u8).cmp(&(other.kind as u8)))
+    }
+}
+
+/// A single write operation destined for the memtable / WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The user key being written.
+    pub user_key: UserKey,
+    /// Record kind (full row, partial row, or tombstone).
+    pub kind: ValueKind,
+    /// Encoded value payload (empty for tombstones).
+    pub value: Vec<u8>,
+}
+
+impl WriteEntry {
+    /// Creates a full-row write.
+    pub fn put(user_key: UserKey, value: Vec<u8>) -> Self {
+        WriteEntry { user_key, kind: ValueKind::Full, value }
+    }
+
+    /// Creates a partial-row write (column update).
+    pub fn partial(user_key: UserKey, value: Vec<u8>) -> Self {
+        WriteEntry { user_key, kind: ValueKind::Partial, value }
+    }
+
+    /// Creates a tombstone.
+    pub fn delete(user_key: UserKey) -> Self {
+        WriteEntry { user_key, kind: ValueKind::Tombstone, value: Vec::new() }
+    }
+}
+
+/// A batch of writes applied atomically with consecutive sequence numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    entries: Vec<WriteEntry>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a full-row put.
+    pub fn put(&mut self, user_key: UserKey, value: Vec<u8>) -> &mut Self {
+        self.entries.push(WriteEntry::put(user_key, value));
+        self
+    }
+
+    /// Appends a partial-row put.
+    pub fn put_partial(&mut self, user_key: UserKey, value: Vec<u8>) -> &mut Self {
+        self.entries.push(WriteEntry::partial(user_key, value));
+        self
+    }
+
+    /// Appends a tombstone.
+    pub fn delete(&mut self, user_key: UserKey) -> &mut Self {
+        self.entries.push(WriteEntry::delete(user_key));
+        self
+    }
+
+    /// Number of entries in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the batch contains no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteEntry> {
+        self.entries.iter()
+    }
+
+    /// Consumes the batch, yielding its entries.
+    pub fn into_entries(self) -> Vec<WriteEntry> {
+        self.entries
+    }
+
+    /// Approximate in-memory/encoded size of the batch in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| INTERNAL_KEY_LEN + e.value.len() + 8)
+            .sum()
+    }
+
+    /// Serializes the batch for the WAL: entry count then each entry as
+    /// `(kind, key, value-length-prefixed)`.
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::coding::{put_length_prefixed, put_u64, put_varint64};
+        let mut out = Vec::with_capacity(self.approximate_size() + 8);
+        put_varint64(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            out.push(e.kind as u8);
+            put_u64(&mut out, e.user_key);
+            put_length_prefixed(&mut out, &e.value);
+        }
+        out
+    }
+
+    /// Decodes a batch previously produced by [`WriteBatch::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        use crate::coding::Decoder;
+        let mut d = Decoder::new(buf);
+        let count = d.varint64()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = ValueKind::from_u8(d.u8()?)?;
+            let user_key = d.u64()?;
+            let value = d.length_prefixed()?.to_vec();
+            entries.push(WriteEntry { user_key, kind, value });
+        }
+        if !d.is_empty() {
+            return Err(Error::corruption("trailing bytes after write batch"));
+        }
+        Ok(WriteBatch { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_key_ordering() {
+        let a = InternalKey::new(1, 5, ValueKind::Full);
+        let b = InternalKey::new(1, 9, ValueKind::Full);
+        let c = InternalKey::new(2, 1, ValueKind::Full);
+        // Same user key: higher seq sorts first.
+        assert!(b < a);
+        // Different user keys: numeric order.
+        assert!(a < c);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn encoding_preserves_ordering() {
+        let keys = vec![
+            InternalKey::new(0, 0, ValueKind::Full),
+            InternalKey::new(1, 100, ValueKind::Full),
+            InternalKey::new(1, 50, ValueKind::Partial),
+            InternalKey::new(1, 50, ValueKind::Tombstone),
+            InternalKey::new(1, 1, ValueKind::Full),
+            InternalKey::new(u64::MAX, MAX_SEQNO, ValueKind::Full),
+        ];
+        let mut sorted_structs = keys.clone();
+        sorted_structs.sort();
+        let mut sorted_bytes: Vec<_> = keys.iter().map(|k| k.encode().to_vec()).collect();
+        sorted_bytes.sort();
+        let decoded: Vec<_> = sorted_bytes
+            .iter()
+            .map(|b| InternalKey::decode(b).unwrap())
+            .collect();
+        assert_eq!(decoded, sorted_structs);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            for seq in [0u64, 1, MAX_SEQNO] {
+                for kind in [ValueKind::Full, ValueKind::Partial, ValueKind::Tombstone] {
+                    let ik = InternalKey::new(key, seq, kind);
+                    let enc = ik.encode();
+                    assert_eq!(InternalKey::decode(&enc).unwrap(), ik);
+                    assert_eq!(InternalKey::decode_user_key(&enc).unwrap(), key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seek_to_sorts_before_all_versions() {
+        let seek = InternalKey::seek_to(10);
+        let newest = InternalKey::new(10, MAX_SEQNO - 1, ValueKind::Full);
+        let old = InternalKey::new(10, 3, ValueKind::Full);
+        assert!(seek < newest);
+        assert!(seek < old);
+        assert!(seek > InternalKey::new(9, 0, ValueKind::Full));
+    }
+
+    #[test]
+    fn invalid_kind_rejected() {
+        assert!(ValueKind::from_u8(3).is_err());
+        let mut enc = InternalKey::new(1, 1, ValueKind::Full).encode();
+        enc[16] = 99;
+        assert!(InternalKey::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn write_batch_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(1, vec![1, 2, 3]);
+        b.put_partial(2, vec![4]);
+        b.delete(3);
+        assert_eq!(b.len(), 3);
+        let enc = b.encode();
+        let dec = WriteBatch::decode(&enc).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn write_batch_rejects_trailing_garbage() {
+        let mut b = WriteBatch::new();
+        b.put(1, vec![1]);
+        let mut enc = b.encode();
+        enc.push(0xFF);
+        assert!(WriteBatch::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn write_batch_empty() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        let dec = WriteBatch::decode(&b.encode()).unwrap();
+        assert!(dec.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Key-selection distributions for lifecycle-driven access patterns.
+//!
+//! The paper selects the key `v` of point queries from a normal distribution
+//! over the *time-since-insertion* of the keys, expressed as a fraction of the
+//! lifetime of the data set: a mean of 0.98 targets the freshest ~2% of keys
+//! (memtable / Level-0 / Level-1), a mean of 0.85 targets slightly older data
+//! (Level-2 / Level-3). Figure 9(a).
+
+use rand::Rng;
+
+/// A (truncated) normal distribution over recency ranks in `[0, 1]`, where
+/// `1.0` is the most recently inserted key and `0.0` the oldest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyAgeDistribution {
+    /// Mean recency (0.98 for the paper's Q2a, 0.85 for Q2b).
+    pub mean: f64,
+    /// Standard deviation (0.02 in the paper).
+    pub std_dev: f64,
+}
+
+impl KeyAgeDistribution {
+    /// The paper's Q2a pattern: mean 0.98, σ 0.02.
+    pub fn q2a() -> Self {
+        KeyAgeDistribution { mean: 0.98, std_dev: 0.02 }
+    }
+
+    /// The paper's Q2b pattern: mean 0.85, σ 0.02.
+    pub fn q2b() -> Self {
+        KeyAgeDistribution { mean: 0.85, std_dev: 0.02 }
+    }
+
+    /// Applies a vertical shift (Figure 10a): the mean moves toward older
+    /// data by `offset`.
+    pub fn shifted(self, offset: f64) -> Self {
+        KeyAgeDistribution { mean: (self.mean - offset).clamp(0.0, 1.0), std_dev: self.std_dev }
+    }
+
+    /// Samples a recency rank in `[0, 1]` using the Box–Muller transform,
+    /// clamped to the unit interval.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mean + z * self.std_dev).clamp(0.0, 1.0)
+    }
+
+    /// Samples a key given that keys `0..num_keys` were inserted in order
+    /// (key `num_keys - 1` is the most recent).
+    pub fn sample_key<R: Rng>(&self, rng: &mut R, num_keys: u64) -> u64 {
+        if num_keys == 0 {
+            return 0;
+        }
+        let rank = self.sample_rank(rng);
+        ((rank * (num_keys - 1) as f64).round() as u64).min(num_keys - 1)
+    }
+}
+
+/// Samples a uniformly random key in `[0, num_keys)`.
+pub fn uniform_key<R: Rng>(rng: &mut R, num_keys: u64) -> u64 {
+    if num_keys == 0 {
+        0
+    } else {
+        rng.gen_range(0..num_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range_and_cluster_near_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = KeyAgeDistribution::q2a();
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let r = dist.sample_rank(&mut rng);
+            assert!((0.0..=1.0).contains(&r));
+            sum += r;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.98).abs() < 0.01, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn q2b_targets_older_keys_than_q2a() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a: f64 = (0..5000).map(|_| KeyAgeDistribution::q2a().sample_rank(&mut rng)).sum::<f64>() / 5000.0;
+        let b: f64 = (0..5000).map(|_| KeyAgeDistribution::q2b().sample_rank(&mut rng)).sum::<f64>() / 5000.0;
+        assert!(b < a);
+    }
+
+    #[test]
+    fn shifted_moves_mean_down_and_clamps() {
+        let d = KeyAgeDistribution::q2a().shifted(0.1);
+        assert!((d.mean - 0.88).abs() < 1e-12);
+        let d = KeyAgeDistribution::q2a().shifted(2.0);
+        assert_eq!(d.mean, 0.0);
+    }
+
+    #[test]
+    fn sample_key_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = KeyAgeDistribution::q2b();
+        for _ in 0..1000 {
+            let k = dist.sample_key(&mut rng, 100);
+            assert!(k < 100);
+        }
+        assert_eq!(dist.sample_key(&mut rng, 0), 0);
+        assert_eq!(dist.sample_key(&mut rng, 1), 0);
+        for _ in 0..100 {
+            assert!(uniform_key(&mut rng, 50) < 50);
+        }
+        assert_eq!(uniform_key(&mut rng, 0), 0);
+    }
+}

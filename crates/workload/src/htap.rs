@@ -1,0 +1,403 @@
+//! The paper's lifecycle-driven HTAP workload **HW** (Section 7.2, Table 3)
+//! and the workload shifts of the robustness experiment (Section 7.3).
+//!
+//! | Query | Projection | Key distribution           | Count (paper)   |
+//! |-------|-----------|-----------------------------|-----------------|
+//! | Q1    | 1–30      | uniform (new keys)          | 10,000 / sec    |
+//! | Q2a   | 1–30      | normal(0.98, 0.02) recency  | 500,000         |
+//! | Q2b   | 16–30     | normal(0.85, 0.02) recency  | 500,000         |
+//! | Q3    | any 1     | uniform, recent data        | 100 / sec       |
+//! | Q4    | 21–30     | uniform, 5% of keys         | 12              |
+//! | Q5    | 28–30     | uniform, 50% of keys        | 12              |
+//!
+//! The generator is scale-parameterised: the paper loads 400 M rows and
+//! inserts 20 M more during the measured phase; the scaled-down defaults keep
+//! the same *ratios* at laptop-friendly sizes so the experiment shapes are
+//! preserved.
+
+use rand::Rng;
+
+use laser_core::{Projection, Value};
+
+use crate::distributions::{uniform_key, KeyAgeDistribution};
+use crate::ops::{Operation, OperationStream};
+
+/// One of the benchmark's query templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwQuery {
+    /// Q1: insert.
+    Q1,
+    /// Q2a: point read of all columns over very recent keys.
+    Q2a,
+    /// Q2b: point read of columns 16–30 over recent keys.
+    Q2b,
+    /// Q3: single-column update of a recent key.
+    Q3,
+    /// Q4: sum over columns 21–30 for 5% of the keys.
+    Q4,
+    /// Q5: max over columns 28–30 for 50% of the keys.
+    Q5,
+}
+
+/// A shift applied to the representative workload (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkloadShift {
+    /// Vertical shift: offset subtracted from the Q2a/Q2b recency means.
+    pub vertical_read_offset: f64,
+    /// Horizontal shift: how many columns the Q5 projection moves left.
+    pub horizontal_projection_offset: usize,
+}
+
+/// The HW workload specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtapWorkloadSpec {
+    /// Number of payload columns (30 for the narrow table).
+    pub num_columns: usize,
+    /// Rows loaded before measurements start.
+    pub load_keys: u64,
+    /// Rows inserted during the measured (steady) phase.
+    pub steady_inserts: u64,
+    /// Number of Q2a point reads in the steady phase.
+    pub q2a_count: u64,
+    /// Number of Q2b point reads in the steady phase.
+    pub q2b_count: u64,
+    /// Updates (Q3) issued per insert (the paper uses 1%).
+    pub update_ratio: f64,
+    /// Number of Q4 range queries.
+    pub q4_count: u64,
+    /// Number of Q5 range queries.
+    pub q5_count: u64,
+    /// Fraction of the key space scanned by Q4 (0.05 in the paper).
+    pub q4_selectivity: f64,
+    /// Fraction of the key space scanned by Q5 (0.5 in the paper).
+    pub q5_selectivity: f64,
+    /// Workload shift (zero for the representative workload).
+    pub shift: WorkloadShift,
+}
+
+impl HtapWorkloadSpec {
+    /// The paper's workload at full scale (for reference; not meant to be run
+    /// on a laptop).
+    pub fn paper_scale() -> Self {
+        HtapWorkloadSpec {
+            num_columns: 30,
+            load_keys: 400_000_000,
+            steady_inserts: 20_000_000,
+            q2a_count: 500_000,
+            q2b_count: 500_000,
+            update_ratio: 0.01,
+            q4_count: 12,
+            q5_count: 12,
+            q4_selectivity: 0.05,
+            q5_selectivity: 0.5,
+            shift: WorkloadShift::default(),
+        }
+    }
+
+    /// A laptop-scale configuration preserving the paper's operation ratios.
+    pub fn scaled_down() -> Self {
+        HtapWorkloadSpec {
+            num_columns: 30,
+            load_keys: 8_000,
+            steady_inserts: 2_000,
+            q2a_count: 300,
+            q2b_count: 300,
+            update_ratio: 0.01,
+            q4_count: 4,
+            q5_count: 4,
+            q4_selectivity: 0.05,
+            q5_selectivity: 0.5,
+            shift: WorkloadShift::default(),
+        }
+    }
+
+    /// An even smaller configuration for unit tests.
+    pub fn tiny() -> Self {
+        HtapWorkloadSpec {
+            num_columns: 8,
+            load_keys: 600,
+            steady_inserts: 200,
+            q2a_count: 40,
+            q2b_count: 40,
+            update_ratio: 0.02,
+            q4_count: 2,
+            q5_count: 2,
+            q4_selectivity: 0.05,
+            q5_selectivity: 0.5,
+            shift: WorkloadShift::default(),
+        }
+    }
+
+    /// Applies a workload shift, returning the shifted spec.
+    pub fn with_shift(mut self, shift: WorkloadShift) -> Self {
+        self.shift = shift;
+        self
+    }
+
+    /// Total keys present at the end of the run.
+    pub fn total_keys(&self) -> u64 {
+        self.load_keys + self.steady_inserts
+    }
+
+    /// The projection used by `query` under the current shift.
+    pub fn projection_for(&self, query: HwQuery) -> Projection {
+        let c = self.num_columns;
+        let clamp1 = |x: usize| x.clamp(1, c);
+        match query {
+            HwQuery::Q1 => Projection::of(0..c),
+            HwQuery::Q2a => Projection::of(0..c),
+            // Columns 16-30 on the 30-column table scale to the upper half in general.
+            HwQuery::Q2b => Projection::range_1based(clamp1(c / 2 + 1), c),
+            HwQuery::Q3 => Projection::empty(), // chosen per operation
+            // Columns 21-30 -> upper third.
+            HwQuery::Q4 => Projection::range_1based(clamp1(c * 2 / 3 + 1), c),
+            // Columns 28-30 -> last tenth (at least 3 columns when c >= 3),
+            // shifted left by the horizontal offset in Figure 10(b).
+            HwQuery::Q5 => {
+                let width = (c / 10).max(3).min(c);
+                let offset = self.shift.horizontal_projection_offset;
+                let end = c.saturating_sub(offset).max(width);
+                Projection::range_1based(clamp1(end - width + 1), clamp1(end))
+            }
+        }
+    }
+
+    /// The recency distribution used by `query` under the current vertical shift.
+    pub fn key_distribution_for(&self, query: HwQuery) -> Option<KeyAgeDistribution> {
+        match query {
+            HwQuery::Q2a => Some(KeyAgeDistribution::q2a().shifted(self.shift.vertical_read_offset)),
+            HwQuery::Q2b => Some(KeyAgeDistribution::q2b().shifted(self.shift.vertical_read_offset)),
+            _ => None,
+        }
+    }
+
+    /// Generates the load phase: `load_keys` inserts with sequential keys.
+    pub fn generate_load(&self) -> OperationStream {
+        let mut stream = OperationStream::new();
+        for key in 0..self.load_keys {
+            stream.push(Operation::Insert { key, base: key as i64 % 1000 });
+        }
+        stream
+    }
+
+    /// Generates the steady (measured) phase: inserts at a steady rate with
+    /// point reads and updates spread uniformly among them, and the analytical
+    /// queries (Q4/Q5) issued toward the end, as in Section 7.2.
+    pub fn generate_steady<R: Rng>(&self, rng: &mut R) -> OperationStream {
+        let mut stream = OperationStream::new();
+        let start_key = self.load_keys;
+        let inserts = self.steady_inserts.max(1);
+        let updates_total = ((inserts as f64) * self.update_ratio).round() as u64;
+        let q2a_dist = self.key_distribution_for(HwQuery::Q2a).unwrap();
+        let q2b_dist = self.key_distribution_for(HwQuery::Q2b).unwrap();
+        let q2a_proj = self.projection_for(HwQuery::Q2a);
+        let q2b_proj = self.projection_for(HwQuery::Q2b);
+
+        // Interleave: for every insert, possibly emit reads/updates so the
+        // point operations are uniformly spread over the steady phase.
+        let mut emitted_q2a = 0u64;
+        let mut emitted_q2b = 0u64;
+        let mut emitted_updates = 0u64;
+        for i in 0..inserts {
+            let key = start_key + i;
+            stream.push(Operation::Insert { key, base: key as i64 % 1000 });
+            let keys_so_far = key + 1;
+
+            let target_q2a = self.q2a_count * (i + 1) / inserts;
+            while emitted_q2a < target_q2a {
+                let k = q2a_dist.sample_key(rng, keys_so_far);
+                stream.push(Operation::PointRead { key: k, projection: q2a_proj.clone() });
+                emitted_q2a += 1;
+            }
+            let target_q2b = self.q2b_count * (i + 1) / inserts;
+            while emitted_q2b < target_q2b {
+                let k = q2b_dist.sample_key(rng, keys_so_far);
+                stream.push(Operation::PointRead { key: k, projection: q2b_proj.clone() });
+                emitted_q2b += 1;
+            }
+            let target_updates = updates_total * (i + 1) / inserts;
+            while emitted_updates < target_updates {
+                // A recently inserted key gets one random column updated (Q3).
+                let recent_window = (keys_so_far / 100).max(1);
+                let k = keys_so_far - 1 - uniform_key(rng, recent_window);
+                let col = rng.gen_range(0..self.num_columns);
+                stream.push(Operation::Update {
+                    key: k,
+                    values: vec![(col, Value::Int(rng.gen_range(-1000..1000)))],
+                });
+                emitted_updates += 1;
+            }
+        }
+
+        // Analytical queries toward the end of the run.
+        let total = self.total_keys();
+        for _ in 0..self.q4_count {
+            let span = ((total as f64) * self.q4_selectivity) as u64;
+            let lo = uniform_key(rng, total.saturating_sub(span).max(1));
+            stream.push(Operation::Scan {
+                lo,
+                hi: lo + span.saturating_sub(1),
+                projection: self.projection_for(HwQuery::Q4),
+            });
+        }
+        for _ in 0..self.q5_count {
+            let span = ((total as f64) * self.q5_selectivity) as u64;
+            let lo = uniform_key(rng, total.saturating_sub(span).max(1));
+            stream.push(Operation::Scan {
+                lo,
+                hi: lo + span.saturating_sub(1),
+                projection: self.projection_for(HwQuery::Q5),
+            });
+        }
+        stream
+    }
+
+    /// Renders Table 3 (the workload summary) as text.
+    pub fn render_table3(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Query", "Projection", "Key (v) distribution", "Count"
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q1",
+            format!("1-{}", self.num_columns),
+            "uniform",
+            self.steady_inserts
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q2a",
+            format!("1-{}", self.num_columns),
+            "normal, 0.98, 0.02",
+            self.q2a_count
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q2b",
+            format!("{}", self.projection_for(HwQuery::Q2b)),
+            "normal, 0.85, 0.02",
+            self.q2b_count
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q3",
+            "any 1 column",
+            "uniform, recent keys",
+            ((self.steady_inserts as f64) * self.update_ratio).round() as u64
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q4",
+            format!("{}", self.projection_for(HwQuery::Q4)),
+            format!("uniform, {:.0}% of data", self.q4_selectivity * 100.0),
+            self.q4_count
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<14} {:<28} {:<12}\n",
+            "Q5",
+            format!("{}", self.projection_for(HwQuery::Q5)),
+            format!("uniform, {:.0}% of data", self.q5_selectivity * 100.0),
+            self.q5_count
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OperationKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_projections_on_narrow_table() {
+        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        assert_eq!(spec.projection_for(HwQuery::Q2a).len(), 30);
+        // Q2b: columns 16-30.
+        let q2b = spec.projection_for(HwQuery::Q2b);
+        assert_eq!(q2b.len(), 15);
+        assert!(q2b.contains(15) && q2b.contains(29) && !q2b.contains(14));
+        // Q4: columns 21-30.
+        let q4 = spec.projection_for(HwQuery::Q4);
+        assert_eq!(q4.len(), 10);
+        assert!(q4.contains(20) && q4.contains(29));
+        // Q5: columns 28-30.
+        let q5 = spec.projection_for(HwQuery::Q5);
+        assert_eq!(q5.len(), 3);
+        assert!(q5.contains(27) && q5.contains(29));
+    }
+
+    #[test]
+    fn horizontal_shift_moves_q5_projection_left() {
+        let base = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let shifted = base.clone().with_shift(WorkloadShift {
+            horizontal_projection_offset: 2,
+            ..Default::default()
+        });
+        // Offset 2 -> columns 26-28 (paper's example).
+        let q5 = shifted.projection_for(HwQuery::Q5);
+        assert!(q5.contains(25) && q5.contains(27) && !q5.contains(29));
+        // Offset 14 -> columns 14-16, spanning two of D-opt's CGs.
+        let far = base.with_shift(WorkloadShift { horizontal_projection_offset: 14, ..Default::default() });
+        let q5 = far.projection_for(HwQuery::Q5);
+        assert!(q5.contains(13) && q5.contains(15));
+    }
+
+    #[test]
+    fn vertical_shift_moves_read_distribution() {
+        let spec = HtapWorkloadSpec::scaled_down()
+            .with_shift(WorkloadShift { vertical_read_offset: 0.1, ..Default::default() });
+        let d = spec.key_distribution_for(HwQuery::Q2a).unwrap();
+        assert!((d.mean - 0.88).abs() < 1e-12);
+        let d = spec.key_distribution_for(HwQuery::Q2b).unwrap();
+        assert!((d.mean - 0.75).abs() < 1e-12);
+        assert!(spec.key_distribution_for(HwQuery::Q4).is_none());
+    }
+
+    #[test]
+    fn generated_steady_phase_has_expected_mix() {
+        let spec = HtapWorkloadSpec::tiny();
+        let mut rng = StdRng::seed_from_u64(42);
+        let load = spec.generate_load();
+        assert_eq!(load.len() as u64, spec.load_keys);
+        let steady = spec.generate_steady(&mut rng);
+        let counts = steady.counts();
+        let get = |k: OperationKind| counts.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert_eq!(get(OperationKind::Insert) as u64, spec.steady_inserts);
+        assert_eq!(get(OperationKind::PointRead) as u64, spec.q2a_count + spec.q2b_count);
+        assert_eq!(get(OperationKind::Scan) as u64, spec.q4_count + spec.q5_count);
+        let expected_updates = ((spec.steady_inserts as f64) * spec.update_ratio).round() as usize;
+        assert_eq!(get(OperationKind::Update), expected_updates);
+        // Scans come at the end.
+        let last = &steady.operations[steady.len() - 1];
+        assert_eq!(last.kind(), OperationKind::Scan);
+    }
+
+    #[test]
+    fn generated_keys_stay_in_range() {
+        let spec = HtapWorkloadSpec::tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        let steady = spec.generate_steady(&mut rng);
+        let max_key = spec.total_keys();
+        for op in steady.iter() {
+            match op {
+                Operation::Insert { key, .. }
+                | Operation::PointRead { key, .. }
+                | Operation::Update { key, .. }
+                | Operation::Delete { key } => assert!(*key < max_key),
+                Operation::Scan { lo, hi, .. } => assert!(lo <= hi),
+            }
+        }
+    }
+
+    #[test]
+    fn table3_renders() {
+        let text = HtapWorkloadSpec::scaled_down().render_table3();
+        assert!(text.contains("Q2a"));
+        assert!(text.contains("normal, 0.85"));
+        assert!(text.contains("Q5"));
+    }
+}

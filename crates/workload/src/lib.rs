@@ -1,0 +1,29 @@
+//! # laser-workload
+//!
+//! The HTAP benchmark workload of the paper's evaluation (Section 7), built
+//! from five query templates over a table with an integer primary key and
+//! `c` integer payload columns:
+//!
+//! * **Q1** — `INSERT INTO R VALUES (a0, a1, ..., ac)`
+//! * **Q2** — point query: `SELECT a1..ak FROM R WHERE a0 = v`
+//! * **Q3** — update: `UPDATE R SET a1=v1..ak=vk WHERE a0 = v`
+//! * **Q4** — arithmetic range query: `SELECT a1+..+ak FROM R WHERE a0 ∈ [vs, ve)`
+//! * **Q5** — aggregate range query: `SELECT MAX(a1)..MAX(ak) FROM R WHERE a0 ∈ [vs, ve)`
+//!
+//! plus the composite lifecycle-driven workload **HW** of Table 3 (Q2a/Q2b
+//! read patterns drawn from normal distributions over time-since-insertion,
+//! Q4/Q5 analytics over 5% / 50% of the keys) and the workload *shifts* used
+//! by the robustness experiment (Figure 10).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod htap;
+pub mod ops;
+pub mod trace;
+
+pub use distributions::KeyAgeDistribution;
+pub use htap::{HtapWorkloadSpec, HwQuery, WorkloadShift};
+pub use ops::{Operation, OperationKind, OperationStream};
+pub use trace::build_workload_trace;

@@ -1,0 +1,171 @@
+//! Storage-engine operations: the physical form of the benchmark queries
+//! after the SQL level has been stripped away (Section 3.1 of the paper).
+
+use laser_core::{ColumnId, Projection, Value};
+
+/// What kind of storage-engine operation this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationKind {
+    /// `insert(key, row)` — Q1.
+    Insert,
+    /// `read(key, Π)` — Q2.
+    PointRead,
+    /// `update(key, valueΠ)` — Q3.
+    Update,
+    /// `scan(lo, hi, Π)` — Q4/Q5.
+    Scan,
+    /// `delete(key)`.
+    Delete,
+}
+
+/// One storage-engine operation with its arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// Insert a full row: the engine synthesises column `ai = base + i`.
+    Insert {
+        /// Primary key.
+        key: u64,
+        /// Base value for the synthesised integer row.
+        base: i64,
+    },
+    /// Projection-aware point read.
+    PointRead {
+        /// Primary key.
+        key: u64,
+        /// Projected columns.
+        projection: Projection,
+    },
+    /// Partial-row update.
+    Update {
+        /// Primary key.
+        key: u64,
+        /// New values for a subset of columns.
+        values: Vec<(ColumnId, Value)>,
+    },
+    /// Projection-aware range scan over `[lo, hi]`.
+    Scan {
+        /// Lower key bound (inclusive).
+        lo: u64,
+        /// Upper key bound (inclusive).
+        hi: u64,
+        /// Projected columns.
+        projection: Projection,
+    },
+    /// Delete by key.
+    Delete {
+        /// Primary key.
+        key: u64,
+    },
+}
+
+impl Operation {
+    /// The operation's kind.
+    pub fn kind(&self) -> OperationKind {
+        match self {
+            Operation::Insert { .. } => OperationKind::Insert,
+            Operation::PointRead { .. } => OperationKind::PointRead,
+            Operation::Update { .. } => OperationKind::Update,
+            Operation::Scan { .. } => OperationKind::Scan,
+            Operation::Delete { .. } => OperationKind::Delete,
+        }
+    }
+
+    /// The projection the operation touches (inserts and deletes return `None`).
+    pub fn projection(&self) -> Option<Projection> {
+        match self {
+            Operation::PointRead { projection, .. } | Operation::Scan { projection, .. } => {
+                Some(projection.clone())
+            }
+            Operation::Update { values, .. } => {
+                Some(Projection::of(values.iter().map(|(c, _)| *c)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An ordered stream of operations plus bookkeeping counters.
+#[derive(Debug, Clone, Default)]
+pub struct OperationStream {
+    /// The operations in execution order.
+    pub operations: Vec<Operation>,
+}
+
+impl OperationStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Operation) {
+        self.operations.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Returns true if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Counts operations by kind.
+    pub fn counts(&self) -> Vec<(OperationKind, usize)> {
+        use OperationKind::*;
+        let mut counts = vec![(Insert, 0), (PointRead, 0), (Update, 0), (Scan, 0), (Delete, 0)];
+        for op in &self.operations {
+            let kind = op.kind();
+            if let Some(entry) = counts.iter_mut().find(|(k, _)| *k == kind) {
+                entry.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Iterates the operations.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.operations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_projections() {
+        let insert = Operation::Insert { key: 1, base: 0 };
+        let read = Operation::PointRead { key: 1, projection: Projection::of([0, 1]) };
+        let update = Operation::Update { key: 1, values: vec![(3, Value::Int(9))] };
+        let scan = Operation::Scan { lo: 0, hi: 10, projection: Projection::of([5]) };
+        let delete = Operation::Delete { key: 1 };
+        assert_eq!(insert.kind(), OperationKind::Insert);
+        assert_eq!(read.kind(), OperationKind::PointRead);
+        assert_eq!(update.kind(), OperationKind::Update);
+        assert_eq!(scan.kind(), OperationKind::Scan);
+        assert_eq!(delete.kind(), OperationKind::Delete);
+        assert_eq!(insert.projection(), None);
+        assert_eq!(read.projection(), Some(Projection::of([0, 1])));
+        assert_eq!(update.projection(), Some(Projection::of([3])));
+        assert_eq!(scan.projection(), Some(Projection::of([5])));
+        assert_eq!(delete.projection(), None);
+    }
+
+    #[test]
+    fn stream_counts() {
+        let mut stream = OperationStream::new();
+        assert!(stream.is_empty());
+        stream.push(Operation::Insert { key: 1, base: 0 });
+        stream.push(Operation::Insert { key: 2, base: 0 });
+        stream.push(Operation::Scan { lo: 0, hi: 5, projection: Projection::of([0]) });
+        assert_eq!(stream.len(), 3);
+        let counts = stream.counts();
+        assert!(counts.contains(&(OperationKind::Insert, 2)));
+        assert!(counts.contains(&(OperationKind::Scan, 1)));
+        assert!(counts.contains(&(OperationKind::Delete, 0)));
+        assert_eq!(stream.iter().count(), 3);
+    }
+}

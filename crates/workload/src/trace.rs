@@ -1,0 +1,210 @@
+//! Converts an [`HtapWorkloadSpec`] into the per-level workload trace the
+//! design advisor consumes (Section 6.1: profiling the workload per level).
+//!
+//! Point reads are attributed to levels by integrating their recency
+//! distribution over each level's share of the key population (deeper levels
+//! hold exponentially more — and older — keys). Scans touch every level with
+//! a per-level selectivity proportional to the level's population. Updates
+//! target recent keys and are attributed to the top levels.
+
+use laser_advisor::WorkloadTrace;
+use laser_cost_model::TreeParameters;
+
+use crate::htap::{HtapWorkloadSpec, HwQuery};
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn normal_cdf(x: f64, mean: f64, std_dev: f64) -> f64 {
+    if std_dev <= 0.0 {
+        return if x < mean { 0.0 } else { 1.0 };
+    }
+    let z = (x - mean) / (std_dev * std::f64::consts::SQRT_2);
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, max error ~1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Returns, for each level `0..num_levels`, the fraction of the key
+/// population residing at that level under size ratio `t` (level `i` holds
+/// `T^i` times the Level-0 capacity; all levels full).
+pub fn level_population_fractions(num_levels: usize, t: f64) -> Vec<f64> {
+    let caps: Vec<f64> = (0..num_levels).map(|i| t.powi(i as i32)).collect();
+    let total: f64 = caps.iter().sum();
+    caps.iter().map(|c| c / total).collect()
+}
+
+/// Returns, for each level, the recency interval `[lo, hi)` it covers, with
+/// `1.0` = newest data (Level-0) and `0.0` = oldest (last level).
+pub fn level_recency_ranges(num_levels: usize, t: f64) -> Vec<(f64, f64)> {
+    let fractions = level_population_fractions(num_levels, t);
+    let mut ranges = Vec::with_capacity(num_levels);
+    let mut hi = 1.0;
+    for f in fractions {
+        let lo = hi - f;
+        ranges.push((lo.max(0.0), hi));
+        hi = lo;
+    }
+    ranges
+}
+
+/// Builds a per-level [`WorkloadTrace`] for the advisor from the workload
+/// specification and tree parameters.
+pub fn build_workload_trace(
+    spec: &HtapWorkloadSpec,
+    params: &TreeParameters,
+    num_levels: usize,
+) -> WorkloadTrace {
+    let t = params.size_ratio as f64;
+    let ranges = level_recency_ranges(num_levels, t);
+    let fractions = level_population_fractions(num_levels, t);
+    let mut trace = WorkloadTrace::new(params.clone(), num_levels);
+
+    let q2a = spec.key_distribution_for(HwQuery::Q2a).unwrap();
+    let q2b = spec.key_distribution_for(HwQuery::Q2b).unwrap();
+    let q2a_proj = spec.projection_for(HwQuery::Q2a);
+    let q2b_proj = spec.projection_for(HwQuery::Q2b);
+    let q4_proj = spec.projection_for(HwQuery::Q4);
+    let q5_proj = spec.projection_for(HwQuery::Q5);
+    let total_keys = spec.total_keys() as f64;
+    let updates_total = ((spec.steady_inserts as f64) * spec.update_ratio).round() as u64;
+
+    for (level, wl) in trace.per_level.iter_mut().enumerate() {
+        let (lo, hi) = ranges[level];
+        wl.inserts = spec.steady_inserts;
+        // Point reads: integrate each recency distribution over the level's range.
+        let share_a = normal_cdf(hi, q2a.mean, q2a.std_dev) - normal_cdf(lo, q2a.mean, q2a.std_dev);
+        let share_b = normal_cdf(hi, q2b.mean, q2b.std_dev) - normal_cdf(lo, q2b.mean, q2b.std_dev);
+        let reads_a = (spec.q2a_count as f64 * share_a).round() as u64;
+        let reads_b = (spec.q2b_count as f64 * share_b).round() as u64;
+        if reads_a > 0 {
+            wl.point_reads.push((q2a_proj.clone(), reads_a));
+        }
+        if reads_b > 0 {
+            wl.point_reads.push((q2b_proj.clone(), reads_b));
+        }
+        // Scans: every level is touched; s_i is proportional to the level population.
+        let s4 = total_keys * spec.q4_selectivity * fractions[level];
+        let s5 = total_keys * spec.q5_selectivity * fractions[level];
+        if spec.q4_count > 0 {
+            wl.scans.push((q4_proj.clone(), s4, spec.q4_count));
+        }
+        if spec.q5_count > 0 {
+            wl.scans.push((q5_proj.clone(), s5, spec.q5_count));
+        }
+        // Updates target recent keys: attribute them to the recency range of
+        // the newest 1% of keys.
+        let update_share =
+            (hi.min(1.0) - lo.max(0.99)).max(0.0) / 0.01;
+        let updates_here = (updates_total as f64 * update_share).round() as u64;
+        if updates_here > 0 {
+            // Q3 updates one arbitrary column; model as a single-column projection.
+            wl.updates.push((laser_core::Projection::of([0]), updates_here));
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_and_cdf_sanity() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(10.0) - 1.0).abs() < 1e-6);
+        assert!((normal_cdf(0.5, 0.5, 0.1) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(0.9, 0.5, 0.1) > 0.99);
+        assert!(normal_cdf(0.1, 0.5, 0.1) < 0.01);
+        // Degenerate sigma.
+        assert_eq!(normal_cdf(0.4, 0.5, 0.0), 0.0);
+        assert_eq!(normal_cdf(0.6, 0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn population_fractions_sum_to_one_and_grow() {
+        let f = level_population_fractions(5, 2.0);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f.windows(2).all(|w| w[1] > w[0]), "deeper levels hold more data");
+        let ranges = level_recency_ranges(5, 2.0);
+        assert!((ranges[0].1 - 1.0).abs() < 1e-9);
+        assert!(ranges[4].0.abs() < 1e-9);
+        // Ranges are contiguous and descending.
+        for w in ranges.windows(2) {
+            assert!((w[0].0 - w[1].1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_attributes_reads_to_top_levels_and_scans_to_all() {
+        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let params = TreeParameters {
+            num_entries: spec.total_keys(),
+            size_ratio: 2,
+            entries_per_block: 32.0,
+            level0_blocks: 16,
+            num_columns: 30,
+        };
+        let trace = build_workload_trace(&spec, &params, 8);
+        assert_eq!(trace.num_levels(), 8);
+        // Q2a (mean 0.98) should land overwhelmingly in the top 3 levels,
+        // which together hold ~1.7% of the data for T=2, L=8.
+        let reads_top: u64 = trace.per_level[..3]
+            .iter()
+            .flat_map(|l| l.point_reads.iter().map(|(_, n)| *n))
+            .sum();
+        let reads_bottom: u64 = trace.per_level[6..]
+            .iter()
+            .flat_map(|l| l.point_reads.iter().map(|(_, n)| *n))
+            .sum();
+        assert!(reads_top > 0);
+        assert!(
+            reads_bottom < spec.q2a_count / 5,
+            "deep levels should see few Q2a reads (got {reads_bottom})"
+        );
+        // Every level sees the scans, with deeper levels scanning more entries.
+        for level in &trace.per_level {
+            assert_eq!(level.scans.len(), 2);
+        }
+        let s_last = trace.per_level[7].scans[0].1;
+        let s_first = trace.per_level[1].scans[0].1;
+        assert!(s_last > s_first);
+        // The last level dominates the scan volume.
+        assert!(s_last > spec.total_keys() as f64 * spec.q4_selectivity * 0.4);
+    }
+
+    #[test]
+    fn advisor_on_hw_trace_produces_lifecycle_design() {
+        // End-to-end: the HW trace should produce a design that is
+        // row-oriented near the top and finer near the bottom (Figure 9(b) shape).
+        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let params = TreeParameters {
+            num_entries: spec.total_keys(),
+            size_ratio: 2,
+            entries_per_block: 32.0,
+            level0_blocks: 16,
+            num_columns: 30,
+        };
+        let trace = build_workload_trace(&spec, &params, 8);
+        let schema = laser_core::Schema::narrow();
+        let design = laser_advisor::select_design(
+            &schema,
+            &trace,
+            &laser_advisor::AdvisorOptions { num_levels: 8, design_name: "D-opt-repro".into() },
+        )
+        .unwrap();
+        let groups = design.groups_per_level();
+        assert_eq!(groups[0], 1);
+        assert!(groups[7] > groups[1], "deeper levels should be finer: {groups:?}");
+        assert!(groups.windows(2).all(|w| w[1] >= w[0]), "monotone refinement: {groups:?}");
+    }
+}

@@ -1,0 +1,72 @@
+//! IoT telemetry scenario: high-rate sensor ingest with occasional corrections
+//! (partial updates), alerting point-reads on fresh data and daily roll-up
+//! scans over a few metric columns — run on a *durable*, file-backed LASER
+//! engine and re-opened to demonstrate crash recovery.
+//!
+//! Run with: `cargo run --example iot_ingest`
+
+use laser::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema, Value};
+use laser_core::lsm_storage::FileStorage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Schema: device_status columns a1..a4 (wide OLTP payload) and metric
+    // columns a5..a12 (scanned by roll-ups).
+    let schema = Schema::with_columns(12);
+    // Keep fresh data row-oriented; split old data so the metric columns
+    // (a5..a12) are separated from the status payload.
+    let design = LayoutSpec::new(
+        schema.clone(),
+        vec![
+            laser::LevelLayout::row_oriented(&schema),
+            laser::LevelLayout::row_oriented(&schema),
+            laser::LevelLayout::new(vec![
+                laser::ColumnGroup::range_1based(1, 4),
+                laser::ColumnGroup::range_1based(5, 12),
+            ]),
+            laser::LevelLayout::new(vec![
+                laser::ColumnGroup::range_1based(1, 4),
+                laser::ColumnGroup::range_1based(5, 8),
+                laser::ColumnGroup::range_1based(9, 12),
+            ]),
+        ],
+        "iot-lifecycle",
+    )?;
+
+    let dir = std::env::temp_dir().join("laser-iot-example");
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = FileStorage::open_ref(&dir)?;
+
+    let mut options = LaserOptions::small_for_tests(design);
+    options.num_levels = 4;
+    options.sync_wal = false;
+
+    {
+        let db = LaserDb::open(storage.clone(), options.clone())?;
+        // Ingest 5,000 readings (key = reading id).
+        for reading in 0..5_000u64 {
+            db.insert_int_row(reading, (reading % 100) as i64)?;
+        }
+        // Corrections: a late-arriving calibration fixes metric a7 for a batch.
+        for reading in 4_000..4_050u64 {
+            db.update(reading, vec![(6, Value::Int(-1))])?;
+        }
+        // Alerting: check the freshest readings' full status.
+        let fresh = db.read(4_999, &Projection::all(db.schema()))?.expect("latest reading");
+        println!("latest reading status a1 = {:?}", fresh.get(0));
+        // Roll-up: average of metric a12 over the full history.
+        let rows = db.scan(0, 4_999, &Projection::of([11]))?;
+        let avg: f64 = rows.iter().filter_map(|(_, r)| r.get(11)?.as_int()).sum::<i64>() as f64
+            / rows.len().max(1) as f64;
+        println!("avg(a12) over {} readings = {avg:.2}", rows.len());
+        db.close()?;
+    }
+
+    // Re-open from the same directory: manifest + WAL recovery.
+    let db = LaserDb::open(storage, options)?;
+    let corrected = db.read(4_010, &Projection::of([6]))?.expect("corrected reading");
+    assert_eq!(corrected.get(6), Some(&Value::Int(-1)));
+    println!("after re-open, correction for reading 4010 is still visible: {:?}", corrected.get(6));
+    println!("files on disk: {}", db.level_files().iter().map(|l| l.len()).sum::<usize>());
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

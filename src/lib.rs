@@ -1,0 +1,47 @@
+//! # laser
+//!
+//! Umbrella crate for the LASER reproduction ("Real-Time LSM-Trees for HTAP
+//! Workloads", ICDE 2023): re-exports the full stack so applications can
+//! depend on a single crate.
+//!
+//! * [`lsm_storage`] — the from-scratch LSM-Tree substrate (memtable, WAL,
+//!   SSTs, bloom filters, leveled compaction, pluggable storage backends).
+//! * [`laser_core`] — the Real-Time LSM-Tree engine: per-level column-group
+//!   layouts, partial-row updates, projection-aware reads and scans,
+//!   CG-local compaction.
+//! * [`laser_cost_model`] — the analytic cost model (Equations 1–9, Table 2).
+//! * [`laser_advisor`] — the per-level design advisor (Section 6).
+//! * [`laser_workload`] — the HTAP benchmark workload generator (Q1–Q5, HW).
+//!
+//! See the `examples/` directory for runnable end-to-end programs and
+//! `crates/bench` for the harness that regenerates every table and figure of
+//! the paper.
+
+pub use laser_advisor;
+pub use laser_core;
+pub use laser_cost_model;
+pub use laser_workload;
+pub use lsm_storage;
+
+pub use laser_advisor::{select_design, AdvisorOptions, WorkloadTrace};
+pub use laser_core::{
+    ColumnGroup, LaserDb, LaserOptions, LayoutSpec, LevelLayout, Projection, RowFragment, Schema,
+    Value,
+};
+pub use laser_cost_model::{CostModel, TreeParameters};
+pub use laser_workload::{HtapWorkloadSpec, HwQuery, Operation, WorkloadShift};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compose() {
+        use crate::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema};
+        let schema = Schema::with_columns(4);
+        let db = LaserDb::open_in_memory(LaserOptions::small_for_tests(LayoutSpec::equi_width(
+            &schema, 4, 2,
+        )))
+        .unwrap();
+        db.insert_int_row(1, 10).unwrap();
+        assert!(db.read(1, &Projection::of([0])).unwrap().is_some());
+    }
+}

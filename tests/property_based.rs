@@ -1,0 +1,141 @@
+//! Property-based integration tests: the LASER engine is compared against a
+//! simple in-memory model under random operation sequences, and core
+//! invariants (layout validity, merge semantics) are checked on arbitrary
+//! inputs.
+
+use std::collections::BTreeMap;
+
+use laser::{LaserDb, LaserOptions, LayoutSpec, Projection, RowFragment, Schema, Value};
+use proptest::prelude::*;
+
+const COLS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Insert { key: u8, base: i8 },
+    Update { key: u8, col: u8, value: i8 },
+    Delete { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (any::<u8>(), any::<i8>()).prop_map(|(key, base)| ModelOp::Insert { key, base }),
+        (any::<u8>(), 0u8..COLS as u8, any::<i8>())
+            .prop_map(|(key, col, value)| ModelOp::Update { key, col, value }),
+        any::<u8>().prop_map(|key| ModelOp::Delete { key }),
+    ]
+}
+
+/// The reference model: a map from key to the latest value of each column
+/// (None = column never written since the last full insert/delete).
+type Model = BTreeMap<u64, Vec<Option<i64>>>;
+
+fn apply_model(model: &mut Model, op: &ModelOp) {
+    match op {
+        ModelOp::Insert { key, base } => {
+            let row: Vec<Option<i64>> =
+                (0..COLS).map(|c| Some(*base as i64 + c as i64 + 1)).collect();
+            model.insert(*key as u64, row);
+        }
+        ModelOp::Update { key, col, value } => {
+            let entry = model.entry(*key as u64).or_insert_with(|| vec![None; COLS]);
+            entry[*col as usize] = Some(*value as i64);
+        }
+        ModelOp::Delete { key } => {
+            model.remove(&(*key as u64));
+        }
+    }
+}
+
+fn apply_db(db: &LaserDb, op: &ModelOp) {
+    match op {
+        ModelOp::Insert { key, base } => db.insert_int_row(*key as u64, *base as i64).unwrap(),
+        ModelOp::Update { key, col, value } => db
+            .update(*key as u64, vec![(*col as usize, Value::Int(*value as i64))])
+            .unwrap(),
+        ModelOp::Delete { key } => db.delete(*key as u64).unwrap(),
+    }
+}
+
+fn check_equivalence(db: &LaserDb, model: &Model) {
+    // Full-table scan with full projection matches the model exactly.
+    let schema = Schema::with_columns(COLS);
+    let rows = db.scan(0, u64::from(u8::MAX), &Projection::all(&schema)).unwrap();
+    let from_db: BTreeMap<u64, Vec<Option<i64>>> = rows
+        .into_iter()
+        .map(|(k, frag)| {
+            (k, (0..COLS).map(|c| frag.get(c).and_then(|v| v.as_int())).collect())
+        })
+        .collect();
+    assert_eq!(&from_db, model, "scan diverges from the model");
+    // Spot-check point reads with a narrow projection.
+    for (key, expected) in model.iter().take(16) {
+        let got = db.read(*key, &Projection::of([2])).unwrap();
+        match (&got, expected[2]) {
+            (Some(frag), Some(v)) => assert_eq!(frag.get(2), Some(&Value::Int(v))),
+            (Some(frag), None) => assert_eq!(frag.get(2), None),
+            (None, expected_col) => {
+                // A projection-restricted read returns None when the key has
+                // no visible value for any projected column (e.g. the key was
+                // re-created by a partial update of a different column).
+                assert!(expected_col.is_none(), "missing value for key {key} column a3");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Random op sequences: the engine matches a naive model for every design.
+    #[test]
+    fn engine_matches_model(ops in prop::collection::vec(op_strategy(), 1..120), cg_size in 1usize..=COLS) {
+        let schema = Schema::with_columns(COLS);
+        let design = LayoutSpec::equi_width(&schema, 5, cg_size);
+        let mut options = LaserOptions::small_for_tests(design);
+        options.memtable_size_bytes = 2 << 10;
+        options.level0_size_bytes = 4 << 10;
+        options.num_levels = 5;
+        let db = LaserDb::open_in_memory(options).unwrap();
+        let mut model = Model::new();
+        for op in &ops {
+            apply_db(&db, op);
+            apply_model(&mut model, op);
+        }
+        check_equivalence(&db, &model);
+        // And again after everything has been pushed through the tree.
+        db.compact_all().unwrap();
+        check_equivalence(&db, &model);
+    }
+
+    /// Partial-row merge is independent of where the split between newer and
+    /// older columns falls (associativity of the overlay).
+    #[test]
+    fn fragment_overlay_is_consistent(values in prop::collection::vec((0usize..COLS, any::<i32>()), 0..20)) {
+        let full: Vec<(usize, Value)> = values.iter().map(|(c, v)| (*c, Value::Int(*v as i64))).collect();
+        let frag = RowFragment::from_cells(full);
+        for split in 0..values.len() {
+            let newer = RowFragment::from_cells(
+                values[split..].iter().map(|(c, v)| (*c, Value::Int(*v as i64))).collect());
+            let older = RowFragment::from_cells(
+                values[..split].iter().map(|(c, v)| (*c, Value::Int(*v as i64))).collect());
+            let merged = newer.merge_over(&older);
+            // Every column present in the original (first-write-wins dedup)
+            // must be present in the merged fragment.
+            for (c, _) in frag.iter() {
+                prop_assert!(merged.contains(c));
+            }
+        }
+    }
+
+    /// Equi-width layouts are valid partitions for any width and satisfy
+    /// containment when stacked coarse-to-fine.
+    #[test]
+    fn equi_width_layouts_always_valid(cols in 1usize..40, cg in 1usize..40) {
+        let schema = Schema::with_columns(cols);
+        let layout = laser::LevelLayout::equi_width(&schema, cg);
+        prop_assert!(layout.validate_partition(&schema).is_ok());
+        prop_assert!(layout.is_contained_in(&laser::LevelLayout::row_oriented(&schema)));
+        prop_assert!(laser::LevelLayout::column_oriented(&schema).is_contained_in(&layout));
+    }
+}
