@@ -1,0 +1,47 @@
+//! Bench mode for the background maintenance subsystem: concurrent ingest
+//! with the threaded flush/compaction scheduler versus the synchronous
+//! `compact_until_stable` write path, plus block-cache hit rate on a
+//! read-heavy phase.
+//!
+//! Usage: `cargo run --release --bin background_maintenance [keys] [writers] [workers]`
+
+use laser_bench::background::{run_background_bench, BackgroundBenchConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config = BackgroundBenchConfig::default();
+    if let Some(keys) = args.next().and_then(|s| s.parse().ok()) {
+        config.keys = keys;
+    }
+    if let Some(writers) = args.next().and_then(|s| s.parse().ok()) {
+        config.writers = writers;
+    }
+    if let Some(workers) = args.next().and_then(|s| s.parse().ok()) {
+        config.workers = workers;
+    }
+
+    println!("== background maintenance bench ==");
+    println!(
+        "keys {} | writers {} | maintenance workers {} | cache {} MiB | reads {}",
+        config.keys,
+        config.writers,
+        config.workers,
+        config.cache_bytes >> 20,
+        config.reads,
+    );
+    let report = run_background_bench(&config).expect("bench run failed");
+    println!();
+    println!("ingest, synchronous (flush+compact on write path): {:>10.0} ops/s", report.sync_ops_per_sec);
+    println!(
+        "ingest, background ({} writers, {} workers):        {:>10.0} ops/s",
+        config.writers, config.workers, report.background_ops_per_sec
+    );
+    println!("speedup: {:.2}x", report.speedup());
+    println!("background jobs completed: {}", report.background_jobs);
+    println!("writes throttled by backpressure: {}", report.throttle_events);
+    println!();
+    println!("read-heavy phase: {:>10.0} reads/s, block-cache hit rate {:.1}%",
+        report.read_ops_per_sec,
+        report.cache_hit_rate * 100.0,
+    );
+}

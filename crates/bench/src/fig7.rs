@@ -134,7 +134,7 @@ pub fn run_read_scan(config: &Fig7Config) -> Result<Fig7Result> {
         level0_blocks: config.scale.level0_bytes() / 4096,
         num_columns: config.num_columns,
     };
-    let mut rng = StdRng::seed_from_u64(0xF16_7);
+    let mut rng = StdRng::seed_from_u64(0xF167);
     for &cg_size in &config.cg_sizes {
         let design = if cg_size >= config.num_columns {
             LayoutSpec::row_store(&schema, config.num_levels)

@@ -132,6 +132,16 @@ pub struct RunReport {
     pub io: IoStatsSnapshot,
     /// Bytes written by flush/compaction during the run (write amplification).
     pub compaction_bytes_written: u64,
+    /// Block-cache hits during the run (0 without a cache).
+    pub cache_hits: u64,
+    /// Block-cache misses during the run (0 without a cache).
+    pub cache_misses: u64,
+    /// Writes that blocked on backpressure during the run.
+    pub stall_events: u64,
+    /// Writes that briefly yielded on backpressure during the run.
+    pub slowdown_events: u64,
+    /// Background maintenance jobs completed during the run.
+    pub bg_jobs_completed: u64,
 }
 
 impl RunReport {
@@ -143,13 +153,37 @@ impl RunReport {
             .map(|(_, r)| r.clone())
             .unwrap_or_default()
     }
+
+    /// Block-cache hit rate over the run, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// One-line summary of the maintenance/cache counters for bench output.
+    pub fn maintenance_summary(&self) -> String {
+        format!(
+            "cache {}/{} hits ({:.1}% rate) | stalls {} slowdowns {} | bg jobs {}",
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.stall_events,
+            self.slowdown_events,
+            self.bg_jobs_completed,
+        )
+    }
 }
 
 /// Executes `stream` against `db`, recording per-kind latency and block I/O.
 pub fn run_operations(db: &LaserDb, stream: &OperationStream) -> Result<RunReport> {
     let io_stats = db.storage().io_stats();
     let start_io = io_stats.snapshot();
-    let start_comp = db.stats().compaction_bytes_written;
+    let start_stats = db.stats();
+    let start_comp = start_stats.compaction_bytes_written;
     let mut per_kind: Vec<(OperationKind, KindReport)> = Vec::new();
     let run_start = Instant::now();
     for op in stream.iter() {
@@ -186,12 +220,18 @@ pub fn run_operations(db: &LaserDb, stream: &OperationStream) -> Result<RunRepor
         entry.total_time += elapsed;
         entry.blocks_read += blocks;
     }
+    let end_stats = db.stats();
     Ok(RunReport {
         design: db.layout().name().to_string(),
         total_time: run_start.elapsed(),
         per_kind,
         io: io_stats.snapshot().delta_since(&start_io),
-        compaction_bytes_written: db.stats().compaction_bytes_written - start_comp,
+        compaction_bytes_written: end_stats.compaction_bytes_written - start_comp,
+        cache_hits: end_stats.cache_hits.saturating_sub(start_stats.cache_hits),
+        cache_misses: end_stats.cache_misses.saturating_sub(start_stats.cache_misses),
+        stall_events: end_stats.stall_events.saturating_sub(start_stats.stall_events),
+        slowdown_events: end_stats.slowdown_events.saturating_sub(start_stats.slowdown_events),
+        bg_jobs_completed: end_stats.bg_jobs_completed.saturating_sub(start_stats.bg_jobs_completed),
     })
 }
 

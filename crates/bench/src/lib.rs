@@ -21,10 +21,16 @@
 //! | Figure 9 (design selection / D-opt) | [`fig9`] | `fig9_design_selection` |
 //! | Figure 10 (robustness to workload shifts) | [`fig10`] | `fig10_robustness` |
 //! | §4.1 storage-size comparison | [`storage_size`] | `storage_size` |
+//!
+//! Beyond the paper, [`background`] / `background_maintenance` benches the
+//! background maintenance subsystem: concurrent ingest through the threaded
+//! flush/compaction scheduler versus the synchronous write path, and the
+//! shared block cache under a read-heavy phase.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod background;
 pub mod fig10;
 pub mod fig2;
 pub mod fig7;

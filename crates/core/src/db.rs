@@ -17,11 +17,16 @@
 //! most-overflowing level and merges it into the overlapping (contained)
 //! column groups of the next level, using the level/column merging iterators.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use lsm_storage::cache::BlockCache;
 use lsm_storage::iterator::KvIterator;
+use lsm_storage::maintenance::{
+    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
+    MaintenanceHandle, Throttle,
+};
 use lsm_storage::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
 use lsm_storage::memtable::{MemTable, MemTableRef};
 use lsm_storage::sst::{TableBuilder, TableHandle};
@@ -84,6 +89,9 @@ impl LevelState {
 #[derive(Default)]
 struct DbInner {
     mutable: Option<MemTableRef>,
+    /// Frozen memtables awaiting a background flush, oldest first. Empty
+    /// unless a maintenance scheduler is attached or a flush is in progress.
+    immutables: Vec<MemTableRef>,
     levels: Vec<LevelState>,
     next_file_number: u64,
     last_seq: SeqNo,
@@ -107,6 +115,18 @@ pub struct LaserDb {
     options: LaserOptions,
     inner: RwLock<DbInner>,
     stats: EngineStats,
+    /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
+    cache: Option<Arc<BlockCache>>,
+    /// Registered background scheduler handle; set once by
+    /// [`LaserDb::attach_maintenance`]. While present, the write path
+    /// enqueues flush/CG-compaction jobs instead of running them inline.
+    maintenance: OnceLock<MaintenanceHandle>,
+    /// Serialises flush jobs so Level-0 keeps its oldest-first order.
+    flush_lock: Mutex<()>,
+    /// Serialises CG-compaction jobs so two jobs never merge the same run.
+    compaction_lock: Mutex<()>,
+    /// Writers stalled on backpressure park here; maintenance jobs notify it.
+    write_room: BackpressureGate,
 }
 
 impl LaserDb {
@@ -125,8 +145,13 @@ impl LaserDb {
             last_seq: snapshot.last_seq,
             ..Default::default()
         };
+        let cache = if options.block_cache_bytes > 0 {
+            Some(BlockCache::new(options.block_cache_bytes))
+        } else {
+            None
+        };
         for meta in &snapshot.files {
-            let table = TableHandle::open(&storage, &meta.file_name())?;
+            let table = TableHandle::open_with_cache(&storage, &meta.file_name(), cache.clone())?;
             let level = meta.level as usize;
             let cg = meta.column_group as usize;
             let runs = &mut inner
@@ -153,7 +178,17 @@ impl LaserDb {
         }
 
         let stats = EngineStats::new(options.num_levels);
-        let db = LaserDb { storage, options, inner: RwLock::new(inner), stats };
+        let db = LaserDb {
+            storage,
+            options,
+            inner: RwLock::new(inner),
+            stats,
+            cache,
+            maintenance: OnceLock::new(),
+            flush_lock: Mutex::new(()),
+            compaction_lock: Mutex::new(()),
+            write_room: BackpressureGate::new(),
+        };
 
         // WAL recovery: replay intact records into a fresh memtable, re-log them.
         {
@@ -167,11 +202,9 @@ impl LaserDb {
             let mut wal = WalWriter::create(&db.storage, WAL_NAME, db.options.sync_wal)?;
             for record in &records {
                 wal.append(record.start_seq, &record.batch)?;
-                let mut seq = record.start_seq;
-                for entry in record.batch.iter() {
+                for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
                     inner.mutable.as_ref().unwrap().insert(seq, entry);
                     inner.last_seq = inner.last_seq.max(seq);
-                    seq += 1;
                 }
             }
             inner.wal = Some(wal);
@@ -204,9 +237,48 @@ impl LaserDb {
         &self.storage
     }
 
-    /// Engine statistics (operation counts, per-level profile, write amplification).
+    /// Engine statistics (operation counts, per-level profile, write
+    /// amplification, block-cache and background-maintenance counters).
     pub fn stats(&self) -> EngineStatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        if let Some(cache) = &self.cache {
+            let cache_stats = cache.stats();
+            snapshot.cache_hits = cache_stats.hits;
+            snapshot.cache_misses = cache_stats.misses;
+        }
+        if let Some(handle) = self.maintenance.get() {
+            let state = handle.state();
+            snapshot.bg_jobs_completed = state.completed_jobs();
+            snapshot.bg_jobs_failed = state.failed_jobs();
+            snapshot.bg_jobs_pending = state.pending_jobs() as u64;
+        }
+        snapshot
+    }
+
+    /// The shared block cache, if one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Starts a background maintenance scheduler with `num_workers` threads
+    /// and registers it with this engine. From then on the write path freezes
+    /// full memtables and enqueues flush / CG-local-compaction jobs instead
+    /// of running them inline, applying slowdown/stall backpressure per the
+    /// `l0_slowdown_files` / `l0_stall_files` / `max_pending_jobs` options.
+    ///
+    /// The returned [`JobScheduler`] owns the worker threads: dropping it
+    /// drains all queued jobs and joins the workers. The foreground
+    /// `flush` / `compact_*` APIs keep working (they share the same internal
+    /// locks), which deterministic tests rely on.
+    ///
+    /// Errors if a scheduler was already attached.
+    pub fn attach_maintenance(self: &Arc<Self>, num_workers: usize) -> Result<JobScheduler> {
+        let engine: Arc<dyn MaintainableEngine> = Arc::clone(self) as Arc<dyn MaintainableEngine>;
+        let (scheduler, handle) = JobScheduler::start(&engine, num_workers);
+        if self.maintenance.set(handle).is_err() {
+            return Err(Error::invalid("a maintenance scheduler is already attached"));
+        }
+        Ok(scheduler)
     }
 
     /// Resets the statistics counters.
@@ -272,6 +344,12 @@ impl LaserDb {
     }
 
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
+        // A handle whose scheduler has been dropped no longer accepts jobs;
+        // treat it as absent so writes fall back to inline maintenance.
+        let background = self.maintenance.get().filter(|h| !h.is_shutdown());
+        if let Some(handle) = background {
+            self.apply_backpressure(handle);
+        }
         {
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
@@ -284,11 +362,90 @@ impl LaserDb {
             }
             inner.last_seq = seq - 1;
         }
-        self.maybe_flush()?;
-        if self.options.auto_compact {
-            self.compact_until_stable()?;
+        match background {
+            Some(handle) => {
+                if self.freeze_if_full()? && !handle.submit(JobKind::Flush) {
+                    // Scheduler shut down between the check and the submit:
+                    // drain the frozen memtable inline instead of leaking it.
+                    while self.flush_frozen_one()? {}
+                }
+                if self.needs_compaction() {
+                    handle.submit_if_idle(JobKind::CgCompaction);
+                }
+            }
+            None => {
+                // Drain any memtables frozen before a scheduler shutdown,
+                // then run the legacy synchronous path.
+                if self.has_frozen_memtables() {
+                    while self.flush_frozen_one()? {}
+                }
+                self.maybe_flush()?;
+                if self.options.auto_compact {
+                    self.compact_until_stable()?;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Freezes the mutable memtable into the immutable list when it crossed
+    /// the size threshold. Returns true if a memtable was frozen.
+    fn freeze_if_full(&self) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(mutable) = inner.mutable.as_ref() else {
+            return Ok(false);
+        };
+        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+            return Ok(false);
+        }
+        let frozen = Arc::clone(mutable);
+        inner.immutables.push(frozen);
+        inner.mutable = Some(Arc::new(MemTable::new()));
+        Ok(true)
+    }
+
+    /// L0 pressure as seen by backpressure: on-disk Level-0 files plus
+    /// frozen memtables still waiting for their flush job.
+    fn l0_pressure(&self) -> usize {
+        let inner = self.inner.read();
+        inner.levels[0].runs[0].files.len() + inner.immutables.len()
+    }
+
+    /// True if frozen memtables await flushing.
+    fn has_frozen_memtables(&self) -> bool {
+        !self.inner.read().immutables.is_empty()
+    }
+
+    /// Applies the shared slowdown/stall policy before a write.
+    fn apply_backpressure(&self, handle: &MaintenanceHandle) {
+        let config = BackpressureConfig {
+            l0_slowdown_files: self.options.l0_slowdown_files,
+            l0_stall_files: self.options.l0_stall_files,
+            max_pending_jobs: self.options.max_pending_jobs,
+        };
+        let throttle = self.write_room.wait_for_room(
+            config,
+            handle,
+            &|| self.l0_pressure(),
+            &|| self.has_frozen_memtables(),
+            JobKind::CgCompaction,
+        );
+        match throttle {
+            Throttle::Stall => self.stats.record_stall(),
+            Throttle::Slowdown => self.stats.record_slowdown(),
+            Throttle::None => {}
+        }
+    }
+
+    /// Wakes writers parked on backpressure after maintenance made progress.
+    fn notify_write_room(&self) {
+        self.write_room.notify();
+    }
+
+    /// True if some level overflows (by bytes, or Level-0 by file count).
+    fn needs_compaction(&self) -> bool {
+        let inner = self.inner.read();
+        self.pick_compaction(&inner).is_some()
     }
 
     // ------------------------------------------------------------------
@@ -327,10 +484,29 @@ impl LaserDb {
                 &mut deleted,
                 &mut satisfied,
                 &needed,
-                versions.into_iter().map(|(ik, value)| (ik, value)),
+                versions.into_iter(),
                 self.num_columns(),
                 true,
             )?;
+        }
+
+        // 1.5. Frozen memtables awaiting flush, newest first (row-oriented).
+        if !satisfied && !deleted {
+            for imm in inner.immutables.iter().rev() {
+                let versions = imm.get_versions(key, snapshot);
+                Self::overlay_versions(
+                    &mut acc,
+                    &mut deleted,
+                    &mut satisfied,
+                    &needed,
+                    versions.into_iter(),
+                    self.num_columns(),
+                    true,
+                )?;
+                if satisfied || deleted {
+                    break;
+                }
+            }
         }
 
         // 2. Level 0, newest file first (row-oriented full rows).
@@ -518,15 +694,16 @@ impl LaserDb {
             .iter()
             .map(|l| l.runs.iter().map(|r| r.num_entries()).sum::<u64>())
             .sum();
-        if total_entries > 0 {
-            for (level, state) in inner.levels.iter().enumerate() {
-                let level_entries: u64 = state.runs.iter().map(|r| r.num_entries()).sum();
-                if level_entries == 0 {
-                    continue;
-                }
-                let share = (rows.len() as u64 * level_entries) / total_entries;
-                self.stats.record_scan_level(level, share, &projection);
+        for (level, state) in inner.levels.iter().enumerate() {
+            let level_entries: u64 = state.runs.iter().map(|r| r.num_entries()).sum();
+            if level_entries == 0 {
+                continue;
             }
+            let Some(share) = (rows.len() as u64 * level_entries).checked_div(total_entries)
+            else {
+                break;
+            };
+            self.stats.record_scan_level(level, share, &projection);
         }
         Ok(rows.into_iter().map(|r| (r.key, r.fragment)).collect())
     }
@@ -547,6 +724,9 @@ impl LaserDb {
         let mut sources: Vec<BoxedFragmentSource> = Vec::new();
         if let Some(mutable) = &inner.mutable {
             sources.push(Box::new(RowSource::new(Box::new(mutable.iter()), c, snapshot)));
+        }
+        for imm in inner.immutables.iter().rev() {
+            sources.push(Box::new(RowSource::new(Box::new(imm.iter()), c, snapshot)));
         }
         for file in inner.levels[0].runs[0].files.iter().rev() {
             if file.meta.overlaps(lo, hi) {
@@ -598,30 +778,65 @@ impl LaserDb {
         Ok(())
     }
 
-    /// Flushes the mutable memtable into a row-oriented Level-0 SST.
+    /// Flushes the mutable memtable and every frozen memtable into
+    /// row-oriented Level-0 SSTs. No-op when nothing is buffered.
     pub fn flush(&self) -> Result<()> {
-        let (memtable, file_number) = {
+        {
             let mut inner = self.inner.write();
             let mutable = inner.mutable.take().unwrap_or_else(|| Arc::new(MemTable::new()));
-            if mutable.is_empty() {
+            if mutable.is_empty() && inner.immutables.is_empty() {
                 inner.mutable = Some(mutable);
                 return Ok(());
             }
+            if !mutable.is_empty() {
+                inner.immutables.push(Arc::clone(&mutable));
+            }
             inner.mutable = Some(Arc::new(MemTable::new()));
+        }
+        while self.flush_frozen_one()? {}
+        Ok(())
+    }
+
+    /// Flushes the oldest frozen memtable, if any. The WAL is restarted only
+    /// once *all* buffered writes are on disk — with frozen memtables still
+    /// pending, the old log must survive for crash recovery. Returns true if
+    /// a memtable was flushed.
+    fn flush_frozen_one(&self) -> Result<bool> {
+        // Serialise flushes so Level-0 keeps its oldest-first order.
+        let _flushing = self.flush_lock.lock();
+        let (memtable, file_number) = {
+            let mut inner = self.inner.write();
+            let Some(memtable) = inner.immutables.first().cloned() else {
+                return Ok(false);
+            };
+            if memtable.is_empty() {
+                inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+                return Ok(true);
+            }
             let n = inner.next_file_number;
             inner.next_file_number += 1;
-            (mutable, n)
+            (memtable, n)
         };
+        // Build outside the lock; the frozen memtable stays readable in
+        // `immutables` until the SST is installed.
         let meta = self.build_sst(file_number, 0, 0, memtable.to_sorted_vec())?;
         self.stats.record_flush(meta.file_size, meta.num_entries);
         {
             let mut inner = self.inner.write();
-            let table = TableHandle::open(&self.storage, &meta.file_name())?;
+            let table =
+                TableHandle::open_with_cache(&self.storage, &meta.file_name(), self.cache.clone())?;
             inner.levels[0].runs[0].files.push(LevelFile { meta, table });
-            inner.wal = Some(WalWriter::create(&self.storage, WAL_NAME, self.options.sync_wal)?);
+            inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+            let all_buffered_flushed = inner.immutables.is_empty()
+                && inner.mutable.as_ref().map(|m| m.is_empty()).unwrap_or(true);
+            if all_buffered_flushed {
+                inner.wal =
+                    Some(WalWriter::create(&self.storage, WAL_NAME, self.options.sync_wal)?);
+            }
             self.persist_manifest(&inner)?;
         }
-        Ok(())
+        self.notify_write_room();
+        Ok(true)
     }
 
     fn build_sst(
@@ -669,7 +884,10 @@ impl LaserDb {
     // ------------------------------------------------------------------
 
     /// Picks `(level, cg_index)` of the most overflowing column group in the
-    /// most overflowing level, or `None` if nothing overflows.
+    /// most overflowing level, or `None` if nothing overflows. Level-0
+    /// additionally overflows on *file count* (at the slowdown threshold), so
+    /// a backpressure pileup always has a compaction that can clear it even
+    /// when the files are small.
     fn pick_compaction(&self, inner: &DbInner) -> Option<(usize, usize)> {
         // Most overflowing level first.
         let mut best_level: Option<(usize, f64)> = None;
@@ -681,7 +899,22 @@ impl LaserDb {
             if capacity == 0 {
                 continue;
             }
-            let score = state.size_bytes() as f64 / capacity as f64;
+            let mut score = state.size_bytes() as f64 / capacity as f64;
+            // The count trigger only applies in background mode: the legacy
+            // synchronous path (and the paper's experiments) compacts purely
+            // on byte overflow, and must keep doing so.
+            if level == 0 && self.maintenance.get().is_some() && self.options.l0_slowdown_files > 0
+            {
+                // `files + 1` so the score strictly exceeds 1.0 exactly when
+                // the count reaches the slowdown threshold — a stalled writer
+                // (stall == slowdown is allowed) must always have a runnable
+                // compaction, or backpressure would wait forever.
+                let files = state.runs[0].files.len();
+                if files >= self.options.l0_slowdown_files {
+                    score =
+                        score.max((files + 1) as f64 / self.options.l0_slowdown_files as f64);
+                }
+            }
             if score > 1.0 && best_level.map(|(_, s)| score > s).unwrap_or(true) {
                 best_level = Some((level, score));
             }
@@ -752,6 +985,10 @@ impl LaserDb {
     /// column group of `level` into the contained column groups of `level+1`,
     /// re-encoding fragments into the target layout.
     pub fn compact_cg(&self, level: usize, cg_idx: usize) -> Result<()> {
+        // Serialise compaction jobs (background workers and foreground calls
+        // share this lock); the plan below re-reads state after acquiring it,
+        // so a stale pick degrades to a no-op rather than a double merge.
+        let _compacting = self.compaction_lock.lock();
         let target_level = level + 1;
         let c = self.num_columns();
         // Collect inputs and plan under the read lock.
@@ -943,7 +1180,11 @@ impl LaserDb {
             }
             for (target_cg_idx, metas) in &new_outputs {
                 for meta in metas {
-                    let table = TableHandle::open(&self.storage, &meta.file_name())?;
+                    let table = TableHandle::open_with_cache(
+                        &self.storage,
+                        &meta.file_name(),
+                        self.cache.clone(),
+                    )?;
                     inner.levels[target_level].runs[*target_cg_idx]
                         .files
                         .push(LevelFile { meta: meta.clone(), table });
@@ -964,6 +1205,7 @@ impl LaserDb {
         }
         self.stats
             .record_compaction(bytes_read, total_bytes_written, total_entries_written);
+        self.notify_write_room();
         Ok(())
     }
 
@@ -1070,6 +1312,39 @@ impl LaserDb {
         self.flush()?;
         let inner = self.inner.read();
         self.persist_manifest(&inner)
+    }
+}
+
+impl MaintainableEngine for LaserDb {
+    /// Executes one background job. Flush jobs drain the oldest frozen
+    /// memtable and chain a CG-compaction when the tree overflows;
+    /// CG-compaction jobs run one CG-local merge and re-enqueue themselves
+    /// while work remains, so a single submission settles the whole tree
+    /// without monopolising a worker.
+    fn run_maintenance_job(&self, kind: JobKind) -> Result<()> {
+        match kind {
+            JobKind::Flush => {
+                self.flush_frozen_one()?;
+                if self.needs_compaction() {
+                    if let Some(handle) = self.maintenance.get() {
+                        handle.submit_if_idle(JobKind::CgCompaction);
+                    }
+                }
+                Ok(())
+            }
+            JobKind::Compaction | JobKind::CgCompaction => {
+                let did_work = self.compact_once()?;
+                if did_work && self.needs_compaction() {
+                    if let Some(handle) = self.maintenance.get() {
+                        // `submit_if_idle` would see this running job as
+                        // pending, so resubmit directly; bounded because it
+                        // only happens while a level still overflows.
+                        handle.submit(JobKind::CgCompaction);
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 }
 

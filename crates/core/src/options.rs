@@ -23,7 +23,20 @@ pub struct LaserOptions {
     /// Whether to fsync the WAL after every write batch.
     pub sync_wal: bool,
     /// Whether compaction runs automatically after writes and flushes.
+    /// Ignored while a background maintenance scheduler is attached — the
+    /// scheduler then owns compaction.
     pub auto_compact: bool,
+    /// Capacity of the shared decoded-block cache in bytes; 0 disables it.
+    pub block_cache_bytes: usize,
+    /// With background maintenance attached: Level-0 file count (including
+    /// frozen memtables awaiting flush) at which writers briefly yield.
+    pub l0_slowdown_files: usize,
+    /// With background maintenance attached: Level-0 file count at which
+    /// writers block until a background job completes.
+    pub l0_stall_files: usize,
+    /// With background maintenance attached: pending background jobs at
+    /// which writers block (bounds queue depth).
+    pub max_pending_jobs: usize,
     /// SST/block construction parameters.
     pub table: TableOptions,
 }
@@ -40,6 +53,10 @@ impl LaserOptions {
             sst_target_size_bytes: 8 << 20,
             sync_wal: false,
             auto_compact: true,
+            block_cache_bytes: 32 << 20,
+            l0_slowdown_files: 8,
+            l0_stall_files: 16,
+            max_pending_jobs: 64,
             table: TableOptions::default(),
         }
     }
@@ -56,6 +73,12 @@ impl LaserOptions {
             sst_target_size_bytes: 32 << 10,
             sync_wal: false,
             auto_compact: true,
+            // Tests opt into caching explicitly so I/O-accounting experiments
+            // keep the paper's uncached cost shapes.
+            block_cache_bytes: 0,
+            l0_slowdown_files: 8,
+            l0_stall_files: 16,
+            max_pending_jobs: 64,
             table: TableOptions::default(),
         }
     }
@@ -92,6 +115,14 @@ impl LaserOptions {
         }
         if self.memtable_size_bytes == 0 || self.level0_size_bytes == 0 {
             return Err(lsm_storage::Error::invalid("sizes must be non-zero"));
+        }
+        if self.l0_slowdown_files == 0 || self.l0_stall_files < self.l0_slowdown_files {
+            return Err(lsm_storage::Error::invalid(
+                "backpressure thresholds require 1 <= l0_slowdown_files <= l0_stall_files",
+            ));
+        }
+        if self.max_pending_jobs == 0 {
+            return Err(lsm_storage::Error::invalid("max_pending_jobs must be non-zero"));
         }
         Ok(())
     }

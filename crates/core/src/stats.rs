@@ -63,6 +63,20 @@ pub struct EngineStatsSnapshot {
     pub compaction_bytes_read: u64,
     /// Entries written by flushes and compactions.
     pub compaction_entries_written: u64,
+    /// Writes that blocked on backpressure (stall threshold reached).
+    pub stall_events: u64,
+    /// Writes that briefly yielded on backpressure (slowdown threshold).
+    pub slowdown_events: u64,
+    /// Block-cache hits (0 when no cache is configured).
+    pub cache_hits: u64,
+    /// Block-cache misses (0 when no cache is configured).
+    pub cache_misses: u64,
+    /// Background jobs completed by an attached maintenance scheduler.
+    pub bg_jobs_completed: u64,
+    /// Background jobs that failed.
+    pub bg_jobs_failed: u64,
+    /// Background jobs queued or running at snapshot time.
+    pub bg_jobs_pending: u64,
     /// Per-level access profile.
     pub levels: Vec<LevelProfile>,
 }
@@ -72,6 +86,16 @@ impl EngineStatsSnapshot {
     /// (the empirical counterpart of Equation 5 summed over the workload).
     pub fn total_point_read_groups(&self) -> u64 {
         self.levels.iter().map(|l| l.point_read_groups_fetched).sum()
+    }
+
+    /// Block-cache hit rate in `[0, 1]`; zero when no cache is configured.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -152,6 +176,16 @@ impl EngineStats {
         inner.flushes += 1;
         inner.compaction_bytes_written += bytes;
         inner.compaction_entries_written += entries;
+    }
+
+    /// Records a write that blocked on backpressure.
+    pub fn record_stall(&self) {
+        self.inner.lock().stall_events += 1;
+    }
+
+    /// Records a write that briefly yielded on backpressure.
+    pub fn record_slowdown(&self) {
+        self.inner.lock().slowdown_events += 1;
     }
 
     /// Records a compaction job.

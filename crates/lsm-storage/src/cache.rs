@@ -1,0 +1,400 @@
+//! A sharded LRU cache for decoded SST data blocks.
+//!
+//! Point lookups and scans spend most of their time fetching and decoding
+//! 4 KiB data blocks. The [`BlockCache`] keeps recently-used blocks in memory
+//! in *decoded* form (the sorted entry vector), so a hot read skips both the
+//! storage backend and the restart-point decode. One cache is shared by every
+//! SST of an engine (and may be shared across engines).
+//!
+//! Keys are `(table_id, block_idx)` where `table_id` is a process-unique id
+//! handed out by [`BlockCache::register_table`] each time an SST is opened.
+//! Because ids are never reused, blocks of a dropped table (e.g. an SST
+//! replaced by compaction) can never be served to a reader of a newer file —
+//! even if the file *name* is reused. [`Table`](crate::sst::Table) evicts its
+//! blocks eagerly on drop to return the capacity.
+//!
+//! The cache is split into shards, each protected by its own mutex, so
+//! concurrent readers and background compaction threads do not serialise on
+//! one lock. Within a shard, eviction is strict LRU implemented with a
+//! recency queue that tolerates duplicate entries (each hit appends; stale
+//! duplicates are skipped during eviction).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A decoded data block: the sorted `(internal key, value)` entries.
+pub type CachedBlock = Arc<Vec<(Vec<u8>, Vec<u8>)>>;
+
+/// Fixed bookkeeping weight charged per cached block, on top of payload.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Weight charged per `(key, value)` pair inside a block: two `Vec` headers
+/// plus allocator slack. Without this, small-entry blocks would under-charge
+/// their real heap cost severalfold.
+const PAIR_OVERHEAD: usize = 64;
+
+/// Cache key: `(table registration id, data block index)`.
+type Key = (u64, u32);
+
+struct Entry {
+    data: CachedBlock,
+    weight: usize,
+    /// Number of occurrences of this key in the shard's recency queue.
+    queue_refs: u32,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Entry>,
+    /// Recency queue, oldest at the front. May contain duplicates; an entry's
+    /// `queue_refs` counts its occurrences so eviction can skip stale ones.
+    queue: VecDeque<Key>,
+    used_bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: Key) {
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.queue_refs += 1;
+            self.queue.push_back(key);
+        }
+        // Bound queue growth under hit-heavy workloads: rewrite it keeping
+        // only the newest occurrence of each key once it gets silly.
+        if self.queue.len() > self.map.len() * 4 + 16 {
+            self.compact_queue();
+        }
+    }
+
+    fn compact_queue(&mut self) {
+        let mut seen: HashMap<Key, ()> = HashMap::with_capacity(self.map.len());
+        let mut fresh: VecDeque<Key> = VecDeque::with_capacity(self.map.len());
+        for &key in self.queue.iter().rev() {
+            if let Some(entry) = self.map.get_mut(&key) {
+                if seen.insert(key, ()).is_none() {
+                    entry.queue_refs = 1;
+                    fresh.push_front(key);
+                }
+            }
+        }
+        self.queue = fresh;
+    }
+
+    /// Evicts least-recently-used entries until `used_bytes <= capacity`.
+    /// Returns how many entries were evicted.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.used_bytes > capacity {
+            let Some(key) = self.queue.pop_front() else { break };
+            let Some(entry) = self.map.get_mut(&key) else { continue };
+            entry.queue_refs = entry.queue_refs.saturating_sub(1);
+            if entry.queue_refs == 0 {
+                let entry = self.map.remove(&key).expect("entry present");
+                self.used_bytes -= entry.weight.min(self.used_bytes);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Point-in-time counters of a [`BlockCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed and went to storage.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub inserts: u64,
+    /// Blocks evicted by capacity pressure or table drop.
+    pub evictions: u64,
+    /// Current payload bytes held.
+    pub used_bytes: u64,
+    /// Current number of cached blocks.
+    pub entries: u64,
+}
+
+impl BlockCacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU cache of decoded SST data blocks, shared via `Arc`.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    next_table_id: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BlockCache")
+            .field("capacity_bytes", &self.capacity_bytes())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// Default shard count: enough to keep reader/compactor contention low
+    /// without fragmenting small capacities.
+    const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates a cache holding roughly `capacity_bytes` of decoded blocks.
+    pub fn new(capacity_bytes: usize) -> Arc<Self> {
+        Self::with_shards(capacity_bytes, Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (power of two recommended).
+    pub fn with_shards(capacity_bytes: usize, num_shards: usize) -> Arc<Self> {
+        let num_shards = num_shards.max(1);
+        Arc::new(BlockCache {
+            shards: (0..num_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: (capacity_bytes / num_shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            next_table_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Hands out a process-unique table id. Called once per opened SST; ids
+    /// are never reused, which is what makes stale reads impossible.
+    pub fn register_table(&self) -> u64 {
+        self.next_table_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        // Fold the block index into the high half *before* multiplying, so
+        // consecutive blocks of one table spread across shards (the top bits
+        // select the shard; an additive mix after the multiply would leave
+        // every block of a table in the same shard).
+        let h = (key.0 ^ ((key.1 as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 56) as usize % self.shards.len()]
+    }
+
+    /// Looks up a block, updating recency and hit/miss counters.
+    pub fn get(&self, table_id: u64, block_idx: u32) -> Option<CachedBlock> {
+        let key = (table_id, block_idx);
+        let mut shard = self.shard(&key).lock();
+        match shard.map.get(&key).map(|e| Arc::clone(&e.data)) {
+            Some(data) => {
+                shard.touch(key);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded block, evicting LRU entries if over capacity.
+    pub fn insert(&self, table_id: u64, block_idx: u32, data: CachedBlock) {
+        let weight: usize = data
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + PAIR_OVERHEAD)
+            .sum::<usize>()
+            + ENTRY_OVERHEAD;
+        let key = (table_id, block_idx);
+        let mut shard = self.shard(&key).lock();
+        if let Some(old) = shard.map.insert(key, Entry { data, weight, queue_refs: 1 }) {
+            shard.used_bytes -= old.weight.min(shard.used_bytes);
+            // The old occurrences in the queue now refer to the new entry;
+            // fold their count in so eviction bookkeeping stays consistent.
+            shard.map.get_mut(&key).expect("just inserted").queue_refs += old.queue_refs;
+        }
+        shard.used_bytes += weight;
+        shard.queue.push_back(key);
+        let evicted = shard.evict_to(self.shard_capacity);
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drops every block of `table_id` (called when an SST handle is dropped,
+    /// e.g. after compaction replaced the file).
+    pub fn evict_table(&self, table_id: u64) {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let keys: Vec<Key> = shard
+                .map
+                .keys()
+                .filter(|(t, _)| *t == table_id)
+                .copied()
+                .collect();
+            for key in keys {
+                if let Some(entry) = shard.map.remove(&key) {
+                    shard.used_bytes -= entry.weight.min(shard.used_bytes);
+                    evicted += 1;
+                }
+            }
+            // Dangling queue occurrences are skipped during eviction.
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Total configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BlockCacheStats {
+        let mut used = 0u64;
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            used += shard.used_bytes as u64;
+            entries += shard.map.len() as u64;
+        }
+        BlockCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            used_bytes: used,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(bytes: usize) -> CachedBlock {
+        Arc::new(vec![(vec![0u8; bytes / 2], vec![0u8; bytes - bytes / 2])])
+    }
+
+    /// The charged weight of a single-pair `block(bytes)`.
+    fn block_weight(bytes: usize) -> usize {
+        bytes + PAIR_OVERHEAD + ENTRY_OVERHEAD
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = BlockCache::new(1 << 20);
+        let t = cache.register_table();
+        assert!(cache.get(t, 0).is_none());
+        cache.insert(t, 0, block(100));
+        assert!(cache.get(t, 0).is_some());
+        assert!(cache.get(t, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.inserts, 1);
+        assert!(stats.hit_rate() > 0.3 && stats.hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        // Single shard so the LRU order is fully observable.
+        let cache = BlockCache::with_shards(3 * block_weight(1000), 1);
+        let t = cache.register_table();
+        cache.insert(t, 0, block(1000));
+        cache.insert(t, 1, block(1000));
+        cache.insert(t, 2, block(1000));
+        // Touch block 0 so block 1 becomes the LRU victim.
+        assert!(cache.get(t, 0).is_some());
+        cache.insert(t, 3, block(1000));
+        assert!(cache.get(t, 1).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(t, 0).is_some(), "recently-touched entry survives");
+        assert!(cache.get(t, 3).is_some());
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn over_capacity_insert_still_caches_nothing_extra() {
+        let cache = BlockCache::with_shards(100, 1);
+        let t = cache.register_table();
+        cache.insert(t, 0, block(5000));
+        // The oversized block cannot stay resident.
+        assert!(cache.stats().used_bytes <= 100 || cache.stats().entries == 0);
+    }
+
+    #[test]
+    fn table_ids_are_unique_and_eviction_is_scoped() {
+        let cache = BlockCache::new(1 << 20);
+        let t1 = cache.register_table();
+        let t2 = cache.register_table();
+        assert_ne!(t1, t2);
+        cache.insert(t1, 0, block(100));
+        cache.insert(t2, 0, block(100));
+        cache.evict_table(t1);
+        assert!(cache.get(t1, 0).is_none());
+        assert!(cache.get(t2, 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_weight() {
+        let cache = BlockCache::with_shards(1 << 20, 1);
+        let t = cache.register_table();
+        cache.insert(t, 0, block(1000));
+        let used_before = cache.stats().used_bytes;
+        cache.insert(t, 0, block(1000));
+        assert_eq!(cache.stats().used_bytes, used_before, "replacement, not accumulation");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn blocks_of_one_table_spread_across_shards() {
+        // A single hot table must use more than one shard (and so more than
+        // 1/N of the capacity).
+        let cache = BlockCache::with_shards(1 << 20, 8);
+        let t = cache.register_table();
+        let mut shards_used = std::collections::HashSet::new();
+        for idx in 0..64u32 {
+            let key = (t, idx);
+            let shard = cache.shard(&key) as *const _ as usize;
+            shards_used.insert(shard);
+        }
+        assert!(
+            shards_used.len() >= 4,
+            "64 blocks of one table landed in only {} of 8 shards",
+            shards_used.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = BlockCache::new(64 << 10);
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                let t = cache.register_table();
+                for i in 0..500u32 {
+                    cache.insert(t, i, block(64));
+                    cache.get(t, i.saturating_sub(w as u32));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 2000);
+        assert!(stats.used_bytes as usize <= cache.capacity_bytes() + 8 * block_weight(64));
+    }
+}

@@ -47,13 +47,13 @@ pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
 /// Masks a CRC so that storing a CRC of data that itself contains CRCs does
 /// not produce degenerate values (same trick as LevelDB).
 pub fn mask(crc: u32) -> u32 {
-    ((crc >> 15) | (crc << 17)).wrapping_add(0xa282_ead8)
+    crc.rotate_right(15).wrapping_add(0xa282_ead8)
 }
 
 /// Reverses [`mask`].
 pub fn unmask(masked: u32) -> u32 {
     let rot = masked.wrapping_sub(0xa282_ead8);
-    (rot >> 17) | (rot << 15)
+    rot.rotate_left(15)
 }
 
 #[cfg(test)]

@@ -14,12 +14,17 @@
 //! jobs span column groups rather than whole levels.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::iterator::{BoxedIterator, KvIterator, MergingIterator};
+use crate::maintenance::{
+    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
+    MaintenanceHandle, Throttle,
+};
 use crate::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
 use crate::memtable::{MemTable, MemTableRef};
 use crate::options::{CompactionPriority, LsmOptions};
@@ -41,6 +46,10 @@ pub struct CompactionStats {
     pub bytes_read: AtomicU64,
     /// Total entries written out by flushes and compactions.
     pub entries_written: AtomicU64,
+    /// Writes that blocked on backpressure (stall threshold reached).
+    pub stall_events: AtomicU64,
+    /// Writes that briefly yielded on backpressure (slowdown threshold).
+    pub slowdown_events: AtomicU64,
 }
 
 impl CompactionStats {
@@ -52,6 +61,9 @@ impl CompactionStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             entries_written: self.entries_written.load(Ordering::Relaxed),
+            stall_events: self.stall_events.load(Ordering::Relaxed),
+            slowdown_events: self.slowdown_events.load(Ordering::Relaxed),
+            ..Default::default()
         }
     }
 }
@@ -69,6 +81,20 @@ pub struct CompactionStatsSnapshot {
     pub bytes_read: u64,
     /// Total entries written out.
     pub entries_written: u64,
+    /// Writes that blocked on backpressure.
+    pub stall_events: u64,
+    /// Writes that briefly yielded on backpressure.
+    pub slowdown_events: u64,
+    /// Block-cache hits (0 when no cache is configured).
+    pub cache_hits: u64,
+    /// Block-cache misses (0 when no cache is configured).
+    pub cache_misses: u64,
+    /// Background jobs completed by an attached maintenance scheduler.
+    pub bg_jobs_completed: u64,
+    /// Background jobs that failed.
+    pub bg_jobs_failed: u64,
+    /// Background jobs queued or running at snapshot time.
+    pub bg_jobs_pending: u64,
 }
 
 /// One SST file attached to a level.
@@ -98,6 +124,18 @@ pub struct LsmDb {
     options: LsmOptions,
     inner: RwLock<DbInner>,
     stats: CompactionStats,
+    /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
+    cache: Option<Arc<BlockCache>>,
+    /// Registered background scheduler handle; set once by
+    /// [`LsmDb::attach_maintenance`]. While present, the write path enqueues
+    /// flush/compaction jobs instead of running them inline.
+    maintenance: OnceLock<MaintenanceHandle>,
+    /// Serialises flush jobs so L0 keeps its oldest-first order.
+    flush_lock: Mutex<()>,
+    /// Serialises compaction jobs so two jobs never pick the same inputs.
+    compaction_lock: Mutex<()>,
+    /// Writers stalled on backpressure park here; maintenance jobs notify it.
+    write_room: BackpressureGate,
 }
 
 impl LsmDb {
@@ -112,8 +150,13 @@ impl LsmDb {
             last_seq: snapshot.last_seq,
             ..Default::default()
         };
+        let cache = if options.block_cache_bytes > 0 {
+            Some(BlockCache::new(options.block_cache_bytes))
+        } else {
+            None
+        };
         for meta in &snapshot.files {
-            let table = TableHandle::open(&storage, &meta.file_name())?;
+            let table = TableHandle::open_with_cache(&storage, &meta.file_name(), cache.clone())?;
             let level = meta.level as usize;
             if level >= inner.levels.len() {
                 return Err(Error::corruption(format!(
@@ -131,7 +174,17 @@ impl LsmDb {
             }
         }
 
-        let db = LsmDb { storage, options, inner: RwLock::new(inner), stats: CompactionStats::default() };
+        let db = LsmDb {
+            storage,
+            options,
+            inner: RwLock::new(inner),
+            stats: CompactionStats::default(),
+            cache,
+            maintenance: OnceLock::new(),
+            flush_lock: Mutex::new(()),
+            compaction_lock: Mutex::new(()),
+            write_room: BackpressureGate::new(),
+        };
 
         // Recover outstanding writes from the WAL, if one exists.
         let wal_name = "wal-current.log".to_string();
@@ -150,11 +203,9 @@ impl LsmDb {
                 // Re-log with the original sequence numbers so a second
                 // recovery replays identically.
                 wal.append(record.start_seq, &record.batch)?;
-                let mut seq = record.start_seq;
-                for entry in record.batch.iter() {
+                for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
                     inner.mutable.as_ref().unwrap().insert(seq, entry);
                     inner.last_seq = inner.last_seq.max(seq);
-                    seq += 1;
                 }
             }
             inner.wal = Some(wal);
@@ -177,9 +228,48 @@ impl LsmDb {
         &self.storage
     }
 
-    /// Flush/compaction statistics.
+    /// Flush/compaction statistics, including block-cache and background-job
+    /// counters when those subsystems are active.
     pub fn stats(&self) -> CompactionStatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        if let Some(cache) = &self.cache {
+            let cache_stats = cache.stats();
+            snapshot.cache_hits = cache_stats.hits;
+            snapshot.cache_misses = cache_stats.misses;
+        }
+        if let Some(handle) = self.maintenance.get() {
+            let state = handle.state();
+            snapshot.bg_jobs_completed = state.completed_jobs();
+            snapshot.bg_jobs_failed = state.failed_jobs();
+            snapshot.bg_jobs_pending = state.pending_jobs() as u64;
+        }
+        snapshot
+    }
+
+    /// The shared block cache, if one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Starts a background maintenance scheduler with `num_workers` threads
+    /// and registers it with this engine. From then on the write path freezes
+    /// full memtables and enqueues flush/compaction jobs instead of running
+    /// them inline, and applies slowdown/stall backpressure per the
+    /// `l0_slowdown_files` / `l0_stall_files` / `max_pending_jobs` options.
+    ///
+    /// The returned [`JobScheduler`] owns the worker threads: dropping it
+    /// drains all queued jobs and joins the workers. The foreground
+    /// `flush` / `compact_*` APIs keep working (they share the same internal
+    /// locks), which deterministic tests rely on.
+    ///
+    /// Errors if a scheduler was already attached.
+    pub fn attach_maintenance(self: &Arc<Self>, num_workers: usize) -> Result<JobScheduler> {
+        let engine: Arc<dyn MaintainableEngine> = Arc::clone(self) as Arc<dyn MaintainableEngine>;
+        let (scheduler, handle) = JobScheduler::start(&engine, num_workers);
+        if self.maintenance.set(handle).is_err() {
+            return Err(Error::invalid("a maintenance scheduler is already attached"));
+        }
+        Ok(scheduler)
     }
 
     /// The last sequence number assigned.
@@ -192,9 +282,20 @@ impl LsmDb {
     // ------------------------------------------------------------------
 
     /// Applies a write batch atomically.
+    ///
+    /// With a maintenance scheduler attached, a full memtable is frozen and
+    /// its flush (plus any needed compaction) is enqueued for the background
+    /// workers, after applying slowdown/stall backpressure; without one, the
+    /// legacy synchronous flush/compact path runs inline.
     pub fn write(&self, batch: &WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        // A handle whose scheduler has been dropped no longer accepts jobs;
+        // treat it as absent so writes fall back to inline maintenance.
+        let background = self.maintenance.get().filter(|h| !h.is_shutdown());
+        if let Some(handle) = background {
+            self.apply_backpressure(handle);
         }
         {
             let mut inner = self.inner.write();
@@ -212,11 +313,94 @@ impl LsmDb {
             }
             inner.last_seq = seq - 1;
         }
-        self.maybe_flush()?;
-        if self.options.auto_compact {
-            self.compact_until_stable()?;
+        match background {
+            Some(handle) => {
+                if self.freeze_if_full()? && !handle.submit(JobKind::Flush) {
+                    // Scheduler shut down between the check and the submit:
+                    // drain the frozen memtable inline instead of leaking it.
+                    while self.flush_frozen_one()? {}
+                }
+                if self.needs_compaction() {
+                    handle.submit_if_idle(JobKind::Compaction);
+                }
+            }
+            None => {
+                // Drain any memtables frozen before a scheduler shutdown,
+                // then run the legacy synchronous path.
+                if self.has_frozen_memtables() {
+                    while self.flush_frozen_one()? {}
+                }
+                self.maybe_flush()?;
+                if self.options.auto_compact {
+                    self.compact_until_stable()?;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Freezes the mutable memtable into the immutable list when it crossed
+    /// the size threshold. Returns true if a memtable was frozen.
+    fn freeze_if_full(&self) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(mutable) = inner.mutable.as_ref() else {
+            return Ok(false);
+        };
+        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+            return Ok(false);
+        }
+        let frozen = Arc::clone(mutable);
+        inner.immutables.push(frozen);
+        inner.mutable = Some(Arc::new(MemTable::new()));
+        Ok(true)
+    }
+
+    /// L0 pressure as seen by backpressure: on-disk Level-0 files plus frozen
+    /// memtables still waiting for their flush job.
+    fn l0_pressure(&self) -> usize {
+        let inner = self.inner.read();
+        inner.levels[0].len() + inner.immutables.len()
+    }
+
+    /// True if frozen memtables await flushing.
+    fn has_frozen_memtables(&self) -> bool {
+        !self.inner.read().immutables.is_empty()
+    }
+
+    /// Applies the shared slowdown/stall policy before a write.
+    fn apply_backpressure(&self, handle: &MaintenanceHandle) {
+        let config = BackpressureConfig {
+            l0_slowdown_files: self.options.l0_slowdown_files,
+            l0_stall_files: self.options.l0_stall_files,
+            max_pending_jobs: self.options.max_pending_jobs,
+        };
+        let throttle = self.write_room.wait_for_room(
+            config,
+            handle,
+            &|| self.l0_pressure(),
+            &|| self.has_frozen_memtables(),
+            JobKind::Compaction,
+        );
+        match throttle {
+            Throttle::Stall => {
+                self.stats.stall_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Throttle::Slowdown => {
+                self.stats.slowdown_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Throttle::None => {}
+        }
+    }
+
+    /// Wakes writers parked on backpressure after maintenance made progress.
+    fn notify_write_room(&self) {
+        self.write_room.notify();
+    }
+
+    /// True if some level (by bytes, or Level-0 by file count) overflows.
+    fn needs_compaction(&self) -> bool {
+        let inner = self.inner.read();
+        self.pick_compaction_level(&inner).is_some()
     }
 
     /// Inserts a single key/value pair.
@@ -390,38 +574,70 @@ impl LsmDb {
         Ok(())
     }
 
-    /// Flushes the mutable memtable to a new Level-0 SST and starts a fresh
-    /// WAL. No-op when the memtable is empty.
+    /// Flushes the mutable memtable and every frozen memtable to Level-0
+    /// SSTs, then starts a fresh WAL. No-op when nothing is buffered.
     pub fn flush(&self) -> Result<()> {
-        let (memtable, file_number) = {
+        {
+            // Freeze the mutable memtable unconditionally.
             let mut inner = self.inner.write();
             let mutable = inner.mutable.take().unwrap_or_else(|| Arc::new(MemTable::new()));
-            if mutable.is_empty() {
+            if mutable.is_empty() && inner.immutables.is_empty() {
                 inner.mutable = Some(mutable);
                 return Ok(());
             }
-            inner.immutables.push(Arc::clone(&mutable));
+            if !mutable.is_empty() {
+                inner.immutables.push(Arc::clone(&mutable));
+            }
             inner.mutable = Some(Arc::new(MemTable::new()));
+        }
+        while self.flush_frozen_one()? {}
+        Ok(())
+    }
+
+    /// Flushes the oldest frozen memtable, if any, to a Level-0 SST. The WAL
+    /// is restarted only once *all* buffered writes are on disk — with frozen
+    /// memtables still pending (or writes racing into the new mutable), the
+    /// old log must survive for crash recovery. Returns true if a memtable
+    /// was flushed.
+    fn flush_frozen_one(&self) -> Result<bool> {
+        // Serialise flushes so Level-0 keeps its oldest-first order.
+        let _flushing = self.flush_lock.lock();
+        let (memtable, file_number) = {
+            let mut inner = self.inner.write();
+            let Some(memtable) = inner.immutables.first().cloned() else {
+                return Ok(false);
+            };
+            if memtable.is_empty() {
+                inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+                return Ok(true);
+            }
             let file_number = inner.next_file_number;
             inner.next_file_number += 1;
-            (mutable, file_number)
+            (memtable, file_number)
         };
 
-        // Build the SST outside the lock.
+        // Build the SST outside the lock; the frozen memtable stays readable
+        // in `immutables` until the file is installed.
         let meta = self.build_sst_from_entries(file_number, 0, 0, memtable.to_sorted_vec())?;
 
         {
             let mut inner = self.inner.write();
-            let table = TableHandle::open(&self.storage, &meta.file_name())?;
+            let table =
+                TableHandle::open_with_cache(&self.storage, &meta.file_name(), self.cache.clone())?;
             inner.levels[0].push(LevelFile { meta, table });
             inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
-            // The flushed data is durable; start a fresh WAL.
-            let wal_name = inner.wal_name.clone();
-            inner.wal = Some(WalWriter::create(&self.storage, &wal_name, self.options.sync_wal)?);
+            let all_buffered_flushed = inner.immutables.is_empty()
+                && inner.mutable.as_ref().map(|m| m.is_empty()).unwrap_or(true);
+            if all_buffered_flushed {
+                let wal_name = inner.wal_name.clone();
+                inner.wal =
+                    Some(WalWriter::create(&self.storage, &wal_name, self.options.sync_wal)?);
+            }
             self.persist_manifest(&inner)?;
         }
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.notify_write_room();
+        Ok(true)
     }
 
     fn build_sst_from_entries(
@@ -472,6 +688,9 @@ impl LsmDb {
 
     /// Returns the level with the highest overflow score (> 1.0), if any.
     /// The last level never overflows (there is nowhere to push its data).
+    /// Level-0 additionally overflows on *file count* (at the slowdown
+    /// threshold), so a backpressure pileup always has a compaction that can
+    /// clear it even when the files are small.
     fn pick_compaction_level(&self, inner: &DbInner) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (level, files) in inner.levels.iter().enumerate() {
@@ -483,7 +702,22 @@ impl LsmDb {
             if capacity == 0 {
                 continue;
             }
-            let score = size as f64 / capacity as f64;
+            let mut score = size as f64 / capacity as f64;
+            // The count trigger only applies in background mode: the legacy
+            // synchronous path (and the paper's experiments) compacts purely
+            // on byte overflow, and must keep doing so.
+            if level == 0 && self.maintenance.get().is_some() && self.options.l0_slowdown_files > 0
+            {
+                // `files + 1` so the score strictly exceeds 1.0 exactly when
+                // the count reaches the slowdown threshold — a stalled writer
+                // (stall == slowdown is allowed) must always have a runnable
+                // compaction, or backpressure would wait forever.
+                let count_score =
+                    (files.len() + 1) as f64 / self.options.l0_slowdown_files as f64;
+                if files.len() >= self.options.l0_slowdown_files {
+                    score = score.max(count_score);
+                }
+            }
             if score > 1.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
                 best = Some((level, score));
             }
@@ -514,8 +748,10 @@ impl LsmDb {
     }
 
     /// Runs a single compaction job if any level overflows. Returns `true`
-    /// if work was done.
+    /// if work was done. Safe to call concurrently (from background workers
+    /// and the foreground API): jobs are serialised internally.
     pub fn compact_once(&self) -> Result<bool> {
+        let _compacting = self.compaction_lock.lock();
         // Snapshot the plan under the read lock.
         let plan = {
             let inner = self.inner.read();
@@ -620,7 +856,11 @@ impl LsmDb {
             inner.levels[level].retain(|f| !input_set.contains(&f.meta.file_number));
             inner.levels[target_level].retain(|f| !overlap_set.contains(&f.meta.file_number));
             for meta in &outputs {
-                let table = TableHandle::open(&self.storage, &meta.file_name())?;
+                let table = TableHandle::open_with_cache(
+                    &self.storage,
+                    &meta.file_name(),
+                    self.cache.clone(),
+                )?;
                 inner.levels[target_level].push(LevelFile { meta: meta.clone(), table });
             }
             inner.levels[target_level].sort_by_key(|f| f.meta.min_user_key);
@@ -631,6 +871,7 @@ impl LsmDb {
             }
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.notify_write_room();
         Ok(())
     }
 
@@ -661,6 +902,38 @@ impl LsmDb {
     pub fn remove_wal(&self) -> Result<()> {
         let inner = self.inner.read();
         wal_remove(&self.storage, &inner.wal_name)
+    }
+}
+
+impl MaintainableEngine for LsmDb {
+    /// Executes one background job. Flush jobs drain the oldest frozen
+    /// memtable and chain a compaction when the tree overflows; compaction
+    /// jobs run one step and re-enqueue themselves while work remains, so a
+    /// single submission settles the whole tree without monopolising a worker.
+    fn run_maintenance_job(&self, kind: JobKind) -> Result<()> {
+        match kind {
+            JobKind::Flush => {
+                self.flush_frozen_one()?;
+                if self.needs_compaction() {
+                    if let Some(handle) = self.maintenance.get() {
+                        handle.submit_if_idle(JobKind::Compaction);
+                    }
+                }
+                Ok(())
+            }
+            JobKind::Compaction | JobKind::CgCompaction => {
+                let did_work = self.compact_once()?;
+                if did_work && self.needs_compaction() {
+                    if let Some(handle) = self.maintenance.get() {
+                        // `submit_if_idle` would see this running job as
+                        // pending, so resubmit directly; bounded because it
+                        // only happens while a level still overflows.
+                        handle.submit(JobKind::Compaction);
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 }
 

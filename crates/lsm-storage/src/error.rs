@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(e.to_string().contains("boom"));

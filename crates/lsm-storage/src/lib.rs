@@ -19,6 +19,11 @@
 //! * [`storage`] — pluggable backends: durable files, instrumented in-memory
 //!   storage (counts 4 KiB-block I/O, matching the paper's cost model), and a
 //!   fault-injecting wrapper for failure testing.
+//! * [`cache`] — a sharded LRU cache of decoded data blocks, shared across
+//!   all SSTs of an engine so hot reads skip the storage backend.
+//! * [`maintenance`] — the background maintenance subsystem: a
+//!   [`maintenance::JobScheduler`] worker pool running flush/compaction jobs
+//!   off the write path, with write-side backpressure.
 //! * [`db`] — [`db::LsmDb`], a plain key-value LSM engine with leveled
 //!   compaction and both compaction priorities compared in Figure 2 of the
 //!   paper (`ByCompensatedSize`, `OldestSmallestSeqFirst`).
@@ -40,12 +45,14 @@
 
 pub mod block;
 pub mod bloom;
+pub mod cache;
 pub mod checksum;
 pub mod coding;
 pub mod db;
 pub mod error;
 pub mod hash;
 pub mod iterator;
+pub mod maintenance;
 pub mod manifest;
 pub mod memtable;
 pub mod options;
@@ -55,9 +62,14 @@ pub mod storage;
 pub mod types;
 pub mod wal;
 
+pub use cache::{BlockCache, BlockCacheStats};
 pub use db::{CompactionStatsSnapshot, LsmDb};
 pub use error::{Error, Result};
 pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
+pub use maintenance::{
+    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
+    MaintenanceHandle, Throttle,
+};
 pub use manifest::FileMeta;
 pub use memtable::{MemTable, MemTableRef};
 pub use options::{CompactionPriority, LsmOptions};

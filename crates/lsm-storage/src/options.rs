@@ -38,7 +38,21 @@ pub struct LsmOptions {
     pub sync_wal: bool,
     /// Whether compaction is triggered automatically after writes and flushes.
     /// Disable to schedule compaction manually (as the Fig. 7(e) experiment does).
+    /// Ignored while a background maintenance scheduler is attached — the
+    /// scheduler then owns compaction.
     pub auto_compact: bool,
+    /// Capacity of the shared decoded-block cache in bytes; 0 disables it.
+    pub block_cache_bytes: usize,
+    /// With background maintenance attached: Level-0 file count (including
+    /// frozen memtables awaiting flush) at which writers briefly yield to let
+    /// maintenance catch up.
+    pub l0_slowdown_files: usize,
+    /// With background maintenance attached: Level-0 file count at which
+    /// writers block until a background job completes.
+    pub l0_stall_files: usize,
+    /// With background maintenance attached: pending background jobs at which
+    /// writers block (bounds queue depth).
+    pub max_pending_jobs: usize,
     /// SST/block construction parameters.
     pub table: TableOptions,
 }
@@ -54,6 +68,10 @@ impl Default for LsmOptions {
             compaction_priority: CompactionPriority::default(),
             sync_wal: false,
             auto_compact: true,
+            block_cache_bytes: 32 << 20,
+            l0_slowdown_files: 8,
+            l0_stall_files: 16,
+            max_pending_jobs: 64,
             table: TableOptions::default(),
         }
     }
@@ -73,6 +91,12 @@ impl LsmOptions {
             compaction_priority: CompactionPriority::default(),
             sync_wal: false,
             auto_compact: true,
+            // Tests opt into caching explicitly so I/O-accounting experiments
+            // keep the paper's uncached cost shapes.
+            block_cache_bytes: 0,
+            l0_slowdown_files: 8,
+            l0_stall_files: 16,
+            max_pending_jobs: 64,
             table: TableOptions::default(),
         }
     }
@@ -93,6 +117,14 @@ impl LsmOptions {
         if self.memtable_size_bytes == 0 || self.level0_size_bytes == 0 {
             return Err(crate::error::Error::invalid("sizes must be non-zero"));
         }
+        if self.l0_slowdown_files == 0 || self.l0_stall_files < self.l0_slowdown_files {
+            return Err(crate::error::Error::invalid(
+                "backpressure thresholds require 1 <= l0_slowdown_files <= l0_stall_files",
+            ));
+        }
+        if self.max_pending_jobs == 0 {
+            return Err(crate::error::Error::invalid("max_pending_jobs must be non-zero"));
+        }
         Ok(())
     }
 }
@@ -109,9 +141,8 @@ mod tests {
 
     #[test]
     fn level_capacity_grows_geometrically() {
-        let mut o = LsmOptions::default();
-        o.level0_size_bytes = 100;
-        o.size_ratio = 2;
+        let mut o =
+            LsmOptions { level0_size_bytes: 100, size_ratio: 2, ..LsmOptions::default() };
         assert_eq!(o.level_capacity_bytes(0), 100);
         assert_eq!(o.level_capacity_bytes(1), 200);
         assert_eq!(o.level_capacity_bytes(4), 1600);
@@ -121,14 +152,15 @@ mod tests {
 
     #[test]
     fn invalid_options_rejected() {
-        let mut o = LsmOptions::default();
-        o.size_ratio = 1;
+        let o = LsmOptions { size_ratio: 1, ..LsmOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = LsmOptions::default();
-        o.num_levels = 0;
+        let o = LsmOptions { num_levels: 0, ..LsmOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = LsmOptions::default();
-        o.memtable_size_bytes = 0;
+        let o = LsmOptions { memtable_size_bytes: 0, ..LsmOptions::default() };
+        assert!(o.validate().is_err());
+        let o = LsmOptions { l0_slowdown_files: 9, l0_stall_files: 8, ..LsmOptions::default() };
+        assert!(o.validate().is_err());
+        let o = LsmOptions { max_pending_jobs: 0, ..LsmOptions::default() };
         assert!(o.validate().is_err());
     }
 

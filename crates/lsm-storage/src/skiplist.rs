@@ -81,7 +81,7 @@ impl SkipList {
         self.rng_state = x;
         let mut r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
         let mut height = 1usize;
-        while height < MAX_HEIGHT && (r % BRANCHING as u64) == 0 {
+        while height < MAX_HEIGHT && r.is_multiple_of(BRANCHING as u64) {
             height += 1;
             r /= BRANCHING as u64;
         }
@@ -124,8 +124,8 @@ impl SkipList {
         }
         self.approximate_bytes += key.len() + value.len() + std::mem::size_of::<Node>();
         self.nodes.push(Node { key: key.to_vec(), value: value.to_vec(), next });
-        for level in 0..height {
-            self.nodes[prev[level] as usize].next[level] = new_idx;
+        for (level, &p) in prev.iter().enumerate().take(height) {
+            self.nodes[p as usize].next[level] = new_idx;
         }
         self.len += 1;
     }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crate::block::{Block, BlockBuilder};
 use crate::bloom::{BloomFilter, BloomFilterBuilder};
+use crate::cache::{BlockCache, CachedBlock};
 use crate::checksum::crc32;
 use crate::coding::{put_u32, put_u64, Decoder};
 use crate::error::{Error, Result};
@@ -296,6 +297,18 @@ pub struct Table {
     bloom: BloomFilter,
     props: TableProperties,
     name: String,
+    /// Shared block cache plus this table's process-unique cache id. Ids are
+    /// handed out per *open*, never reused, so cached blocks of a replaced or
+    /// deleted SST can never leak into reads of a newer file.
+    cache: Option<(Arc<BlockCache>, u64)>,
+}
+
+impl Drop for Table {
+    fn drop(&mut self) {
+        if let Some((cache, id)) = &self.cache {
+            cache.evict_table(*id);
+        }
+    }
 }
 
 impl std::fmt::Debug for Table {
@@ -308,8 +321,17 @@ impl std::fmt::Debug for Table {
 }
 
 impl Table {
-    /// Opens an SST by name from a storage backend.
+    /// Opens an SST by name from a storage backend (no block cache).
     pub fn open(storage: &StorageRef, name: &str) -> Result<Arc<Table>> {
+        Self::open_with_cache(storage, name, None)
+    }
+
+    /// Opens an SST, serving data-block reads through `cache` when given.
+    pub fn open_with_cache(
+        storage: &StorageRef,
+        name: &str,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Arc<Table>> {
         let file = storage.open(name)?;
         let file_size = file.len();
         if file_size < FOOTER_SIZE as u64 {
@@ -322,10 +344,15 @@ impl Table {
         let bloom_data = read_verified_block(file.as_ref(), footer.bloom_handle)?;
         let bloom = BloomFilter::decode(&bloom_data)?;
         let num_data_blocks = index.entries()?.len() as u64;
+        let cache = cache.map(|c| {
+            let id = c.register_table();
+            (c, id)
+        });
         Ok(Arc::new(Table {
             file,
             index,
             bloom,
+            cache,
             props: TableProperties {
                 num_entries: footer.num_entries,
                 min_user_key: footer.min_user_key,
@@ -365,6 +392,20 @@ impl Table {
     fn read_data_block(&self, handle: BlockHandle) -> Result<Block> {
         Block::decode(read_verified_block(self.file.as_ref(), handle)?)
     }
+
+    /// Returns the decoded entries of data block `idx`, consulting the shared
+    /// block cache first when one is attached.
+    fn block_entries(&self, idx: usize, handle: BlockHandle) -> Result<CachedBlock> {
+        if let Some((cache, id)) = &self.cache {
+            if let Some(entries) = cache.get(*id, idx as u32) {
+                return Ok(entries);
+            }
+            let entries: CachedBlock = Arc::new(self.read_data_block(handle)?.entries()?);
+            cache.insert(*id, idx as u32, Arc::clone(&entries));
+            return Ok(entries);
+        }
+        Ok(Arc::new(self.read_data_block(handle)?.entries()?))
+    }
 }
 
 /// Shared handle to an open table plus convenience lookup operations.
@@ -372,9 +413,18 @@ impl Table {
 pub struct TableHandle(pub Arc<Table>);
 
 impl TableHandle {
-    /// Opens an SST and wraps it in a handle.
+    /// Opens an SST and wraps it in a handle (no block cache).
     pub fn open(storage: &StorageRef, name: &str) -> Result<TableHandle> {
         Ok(TableHandle(Table::open(storage, name)?))
+    }
+
+    /// Opens an SST with an attached shared block cache.
+    pub fn open_with_cache(
+        storage: &StorageRef,
+        name: &str,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<TableHandle> {
+        Ok(TableHandle(Table::open_with_cache(storage, name, cache)?))
     }
 
     /// Table metadata.
@@ -452,12 +502,13 @@ pub struct TableIterator {
     table: Arc<Table>,
     index_entries: Vec<(Vec<u8>, BlockHandle)>,
     current_block_idx: usize,
-    /// Decoded entries of the current block.
-    current_entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Decoded entries of the current block (shared with the block cache).
+    current_entries: CachedBlock,
     /// Position of the current entry within `current_entries`.
     entry_idx: usize,
     valid: bool,
-    /// Number of data blocks actually fetched (for I/O accounting in tests).
+    /// Number of data blocks materialised (cache hits included; for I/O
+    /// accounting in tests).
     pub blocks_loaded: usize,
 }
 
@@ -478,7 +529,7 @@ impl TableIterator {
             table,
             index_entries,
             current_block_idx: 0,
-            current_entries: Vec::new(),
+            current_entries: Arc::new(Vec::new()),
             entry_idx: 0,
             valid: false,
             blocks_loaded: 0,
@@ -487,14 +538,13 @@ impl TableIterator {
 
     fn load_block(&mut self, idx: usize) -> Result<bool> {
         if idx >= self.index_entries.len() {
-            self.current_entries.clear();
+            self.current_entries = Arc::new(Vec::new());
             self.valid = false;
             return Ok(false);
         }
         let handle = self.index_entries[idx].1;
-        let block = self.table.read_data_block(handle)?;
+        self.current_entries = self.table.block_entries(idx, handle)?;
         self.blocks_loaded += 1;
-        self.current_entries = block.entries()?;
         self.current_block_idx = idx;
         self.entry_idx = 0;
         Ok(true)

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`) with a simple wall-clock
+//! measurement loop: a short warm-up, then `sample_size` timed samples, with
+//! mean/min reported on stdout. No statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Prevents the compiler from optimising away a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the default sample count (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function(&mut self, id: impl IntoBenchId, mut f: impl FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.into_bench_id()
+        } else {
+            format!("{}/{}", self.name, id.into_bench_id())
+        };
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+    }
+
+    /// Benchmarks a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Conversion helper so both `&str`, `String` and [`BenchmarkId`] name benches.
+pub trait IntoBenchId {
+    /// The display label.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.name
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up then collecting samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut iters_in_warmup: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            hint::black_box(routine());
+            iters_in_warmup += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_in_warmup.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Duration::from_secs_f64(
+                elapsed.as_secs_f64() / iters_per_sample as f64,
+            ));
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` value per invocation; only the
+    /// routine is meant to be measured, but this shim includes the setup time
+    /// in its samples (the workspace benches use cheap setups).
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+
+    /// `iter_batched` with per-iteration batches, as upstream criterion.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let total: f64 = self.samples.iter().map(|d| d.as_secs_f64()).sum();
+        let mean = total / self.samples.len() as f64;
+        let min = self.samples.iter().map(|d| d.as_secs_f64()).fold(f64::MAX, f64::min);
+        println!(
+            "{label:<40} mean {:>12} min {:>12} ({} samples)",
+            format_time(mean),
+            format_time(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Batch sizing hint, accepted for API compatibility and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}
