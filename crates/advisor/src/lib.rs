@@ -23,9 +23,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use laser_core::lsm_storage::{Error, Result};
 use laser_core::{ColumnGroup, ColumnId, LayoutSpec, LevelLayout, Projection, Schema};
 use laser_cost_model::{level_workload_cost, LevelWorkload, TreeParameters};
-use laser_core::lsm_storage::{Error, Result};
 
 /// A workload trace: the structural parameters plus the per-level slice of
 /// the workload (what §6.1 calls `wl_i`).
@@ -40,7 +40,10 @@ pub struct WorkloadTrace {
 impl WorkloadTrace {
     /// Creates a trace with empty per-level workloads.
     pub fn new(params: TreeParameters, num_levels: usize) -> Self {
-        WorkloadTrace { params, per_level: vec![LevelWorkload::default(); num_levels] }
+        WorkloadTrace {
+            params,
+            per_level: vec![LevelWorkload::default(); num_levels],
+        }
     }
 
     /// Number of levels covered by the trace.
@@ -66,7 +69,10 @@ pub struct AdvisorOptions {
 
 impl Default for AdvisorOptions {
     fn default() -> Self {
-        AdvisorOptions { num_levels: 8, design_name: "D-opt".into() }
+        AdvisorOptions {
+            num_levels: 8,
+            design_name: "D-opt".into(),
+        }
     }
 }
 
@@ -83,19 +89,11 @@ pub fn select_design(
     // Level 0 is always row-oriented.
     layouts.push(LevelLayout::row_oriented(schema));
     for level in 1..options.num_levels {
-        let workload = trace
-            .per_level
-            .get(level)
-            .cloned()
-            .unwrap_or_default();
+        let workload = trace.per_level.get(level).cloned().unwrap_or_default();
         let parent = layouts[level - 1].clone();
         let mut groups: Vec<ColumnGroup> = Vec::new();
         for parent_group in parent.groups() {
-            let sub = optimise_subproblem(
-                &trace.params,
-                parent_group.columns(),
-                &workload,
-            );
+            let sub = optimise_subproblem(&trace.params, parent_group.columns(), &workload);
             groups.extend(sub);
         }
         layouts.push(LevelLayout::new(groups));
@@ -132,8 +130,10 @@ fn optimise_subproblem(
         let groups: Vec<ColumnGroup> = partition
             .iter()
             .map(|block| {
-                let mut cols: Vec<ColumnId> =
-                    block.iter().flat_map(|&i| subsets[i].iter().copied()).collect();
+                let mut cols: Vec<ColumnId> = block
+                    .iter()
+                    .flat_map(|&i| subsets[i].iter().copied())
+                    .collect();
                 cols.sort_unstable();
                 ColumnGroup::new(cols)
             })
@@ -285,7 +285,15 @@ mod tests {
         let mut trace = WorkloadTrace::new(params(6), 3);
         // Level 2 is scanned on column a6 only, heavily.
         trace.per_level[2].scans = vec![(Projection::of([5]), 50_000.0, 100)];
-        let design = select_design(&schema, &trace, &AdvisorOptions { num_levels: 3, design_name: "t".into() }).unwrap();
+        let design = select_design(
+            &schema,
+            &trace,
+            &AdvisorOptions {
+                num_levels: 3,
+                design_name: "t".into(),
+            },
+        )
+        .unwrap();
         let l2 = design.level(2);
         // Column a6 must be isolated from the rest.
         let g = l2.group_of(5).unwrap();
@@ -297,8 +305,20 @@ mod tests {
         let schema = Schema::with_columns(6);
         let mut trace = WorkloadTrace::new(params(6), 3);
         trace.per_level[1].point_reads = vec![(Projection::all(&schema), 100_000)];
-        let design = select_design(&schema, &trace, &AdvisorOptions { num_levels: 3, design_name: "t".into() }).unwrap();
-        assert_eq!(design.level(1).num_groups(), 1, "wide reads keep the level row-oriented");
+        let design = select_design(
+            &schema,
+            &trace,
+            &AdvisorOptions {
+                num_levels: 3,
+                design_name: "t".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            design.level(1).num_groups(),
+            1,
+            "wide reads keep the level row-oriented"
+        );
     }
 
     #[test]
@@ -313,7 +333,10 @@ mod tests {
         let design = select_design(
             &schema,
             &trace,
-            &AdvisorOptions { num_levels: 6, design_name: "chk".into() },
+            &AdvisorOptions {
+                num_levels: 6,
+                design_name: "chk".into(),
+            },
         )
         .unwrap();
         // LayoutSpec::new already validates, but double-check key properties.
@@ -321,7 +344,10 @@ mod tests {
         assert_eq!(design.num_levels(), 6);
         // Group counts never decrease going down (finer or equal layouts).
         let gs = design.groups_per_level();
-        assert!(gs.windows(2).all(|w| w[1] >= w[0]), "groups per level: {gs:?}");
+        assert!(
+            gs.windows(2).all(|w| w[1] >= w[0]),
+            "groups per level: {gs:?}"
+        );
     }
 
     #[test]
@@ -331,7 +357,10 @@ mod tests {
         let design = select_design(
             &schema,
             &trace,
-            &AdvisorOptions { num_levels: 4, design_name: "empty".into() },
+            &AdvisorOptions {
+                num_levels: 4,
+                design_name: "empty".into(),
+            },
         )
         .unwrap();
         // Without any read/scan evidence, inserts dominate and the advisor
@@ -347,14 +376,16 @@ mod tests {
         let mut trace = WorkloadTrace::new(params(100), 8);
         for level in 1..8 {
             trace.per_level[level].point_reads = vec![(Projection::range_1based(1, 50), 100)];
-            trace.per_level[level].scans =
-                vec![(Projection::range_1based(90, 100), 10_000.0, 10)];
+            trace.per_level[level].scans = vec![(Projection::range_1based(90, 100), 10_000.0, 10)];
         }
         let start = std::time::Instant::now();
         let design = select_design(
             &schema,
             &trace,
-            &AdvisorOptions { num_levels: 8, design_name: "wide".into() },
+            &AdvisorOptions {
+                num_levels: 8,
+                design_name: "wide".into(),
+            },
         )
         .unwrap();
         assert!(design.num_levels() == 8);

@@ -12,7 +12,10 @@ fn bench_advisor(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     for columns in [30usize, 100] {
-        let spec = HtapWorkloadSpec { num_columns: columns, ..HtapWorkloadSpec::scaled_down() };
+        let spec = HtapWorkloadSpec {
+            num_columns: columns,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         let schema = Schema::with_columns(columns);
         let params = TreeParameters {
             num_entries: spec.total_keys(),
@@ -22,16 +25,23 @@ fn bench_advisor(c: &mut Criterion) {
             num_columns: columns,
         };
         let trace = build_workload_trace(&spec, &params, 8);
-        group.bench_with_input(BenchmarkId::new("select_design", columns), &columns, |b, _| {
-            b.iter(|| {
-                select_design(
-                    &schema,
-                    &trace,
-                    &AdvisorOptions { num_levels: 8, design_name: "bench".into() },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("select_design", columns),
+            &columns,
+            |b, _| {
+                b.iter(|| {
+                    select_design(
+                        &schema,
+                        &trace,
+                        &AdvisorOptions {
+                            num_levels: 8,
+                            design_name: "bench".into(),
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

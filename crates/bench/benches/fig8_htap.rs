@@ -25,22 +25,28 @@ fn bench_hw(c: &mut Criterion) {
     let designs = vec![
         LayoutSpec::row_store(&schema, 8),
         LayoutSpec::column_store(&schema, 8),
-        LayoutSpec::d_opt_paper(&schema).unwrap().with_name("LASER-D-opt"),
+        LayoutSpec::d_opt_paper(&schema)
+            .unwrap()
+            .with_name("LASER-D-opt"),
     ];
     for design in designs {
         let name = design.name().to_string();
-        group.bench_with_input(BenchmarkId::new("steady-phase", &name), &design, |b, design| {
-            b.iter_with_setup(
-                || {
-                    let db = build_db(design.clone(), Scale::Tiny, 2, 8);
-                    load_phase(&db, spec.load_keys).unwrap();
-                    let mut rng = StdRng::seed_from_u64(7);
-                    let stream = spec.generate_steady(&mut rng);
-                    (db, stream)
-                },
-                |(db, stream)| run_operations(&db, &stream).unwrap(),
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("steady-phase", &name),
+            &design,
+            |b, design| {
+                b.iter_with_setup(
+                    || {
+                        let db = build_db(design.clone(), Scale::Tiny, 2, 8);
+                        load_phase(&db, spec.load_keys).unwrap();
+                        let mut rng = StdRng::seed_from_u64(7);
+                        let stream = spec.generate_steady(&mut rng);
+                        (db, stream)
+                    },
+                    |(db, stream)| run_operations(&db, &stream).unwrap(),
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -29,7 +29,9 @@ fn bench_substrate(c: &mut Criterion) {
             db.get(key).unwrap()
         })
     });
-    group.bench_function("scan_1k", |b| b.iter(|| db.scan(1_000, 2_000).unwrap().len()));
+    group.bench_function("scan_1k", |b| {
+        b.iter(|| db.scan(1_000, 2_000).unwrap().len())
+    });
     group.finish();
 }
 

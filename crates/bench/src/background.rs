@@ -184,7 +184,10 @@ mod tests {
         let report = run_background_bench(&config).unwrap();
         assert!(report.sync_ops_per_sec > 0.0);
         assert!(report.background_ops_per_sec > 0.0);
-        assert!(report.background_jobs > 0, "workers must have done something");
+        assert!(
+            report.background_jobs > 0,
+            "workers must have done something"
+        );
         assert!(
             report.cache_hit_rate > 0.0,
             "read-heavy phase must hit the cache: {report:?}"

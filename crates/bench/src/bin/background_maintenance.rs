@@ -31,16 +31,23 @@ fn main() {
     );
     let report = run_background_bench(&config).expect("bench run failed");
     println!();
-    println!("ingest, synchronous (flush+compact on write path): {:>10.0} ops/s", report.sync_ops_per_sec);
+    println!(
+        "ingest, synchronous (flush+compact on write path): {:>10.0} ops/s",
+        report.sync_ops_per_sec
+    );
     println!(
         "ingest, background ({} writers, {} workers):        {:>10.0} ops/s",
         config.writers, config.workers, report.background_ops_per_sec
     );
     println!("speedup: {:.2}x", report.speedup());
     println!("background jobs completed: {}", report.background_jobs);
-    println!("writes throttled by backpressure: {}", report.throttle_events);
+    println!(
+        "writes throttled by backpressure: {}",
+        report.throttle_events
+    );
     println!();
-    println!("read-heavy phase: {:>10.0} reads/s, block-cache hit rate {:.1}%",
+    println!(
+        "read-heavy phase: {:>10.0} reads/s, block-cache hit rate {:.1}%",
         report.read_ops_per_sec,
         report.cache_hit_rate * 100.0,
     );

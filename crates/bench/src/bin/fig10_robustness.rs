@@ -8,14 +8,19 @@ use laser_workload::HtapWorkloadSpec;
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "both".into());
-    let spec = HtapWorkloadSpec { load_keys: 6_000, ..HtapWorkloadSpec::scaled_down() };
+    let spec = HtapWorkloadSpec {
+        load_keys: 6_000,
+        ..HtapWorkloadSpec::scaled_down()
+    };
     let vertical = if what != "horizontal" {
-        fig10::run_vertical(&spec, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6], Scale::Small).expect("vertical sweep")
+        fig10::run_vertical(&spec, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6], Scale::Small)
+            .expect("vertical sweep")
     } else {
         Vec::new()
     };
     let horizontal = if what != "vertical" {
-        fig10::run_horizontal(&spec, &[0, 2, 5, 8, 11, 14, 17, 20, 25], Scale::Small).expect("horizontal sweep")
+        fig10::run_horizontal(&spec, &[0, 2, 5, 8, 11, 14, 17, 20, 25], Scale::Small)
+            .expect("horizontal sweep")
     } else {
         Vec::new()
     };

@@ -1,7 +1,10 @@
 //! Regenerates Figure 2: distribution of keys across levels by age, for the
 //! two compaction priorities.
 fn main() {
-    let keys: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6_000);
+    let keys: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
     match laser_bench::fig2::render(keys) {
         Ok(text) => println!("{text}"),
         Err(e) => {

@@ -12,7 +12,8 @@ fn main() {
         "wide" => vec![("wide table, T=10", Fig7Config::wide(Scale::Tiny))],
         "both" => vec![
             ("narrow table, T=2", Fig7Config::narrow(Scale::Small)),
-            ("wide table, T=10", Fig7Config::wide(Scale::Tiny))],
+            ("wide table, T=10", Fig7Config::wide(Scale::Tiny)),
+        ],
         _ => vec![("narrow table, T=2", Fig7Config::narrow(Scale::Small))],
     };
     for (label, config) in configs {

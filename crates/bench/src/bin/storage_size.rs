@@ -1,6 +1,9 @@
 //! Regenerates the Section 4.1 storage-size comparison.
 fn main() {
-    let keys: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
+    let keys: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
     let points = laser_bench::storage_size::run(keys).expect("storage size sweep");
     println!("{}", laser_bench::storage_size::render(&points));
 }

@@ -39,7 +39,11 @@ pub struct HorizontalPoint {
 
 /// Runs the vertical-shift sweep: point-read cost as the read pattern drifts
 /// toward older data while the design stays fixed at D-opt.
-pub fn run_vertical(spec: &HtapWorkloadSpec, offsets: &[f64], scale: Scale) -> Result<Vec<VerticalPoint>> {
+pub fn run_vertical(
+    spec: &HtapWorkloadSpec,
+    offsets: &[f64],
+    scale: Scale,
+) -> Result<Vec<VerticalPoint>> {
     let schema = Schema::with_columns(spec.num_columns);
     let design = if spec.num_columns == 30 {
         LayoutSpec::d_opt_paper(&schema)?
@@ -57,7 +61,10 @@ pub fn run_vertical(spec: &HtapWorkloadSpec, offsets: &[f64], scale: Scale) -> R
     let mut rng = StdRng::seed_from_u64(0xF1_0A);
     let mut points = Vec::new();
     for &offset in offsets {
-        let shifted = spec.clone().with_shift(WorkloadShift { vertical_read_offset: offset, ..Default::default() });
+        let shifted = spec.clone().with_shift(WorkloadShift {
+            vertical_read_offset: offset,
+            ..Default::default()
+        });
         let q2a = shifted.key_distribution_for(HwQuery::Q2a).unwrap();
         let q2b = shifted.key_distribution_for(HwQuery::Q2b).unwrap();
         let proj_a = shifted.projection_for(HwQuery::Q2a);
@@ -106,9 +113,10 @@ pub fn run_horizontal(
     let mut rng = StdRng::seed_from_u64(0xF1_0B);
     let mut points = Vec::new();
     for &offset in offsets {
-        let shifted = spec
-            .clone()
-            .with_shift(WorkloadShift { horizontal_projection_offset: offset, ..Default::default() });
+        let shifted = spec.clone().with_shift(WorkloadShift {
+            horizontal_projection_offset: offset,
+            ..Default::default()
+        });
         let projection = shifted.projection_for(HwQuery::Q5);
         let span = ((keys as f64) * spec.q5_selectivity) as u64;
         let before = io.snapshot();
@@ -132,14 +140,26 @@ pub fn run_horizontal(
 pub fn render(vertical: &[VerticalPoint], horizontal: &[HorizontalPoint]) -> String {
     let mut out = String::new();
     out.push_str("== Figure 10(a): vertical shift of the read pattern ==\n");
-    out.push_str(&format!("{:>8} {:>18} {:>14}\n", "offset", "read latency (us)", "blocks/read"));
+    out.push_str(&format!(
+        "{:>8} {:>18} {:>14}\n",
+        "offset", "read latency (us)", "blocks/read"
+    ));
     for p in vertical {
-        out.push_str(&format!("{:>8.2} {:>18.1} {:>14.2}\n", p.offset, p.read_latency_us, p.read_blocks));
+        out.push_str(&format!(
+            "{:>8.2} {:>18.1} {:>14.2}\n",
+            p.offset, p.read_latency_us, p.read_blocks
+        ));
     }
     out.push_str("\n== Figure 10(b): horizontal shift of the Q5 projection ==\n");
-    out.push_str(&format!("{:>8} {:>18} {:>14}\n", "offset", "scan latency (us)", "blocks/scan"));
+    out.push_str(&format!(
+        "{:>8} {:>18} {:>14}\n",
+        "offset", "scan latency (us)", "blocks/scan"
+    ));
     for p in horizontal {
-        out.push_str(&format!("{:>8} {:>18.1} {:>14.1}\n", p.offset, p.scan_latency_us, p.scan_blocks));
+        out.push_str(&format!(
+            "{:>8} {:>18.1} {:>14.1}\n",
+            p.offset, p.scan_latency_us, p.scan_blocks
+        ));
     }
     out
 }

@@ -100,7 +100,10 @@ pub fn run(priority: CompactionPriority, num_keys: u64) -> Result<Fig2Result> {
 /// Renders the experiment for both priorities as text.
 pub fn render(num_keys: u64) -> Result<String> {
     let mut out = String::new();
-    for priority in [CompactionPriority::ByCompensatedSize, CompactionPriority::OldestSmallestSeqFirst] {
+    for priority in [
+        CompactionPriority::ByCompensatedSize,
+        CompactionPriority::OldestSmallestSeqFirst,
+    ] {
         let result = run(priority, num_keys)?;
         out.push_str(&format!("\ncompaction priority: {priority:?}\n"));
         out.push_str(&format!(
@@ -113,7 +116,10 @@ pub fn render(num_keys: u64) -> Result<String> {
                 l.level, l.entries, l.mean_recency, l.p10, l.p90
             ));
         }
-        out.push_str(&format!("mean recency band width (levels >= 1): {:.3}\n", result.mean_band_width()));
+        out.push_str(&format!(
+            "mean recency band width (levels >= 1): {:.3}\n",
+            result.mean_band_width()
+        ));
     }
     Ok(out)
 }
@@ -143,7 +149,10 @@ mod tests {
 
     #[test]
     fn both_priorities_produce_populated_trees() {
-        for p in [CompactionPriority::ByCompensatedSize, CompactionPriority::OldestSmallestSeqFirst] {
+        for p in [
+            CompactionPriority::ByCompensatedSize,
+            CompactionPriority::OldestSmallestSeqFirst,
+        ] {
             let result = run(p, 2500).unwrap();
             let total: u64 = result.levels.iter().map(|l| l.entries).sum();
             assert!(total >= 2000, "most keys should be on disk (got {total})");

@@ -295,8 +295,16 @@ mod tests {
     fn read_cost_grows_with_projection_for_small_cgs_but_not_large() {
         let result = run_read_scan(&tiny_config()).unwrap();
         // Column layout (cg_size=1): reading 16 columns costs more blocks than 1 column.
-        let col_narrow = result.reads.iter().find(|p| p.cg_size == 1 && p.projection_size == 1).unwrap();
-        let col_wide = result.reads.iter().find(|p| p.cg_size == 1 && p.projection_size == 16).unwrap();
+        let col_narrow = result
+            .reads
+            .iter()
+            .find(|p| p.cg_size == 1 && p.projection_size == 1)
+            .unwrap();
+        let col_wide = result
+            .reads
+            .iter()
+            .find(|p| p.cg_size == 1 && p.projection_size == 16)
+            .unwrap();
         assert!(
             col_wide.measured_blocks > col_narrow.measured_blocks,
             "column layout: wide projection ({}) should cost more than narrow ({})",
@@ -304,8 +312,16 @@ mod tests {
             col_narrow.measured_blocks
         );
         // Row layout (cg_size=16): cost roughly flat with projection size.
-        let row_narrow = result.reads.iter().find(|p| p.cg_size == 16 && p.projection_size == 1).unwrap();
-        let row_wide = result.reads.iter().find(|p| p.cg_size == 16 && p.projection_size == 16).unwrap();
+        let row_narrow = result
+            .reads
+            .iter()
+            .find(|p| p.cg_size == 16 && p.projection_size == 1)
+            .unwrap();
+        let row_wide = result
+            .reads
+            .iter()
+            .find(|p| p.cg_size == 16 && p.projection_size == 16)
+            .unwrap();
         assert!(
             (row_wide.measured_blocks - row_narrow.measured_blocks).abs()
                 <= row_narrow.measured_blocks.max(1.0) * 0.75,
@@ -321,8 +337,16 @@ mod tests {
     #[test]
     fn scan_cost_for_narrow_projection_smaller_with_small_cgs() {
         let result = run_read_scan(&tiny_config()).unwrap();
-        let col = result.scans.iter().find(|p| p.cg_size == 1 && p.projection_size == 1).unwrap();
-        let row = result.scans.iter().find(|p| p.cg_size == 16 && p.projection_size == 1).unwrap();
+        let col = result
+            .scans
+            .iter()
+            .find(|p| p.cg_size == 1 && p.projection_size == 1)
+            .unwrap();
+        let row = result
+            .scans
+            .iter()
+            .find(|p| p.cg_size == 16 && p.projection_size == 1)
+            .unwrap();
         assert!(
             col.measured_blocks <= row.measured_blocks,
             "narrow scan: column layout ({}) should not read more than row layout ({})",

@@ -78,7 +78,9 @@ pub fn run(spec: &HtapWorkloadSpec, scale: Scale, seed: u64) -> Result<Vec<Desig
 
 /// The design the workload runtime says is best (Figure 8(a) winner).
 pub fn best_design(results: &[DesignResult]) -> Option<&DesignResult> {
-    results.iter().min_by(|a, b| a.total_runtime_ms.partial_cmp(&b.total_runtime_ms).unwrap())
+    results
+        .iter()
+        .min_by(|a, b| a.total_runtime_ms.partial_cmp(&b.total_runtime_ms).unwrap())
 }
 
 /// Renders the Figure 8 report, including the paper-reference rows for the
@@ -155,7 +157,10 @@ mod tests {
         // LASER (D-opt) point reads should not be drastically worse than the
         // pure row store, and its scans should be no worse than the row store
         // in block terms (the key property behind Figure 8).
-        let dopt = results.iter().find(|r| r.design == "LASER (D-opt)").unwrap();
+        let dopt = results
+            .iter()
+            .find(|r| r.design == "LASER (D-opt)")
+            .unwrap();
         let row = results.iter().find(|r| r.design == "rocksdb-row").unwrap();
         let col = results.iter().find(|r| r.design == "rocksdb-col").unwrap();
         assert!(

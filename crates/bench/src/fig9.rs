@@ -34,7 +34,10 @@ pub fn run(spec: &HtapWorkloadSpec, num_levels: usize) -> Result<Fig9Result> {
     let selected = select_design(
         &schema,
         &trace,
-        &AdvisorOptions { num_levels, design_name: "D-opt (reproduced)".into() },
+        &AdvisorOptions {
+            num_levels,
+            design_name: "D-opt (reproduced)".into(),
+        },
     )?;
     let selection_time_ms = start.elapsed().as_secs_f64() * 1e3;
     let paper_dopt = if spec.num_columns == 30 {
@@ -42,7 +45,11 @@ pub fn run(spec: &HtapWorkloadSpec, num_levels: usize) -> Result<Fig9Result> {
     } else {
         LayoutSpec::row_store(&schema, num_levels)
     };
-    Ok(Fig9Result { selected, paper_dopt, selection_time_ms })
+    Ok(Fig9Result {
+        selected,
+        paper_dopt,
+        selection_time_ms,
+    })
 }
 
 /// Renders the Figure 9 report.
@@ -65,7 +72,10 @@ pub fn render(spec: &HtapWorkloadSpec, result: &Fig9Result) -> String {
     ));
     out.push_str("\n== Figure 9(b): design selected by the advisor ==\n");
     out.push_str(&result.selected.to_string());
-    out.push_str(&format!("(selection took {:.1} ms)\n", result.selection_time_ms));
+    out.push_str(&format!(
+        "(selection took {:.1} ms)\n",
+        result.selection_time_ms
+    ));
     out.push_str("\npaper's published D-opt for comparison:\n");
     out.push_str(&result.paper_dopt.to_string());
     out
@@ -77,7 +87,10 @@ mod tests {
 
     #[test]
     fn advisor_reproduces_lifecycle_shape_of_dopt() {
-        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let spec = HtapWorkloadSpec {
+            num_columns: 30,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         let result = run(&spec, 8).unwrap();
         let groups = result.selected.groups_per_level();
         let paper_groups = result.paper_dopt.groups_per_level();

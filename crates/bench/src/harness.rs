@@ -70,7 +70,11 @@ pub fn designs_for_fig8(schema: &Schema, num_levels: usize) -> Vec<LayoutSpec> {
         LayoutSpec::htap_simple(schema, num_levels, num_levels.saturating_sub(2).max(1)),
     ];
     if schema.num_columns() == 30 {
-        designs.push(LayoutSpec::d_opt_paper(schema).expect("narrow schema").with_name("LASER (D-opt)"));
+        designs.push(
+            LayoutSpec::d_opt_paper(schema)
+                .expect("narrow schema")
+                .with_name("LASER (D-opt)"),
+        );
     }
     designs
 }
@@ -228,10 +232,18 @@ pub fn run_operations(db: &LaserDb, stream: &OperationStream) -> Result<RunRepor
         io: io_stats.snapshot().delta_since(&start_io),
         compaction_bytes_written: end_stats.compaction_bytes_written - start_comp,
         cache_hits: end_stats.cache_hits.saturating_sub(start_stats.cache_hits),
-        cache_misses: end_stats.cache_misses.saturating_sub(start_stats.cache_misses),
-        stall_events: end_stats.stall_events.saturating_sub(start_stats.stall_events),
-        slowdown_events: end_stats.slowdown_events.saturating_sub(start_stats.slowdown_events),
-        bg_jobs_completed: end_stats.bg_jobs_completed.saturating_sub(start_stats.bg_jobs_completed),
+        cache_misses: end_stats
+            .cache_misses
+            .saturating_sub(start_stats.cache_misses),
+        stall_events: end_stats
+            .stall_events
+            .saturating_sub(start_stats.stall_events),
+        slowdown_events: end_stats
+            .slowdown_events
+            .saturating_sub(start_stats.slowdown_events),
+        bg_jobs_completed: end_stats
+            .bg_jobs_completed
+            .saturating_sub(start_stats.bg_jobs_completed),
     })
 }
 
@@ -281,6 +293,9 @@ mod tests {
         let db = build_db(LayoutSpec::row_store(&schema, 4), Scale::Tiny, 2, 4);
         let tput = load_phase(&db, 300).unwrap();
         assert!(tput > 0.0);
-        assert!(db.read(0, &laser_core::Projection::of([0])).unwrap().is_some());
+        assert!(db
+            .read(0, &laser_core::Projection::of([0]))
+            .unwrap()
+            .is_some());
     }
 }

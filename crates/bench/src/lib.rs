@@ -25,12 +25,16 @@
 //! Beyond the paper, [`background`] / `background_maintenance` benches the
 //! background maintenance subsystem: concurrent ingest through the threaded
 //! flush/compaction scheduler versus the synchronous write path, and the
-//! shared block cache under a read-heavy phase.
+//! shared block cache under a read-heavy phase. [`durability`] /
+//! `wal_recovery` benches the segmented-WAL durability subsystem: recovery
+//! time and replayed records versus ingest volume (bounded by the unflushed
+//! tail), plus group-commit fsync coalescing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod background;
+pub mod durability;
 pub mod fig10;
 pub mod fig2;
 pub mod fig7;

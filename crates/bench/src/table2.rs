@@ -13,7 +13,9 @@ pub fn render() -> String {
     let num_levels = 8;
     let dopt = LayoutSpec::d_opt_paper(&schema).expect("narrow schema");
     let mut out = String::new();
-    out.push_str("== Table 2: analytic costs (narrow table, T=2, L=8, D-opt as Real-Time design) ==\n");
+    out.push_str(
+        "== Table 2: analytic costs (narrow table, T=2, L=8, D-opt as Real-Time design) ==\n",
+    );
     out.push_str("\n-- projection: Q2b (columns 16-30), selectivity 5% --\n");
     let rows = table2_rows(
         &params,

@@ -24,15 +24,15 @@ use parking_lot::{Mutex, RwLock};
 use lsm_storage::cache::BlockCache;
 use lsm_storage::iterator::KvIterator;
 use lsm_storage::maintenance::{
-    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
-    MaintenanceHandle, Throttle,
+    attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
+    MaintainableEngine, MaintenanceHandle, Throttle,
 };
 use lsm_storage::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
-use lsm_storage::memtable::{MemTable, MemTableRef};
+use lsm_storage::memtable::{FrozenMemTable, MemTable, MemTableRef};
 use lsm_storage::sst::{TableBuilder, TableHandle};
 use lsm_storage::storage::{MemStorage, StorageRef};
 use lsm_storage::types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, MAX_SEQNO};
-use lsm_storage::wal::{recover as wal_recover, WalWriter};
+use lsm_storage::wal_segment::{SegmentedWal, WalStatsSnapshot, WalSyncPolicy};
 use lsm_storage::{Error, Result};
 
 use crate::iters::{
@@ -46,8 +46,8 @@ use crate::schema::{ColumnId, Projection, Schema};
 use crate::stats::{EngineStats, EngineStatsSnapshot};
 use crate::value::Value;
 
-/// Name of the engine's write-ahead log.
-const WAL_NAME: &str = "laser-wal.log";
+/// Pre-segmentation WAL file name, still recognised (and migrated) at open.
+const LEGACY_WAL_NAME: &str = "laser-wal.log";
 
 /// One SST file belonging to a column-group run.
 #[derive(Clone, Debug)]
@@ -89,13 +89,12 @@ impl LevelState {
 #[derive(Default)]
 struct DbInner {
     mutable: Option<MemTableRef>,
-    /// Frozen memtables awaiting a background flush, oldest first. Empty
-    /// unless a maintenance scheduler is attached or a flush is in progress.
-    immutables: Vec<MemTableRef>,
+    /// Frozen memtables awaiting a background flush (each paired with its
+    /// WAL segment), oldest first.
+    immutables: Vec<FrozenMemTable>,
     levels: Vec<LevelState>,
     next_file_number: u64,
     last_seq: SeqNo,
-    wal: Option<WalWriter>,
 }
 
 /// Summary of one level for introspection and experiments.
@@ -114,6 +113,9 @@ pub struct LaserDb {
     storage: StorageRef,
     options: LaserOptions,
     inner: RwLock<DbInner>,
+    /// Segmented write-ahead log: one segment per memtable, group commit on
+    /// the write path, manifest-tracked lifecycle.
+    wal: SegmentedWal,
     stats: EngineStats,
     /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
     cache: Option<Arc<BlockCache>>,
@@ -165,7 +167,10 @@ impl LaserDb {
                     runs.len()
                 )));
             }
-            runs[cg].files.push(LevelFile { meta: meta.clone(), table });
+            runs[cg].files.push(LevelFile {
+                meta: meta.clone(),
+                table,
+            });
         }
         for (level, state) in inner.levels.iter_mut().enumerate() {
             for run in &mut state.runs {
@@ -177,11 +182,24 @@ impl LaserDb {
             }
         }
 
+        // Open the segmented WAL, replaying only the segments the manifest
+        // lists as live (plus anything newer, plus the legacy single-file
+        // WAL if this directory predates segmentation).
+        let policy = WalSyncPolicy::from_options(options.sync_wal, options.sync_wal_interval_ms);
+        let (wal, recovery) = SegmentedWal::open(
+            &storage,
+            policy,
+            &snapshot.wal_segments,
+            &[LEGACY_WAL_NAME],
+            snapshot.last_seq + 1,
+        )?;
+
         let stats = EngineStats::new(options.num_levels);
         let db = LaserDb {
             storage,
             options,
             inner: RwLock::new(inner),
+            wal,
             stats,
             cache,
             maintenance: OnceLock::new(),
@@ -190,24 +208,21 @@ impl LaserDb {
             write_room: BackpressureGate::new(),
         };
 
-        // WAL recovery: replay intact records into a fresh memtable, re-log them.
+        // WAL recovery: replay intact records into a fresh memtable, re-log
+        // them into the new active segment with their original sequence
+        // numbers, then record the active segment in the manifest.
         {
             let mut inner = db.inner.write();
             inner.mutable = Some(Arc::new(MemTable::new()));
-            let records = if db.storage.exists(WAL_NAME) {
-                wal_recover(&db.storage, WAL_NAME)?.0
-            } else {
-                Vec::new()
-            };
-            let mut wal = WalWriter::create(&db.storage, WAL_NAME, db.options.sync_wal)?;
-            for record in &records {
-                wal.append(record.start_seq, &record.batch)?;
+            for record in &recovery.records {
+                db.wal.append(record.start_seq, &record.batch)?;
                 for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
                     inner.mutable.as_ref().unwrap().insert(seq, entry);
                     inner.last_seq = inner.last_seq.max(seq);
                 }
             }
-            inner.wal = Some(wal);
+            db.wal.finish_recovery()?;
+            db.persist_manifest(&inner)?;
         }
         Ok(db)
     }
@@ -252,7 +267,14 @@ impl LaserDb {
             snapshot.bg_jobs_failed = state.failed_jobs();
             snapshot.bg_jobs_pending = state.pending_jobs() as u64;
         }
+        snapshot.wal = self.wal.stats();
         snapshot
+    }
+
+    /// Durability statistics of the segmented WAL (also embedded in
+    /// [`LaserDb::stats`]).
+    pub fn wal_stats(&self) -> WalStatsSnapshot {
+        self.wal.stats()
     }
 
     /// The shared block cache, if one is configured.
@@ -273,12 +295,7 @@ impl LaserDb {
     ///
     /// Errors if a scheduler was already attached.
     pub fn attach_maintenance(self: &Arc<Self>, num_workers: usize) -> Result<JobScheduler> {
-        let engine: Arc<dyn MaintainableEngine> = Arc::clone(self) as Arc<dyn MaintainableEngine>;
-        let (scheduler, handle) = JobScheduler::start(&engine, num_workers);
-        if self.maintenance.set(handle).is_err() {
-            return Err(Error::invalid("a maintenance scheduler is already attached"));
-        }
-        Ok(scheduler)
+        attach_engine(self, num_workers)
     }
 
     /// Resets the statistics counters.
@@ -344,108 +361,60 @@ impl LaserDb {
     }
 
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
-        // A handle whose scheduler has been dropped no longer accepts jobs;
-        // treat it as absent so writes fall back to inline maintenance.
-        let background = self.maintenance.get().filter(|h| !h.is_shutdown());
-        if let Some(handle) = background {
-            self.apply_backpressure(handle);
-        }
-        {
+        EngineMaintenance::apply_backpressure(self);
+        let ticket = {
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
-            inner.wal.as_mut().ok_or(Error::Closed)?.append(start_seq, batch)?;
             let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+            let ticket = self.wal.append(start_seq, batch)?;
             let mut seq = start_seq;
             for entry in batch.iter() {
                 mutable.insert(seq, entry);
                 seq += 1;
             }
             inner.last_seq = seq - 1;
-        }
-        match background {
-            Some(handle) => {
-                if self.freeze_if_full()? && !handle.submit(JobKind::Flush) {
-                    // Scheduler shut down between the check and the submit:
-                    // drain the frozen memtable inline instead of leaking it.
-                    while self.flush_frozen_one()? {}
-                }
-                if self.needs_compaction() {
-                    handle.submit_if_idle(JobKind::CgCompaction);
-                }
-            }
-            None => {
-                // Drain any memtables frozen before a scheduler shutdown,
-                // then run the legacy synchronous path.
-                if self.has_frozen_memtables() {
-                    while self.flush_frozen_one()? {}
-                }
-                self.maybe_flush()?;
-                if self.options.auto_compact {
-                    self.compact_until_stable()?;
-                }
-            }
-        }
-        Ok(())
+            ticket
+        };
+        // The write is acknowledged only once its WAL record is durable
+        // (group commit: concurrent writers share one fsync).
+        self.wal.ensure_durable(&ticket)?;
+        self.after_write_maintenance()
     }
 
-    /// Freezes the mutable memtable into the immutable list when it crossed
-    /// the size threshold. Returns true if a memtable was frozen.
-    fn freeze_if_full(&self) -> Result<bool> {
+    /// Unconditionally freezes the mutable memtable (sealing its WAL segment
+    /// and opening a fresh one), without flushing it. No-op on an empty
+    /// memtable. Returns true if a memtable was frozen.
+    ///
+    /// Used by the flush path and by crash-recovery tests that need the
+    /// "frozen but not yet flushed" state.
+    pub fn freeze_memtable(&self) -> Result<bool> {
         let mut inner = self.inner.write();
         let Some(mutable) = inner.mutable.as_ref() else {
             return Ok(false);
         };
-        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+        if mutable.is_empty() {
             return Ok(false);
         }
-        let frozen = Arc::clone(mutable);
-        inner.immutables.push(frozen);
+        self.freeze_locked(&mut inner)
+    }
+
+    /// Freezes the mutable memtable under the held engine lock: rotates to a
+    /// fresh WAL segment and pairs the sealed segment with the frozen
+    /// memtable.
+    fn freeze_locked(&self, inner: &mut DbInner) -> Result<bool> {
+        let frozen = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+        let sealed_segment = self.wal.rotate(inner.last_seq + 1)?;
+        inner.immutables.push(FrozenMemTable {
+            memtable: frozen,
+            wal_segment: sealed_segment,
+        });
         inner.mutable = Some(Arc::new(MemTable::new()));
+        // No manifest write here: the previous flush-time manifest already
+        // lists the sealed segment, and recovery unconditionally replays any
+        // segment newer than the manifest knows, so the fresh active segment
+        // needs no record. Keeping the freeze path free of manifest I/O
+        // keeps the engine's write lock cheap.
         Ok(true)
-    }
-
-    /// L0 pressure as seen by backpressure: on-disk Level-0 files plus
-    /// frozen memtables still waiting for their flush job.
-    fn l0_pressure(&self) -> usize {
-        let inner = self.inner.read();
-        inner.levels[0].runs[0].files.len() + inner.immutables.len()
-    }
-
-    /// True if frozen memtables await flushing.
-    fn has_frozen_memtables(&self) -> bool {
-        !self.inner.read().immutables.is_empty()
-    }
-
-    /// Applies the shared slowdown/stall policy before a write.
-    fn apply_backpressure(&self, handle: &MaintenanceHandle) {
-        let config = BackpressureConfig {
-            l0_slowdown_files: self.options.l0_slowdown_files,
-            l0_stall_files: self.options.l0_stall_files,
-            max_pending_jobs: self.options.max_pending_jobs,
-        };
-        let throttle = self.write_room.wait_for_room(
-            config,
-            handle,
-            &|| self.l0_pressure(),
-            &|| self.has_frozen_memtables(),
-            JobKind::CgCompaction,
-        );
-        match throttle {
-            Throttle::Stall => self.stats.record_stall(),
-            Throttle::Slowdown => self.stats.record_slowdown(),
-            Throttle::None => {}
-        }
-    }
-
-    /// Wakes writers parked on backpressure after maintenance made progress.
-    fn notify_write_room(&self) {
-        self.write_room.notify();
-    }
-
-    /// True if some level overflows (by bytes, or Level-0 by file count).
-    fn needs_compaction(&self) -> bool {
-        let inner = self.inner.read();
-        self.pick_compaction(&inner).is_some()
     }
 
     // ------------------------------------------------------------------
@@ -493,7 +462,7 @@ impl LaserDb {
         // 1.5. Frozen memtables awaiting flush, newest first (row-oriented).
         if !satisfied && !deleted {
             for imm in inner.immutables.iter().rev() {
-                let versions = imm.get_versions(key, snapshot);
+                let versions = imm.memtable.get_versions(key, snapshot);
                 Self::overlay_versions(
                     &mut acc,
                     &mut deleted,
@@ -576,7 +545,8 @@ impl LaserDb {
                     }
                 }
                 if groups_fetched > 0 {
-                    self.stats.record_point_read_level(level, groups_fetched, &needed);
+                    self.stats
+                        .record_point_read_level(level, groups_fetched, &needed);
                 }
                 if satisfied || deleted {
                     break;
@@ -699,8 +669,7 @@ impl LaserDb {
             if level_entries == 0 {
                 continue;
             }
-            let Some(share) = (rows.len() as u64 * level_entries).checked_div(total_entries)
-            else {
+            let Some(share) = (rows.len() as u64 * level_entries).checked_div(total_entries) else {
                 break;
             };
             self.stats.record_scan_level(level, share, &projection);
@@ -723,14 +692,26 @@ impl LaserDb {
         let c = self.num_columns();
         let mut sources: Vec<BoxedFragmentSource> = Vec::new();
         if let Some(mutable) = &inner.mutable {
-            sources.push(Box::new(RowSource::new(Box::new(mutable.iter()), c, snapshot)));
+            sources.push(Box::new(RowSource::new(
+                Box::new(mutable.iter()),
+                c,
+                snapshot,
+            )));
         }
         for imm in inner.immutables.iter().rev() {
-            sources.push(Box::new(RowSource::new(Box::new(imm.iter()), c, snapshot)));
+            sources.push(Box::new(RowSource::new(
+                Box::new(imm.memtable.iter()),
+                c,
+                snapshot,
+            )));
         }
         for file in inner.levels[0].runs[0].files.iter().rev() {
             if file.meta.overlaps(lo, hi) {
-                sources.push(Box::new(RowSource::new(Box::new(file.table.iter()), c, snapshot)));
+                sources.push(Box::new(RowSource::new(
+                    Box::new(file.table.iter()),
+                    c,
+                    snapshot,
+                )));
             }
         }
         for level in 1..inner.levels.len() {
@@ -750,7 +731,11 @@ impl LaserDb {
                 if tables.is_empty() {
                     continue;
                 }
-                children.push(RowSource::new(Box::new(ConcatIterator::new(tables)), c, snapshot));
+                children.push(RowSource::new(
+                    Box::new(ConcatIterator::new(tables)),
+                    c,
+                    snapshot,
+                ));
             }
             if !children.is_empty() {
                 sources.push(Box::new(ColumnMergingIterator::new(children)));
@@ -763,78 +748,62 @@ impl LaserDb {
     // Flush
     // ------------------------------------------------------------------
 
-    fn maybe_flush(&self) -> Result<()> {
-        let should = {
-            let inner = self.inner.read();
-            inner
-                .mutable
-                .as_ref()
-                .map(|m| m.approximate_bytes() >= self.options.memtable_size_bytes)
-                .unwrap_or(false)
-        };
-        if should {
-            self.flush()?;
-        }
-        Ok(())
-    }
-
     /// Flushes the mutable memtable and every frozen memtable into
-    /// row-oriented Level-0 SSTs. No-op when nothing is buffered.
+    /// row-oriented Level-0 SSTs, retiring their WAL segments. No-op when
+    /// nothing is buffered.
     pub fn flush(&self) -> Result<()> {
-        {
-            let mut inner = self.inner.write();
-            let mutable = inner.mutable.take().unwrap_or_else(|| Arc::new(MemTable::new()));
-            if mutable.is_empty() && inner.immutables.is_empty() {
-                inner.mutable = Some(mutable);
-                return Ok(());
-            }
-            if !mutable.is_empty() {
-                inner.immutables.push(Arc::clone(&mutable));
-            }
-            inner.mutable = Some(Arc::new(MemTable::new()));
-        }
-        while self.flush_frozen_one()? {}
+        self.freeze_memtable()?;
+        while self.flush_frozen_one_impl()? {}
         Ok(())
     }
 
-    /// Flushes the oldest frozen memtable, if any. The WAL is restarted only
-    /// once *all* buffered writes are on disk — with frozen memtables still
-    /// pending, the old log must survive for crash recovery. Returns true if
-    /// a memtable was flushed.
-    fn flush_frozen_one(&self) -> Result<bool> {
+    /// Flushes the oldest frozen memtable, if any. Once the SST is installed
+    /// in the manifest, the WAL segment backing the memtable is retired and
+    /// its file deleted — recovery never replays data that already lives in
+    /// the tree. Returns true if a memtable was flushed.
+    fn flush_frozen_one_impl(&self) -> Result<bool> {
         // Serialise flushes so Level-0 keeps its oldest-first order.
         let _flushing = self.flush_lock.lock();
-        let (memtable, file_number) = {
+        let (frozen, file_number) = {
             let mut inner = self.inner.write();
-            let Some(memtable) = inner.immutables.first().cloned() else {
+            let Some(frozen) = inner.immutables.first().cloned() else {
                 return Ok(false);
             };
-            if memtable.is_empty() {
-                inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+            if frozen.memtable.is_empty() {
+                inner
+                    .immutables
+                    .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
+                self.wal.retire(frozen.wal_segment);
+                self.persist_manifest(&inner)?;
+                drop(inner);
+                self.wal.delete_retired()?;
                 return Ok(true);
             }
             let n = inner.next_file_number;
             inner.next_file_number += 1;
-            (memtable, n)
+            (frozen, n)
         };
         // Build outside the lock; the frozen memtable stays readable in
         // `immutables` until the SST is installed.
-        let meta = self.build_sst(file_number, 0, 0, memtable.to_sorted_vec())?;
+        let meta = self.build_sst(file_number, 0, 0, frozen.memtable.to_sorted_vec())?;
         self.stats.record_flush(meta.file_size, meta.num_entries);
         {
             let mut inner = self.inner.write();
             let table =
                 TableHandle::open_with_cache(&self.storage, &meta.file_name(), self.cache.clone())?;
-            inner.levels[0].runs[0].files.push(LevelFile { meta, table });
-            inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
-            let all_buffered_flushed = inner.immutables.is_empty()
-                && inner.mutable.as_ref().map(|m| m.is_empty()).unwrap_or(true);
-            if all_buffered_flushed {
-                inner.wal =
-                    Some(WalWriter::create(&self.storage, WAL_NAME, self.options.sync_wal)?);
-            }
+            inner.levels[0].runs[0]
+                .files
+                .push(LevelFile { meta, table });
+            inner
+                .immutables
+                .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
+            // Manifest-first segment GC: drop the segment from the live set,
+            // persist a manifest that has the SST and no longer lists the
+            // segment, and only then unlink the file.
+            self.wal.retire(frozen.wal_segment);
             self.persist_manifest(&inner)?;
         }
+        self.wal.delete_retired()?;
         self.notify_write_room();
         Ok(true)
     }
@@ -873,8 +842,14 @@ impl LaserDb {
             files: inner
                 .levels
                 .iter()
-                .flat_map(|state| state.runs.iter().flat_map(|r| r.files.iter().map(|f| f.meta.clone())))
+                .flat_map(|state| {
+                    state
+                        .runs
+                        .iter()
+                        .flat_map(|r| r.files.iter().map(|f| f.meta.clone()))
+                })
                 .collect(),
+            wal_segments: self.wal.live_segments(),
         };
         write_manifest(&self.storage, &snapshot)
     }
@@ -911,8 +886,7 @@ impl LaserDb {
                 // compaction, or backpressure would wait forever.
                 let files = state.runs[0].files.len();
                 if files >= self.options.l0_slowdown_files {
-                    score =
-                        score.max((files + 1) as f64 / self.options.l0_slowdown_files as f64);
+                    score = score.max((files + 1) as f64 / self.options.l0_slowdown_files as f64);
                 }
             }
             if score > 1.0 && best_level.map(|(_, s)| score > s).unwrap_or(true) {
@@ -1047,7 +1021,9 @@ impl LaserDb {
             // Existing entries of the target CG run (older than the inputs).
             let existing_files: Vec<LevelFile> = {
                 let inner = self.inner.read();
-                inner.levels[target_level].runs[*target_cg_idx].files.clone()
+                inner.levels[target_level].runs[*target_cg_idx]
+                    .files
+                    .clone()
             };
             bytes_read += existing_files.iter().map(|f| f.meta.file_size).sum::<u64>();
             let existing_tables: Vec<TableHandle> =
@@ -1063,7 +1039,9 @@ impl LaserDb {
                     if kind == ValueKind::Tombstone {
                         if !output_is_last_level {
                             out_entries.push((
-                                InternalKey::new(key, seq, ValueKind::Tombstone).encode().to_vec(),
+                                InternalKey::new(key, seq, ValueKind::Tombstone)
+                                    .encode()
+                                    .to_vec(),
                                 Vec::new(),
                             ));
                         }
@@ -1168,8 +1146,7 @@ impl LaserDb {
         // Install: remove the source run and the replaced target runs, add outputs.
         {
             let mut inner = self.inner.write();
-            let removed_inputs: Vec<u64> =
-                input_files.iter().map(|f| f.meta.file_number).collect();
+            let removed_inputs: Vec<u64> = input_files.iter().map(|f| f.meta.file_number).collect();
             inner.levels[level].runs[cg_idx]
                 .files
                 .retain(|f| !removed_inputs.contains(&f.meta.file_number));
@@ -1187,7 +1164,10 @@ impl LaserDb {
                     )?;
                     inner.levels[target_level].runs[*target_cg_idx]
                         .files
-                        .push(LevelFile { meta: meta.clone(), table });
+                        .push(LevelFile {
+                            meta: meta.clone(),
+                            table,
+                        });
                 }
                 inner.levels[target_level].runs[*target_cg_idx]
                     .files
@@ -1313,38 +1293,104 @@ impl LaserDb {
         let inner = self.inner.read();
         self.persist_manifest(&inner)
     }
+
+    /// Deletes every WAL segment file, idempotently (used by tests that
+    /// simulate crashes after a clean flush: all durable data must come from
+    /// SSTs alone). The engine should be dropped afterwards.
+    pub fn remove_wal(&self) -> Result<()> {
+        self.wal.remove_all()
+    }
+}
+
+impl EngineMaintenance for LaserDb {
+    fn maintenance_cell(&self) -> &OnceLock<MaintenanceHandle> {
+        &self.maintenance
+    }
+
+    fn write_room(&self) -> &BackpressureGate {
+        &self.write_room
+    }
+
+    fn backpressure_config(&self) -> BackpressureConfig {
+        BackpressureConfig {
+            l0_slowdown_files: self.options.l0_slowdown_files,
+            l0_stall_files: self.options.l0_stall_files,
+            max_pending_jobs: self.options.max_pending_jobs,
+        }
+    }
+
+    fn compaction_kind(&self) -> JobKind {
+        JobKind::CgCompaction
+    }
+
+    /// Freezes the mutable memtable (rotating the WAL segment) when it
+    /// crossed the size threshold.
+    fn freeze_if_full(&self) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(mutable) = inner.mutable.as_ref() else {
+            return Ok(false);
+        };
+        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+            return Ok(false);
+        }
+        self.freeze_locked(&mut inner)
+    }
+
+    fn flush_frozen_one(&self) -> Result<bool> {
+        self.flush_frozen_one_impl()
+    }
+
+    fn compact_once(&self) -> Result<bool> {
+        LaserDb::compact_once(self)
+    }
+
+    /// True if some level overflows (by bytes, or Level-0 by file count).
+    fn needs_compaction(&self) -> bool {
+        let inner = self.inner.read();
+        self.pick_compaction(&inner).is_some()
+    }
+
+    fn has_frozen_memtables(&self) -> bool {
+        !self.inner.read().immutables.is_empty()
+    }
+
+    fn l0_pressure(&self) -> usize {
+        let inner = self.inner.read();
+        inner.levels[0].runs[0].files.len() + inner.immutables.len()
+    }
+
+    fn maybe_flush(&self) -> Result<()> {
+        let should = {
+            let inner = self.inner.read();
+            inner
+                .mutable
+                .as_ref()
+                .map(|m| m.approximate_bytes() >= self.options.memtable_size_bytes)
+                .unwrap_or(false)
+        };
+        if should {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn auto_compact(&self) -> bool {
+        self.options.auto_compact
+    }
+
+    fn record_throttle(&self, throttle: Throttle) {
+        match throttle {
+            Throttle::Stall => self.stats.record_stall(),
+            Throttle::Slowdown => self.stats.record_slowdown(),
+            Throttle::None => {}
+        }
+    }
 }
 
 impl MaintainableEngine for LaserDb {
-    /// Executes one background job. Flush jobs drain the oldest frozen
-    /// memtable and chain a CG-compaction when the tree overflows;
-    /// CG-compaction jobs run one CG-local merge and re-enqueue themselves
-    /// while work remains, so a single submission settles the whole tree
-    /// without monopolising a worker.
+    /// Forwards to the shared [`EngineMaintenance::run_job`] protocol.
     fn run_maintenance_job(&self, kind: JobKind) -> Result<()> {
-        match kind {
-            JobKind::Flush => {
-                self.flush_frozen_one()?;
-                if self.needs_compaction() {
-                    if let Some(handle) = self.maintenance.get() {
-                        handle.submit_if_idle(JobKind::CgCompaction);
-                    }
-                }
-                Ok(())
-            }
-            JobKind::Compaction | JobKind::CgCompaction => {
-                let did_work = self.compact_once()?;
-                if did_work && self.needs_compaction() {
-                    if let Some(handle) = self.maintenance.get() {
-                        // `submit_if_idle` would see this running job as
-                        // pending, so resubmit directly; bounded because it
-                        // only happens while a level still overflows.
-                        handle.submit(JobKind::CgCompaction);
-                    }
-                }
-                Ok(())
-            }
-        }
+        self.run_job(kind)
     }
 }
 
@@ -1450,11 +1496,21 @@ mod tests {
                     .read(key, &Projection::all(&schema()))
                     .unwrap()
                     .unwrap_or_else(|| panic!("key {key} missing in design {}", layout.name()));
-                assert!(row.is_complete(&schema()), "incomplete row in {}", layout.name());
+                assert!(
+                    row.is_complete(&schema()),
+                    "incomplete row in {}",
+                    layout.name()
+                );
                 assert_eq!(row.get(0), Some(&Value::Int(key as i64 * 10 + 1)));
-                assert_eq!(row.get(C - 1), Some(&Value::Int(key as i64 * 10 + C as i64)));
+                assert_eq!(
+                    row.get(C - 1),
+                    Some(&Value::Int(key as i64 * 10 + C as i64))
+                );
             }
-            assert!(db.read(10_000, &Projection::all(&schema())).unwrap().is_none());
+            assert!(db
+                .read(10_000, &Projection::all(&schema()))
+                .unwrap()
+                .is_none());
         }
     }
 
@@ -1484,7 +1540,12 @@ mod tests {
             // Update a single column of key 7; the rest of the row stays below.
             db.update(7, vec![(3, Value::Int(999))]).unwrap();
             let row = db.read(7, &Projection::all(&schema())).unwrap().unwrap();
-            assert_eq!(row.get(3), Some(&Value::Int(999)), "design {}", layout.name());
+            assert_eq!(
+                row.get(3),
+                Some(&Value::Int(999)),
+                "design {}",
+                layout.name()
+            );
             assert_eq!(row.get(0), Some(&Value::Int(1)), "design {}", layout.name());
             assert_eq!(row.get(7), Some(&Value::Int(8)), "design {}", layout.name());
             // After further compaction the partial row is merged physically.
@@ -1523,7 +1584,10 @@ mod tests {
             let proj = Projection::of([0, 6]);
             let rows = db.scan(50, 99, &proj).unwrap();
             assert_eq!(rows.len(), 50, "design {}", layout.name());
-            assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "keys must be sorted");
+            assert!(
+                rows.windows(2).all(|w| w[0].0 < w[1].0),
+                "keys must be sorted"
+            );
             for (key, frag) in &rows {
                 assert_eq!(frag.get(0), Some(&Value::Int(*key as i64 + 1)));
                 assert_eq!(frag.get(6), Some(&Value::Int(*key as i64 + 7)));
@@ -1635,7 +1699,10 @@ mod tests {
         let partial = RowFragment::from_cells(vec![(0, Value::Int(1))]);
         assert!(db.insert(1, partial).is_err());
         assert!(db.update(1, vec![]).is_err());
-        assert!(db.update(1, vec![(C, Value::Int(1))]).is_err(), "out-of-schema column");
+        assert!(
+            db.update(1, vec![(C, Value::Int(1))]).is_err(),
+            "out-of-schema column"
+        );
     }
 
     #[test]

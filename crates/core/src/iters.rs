@@ -66,7 +66,12 @@ impl ConcatIterator {
     /// Creates a concatenating iterator; `tables` must be sorted by min key
     /// and non-overlapping.
     pub fn new(tables: Vec<TableHandle>) -> Self {
-        ConcatIterator { tables, current: 0, iter: None, valid: false }
+        ConcatIterator {
+            tables,
+            current: 0,
+            iter: None,
+            valid: false,
+        }
     }
 
     fn open_table(&mut self, idx: usize) -> Result<bool> {
@@ -170,7 +175,12 @@ pub struct RowSource {
 impl RowSource {
     /// Wraps `iter`, decoding fragments against a schema of `schema_columns` columns.
     pub fn new(iter: BoxedIterator, schema_columns: usize, snapshot_seq: SeqNo) -> Self {
-        RowSource { iter, schema_columns, snapshot_seq, positioned: false }
+        RowSource {
+            iter,
+            schema_columns,
+            snapshot_seq,
+            positioned: false,
+        }
     }
 
     fn skip_invisible(&mut self) -> Result<()> {
@@ -217,7 +227,11 @@ impl FragmentSource for RowSource {
                 } else {
                     RowFragment::decode(self.iter.value(), self.schema_columns)?
                 };
-                versions.push(FragmentVersion { seq: ik.seq, kind: ik.kind, fragment });
+                versions.push(FragmentVersion {
+                    seq: ik.seq,
+                    kind: ik.kind,
+                    fragment,
+                });
             }
             self.iter.next()?;
         }
@@ -320,7 +334,11 @@ impl FragmentSource for ColumnMergingIterator {
         } else {
             ValueKind::Partial
         };
-        Ok(vec![FragmentVersion { seq: newest_seq, kind, fragment: combined }])
+        Ok(vec![FragmentVersion {
+            seq: newest_seq,
+            kind,
+            fragment: combined,
+        }])
     }
 }
 
@@ -361,7 +379,12 @@ impl LevelMergingIterator {
     /// Creates the iterator over `sources` (newest first), returning only the
     /// columns in `projection`, for keys up to `hi` inclusive.
     pub fn new(sources: Vec<BoxedFragmentSource>, projection: Projection, hi: UserKey) -> Self {
-        LevelMergingIterator { sources, projection, hi, last_contributors: Vec::new() }
+        LevelMergingIterator {
+            sources,
+            projection,
+            hi,
+            last_contributors: Vec::new(),
+        }
     }
 
     /// Positions every source at `lo`.
@@ -438,7 +461,11 @@ impl LevelMergingIterator {
                 // columns outside the projection); skip.
                 continue;
             }
-            return Ok(Some(MergedRow { key, fragment: acc, seq: newest_seq }));
+            return Ok(Some(MergedRow {
+                key,
+                fragment: acc,
+                seq: newest_seq,
+            }));
         }
     }
 
@@ -473,7 +500,11 @@ mod tests {
     fn entry(key: u64, seq: u64, kind: ValueKind, f: &RowFragment) -> (Vec<u8>, Vec<u8>) {
         (
             InternalKey::new(key, seq, kind).encode().to_vec(),
-            if kind == ValueKind::Tombstone { Vec::new() } else { f.encode(C) },
+            if kind == ValueKind::Tombstone {
+                Vec::new()
+            } else {
+                f.encode(C)
+            },
         )
     }
 
@@ -485,9 +516,19 @@ mod tests {
     #[test]
     fn row_source_groups_versions_by_key() {
         let mut src = row_source(vec![
-            entry(1, 5, ValueKind::Full, &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)])),
+            entry(
+                1,
+                5,
+                ValueKind::Full,
+                &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            ),
             entry(1, 8, ValueKind::Partial, &frag(&[(1, 20)])),
-            entry(2, 6, ValueKind::Full, &frag(&[(0, 9), (1, 9), (2, 9), (3, 9)])),
+            entry(
+                2,
+                6,
+                ValueKind::Full,
+                &frag(&[(0, 9), (1, 9), (2, 9), (3, 9)]),
+            ),
         ]);
         src.seek(0).unwrap();
         assert_eq!(src.current_key(), Some(1));
@@ -505,8 +546,18 @@ mod tests {
     #[test]
     fn row_source_respects_snapshot() {
         let entries = vec![
-            entry(1, 5, ValueKind::Full, &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)])),
-            entry(1, 9, ValueKind::Full, &frag(&[(0, 2), (1, 2), (2, 2), (3, 2)])),
+            entry(
+                1,
+                5,
+                ValueKind::Full,
+                &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)]),
+            ),
+            entry(
+                1,
+                9,
+                ValueKind::Full,
+                &frag(&[(0, 2), (1, 2), (2, 2), (3, 2)]),
+            ),
         ];
         let mut sorted = entries.clone();
         sorted.sort_by(|a, b| a.0.cmp(&b.0));
@@ -544,8 +595,18 @@ mod tests {
 
     #[test]
     fn column_merging_iterator_propagates_tombstones() {
-        let cg_a = row_source(vec![entry(10, 7, ValueKind::Tombstone, &RowFragment::empty())]);
-        let cg_b = row_source(vec![entry(10, 3, ValueKind::Full, &frag(&[(2, 3), (3, 4)]))]);
+        let cg_a = row_source(vec![entry(
+            10,
+            7,
+            ValueKind::Tombstone,
+            &RowFragment::empty(),
+        )]);
+        let cg_b = row_source(vec![entry(
+            10,
+            3,
+            ValueKind::Full,
+            &frag(&[(2, 3), (3, 4)]),
+        )]);
         let mut cmi = ColumnMergingIterator::new(vec![cg_a, cg_b]);
         cmi.seek(0).unwrap();
         let v = cmi.take_versions().unwrap();
@@ -555,10 +616,25 @@ mod tests {
     #[test]
     fn level_merging_iterator_prefers_newer_levels() {
         // Figure 5 style: key 108 has A,B updated in level 0, C,D in level 2.
-        let level0 = row_source(vec![entry(108, 50, ValueKind::Partial, &frag(&[(0, 100), (1, 200)]))]);
+        let level0 = row_source(vec![entry(
+            108,
+            50,
+            ValueKind::Partial,
+            &frag(&[(0, 100), (1, 200)]),
+        )]);
         let level2 = row_source(vec![
-            entry(107, 10, ValueKind::Full, &frag(&[(0, 7), (1, 7), (2, 7), (3, 7)])),
-            entry(108, 9, ValueKind::Full, &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)])),
+            entry(
+                107,
+                10,
+                ValueKind::Full,
+                &frag(&[(0, 7), (1, 7), (2, 7), (3, 7)]),
+            ),
+            entry(
+                108,
+                9,
+                ValueKind::Full,
+                &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            ),
         ]);
         let mut lmi = LevelMergingIterator::new(
             vec![Box::new(level0), Box::new(level2)],
@@ -571,14 +647,27 @@ mod tests {
         assert_eq!(rows[0].key, 107);
         assert_eq!(rows[1].key, 108);
         // Latest values of A,B come from level 0; C,D from level 2.
-        assert_eq!(rows[1].fragment, frag(&[(0, 100), (1, 200), (2, 3), (3, 4)]));
+        assert_eq!(
+            rows[1].fragment,
+            frag(&[(0, 100), (1, 200), (2, 3), (3, 4)])
+        );
         assert_eq!(rows[1].seq, 50);
     }
 
     #[test]
     fn level_merging_iterator_skips_deleted_keys() {
-        let level0 = row_source(vec![entry(5, 20, ValueKind::Tombstone, &RowFragment::empty())]);
-        let level1 = row_source(vec![entry(5, 3, ValueKind::Full, &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)]))]);
+        let level0 = row_source(vec![entry(
+            5,
+            20,
+            ValueKind::Tombstone,
+            &RowFragment::empty(),
+        )]);
+        let level1 = row_source(vec![entry(
+            5,
+            3,
+            ValueKind::Full,
+            &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)]),
+        )]);
         let mut lmi = LevelMergingIterator::new(
             vec![Box::new(level0), Box::new(level1)],
             Projection::all(&schema()),
@@ -591,9 +680,24 @@ mod tests {
     #[test]
     fn level_merging_iterator_honours_projection_and_range() {
         let level1 = row_source(vec![
-            entry(1, 1, ValueKind::Full, &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)])),
-            entry(2, 2, ValueKind::Full, &frag(&[(0, 5), (1, 6), (2, 7), (3, 8)])),
-            entry(3, 3, ValueKind::Full, &frag(&[(0, 9), (1, 10), (2, 11), (3, 12)])),
+            entry(
+                1,
+                1,
+                ValueKind::Full,
+                &frag(&[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            ),
+            entry(
+                2,
+                2,
+                ValueKind::Full,
+                &frag(&[(0, 5), (1, 6), (2, 7), (3, 8)]),
+            ),
+            entry(
+                3,
+                3,
+                ValueKind::Full,
+                &frag(&[(0, 9), (1, 10), (2, 11), (3, 12)]),
+            ),
         ]);
         let mut lmi = LevelMergingIterator::new(
             vec![Box::new(level1)],
@@ -611,8 +715,18 @@ mod tests {
     #[test]
     fn level_merging_iterator_stops_overlay_at_full_record() {
         // Newer full row in level 0 must completely shadow the older row below.
-        let level0 = row_source(vec![entry(1, 9, ValueKind::Full, &frag(&[(0, 90), (1, 90), (2, 90), (3, 90)]))]);
-        let level1 = row_source(vec![entry(1, 2, ValueKind::Full, &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)]))]);
+        let level0 = row_source(vec![entry(
+            1,
+            9,
+            ValueKind::Full,
+            &frag(&[(0, 90), (1, 90), (2, 90), (3, 90)]),
+        )]);
+        let level1 = row_source(vec![entry(
+            1,
+            2,
+            ValueKind::Full,
+            &frag(&[(0, 1), (1, 1), (2, 1), (3, 1)]),
+        )]);
         let mut lmi = LevelMergingIterator::new(
             vec![Box::new(level0), Box::new(level1)],
             Projection::all(&schema()),

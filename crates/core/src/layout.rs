@@ -103,13 +103,17 @@ impl LevelLayout {
 
     /// A single group containing every schema column (row-oriented level).
     pub fn row_oriented(schema: &Schema) -> Self {
-        LevelLayout { groups: vec![ColumnGroup::new(schema.all_columns())] }
+        LevelLayout {
+            groups: vec![ColumnGroup::new(schema.all_columns())],
+        }
     }
 
     /// One group per column (column-oriented level).
     pub fn column_oriented(schema: &Schema) -> Self {
         LevelLayout {
-            groups: (0..schema.num_columns()).map(|c| ColumnGroup::new(vec![c])).collect(),
+            groups: (0..schema.num_columns())
+                .map(|c| ColumnGroup::new(vec![c]))
+                .collect(),
         }
     }
 
@@ -224,7 +228,11 @@ impl LayoutSpec {
         if layouts.is_empty() {
             return Err(Error::invalid("a layout spec needs at least one level"));
         }
-        let spec = LayoutSpec { schema, layouts, name: name.into() };
+        let spec = LayoutSpec {
+            schema,
+            layouts,
+            name: name.into(),
+        };
         spec.validate()?;
         Ok(spec)
     }
@@ -237,9 +245,9 @@ impl LayoutSpec {
             return Err(Error::invalid("level 0 must be row-oriented (a single CG)"));
         }
         for (i, layout) in self.layouts.iter().enumerate() {
-            layout.validate_partition(&self.schema).map_err(|e| {
-                Error::invalid(format!("level {i}: {e}"))
-            })?;
+            layout
+                .validate_partition(&self.schema)
+                .map_err(|e| Error::invalid(format!("level {i}: {e}")))?;
             if i > 0 && !layout.is_contained_in(&self.layouts[i - 1]) {
                 return Err(Error::invalid(format!(
                     "level {i} violates the CG containment constraint"
@@ -285,7 +293,11 @@ impl LayoutSpec {
     /// Pure row-oriented design (default RocksDB): every level is one CG.
     pub fn row_store(schema: &Schema, num_levels: usize) -> Self {
         let layouts = vec![LevelLayout::row_oriented(schema); num_levels.max(1)];
-        LayoutSpec { schema: schema.clone(), layouts, name: "rocksdb-row".into() }
+        LayoutSpec {
+            schema: schema.clone(),
+            layouts,
+            name: "rocksdb-row".into(),
+        }
     }
 
     /// Pure column-oriented design: Level 0 row-oriented, all deeper levels
@@ -295,7 +307,11 @@ impl LayoutSpec {
         for _ in 1..num_levels.max(1) {
             layouts.push(LevelLayout::column_oriented(schema));
         }
-        LayoutSpec { schema: schema.clone(), layouts, name: "rocksdb-col".into() }
+        LayoutSpec {
+            schema: schema.clone(),
+            layouts,
+            name: "rocksdb-col".into(),
+        }
     }
 
     /// Equi-width design: Level 0 row-oriented, all deeper levels split into
@@ -323,7 +339,11 @@ impl LayoutSpec {
                 layouts.push(LevelLayout::column_oriented(schema));
             }
         }
-        LayoutSpec { schema: schema.clone(), layouts, name: "HTAP-simple".into() }
+        LayoutSpec {
+            schema: schema.clone(),
+            layouts,
+            name: "HTAP-simple".into(),
+        }
     }
 
     /// The `D-opt` design of Figure 9(b): the layout the design advisor picks
@@ -337,7 +357,9 @@ impl LayoutSpec {
     /// ```
     pub fn d_opt_paper(schema: &Schema) -> Result<Self> {
         if schema.num_columns() != 30 {
-            return Err(Error::invalid("D-opt (paper) is defined for the 30-column table"));
+            return Err(Error::invalid(
+                "D-opt (paper) is defined for the 30-column table",
+            ));
         }
         let cg = ColumnGroup::range_1based;
         let layouts = vec![
@@ -434,7 +456,10 @@ mod tests {
     fn partition_validation_rejects_bad_layouts() {
         let schema = Schema::with_columns(4);
         // Missing column 3.
-        let l = LevelLayout::new(vec![ColumnGroup::new(vec![0, 1]), ColumnGroup::new(vec![2])]);
+        let l = LevelLayout::new(vec![
+            ColumnGroup::new(vec![0, 1]),
+            ColumnGroup::new(vec![2]),
+        ]);
         assert!(l.validate_partition(&schema).is_err());
         // Duplicate column.
         let l = LevelLayout::new(vec![
@@ -446,7 +471,10 @@ mod tests {
         let l = LevelLayout::new(vec![ColumnGroup::new(vec![0, 1, 2, 3, 4])]);
         assert!(l.validate_partition(&schema).is_err());
         // Empty group.
-        let l = LevelLayout::new(vec![ColumnGroup::new(vec![]), ColumnGroup::new(vec![0, 1, 2, 3])]);
+        let l = LevelLayout::new(vec![
+            ColumnGroup::new(vec![]),
+            ColumnGroup::new(vec![0, 1, 2, 3]),
+        ]);
         assert!(l.validate_partition(&schema).is_err());
     }
 
@@ -487,7 +515,8 @@ mod tests {
             LayoutSpec::column_store(&wide, 5),
             LayoutSpec::equi_width(&wide, 5, 10),
         ] {
-            spec.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name()));
         }
     }
 
@@ -506,8 +535,15 @@ mod tests {
             schema.clone(),
             vec![
                 LevelLayout::row_oriented(&schema),
-                LevelLayout::new(vec![ColumnGroup::new(vec![0, 1]), ColumnGroup::new(vec![2, 3])]),
-                LevelLayout::new(vec![ColumnGroup::new(vec![0]), ColumnGroup::new(vec![1, 2]), ColumnGroup::new(vec![3])]),
+                LevelLayout::new(vec![
+                    ColumnGroup::new(vec![0, 1]),
+                    ColumnGroup::new(vec![2, 3]),
+                ]),
+                LevelLayout::new(vec![
+                    ColumnGroup::new(vec![0]),
+                    ColumnGroup::new(vec![1, 2]),
+                    ColumnGroup::new(vec![3]),
+                ]),
             ],
             "bad",
         );

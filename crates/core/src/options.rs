@@ -20,8 +20,14 @@ pub struct LaserOptions {
     pub num_levels: usize,
     /// Target size of individual SST files produced by flush/compaction.
     pub sst_target_size_bytes: u64,
-    /// Whether to fsync the WAL after every write batch.
+    /// Whether acknowledged writes wait for WAL durability. Concurrent
+    /// writers coalesce into one fsync per sync window (group commit).
     pub sync_wal: bool,
+    /// Group-commit window in milliseconds, effective only with `sync_wal`:
+    /// 0 means every acknowledged write waits for an fsync covering it
+    /// (strict group commit); a positive value issues at most one fsync per
+    /// window, bounding data loss to that window.
+    pub sync_wal_interval_ms: u64,
     /// Whether compaction runs automatically after writes and flushes.
     /// Ignored while a background maintenance scheduler is attached — the
     /// scheduler then owns compaction.
@@ -52,6 +58,7 @@ impl LaserOptions {
             num_levels: 8,
             sst_target_size_bytes: 8 << 20,
             sync_wal: false,
+            sync_wal_interval_ms: 0,
             auto_compact: true,
             block_cache_bytes: 32 << 20,
             l0_slowdown_files: 8,
@@ -72,6 +79,7 @@ impl LaserOptions {
             num_levels: 6,
             sst_target_size_bytes: 32 << 10,
             sync_wal: false,
+            sync_wal_interval_ms: 0,
             auto_compact: true,
             // Tests opt into caching explicitly so I/O-accounting experiments
             // keep the paper's uncached cost shapes.
@@ -90,7 +98,8 @@ impl LaserOptions {
 
     /// Capacity of level `i` in bytes.
     pub fn level_capacity_bytes(&self, level: usize) -> u64 {
-        self.level0_size_bytes.saturating_mul(self.size_ratio.saturating_pow(level as u32))
+        self.level0_size_bytes
+            .saturating_mul(self.size_ratio.saturating_pow(level as u32))
     }
 
     /// Capacity of column group `cg_index` within `level`, obtained by
@@ -99,7 +108,11 @@ impl LaserOptions {
     pub fn cg_capacity_bytes(&self, level: usize, cg_index: usize) -> u64 {
         let layout = self.layout.level(level);
         let total_width: usize = layout.groups().iter().map(|g| g.size() + 1).sum();
-        let this_width = layout.groups().get(cg_index).map(|g| g.size() + 1).unwrap_or(1);
+        let this_width = layout
+            .groups()
+            .get(cg_index)
+            .map(|g| g.size() + 1)
+            .unwrap_or(1);
         let level_cap = self.level_capacity_bytes(level);
         ((level_cap as u128 * this_width as u128) / total_width.max(1) as u128) as u64
     }
@@ -122,7 +135,9 @@ impl LaserOptions {
             ));
         }
         if self.max_pending_jobs == 0 {
-            return Err(lsm_storage::Error::invalid("max_pending_jobs must be non-zero"));
+            return Err(lsm_storage::Error::invalid(
+                "max_pending_jobs must be non-zero",
+            ));
         }
         Ok(())
     }
@@ -136,8 +151,12 @@ mod tests {
     #[test]
     fn defaults_are_valid() {
         let schema = Schema::narrow();
-        LaserOptions::new(LayoutSpec::d_opt_paper(&schema).unwrap()).validate().unwrap();
-        LaserOptions::small_for_tests(LayoutSpec::row_store(&schema, 6)).validate().unwrap();
+        LaserOptions::new(LayoutSpec::d_opt_paper(&schema).unwrap())
+            .validate()
+            .unwrap();
+        LaserOptions::small_for_tests(LayoutSpec::row_store(&schema, 6))
+            .validate()
+            .unwrap();
     }
 
     #[test]

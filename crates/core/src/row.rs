@@ -47,7 +47,9 @@ impl RowFragment {
             schema.num_columns(),
             "full_row requires one value per schema column"
         );
-        RowFragment { cells: values.into_iter().enumerate().collect() }
+        RowFragment {
+            cells: values.into_iter().enumerate().collect(),
+        }
     }
 
     /// Builds the benchmark's integer row: column `ai` gets value `base + i`.

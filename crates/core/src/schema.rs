@@ -25,7 +25,9 @@ impl Schema {
     /// Creates a schema with `c` integer payload columns named `a1..ac`,
     /// matching the paper's benchmark tables (narrow: c=30, wide: c=100).
     pub fn with_columns(c: usize) -> Self {
-        Schema { columns: (1..=c).map(|i| format!("a{i}")).collect() }
+        Schema {
+            columns: (1..=c).map(|i| format!("a{i}")).collect(),
+        }
     }
 
     /// The paper's narrow table: 30 payload columns.
@@ -78,7 +80,9 @@ impl Projection {
 
     /// A projection over the given columns.
     pub fn of(columns: impl IntoIterator<Item = ColumnId>) -> Self {
-        Projection { columns: columns.into_iter().collect() }
+        Projection {
+            columns: columns.into_iter().collect(),
+        }
     }
 
     /// Every column of `schema`.
@@ -144,12 +148,16 @@ impl Projection {
 
     /// Set difference: columns in `self` but not in `other`.
     pub fn difference(&self, other: &Projection) -> Projection {
-        Projection { columns: self.columns.difference(&other.columns).copied().collect() }
+        Projection {
+            columns: self.columns.difference(&other.columns).copied().collect(),
+        }
     }
 
     /// Set union.
     pub fn union(&self, other: &Projection) -> Projection {
-        Projection { columns: self.columns.union(&other.columns).copied().collect() }
+        Projection {
+            columns: self.columns.union(&other.columns).copied().collect(),
+        }
     }
 }
 

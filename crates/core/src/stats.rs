@@ -9,6 +9,7 @@
 use parking_lot::Mutex;
 
 use crate::schema::Projection;
+use lsm_storage::wal_segment::WalStatsSnapshot;
 
 /// Per-level workload observation: how many operations of each kind were
 /// served at that level and with which projections.
@@ -77,6 +78,8 @@ pub struct EngineStatsSnapshot {
     pub bg_jobs_failed: u64,
     /// Background jobs queued or running at snapshot time.
     pub bg_jobs_pending: u64,
+    /// Durability counters of the segmented write-ahead log.
+    pub wal: WalStatsSnapshot,
     /// Per-level access profile.
     pub levels: Vec<LevelProfile>,
 }
@@ -85,7 +88,10 @@ impl EngineStatsSnapshot {
     /// Total column groups fetched by point reads across all levels
     /// (the empirical counterpart of Equation 5 summed over the workload).
     pub fn total_point_read_groups(&self) -> u64 {
-        self.levels.iter().map(|l| l.point_read_groups_fetched).sum()
+        self.levels
+            .iter()
+            .map(|l| l.point_read_groups_fetched)
+            .sum()
     }
 
     /// Block-cache hit rate in `[0, 1]`; zero when no cache is configured.
@@ -132,7 +138,12 @@ impl EngineStats {
     }
 
     /// Records a point read that fetched `groups_fetched` CGs at `level`.
-    pub fn record_point_read_level(&self, level: usize, groups_fetched: u64, projection: &Projection) {
+    pub fn record_point_read_level(
+        &self,
+        level: usize,
+        groups_fetched: u64,
+        projection: &Projection,
+    ) {
         let mut inner = self.inner.lock();
         if let Some(profile) = inner.levels.get_mut(level) {
             profile.point_reads += 1;

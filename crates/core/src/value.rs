@@ -164,12 +164,22 @@ mod tests {
     fn small_ints_encode_compactly() {
         let mut buf = Vec::new();
         Value::Int(5).encode_to(&mut buf);
-        assert!(buf.len() <= 2, "small int should take <= 2 bytes, took {}", buf.len());
+        assert!(
+            buf.len() <= 2,
+            "small int should take <= 2 bytes, took {}",
+            buf.len()
+        );
     }
 
     #[test]
     fn float_roundtrip() {
-        for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+        for v in [
+            0.0f64,
+            -1.5,
+            std::f64::consts::PI,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
             let mut buf = Vec::new();
             Value::Float(v).encode_to(&mut buf);
             let (decoded, _) = Value::decode(&buf).unwrap();

@@ -79,7 +79,11 @@ impl CostModel {
     /// Creates a model for `layout` with the given structural parameters and
     /// number of levels (levels beyond the layout reuse its deepest entry).
     pub fn new(params: TreeParameters, layout: LayoutSpec, num_levels: usize) -> Self {
-        CostModel { params, layout, num_levels: num_levels.max(1) }
+        CostModel {
+            params,
+            layout,
+            num_levels: num_levels.max(1),
+        }
     }
 
     /// The structural parameters.
@@ -188,7 +192,10 @@ mod tests {
         };
         // capacity L0 = 4000; N*(T-1)/T = 500000; log2(125) ≈ 6.97 -> 7 levels.
         assert_eq!(p.num_levels(), 7);
-        let p10 = TreeParameters { size_ratio: 10, ..p };
+        let p10 = TreeParameters {
+            size_ratio: 10,
+            ..p
+        };
         // log10(225) ≈ 2.35 -> 3 levels.
         assert_eq!(p10.num_levels(), 3);
     }
@@ -213,11 +220,18 @@ mod tests {
         let levels = 8;
         let row = CostModel::new(p.clone(), LayoutSpec::row_store(&schema, levels), levels);
         let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
-        let hybrid = CostModel::new(p.clone(), LayoutSpec::equi_width(&schema, levels, 6), levels);
+        let hybrid = CostModel::new(
+            p.clone(),
+            LayoutSpec::equi_width(&schema, levels, 6),
+            levels,
+        );
         let w_row = row.insert_amplification();
         let w_col = col.insert_amplification();
         let w_hyb = hybrid.insert_amplification();
-        assert!(w_row < w_hyb && w_hyb < w_col, "{w_row} < {w_hyb} < {w_col}");
+        assert!(
+            w_row < w_hyb && w_hyb < w_col,
+            "{w_row} < {w_hyb} < {w_col}"
+        );
         // The column-store overhead over the row store is at most T*L/B
         // (Section 5: "This overhead is at most TL/B").
         let t = 2.0;
@@ -235,7 +249,10 @@ mod tests {
         let col = CostModel::new(p.clone(), LayoutSpec::column_store(&schema, levels), levels);
         // Row store: one CG per level regardless of projection.
         assert_eq!(row.point_lookup_cost(&Projection::of([0])), levels as f64);
-        assert_eq!(row.point_lookup_cost(&Projection::all(&schema)), levels as f64);
+        assert_eq!(
+            row.point_lookup_cost(&Projection::all(&schema)),
+            levels as f64
+        );
         // Column store: |Π| CGs per level (level 0 is row-oriented -> 1).
         let narrow = col.point_lookup_cost(&Projection::of([0]));
         let wide = col.point_lookup_cost(&Projection::all(&schema));
@@ -259,7 +276,9 @@ mod tests {
         assert!(col.range_query_cost(&narrow_proj, s) < row.range_query_cost(&narrow_proj, s));
         assert!(row.range_query_cost(&full_proj, s) < col.range_query_cost(&full_proj, s));
         // Cost grows with selectivity.
-        assert!(row.range_query_cost(&narrow_proj, 2.0 * s) > row.range_query_cost(&narrow_proj, s));
+        assert!(
+            row.range_query_cost(&narrow_proj, 2.0 * s) > row.range_query_cost(&narrow_proj, s)
+        );
     }
 
     #[test]
@@ -304,6 +323,9 @@ mod tests {
         let q_row = row.range_query_cost(&proj, s);
         let q_col = col.range_query_cost(&proj, s);
         let q_dopt = dopt.range_query_cost(&proj, s);
-        assert!(q_col <= q_dopt && q_dopt <= q_row, "{q_col} <= {q_dopt} <= {q_row}");
+        assert!(
+            q_col <= q_dopt && q_dopt <= q_row,
+            "{q_col} <= {q_dopt} <= {q_row}"
+        );
     }
 }

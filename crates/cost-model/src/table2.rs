@@ -35,9 +35,16 @@ pub fn table2_rows(
     selectivity: f64,
 ) -> Vec<Table2Row> {
     let schema = Schema::with_columns(params.num_columns);
-    let row_model = CostModel::new(params.clone(), LayoutSpec::row_store(&schema, num_levels), num_levels);
-    let col_model =
-        CostModel::new(params.clone(), LayoutSpec::column_store(&schema, num_levels), num_levels);
+    let row_model = CostModel::new(
+        params.clone(),
+        LayoutSpec::row_store(&schema, num_levels),
+        num_levels,
+    );
+    let col_model = CostModel::new(
+        params.clone(),
+        LayoutSpec::column_store(&schema, num_levels),
+        num_levels,
+    );
     let rt_model = CostModel::new(params.clone(), realtime.clone(), num_levels);
 
     vec![
@@ -112,7 +119,13 @@ mod tests {
         };
         let dopt = LayoutSpec::d_opt_paper(&schema).unwrap();
         // Narrow projection (Q5-style) with 50% selectivity.
-        let rows = table2_rows(&params, &dopt, 8, &Projection::range_1based(28, 30), 5_000_000.0);
+        let rows = table2_rows(
+            &params,
+            &dopt,
+            8,
+            &Projection::range_1based(28, 30),
+            5_000_000.0,
+        );
         assert_eq!(rows.len(), 4);
         // W: row <= realtime <= column.
         assert!(rows[0].row_cost <= rows[0].realtime_cost);

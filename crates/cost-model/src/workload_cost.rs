@@ -118,10 +118,16 @@ mod tests {
     #[test]
     fn insert_cost_grows_with_group_count() {
         let schema = Schema::with_columns(4);
-        let wl = LevelWorkload { inserts: 1000, ..Default::default() };
+        let wl = LevelWorkload {
+            inserts: 1000,
+            ..Default::default()
+        };
         let row = level_workload_cost(&params(), &LevelLayout::row_oriented(&schema), &wl);
         let col = level_workload_cost(&params(), &LevelLayout::column_oriented(&schema), &wl);
-        assert!(row < col, "more CGs -> more insert overhead ({row} vs {col})");
+        assert!(
+            row < col,
+            "more CGs -> more insert overhead ({row} vs {col})"
+        );
     }
 
     #[test]
@@ -153,10 +159,17 @@ mod tests {
         let schema = Schema::with_columns(4);
         let row = LevelLayout::row_oriented(&schema);
         let col = LevelLayout::column_oriented(&schema);
-        let wl0 = LevelWorkload { point_reads: vec![(Projection::all(&schema), 10)], ..Default::default() };
-        let wl1 = LevelWorkload { scans: vec![(Projection::of([0]), 100.0, 5)], ..Default::default() };
+        let wl0 = LevelWorkload {
+            point_reads: vec![(Projection::all(&schema), 10)],
+            ..Default::default()
+        };
+        let wl1 = LevelWorkload {
+            scans: vec![(Projection::of([0]), 100.0, 5)],
+            ..Default::default()
+        };
         let total = total_workload_cost(&params(), &[&row, &col], &[wl0.clone(), wl1.clone()]);
-        let sum = level_workload_cost(&params(), &row, &wl0) + level_workload_cost(&params(), &col, &wl1);
+        let sum =
+            level_workload_cost(&params(), &row, &wl0) + level_workload_cost(&params(), &col, &wl1);
         assert!((total - sum).abs() < 1e-12);
     }
 

@@ -64,9 +64,12 @@ impl BlockBuilder {
     /// Adds a key/value pair. Keys must be added in strictly increasing order.
     pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         if self.num_entries > 0 && key <= self.last_key.as_slice() {
-            return Err(Error::invalid("keys must be added to a block in strictly increasing order"));
+            return Err(Error::invalid(
+                "keys must be added to a block in strictly increasing order",
+            ));
         }
-        let shared = if self.count_since_restart < self.restart_interval && self.prefix_compression {
+        let shared = if self.count_since_restart < self.restart_interval && self.prefix_compression
+        {
             shared_prefix_len(&self.last_key, key)
         } else {
             self.restarts.push(self.buf.len() as u32);
@@ -159,7 +162,11 @@ impl Block {
             }
             restarts.push(off);
         }
-        Ok(Block { data, restarts, entries_end })
+        Ok(Block {
+            data,
+            restarts,
+            entries_end,
+        })
     }
 
     /// Creates an iterator positioned before the first entry.
@@ -199,7 +206,9 @@ impl Block {
         let non_shared = d.varint32()? as usize;
         let _value_len = d.varint32()? as usize;
         if shared != 0 {
-            return Err(Error::corruption("restart entry has non-zero shared prefix"));
+            return Err(Error::corruption(
+                "restart entry has non-zero shared prefix",
+            ));
         }
         let key = d.bytes(non_shared)?.to_vec();
         Ok((key, offset))
@@ -353,7 +362,9 @@ mod tests {
 
     #[test]
     fn seek_finds_exact_and_successor() {
-        let keys: Vec<Vec<u8>> = (0..200u64).map(|i| (i * 2).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..200u64)
+            .map(|i| (i * 2).to_be_bytes().to_vec())
+            .collect();
         let mut b = BlockBuilder::new();
         for k in &keys {
             b.add(k, b"v").unwrap();
@@ -388,7 +399,12 @@ mod tests {
         }
         let c = compressed.finish();
         let r = raw.finish();
-        assert!(c.len() < r.len(), "compressed {} !< raw {}", c.len(), r.len());
+        assert!(
+            c.len() < r.len(),
+            "compressed {} !< raw {}",
+            c.len(),
+            r.len()
+        );
         // Both decode to identical content.
         assert_eq!(
             Block::decode(c).unwrap().entries().unwrap(),

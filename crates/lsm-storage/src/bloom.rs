@@ -20,7 +20,10 @@ impl BloomFilterBuilder {
     /// Creates a builder targeting `bits_per_key` bits per key (10 gives a
     /// false-positive rate of roughly 1%, the value the paper assumes).
     pub fn new(bits_per_key: usize) -> Self {
-        BloomFilterBuilder { bits_per_key: bits_per_key.max(1), hashes: Vec::new() }
+        BloomFilterBuilder {
+            bits_per_key: bits_per_key.max(1),
+            hashes: Vec::new(),
+        }
     }
 
     /// Adds a key.
@@ -81,12 +84,18 @@ impl BloomFilter {
         let num_bits = get_u32(&data[data.len() - 4..])? as u64;
         let bits = data[..data.len() - 8].to_vec();
         if (bits.len() as u64) * 8 < num_bits {
-            return Err(Error::corruption("bloom filter bit array shorter than header claims"));
+            return Err(Error::corruption(
+                "bloom filter bit array shorter than header claims",
+            ));
         }
         if num_probes == 0 || num_probes > 64 {
             return Err(Error::corruption("bloom filter probe count out of range"));
         }
-        Ok(BloomFilter { bits, num_probes, num_bits })
+        Ok(BloomFilter {
+            bits,
+            num_probes,
+            num_bits,
+        })
     }
 
     /// Returns true if `key` *may* be in the set; false means definitely not.

@@ -87,8 +87,12 @@ impl Shard {
     fn evict_to(&mut self, capacity: usize) -> u64 {
         let mut evicted = 0;
         while self.used_bytes > capacity {
-            let Some(key) = self.queue.pop_front() else { break };
-            let Some(entry) = self.map.get_mut(&key) else { continue };
+            let Some(key) = self.queue.pop_front() else {
+                break;
+            };
+            let Some(entry) = self.map.get_mut(&key) else {
+                continue;
+            };
             entry.queue_refs = entry.queue_refs.saturating_sub(1);
             if entry.queue_refs == 0 {
                 let entry = self.map.remove(&key).expect("entry present");
@@ -164,7 +168,9 @@ impl BlockCache {
     pub fn with_shards(capacity_bytes: usize, num_shards: usize) -> Arc<Self> {
         let num_shards = num_shards.max(1);
         Arc::new(BlockCache {
-            shards: (0..num_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
             shard_capacity: (capacity_bytes / num_shards).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -217,7 +223,14 @@ impl BlockCache {
             + ENTRY_OVERHEAD;
         let key = (table_id, block_idx);
         let mut shard = self.shard(&key).lock();
-        if let Some(old) = shard.map.insert(key, Entry { data, weight, queue_refs: 1 }) {
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                data,
+                weight,
+                queue_refs: 1,
+            },
+        ) {
             shard.used_bytes -= old.weight.min(shard.used_bytes);
             // The old occurrences in the queue now refer to the new entry;
             // fold their count in so eviction bookkeeping stays consistent.
@@ -353,7 +366,11 @@ mod tests {
         cache.insert(t, 0, block(1000));
         let used_before = cache.stats().used_bytes;
         cache.insert(t, 0, block(1000));
-        assert_eq!(cache.stats().used_bytes, used_before, "replacement, not accumulation");
+        assert_eq!(
+            cache.stats().used_bytes,
+            used_before,
+            "replacement, not accumulation"
+        );
         assert_eq!(cache.stats().entries, 1);
     }
 

@@ -22,16 +22,19 @@ use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::iterator::{BoxedIterator, KvIterator, MergingIterator};
 use crate::maintenance::{
-    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
-    MaintenanceHandle, Throttle,
+    attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
+    MaintainableEngine, MaintenanceHandle, Throttle,
 };
 use crate::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
-use crate::memtable::{MemTable, MemTableRef};
+use crate::memtable::{FrozenMemTable, MemTable, MemTableRef};
 use crate::options::{CompactionPriority, LsmOptions};
 use crate::sst::{TableBuilder, TableHandle};
 use crate::storage::StorageRef;
 use crate::types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, MAX_SEQNO};
-use crate::wal::{recover as wal_recover, remove as wal_remove, WalWriter};
+use crate::wal_segment::{SegmentedWal, WalStatsSnapshot, WalSyncPolicy};
+
+/// Pre-segmentation WAL file name, still recognised (and migrated) at open.
+const LEGACY_WAL_NAME: &str = "wal-current.log";
 
 /// Counters describing flush/compaction work performed by the engine.
 #[derive(Debug, Default)]
@@ -95,6 +98,8 @@ pub struct CompactionStatsSnapshot {
     pub bg_jobs_failed: u64,
     /// Background jobs queued or running at snapshot time.
     pub bg_jobs_pending: u64,
+    /// Durability counters of the segmented write-ahead log.
+    pub wal: WalStatsSnapshot,
 }
 
 /// One SST file attached to a level.
@@ -107,15 +112,14 @@ struct LevelFile {
 #[derive(Default)]
 struct DbInner {
     mutable: Option<MemTableRef>,
-    /// Frozen memtables awaiting flush, oldest first.
-    immutables: Vec<MemTableRef>,
+    /// Frozen memtables awaiting flush (each paired with its WAL segment),
+    /// oldest first.
+    immutables: Vec<FrozenMemTable>,
     /// `levels[i]` holds the files of level `i`. Level 0 files may overlap and
     /// are ordered oldest-first; deeper levels hold disjoint files sorted by key.
     levels: Vec<Vec<LevelFile>>,
     next_file_number: u64,
     last_seq: SeqNo,
-    wal: Option<WalWriter>,
-    wal_name: String,
 }
 
 /// A plain key-value LSM-Tree database.
@@ -123,6 +127,9 @@ pub struct LsmDb {
     storage: StorageRef,
     options: LsmOptions,
     inner: RwLock<DbInner>,
+    /// Segmented write-ahead log: one segment per memtable, group commit on
+    /// the write path, manifest-tracked lifecycle.
+    wal: SegmentedWal,
     stats: CompactionStats,
     /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
     cache: Option<Arc<BlockCache>>,
@@ -164,7 +171,10 @@ impl LsmDb {
                     options.num_levels
                 )));
             }
-            inner.levels[level].push(LevelFile { meta: meta.clone(), table });
+            inner.levels[level].push(LevelFile {
+                meta: meta.clone(),
+                table,
+            });
         }
         for (level, files) in inner.levels.iter_mut().enumerate() {
             if level == 0 {
@@ -174,10 +184,23 @@ impl LsmDb {
             }
         }
 
+        // Open the segmented WAL, replaying only the segments the manifest
+        // lists as live (plus anything newer, plus the legacy single-file
+        // WAL if this directory predates segmentation).
+        let policy = WalSyncPolicy::from_options(options.sync_wal, options.sync_wal_interval_ms);
+        let (wal, recovery) = SegmentedWal::open(
+            &storage,
+            policy,
+            &snapshot.wal_segments,
+            &[LEGACY_WAL_NAME],
+            snapshot.last_seq + 1,
+        )?;
+
         let db = LsmDb {
             storage,
             options,
             inner: RwLock::new(inner),
+            wal,
             stats: CompactionStats::default(),
             cache,
             maintenance: OnceLock::new(),
@@ -186,29 +209,22 @@ impl LsmDb {
             write_room: BackpressureGate::new(),
         };
 
-        // Recover outstanding writes from the WAL, if one exists.
-        let wal_name = "wal-current.log".to_string();
         {
             let mut inner = db.inner.write();
-            inner.wal_name = wal_name.clone();
             inner.mutable = Some(Arc::new(MemTable::new()));
-            // Recover outstanding records before the old log is truncated.
-            let records = if db.storage.exists(&wal_name) {
-                wal_recover(&db.storage, &wal_name)?.0
-            } else {
-                Vec::new()
-            };
-            let mut wal = WalWriter::create(&db.storage, &wal_name, db.options.sync_wal)?;
-            for record in &records {
+            for record in &recovery.records {
                 // Re-log with the original sequence numbers so a second
                 // recovery replays identically.
-                wal.append(record.start_seq, &record.batch)?;
+                db.wal.append(record.start_seq, &record.batch)?;
                 for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
                     inner.mutable.as_ref().unwrap().insert(seq, entry);
                     inner.last_seq = inner.last_seq.max(seq);
                 }
             }
-            inner.wal = Some(wal);
+            // Sync the re-logged records, drop the replayed files, and record
+            // the fresh active segment in the manifest.
+            db.wal.finish_recovery()?;
+            db.persist_manifest(&inner)?;
         }
         Ok(db)
     }
@@ -243,7 +259,14 @@ impl LsmDb {
             snapshot.bg_jobs_failed = state.failed_jobs();
             snapshot.bg_jobs_pending = state.pending_jobs() as u64;
         }
+        snapshot.wal = self.wal.stats();
         snapshot
+    }
+
+    /// Durability statistics of the segmented WAL (also embedded in
+    /// [`LsmDb::stats`]).
+    pub fn wal_stats(&self) -> WalStatsSnapshot {
+        self.wal.stats()
     }
 
     /// The shared block cache, if one is configured.
@@ -264,12 +287,7 @@ impl LsmDb {
     ///
     /// Errors if a scheduler was already attached.
     pub fn attach_maintenance(self: &Arc<Self>, num_workers: usize) -> Result<JobScheduler> {
-        let engine: Arc<dyn MaintainableEngine> = Arc::clone(self) as Arc<dyn MaintainableEngine>;
-        let (scheduler, handle) = JobScheduler::start(&engine, num_workers);
-        if self.maintenance.set(handle).is_err() {
-            return Err(Error::invalid("a maintenance scheduler is already attached"));
-        }
-        Ok(scheduler)
+        attach_engine(self, num_workers)
     }
 
     /// The last sequence number assigned.
@@ -283,124 +301,71 @@ impl LsmDb {
 
     /// Applies a write batch atomically.
     ///
-    /// With a maintenance scheduler attached, a full memtable is frozen and
-    /// its flush (plus any needed compaction) is enqueued for the background
-    /// workers, after applying slowdown/stall backpressure; without one, the
-    /// legacy synchronous flush/compact path runs inline.
+    /// The batch is appended to the active WAL segment and inserted into the
+    /// mutable memtable under the engine lock; durability (per the
+    /// `sync_wal` / `sync_wal_interval_ms` group-commit policy) is then
+    /// awaited *outside* the lock, so concurrent writers coalesce into one
+    /// fsync. With a maintenance scheduler attached, a full memtable is
+    /// frozen (rotating the WAL segment) and its flush is enqueued for the
+    /// background workers, after applying slowdown/stall backpressure;
+    /// without one, the legacy synchronous flush/compact path runs inline.
     pub fn write(&self, batch: &WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
-        // A handle whose scheduler has been dropped no longer accepts jobs;
-        // treat it as absent so writes fall back to inline maintenance.
-        let background = self.maintenance.get().filter(|h| !h.is_shutdown());
-        if let Some(handle) = background {
-            self.apply_backpressure(handle);
-        }
-        {
+        EngineMaintenance::apply_backpressure(self);
+        let ticket = {
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
-            inner
-                .wal
-                .as_mut()
-                .ok_or(Error::Closed)?
-                .append(start_seq, batch)?;
             let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+            let ticket = self.wal.append(start_seq, batch)?;
             let mut seq = start_seq;
             for entry in batch.iter() {
                 mutable.insert(seq, entry);
                 seq += 1;
             }
             inner.last_seq = seq - 1;
-        }
-        match background {
-            Some(handle) => {
-                if self.freeze_if_full()? && !handle.submit(JobKind::Flush) {
-                    // Scheduler shut down between the check and the submit:
-                    // drain the frozen memtable inline instead of leaking it.
-                    while self.flush_frozen_one()? {}
-                }
-                if self.needs_compaction() {
-                    handle.submit_if_idle(JobKind::Compaction);
-                }
-            }
-            None => {
-                // Drain any memtables frozen before a scheduler shutdown,
-                // then run the legacy synchronous path.
-                if self.has_frozen_memtables() {
-                    while self.flush_frozen_one()? {}
-                }
-                self.maybe_flush()?;
-                if self.options.auto_compact {
-                    self.compact_until_stable()?;
-                }
-            }
-        }
-        Ok(())
+            ticket
+        };
+        // The write is acknowledged only once its WAL record is durable.
+        self.wal.ensure_durable(&ticket)?;
+        self.after_write_maintenance()
     }
 
-    /// Freezes the mutable memtable into the immutable list when it crossed
-    /// the size threshold. Returns true if a memtable was frozen.
-    fn freeze_if_full(&self) -> Result<bool> {
+    /// Unconditionally freezes the mutable memtable (sealing its WAL segment
+    /// and opening a fresh one), without flushing it. No-op on an empty
+    /// memtable. Returns true if a memtable was frozen.
+    ///
+    /// Used by the flush path and by crash-recovery tests that need the
+    /// "frozen but not yet flushed" state.
+    pub fn freeze_memtable(&self) -> Result<bool> {
         let mut inner = self.inner.write();
         let Some(mutable) = inner.mutable.as_ref() else {
             return Ok(false);
         };
-        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+        if mutable.is_empty() {
             return Ok(false);
         }
-        let frozen = Arc::clone(mutable);
-        inner.immutables.push(frozen);
+        self.freeze_locked(&mut inner)
+    }
+
+    /// Freezes the mutable memtable under the held engine lock: rotates to a
+    /// fresh WAL segment and pairs the sealed segment with the frozen
+    /// memtable.
+    fn freeze_locked(&self, inner: &mut DbInner) -> Result<bool> {
+        let frozen = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+        let sealed_segment = self.wal.rotate(inner.last_seq + 1)?;
+        inner.immutables.push(FrozenMemTable {
+            memtable: frozen,
+            wal_segment: sealed_segment,
+        });
         inner.mutable = Some(Arc::new(MemTable::new()));
+        // No manifest write here: the previous flush-time manifest already
+        // lists the sealed segment, and recovery unconditionally replays any
+        // segment newer than the manifest knows, so the fresh active segment
+        // needs no record. Keeping the freeze path free of manifest I/O
+        // keeps the engine's write lock cheap.
         Ok(true)
-    }
-
-    /// L0 pressure as seen by backpressure: on-disk Level-0 files plus frozen
-    /// memtables still waiting for their flush job.
-    fn l0_pressure(&self) -> usize {
-        let inner = self.inner.read();
-        inner.levels[0].len() + inner.immutables.len()
-    }
-
-    /// True if frozen memtables await flushing.
-    fn has_frozen_memtables(&self) -> bool {
-        !self.inner.read().immutables.is_empty()
-    }
-
-    /// Applies the shared slowdown/stall policy before a write.
-    fn apply_backpressure(&self, handle: &MaintenanceHandle) {
-        let config = BackpressureConfig {
-            l0_slowdown_files: self.options.l0_slowdown_files,
-            l0_stall_files: self.options.l0_stall_files,
-            max_pending_jobs: self.options.max_pending_jobs,
-        };
-        let throttle = self.write_room.wait_for_room(
-            config,
-            handle,
-            &|| self.l0_pressure(),
-            &|| self.has_frozen_memtables(),
-            JobKind::Compaction,
-        );
-        match throttle {
-            Throttle::Stall => {
-                self.stats.stall_events.fetch_add(1, Ordering::Relaxed);
-            }
-            Throttle::Slowdown => {
-                self.stats.slowdown_events.fetch_add(1, Ordering::Relaxed);
-            }
-            Throttle::None => {}
-        }
-    }
-
-    /// Wakes writers parked on backpressure after maintenance made progress.
-    fn notify_write_room(&self) {
-        self.write_room.notify();
-    }
-
-    /// True if some level (by bytes, or Level-0 by file count) overflows.
-    fn needs_compaction(&self) -> bool {
-        let inner = self.inner.read();
-        self.pick_compaction_level(&inner).is_some()
     }
 
     /// Inserts a single key/value pair.
@@ -437,7 +402,7 @@ impl LsmDb {
         }
         // 2. Immutable memtables, newest first.
         for imm in inner.immutables.iter().rev() {
-            if let Some((ik, value)) = imm.get(key, snapshot_seq) {
+            if let Some((ik, value)) = imm.memtable.get(key, snapshot_seq) {
                 return Ok(filter_tombstone(ik, value));
             }
         }
@@ -466,7 +431,12 @@ impl LsmDb {
     }
 
     /// Scans keys in `[lo, hi]` as of `snapshot_seq`.
-    pub fn scan_at(&self, lo: UserKey, hi: UserKey, snapshot_seq: SeqNo) -> Result<Vec<(UserKey, Vec<u8>)>> {
+    pub fn scan_at(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        snapshot_seq: SeqNo,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>> {
         let mut iter = self.range_iterator(lo, hi)?;
         let mut out = Vec::new();
         iter.seek(&InternalKey::seek_to(lo).encode())?;
@@ -498,7 +468,7 @@ impl LsmDb {
             children.push(Box::new(mutable.iter()));
         }
         for imm in inner.immutables.iter().rev() {
-            children.push(Box::new(imm.iter()));
+            children.push(Box::new(imm.memtable.iter()));
         }
         for file in inner.levels[0].iter().rev() {
             if file.meta.overlaps(lo, hi) {
@@ -559,82 +529,63 @@ impl LsmDb {
     // Flush
     // ------------------------------------------------------------------
 
-    fn maybe_flush(&self) -> Result<()> {
-        let should_flush = {
-            let inner = self.inner.read();
-            inner
-                .mutable
-                .as_ref()
-                .map(|m| m.approximate_bytes() >= self.options.memtable_size_bytes)
-                .unwrap_or(false)
-        };
-        if should_flush {
-            self.flush()?;
-        }
-        Ok(())
-    }
-
     /// Flushes the mutable memtable and every frozen memtable to Level-0
-    /// SSTs, then starts a fresh WAL. No-op when nothing is buffered.
+    /// SSTs, retiring their WAL segments. No-op when nothing is buffered.
     pub fn flush(&self) -> Result<()> {
-        {
-            // Freeze the mutable memtable unconditionally.
-            let mut inner = self.inner.write();
-            let mutable = inner.mutable.take().unwrap_or_else(|| Arc::new(MemTable::new()));
-            if mutable.is_empty() && inner.immutables.is_empty() {
-                inner.mutable = Some(mutable);
-                return Ok(());
-            }
-            if !mutable.is_empty() {
-                inner.immutables.push(Arc::clone(&mutable));
-            }
-            inner.mutable = Some(Arc::new(MemTable::new()));
-        }
-        while self.flush_frozen_one()? {}
+        self.freeze_memtable()?;
+        while self.flush_frozen_one_impl()? {}
         Ok(())
     }
 
-    /// Flushes the oldest frozen memtable, if any, to a Level-0 SST. The WAL
-    /// is restarted only once *all* buffered writes are on disk — with frozen
-    /// memtables still pending (or writes racing into the new mutable), the
-    /// old log must survive for crash recovery. Returns true if a memtable
-    /// was flushed.
-    fn flush_frozen_one(&self) -> Result<bool> {
+    /// Flushes the oldest frozen memtable, if any, to a Level-0 SST. Once
+    /// the SST is installed in the manifest, the WAL segment backing the
+    /// memtable is retired and its file deleted — recovery never replays
+    /// data that already lives in the tree. Returns true if a memtable was
+    /// flushed.
+    fn flush_frozen_one_impl(&self) -> Result<bool> {
         // Serialise flushes so Level-0 keeps its oldest-first order.
         let _flushing = self.flush_lock.lock();
-        let (memtable, file_number) = {
+        let (frozen, file_number) = {
             let mut inner = self.inner.write();
-            let Some(memtable) = inner.immutables.first().cloned() else {
+            let Some(frozen) = inner.immutables.first().cloned() else {
                 return Ok(false);
             };
-            if memtable.is_empty() {
-                inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
+            if frozen.memtable.is_empty() {
+                inner
+                    .immutables
+                    .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
+                self.wal.retire(frozen.wal_segment);
+                self.persist_manifest(&inner)?;
+                drop(inner);
+                self.wal.delete_retired()?;
                 return Ok(true);
             }
             let file_number = inner.next_file_number;
             inner.next_file_number += 1;
-            (memtable, file_number)
+            (frozen, file_number)
         };
 
         // Build the SST outside the lock; the frozen memtable stays readable
         // in `immutables` until the file is installed.
-        let meta = self.build_sst_from_entries(file_number, 0, 0, memtable.to_sorted_vec())?;
+        let meta =
+            self.build_sst_from_entries(file_number, 0, 0, frozen.memtable.to_sorted_vec())?;
 
         {
             let mut inner = self.inner.write();
             let table =
                 TableHandle::open_with_cache(&self.storage, &meta.file_name(), self.cache.clone())?;
             inner.levels[0].push(LevelFile { meta, table });
-            inner.immutables.retain(|m| !Arc::ptr_eq(m, &memtable));
-            let all_buffered_flushed = inner.immutables.is_empty()
-                && inner.mutable.as_ref().map(|m| m.is_empty()).unwrap_or(true);
-            if all_buffered_flushed {
-                let wal_name = inner.wal_name.clone();
-                inner.wal =
-                    Some(WalWriter::create(&self.storage, &wal_name, self.options.sync_wal)?);
-            }
+            inner
+                .immutables
+                .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
+            // Manifest-first segment GC: drop the segment from the live set,
+            // persist a manifest that has the SST and no longer lists the
+            // segment, and only then unlink the file. A crash in between
+            // leaves an orphan file that the next open deletes unreplayed.
+            self.wal.retire(frozen.wal_segment);
             self.persist_manifest(&inner)?;
         }
+        self.wal.delete_retired()?;
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         self.notify_write_room();
         Ok(true)
@@ -654,8 +605,12 @@ impl LsmDb {
             builder.add(k, v)?;
         }
         let props = builder.finish()?;
-        self.stats.bytes_written.fetch_add(props.file_size, Ordering::Relaxed);
-        self.stats.entries_written.fetch_add(props.num_entries, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(props.file_size, Ordering::Relaxed);
+        self.stats
+            .entries_written
+            .fetch_add(props.num_entries, Ordering::Relaxed);
         Ok(FileMeta {
             file_number,
             level,
@@ -678,6 +633,7 @@ impl LsmDb {
                 .iter()
                 .flat_map(|files| files.iter().map(|f| f.meta.clone()))
                 .collect(),
+            wal_segments: self.wal.live_segments(),
         };
         write_manifest(&self.storage, &snapshot)
     }
@@ -712,8 +668,7 @@ impl LsmDb {
                 // the count reaches the slowdown threshold — a stalled writer
                 // (stall == slowdown is allowed) must always have a runnable
                 // compaction, or backpressure would wait forever.
-                let count_score =
-                    (files.len() + 1) as f64 / self.options.l0_slowdown_files as f64;
+                let count_score = (files.len() + 1) as f64 / self.options.l0_slowdown_files as f64;
                 if files.len() >= self.options.l0_slowdown_files {
                     score = score.max(count_score);
                 }
@@ -737,9 +692,7 @@ impl LsmDb {
             return files.iter().map(|f| f.meta.file_number).collect();
         }
         let chosen = match self.options.compaction_priority {
-            CompactionPriority::ByCompensatedSize => {
-                files.iter().max_by_key(|f| f.meta.file_size)
-            }
+            CompactionPriority::ByCompensatedSize => files.iter().max_by_key(|f| f.meta.file_size),
             CompactionPriority::OldestSmallestSeqFirst => {
                 files.iter().min_by_key(|f| f.meta.min_seq)
             }
@@ -805,7 +758,9 @@ impl LsmDb {
             .chain(overlaps.iter())
             .map(|f| f.meta.file_size)
             .sum();
-        self.stats.bytes_read.fetch_add(input_bytes, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(input_bytes, Ordering::Relaxed);
 
         // Merge: newer sources first so ties resolve toward fresher versions.
         let mut children: Vec<BoxedIterator> = Vec::new();
@@ -861,7 +816,10 @@ impl LsmDb {
                     &meta.file_name(),
                     self.cache.clone(),
                 )?;
-                inner.levels[target_level].push(LevelFile { meta: meta.clone(), table });
+                inner.levels[target_level].push(LevelFile {
+                    meta: meta.clone(),
+                    table,
+                });
             }
             inner.levels[target_level].sort_by_key(|f| f.meta.min_user_key);
             self.persist_manifest(&inner)?;
@@ -897,43 +855,107 @@ impl LsmDb {
         Ok(())
     }
 
-    /// Removes the current WAL file (used by tests that simulate crashes
-    /// after a clean flush).
+    /// Deletes every WAL segment file, idempotently (used by tests that
+    /// simulate crashes after a clean flush: all durable data must come from
+    /// SSTs alone). The engine should be dropped afterwards.
     pub fn remove_wal(&self) -> Result<()> {
+        self.wal.remove_all()
+    }
+}
+
+impl EngineMaintenance for LsmDb {
+    fn maintenance_cell(&self) -> &OnceLock<MaintenanceHandle> {
+        &self.maintenance
+    }
+
+    fn write_room(&self) -> &BackpressureGate {
+        &self.write_room
+    }
+
+    fn backpressure_config(&self) -> BackpressureConfig {
+        BackpressureConfig {
+            l0_slowdown_files: self.options.l0_slowdown_files,
+            l0_stall_files: self.options.l0_stall_files,
+            max_pending_jobs: self.options.max_pending_jobs,
+        }
+    }
+
+    fn compaction_kind(&self) -> JobKind {
+        JobKind::Compaction
+    }
+
+    /// Freezes the mutable memtable (rotating the WAL segment) when it
+    /// crossed the size threshold.
+    fn freeze_if_full(&self) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(mutable) = inner.mutable.as_ref() else {
+            return Ok(false);
+        };
+        if mutable.approximate_bytes() < self.options.memtable_size_bytes || mutable.is_empty() {
+            return Ok(false);
+        }
+        self.freeze_locked(&mut inner)
+    }
+
+    fn flush_frozen_one(&self) -> Result<bool> {
+        self.flush_frozen_one_impl()
+    }
+
+    fn compact_once(&self) -> Result<bool> {
+        LsmDb::compact_once(self)
+    }
+
+    /// True if some level (by bytes, or Level-0 by file count) overflows.
+    fn needs_compaction(&self) -> bool {
         let inner = self.inner.read();
-        wal_remove(&self.storage, &inner.wal_name)
+        self.pick_compaction_level(&inner).is_some()
+    }
+
+    fn has_frozen_memtables(&self) -> bool {
+        !self.inner.read().immutables.is_empty()
+    }
+
+    fn l0_pressure(&self) -> usize {
+        let inner = self.inner.read();
+        inner.levels[0].len() + inner.immutables.len()
+    }
+
+    fn maybe_flush(&self) -> Result<()> {
+        let should_flush = {
+            let inner = self.inner.read();
+            inner
+                .mutable
+                .as_ref()
+                .map(|m| m.approximate_bytes() >= self.options.memtable_size_bytes)
+                .unwrap_or(false)
+        };
+        if should_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn auto_compact(&self) -> bool {
+        self.options.auto_compact
+    }
+
+    fn record_throttle(&self, throttle: Throttle) {
+        match throttle {
+            Throttle::Stall => {
+                self.stats.stall_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Throttle::Slowdown => {
+                self.stats.slowdown_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Throttle::None => {}
+        }
     }
 }
 
 impl MaintainableEngine for LsmDb {
-    /// Executes one background job. Flush jobs drain the oldest frozen
-    /// memtable and chain a compaction when the tree overflows; compaction
-    /// jobs run one step and re-enqueue themselves while work remains, so a
-    /// single submission settles the whole tree without monopolising a worker.
+    /// Forwards to the shared [`EngineMaintenance::run_job`] protocol.
     fn run_maintenance_job(&self, kind: JobKind) -> Result<()> {
-        match kind {
-            JobKind::Flush => {
-                self.flush_frozen_one()?;
-                if self.needs_compaction() {
-                    if let Some(handle) = self.maintenance.get() {
-                        handle.submit_if_idle(JobKind::Compaction);
-                    }
-                }
-                Ok(())
-            }
-            JobKind::Compaction | JobKind::CgCompaction => {
-                let did_work = self.compact_once()?;
-                if did_work && self.needs_compaction() {
-                    if let Some(handle) = self.maintenance.get() {
-                        // `submit_if_idle` would see this running job as
-                        // pending, so resubmit directly; bounded because it
-                        // only happens while a level still overflows.
-                        handle.submit(JobKind::Compaction);
-                    }
-                }
-                Ok(())
-            }
-        }
+        self.run_job(kind)
     }
 }
 
@@ -1028,7 +1050,11 @@ mod tests {
         assert_eq!(all.last().unwrap().0, 99);
         let window = db.scan(40, 59).unwrap();
         assert_eq!(window.len(), 20);
-        assert!(window.iter().all(|(k, v)| if *k < 50 { v == &vec![1] } else { v == &vec![2] }));
+        assert!(window.iter().all(|(k, v)| if *k < 50 {
+            v == &vec![1]
+        } else {
+            v == &vec![2]
+        }));
     }
 
     #[test]
@@ -1063,7 +1089,8 @@ mod tests {
         // Write enough data (with overwrites) to force several compactions.
         for round in 0..6u64 {
             for i in 0..400u64 {
-                db.put(i, format!("round-{round}-key-{i}").into_bytes()).unwrap();
+                db.put(i, format!("round-{round}-key-{i}").into_bytes())
+                    .unwrap();
             }
         }
         db.flush().unwrap();
@@ -1072,7 +1099,10 @@ mod tests {
         assert!(stats.compactions > 0, "expected compactions to run");
         // All keys resolve to the latest round.
         for i in (0..400u64).step_by(17) {
-            assert_eq!(db.get(i).unwrap(), Some(format!("round-5-key-{i}").into_bytes()));
+            assert_eq!(
+                db.get(i).unwrap(),
+                Some(format!("round-5-key-{i}").into_bytes())
+            );
         }
         // No level (other than the last) exceeds its capacity.
         let sizes = db.level_sizes();
@@ -1151,7 +1181,11 @@ mod tests {
         }
         let db = LsmDb::open(Arc::clone(&storage), options).unwrap();
         assert_eq!(db.get(50).unwrap(), Some(vec![1]));
-        assert_eq!(db.get(120).unwrap(), None, "unflushed data without WAL is lost");
+        assert_eq!(
+            db.get(120).unwrap(),
+            None,
+            "unflushed data without WAL is lost"
+        );
     }
 
     #[test]
@@ -1195,8 +1229,16 @@ mod tests {
                 .unwrap()
                 .meta
                 .clone();
-            let oldest = inner.levels[1].iter().map(|f| f.meta.min_seq).min().unwrap();
-            let biggest = inner.levels[1].iter().map(|f| f.meta.file_size).max().unwrap();
+            let oldest = inner.levels[1]
+                .iter()
+                .map(|f| f.meta.min_seq)
+                .min()
+                .unwrap();
+            let biggest = inner.levels[1]
+                .iter()
+                .map(|f| f.meta.file_size)
+                .max()
+                .unwrap();
             if expect_oldest {
                 assert_eq!(chosen_meta.min_seq, oldest);
             } else {

@@ -89,7 +89,10 @@ mod tests {
         let b = hash64(b"abcdefgi");
         let differing = (a ^ b).count_ones();
         // Expect roughly half the bits to flip; require at least a quarter.
-        assert!(differing >= 16, "weak avalanche: only {differing} bits differ");
+        assert!(
+            differing >= 16,
+            "weak avalanche: only {differing} bits differ"
+        );
     }
 
     #[test]

@@ -42,8 +42,15 @@ pub struct VecIterator {
 impl VecIterator {
     /// Creates an iterator over `entries`, which must already be sorted by key.
     pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted and unique");
-        VecIterator { entries, pos: 0, valid: false }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted and unique"
+        );
+        VecIterator {
+            entries,
+            pos: 0,
+            valid: false,
+        }
     }
 
     /// Number of entries.
@@ -108,7 +115,10 @@ impl MergingIterator {
     /// Creates a merging iterator over `children`. Order matters: earlier
     /// children win ties, so put newer sources first.
     pub fn new(children: Vec<BoxedIterator>) -> Self {
-        MergingIterator { children, current: None }
+        MergingIterator {
+            children,
+            current: None,
+        }
     }
 
     /// Number of child iterators.
@@ -192,7 +202,9 @@ mod tests {
     use crate::types::{InternalKey, ValueKind};
 
     fn enc(key: u64, seq: u64) -> Vec<u8> {
-        InternalKey::new(key, seq, ValueKind::Full).encode().to_vec()
+        InternalKey::new(key, seq, ValueKind::Full)
+            .encode()
+            .to_vec()
     }
 
     fn vec_iter(pairs: &[(u64, u64, &str)]) -> BoxedIterator {

@@ -9,7 +9,12 @@
 //! (crate `laser-core`) can be built on top of them:
 //!
 //! * [`skiplist`] / [`memtable`] — the in-memory write buffer.
-//! * [`wal`] — the write-ahead log for durability.
+//! * [`wal`] — the write-ahead-log record format (per-file append/replay).
+//! * [`wal_segment`] — the durability subsystem on top of it: a
+//!   [`wal_segment::SegmentedWal`] that rotates one segment per memtable,
+//!   group-commits concurrent writers into shared fsyncs, tracks live
+//!   segments in the manifest and bounds recovery replay to the unflushed
+//!   tail.
 //! * [`block`] — data blocks with restart points and key prefix compression.
 //! * [`bloom`] — per-SST bloom filters.
 //! * [`sst`] — Sorted String Table files (data blocks + index block + bloom
@@ -61,21 +66,25 @@ pub mod sst;
 pub mod storage;
 pub mod types;
 pub mod wal;
+pub mod wal_segment;
 
 pub use cache::{BlockCache, BlockCacheStats};
 pub use db::{CompactionStatsSnapshot, LsmDb};
 pub use error::{Error, Result};
 pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
 pub use maintenance::{
-    BackpressureConfig, BackpressureGate, JobKind, JobScheduler, MaintainableEngine,
-    MaintenanceHandle, Throttle,
+    attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
+    MaintainableEngine, MaintenanceHandle, Throttle,
 };
 pub use manifest::FileMeta;
-pub use memtable::{MemTable, MemTableRef};
+pub use memtable::{FrozenMemTable, MemTable, MemTableRef};
 pub use options::{CompactionPriority, LsmOptions};
 pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
 pub use storage::{
-    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage,
-    Storage, StorageRef,
+    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage, Storage,
+    StorageRef,
 };
 pub use types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, WriteEntry, MAX_SEQNO};
+pub use wal_segment::{
+    SegmentedWal, WalRecovery, WalSegmentMeta, WalStatsSnapshot, WalSyncPolicy, WalTicket,
+};

@@ -31,12 +31,12 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 
 /// The kinds of background work the scheduler runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +173,10 @@ impl MaintenanceHandle {
         }
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         self.state.pending_per_kind[kind.index()].fetch_add(1, Ordering::AcqRel);
-        let job = Job { kind, engine: Weak::clone(&self.engine) };
+        let job = Job {
+            kind,
+            engine: Weak::clone(&self.engine),
+        };
         if self.tx.send(Message::Work(job)).is_err() {
             self.state.job_skipped(kind);
             return false;
@@ -300,8 +303,11 @@ impl BackpressureGate {
                 // compaction. If nothing can be scheduled, bail out rather
                 // than waiting forever.
                 if handle.pending_jobs() == 0 {
-                    let kind =
-                        if needs_flush() { JobKind::Flush } else { compaction_kind };
+                    let kind = if needs_flush() {
+                        JobKind::Flush
+                    } else {
+                        compaction_kind
+                    };
                     // A false return here usually means another writer won
                     // the submission race (fine — a job is now pending);
                     // only a shut-down scheduler justifies giving up.
@@ -320,6 +326,164 @@ impl BackpressureGate {
             Throttle::None
         }
     }
+}
+
+/// The engine-side maintenance glue shared by every LSM engine in this
+/// workspace. Engines supply the storage-specific primitives (freeze, flush
+/// one frozen memtable, one compaction step, pressure gauges) and inherit
+/// the whole write-path maintenance protocol as default methods:
+/// backpressure, freeze-and-enqueue after a write, the inline fallback when
+/// no scheduler is attached, and the background job bodies themselves.
+///
+/// [`attach_engine`] registers a [`JobScheduler`] with an engine implementing
+/// this trait, and the engine's [`MaintainableEngine::run_maintenance_job`]
+/// impl simply forwards to [`EngineMaintenance::run_job`].
+pub trait EngineMaintenance: MaintainableEngine {
+    /// The cell holding the registered scheduler handle (set once by
+    /// [`attach_engine`]).
+    fn maintenance_cell(&self) -> &OnceLock<MaintenanceHandle>;
+    /// The gate stalled writers park on.
+    fn write_room(&self) -> &BackpressureGate;
+    /// Backpressure thresholds, mirrored from the engine options.
+    fn backpressure_config(&self) -> BackpressureConfig;
+    /// The engine's compaction job flavour.
+    fn compaction_kind(&self) -> JobKind;
+    /// Freezes the mutable memtable if it crossed the size threshold
+    /// (rotating the WAL segment). Returns true if a memtable was frozen.
+    fn freeze_if_full(&self) -> Result<bool>;
+    /// Flushes the oldest frozen memtable, if any. Returns true if one was
+    /// flushed.
+    fn flush_frozen_one(&self) -> Result<bool>;
+    /// Runs one compaction step if any level overflows. Returns true if work
+    /// was done.
+    fn compact_once(&self) -> Result<bool>;
+    /// True if some level overflows and a compaction would make progress.
+    fn needs_compaction(&self) -> bool;
+    /// True if frozen memtables await flushing.
+    fn has_frozen_memtables(&self) -> bool;
+    /// L0 pressure as seen by backpressure: on-disk Level-0 files plus
+    /// frozen memtables still waiting for their flush job.
+    fn l0_pressure(&self) -> usize;
+    /// Inline flush of the mutable memtable when it crossed the size
+    /// threshold (the legacy synchronous path).
+    fn maybe_flush(&self) -> Result<()>;
+    /// Whether the legacy synchronous path compacts after writes.
+    fn auto_compact(&self) -> bool;
+    /// Records a throttle outcome in the engine's stats.
+    fn record_throttle(&self, throttle: Throttle);
+
+    // ------------------------------------------------------------------
+    // Shared default glue
+    // ------------------------------------------------------------------
+
+    /// The registered scheduler handle, if it is still accepting jobs. A
+    /// handle whose scheduler has been dropped is treated as absent so
+    /// writes fall back to inline maintenance.
+    fn active_maintenance(&self) -> Option<&MaintenanceHandle> {
+        self.maintenance_cell().get().filter(|h| !h.is_shutdown())
+    }
+
+    /// Applies the shared slowdown/stall policy before a write. No-op when
+    /// no scheduler is attached.
+    fn apply_backpressure(&self) {
+        let Some(handle) = self.active_maintenance() else {
+            return;
+        };
+        let throttle = self.write_room().wait_for_room(
+            self.backpressure_config(),
+            handle,
+            &|| self.l0_pressure(),
+            &|| self.has_frozen_memtables(),
+            self.compaction_kind(),
+        );
+        if throttle != Throttle::None {
+            self.record_throttle(throttle);
+        }
+    }
+
+    /// Wakes writers parked on backpressure after maintenance made progress.
+    fn notify_write_room(&self) {
+        self.write_room().notify();
+    }
+
+    /// The post-write maintenance step: with a scheduler attached, freeze a
+    /// full memtable and enqueue flush/compaction jobs; without one, drain
+    /// any leftover frozen memtables and run the legacy synchronous path.
+    fn after_write_maintenance(&self) -> Result<()> {
+        match self.active_maintenance().cloned() {
+            Some(handle) => {
+                if self.freeze_if_full()? && !handle.submit(JobKind::Flush) {
+                    // Scheduler shut down between the check and the submit:
+                    // drain the frozen memtable inline instead of leaking it.
+                    while self.flush_frozen_one()? {}
+                }
+                if self.needs_compaction() {
+                    handle.submit_if_idle(self.compaction_kind());
+                }
+            }
+            None => {
+                // Drain any memtables frozen before a scheduler shutdown,
+                // then run the legacy synchronous path.
+                if self.has_frozen_memtables() {
+                    while self.flush_frozen_one()? {}
+                }
+                self.maybe_flush()?;
+                if self.auto_compact() {
+                    while self.compact_once()? {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one background job. Flush jobs drain the oldest frozen
+    /// memtable and chain a compaction when the tree overflows; compaction
+    /// jobs run one step and re-enqueue themselves while work remains, so a
+    /// single submission settles the whole tree without monopolising a
+    /// worker. Engines forward `MaintainableEngine::run_maintenance_job`
+    /// here.
+    fn run_job(&self, kind: JobKind) -> Result<()> {
+        match kind {
+            JobKind::Flush => {
+                self.flush_frozen_one()?;
+                if self.needs_compaction() {
+                    if let Some(handle) = self.maintenance_cell().get() {
+                        handle.submit_if_idle(self.compaction_kind());
+                    }
+                }
+                Ok(())
+            }
+            JobKind::Compaction | JobKind::CgCompaction => {
+                let did_work = self.compact_once()?;
+                if did_work && self.needs_compaction() {
+                    if let Some(handle) = self.maintenance_cell().get() {
+                        // `submit_if_idle` would see this running job as
+                        // pending, so resubmit directly; bounded because it
+                        // only happens while a level still overflows.
+                        handle.submit(self.compaction_kind());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Starts a background maintenance scheduler with `num_workers` threads and
+/// registers it with `engine` (the shared body of the engines'
+/// `attach_maintenance` methods). Errors if a scheduler was already attached.
+pub fn attach_engine<E>(engine: &Arc<E>, num_workers: usize) -> Result<JobScheduler>
+where
+    E: EngineMaintenance + 'static,
+{
+    let dyn_engine: Arc<dyn MaintainableEngine> = Arc::clone(engine) as Arc<dyn MaintainableEngine>;
+    let (scheduler, handle) = JobScheduler::start(&dyn_engine, num_workers);
+    if engine.maintenance_cell().set(handle).is_err() {
+        return Err(Error::invalid(
+            "a maintenance scheduler is already attached",
+        ));
+    }
+    Ok(scheduler)
 }
 
 /// A pool of background worker threads executing maintenance jobs.
@@ -368,7 +532,15 @@ impl JobScheduler {
             state: Arc::clone(&state),
             engine: Arc::downgrade(engine),
         };
-        (JobScheduler { tx, rx, workers, state }, handle)
+        (
+            JobScheduler {
+                tx,
+                rx,
+                workers,
+                state,
+            },
+            handle,
+        )
     }
 
     /// Number of worker threads.
@@ -494,7 +666,10 @@ mod tests {
 
     #[test]
     fn drop_while_busy_drains_queue_and_joins() {
-        let engine = Arc::new(CountingEngine { slow: true, ..Default::default() });
+        let engine = Arc::new(CountingEngine {
+            slow: true,
+            ..Default::default()
+        });
         let (scheduler, handle) = start(Arc::clone(&engine), 3);
         for _ in 0..20 {
             handle.submit(JobKind::Flush);
@@ -508,7 +683,10 @@ mod tests {
 
     #[test]
     fn engine_dropped_jobs_are_skipped() {
-        let engine = Arc::new(CountingEngine { slow: true, ..Default::default() });
+        let engine = Arc::new(CountingEngine {
+            slow: true,
+            ..Default::default()
+        });
         let (scheduler, handle) = start(Arc::clone(&engine), 1);
         handle.submit(JobKind::Flush);
         drop(engine);
@@ -523,7 +701,10 @@ mod tests {
 
     #[test]
     fn submit_if_idle_deduplicates() {
-        let engine = Arc::new(CountingEngine { slow: true, ..Default::default() });
+        let engine = Arc::new(CountingEngine {
+            slow: true,
+            ..Default::default()
+        });
         let (scheduler, handle) = start(Arc::clone(&engine), 1);
         // Block the single worker with flushes, then try duplicate compactions.
         for _ in 0..3 {

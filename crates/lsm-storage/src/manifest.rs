@@ -11,6 +11,7 @@ use crate::coding::{put_u32, put_u64, put_varint64, Decoder};
 use crate::error::{Error, Result};
 use crate::storage::StorageRef;
 use crate::types::{SeqNo, UserKey};
+use crate::wal_segment::WalSegmentMeta;
 
 /// Magic number at the start of a manifest file.
 const MANIFEST_MAGIC: u64 = 0x4C41_5345_524D_414E; // "LASERMAN"
@@ -86,6 +87,10 @@ pub struct VersionSnapshot {
     pub last_seq: SeqNo,
     /// All live files (any level, any column group).
     pub files: Vec<FileMeta>,
+    /// Live WAL segments whose records are not yet fully flushed to SSTs.
+    /// Recovery replays exactly these (in id order); anything else on disk is
+    /// an orphan. Empty in manifests written before WAL segmentation.
+    pub wal_segments: Vec<WalSegmentMeta>,
 }
 
 impl VersionSnapshot {
@@ -98,6 +103,10 @@ impl VersionSnapshot {
         put_varint64(&mut body, self.files.len() as u64);
         for f in &self.files {
             f.encode_to(&mut body);
+        }
+        put_varint64(&mut body, self.wal_segments.len() as u64);
+        for s in &self.wal_segments {
+            s.encode_to(&mut body);
         }
         let mut out = body;
         let crc = crc32(&out);
@@ -126,7 +135,20 @@ impl VersionSnapshot {
         for _ in 0..count {
             files.push(FileMeta::decode(&mut d)?);
         }
-        Ok(VersionSnapshot { next_file_number, last_seq, files })
+        // Manifests written before WAL segmentation end here.
+        let mut wal_segments = Vec::new();
+        if !d.is_empty() {
+            let count = d.varint64()? as usize;
+            for _ in 0..count {
+                wal_segments.push(WalSegmentMeta::decode(&mut d)?);
+            }
+        }
+        Ok(VersionSnapshot {
+            next_file_number,
+            last_seq,
+            files,
+            wal_segments,
+        })
     }
 }
 
@@ -177,9 +199,37 @@ mod tests {
             next_file_number: 42,
             last_seq: 99,
             files: (1..10).map(|n| sample_file(n, (n % 4) as u32)).collect(),
+            wal_segments: vec![
+                WalSegmentMeta { id: 3, min_seq: 10 },
+                WalSegmentMeta { id: 4, min_seq: 55 },
+            ],
         };
         let enc = snap.encode();
         let dec = VersionSnapshot::decode(&enc).unwrap();
+        assert_eq!(dec, snap);
+    }
+
+    #[test]
+    fn legacy_snapshot_without_wal_segments_decodes() {
+        // Re-create the pre-segmentation encoding: body without the trailing
+        // wal-segment list, then the checksum.
+        let snap = VersionSnapshot {
+            next_file_number: 7,
+            last_seq: 20,
+            files: vec![sample_file(1, 0)],
+            wal_segments: vec![],
+        };
+        let mut body = Vec::new();
+        crate::coding::put_u64(&mut body, super::MANIFEST_MAGIC);
+        crate::coding::put_varint64(&mut body, snap.next_file_number);
+        crate::coding::put_u64(&mut body, snap.last_seq);
+        crate::coding::put_varint64(&mut body, snap.files.len() as u64);
+        for f in &snap.files {
+            f.encode_to(&mut body);
+        }
+        let crc = crate::checksum::crc32(&body);
+        crate::coding::put_u32(&mut body, crc);
+        let dec = VersionSnapshot::decode(&body).unwrap();
         assert_eq!(dec, snap);
     }
 
@@ -191,7 +241,12 @@ mod tests {
 
     #[test]
     fn corruption_rejected() {
-        let snap = VersionSnapshot { next_file_number: 1, last_seq: 2, files: vec![sample_file(1, 0)] };
+        let snap = VersionSnapshot {
+            next_file_number: 1,
+            last_seq: 2,
+            files: vec![sample_file(1, 0)],
+            ..Default::default()
+        };
         let mut enc = snap.encode();
         enc[10] ^= 0xFF;
         assert!(VersionSnapshot::decode(&enc).is_err());
@@ -207,11 +262,16 @@ mod tests {
             next_file_number: 7,
             last_seq: 123,
             files: vec![sample_file(3, 1), sample_file(4, 2)],
+            wal_segments: vec![WalSegmentMeta { id: 1, min_seq: 1 }],
         };
         write_manifest(&storage, &snap).unwrap();
         assert_eq!(read_manifest(&storage).unwrap(), snap);
         // Overwrite with a newer snapshot.
-        let snap2 = VersionSnapshot { next_file_number: 8, last_seq: 200, files: vec![] };
+        let snap2 = VersionSnapshot {
+            next_file_number: 8,
+            last_seq: 200,
+            ..Default::default()
+        };
         write_manifest(&storage, &snap2).unwrap();
         assert_eq!(read_manifest(&storage).unwrap(), snap2);
         // Temp file is not left behind.

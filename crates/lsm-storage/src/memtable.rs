@@ -86,7 +86,9 @@ impl MemTable {
         iter.seek(&InternalKey::seek_to(user_key).encode());
         let mut out = Vec::new();
         while iter.valid() {
-            let Ok(ik) = InternalKey::decode(iter.key()) else { break };
+            let Ok(ik) = InternalKey::decode(iter.key()) else {
+                break;
+            };
             if ik.user_key != user_key {
                 break;
             }
@@ -140,6 +142,18 @@ impl MemTable {
 /// Shared handle to a memtable.
 pub type MemTableRef = Arc<MemTable>;
 
+/// A frozen (immutable) memtable awaiting flush, paired with the WAL segment
+/// that holds exactly its writes. When the memtable is durably flushed to an
+/// SST, the segment is retired and its file deleted — this per-memtable
+/// pairing is what bounds recovery replay to the unflushed tail.
+#[derive(Debug, Clone)]
+pub struct FrozenMemTable {
+    /// The frozen memtable (still readable until its flush installs).
+    pub memtable: MemTableRef,
+    /// Id of the WAL segment sealed when this memtable was frozen.
+    pub wal_segment: u64,
+}
+
 /// An owning iterator over a snapshot of a memtable's contents.
 #[derive(Debug, Clone)]
 pub struct MemTableIterator {
@@ -150,7 +164,11 @@ pub struct MemTableIterator {
 
 impl MemTableIterator {
     fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
-        MemTableIterator { entries, pos: 0, valid: false }
+        MemTableIterator {
+            entries,
+            pos: 0,
+            valid: false,
+        }
     }
 }
 
@@ -229,7 +247,11 @@ mod tests {
         let kinds: Vec<_> = versions.iter().map(|(ik, _)| (ik.seq, ik.kind)).collect();
         assert_eq!(
             kinds,
-            vec![(3, ValueKind::Partial), (2, ValueKind::Partial), (1, ValueKind::Full)]
+            vec![
+                (3, ValueKind::Partial),
+                (2, ValueKind::Partial),
+                (1, ValueKind::Full)
+            ]
         );
         // At an earlier snapshot only the full row is visible.
         let versions = mt.get_versions(7, 1);

@@ -34,8 +34,14 @@ pub struct LsmOptions {
     pub sst_target_size_bytes: u64,
     /// Compaction picking policy.
     pub compaction_priority: CompactionPriority,
-    /// Whether to fsync the WAL after every write batch.
+    /// Whether acknowledged writes wait for WAL durability. Concurrent
+    /// writers coalesce into one fsync per sync window (group commit).
     pub sync_wal: bool,
+    /// Group-commit window in milliseconds, effective only with `sync_wal`:
+    /// 0 means every acknowledged write waits for an fsync covering it
+    /// (strict group commit); a positive value issues at most one fsync per
+    /// window, bounding data loss to that window.
+    pub sync_wal_interval_ms: u64,
     /// Whether compaction is triggered automatically after writes and flushes.
     /// Disable to schedule compaction manually (as the Fig. 7(e) experiment does).
     /// Ignored while a background maintenance scheduler is attached — the
@@ -67,6 +73,7 @@ impl Default for LsmOptions {
             sst_target_size_bytes: 8 << 20,
             compaction_priority: CompactionPriority::default(),
             sync_wal: false,
+            sync_wal_interval_ms: 0,
             auto_compact: true,
             block_cache_bytes: 32 << 20,
             l0_slowdown_files: 8,
@@ -90,6 +97,7 @@ impl LsmOptions {
             sst_target_size_bytes: 16 << 10,
             compaction_priority: CompactionPriority::default(),
             sync_wal: false,
+            sync_wal_interval_ms: 0,
             auto_compact: true,
             // Tests opt into caching explicitly so I/O-accounting experiments
             // keep the paper's uncached cost shapes.
@@ -103,16 +111,21 @@ impl LsmOptions {
 
     /// Capacity of level `i` in bytes.
     pub fn level_capacity_bytes(&self, level: usize) -> u64 {
-        self.level0_size_bytes.saturating_mul(self.size_ratio.saturating_pow(level as u32))
+        self.level0_size_bytes
+            .saturating_mul(self.size_ratio.saturating_pow(level as u32))
     }
 
     /// Validates option consistency.
     pub fn validate(&self) -> crate::error::Result<()> {
         if self.size_ratio < 2 {
-            return Err(crate::error::Error::invalid("size_ratio must be at least 2"));
+            return Err(crate::error::Error::invalid(
+                "size_ratio must be at least 2",
+            ));
         }
         if self.num_levels == 0 {
-            return Err(crate::error::Error::invalid("num_levels must be at least 1"));
+            return Err(crate::error::Error::invalid(
+                "num_levels must be at least 1",
+            ));
         }
         if self.memtable_size_bytes == 0 || self.level0_size_bytes == 0 {
             return Err(crate::error::Error::invalid("sizes must be non-zero"));
@@ -123,7 +136,9 @@ impl LsmOptions {
             ));
         }
         if self.max_pending_jobs == 0 {
-            return Err(crate::error::Error::invalid("max_pending_jobs must be non-zero"));
+            return Err(crate::error::Error::invalid(
+                "max_pending_jobs must be non-zero",
+            ));
         }
         Ok(())
     }
@@ -141,8 +156,11 @@ mod tests {
 
     #[test]
     fn level_capacity_grows_geometrically() {
-        let mut o =
-            LsmOptions { level0_size_bytes: 100, size_ratio: 2, ..LsmOptions::default() };
+        let mut o = LsmOptions {
+            level0_size_bytes: 100,
+            size_ratio: 2,
+            ..LsmOptions::default()
+        };
         assert_eq!(o.level_capacity_bytes(0), 100);
         assert_eq!(o.level_capacity_bytes(1), 200);
         assert_eq!(o.level_capacity_bytes(4), 1600);
@@ -152,15 +170,31 @@ mod tests {
 
     #[test]
     fn invalid_options_rejected() {
-        let o = LsmOptions { size_ratio: 1, ..LsmOptions::default() };
+        let o = LsmOptions {
+            size_ratio: 1,
+            ..LsmOptions::default()
+        };
         assert!(o.validate().is_err());
-        let o = LsmOptions { num_levels: 0, ..LsmOptions::default() };
+        let o = LsmOptions {
+            num_levels: 0,
+            ..LsmOptions::default()
+        };
         assert!(o.validate().is_err());
-        let o = LsmOptions { memtable_size_bytes: 0, ..LsmOptions::default() };
+        let o = LsmOptions {
+            memtable_size_bytes: 0,
+            ..LsmOptions::default()
+        };
         assert!(o.validate().is_err());
-        let o = LsmOptions { l0_slowdown_files: 9, l0_stall_files: 8, ..LsmOptions::default() };
+        let o = LsmOptions {
+            l0_slowdown_files: 9,
+            l0_stall_files: 8,
+            ..LsmOptions::default()
+        };
         assert!(o.validate().is_err());
-        let o = LsmOptions { max_pending_jobs: 0, ..LsmOptions::default() };
+        let o = LsmOptions {
+            max_pending_jobs: 0,
+            ..LsmOptions::default()
+        };
         assert!(o.validate().is_err());
     }
 

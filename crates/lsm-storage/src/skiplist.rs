@@ -47,7 +47,11 @@ impl Default for SkipList {
 impl SkipList {
     /// Creates an empty skiplist.
     pub fn new() -> Self {
-        let head = Node { key: Vec::new(), value: Vec::new(), next: vec![NIL; MAX_HEIGHT] };
+        let head = Node {
+            key: Vec::new(),
+            value: Vec::new(),
+            next: vec![NIL; MAX_HEIGHT],
+        };
         SkipList {
             nodes: vec![head],
             height: 1,
@@ -123,7 +127,11 @@ impl SkipList {
             *slot = self.nodes[prev[level] as usize].next[level];
         }
         self.approximate_bytes += key.len() + value.len() + std::mem::size_of::<Node>();
-        self.nodes.push(Node { key: key.to_vec(), value: value.to_vec(), next });
+        self.nodes.push(Node {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            next,
+        });
         for (level, &p) in prev.iter().enumerate().take(height) {
             self.nodes[p as usize].next[level] = new_idx;
         }
@@ -162,7 +170,10 @@ impl SkipList {
 
     /// Creates a cursor positioned before the first entry.
     pub fn iter(&self) -> SkipListIter<'_> {
-        SkipListIter { list: self, current: NIL }
+        SkipListIter {
+            list: self,
+            current: NIL,
+        }
     }
 
     /// Drains the list into a sorted vector of owned pairs.
@@ -279,7 +290,9 @@ mod tests {
         // Insert keys in a scrambled but deterministic order.
         let mut k = 1u64;
         for _ in 0..5_000 {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (k % 1_000_000).to_be_bytes().to_vec();
             if model.contains_key(&key) {
                 continue;

@@ -49,7 +49,10 @@ impl BlockHandle {
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self> {
-        Ok(BlockHandle { offset: d.u64()?, size: d.u64()? })
+        Ok(BlockHandle {
+            offset: d.u64()?,
+            size: d.u64()?,
+        })
     }
 }
 
@@ -197,7 +200,9 @@ impl TableBuilder {
     /// added in strictly increasing encoded-key order.
     pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         if !self.last_key.is_empty() && key <= self.last_key.as_slice() {
-            return Err(Error::invalid("sst entries must be added in increasing key order"));
+            return Err(Error::invalid(
+                "sst entries must be added in increasing key order",
+            ));
         }
         let decoded = InternalKey::decode(key)?;
         let user_key = decoded.user_key;
@@ -243,7 +248,10 @@ impl TableBuilder {
     }
 
     fn write_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
-        let handle = BlockHandle { offset: self.offset, size: contents.len() as u64 };
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: contents.len() as u64,
+        };
         let mut trailer = Vec::with_capacity(4);
         put_u32(&mut trailer, crc32(contents));
         self.file.append(contents)?;
@@ -667,17 +675,25 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![(1, b"one".to_vec()), (2, b"two".to_vec()), (3, b"three".to_vec())]
+            vec![
+                (1, b"one".to_vec()),
+                (2, b"two".to_vec()),
+                (3, b"three".to_vec())
+            ]
         );
     }
 
     #[test]
     fn multi_block_table_roundtrip() {
         let value = vec![7u8; 100];
-        let entries: Vec<(u64, u64, ValueKind, &[u8])> =
-            (0..2000u64).map(|i| (i, 1, ValueKind::Full, value.as_slice())).collect();
+        let entries: Vec<(u64, u64, ValueKind, &[u8])> = (0..2000u64)
+            .map(|i| (i, 1, ValueKind::Full, value.as_slice()))
+            .collect();
         let (_s, table) = make_table(&entries);
-        assert!(table.properties().num_data_blocks > 10, "expected many data blocks");
+        assert!(
+            table.properties().num_data_blocks > 10,
+            "expected many data blocks"
+        );
         let mut it = table.iter();
         it.seek_to_first().unwrap();
         let mut count = 0u64;
@@ -693,8 +709,9 @@ mod tests {
     #[test]
     fn seek_lands_on_correct_entry() {
         let value = vec![1u8; 64];
-        let entries: Vec<(u64, u64, ValueKind, &[u8])> =
-            (0..1000u64).map(|i| (i * 3, 1, ValueKind::Full, value.as_slice())).collect();
+        let entries: Vec<(u64, u64, ValueKind, &[u8])> = (0..1000u64)
+            .map(|i| (i * 3, 1, ValueKind::Full, value.as_slice()))
+            .collect();
         let (_s, table) = make_table(&entries);
         let mut it = table.iter();
         // Exact hit.
@@ -742,11 +759,15 @@ mod tests {
 
     #[test]
     fn bloom_filter_skips_absent_keys() {
-        let entries: Vec<(u64, u64, ValueKind, &[u8])> =
-            (0..100u64).map(|i| (i * 2, 1, ValueKind::Full, &b"v"[..])).collect();
+        let entries: Vec<(u64, u64, ValueKind, &[u8])> = (0..100u64)
+            .map(|i| (i * 2, 1, ValueKind::Full, &b"v"[..]))
+            .collect();
         let (_s, table) = make_table(&entries);
         assert!(table.may_contain(50));
-        assert!(!table.may_contain(1_000_000), "out of range must be excluded");
+        assert!(
+            !table.may_contain(1_000_000),
+            "out of range must be excluded"
+        );
         // Odd keys inside the range: mostly excluded by the bloom filter.
         let mut excluded = 0;
         for i in 0..100u64 {
@@ -754,7 +775,10 @@ mod tests {
                 excluded += 1;
             }
         }
-        assert!(excluded > 90, "bloom filter should exclude most absent keys, excluded {excluded}");
+        assert!(
+            excluded > 90,
+            "bloom filter should exclude most absent keys, excluded {excluded}"
+        );
     }
 
     #[test]
@@ -786,7 +810,10 @@ mod tests {
             let mut builder = TableBuilder::new(file, TableOptions::default());
             for i in 0..100u64 {
                 builder
-                    .add(&InternalKey::new(i, 1, ValueKind::Full).encode(), &[0u8; 32])
+                    .add(
+                        &InternalKey::new(i, 1, ValueKind::Full).encode(),
+                        &[0u8; 32],
+                    )
                     .unwrap();
             }
             builder.finish().unwrap();
@@ -806,8 +833,10 @@ mod tests {
 
     #[test]
     fn overlap_checks() {
-        let entries: Vec<(u64, u64, ValueKind, &[u8])> =
-            vec![(10, 1, ValueKind::Full, b"a"), (20, 1, ValueKind::Full, b"b")];
+        let entries: Vec<(u64, u64, ValueKind, &[u8])> = vec![
+            (10, 1, ValueKind::Full, b"a"),
+            (20, 1, ValueKind::Full, b"b"),
+        ];
         let (_s, table) = make_table(&entries);
         assert!(table.overlaps(15, 25));
         assert!(table.overlaps(0, 10));

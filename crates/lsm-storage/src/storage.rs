@@ -206,7 +206,10 @@ impl Default for MemStorage {
 impl MemStorage {
     /// Creates an empty in-memory backend.
     pub fn new() -> Self {
-        MemStorage { inner: RwLock::new(MemInner::default()), stats: Arc::new(IoStats::default()) }
+        MemStorage {
+            inner: RwLock::new(MemInner::default()),
+            stats: Arc::new(IoStats::default()),
+        }
     }
 
     /// Creates an empty backend wrapped in an [`Arc`] for sharing.
@@ -265,8 +268,14 @@ impl RandomAccessFile for MemReadable {
 impl Storage for MemStorage {
     fn create(&self, name: &str) -> Result<Box<dyn WritableFile>> {
         let buf = Arc::new(RwLock::new(Vec::new()));
-        self.inner.write().files.insert(name.to_string(), Arc::clone(&buf));
-        Ok(Box::new(MemWritable { buf, stats: Arc::clone(&self.stats) }))
+        self.inner
+            .write()
+            .files
+            .insert(name.to_string(), Arc::clone(&buf));
+        Ok(Box::new(MemWritable {
+            buf,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
@@ -276,7 +285,10 @@ impl Storage for MemStorage {
             .get(name)
             .cloned()
             .ok_or_else(|| Error::not_found(format!("file {name}")))?;
-        Ok(Box::new(MemReadable { buf, stats: Arc::clone(&self.stats) }))
+        Ok(Box::new(MemReadable {
+            buf,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn delete(&self, name: &str) -> Result<()> {
@@ -326,7 +338,10 @@ impl FileStorage {
     pub fn open_dir(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(FileStorage { root, stats: Arc::new(IoStats::default()) })
+        Ok(FileStorage {
+            root,
+            stats: Arc::new(IoStats::default()),
+        })
     }
 
     /// Opens a file storage wrapped in an [`Arc`].
@@ -400,20 +415,27 @@ impl Storage for FileStorage {
             .write(true)
             .truncate(true)
             .open(self.path(name))?;
-        Ok(Box::new(FileWritable { file, len: 0, stats: Arc::clone(&self.stats) }))
+        Ok(Box::new(FileWritable {
+            file,
+            len: 0,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
         let path = self.path(name);
-        let file = std::fs::File::open(&path)
-            .map_err(|_| Error::not_found(format!("file {name}")))?;
+        let file =
+            std::fs::File::open(&path).map_err(|_| Error::not_found(format!("file {name}")))?;
         let len = file.metadata()?.len();
-        Ok(Box::new(FileReadable { file: Mutex::new(file), len, stats: Arc::clone(&self.stats) }))
+        Ok(Box::new(FileReadable {
+            file: Mutex::new(file),
+            len,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        std::fs::remove_file(self.path(name))
-            .map_err(|_| Error::not_found(format!("file {name}")))
+        std::fs::remove_file(self.path(name)).map_err(|_| Error::not_found(format!("file {name}")))
     }
 
     fn exists(&self, name: &str) -> bool {
@@ -667,9 +689,15 @@ mod tests {
         let storage = FaultInjectingStorage::new(MemStorage::new_ref());
         let mut f = storage.create("f").unwrap();
         f.append(b"ok").unwrap();
-        storage.set_config(FaultConfig { fail_append: true, ..Default::default() });
+        storage.set_config(FaultConfig {
+            fail_append: true,
+            ..Default::default()
+        });
         assert!(matches!(f.append(b"no"), Err(Error::StorageFault(_))));
-        storage.set_config(FaultConfig { fail_read: true, ..Default::default() });
+        storage.set_config(FaultConfig {
+            fail_read: true,
+            ..Default::default()
+        });
         let r = storage.open("f").unwrap();
         assert!(r.read_at(0, 2).is_err());
         storage.set_config(FaultConfig::default());
@@ -679,7 +707,10 @@ mod tests {
     #[test]
     fn fault_injection_fail_after_n_appends() {
         let storage = FaultInjectingStorage::new(MemStorage::new_ref());
-        storage.set_config(FaultConfig { fail_after_appends: 2, ..Default::default() });
+        storage.set_config(FaultConfig {
+            fail_after_appends: 2,
+            ..Default::default()
+        });
         let mut f = storage.create("f").unwrap();
         assert!(f.append(b"1").is_ok());
         assert!(f.append(b"2").is_ok());
@@ -689,7 +720,10 @@ mod tests {
     #[test]
     fn fault_injection_create() {
         let storage = FaultInjectingStorage::new(MemStorage::new_ref());
-        storage.set_config(FaultConfig { fail_create: true, ..Default::default() });
+        storage.set_config(FaultConfig {
+            fail_create: true,
+            ..Default::default()
+        });
         assert!(storage.create("x").is_err());
     }
 }

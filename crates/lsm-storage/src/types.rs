@@ -72,7 +72,11 @@ pub struct InternalKey {
 impl InternalKey {
     /// Creates a new internal key.
     pub fn new(user_key: UserKey, seq: SeqNo, kind: ValueKind) -> Self {
-        InternalKey { user_key, seq, kind }
+        InternalKey {
+            user_key,
+            seq,
+            kind,
+        }
     }
 
     /// The largest internal key for `user_key` (sorts before all real versions
@@ -157,17 +161,29 @@ pub struct WriteEntry {
 impl WriteEntry {
     /// Creates a full-row write.
     pub fn put(user_key: UserKey, value: Vec<u8>) -> Self {
-        WriteEntry { user_key, kind: ValueKind::Full, value }
+        WriteEntry {
+            user_key,
+            kind: ValueKind::Full,
+            value,
+        }
     }
 
     /// Creates a partial-row write (column update).
     pub fn partial(user_key: UserKey, value: Vec<u8>) -> Self {
-        WriteEntry { user_key, kind: ValueKind::Partial, value }
+        WriteEntry {
+            user_key,
+            kind: ValueKind::Partial,
+            value,
+        }
     }
 
     /// Creates a tombstone.
     pub fn delete(user_key: UserKey) -> Self {
-        WriteEntry { user_key, kind: ValueKind::Tombstone, value: Vec::new() }
+        WriteEntry {
+            user_key,
+            kind: ValueKind::Tombstone,
+            value: Vec::new(),
+        }
     }
 }
 
@@ -253,7 +269,11 @@ impl WriteBatch {
             let kind = ValueKind::from_u8(d.u8()?)?;
             let user_key = d.u64()?;
             let value = d.length_prefixed()?.to_vec();
-            entries.push(WriteEntry { user_key, kind, value });
+            entries.push(WriteEntry {
+                user_key,
+                kind,
+                value,
+            });
         }
         if !d.is_empty() {
             return Err(Error::corruption("trailing bytes after write batch"));

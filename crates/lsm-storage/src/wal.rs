@@ -1,9 +1,14 @@
-//! Write-ahead log.
+//! Write-ahead log record format: the writer/reader for one log file.
 //!
 //! Every write batch is appended to the WAL before it is applied to the
 //! memtable, so the memtable can be rebuilt after a crash (Section 2.1 of the
 //! paper: "New records are inserted into the most recent skiplist and into a
 //! write-ahead-log for durability").
+//!
+//! This module owns the *record format* and per-file append/replay; the
+//! engines drive it through [`crate::wal_segment::SegmentedWal`], which
+//! manages the segment lifecycle (one segment per memtable, group commit,
+//! manifest-tracked GC) on top of these primitives.
 //!
 //! Record format:
 //! ```text
@@ -33,7 +38,11 @@ pub struct WalWriter {
 impl WalWriter {
     /// Creates a new WAL file with the given name.
     pub fn create(storage: &StorageRef, name: &str, sync_on_write: bool) -> Result<Self> {
-        Ok(WalWriter { file: storage.create(name)?, sync_on_write, records_written: 0 })
+        Ok(WalWriter {
+            file: storage.create(name)?,
+            sync_on_write,
+            records_written: 0,
+        })
     }
 
     /// Appends a batch whose first entry has sequence number `start_seq`.
@@ -194,7 +203,10 @@ mod tests {
         let mut f = storage.create("wal-corrupt").unwrap();
         f.append(&full).unwrap();
         let (records, clean) = recover(&storage, "wal-corrupt").unwrap();
-        assert!(records.is_empty(), "corruption in the first record discards everything after it");
+        assert!(
+            records.is_empty(),
+            "corruption in the first record discards everything after it"
+        );
         assert!(!clean);
     }
 

@@ -21,18 +21,27 @@ pub struct KeyAgeDistribution {
 impl KeyAgeDistribution {
     /// The paper's Q2a pattern: mean 0.98, σ 0.02.
     pub fn q2a() -> Self {
-        KeyAgeDistribution { mean: 0.98, std_dev: 0.02 }
+        KeyAgeDistribution {
+            mean: 0.98,
+            std_dev: 0.02,
+        }
     }
 
     /// The paper's Q2b pattern: mean 0.85, σ 0.02.
     pub fn q2b() -> Self {
-        KeyAgeDistribution { mean: 0.85, std_dev: 0.02 }
+        KeyAgeDistribution {
+            mean: 0.85,
+            std_dev: 0.02,
+        }
     }
 
     /// Applies a vertical shift (Figure 10a): the mean moves toward older
     /// data by `offset`.
     pub fn shifted(self, offset: f64) -> Self {
-        KeyAgeDistribution { mean: (self.mean - offset).clamp(0.0, 1.0), std_dev: self.std_dev }
+        KeyAgeDistribution {
+            mean: (self.mean - offset).clamp(0.0, 1.0),
+            std_dev: self.std_dev,
+        }
     }
 
     /// Samples a recency rank in `[0, 1]` using the Box–Muller transform,
@@ -88,8 +97,14 @@ mod tests {
     #[test]
     fn q2b_targets_older_keys_than_q2a() {
         let mut rng = StdRng::seed_from_u64(9);
-        let a: f64 = (0..5000).map(|_| KeyAgeDistribution::q2a().sample_rank(&mut rng)).sum::<f64>() / 5000.0;
-        let b: f64 = (0..5000).map(|_| KeyAgeDistribution::q2b().sample_rank(&mut rng)).sum::<f64>() / 5000.0;
+        let a: f64 = (0..5000)
+            .map(|_| KeyAgeDistribution::q2a().sample_rank(&mut rng))
+            .sum::<f64>()
+            / 5000.0;
+        let b: f64 = (0..5000)
+            .map(|_| KeyAgeDistribution::q2b().sample_rank(&mut rng))
+            .sum::<f64>()
+            / 5000.0;
         assert!(b < a);
     }
 

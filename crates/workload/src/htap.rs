@@ -165,8 +165,12 @@ impl HtapWorkloadSpec {
     /// The recency distribution used by `query` under the current vertical shift.
     pub fn key_distribution_for(&self, query: HwQuery) -> Option<KeyAgeDistribution> {
         match query {
-            HwQuery::Q2a => Some(KeyAgeDistribution::q2a().shifted(self.shift.vertical_read_offset)),
-            HwQuery::Q2b => Some(KeyAgeDistribution::q2b().shifted(self.shift.vertical_read_offset)),
+            HwQuery::Q2a => {
+                Some(KeyAgeDistribution::q2a().shifted(self.shift.vertical_read_offset))
+            }
+            HwQuery::Q2b => {
+                Some(KeyAgeDistribution::q2b().shifted(self.shift.vertical_read_offset))
+            }
             _ => None,
         }
     }
@@ -175,7 +179,10 @@ impl HtapWorkloadSpec {
     pub fn generate_load(&self) -> OperationStream {
         let mut stream = OperationStream::new();
         for key in 0..self.load_keys {
-            stream.push(Operation::Insert { key, base: key as i64 % 1000 });
+            stream.push(Operation::Insert {
+                key,
+                base: key as i64 % 1000,
+            });
         }
         stream
     }
@@ -200,19 +207,28 @@ impl HtapWorkloadSpec {
         let mut emitted_updates = 0u64;
         for i in 0..inserts {
             let key = start_key + i;
-            stream.push(Operation::Insert { key, base: key as i64 % 1000 });
+            stream.push(Operation::Insert {
+                key,
+                base: key as i64 % 1000,
+            });
             let keys_so_far = key + 1;
 
             let target_q2a = self.q2a_count * (i + 1) / inserts;
             while emitted_q2a < target_q2a {
                 let k = q2a_dist.sample_key(rng, keys_so_far);
-                stream.push(Operation::PointRead { key: k, projection: q2a_proj.clone() });
+                stream.push(Operation::PointRead {
+                    key: k,
+                    projection: q2a_proj.clone(),
+                });
                 emitted_q2a += 1;
             }
             let target_q2b = self.q2b_count * (i + 1) / inserts;
             while emitted_q2b < target_q2b {
                 let k = q2b_dist.sample_key(rng, keys_so_far);
-                stream.push(Operation::PointRead { key: k, projection: q2b_proj.clone() });
+                stream.push(Operation::PointRead {
+                    key: k,
+                    projection: q2b_proj.clone(),
+                });
                 emitted_q2b += 1;
             }
             let target_updates = updates_total * (i + 1) / inserts;
@@ -314,7 +330,10 @@ mod tests {
 
     #[test]
     fn paper_projections_on_narrow_table() {
-        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let spec = HtapWorkloadSpec {
+            num_columns: 30,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         assert_eq!(spec.projection_for(HwQuery::Q2a).len(), 30);
         // Q2b: columns 16-30.
         let q2b = spec.projection_for(HwQuery::Q2b);
@@ -332,7 +351,10 @@ mod tests {
 
     #[test]
     fn horizontal_shift_moves_q5_projection_left() {
-        let base = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let base = HtapWorkloadSpec {
+            num_columns: 30,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         let shifted = base.clone().with_shift(WorkloadShift {
             horizontal_projection_offset: 2,
             ..Default::default()
@@ -341,15 +363,20 @@ mod tests {
         let q5 = shifted.projection_for(HwQuery::Q5);
         assert!(q5.contains(25) && q5.contains(27) && !q5.contains(29));
         // Offset 14 -> columns 14-16, spanning two of D-opt's CGs.
-        let far = base.with_shift(WorkloadShift { horizontal_projection_offset: 14, ..Default::default() });
+        let far = base.with_shift(WorkloadShift {
+            horizontal_projection_offset: 14,
+            ..Default::default()
+        });
         let q5 = far.projection_for(HwQuery::Q5);
         assert!(q5.contains(13) && q5.contains(15));
     }
 
     #[test]
     fn vertical_shift_moves_read_distribution() {
-        let spec = HtapWorkloadSpec::scaled_down()
-            .with_shift(WorkloadShift { vertical_read_offset: 0.1, ..Default::default() });
+        let spec = HtapWorkloadSpec::scaled_down().with_shift(WorkloadShift {
+            vertical_read_offset: 0.1,
+            ..Default::default()
+        });
         let d = spec.key_distribution_for(HwQuery::Q2a).unwrap();
         assert!((d.mean - 0.88).abs() < 1e-12);
         let d = spec.key_distribution_for(HwQuery::Q2b).unwrap();
@@ -367,8 +394,14 @@ mod tests {
         let counts = steady.counts();
         let get = |k: OperationKind| counts.iter().find(|(kk, _)| *kk == k).unwrap().1;
         assert_eq!(get(OperationKind::Insert) as u64, spec.steady_inserts);
-        assert_eq!(get(OperationKind::PointRead) as u64, spec.q2a_count + spec.q2b_count);
-        assert_eq!(get(OperationKind::Scan) as u64, spec.q4_count + spec.q5_count);
+        assert_eq!(
+            get(OperationKind::PointRead) as u64,
+            spec.q2a_count + spec.q2b_count
+        );
+        assert_eq!(
+            get(OperationKind::Scan) as u64,
+            spec.q4_count + spec.q5_count
+        );
         let expected_updates = ((spec.steady_inserts as f64) * spec.update_ratio).round() as usize;
         assert_eq!(get(OperationKind::Update), expected_updates);
         // Scans come at the end.

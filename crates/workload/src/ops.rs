@@ -115,7 +115,13 @@ impl OperationStream {
     /// Counts operations by kind.
     pub fn counts(&self) -> Vec<(OperationKind, usize)> {
         use OperationKind::*;
-        let mut counts = vec![(Insert, 0), (PointRead, 0), (Update, 0), (Scan, 0), (Delete, 0)];
+        let mut counts = vec![
+            (Insert, 0),
+            (PointRead, 0),
+            (Update, 0),
+            (Scan, 0),
+            (Delete, 0),
+        ];
         for op in &self.operations {
             let kind = op.kind();
             if let Some(entry) = counts.iter_mut().find(|(k, _)| *k == kind) {
@@ -138,9 +144,19 @@ mod tests {
     #[test]
     fn kinds_and_projections() {
         let insert = Operation::Insert { key: 1, base: 0 };
-        let read = Operation::PointRead { key: 1, projection: Projection::of([0, 1]) };
-        let update = Operation::Update { key: 1, values: vec![(3, Value::Int(9))] };
-        let scan = Operation::Scan { lo: 0, hi: 10, projection: Projection::of([5]) };
+        let read = Operation::PointRead {
+            key: 1,
+            projection: Projection::of([0, 1]),
+        };
+        let update = Operation::Update {
+            key: 1,
+            values: vec![(3, Value::Int(9))],
+        };
+        let scan = Operation::Scan {
+            lo: 0,
+            hi: 10,
+            projection: Projection::of([5]),
+        };
         let delete = Operation::Delete { key: 1 };
         assert_eq!(insert.kind(), OperationKind::Insert);
         assert_eq!(read.kind(), OperationKind::PointRead);
@@ -160,7 +176,11 @@ mod tests {
         assert!(stream.is_empty());
         stream.push(Operation::Insert { key: 1, base: 0 });
         stream.push(Operation::Insert { key: 2, base: 0 });
-        stream.push(Operation::Scan { lo: 0, hi: 5, projection: Projection::of([0]) });
+        stream.push(Operation::Scan {
+            lo: 0,
+            hi: 5,
+            projection: Projection::of([0]),
+        });
         assert_eq!(stream.len(), 3);
         let counts = stream.counts();
         assert!(counts.contains(&(OperationKind::Insert, 2)));

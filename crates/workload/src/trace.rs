@@ -103,12 +103,12 @@ pub fn build_workload_trace(
         }
         // Updates target recent keys: attribute them to the recency range of
         // the newest 1% of keys.
-        let update_share =
-            (hi.min(1.0) - lo.max(0.99)).max(0.0) / 0.01;
+        let update_share = (hi.min(1.0) - lo.max(0.99)).max(0.0) / 0.01;
         let updates_here = (updates_total as f64 * update_share).round() as u64;
         if updates_here > 0 {
             // Q3 updates one arbitrary column; model as a single-column projection.
-            wl.updates.push((laser_core::Projection::of([0]), updates_here));
+            wl.updates
+                .push((laser_core::Projection::of([0]), updates_here));
         }
     }
     trace
@@ -134,7 +134,10 @@ mod tests {
     fn population_fractions_sum_to_one_and_grow() {
         let f = level_population_fractions(5, 2.0);
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(f.windows(2).all(|w| w[1] > w[0]), "deeper levels hold more data");
+        assert!(
+            f.windows(2).all(|w| w[1] > w[0]),
+            "deeper levels hold more data"
+        );
         let ranges = level_recency_ranges(5, 2.0);
         assert!((ranges[0].1 - 1.0).abs() < 1e-9);
         assert!(ranges[4].0.abs() < 1e-9);
@@ -146,7 +149,10 @@ mod tests {
 
     #[test]
     fn trace_attributes_reads_to_top_levels_and_scans_to_all() {
-        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let spec = HtapWorkloadSpec {
+            num_columns: 30,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         let params = TreeParameters {
             num_entries: spec.total_keys(),
             size_ratio: 2,
@@ -186,7 +192,10 @@ mod tests {
     fn advisor_on_hw_trace_produces_lifecycle_design() {
         // End-to-end: the HW trace should produce a design that is
         // row-oriented near the top and finer near the bottom (Figure 9(b) shape).
-        let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+        let spec = HtapWorkloadSpec {
+            num_columns: 30,
+            ..HtapWorkloadSpec::scaled_down()
+        };
         let params = TreeParameters {
             num_entries: spec.total_keys(),
             size_ratio: 2,
@@ -199,12 +208,21 @@ mod tests {
         let design = laser_advisor::select_design(
             &schema,
             &trace,
-            &laser_advisor::AdvisorOptions { num_levels: 8, design_name: "D-opt-repro".into() },
+            &laser_advisor::AdvisorOptions {
+                num_levels: 8,
+                design_name: "D-opt-repro".into(),
+            },
         )
         .unwrap();
         let groups = design.groups_per_level();
         assert_eq!(groups[0], 1);
-        assert!(groups[7] > groups[1], "deeper levels should be finer: {groups:?}");
-        assert!(groups.windows(2).all(|w| w[1] >= w[0]), "monotone refinement: {groups:?}");
+        assert!(
+            groups[7] > groups[1],
+            "deeper levels should be finer: {groups:?}"
+        );
+        assert!(
+            groups.windows(2).all(|w| w[1] >= w[0]),
+            "monotone refinement: {groups:?}"
+        );
     }
 }

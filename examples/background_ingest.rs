@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // scheduler joins them on drop.
     let scheduler = db.attach_maintenance(2)?;
 
-    println!("ingesting {} rows from {WRITERS} writer threads...", WRITERS * KEYS_PER_WRITER);
+    println!(
+        "ingesting {} rows from {WRITERS} writer threads...",
+        WRITERS * KEYS_PER_WRITER
+    );
     let start = Instant::now();
     let mut handles = Vec::new();
     for w in 0..WRITERS {

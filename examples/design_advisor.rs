@@ -31,9 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = select_design(
         &schema,
         &trace,
-        &AdvisorOptions { num_levels, design_name: "D-opt (advisor)".into() },
+        &AdvisorOptions {
+            num_levels,
+            design_name: "D-opt (advisor)".into(),
+        },
     )?;
-    println!("== selected design (took {:?}) ==\n{design}", start.elapsed());
+    println!(
+        "== selected design (took {:?}) ==\n{design}",
+        start.elapsed()
+    );
 
     // Compare analytic costs against the extremes for the workload's key projections.
     let row = LayoutSpec::row_store(&schema, num_levels);
@@ -46,9 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "analytic cost", "row-store", "selected", "column-store"
     );
     for (label, f) in [
-        ("write amplification", Box::new(|m: &CostModel| m.insert_amplification()) as Box<dyn Fn(&CostModel) -> f64>),
-        ("point read (Q2b)", Box::new(move |m: &CostModel| m.point_lookup_cost(&q2b))),
-        ("scan (Q5, 50%)", Box::new(move |m: &CostModel| m.range_query_cost(&q5, selectivity))),
+        (
+            "write amplification",
+            Box::new(|m: &CostModel| m.insert_amplification()) as Box<dyn Fn(&CostModel) -> f64>,
+        ),
+        (
+            "point read (Q2b)",
+            Box::new(move |m: &CostModel| m.point_lookup_cost(&q2b)),
+        ),
+        (
+            "scan (Q5, 50%)",
+            Box::new(move |m: &CostModel| m.range_query_cost(&q5, selectivity)),
+        ),
     ] {
         let costs: Vec<f64> = [&row, &design, &col]
             .iter()

@@ -23,7 +23,10 @@ fn build(design: LayoutSpec) -> LaserDb {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = Schema::narrow();
-    let spec = HtapWorkloadSpec { load_keys: 4_000, ..HtapWorkloadSpec::scaled_down() };
+    let spec = HtapWorkloadSpec {
+        load_keys: 4_000,
+        ..HtapWorkloadSpec::scaled_down()
+    };
     let designs = vec![
         LayoutSpec::row_store(&schema, 8),
         LayoutSpec::column_store(&schema, 8),

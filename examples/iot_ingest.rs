@@ -51,11 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             db.update(reading, vec![(6, Value::Int(-1))])?;
         }
         // Alerting: check the freshest readings' full status.
-        let fresh = db.read(4_999, &Projection::all(db.schema()))?.expect("latest reading");
+        let fresh = db
+            .read(4_999, &Projection::all(db.schema()))?
+            .expect("latest reading");
         println!("latest reading status a1 = {:?}", fresh.get(0));
         // Roll-up: average of metric a12 over the full history.
         let rows = db.scan(0, 4_999, &Projection::of([11]))?;
-        let avg: f64 = rows.iter().filter_map(|(_, r)| r.get(11)?.as_int()).sum::<i64>() as f64
+        let avg: f64 = rows
+            .iter()
+            .filter_map(|(_, r)| r.get(11)?.as_int())
+            .sum::<i64>() as f64
             / rows.len().max(1) as f64;
         println!("avg(a12) over {} readings = {avg:.2}", rows.len());
         db.close()?;
@@ -63,10 +68,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Re-open from the same directory: manifest + WAL recovery.
     let db = LaserDb::open(storage, options)?;
-    let corrected = db.read(4_010, &Projection::of([6]))?.expect("corrected reading");
+    let corrected = db
+        .read(4_010, &Projection::of([6]))?
+        .expect("corrected reading");
     assert_eq!(corrected.get(6), Some(&Value::Int(-1)));
-    println!("after re-open, correction for reading 4010 is still visible: {:?}", corrected.get(6));
-    println!("files on disk: {}", db.level_files().iter().map(|l| l.len()).sum::<usize>());
+    println!(
+        "after re-open, correction for reading 4010 is still visible: {:?}",
+        corrected.get(6)
+    );
+    println!(
+        "files on disk: {}",
+        db.level_files().iter().map(|l| l.len()).sum::<usize>()
+    );
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

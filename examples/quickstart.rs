@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.update(42, vec![(3, Value::Int(-999))])?;
 
     // Point read with a projection: only columns a1 and a4 are fetched.
-    let row = db.read(42, &Projection::of([0, 3]))?.expect("key 42 exists");
+    let row = db
+        .read(42, &Projection::of([0, 3]))?
+        .expect("key 42 exists");
     println!("key 42 -> a1 = {:?}, a4 = {:?}", row.get(0), row.get(3));
     assert_eq!(row.get(3), Some(&Value::Int(-999)));
 

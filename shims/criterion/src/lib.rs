@@ -20,12 +20,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id `<name>/<parameter>`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Creates an id from a parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -222,7 +226,11 @@ impl Bencher {
         }
         let total: f64 = self.samples.iter().map(|d| d.as_secs_f64()).sum();
         let mean = total / self.samples.len() as f64;
-        let min = self.samples.iter().map(|d| d.as_secs_f64()).fold(f64::MAX, f64::min);
+        let min = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(f64::MAX, f64::min);
         println!(
             "{label:<40} mean {:>12} min {:>12} ({} samples)",
             format_time(mean),
@@ -294,9 +302,7 @@ mod tests {
                 count
             })
         });
-        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| b.iter(|| n * 2));
         group.finish();
         assert!(count > 0);
     }

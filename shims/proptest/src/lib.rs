@@ -29,7 +29,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, seed: 0x1A5E_12F0_0D5E_ED00 }
+        ProptestConfig {
+            cases: 64,
+            seed: 0x1A5E_12F0_0D5E_ED00,
+        }
     }
 }
 
@@ -314,7 +317,10 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = ProptestConfig { cases: 3, ..ProptestConfig::default() };
+        let cfg = ProptestConfig {
+            cases: 3,
+            ..ProptestConfig::default()
+        };
         let mut first: Vec<u8> = Vec::new();
         crate::run_cases(&cfg, |rng, _| first.push(any::<u8>().generate(rng)));
         let mut second: Vec<u8> = Vec::new();

@@ -49,8 +49,15 @@ fn concurrent_writers_with_background_compaction_preserve_all_keys() {
     }
     let stats = db.stats();
     assert!(stats.flushes > 0, "background flushes should have run");
-    assert!(stats.bg_jobs_completed > 0, "background jobs should have completed");
-    assert_eq!(stats.bg_jobs_failed, 0, "no background job may fail: {:?}", stats);
+    assert!(
+        stats.bg_jobs_completed > 0,
+        "background jobs should have completed"
+    );
+    assert_eq!(
+        stats.bg_jobs_failed, 0,
+        "no background job may fail: {:?}",
+        stats
+    );
 }
 
 #[test]
@@ -144,11 +151,17 @@ fn laser_concurrent_ingest_with_background_cg_compaction() {
             .unwrap()
             .unwrap_or_else(|| panic!("key {key} lost under background CG compaction"));
         assert_eq!(row.get(0), Some(&Value::Int(key as i64 + 1)));
-        assert_eq!(row.get(COLS - 1), Some(&Value::Int(key as i64 + COLS as i64)));
+        assert_eq!(
+            row.get(COLS - 1),
+            Some(&Value::Int(key as i64 + COLS as i64))
+        );
     }
     let stats = db.stats();
     assert!(stats.flushes > 0);
-    assert!(stats.compactions > 0, "CG-local compactions should have run in background");
+    assert!(
+        stats.compactions > 0,
+        "CG-local compactions should have run in background"
+    );
     assert!(stats.bg_jobs_completed > 0);
     assert_eq!(stats.bg_jobs_failed, 0);
 }

@@ -2,7 +2,6 @@
 //! real engine reads, capacity eviction, and — critically — read-after-
 //! compaction correctness (blocks of replaced SSTs must never be served).
 
-
 use laser::lsm_storage::{BlockCache, LsmDb, LsmOptions};
 use laser::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema, Value};
 
@@ -45,7 +44,11 @@ fn tiny_cache_evicts_but_stays_correct() {
     db.compact_until_stable().unwrap();
     for round in 0..2 {
         for key in (0..2_000u64).step_by(37) {
-            assert_eq!(db.get(key).unwrap(), Some(vec![9u8; 48]), "round {round} key {key}");
+            assert_eq!(
+                db.get(key).unwrap(),
+                Some(vec![9u8; 48]),
+                "round {round} key {key}"
+            );
         }
     }
     let cache = db.block_cache().unwrap();
@@ -67,7 +70,10 @@ fn read_after_compaction_never_serves_stale_blocks() {
     }
     db.flush().unwrap();
     for key in 0..800u64 {
-        assert_eq!(db.get(key).unwrap(), Some(format!("old-{key}").into_bytes()));
+        assert_eq!(
+            db.get(key).unwrap(),
+            Some(format!("old-{key}").into_bytes())
+        );
     }
     // Round 2: overwrite every key, then compact — the round-1 SSTs are
     // deleted and replaced. Their cached blocks must die with them.
@@ -131,7 +137,10 @@ fn laser_engine_reads_through_the_cache() {
         }
     }
     let stats = db.stats();
-    assert!(stats.cache_hits > 0, "projection reads must hit the cache: {stats:?}");
+    assert!(
+        stats.cache_hits > 0,
+        "projection reads must hit the cache: {stats:?}"
+    );
     assert!(stats.cache_hit_rate() > 0.0);
 }
 

@@ -1,0 +1,542 @@
+//! Crash-recovery harness for the segmented WAL durability subsystem.
+//!
+//! Each scenario "kills" the engine at an injected point — mid-append (a torn
+//! or failed WAL write), post-freeze pre-flush (sealed segments still live),
+//! or mid-flush (the SST build dies half-way) — then reopens the same storage
+//! and asserts that the recovered contents equal **exactly** the acknowledged
+//! writes: every write that returned `Ok` is present, every write that
+//! errored (and therefore was never acknowledged) is absent.
+//!
+//! The bounded-replay test is the headline property: recovery replays only
+//! the live WAL segments, so the replayed-record count stays flat while total
+//! ingest grows 10x.
+
+use std::sync::Arc;
+
+use laser::lsm_storage::storage::{FaultConfig, FaultInjectingStorage, MemStorage, StorageRef};
+use laser::lsm_storage::wal_segment::{parse_segment_file_name, segment_file_name};
+use laser::lsm_storage::{LsmDb, LsmOptions};
+use laser::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema, Value};
+
+/// Options for a durably-acknowledging engine: every `Ok` put means the WAL
+/// record is fsynced (group commit), which is what makes "recovered ==
+/// acknowledged" an exact equality rather than a prefix bound.
+fn durable_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.sync_wal = true;
+    options.auto_compact = false;
+    options
+}
+
+fn value_for(key: u64) -> Vec<u8> {
+    format!("value-{key}").into_bytes()
+}
+
+/// Asserts the reopened database holds exactly `acknowledged` among the keys
+/// in `universe`.
+fn assert_exact_contents(db: &LsmDb, universe: std::ops::Range<u64>, acknowledged: &[u64]) {
+    let acked: std::collections::BTreeSet<u64> = acknowledged.iter().copied().collect();
+    for key in universe {
+        let got = db.get(key).unwrap();
+        if acked.contains(&key) {
+            assert_eq!(got, Some(value_for(key)), "acknowledged key {key} lost");
+        } else {
+            assert_eq!(got, None, "unacknowledged key {key} resurrected");
+        }
+    }
+}
+
+/// The id of the newest (active) WAL segment on disk.
+fn active_segment_name(storage: &StorageRef) -> String {
+    let id = storage
+        .list()
+        .unwrap()
+        .iter()
+        .filter_map(|n| parse_segment_file_name(n))
+        .max()
+        .expect("an active WAL segment must exist");
+    segment_file_name(id)
+}
+
+// ---------------------------------------------------------------------------
+// Injection point 1: mid-append
+// ---------------------------------------------------------------------------
+
+/// A write whose WAL append fails is never acknowledged, and recovery after
+/// the crash serves exactly the acknowledged prefix.
+#[test]
+fn crash_mid_append_failed_write_is_not_recovered() {
+    let base = MemStorage::new_ref();
+    let faulty = Arc::new(FaultInjectingStorage::new(Arc::clone(&base)));
+    let storage: StorageRef = faulty.clone();
+    let mut acknowledged = Vec::new();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..40u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        // The crash: every further storage append dies, so the next put's
+        // WAL record cannot be written and the put must error.
+        faulty.set_config(FaultConfig {
+            fail_append: true,
+            ..Default::default()
+        });
+        assert!(
+            db.put(40, value_for(40)).is_err(),
+            "append failure must surface"
+        );
+        // The WAL fail-stops: even with the fault gone, writes keep erroring
+        // (a torn record may sit in the segment) until the db is reopened.
+        faulty.set_config(FaultConfig::default());
+        assert!(
+            db.put(41, value_for(41)).is_err(),
+            "writes after a WAL append failure must fail-stop"
+        );
+        // Reads of acknowledged data still work on the damaged engine.
+        assert_eq!(db.get(5).unwrap(), Some(value_for(5)));
+        // Drop without closing: the process is gone.
+    }
+    faulty.set_config(FaultConfig::default());
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_exact_contents(&db, 0..45, &acknowledged);
+}
+
+/// A record half-written at the moment of the crash (torn tail) is discarded;
+/// the acknowledged prefix before it survives intact.
+#[test]
+fn crash_mid_append_torn_tail_is_discarded() {
+    let storage: StorageRef = MemStorage::new_ref();
+    let mut acknowledged = Vec::new();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..30u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+    }
+    // Simulate the torn write: the crash hit after a few header bytes of an
+    // unacknowledged record reached the active segment.
+    let name = active_segment_name(&storage);
+    let intact = storage.open(&name).unwrap().read_all().unwrap();
+    let mut file = storage.create(&name).unwrap();
+    file.append(&intact).unwrap();
+    file.append(&[0xAB, 0xCD, 0xEF, 0x01, 0x02, 0x03, 0x04])
+        .unwrap();
+
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_exact_contents(&db, 0..35, &acknowledged);
+}
+
+// ---------------------------------------------------------------------------
+// Injection point 2: post-freeze, pre-flush
+// ---------------------------------------------------------------------------
+
+/// Crash with frozen-but-unflushed memtables: their sealed segments plus the
+/// active segment are all replayed, in order.
+///
+/// A maintenance scheduler is attached so that writes after the manual
+/// freeze do not drain the frozen memtable inline (the schedulerless write
+/// path does exactly that); `freeze_memtable` itself enqueues no flush job,
+/// which is precisely the "post-freeze, pre-flush" window.
+#[test]
+fn crash_post_freeze_pre_flush_recovers_all_acknowledged() {
+    let storage: StorageRef = MemStorage::new_ref();
+    let mut acknowledged = Vec::new();
+    {
+        let db = Arc::new(LsmDb::open(Arc::clone(&storage), durable_options()).unwrap());
+        let scheduler = db.attach_maintenance(1).unwrap();
+        for key in 0..60u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        assert!(db.freeze_memtable().unwrap(), "memtable must freeze");
+        for key in 60..90u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        // Crash before any flush job ran.
+        drop(scheduler);
+    }
+    let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+    assert_exact_contents(&db, 0..95, &acknowledged);
+    let wal = db.stats().wal;
+    assert_eq!(wal.segments_replayed, 2, "one sealed + one active segment");
+    assert_eq!(wal.records_replayed, 90);
+}
+
+/// Replay ordering across three segments: a key overwritten in every segment
+/// must resolve to the newest version after recovery.
+#[test]
+fn replay_ordering_across_three_segments() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = Arc::new(LsmDb::open(Arc::clone(&storage), durable_options()).unwrap());
+        let scheduler = db.attach_maintenance(1).unwrap();
+        db.put(7, b"generation-1".to_vec()).unwrap();
+        db.put(100, b"only-in-seg-1".to_vec()).unwrap();
+        assert!(db.freeze_memtable().unwrap());
+        db.put(7, b"generation-2".to_vec()).unwrap();
+        assert!(db.freeze_memtable().unwrap());
+        db.put(7, b"generation-3".to_vec()).unwrap();
+        drop(scheduler);
+    }
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_eq!(db.stats().wal.segments_replayed, 3);
+    assert_eq!(
+        db.get(7).unwrap(),
+        Some(b"generation-3".to_vec()),
+        "newest segment must win after replay"
+    );
+    assert_eq!(db.get(100).unwrap(), Some(b"only-in-seg-1".to_vec()));
+}
+
+// ---------------------------------------------------------------------------
+// Injection point 3: mid-flush
+// ---------------------------------------------------------------------------
+
+/// Crash while an SST is being built: the half-written SST is never installed
+/// in the manifest, the WAL segments stay live, and recovery replays them.
+#[test]
+fn crash_mid_flush_keeps_wal_segments_live() {
+    let base = MemStorage::new_ref();
+    let faulty = Arc::new(FaultInjectingStorage::new(Arc::clone(&base)));
+    let storage: StorageRef = faulty.clone();
+    let mut acknowledged = Vec::new();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..50u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        assert!(db.freeze_memtable().unwrap());
+        // The flush dies while writing the SST.
+        faulty.set_config(FaultConfig {
+            fail_append: true,
+            ..Default::default()
+        });
+        assert!(db.flush().is_err(), "mid-flush failure must surface");
+        // Crash with the partial SST on disk.
+    }
+    faulty.set_config(FaultConfig::default());
+    let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+    assert_exact_contents(&db, 0..55, &acknowledged);
+    // And the engine is fully functional: the interrupted flush can rerun.
+    db.flush().unwrap();
+    assert_exact_contents(&db, 0..55, &acknowledged);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded replay: the acceptance criterion
+// ---------------------------------------------------------------------------
+
+/// Recovery replays only live segments: while total ingest grows 10x, the
+/// replayed-record count per recovery stays bounded by the unflushed tail.
+#[test]
+fn replay_stays_bounded_while_ingest_grows_tenfold() {
+    const ROUNDS: u64 = 10;
+    const FLUSHED_PER_ROUND: u64 = 200;
+    const TAIL: u64 = 20;
+
+    let storage: StorageRef = MemStorage::new_ref();
+    let mut options = durable_options();
+    options.sync_wal = false; // volume test; durability knobs irrelevant here
+    let mut total_ingested = 0u64;
+    let mut replayed_per_open = Vec::new();
+
+    for round in 0..ROUNDS {
+        let db = LsmDb::open(Arc::clone(&storage), options.clone()).unwrap();
+        replayed_per_open.push(db.stats().wal.records_replayed);
+        let base = round * (FLUSHED_PER_ROUND + TAIL);
+        for key in base..base + FLUSHED_PER_ROUND {
+            db.put(key, value_for(key)).unwrap();
+        }
+        // Flushing retires the segments backing this round's bulk...
+        db.flush().unwrap();
+        // ...while the tail stays only in the active segment.
+        for key in base + FLUSHED_PER_ROUND..base + FLUSHED_PER_ROUND + TAIL {
+            db.put(key, value_for(key)).unwrap();
+        }
+        total_ingested += FLUSHED_PER_ROUND + TAIL;
+    }
+    assert!(total_ingested >= 10 * (FLUSHED_PER_ROUND + TAIL));
+
+    // Every recovery (after round 1) replayed exactly the previous tail, not
+    // the ever-growing history.
+    for (round, replayed) in replayed_per_open.iter().enumerate().skip(1) {
+        assert!(
+            *replayed <= TAIL,
+            "round {round}: replayed {replayed} records, expected <= {TAIL} \
+             (replay must not grow with total ingest)"
+        );
+    }
+
+    // Nothing was lost along the way.
+    let db = LsmDb::open(storage, options).unwrap();
+    for key in (0..total_ingested).step_by(37) {
+        assert_eq!(db.get(key).unwrap(), Some(value_for(key)), "key {key} lost");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL edge cases
+// ---------------------------------------------------------------------------
+
+/// Clean shutdown leaves an empty active segment; reopening replays nothing.
+#[test]
+fn empty_segment_on_clean_shutdown() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..20u64 {
+            db.put(key, value_for(key)).unwrap();
+        }
+        db.close().unwrap();
+    }
+    let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+    let wal = db.stats().wal;
+    assert_eq!(
+        wal.records_replayed, 0,
+        "a clean shutdown leaves nothing to replay"
+    );
+    for key in 0..20u64 {
+        assert_eq!(db.get(key).unwrap(), Some(value_for(key)));
+    }
+    // And a second immediate reopen (nothing ever written) is also clean.
+    drop(db);
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_eq!(db.stats().wal.records_replayed, 0);
+}
+
+/// A segment containing nothing but a torn record contributes zero records
+/// and does not prevent the database from opening.
+#[test]
+fn segment_with_only_a_torn_record() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..25u64 {
+            db.put(key, value_for(key)).unwrap();
+        }
+        db.close().unwrap();
+    }
+    // Craft a newer segment holding only a half-written record.
+    let newest = storage
+        .list()
+        .unwrap()
+        .iter()
+        .filter_map(|n| parse_segment_file_name(n))
+        .max()
+        .unwrap();
+    let mut f = storage.create(&segment_file_name(newest + 1)).unwrap();
+    f.append(&[0x11, 0x22, 0x33, 0x44, 0x55]).unwrap();
+
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    let wal = db.stats().wal;
+    assert_eq!(
+        wal.records_replayed, 0,
+        "the torn-only segment yields no records"
+    );
+    for key in 0..25u64 {
+        assert_eq!(db.get(key).unwrap(), Some(value_for(key)));
+    }
+}
+
+/// `remove_wal` deletes every segment (sealed and active), is idempotent,
+/// and afterwards only flushed data survives a reopen.
+#[test]
+fn remove_wal_is_segment_aware_and_idempotent() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = Arc::new(LsmDb::open(Arc::clone(&storage), durable_options()).unwrap());
+        let scheduler = db.attach_maintenance(1).unwrap();
+        for key in 0..30u64 {
+            db.put(key, value_for(key)).unwrap();
+        }
+        db.flush().unwrap();
+        for key in 30..60u64 {
+            db.put(key, value_for(key)).unwrap();
+        }
+        assert!(db.freeze_memtable().unwrap());
+        for key in 60..70u64 {
+            db.put(key, value_for(key)).unwrap();
+        }
+        // Several live segments now exist; remove them all, twice.
+        db.remove_wal().unwrap();
+        db.remove_wal().unwrap();
+        drop(scheduler);
+    }
+    assert!(
+        storage
+            .list()
+            .unwrap()
+            .iter()
+            .all(|n| parse_segment_file_name(n).is_none()),
+        "no WAL segment file may survive remove_wal"
+    );
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    for key in 0..30u64 {
+        assert_eq!(
+            db.get(key).unwrap(),
+            Some(value_for(key)),
+            "flushed key {key} lost"
+        );
+    }
+    for key in 30..70u64 {
+        assert_eq!(
+            db.get(key).unwrap(),
+            None,
+            "unflushed key {key} must be gone"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+/// Concurrent durable writers coalesce into fewer fsyncs than writes, and no
+/// acknowledged write is lost across a crash.
+#[test]
+fn group_commit_coalesces_concurrent_writers() {
+    let storage: StorageRef = MemStorage::new_ref();
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 200;
+    {
+        let db = Arc::new(LsmDb::open(Arc::clone(&storage), durable_options()).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    let key = w * PER_WRITER + i;
+                    db.put(key, value_for(key)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let wal = db.stats().wal;
+        assert!(wal.records_appended >= WRITERS * PER_WRITER);
+        // Accounting identity: every acknowledged durable write either led
+        // its own fsync or was covered by another writer's (coalesced).
+        // (Whether coalescing actually fires here depends on thread timing;
+        // the deterministic coalescing checks live in the wal_segment unit
+        // tests.)
+        assert!(
+            wal.syncs + wal.coalesced_acks >= WRITERS * PER_WRITER,
+            "every durable ack must be a sync or a coalesced ack: {wal:?}"
+        );
+        assert!(
+            wal.syncs <= wal.records_appended + wal.rotations + 1,
+            "unexpected extra fsyncs: {wal:?}"
+        );
+        // Crash without flushing.
+    }
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    for key in 0..WRITERS * PER_WRITER {
+        assert_eq!(
+            db.get(key).unwrap(),
+            Some(value_for(key)),
+            "durable key {key} lost"
+        );
+    }
+}
+
+/// The windowed sync policy issues at most one fsync per window on a
+/// single-writer stream.
+#[test]
+fn windowed_group_commit_bounds_sync_rate() {
+    let mut options = durable_options();
+    options.sync_wal_interval_ms = 3_600_000; // one sync per hour at most
+    let db = LsmDb::open_in_memory(options).unwrap();
+    for key in 0..300u64 {
+        db.put(key, value_for(key)).unwrap();
+    }
+    let wal = db.stats().wal;
+    assert!(
+        wal.syncs <= 2,
+        "within one window the write path may sync at most once (got {})",
+        wal.syncs
+    );
+    assert_eq!(wal.records_appended, 300);
+}
+
+// ---------------------------------------------------------------------------
+// The LASER engine shares the same durability subsystem
+// ---------------------------------------------------------------------------
+
+fn laser_options() -> LaserOptions {
+    let schema = Schema::with_columns(6);
+    let mut options = LaserOptions::small_for_tests(LayoutSpec::equi_width(&schema, 5, 2));
+    options.sync_wal = true;
+    options
+}
+
+/// Post-freeze pre-flush crash on the LASER engine: full rows and partial
+/// updates in sealed + active segments are all recovered.
+#[test]
+fn laser_crash_post_freeze_recovers_rows_and_updates() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = Arc::new(LaserDb::open(Arc::clone(&storage), laser_options()).unwrap());
+        let scheduler = db.attach_maintenance(1).unwrap();
+        for key in 0..80u64 {
+            db.insert_int_row(key, key as i64).unwrap();
+        }
+        assert!(db.freeze_memtable().unwrap(), "memtable must freeze");
+        for key in 0..40u64 {
+            db.update(key, vec![(3, Value::Int(-7))]).unwrap();
+        }
+        // Crash with one sealed and one active segment.
+        drop(scheduler);
+    }
+    let db = LaserDb::open(Arc::clone(&storage), laser_options()).unwrap();
+    assert!(db.stats().wal.segments_replayed >= 2);
+    let schema = Schema::with_columns(6);
+    for key in (0..80u64).step_by(9) {
+        let row = db.read(key, &Projection::all(&schema)).unwrap().unwrap();
+        assert_eq!(
+            row.get(0),
+            Some(&Value::Int(key as i64 + 1)),
+            "row {key} lost"
+        );
+        if key < 40 {
+            assert_eq!(row.get(3), Some(&Value::Int(-7)), "update {key} lost");
+        } else {
+            assert_eq!(row.get(3), Some(&Value::Int(key as i64 + 4)));
+        }
+    }
+}
+
+/// `remove_wal` on the LASER engine: idempotent, segment-aware, and leaves
+/// only flushed data behind.
+#[test]
+fn laser_remove_wal_is_idempotent() {
+    let storage: StorageRef = MemStorage::new_ref();
+    {
+        let db = LaserDb::open(Arc::clone(&storage), laser_options()).unwrap();
+        for key in 0..50u64 {
+            db.insert_int_row(key, 0).unwrap();
+        }
+        db.flush().unwrap();
+        for key in 50..80u64 {
+            db.insert_int_row(key, 0).unwrap();
+        }
+        db.remove_wal().unwrap();
+        db.remove_wal().unwrap();
+    }
+    assert!(storage
+        .list()
+        .unwrap()
+        .iter()
+        .all(|n| parse_segment_file_name(n).is_none()));
+    let db = LaserDb::open(storage, laser_options()).unwrap();
+    let proj = Projection::of([0]);
+    assert!(db.read(10, &proj).unwrap().is_some(), "flushed row lost");
+    assert!(
+        db.read(60, &proj).unwrap().is_none(),
+        "unflushed row must be gone"
+    );
+}

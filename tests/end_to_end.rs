@@ -55,7 +55,8 @@ fn all_designs_agree_on_query_results() {
         }
         // Column updates and deletes sprinkled in.
         for key in (0..800u64).step_by(13) {
-            db.update(key, vec![(5, Value::Int(-(key as i64)))]).unwrap();
+            db.update(key, vec![(5, Value::Int(-(key as i64)))])
+                .unwrap();
         }
         for key in (0..800u64).step_by(97) {
             db.delete(key).unwrap();
@@ -66,11 +67,14 @@ fn all_designs_agree_on_query_results() {
         let normalised: Vec<(u64, Vec<Option<i64>>)> = rows
             .iter()
             .map(|(k, frag)| {
-                (*k, vec![
-                    frag.get(0).and_then(|v| v.as_int()),
-                    frag.get(5).and_then(|v| v.as_int()),
-                    frag.get(11).and_then(|v| v.as_int()),
-                ])
+                (
+                    *k,
+                    vec![
+                        frag.get(0).and_then(|v| v.as_int()),
+                        frag.get(5).and_then(|v| v.as_int()),
+                        frag.get(11).and_then(|v| v.as_int()),
+                    ],
+                )
             })
             .collect();
         match &reference {
@@ -103,7 +107,8 @@ fn htap_workload_end_to_end_on_dopt() {
         shift: Default::default(),
     };
     let schema = Schema::narrow();
-    let db = LaserDb::open_in_memory(small_options(LayoutSpec::d_opt_paper(&schema).unwrap())).unwrap();
+    let db =
+        LaserDb::open_in_memory(small_options(LayoutSpec::d_opt_paper(&schema).unwrap())).unwrap();
     run_stream(&db, &spec.generate_load().operations);
     db.flush().unwrap();
     db.compact_until_stable().unwrap();
@@ -126,7 +131,10 @@ fn htap_workload_end_to_end_on_dopt() {
 /// extremes for the workload it was selected for.
 #[test]
 fn advisor_design_runs_and_beats_extremes_analytically() {
-    let spec = HtapWorkloadSpec { num_columns: 30, ..HtapWorkloadSpec::scaled_down() };
+    let spec = HtapWorkloadSpec {
+        num_columns: 30,
+        ..HtapWorkloadSpec::scaled_down()
+    };
     let schema = Schema::narrow();
     let params = TreeParameters {
         num_entries: spec.total_keys(),
@@ -139,7 +147,10 @@ fn advisor_design_runs_and_beats_extremes_analytically() {
     let design = select_design(
         &schema,
         &trace,
-        &AdvisorOptions { num_levels: 8, design_name: "integration-D-opt".into() },
+        &AdvisorOptions {
+            num_levels: 8,
+            design_name: "integration-D-opt".into(),
+        },
     )
     .unwrap();
     design.validate().unwrap();
@@ -159,8 +170,14 @@ fn advisor_design_runs_and_beats_extremes_analytically() {
     let selected = cost_of(&design);
     let row = cost_of(&LayoutSpec::row_store(&schema, 8));
     let col = cost_of(&LayoutSpec::column_store(&schema, 8));
-    assert!(selected <= row + 1e-9, "selected {selected} should not exceed row-store {row}");
-    assert!(selected <= col + 1e-9, "selected {selected} should not exceed column-store {col}");
+    assert!(
+        selected <= row + 1e-9,
+        "selected {selected} should not exceed row-store {row}"
+    );
+    assert!(
+        selected <= col + 1e-9,
+        "selected {selected} should not exceed column-store {col}"
+    );
 
     // And the design actually runs.
     let db = LaserDb::open_in_memory(small_options(design)).unwrap();
@@ -168,7 +185,10 @@ fn advisor_design_runs_and_beats_extremes_analytically() {
         db.insert_int_row(key, 3).unwrap();
     }
     db.compact_all().unwrap();
-    assert!(db.read(250, &Projection::range_1based(28, 30)).unwrap().is_some());
+    assert!(db
+        .read(250, &Projection::range_1based(28, 30))
+        .unwrap()
+        .is_some());
 }
 
 /// Crash-recovery across the whole stack: durable storage, WAL replay and
@@ -211,7 +231,10 @@ fn storage_faults_are_reported_not_swallowed() {
     }
     db.flush().unwrap();
     // Now make every append fail: further flushes must error out.
-    faulty.set_config(FaultConfig { fail_append: true, ..Default::default() });
+    faulty.set_config(FaultConfig {
+        fail_append: true,
+        ..Default::default()
+    });
     for key in 200..5_000u64 {
         match db.insert_int_row(key, 0) {
             Ok(()) => continue,
