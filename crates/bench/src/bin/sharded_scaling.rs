@@ -1,0 +1,72 @@
+//! Bench mode for the range-sharding subsystem: acked-ingest and mixed HTAP
+//! scan throughput of `ShardedDb<LsmDb>` at 1/2/4/8 shards, plus the
+//! cross-shard-scan equivalence checksum.
+//!
+//! Usage: `cargo run --release --bin sharded_scaling [--smoke] [keys] [writers]`
+
+use laser_bench::sharding::{run_sharded_scaling, ShardScalingConfig};
+
+fn main() {
+    let mut config = ShardScalingConfig::default();
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            config = ShardScalingConfig::smoke();
+        } else {
+            positional.push(arg);
+        }
+    }
+    if let Some(keys) = positional.first().and_then(|s| s.parse().ok()) {
+        config.keys = keys;
+    }
+    if let Some(writers) = positional.get(1).and_then(|s| s.parse().ok()) {
+        config.writers = writers;
+    }
+
+    println!("== sharded scaling bench ==");
+    println!(
+        "keys {} | writers {} | batch {} | value {} B | shard counts {:?} | scanners {}",
+        config.keys,
+        config.writers,
+        config.batch,
+        config.value_bytes,
+        config.shard_counts,
+        config.scanners,
+    );
+    let report = run_sharded_scaling(&config).expect("bench run failed");
+
+    println!();
+    println!(
+        "{:>7} | {:>13} | {:>8} | {:>12} | {:>13} | {:>9} | {:>8}",
+        "shards", "ingest ops/s", "speedup", "scans/s", "mixed wr/s", "throttled", "bg jobs"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>7} | {:>13.0} | {:>7.2}x | {:>12.1} | {:>13.0} | {:>9} | {:>8}",
+            row.shards,
+            row.ingest_ops_per_sec,
+            report.ingest_speedup(row.shards),
+            row.mixed_scans_per_sec,
+            row.mixed_write_ops_per_sec,
+            row.throttle_events,
+            row.bg_jobs,
+        );
+    }
+    println!();
+    if report.checksums_agree() {
+        let row = &report.rows[0];
+        println!(
+            "equivalence: OK — every shard count scanned {} rows, checksum {:#018x}",
+            row.rows_scanned, row.checksum
+        );
+    } else {
+        println!("equivalence: MISMATCH across shard counts:");
+        for row in &report.rows {
+            println!(
+                "  {} shards: {} rows, checksum {:#018x}",
+                row.shards, row.rows_scanned, row.checksum
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -28,7 +28,10 @@
 //! shared block cache under a read-heavy phase. [`durability`] /
 //! `wal_recovery` benches the segmented-WAL durability subsystem: recovery
 //! time and replayed records versus ingest volume (bounded by the unflushed
-//! tail), plus group-commit fsync coalescing.
+//! tail), plus group-commit fsync coalescing. [`sharding`] /
+//! `sharded_scaling` benches the range-sharded engine: acked-ingest and
+//! mixed HTAP scan throughput at 1/2/4/8 shards, with a cross-shard-scan
+//! equivalence checksum against the single-shard result.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +44,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod sharding;
 pub mod storage_size;
 pub mod table2;
 

@@ -1,0 +1,327 @@
+//! Sharded-engine scaling bench: ingest and mixed HTAP scan throughput of
+//! [`ShardedDb<LsmDb>`] at increasing shard counts, plus the equivalence
+//! checksum that pins cross-shard scans to the single-shard result.
+//!
+//! What scales and why: a single engine instance throttles concurrent
+//! writers behind one write lock, one WAL group-commit leader and one
+//! Level-0 backpressure gate. Range sharding divides all three by the shard
+//! count — each shard has its own lock, WAL and Level-0 — so acked-write
+//! throughput under multi-threaded ingest grows with shards even before
+//! extra cores enter the picture (stalled writers sleep; writers spread over
+//! shards do not). Scans fan out over disjoint ranges and concatenate.
+//!
+//! Every run ingests the *same* deterministic workload trace (per-writer
+//! disjoint key sets, fixed values), so the final database contents are
+//! identical across shard counts and the full-scan checksum must match the
+//! 1-shard run byte for byte — the acceptance criterion of the subsystem.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use lsm_storage::types::{UserKey, WriteBatch};
+use lsm_storage::{LsmDb, LsmOptions, Result};
+
+/// Workload parameters of one scaling run.
+#[derive(Debug, Clone)]
+pub struct ShardScalingConfig {
+    /// Distinct keys ingested (split evenly across writers).
+    pub keys: u64,
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Entries per write batch.
+    pub batch: usize,
+    /// Value payload size in bytes.
+    pub value_bytes: usize,
+    /// Shard counts to compare (the first is the baseline).
+    pub shard_counts: Vec<usize>,
+    /// Concurrent scanner threads in the mixed HTAP phase.
+    pub scanners: usize,
+    /// Cross-shard scans each scanner issues in the mixed phase.
+    pub scans_per_scanner: u64,
+    /// Width of each scan window in keys.
+    pub scan_width: u64,
+}
+
+impl Default for ShardScalingConfig {
+    fn default() -> Self {
+        ShardScalingConfig {
+            keys: 24_000,
+            writers: 4,
+            batch: 16,
+            value_bytes: 152,
+            shard_counts: vec![1, 2, 4, 8],
+            scanners: 2,
+            scans_per_scanner: 20,
+            scan_width: 2_000,
+        }
+    }
+}
+
+impl ShardScalingConfig {
+    /// A tiny configuration for CI smoke runs (1 vs 4 shards).
+    pub fn smoke() -> Self {
+        ShardScalingConfig {
+            keys: 6_000,
+            writers: 2,
+            batch: 16,
+            value_bytes: 64,
+            shard_counts: vec![1, 4],
+            scanners: 1,
+            scans_per_scanner: 5,
+            scan_width: 1_000,
+        }
+    }
+}
+
+/// Measurements of one shard count.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Number of shards.
+    pub shards: usize,
+    /// Acked writes per second during the ingest phase.
+    pub ingest_ops_per_sec: f64,
+    /// Cross-shard scans per second during the mixed phase.
+    pub mixed_scans_per_sec: f64,
+    /// Acked overwrites per second during the mixed phase.
+    pub mixed_write_ops_per_sec: f64,
+    /// Rows returned by the verification full scan.
+    pub rows_scanned: u64,
+    /// FNV-1a checksum over the full scan's `(key, value)` bytes.
+    pub checksum: u64,
+    /// Writer throttle events (stalls + slowdowns) during ingest.
+    pub throttle_events: u64,
+    /// Background jobs completed by the shared scheduler.
+    pub bg_jobs: u64,
+    /// Batches that spanned more than one shard.
+    pub cross_shard_batches: u64,
+}
+
+/// The full report: one row per shard count.
+#[derive(Debug, Clone)]
+pub struct ShardScalingReport {
+    /// Per-shard-count measurements, in `shard_counts` order.
+    pub rows: Vec<ShardScalingRow>,
+}
+
+impl ShardScalingReport {
+    /// Ingest speedup of `shards` relative to the first (baseline) row.
+    pub fn ingest_speedup(&self, shards: usize) -> f64 {
+        let base = self
+            .rows
+            .first()
+            .map(|r| r.ingest_ops_per_sec)
+            .unwrap_or(0.0);
+        let row = self.rows.iter().find(|r| r.shards == shards);
+        match row {
+            Some(row) if base > 0.0 => row.ingest_ops_per_sec / base,
+            _ => 0.0,
+        }
+    }
+
+    /// True if every run produced the identical full-scan checksum.
+    pub fn checksums_agree(&self) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[0].checksum == w[1].checksum && w[0].rows_scanned == w[1].rows_scanned)
+    }
+}
+
+/// Engine options for the scaling runs, sized so the whole workload
+/// produces roughly 30 Level-0 files: well past one shard's stall tolerance
+/// (writers park behind synchronous compactions) but inside the *aggregate*
+/// tolerance of 4+ shards (writers are acked and compaction drains off the
+/// timed path) — which is exactly the backpressure-division benefit range
+/// sharding is meant to deliver.
+fn engine_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.memtable_size_bytes = 120 << 10;
+    options.level0_size_bytes = 2 << 20;
+    options.sst_target_size_bytes = 256 << 10;
+    options.l0_slowdown_files = 6;
+    options.l0_stall_files = 12;
+    options.auto_compact = true;
+    options
+}
+
+/// The deterministic value of `key` in `round`.
+fn value_for(key: UserKey, round: u64, value_bytes: usize) -> Vec<u8> {
+    let mut value = vec![(key as u8) ^ (round as u8); value_bytes];
+    value[..8].copy_from_slice(&(key * 31 + round).to_le_bytes());
+    value
+}
+
+/// Runs the ingest + mixed-phase measurement for one shard count.
+fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow> {
+    let provider = MemShardStorage::new();
+    // Clamp so every shard owns at least one key: with `keys >= n` the
+    // computed boundaries are strictly ascending and non-zero, which the
+    // router requires.
+    let shards = shards.clamp(1, config.keys.max(1) as usize);
+    let n = shards as u64;
+    let boundaries: Vec<UserKey> = (1..n).map(|i| i * config.keys / n).collect();
+    let options = ShardedOptions {
+        num_shards: shards,
+        boundaries: if boundaries.is_empty() {
+            None
+        } else {
+            Some(boundaries)
+        },
+        fanout_threads: shards.min(8),
+        maintenance_workers: 2,
+        cache_bytes: 8 << 20,
+    };
+    let db: Arc<ShardedDb<LsmDb>> =
+        Arc::new(ShardedDb::open(&provider, engine_options(), options)?);
+
+    // ---- Ingest phase: `writers` threads, disjoint interleaved key sets,
+    // timed until every write is acked.
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for writer in 0..config.writers as u64 {
+        let db = Arc::clone(&db);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut batch = WriteBatch::new();
+            let mut key = writer;
+            while key < config.keys {
+                batch.put(key, value_for(key, 0, config.value_bytes));
+                if batch.len() >= config.batch {
+                    db.write(&batch)?;
+                    batch = WriteBatch::new();
+                }
+                key += config.writers as u64;
+            }
+            if !batch.is_empty() {
+                db.write(&batch)?;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("writer thread panicked")?;
+    }
+    let ingest_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let ingest_ops_per_sec = config.keys as f64 / ingest_secs;
+    let throttle_events: u64 = db
+        .shards()
+        .iter()
+        .map(|s| {
+            let stats = s.stats();
+            stats.stall_events + stats.slowdown_events
+        })
+        .sum();
+
+    // ---- Mixed HTAP phase: scanners run cross-shard scans while writers
+    // overwrite their own keys (deterministic final state).
+    let start = Instant::now();
+    let mut scan_handles = Vec::new();
+    for scanner in 0..config.scanners as u64 {
+        let db = Arc::clone(&db);
+        let config = config.clone();
+        scan_handles.push(std::thread::spawn(move || -> Result<u64> {
+            let mut rows = 0u64;
+            for i in 0..config.scans_per_scanner {
+                let lo = ((scanner * 7919 + i * 104_729) * config.scan_width)
+                    % config.keys.saturating_sub(config.scan_width).max(1);
+                let hi = (lo + config.scan_width - 1).min(config.keys - 1);
+                rows += db.scan(lo, hi, &())?.len() as u64;
+            }
+            Ok(rows)
+        }));
+    }
+    let mut write_handles = Vec::new();
+    for writer in 0..config.writers as u64 {
+        let db = Arc::clone(&db);
+        let config = config.clone();
+        write_handles.push(std::thread::spawn(move || -> Result<u64> {
+            let mut written = 0u64;
+            let mut batch = WriteBatch::new();
+            // Overwrite one quarter of this writer's keys with round-1 values.
+            let mut key = writer;
+            while key < config.keys / 4 {
+                batch.put(key, value_for(key, 1, config.value_bytes));
+                if batch.len() >= config.batch {
+                    written += batch.len() as u64;
+                    db.write(&batch)?;
+                    batch = WriteBatch::new();
+                }
+                key += config.writers as u64;
+            }
+            if !batch.is_empty() {
+                written += batch.len() as u64;
+                db.write(&batch)?;
+            }
+            Ok(written)
+        }));
+    }
+    let mut mixed_writes = 0u64;
+    for handle in write_handles {
+        mixed_writes += handle.join().expect("mixed writer panicked")?;
+    }
+    let mut scanned_rows = 0u64;
+    for handle in scan_handles {
+        scanned_rows += handle.join().expect("scanner panicked")?;
+    }
+    let _ = scanned_rows;
+    let mixed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let total_scans = config.scanners as u64 * config.scans_per_scanner;
+    let mixed_scans_per_sec = total_scans as f64 / mixed_secs;
+    let mixed_write_ops_per_sec = mixed_writes as f64 / mixed_secs;
+
+    // ---- Settle, then verify: the full cross-shard scan must be identical
+    // for every shard count (checked by the caller via the checksum).
+    db.wait_maintenance_idle();
+    db.flush()?;
+    let rows = db.scan(0, config.keys, &())?;
+    let mut row_bytes = Vec::new();
+    for (key, value) in &rows {
+        row_bytes.extend_from_slice(&key.to_be_bytes());
+        row_bytes.extend_from_slice(value);
+    }
+    let checksum = lsm_storage::hash::fnv1a_64(&row_bytes);
+    let stats = db.stats();
+    Ok(ShardScalingRow {
+        shards,
+        ingest_ops_per_sec,
+        mixed_scans_per_sec,
+        mixed_write_ops_per_sec,
+        rows_scanned: rows.len() as u64,
+        checksum,
+        throttle_events,
+        bg_jobs: stats.bg_jobs_completed,
+        cross_shard_batches: stats.cross_shard_batches,
+    })
+}
+
+/// Runs the scaling comparison across every configured shard count.
+pub fn run_sharded_scaling(config: &ShardScalingConfig) -> Result<ShardScalingReport> {
+    let mut rows = Vec::new();
+    for &shards in &config.shard_counts {
+        rows.push(run_one(config, shards)?);
+    }
+    Ok(ShardScalingReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_scales_and_checksums_agree() {
+        let report = run_sharded_scaling(&ShardScalingConfig::smoke()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.ingest_ops_per_sec > 0.0);
+            assert!(row.rows_scanned > 0);
+            assert!(row.bg_jobs > 0, "shared scheduler never ran: {row:?}");
+        }
+        assert!(
+            report.checksums_agree(),
+            "sharded scans must be byte-identical across shard counts: {:?}",
+            report.rows
+        );
+        // Multi-shard runs split at least some batches.
+        assert!(report.rows[1].cross_shard_batches > 0);
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
-use lsm_storage::cache::BlockCache;
+use lsm_storage::cache::{BlockCache, ScopedCache};
 use lsm_storage::iterator::KvIterator;
 use lsm_storage::maintenance::{
     attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
@@ -117,8 +117,9 @@ pub struct LaserDb {
     /// the write path, manifest-tracked lifecycle.
     wal: SegmentedWal,
     stats: EngineStats,
-    /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
-    cache: Option<Arc<BlockCache>>,
+    /// Shared decoded-block cache (None when no cache is configured). May be
+    /// a scoped view of a process-wide cache shared with other engines.
+    cache: Option<ScopedCache>,
     /// Registered background scheduler handle; set once by
     /// [`LaserDb::attach_maintenance`]. While present, the write path
     /// enqueues flush/CG-compaction jobs instead of running them inline.
@@ -135,6 +136,26 @@ impl LaserDb {
     /// Opens (or creates) an engine on `storage` with the given options,
     /// recovering previous state from the manifest and WAL.
     pub fn open(storage: StorageRef, options: LaserOptions) -> Result<Self> {
+        let cache = if options.block_cache_bytes > 0 {
+            Some(ScopedCache::unscoped(BlockCache::new(
+                options.block_cache_bytes,
+            )))
+        } else {
+            None
+        };
+        Self::open_with_cache(storage, options, cache)
+    }
+
+    /// Opens (or creates) an engine on `storage`, serving block reads
+    /// through the given cache view instead of a private per-engine cache
+    /// (`block_cache_bytes` is ignored). A sharded deployment passes every
+    /// shard a differently-scoped view of one process-wide [`BlockCache`] so
+    /// the global byte budget and per-shard accounting are shared.
+    pub fn open_with_cache(
+        storage: StorageRef,
+        options: LaserOptions,
+        cache: Option<ScopedCache>,
+    ) -> Result<Self> {
         options.validate()?;
         let snapshot = read_manifest(&storage)?;
         let mut inner = DbInner {
@@ -146,11 +167,6 @@ impl LaserDb {
             next_file_number: snapshot.next_file_number.max(1),
             last_seq: snapshot.last_seq,
             ..Default::default()
-        };
-        let cache = if options.block_cache_bytes > 0 {
-            Some(BlockCache::new(options.block_cache_bytes))
-        } else {
-            None
         };
         for meta in &snapshot.files {
             let table = TableHandle::open_with_cache(&storage, &meta.file_name(), cache.clone())?;
@@ -257,7 +273,7 @@ impl LaserDb {
     pub fn stats(&self) -> EngineStatsSnapshot {
         let mut snapshot = self.stats.snapshot();
         if let Some(cache) = &self.cache {
-            let cache_stats = cache.stats();
+            let cache_stats = cache.cache().stats();
             snapshot.cache_hits = cache_stats.hits;
             snapshot.cache_misses = cache_stats.misses;
         }
@@ -279,7 +295,7 @@ impl LaserDb {
 
     /// The shared block cache, if one is configured.
     pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
-        self.cache.as_ref()
+        self.cache.as_ref().map(|c| c.cache())
     }
 
     /// Starts a background maintenance scheduler with `num_workers` threads
@@ -360,6 +376,37 @@ impl LaserDb {
         self.apply(&batch)
     }
 
+    /// Applies a pre-encoded write batch atomically (consecutive sequence
+    /// numbers, one WAL record, group-committed durability).
+    ///
+    /// This is the batch entry point used by sharded deployments, which split
+    /// one logical batch across shard engines. Entry payloads must be
+    /// [`RowFragment`] encodings for this engine's schema — `Full` entries a
+    /// complete row (as [`LaserDb::insert`] produces), `Partial` entries a
+    /// column subset (as [`LaserDb::update`] produces); payloads are *not*
+    /// re-validated against the schema here.
+    pub fn write(&self, batch: &WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for entry in batch.iter() {
+            match entry.kind {
+                ValueKind::Full => self.stats.record_insert(),
+                ValueKind::Partial => {
+                    self.stats.record_update();
+                    // Mirror update(): feed the per-level update-column
+                    // profile, decoding the fragment to recover which
+                    // columns this partial write touches.
+                    if let Ok(fragment) = RowFragment::decode(&entry.value, self.num_columns()) {
+                        self.stats.record_update_level(0, &fragment.columns());
+                    }
+                }
+                ValueKind::Tombstone => self.stats.record_delete(),
+            }
+        }
+        self.apply(batch)
+    }
+
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
         EngineMaintenance::apply_backpressure(self);
         let ticket = {
@@ -396,6 +443,19 @@ impl LaserDb {
             return Ok(false);
         }
         self.freeze_locked(&mut inner)
+    }
+
+    /// Freezes the mutable memtable and immediately schedules its flush:
+    /// with a maintenance scheduler attached the flush job is enqueued right
+    /// away (instead of waiting for the next write-path trigger); without
+    /// one the frozen memtable is drained inline. Returns true if a memtable
+    /// was frozen.
+    pub fn freeze_and_schedule(&self) -> Result<bool> {
+        if !self.freeze_memtable()? {
+            return Ok(false);
+        }
+        self.schedule_frozen_flush()?;
+        Ok(true)
     }
 
     /// Freezes the mutable memtable under the held engine lock: rotates to a

@@ -23,7 +23,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// A decoded data block: the sorted `(internal key, value)` entries.
 pub type CachedBlock = Arc<Vec<(Vec<u8>, Vec<u8>)>>;
@@ -39,9 +39,15 @@ const PAIR_OVERHEAD: usize = 64;
 /// Cache key: `(table registration id, data block index)`.
 type Key = (u64, u32);
 
+/// Identifier of an accounting scope (e.g. one shard of a sharded engine).
+/// Scope 0 always exists and is the default for unscoped registrations.
+pub type ScopeId = u32;
+
 struct Entry {
     data: CachedBlock,
     weight: usize,
+    /// Accounting scope of the table this block belongs to.
+    scope: ScopeId,
     /// Number of occurrences of this key in the shard's recency queue.
     queue_refs: u32,
 }
@@ -82,9 +88,10 @@ impl Shard {
         self.queue = fresh;
     }
 
-    /// Evicts least-recently-used entries until `used_bytes <= capacity`.
-    /// Returns how many entries were evicted.
-    fn evict_to(&mut self, capacity: usize) -> u64 {
+    /// Evicts least-recently-used entries until `used_bytes <= capacity`,
+    /// discharging each victim's weight from its scope counter. Returns how
+    /// many entries were evicted.
+    fn evict_to(&mut self, capacity: usize, scope_used: &[Arc<AtomicU64>]) -> u64 {
         let mut evicted = 0;
         while self.used_bytes > capacity {
             let Some(key) = self.queue.pop_front() else {
@@ -97,10 +104,26 @@ impl Shard {
             if entry.queue_refs == 0 {
                 let entry = self.map.remove(&key).expect("entry present");
                 self.used_bytes -= entry.weight.min(self.used_bytes);
+                discharge_scope(scope_used, entry.scope, entry.weight);
                 evicted += 1;
             }
         }
         evicted
+    }
+}
+
+/// Subtracts `weight` from a scope counter, saturating at zero.
+fn discharge_scope(scope_used: &[Arc<AtomicU64>], scope: ScopeId, weight: usize) {
+    if let Some(counter) = scope_used.get(scope as usize) {
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(weight as u64);
+            match counter.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
     }
 }
 
@@ -142,6 +165,14 @@ pub struct BlockCache {
     inserts: AtomicU64,
     evictions: AtomicU64,
     next_table_id: AtomicU64,
+    /// Which accounting scope each registered table charges. Read-mostly:
+    /// written once per table open, read once per insert.
+    table_scopes: RwLock<HashMap<u64, ScopeId>>,
+    /// Bytes currently held per scope (index = [`ScopeId`]). Scope 0 always
+    /// exists; sharded engines allocate one scope per shard via
+    /// [`BlockCache::add_scope`] so a process-wide cache can report where its
+    /// budget went.
+    scope_used: RwLock<Vec<Arc<AtomicU64>>>,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -177,13 +208,66 @@ impl BlockCache {
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             next_table_id: AtomicU64::new(1),
+            table_scopes: RwLock::new(HashMap::new()),
+            scope_used: RwLock::new(vec![Arc::new(AtomicU64::new(0))]),
         })
     }
 
     /// Hands out a process-unique table id. Called once per opened SST; ids
-    /// are never reused, which is what makes stale reads impossible.
+    /// are never reused, which is what makes stale reads impossible. The
+    /// table charges the default scope 0.
     pub fn register_table(&self) -> u64 {
         self.next_table_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hands out a table id whose blocks charge `scope` (see
+    /// [`BlockCache::add_scope`]). Unknown scopes fall back to scope 0.
+    pub fn register_table_scoped(&self, scope: ScopeId) -> u64 {
+        let id = self.register_table();
+        if scope != 0 {
+            self.table_scopes.write().insert(id, scope);
+        }
+        id
+    }
+
+    /// Allocates a fresh accounting scope (e.g. for one shard of a sharded
+    /// engine) and returns its id. Scope 0 always exists as the default.
+    pub fn add_scope(&self) -> ScopeId {
+        let mut scopes = self.scope_used.write();
+        scopes.push(Arc::new(AtomicU64::new(0)));
+        (scopes.len() - 1) as ScopeId
+    }
+
+    /// Number of accounting scopes (including the default scope 0).
+    pub fn num_scopes(&self) -> usize {
+        self.scope_used.read().len()
+    }
+
+    /// Bytes currently cached on behalf of `scope` (0 for unknown scopes).
+    pub fn scope_used_bytes(&self, scope: ScopeId) -> u64 {
+        self.scope_used
+            .read()
+            .get(scope as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Bytes currently cached per scope, indexed by [`ScopeId`].
+    pub fn scope_usage(&self) -> Vec<u64> {
+        self.scope_used
+            .read()
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The accounting scope of a registered table (scope 0 when unscoped).
+    fn scope_of(&self, table_id: u64) -> ScopeId {
+        self.table_scopes
+            .read()
+            .get(&table_id)
+            .copied()
+            .unwrap_or(0)
     }
 
     fn shard(&self, key: &Key) -> &Mutex<Shard> {
@@ -221,25 +305,33 @@ impl BlockCache {
             .map(|(k, v)| k.len() + v.len() + PAIR_OVERHEAD)
             .sum::<usize>()
             + ENTRY_OVERHEAD;
+        let scope = self.scope_of(table_id);
         let key = (table_id, block_idx);
+        let scope_used = self.scope_used.read();
+        if let Some(counter) = scope_used.get(scope as usize) {
+            counter.fetch_add(weight as u64, Ordering::Relaxed);
+        }
         let mut shard = self.shard(&key).lock();
         if let Some(old) = shard.map.insert(
             key,
             Entry {
                 data,
                 weight,
+                scope,
                 queue_refs: 1,
             },
         ) {
             shard.used_bytes -= old.weight.min(shard.used_bytes);
+            discharge_scope(&scope_used, old.scope, old.weight);
             // The old occurrences in the queue now refer to the new entry;
             // fold their count in so eviction bookkeeping stays consistent.
             shard.map.get_mut(&key).expect("just inserted").queue_refs += old.queue_refs;
         }
         shard.used_bytes += weight;
         shard.queue.push_back(key);
-        let evicted = shard.evict_to(self.shard_capacity);
+        let evicted = shard.evict_to(self.shard_capacity, &scope_used);
         drop(shard);
+        drop(scope_used);
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
@@ -248,6 +340,7 @@ impl BlockCache {
     /// e.g. after compaction replaced the file).
     pub fn evict_table(&self, table_id: u64) {
         let mut evicted = 0;
+        let scope_used = self.scope_used.read();
         for shard in &self.shards {
             let mut shard = shard.lock();
             let keys: Vec<Key> = shard
@@ -259,11 +352,14 @@ impl BlockCache {
             for key in keys {
                 if let Some(entry) = shard.map.remove(&key) {
                     shard.used_bytes -= entry.weight.min(shard.used_bytes);
+                    discharge_scope(&scope_used, entry.scope, entry.weight);
                     evicted += 1;
                 }
             }
             // Dangling queue occurrences are skipped during eviction.
         }
+        drop(scope_used);
+        self.table_scopes.write().remove(&table_id);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
@@ -289,6 +385,49 @@ impl BlockCache {
             used_bytes: used,
             entries,
         }
+    }
+}
+
+/// A handle to a shared [`BlockCache`] that registers tables under one
+/// accounting scope.
+///
+/// A process-wide cache serving several engines (the shards of a
+/// `ShardedDb`, or two independent engines of different types) hands each
+/// tenant a `ScopedCache` over the same underlying cache: storage, budget and
+/// eviction are global, but every tenant's resident bytes stay attributable
+/// via [`BlockCache::scope_used_bytes`].
+#[derive(Clone, Debug)]
+pub struct ScopedCache {
+    cache: Arc<BlockCache>,
+    scope: ScopeId,
+}
+
+impl ScopedCache {
+    /// Wraps a cache under the default scope 0 (single-tenant use).
+    pub fn unscoped(cache: Arc<BlockCache>) -> Self {
+        ScopedCache { cache, scope: 0 }
+    }
+
+    /// Wraps a cache under an explicit scope previously allocated with
+    /// [`BlockCache::add_scope`].
+    pub fn new(cache: Arc<BlockCache>, scope: ScopeId) -> Self {
+        ScopedCache { cache, scope }
+    }
+
+    /// The underlying shared cache.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// The accounting scope tables registered through this handle charge.
+    pub fn scope(&self) -> ScopeId {
+        self.scope
+    }
+
+    /// Registers a table under this handle's scope (see
+    /// [`BlockCache::register_table_scoped`]).
+    pub fn register_table(&self) -> u64 {
+        self.cache.register_table_scoped(self.scope)
     }
 }
 
@@ -391,6 +530,54 @@ mod tests {
             "64 blocks of one table landed in only {} of 8 shards",
             shards_used.len()
         );
+    }
+
+    #[test]
+    fn scope_accounting_tracks_per_tenant_bytes() {
+        let cache = BlockCache::with_shards(1 << 20, 1);
+        let s1 = cache.add_scope();
+        let s2 = cache.add_scope();
+        assert_eq!(cache.num_scopes(), 3);
+        let t0 = cache.register_table();
+        let t1 = ScopedCache::new(Arc::clone(&cache), s1).register_table();
+        let t2 = cache.register_table_scoped(s2);
+        cache.insert(t0, 0, block(100));
+        cache.insert(t1, 0, block(200));
+        cache.insert(t1, 1, block(200));
+        cache.insert(t2, 0, block(300));
+        assert_eq!(cache.scope_used_bytes(0), block_weight(100) as u64);
+        assert_eq!(cache.scope_used_bytes(s1), 2 * block_weight(200) as u64);
+        assert_eq!(cache.scope_used_bytes(s2), block_weight(300) as u64);
+        let total: u64 = cache.scope_usage().iter().sum();
+        assert_eq!(total, cache.stats().used_bytes);
+        // Dropping a table returns its scope's bytes.
+        cache.evict_table(t1);
+        assert_eq!(cache.scope_used_bytes(s1), 0);
+        assert_eq!(
+            cache.scope_usage().iter().sum::<u64>(),
+            cache.stats().used_bytes
+        );
+    }
+
+    #[test]
+    fn capacity_eviction_discharges_scopes() {
+        // Two scopes fighting over a budget that fits three blocks: whatever
+        // LRU evicts, the per-scope counters must keep summing to used_bytes.
+        let cache = BlockCache::with_shards(3 * block_weight(1000), 1);
+        let s1 = cache.add_scope();
+        let s2 = cache.add_scope();
+        let t1 = cache.register_table_scoped(s1);
+        let t2 = cache.register_table_scoped(s2);
+        for idx in 0..4u32 {
+            cache.insert(t1, idx, block(1000));
+            cache.insert(t2, idx, block(1000));
+        }
+        assert!(cache.stats().evictions > 0);
+        assert_eq!(
+            cache.scope_usage().iter().sum::<u64>(),
+            cache.stats().used_bytes
+        );
+        assert!(cache.stats().used_bytes as usize <= 3 * block_weight(1000));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::cache::BlockCache;
+use crate::cache::{BlockCache, ScopedCache};
 use crate::error::{Error, Result};
 use crate::iterator::{BoxedIterator, KvIterator, MergingIterator};
 use crate::maintenance::{
@@ -131,8 +131,9 @@ pub struct LsmDb {
     /// the write path, manifest-tracked lifecycle.
     wal: SegmentedWal,
     stats: CompactionStats,
-    /// Shared decoded-block cache (None when `block_cache_bytes` is 0).
-    cache: Option<Arc<BlockCache>>,
+    /// Shared decoded-block cache (None when no cache is configured). May be
+    /// a scoped view of a process-wide cache shared with other engines.
+    cache: Option<ScopedCache>,
     /// Registered background scheduler handle; set once by
     /// [`LsmDb::attach_maintenance`]. While present, the write path enqueues
     /// flush/compaction jobs instead of running them inline.
@@ -147,8 +148,30 @@ pub struct LsmDb {
 
 impl LsmDb {
     /// Opens (or creates) a database on `storage`, recovering any previous
-    /// state from the manifest and WAL.
+    /// state from the manifest and WAL. A private block cache is created per
+    /// the `block_cache_bytes` option; use [`LsmDb::open_with_cache`] to
+    /// share one process-wide cache across engines instead.
     pub fn open(storage: StorageRef, options: LsmOptions) -> Result<Self> {
+        let cache = if options.block_cache_bytes > 0 {
+            Some(ScopedCache::unscoped(BlockCache::new(
+                options.block_cache_bytes,
+            )))
+        } else {
+            None
+        };
+        Self::open_with_cache(storage, options, cache)
+    }
+
+    /// Opens (or creates) a database on `storage`, serving block reads
+    /// through the given cache view instead of a private per-engine cache
+    /// (`block_cache_bytes` is ignored). A sharded deployment passes every
+    /// shard a differently-scoped view of one process-wide [`BlockCache`] so
+    /// the global byte budget and per-shard accounting are shared.
+    pub fn open_with_cache(
+        storage: StorageRef,
+        options: LsmOptions,
+        cache: Option<ScopedCache>,
+    ) -> Result<Self> {
         options.validate()?;
         let snapshot = read_manifest(&storage)?;
         let mut inner = DbInner {
@@ -156,11 +179,6 @@ impl LsmDb {
             next_file_number: snapshot.next_file_number.max(1),
             last_seq: snapshot.last_seq,
             ..Default::default()
-        };
-        let cache = if options.block_cache_bytes > 0 {
-            Some(BlockCache::new(options.block_cache_bytes))
-        } else {
-            None
         };
         for meta in &snapshot.files {
             let table = TableHandle::open_with_cache(&storage, &meta.file_name(), cache.clone())?;
@@ -249,7 +267,7 @@ impl LsmDb {
     pub fn stats(&self) -> CompactionStatsSnapshot {
         let mut snapshot = self.stats.snapshot();
         if let Some(cache) = &self.cache {
-            let cache_stats = cache.stats();
+            let cache_stats = cache.cache().stats();
             snapshot.cache_hits = cache_stats.hits;
             snapshot.cache_misses = cache_stats.misses;
         }
@@ -271,7 +289,7 @@ impl LsmDb {
 
     /// The shared block cache, if one is configured.
     pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
-        self.cache.as_ref()
+        self.cache.as_ref().map(|c| c.cache())
     }
 
     /// Starts a background maintenance scheduler with `num_workers` threads
@@ -347,6 +365,19 @@ impl LsmDb {
             return Ok(false);
         }
         self.freeze_locked(&mut inner)
+    }
+
+    /// Freezes the mutable memtable and immediately schedules its flush:
+    /// with a maintenance scheduler attached the flush job is enqueued right
+    /// away (instead of waiting for the next write-path trigger); without
+    /// one the frozen memtable is drained inline. Returns true if a memtable
+    /// was frozen.
+    pub fn freeze_and_schedule(&self) -> Result<bool> {
+        if !self.freeze_memtable()? {
+            return Ok(false);
+        }
+        self.schedule_frozen_flush()?;
+        Ok(true)
     }
 
     /// Freezes the mutable memtable under the held engine lock: rotates to a

@@ -68,21 +68,21 @@ pub mod types;
 pub mod wal;
 pub mod wal_segment;
 
-pub use cache::{BlockCache, BlockCacheStats};
+pub use cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
 pub use db::{CompactionStatsSnapshot, LsmDb};
 pub use error::{Error, Result};
 pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
 pub use maintenance::{
-    attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
-    MaintainableEngine, MaintenanceHandle, Throttle,
+    attach_engine, attach_shard_engines, BackpressureConfig, BackpressureGate, EngineMaintenance,
+    JobKind, JobScheduler, MaintainableEngine, MaintenanceHandle, Throttle,
 };
 pub use manifest::FileMeta;
 pub use memtable::{FrozenMemTable, MemTable, MemTableRef};
 pub use options::{CompactionPriority, LsmOptions};
 pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
 pub use storage::{
-    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage, Storage,
-    StorageRef,
+    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage,
+    SharedSyncHandle, Storage, StorageRef,
 };
 pub use types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, WriteEntry, MAX_SEQNO};
 pub use wal_segment::{

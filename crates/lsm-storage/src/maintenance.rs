@@ -67,9 +67,21 @@ pub trait MaintainableEngine: Send + Sync + 'static {
     fn run_maintenance_job(&self, kind: JobKind) -> Result<()>;
 }
 
+/// Per-handle (per-engine) pending counters. A scheduler shared by many
+/// shards tracks queue depth both globally (in [`SchedulerState`], for
+/// `wait_idle` and pool-wide gauges) and per registered handle, so one
+/// shard's pending compaction never suppresses or stalls another shard's.
+#[derive(Debug, Default)]
+struct HandleState {
+    pending: AtomicUsize,
+    pending_per_kind: [AtomicUsize; 3],
+}
+
 struct Job {
     kind: JobKind,
     engine: Weak<dyn MaintainableEngine>,
+    /// Counters of the handle that submitted this job.
+    local: Arc<HandleState>,
 }
 
 enum Message {
@@ -121,7 +133,7 @@ impl SchedulerState {
 
     fn job_started(&self) {}
 
-    fn job_finished(&self, kind: JobKind, result: &Result<()>) {
+    fn job_finished(&self, kind: JobKind, local: &HandleState, result: &Result<()>) {
         match result {
             Ok(()) => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
@@ -131,13 +143,16 @@ impl SchedulerState {
                 *self.last_error.lock() = Some(e.to_string());
             }
         }
-        self.pending_per_kind[kind.index()].fetch_sub(1, Ordering::AcqRel);
-        self.pending.fetch_sub(1, Ordering::AcqRel);
-        let _guard = self.idle_lock.lock();
-        self.idle.notify_all();
+        self.settle(kind, local);
     }
 
-    fn job_skipped(&self, kind: JobKind) {
+    fn job_skipped(&self, kind: JobKind, local: &HandleState) {
+        self.settle(kind, local);
+    }
+
+    fn settle(&self, kind: JobKind, local: &HandleState) {
+        local.pending_per_kind[kind.index()].fetch_sub(1, Ordering::AcqRel);
+        local.pending.fetch_sub(1, Ordering::AcqRel);
         self.pending_per_kind[kind.index()].fetch_sub(1, Ordering::AcqRel);
         self.pending.fetch_sub(1, Ordering::AcqRel);
         let _guard = self.idle_lock.lock();
@@ -154,6 +169,9 @@ impl SchedulerState {
 pub struct MaintenanceHandle {
     tx: Sender<Message>,
     state: Arc<SchedulerState>,
+    /// This handle's own pending counters; distinct per registered engine so
+    /// shards sharing one scheduler observe only their own queue depth.
+    local: Arc<HandleState>,
     engine: Weak<dyn MaintainableEngine>,
 }
 
@@ -171,23 +189,29 @@ impl MaintenanceHandle {
         if self.state.shutdown.load(Ordering::Acquire) {
             return false;
         }
+        self.local.pending.fetch_add(1, Ordering::AcqRel);
+        self.local.pending_per_kind[kind.index()].fetch_add(1, Ordering::AcqRel);
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         self.state.pending_per_kind[kind.index()].fetch_add(1, Ordering::AcqRel);
         let job = Job {
             kind,
             engine: Weak::clone(&self.engine),
+            local: Arc::clone(&self.local),
         };
         if self.tx.send(Message::Work(job)).is_err() {
-            self.state.job_skipped(kind);
+            self.state.job_skipped(kind, &self.local);
             return false;
         }
         true
     }
 
-    /// Enqueues a job only if none of that kind is already pending, so the
-    /// write path cannot flood the queue with duplicate compaction requests.
+    /// Enqueues a job only if this handle has none of that kind already
+    /// pending, so the write path cannot flood the queue with duplicate
+    /// compaction requests. Deduplication is per engine: on a scheduler
+    /// shared by many shards, one shard's pending compaction never
+    /// suppresses another's.
     pub fn submit_if_idle(&self, kind: JobKind) -> bool {
-        if self.state.pending_of(kind) > 0 {
+        if self.local.pending_per_kind[kind.index()].load(Ordering::Acquire) > 0 {
             return false;
         }
         self.submit(kind)
@@ -200,13 +224,20 @@ impl MaintenanceHandle {
         self.state.shutdown.load(Ordering::Acquire)
     }
 
-    /// Scheduler counters.
+    /// Scheduler counters (global across every handle of the scheduler).
     pub fn state(&self) -> &Arc<SchedulerState> {
         &self.state
     }
 
-    /// Jobs enqueued or running.
+    /// Jobs this handle enqueued that are still queued or running. On a
+    /// dedicated scheduler this equals the global queue depth; on a shared
+    /// one it is this engine's share, which is what backpressure should see.
     pub fn pending_jobs(&self) -> usize {
+        self.local.pending.load(Ordering::Acquire)
+    }
+
+    /// Jobs queued or running across the whole scheduler (every handle).
+    pub fn scheduler_pending_jobs(&self) -> usize {
         self.state.pending_jobs()
     }
 }
@@ -406,6 +437,23 @@ pub trait EngineMaintenance: MaintainableEngine {
         self.write_room().notify();
     }
 
+    /// Schedules the flush of already-frozen memtables: enqueues a flush job
+    /// when a live scheduler is attached, drains them inline otherwise. The
+    /// body of the engines' `freeze_and_schedule` convenience — a manual
+    /// `freeze_memtable()` alone leaves the frozen memtable waiting for the
+    /// next write-path trigger.
+    fn schedule_frozen_flush(&self) -> Result<()> {
+        match self.active_maintenance() {
+            Some(handle) if handle.submit(JobKind::Flush) => Ok(()),
+            // No scheduler (or it shut down between the check and the
+            // submit): drain inline instead of leaking the frozen memtable.
+            _ => {
+                while self.flush_frozen_one()? {}
+                Ok(())
+            }
+        }
+    }
+
     /// The post-write maintenance step: with a scheduler attached, freeze a
     /// full memtable and enqueue flush/compaction jobs; without one, drain
     /// any leftover frozen memtables and run the legacy synchronous path.
@@ -486,6 +534,31 @@ where
     Ok(scheduler)
 }
 
+/// Starts one shared worker pool with `num_workers` threads and registers
+/// every engine of `engines` with it. Used by sharded deployments: all
+/// shards submit to the same queue, so flush/compaction of disjoint shards
+/// runs in parallel across the pool instead of one-compaction-at-a-time per
+/// engine-private scheduler. Errors if any engine already has a scheduler
+/// attached (engines registered before the failure keep their handles, whose
+/// scheduler is dropped and drained when this function returns).
+pub fn attach_shard_engines<E>(engines: &[Arc<E>], num_workers: usize) -> Result<JobScheduler>
+where
+    E: EngineMaintenance + 'static,
+{
+    let scheduler = JobScheduler::start_pool(num_workers);
+    for engine in engines {
+        let dyn_engine: Arc<dyn MaintainableEngine> =
+            Arc::clone(engine) as Arc<dyn MaintainableEngine>;
+        let handle = scheduler.register(&dyn_engine);
+        if engine.maintenance_cell().set(handle).is_err() {
+            return Err(Error::invalid(
+                "a maintenance scheduler is already attached to a shard",
+            ));
+        }
+    }
+    Ok(scheduler)
+}
+
 /// A pool of background worker threads executing maintenance jobs.
 ///
 /// Owns the threads; dropping it drains the queue and joins every worker.
@@ -507,13 +580,12 @@ impl std::fmt::Debug for JobScheduler {
 }
 
 impl JobScheduler {
-    /// Starts `num_workers` worker threads (at least one) for `engine` and
-    /// returns the scheduler plus the handle the engine should register via
-    /// its `attach_maintenance` method.
-    pub fn start(
-        engine: &Arc<dyn MaintainableEngine>,
-        num_workers: usize,
-    ) -> (JobScheduler, MaintenanceHandle) {
+    /// Starts a worker pool with `num_workers` threads (at least one) that is
+    /// not yet serving any engine. Engines are attached afterwards with
+    /// [`JobScheduler::register`] — a sharded deployment registers every
+    /// shard with the same pool, so flushes and compactions of disjoint
+    /// shards run genuinely in parallel across the workers.
+    pub fn start_pool(num_workers: usize) -> JobScheduler {
         let (tx, rx) = channel::<Message>();
         let rx = Arc::new(Mutex::new(rx));
         let state = Arc::new(SchedulerState::default());
@@ -527,20 +599,37 @@ impl JobScheduler {
                     .expect("spawn maintenance worker")
             })
             .collect();
-        let handle = MaintenanceHandle {
-            tx: tx.clone(),
-            state: Arc::clone(&state),
+        JobScheduler {
+            tx,
+            rx,
+            workers,
+            state,
+        }
+    }
+
+    /// Creates a submission handle for `engine` on this scheduler's queue.
+    /// Each handle carries its own pending counters, so per-engine
+    /// deduplication and backpressure stay correct when many engines share
+    /// one pool.
+    pub fn register(&self, engine: &Arc<dyn MaintainableEngine>) -> MaintenanceHandle {
+        MaintenanceHandle {
+            tx: self.tx.clone(),
+            state: Arc::clone(&self.state),
+            local: Arc::new(HandleState::default()),
             engine: Arc::downgrade(engine),
-        };
-        (
-            JobScheduler {
-                tx,
-                rx,
-                workers,
-                state,
-            },
-            handle,
-        )
+        }
+    }
+
+    /// Starts `num_workers` worker threads (at least one) for `engine` and
+    /// returns the scheduler plus the handle the engine should register via
+    /// its `attach_maintenance` method.
+    pub fn start(
+        engine: &Arc<dyn MaintainableEngine>,
+        num_workers: usize,
+    ) -> (JobScheduler, MaintenanceHandle) {
+        let scheduler = Self::start_pool(num_workers);
+        let handle = scheduler.register(engine);
+        (scheduler, handle)
     }
 
     /// Number of worker threads.
@@ -584,7 +673,7 @@ impl Drop for JobScheduler {
         let rx = self.rx.lock();
         while let Ok(message) = rx.try_recv() {
             if let Message::Work(job) = message {
-                self.state.job_skipped(job.kind);
+                self.state.job_skipped(job.kind, &job.local);
             }
         }
     }
@@ -607,10 +696,10 @@ fn worker_loop(rx: &Mutex<Receiver<Message>>, state: &SchedulerState) {
             Some(engine) => {
                 state.job_started();
                 let result = engine.run_maintenance_job(job.kind);
-                state.job_finished(job.kind, &result);
+                state.job_finished(job.kind, &job.local, &result);
             }
             // Engine dropped while the job sat in the queue: nothing to do.
-            None => state.job_skipped(job.kind),
+            None => state.job_skipped(job.kind, &job.local),
         }
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crate::block::{Block, BlockBuilder};
 use crate::bloom::{BloomFilter, BloomFilterBuilder};
-use crate::cache::{BlockCache, CachedBlock};
+use crate::cache::{BlockCache, CachedBlock, ScopedCache};
 use crate::checksum::crc32;
 use crate::coding::{put_u32, put_u64, Decoder};
 use crate::error::{Error, Result};
@@ -335,10 +335,12 @@ impl Table {
     }
 
     /// Opens an SST, serving data-block reads through `cache` when given.
+    /// The scope of the handle decides which accounting scope of the shared
+    /// cache this table's blocks charge (see [`ScopedCache`]).
     pub fn open_with_cache(
         storage: &StorageRef,
         name: &str,
-        cache: Option<Arc<BlockCache>>,
+        cache: Option<ScopedCache>,
     ) -> Result<Arc<Table>> {
         let file = storage.open(name)?;
         let file_size = file.len();
@@ -354,7 +356,7 @@ impl Table {
         let num_data_blocks = index.entries()?.len() as u64;
         let cache = cache.map(|c| {
             let id = c.register_table();
-            (c, id)
+            (Arc::clone(c.cache()), id)
         });
         Ok(Arc::new(Table {
             file,
@@ -430,7 +432,7 @@ impl TableHandle {
     pub fn open_with_cache(
         storage: &StorageRef,
         name: &str,
-        cache: Option<Arc<BlockCache>>,
+        cache: Option<ScopedCache>,
     ) -> Result<TableHandle> {
         Ok(TableHandle(Table::open_with_cache(storage, name, cache)?))
     }

@@ -124,6 +124,15 @@ impl IoStatsSnapshot {
     }
 }
 
+/// A shareable handle that can fsync a file without exclusive access to its
+/// [`WritableFile`]. Lets a group-commit leader run `sync_data` while other
+/// threads keep appending through the writable handle (under their own
+/// locking) — the basis of the WAL's fsync-outside-the-mutex write path.
+pub trait SharedSyncHandle: Send + Sync {
+    /// Forces everything appended to the file so far to durable storage.
+    fn sync(&self) -> Result<()>;
+}
+
 /// A file opened for appending.
 pub trait WritableFile: Send + Sync {
     /// Appends bytes at the end of the file.
@@ -135,6 +144,12 @@ pub trait WritableFile: Send + Sync {
     /// Returns true if nothing has been appended yet.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// A shareable sync handle for this file, if the backend supports one
+    /// (e.g. a duplicated file descriptor). `None` means callers must sync
+    /// through the exclusive [`WritableFile::sync`].
+    fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        None
     }
 }
 
@@ -229,6 +244,19 @@ struct MemWritable {
     stats: Arc<IoStats>,
 }
 
+/// In-memory files are always "durable"; the shared handle just keeps the
+/// sync accounting identical to the exclusive path.
+struct MemSyncHandle {
+    stats: Arc<IoStats>,
+}
+
+impl SharedSyncHandle for MemSyncHandle {
+    fn sync(&self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
 impl WritableFile for MemWritable {
     fn append(&mut self, data: &[u8]) -> Result<()> {
         self.stats.record_write(data.len() as u64);
@@ -243,6 +271,12 @@ impl WritableFile for MemWritable {
 
     fn len(&self) -> u64 {
         self.buf.read().len() as u64
+    }
+
+    fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        Some(Arc::new(MemSyncHandle {
+            stats: Arc::clone(&self.stats),
+        }))
     }
 }
 
@@ -360,6 +394,21 @@ struct FileWritable {
     stats: Arc<IoStats>,
 }
 
+/// A duplicated descriptor of the written file: `sync_data` on it flushes
+/// the same inode, so a leader can fsync while writers keep appending.
+struct FileSyncHandle {
+    file: std::fs::File,
+    stats: Arc<IoStats>,
+}
+
+impl SharedSyncHandle for FileSyncHandle {
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
 impl WritableFile for FileWritable {
     fn append(&mut self, data: &[u8]) -> Result<()> {
         self.file.write_all(data)?;
@@ -376,6 +425,15 @@ impl WritableFile for FileWritable {
 
     fn len(&self) -> u64 {
         self.len
+    }
+
+    fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        self.file.try_clone().ok().map(|file| {
+            Arc::new(FileSyncHandle {
+                file,
+                stats: Arc::clone(&self.stats),
+            }) as Arc<dyn SharedSyncHandle>
+        })
     }
 }
 
@@ -522,6 +580,20 @@ struct FaultWritable {
     appends: Arc<AtomicU64>,
 }
 
+struct FaultSyncHandle {
+    inner: Arc<dyn SharedSyncHandle>,
+    config: Arc<RwLock<FaultConfig>>,
+}
+
+impl SharedSyncHandle for FaultSyncHandle {
+    fn sync(&self) -> Result<()> {
+        if self.config.read().fail_sync {
+            return Err(Error::StorageFault("injected sync failure".into()));
+        }
+        self.inner.sync()
+    }
+}
+
 impl WritableFile for FaultWritable {
     fn append(&mut self, data: &[u8]) -> Result<()> {
         let cfg = *self.config.read();
@@ -547,6 +619,15 @@ impl WritableFile for FaultWritable {
 
     fn len(&self) -> u64 {
         self.inner.len()
+    }
+
+    fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        self.inner.shared_sync_handle().map(|inner| {
+            Arc::new(FaultSyncHandle {
+                inner,
+                config: Arc::clone(&self.config),
+            }) as Arc<dyn SharedSyncHandle>
+        })
     }
 }
 

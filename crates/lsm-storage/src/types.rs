@@ -217,6 +217,13 @@ impl WriteBatch {
         self
     }
 
+    /// Appends an already-constructed entry, preserving its kind. Used when
+    /// splitting one logical batch into per-shard sub-batches.
+    pub fn push(&mut self, entry: WriteEntry) -> &mut Self {
+        self.entries.push(entry);
+        self
+    }
+
     /// Number of entries in the batch.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -18,10 +18,12 @@
 //! behaviour: a torn tail write after a crash must not prevent recovery of the
 //! prefix).
 
+use std::sync::Arc;
+
 use crate::checksum::{crc32, mask, unmask};
 use crate::coding::{get_u32, get_u64, put_u32, put_u64};
 use crate::error::{Error, Result};
-use crate::storage::{StorageRef, WritableFile};
+use crate::storage::{SharedSyncHandle, StorageRef, WritableFile};
 use crate::types::{SeqNo, WriteBatch};
 
 /// Header bytes per record: length (4) + crc (4) + starting sequence number (8).
@@ -64,6 +66,13 @@ impl WalWriter {
     /// Forces buffered records to durable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync()
+    }
+
+    /// A shareable fsync handle for the log file, if the backend supports
+    /// one. Lets a group-commit leader sync this log while other writers
+    /// keep appending (under the log's own locking).
+    pub fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        self.file.shared_sync_handle()
     }
 
     /// Number of records appended.

@@ -32,9 +32,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use std::sync::Arc;
+
 use crate::coding::{put_u64, put_varint64, Decoder};
 use crate::error::{Error, Result};
-use crate::storage::StorageRef;
+use crate::storage::{SharedSyncHandle, StorageRef};
 use crate::types::{SeqNo, WriteBatch};
 use crate::wal::{recover as recover_segment, WalRecord, WalWriter};
 
@@ -133,6 +135,7 @@ pub struct WalTicket {
 pub struct WalStats {
     records_appended: AtomicU64,
     syncs: AtomicU64,
+    syncs_off_lock: AtomicU64,
     coalesced_acks: AtomicU64,
     rotations: AtomicU64,
     segments_deleted: AtomicU64,
@@ -148,6 +151,10 @@ pub struct WalStatsSnapshot {
     pub records_appended: u64,
     /// fsync calls issued (write path + rotations/seals).
     pub syncs: u64,
+    /// Write-path fsyncs issued with the append mutex *released*, so
+    /// concurrent appends could overlap the `sync_data` (the group-commit
+    /// leader path on backends that support shared sync handles).
+    pub syncs_off_lock: u64,
     /// Durable acknowledgements that did not need their own fsync because a
     /// concurrent writer's (or a rotation's) sync already covered them.
     pub coalesced_acks: u64,
@@ -170,6 +177,22 @@ pub struct WalStatsSnapshot {
 struct ActiveSegment {
     meta: WalSegmentMeta,
     writer: WalWriter,
+    /// Shareable fsync handle of the segment file (None when the backend
+    /// cannot duplicate handles; syncing then falls back to holding the
+    /// append mutex across the fsync).
+    sync_handle: Option<Arc<dyn SharedSyncHandle>>,
+}
+
+impl ActiveSegment {
+    fn create(storage: &StorageRef, meta: WalSegmentMeta) -> Result<Self> {
+        let writer = WalWriter::create(storage, &meta.file_name(), false)?;
+        let sync_handle = writer.shared_sync_handle();
+        Ok(ActiveSegment {
+            meta,
+            writer,
+            sync_handle,
+        })
+    }
 }
 
 struct SealedSegment {
@@ -217,6 +240,11 @@ pub struct SegmentedWal {
     storage: StorageRef,
     policy: WalSyncPolicy,
     inner: Mutex<WalInner>,
+    /// Elects the group-commit leader: the writer holding this lock runs the
+    /// fsync (with `inner` *released*, so appends overlap the sync); every
+    /// writer queued behind it re-checks `synced_epoch` on entry and is
+    /// acknowledged without an fsync of its own when the leader covered it.
+    sync_lock: Mutex<()>,
     stats: WalStats,
 }
 
@@ -317,16 +345,17 @@ impl SegmentedWal {
             .first()
             .map(|r| r.start_seq.min(next_min_seq))
             .unwrap_or(next_min_seq);
-        let active = ActiveSegment {
-            meta: WalSegmentMeta {
+        let active = ActiveSegment::create(
+            storage,
+            WalSegmentMeta {
                 id: next_id,
                 min_seq,
             },
-            writer: WalWriter::create(storage, &segment_file_name(next_id), false)?,
-        };
+        )?;
         let wal = SegmentedWal {
             storage: StorageRef::clone(storage),
             policy,
+            sync_lock: Mutex::new(()),
             inner: Mutex::new(WalInner {
                 active,
                 sealed: Vec::new(),
@@ -396,31 +425,84 @@ impl SegmentedWal {
 
     /// Forces an fsync covering everything appended so far.
     pub fn sync(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        Self::check_damaged(&inner)?;
-        let target = inner.appended_epoch;
-        Self::sync_locked(&mut inner, &self.stats, target)
+        let epoch = {
+            let inner = self.inner.lock();
+            Self::check_damaged(&inner)?;
+            inner.appended_epoch
+        };
+        if epoch == 0 {
+            return Ok(());
+        }
+        self.sync_off_lock(epoch)
     }
 
     fn sync_through(&self, epoch: u64, window: Option<Duration>) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.synced_epoch >= epoch {
-            // A rotation or a concurrent writer's fsync already covered this
-            // record: acknowledged with no fsync of our own.
-            self.stats.coalesced_acks.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
-        }
-        if let Some(window) = window {
-            if inner.last_sync.elapsed() < window {
-                // Within the sync window: acknowledged immediately, the next
-                // window-expiring writer (or rotation) will cover us.
+        {
+            let inner = self.inner.lock();
+            if inner.synced_epoch >= epoch {
+                // A rotation or a concurrent writer's fsync already covered
+                // this record: acknowledged with no fsync of our own.
                 self.stats.coalesced_acks.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
+            if let Some(window) = window {
+                if inner.last_sync.elapsed() < window {
+                    // Within the sync window: acknowledged immediately, the
+                    // next window-expiring writer (or rotation) will cover us.
+                    self.stats.coalesced_acks.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+            Self::check_damaged(&inner)?;
         }
-        Self::check_damaged(&inner)?;
-        let target = inner.appended_epoch;
-        Self::sync_locked(&mut inner, &self.stats, target)
+        self.sync_off_lock(epoch)
+    }
+
+    /// Group commit: elect a leader via `sync_lock`, re-check coverage, then
+    /// fsync through the active segment's shared handle with the append
+    /// mutex *released*, so concurrent appends overlap a slow `sync_data`.
+    /// Backends without shared handles fall back to syncing under the mutex.
+    fn sync_off_lock(&self, epoch: u64) -> Result<()> {
+        let _leader = self.sync_lock.lock();
+        let (target, handle) = {
+            let inner = self.inner.lock();
+            if inner.synced_epoch >= epoch {
+                // The previous leader's fsync covered this record while we
+                // queued for leadership.
+                self.stats.coalesced_acks.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Self::check_damaged(&inner)?;
+            (inner.appended_epoch, inner.active.sync_handle.clone())
+        };
+        let Some(handle) = handle else {
+            let mut inner = self.inner.lock();
+            Self::check_damaged(&inner)?;
+            let target = inner.appended_epoch;
+            return Self::sync_locked(&mut inner, &self.stats, target);
+        };
+        // `target` and `handle` were captured together under `inner`, so
+        // every record with epoch <= target is either in this file or in an
+        // earlier segment already synced by its sealing rotation. Appends
+        // racing with this fsync land in the same file (harmlessly synced
+        // early) or in a newer segment (epoch > target, not claimed).
+        let result = handle.sync();
+        let mut inner = self.inner.lock();
+        match result {
+            Ok(()) => {
+                inner.synced_epoch = inner.synced_epoch.max(target);
+                inner.last_sync = Instant::now();
+                self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+                self.stats.syncs_off_lock.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // Same fail-stop as the under-lock path: after a failed fsync
+                // the on-disk state of recent records is unknown.
+                inner.damaged = true;
+                Err(e)
+            }
+        }
     }
 
     fn sync_locked(inner: &mut WalInner, stats: &WalStats, target: u64) -> Result<()> {
@@ -450,13 +532,13 @@ impl SegmentedWal {
         Self::sync_locked(&mut inner, &self.stats, target)?;
         let id = inner.next_id;
         inner.next_id += 1;
-        let new_active = ActiveSegment {
-            meta: WalSegmentMeta {
+        let new_active = ActiveSegment::create(
+            &self.storage,
+            WalSegmentMeta {
                 id,
                 min_seq: next_min_seq,
             },
-            writer: WalWriter::create(&self.storage, &segment_file_name(id), false)?,
-        };
+        )?;
         let old = std::mem::replace(&mut inner.active, new_active);
         let sealed_id = old.meta.id;
         inner.sealed.push(SealedSegment {
@@ -577,6 +659,7 @@ impl SegmentedWal {
         WalStatsSnapshot {
             records_appended: self.stats.records_appended.load(Ordering::Relaxed),
             syncs: self.stats.syncs.load(Ordering::Relaxed),
+            syncs_off_lock: self.stats.syncs_off_lock.load(Ordering::Relaxed),
             coalesced_acks: self.stats.coalesced_acks.load(Ordering::Relaxed),
             rotations: self.stats.rotations.load(Ordering::Relaxed),
             segments_deleted: self.stats.segments_deleted.load(Ordering::Relaxed),
@@ -853,6 +936,46 @@ mod tests {
         assert_eq!(recovery.records[0].start_seq, 1);
         wal.append(2, &batch(&[2])).unwrap();
         assert!(!wal.is_damaged());
+    }
+
+    #[test]
+    fn write_path_syncs_run_off_the_append_lock() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let wal = open_fresh(&storage, WalSyncPolicy::Always);
+        let t = wal.append(1, &batch(&[1])).unwrap();
+        wal.ensure_durable(&t).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.syncs, 1);
+        assert_eq!(
+            stats.syncs_off_lock, 1,
+            "group-commit fsync must use the shared-handle path"
+        );
+        // Rotation seals under the lock; its sync is not an off-lock one.
+        wal.rotate(2).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.syncs, 2);
+        assert_eq!(stats.syncs_off_lock, 1);
+    }
+
+    #[test]
+    fn failed_off_lock_sync_fail_stops_the_wal() {
+        use crate::storage::{FaultConfig, FaultInjectingStorage};
+        let base = MemStorage::new_ref();
+        let faulty = std::sync::Arc::new(FaultInjectingStorage::new(StorageRef::clone(&base)));
+        let storage: StorageRef = faulty.clone();
+        let (wal, _) = SegmentedWal::open(&storage, WalSyncPolicy::Always, &[], &[], 1).unwrap();
+        let t = wal.append(1, &batch(&[1])).unwrap();
+        faulty.set_config(FaultConfig {
+            fail_sync: true,
+            ..Default::default()
+        });
+        assert!(wal.ensure_durable(&t).is_err());
+        assert!(wal.is_damaged());
+        faulty.set_config(FaultConfig::default());
+        assert!(
+            wal.append(2, &batch(&[2])).is_err(),
+            "fail-stop must survive the fault clearing"
+        );
     }
 
     #[test]

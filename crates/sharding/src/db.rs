@@ -1,0 +1,525 @@
+//! The sharded database facade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use lsm_storage::cache::{BlockCache, BlockCacheStats, ScopedCache};
+use lsm_storage::maintenance::{attach_shard_engines, JobScheduler};
+use lsm_storage::types::{SeqNo, UserKey, WriteBatch, MAX_SEQNO};
+use lsm_storage::{Error, Result};
+
+use crate::engine::ShardEngine;
+use crate::manifest::{read_shard_manifest, write_shard_manifest, ShardManifest};
+use crate::pool::WorkerPool;
+use crate::router::ShardRouter;
+use crate::storage::ShardStorageProvider;
+
+/// Configuration of the sharding layer (the per-shard engine options are
+/// passed separately and shared by every shard).
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Requested shard count for a *fresh* directory. A reopened database
+    /// always keeps the topology persisted in its shard manifest.
+    pub num_shards: usize,
+    /// Explicit split points for a fresh directory (`num_shards - 1`
+    /// ascending keys). `None` splits the full `u64` key space uniformly —
+    /// workloads whose keys occupy a narrow range should pass boundaries
+    /// matching their distribution instead.
+    pub boundaries: Option<Vec<UserKey>>,
+    /// Threads of the cross-shard fan-out pool (scans and multi-shard batch
+    /// writes). 0 means `min(num_shards, 8)`.
+    pub fanout_threads: usize,
+    /// Workers of the shared background maintenance scheduler serving every
+    /// shard; 0 disables background maintenance (flush/compaction then run
+    /// inline on the write path, per shard).
+    pub maintenance_workers: usize,
+    /// Global byte budget of the process-wide block cache shared by all
+    /// shards; 0 disables caching (unless an external cache is supplied via
+    /// [`ShardedDb::open_with_cache`]).
+    pub cache_bytes: usize,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            num_shards: 4,
+            boundaries: None,
+            fanout_threads: 0,
+            maintenance_workers: 0,
+            cache_bytes: 0,
+        }
+    }
+}
+
+impl ShardedOptions {
+    /// Options for `num_shards` shards, everything else default.
+    pub fn with_shards(num_shards: usize) -> Self {
+        ShardedOptions {
+            num_shards,
+            ..Default::default()
+        }
+    }
+
+    /// Options with explicit split points (shard count follows from them).
+    pub fn with_boundaries(boundaries: Vec<UserKey>) -> Self {
+        ShardedOptions {
+            num_shards: boundaries.len() + 1,
+            boundaries: Some(boundaries),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the fan-out pool size.
+    pub fn fanout_threads(mut self, threads: usize) -> Self {
+        self.fanout_threads = threads;
+        self
+    }
+
+    /// Enables background maintenance with `workers` shared worker threads.
+    pub fn maintenance_workers(mut self, workers: usize) -> Self {
+        self.maintenance_workers = workers;
+        self
+    }
+
+    /// Sets the global block-cache budget in bytes.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+/// A consistent cross-shard snapshot: one sequence number per shard,
+/// captured atomically with respect to (multi-shard) batch writes — a
+/// snapshot can never observe half of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    seqs: Vec<SeqNo>,
+}
+
+impl ShardSnapshot {
+    /// The per-shard visibility horizon (indexed by shard).
+    pub fn seqs(&self) -> &[SeqNo] {
+        &self.seqs
+    }
+
+    /// A snapshot that sees everything, for reads that do not need
+    /// cross-shard consistency.
+    fn latest(num_shards: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            seqs: vec![MAX_SEQNO; num_shards],
+        }
+    }
+}
+
+/// Counters of the sharding layer itself (per-shard engine counters stay
+/// available through [`ShardedDb::shards`]).
+#[derive(Debug, Default)]
+struct ShardedStats {
+    batches: AtomicU64,
+    cross_shard_batches: AtomicU64,
+    fanout_scans: AtomicU64,
+}
+
+/// Owned snapshot of the sharding layer's counters plus cache accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedStatsSnapshot {
+    /// Number of shards.
+    pub num_shards: usize,
+    /// Batches written through the facade.
+    pub batches: u64,
+    /// Batches that spanned more than one shard.
+    pub cross_shard_batches: u64,
+    /// Cross-shard scans that fanned out over more than one shard.
+    pub fanout_scans: u64,
+    /// Global block-cache counters (all shards combined), if caching is on.
+    pub cache: Option<BlockCacheStats>,
+    /// Resident cache bytes per shard (indexed by shard), if caching is on.
+    pub per_shard_cache_bytes: Vec<u64>,
+    /// Background jobs completed across all shards by the shared scheduler.
+    pub bg_jobs_completed: u64,
+    /// Background jobs queued or running across all shards.
+    pub bg_jobs_pending: u64,
+}
+
+/// A range-sharded database: N engine shards behind one router.
+///
+/// See the crate docs for the architecture. The facade is generic over the
+/// engine type: `ShardedDb<LsmDb>` shards the plain key-value engine,
+/// `ShardedDb<LaserDb>` the Real-Time LSM-Tree (values are then
+/// [`RowFragment`](laser_core::RowFragment)s and reads take a
+/// [`Projection`](laser_core::Projection)).
+pub struct ShardedDb<E: ShardEngine> {
+    // Field order is drop order: the scheduler drains and joins its workers
+    // while every shard is still alive, then the fan-out pool, then the
+    // shards themselves.
+    scheduler: Option<JobScheduler>,
+    pool: WorkerPool,
+    shards: Vec<Arc<E>>,
+    router: ShardRouter,
+    cache: Option<Arc<BlockCache>>,
+    /// Cache scope of each shard (indexed by shard), for accounting.
+    cache_scopes: Vec<u32>,
+    /// Snapshot barrier: batch writers hold it shared while applying every
+    /// per-shard sub-batch; [`ShardedDb::snapshot`] takes it exclusively, so
+    /// a snapshot waits out in-flight batches instead of splitting one.
+    snapshot_lock: RwLock<()>,
+    stats: ShardedStats,
+}
+
+impl<E: ShardEngine> std::fmt::Debug for ShardedDb<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("engine", &E::ENGINE_NAME)
+            .field("num_shards", &self.num_shards())
+            .finish()
+    }
+}
+
+impl<E: ShardEngine> ShardedDb<E> {
+    /// Opens (or reopens) a sharded database on `provider`, creating its own
+    /// process-wide block cache per `options.cache_bytes`.
+    pub fn open(
+        provider: &dyn ShardStorageProvider,
+        engine_options: E::Options,
+        options: ShardedOptions,
+    ) -> Result<Self> {
+        let cache = if options.cache_bytes > 0 {
+            Some(BlockCache::new(options.cache_bytes))
+        } else {
+            None
+        };
+        Self::open_with_cache(provider, engine_options, options, cache)
+    }
+
+    /// Opens (or reopens) a sharded database serving block reads through an
+    /// externally-owned cache, so several sharded databases — even of
+    /// different engine types — can share one memory budget.
+    /// `options.cache_bytes` is ignored when a cache is given.
+    pub fn open_with_cache(
+        provider: &dyn ShardStorageProvider,
+        engine_options: E::Options,
+        options: ShardedOptions,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Self> {
+        let root = provider.root()?;
+        // The persisted topology wins over the requested one: shard data
+        // cannot be re-split by merely asking for a different count.
+        let router = match read_shard_manifest(&root)? {
+            Some(manifest) => manifest.router()?,
+            None => {
+                let router = match &options.boundaries {
+                    Some(boundaries) => ShardRouter::from_boundaries(boundaries.clone())?,
+                    None => ShardRouter::uniform(options.num_shards),
+                };
+                write_shard_manifest(&root, &ShardManifest::from_router(&router))?;
+                router
+            }
+        };
+        let num_shards = router.num_shards();
+
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut cache_scopes = Vec::with_capacity(num_shards);
+        for index in 0..num_shards {
+            let scoped = cache.as_ref().map(|c| {
+                let scope = c.add_scope();
+                cache_scopes.push(scope);
+                ScopedCache::new(Arc::clone(c), scope)
+            });
+            let storage = provider.shard(index)?;
+            shards.push(Arc::new(E::open_shard(storage, &engine_options, scoped)?));
+        }
+
+        let scheduler = if options.maintenance_workers > 0 {
+            Some(attach_shard_engines(&shards, options.maintenance_workers)?)
+        } else {
+            None
+        };
+        let fanout_threads = if options.fanout_threads > 0 {
+            options.fanout_threads
+        } else {
+            num_shards.min(8)
+        };
+        Ok(ShardedDb {
+            scheduler,
+            pool: WorkerPool::new(fanout_threads, "shard-fanout"),
+            shards,
+            router,
+            cache,
+            cache_scopes,
+            snapshot_lock: RwLock::new(()),
+            stats: ShardedStats::default(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router mapping keys to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard engines (indexed by shard), for per-shard introspection.
+    pub fn shards(&self) -> &[Arc<E>] {
+        &self.shards
+    }
+
+    /// The process-wide block cache, if one is configured.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Applies a write batch. Entries are routed to their owning shards;
+    /// a batch spanning several shards is split into per-shard sub-batches
+    /// applied in parallel, and the call returns — one group-commit-style
+    /// acknowledgement — only after **every** sub-batch is durable per the
+    /// engines' WAL policy. Atomicity is per shard; cross-shard visibility
+    /// is atomic with respect to [`ShardedDb::snapshot`].
+    pub fn write(&self, batch: &WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        // Fast path for the dominant case — every entry owned by one shard
+        // (all point ops, and any batch with key locality): route, take the
+        // snapshot barrier, hand the caller's batch straight through with no
+        // clone or per-shard allocation.
+        let mut entries = batch.iter();
+        let first_shard = self
+            .router
+            .shard_of(entries.next().expect("non-empty").user_key);
+        if entries.all(|e| self.router.shard_of(e.user_key) == first_shard) {
+            // Shared lock: a concurrent snapshot waits until every sub-batch
+            // of this write landed (or none), never observing half of it.
+            let _batch_guard = self.snapshot_lock.read();
+            return self.shards[first_shard].shard_write(batch);
+        }
+
+        let mut per_shard: Vec<Option<WriteBatch>> = vec![None; self.shards.len()];
+        for entry in batch.iter() {
+            let shard = self.router.shard_of(entry.user_key);
+            per_shard[shard]
+                .get_or_insert_with(WriteBatch::new)
+                .push(entry.clone());
+        }
+        self.stats
+            .cross_shard_batches
+            .fetch_add(1, Ordering::Relaxed);
+        let tasks: Vec<_> = per_shard
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(shard, sub)| sub.take().map(|sub| (shard, sub)))
+            .map(|(shard, sub)| {
+                let engine = Arc::clone(&self.shards[shard]);
+                move || engine.shard_write(&sub)
+            })
+            .collect();
+        let _batch_guard = self.snapshot_lock.read();
+        let results = self.pool.run_all(tasks);
+        results.into_iter().collect::<Result<Vec<()>>>()?;
+        Ok(())
+    }
+
+    /// Inserts a single key/value pair (the payload must be whatever the
+    /// engine expects — an opaque blob for `LsmDb`, an encoded complete
+    /// [`RowFragment`](laser_core::RowFragment) for `LaserDb`).
+    pub fn put(&self, key: UserKey, value: Vec<u8>) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(&batch)
+    }
+
+    /// Deletes a key (writes a tombstone on the owning shard).
+    pub fn delete(&self, key: UserKey) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(&batch)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots and reads
+    // ------------------------------------------------------------------
+
+    /// Captures a consistent cross-shard snapshot: the per-shard sequence
+    /// horizon, taken while no batch write is in flight. Scans and reads at
+    /// this snapshot see every batch acknowledged before the capture and
+    /// nothing written after it — in particular, never half of a cross-shard
+    /// batch.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let _barrier = self.snapshot_lock.write();
+        ShardSnapshot {
+            seqs: self.shards.iter().map(|s| s.shard_last_seq()).collect(),
+        }
+    }
+
+    /// Point lookup of the newest visible value.
+    pub fn get(&self, key: UserKey, ctx: &E::ReadCtx) -> Result<Option<E::Value>> {
+        let shard = self.router.shard_of(key);
+        self.shards[shard].shard_get_at(key, ctx, MAX_SEQNO)
+    }
+
+    /// Point lookup at a snapshot.
+    pub fn get_at(
+        &self,
+        key: UserKey,
+        ctx: &E::ReadCtx,
+        snapshot: &ShardSnapshot,
+    ) -> Result<Option<E::Value>> {
+        let shard = self.router.shard_of(key);
+        let seq = snapshot
+            .seqs
+            .get(shard)
+            .copied()
+            .ok_or_else(|| Error::invalid("snapshot from a different topology"))?;
+        self.shards[shard].shard_get_at(key, ctx, seq)
+    }
+
+    /// Cross-shard range scan of the newest visible versions in `[lo, hi]`.
+    /// Captures a snapshot internally so the result is consistent across
+    /// shards even under concurrent writes.
+    pub fn scan(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &E::ReadCtx,
+    ) -> Result<Vec<(UserKey, E::Value)>> {
+        let snapshot = self.snapshot();
+        self.scan_at(lo, hi, ctx, &snapshot)
+    }
+
+    /// Cross-shard range scan at a snapshot. The per-shard scans run in
+    /// parallel on the fan-out pool; shards own disjoint contiguous ranges,
+    /// so concatenating the results in shard order yields global key order
+    /// with no merge heap.
+    pub fn scan_at(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &E::ReadCtx,
+        snapshot: &ShardSnapshot,
+    ) -> Result<Vec<(UserKey, E::Value)>> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        if snapshot.seqs.len() != self.shards.len() {
+            return Err(Error::invalid("snapshot from a different topology"));
+        }
+        let shard_range = self.router.shards_overlapping(lo, hi);
+        if shard_range.start() == shard_range.end() {
+            let shard = *shard_range.start();
+            return self.shards[shard].shard_scan_at(lo, hi, ctx, snapshot.seqs[shard]);
+        }
+        self.stats.fanout_scans.fetch_add(1, Ordering::Relaxed);
+        let tasks: Vec<_> = shard_range
+            .map(|shard| {
+                let engine = Arc::clone(&self.shards[shard]);
+                let (shard_lo, shard_hi) = self.router.shard_range(shard);
+                let (clamped_lo, clamped_hi) = (lo.max(shard_lo), hi.min(shard_hi));
+                let seq = snapshot.seqs[shard];
+                let ctx = ctx.clone();
+                move || engine.shard_scan_at(clamped_lo, clamped_hi, &ctx, seq)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for rows in self.pool.run_all(tasks) {
+            out.extend(rows?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Flushes every shard's buffered writes to Level-0, in parallel.
+    pub fn flush(&self) -> Result<()> {
+        let tasks: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let engine = Arc::clone(shard);
+                move || engine.shard_flush()
+            })
+            .collect();
+        self.pool.run_all(tasks).into_iter().collect::<Result<_>>()
+    }
+
+    /// Compacts every shard until no level overflows, in parallel.
+    pub fn compact_until_stable(&self) -> Result<()> {
+        let tasks: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let engine = Arc::clone(shard);
+                move || engine.shard_compact_until_stable()
+            })
+            .collect();
+        self.pool.run_all(tasks).into_iter().collect::<Result<_>>()
+    }
+
+    /// Blocks until the shared maintenance scheduler has no queued or
+    /// running job (no-op without background maintenance).
+    pub fn wait_maintenance_idle(&self) {
+        if let Some(scheduler) = &self.scheduler {
+            scheduler.wait_idle();
+        }
+    }
+
+    /// Workers of the shared maintenance scheduler (0 when disabled).
+    pub fn maintenance_workers(&self) -> usize {
+        self.scheduler.as_ref().map_or(0, |s| s.num_workers())
+    }
+
+    /// Flushes outstanding data on every shard and persists their manifests.
+    pub fn close(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.shard_close()?;
+        }
+        Ok(())
+    }
+
+    /// Counters of the sharding layer plus global/per-shard cache usage.
+    pub fn stats(&self) -> ShardedStatsSnapshot {
+        let (bg_completed, bg_pending) = self
+            .scheduler
+            .as_ref()
+            .map(|s| {
+                let state = s.state();
+                (state.completed_jobs(), state.pending_jobs() as u64)
+            })
+            .unwrap_or((0, 0));
+        ShardedStatsSnapshot {
+            num_shards: self.shards.len(),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            cross_shard_batches: self.stats.cross_shard_batches.load(Ordering::Relaxed),
+            fanout_scans: self.stats.fanout_scans.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            per_shard_cache_bytes: self
+                .cache
+                .as_ref()
+                .map(|c| {
+                    self.cache_scopes
+                        .iter()
+                        .map(|&scope| c.scope_used_bytes(scope))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            bg_jobs_completed: bg_completed,
+            bg_jobs_pending: bg_pending,
+        }
+    }
+
+    /// The snapshot every read sees when none is supplied (visible for
+    /// tests: `latest` horizons for the current topology).
+    pub fn latest_snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot::latest(self.shards.len())
+    }
+}

@@ -1,0 +1,180 @@
+//! The engine abstraction sharding is generic over, and its implementations
+//! for the two engines of this workspace.
+
+use laser_core::{LaserDb, LaserOptions, Projection, RowFragment};
+use lsm_storage::cache::ScopedCache;
+use lsm_storage::maintenance::EngineMaintenance;
+use lsm_storage::storage::StorageRef;
+use lsm_storage::types::{SeqNo, UserKey, WriteBatch};
+use lsm_storage::{LsmDb, LsmOptions, Result};
+
+/// An engine that can serve as one shard of a [`ShardedDb`](crate::ShardedDb).
+///
+/// The [`EngineMaintenance`] supertrait is what lets every shard register
+/// with one shared [`JobScheduler`](lsm_storage::JobScheduler); the methods
+/// here add shard-oriented open/write/read entry points over the engines'
+/// native APIs. `Value`/`ReadCtx` keep the facade fully typed: the plain KV
+/// engine scans `Vec<u8>` values with no read context, the LASER engine
+/// scans [`RowFragment`]s under a column [`Projection`].
+pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
+    /// Engine configuration, shared by every shard.
+    type Options: Clone + Send + Sync + 'static;
+    /// The value type reads and scans produce.
+    type Value: Send + 'static;
+    /// Per-read context (e.g. a column projection).
+    type ReadCtx: Clone + Default + Send + Sync + 'static;
+
+    /// Short engine name for logs and bench output.
+    const ENGINE_NAME: &'static str;
+
+    /// Opens one shard on its private storage namespace, serving block reads
+    /// through the given scoped view of the process-wide cache.
+    fn open_shard(
+        storage: StorageRef,
+        options: &Self::Options,
+        cache: Option<ScopedCache>,
+    ) -> Result<Self>;
+
+    /// Applies a batch atomically (the caller has already routed every entry
+    /// of the batch to this shard).
+    fn shard_write(&self, batch: &WriteBatch) -> Result<()>;
+
+    /// The last sequence number this shard assigned.
+    fn shard_last_seq(&self) -> SeqNo;
+
+    /// Point lookup visible at `snapshot`.
+    fn shard_get_at(
+        &self,
+        key: UserKey,
+        ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Option<Self::Value>>;
+
+    /// Range scan over `[lo, hi]` visible at `snapshot`, in key order.
+    fn shard_scan_at(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Vec<(UserKey, Self::Value)>>;
+
+    /// Flushes all buffered writes to Level-0.
+    fn shard_flush(&self) -> Result<()>;
+
+    /// Compacts until no level overflows.
+    fn shard_compact_until_stable(&self) -> Result<()>;
+
+    /// Flushes outstanding data and persists the shard's manifest.
+    fn shard_close(&self) -> Result<()>;
+}
+
+impl ShardEngine for LsmDb {
+    type Options = LsmOptions;
+    type Value = Vec<u8>;
+    type ReadCtx = ();
+
+    const ENGINE_NAME: &'static str = "lsm";
+
+    fn open_shard(
+        storage: StorageRef,
+        options: &Self::Options,
+        cache: Option<ScopedCache>,
+    ) -> Result<Self> {
+        LsmDb::open_with_cache(storage, options.clone(), cache)
+    }
+
+    fn shard_write(&self, batch: &WriteBatch) -> Result<()> {
+        self.write(batch)
+    }
+
+    fn shard_last_seq(&self) -> SeqNo {
+        self.last_seq()
+    }
+
+    fn shard_get_at(
+        &self,
+        key: UserKey,
+        _ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Option<Self::Value>> {
+        self.get_at(key, snapshot)
+    }
+
+    fn shard_scan_at(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        _ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Vec<(UserKey, Self::Value)>> {
+        self.scan_at(lo, hi, snapshot)
+    }
+
+    fn shard_flush(&self) -> Result<()> {
+        self.flush()
+    }
+
+    fn shard_compact_until_stable(&self) -> Result<()> {
+        self.compact_until_stable()
+    }
+
+    fn shard_close(&self) -> Result<()> {
+        self.close()
+    }
+}
+
+impl ShardEngine for LaserDb {
+    type Options = LaserOptions;
+    type Value = RowFragment;
+    type ReadCtx = Projection;
+
+    const ENGINE_NAME: &'static str = "laser";
+
+    fn open_shard(
+        storage: StorageRef,
+        options: &Self::Options,
+        cache: Option<ScopedCache>,
+    ) -> Result<Self> {
+        LaserDb::open_with_cache(storage, options.clone(), cache)
+    }
+
+    fn shard_write(&self, batch: &WriteBatch) -> Result<()> {
+        self.write(batch)
+    }
+
+    fn shard_last_seq(&self) -> SeqNo {
+        self.last_seq()
+    }
+
+    fn shard_get_at(
+        &self,
+        key: UserKey,
+        ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Option<Self::Value>> {
+        self.read_at(key, ctx, snapshot)
+    }
+
+    fn shard_scan_at(
+        &self,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &Self::ReadCtx,
+        snapshot: SeqNo,
+    ) -> Result<Vec<(UserKey, Self::Value)>> {
+        self.scan_at(lo, hi, ctx, snapshot)
+    }
+
+    fn shard_flush(&self) -> Result<()> {
+        self.flush()
+    }
+
+    fn shard_compact_until_stable(&self) -> Result<()> {
+        self.compact_until_stable()
+    }
+
+    fn shard_close(&self) -> Result<()> {
+        self.close()
+    }
+}

@@ -1,0 +1,50 @@
+//! # laser-sharding
+//!
+//! Range sharding on top of the workspace's LSM engines: one logical
+//! database served by N independent engine instances ("shards"), each owning
+//! a contiguous slice of the `UserKey` space with its own subdirectory,
+//! segmented WAL and manifest.
+//!
+//! The single-instance engines serialise compaction behind one lock and give
+//! every engine a private block cache; sharding solves both structurally
+//! while multiplying write and scan throughput across cores — the standard
+//! shard-per-core recipe of production LSM deployments:
+//!
+//! * [`router::ShardRouter`] — splits the key space into contiguous ranges.
+//!   Boundaries are persisted in a small shard manifest
+//!   ([`manifest::ShardManifest`]) in the root directory, so a reopened
+//!   database keeps its topology regardless of what the caller requests.
+//! * [`db::ShardedDb`] — the facade, generic over any engine implementing
+//!   [`engine::ShardEngine`] (both [`lsm_storage::LsmDb`] and
+//!   [`laser_core::LaserDb`] do). Point ops route to the owning shard;
+//!   [`types::WriteBatch`](lsm_storage::WriteBatch)es are split per shard and
+//!   acknowledged once, group-commit style, after every sub-batch is durable.
+//! * Cross-shard `scan`/`scan_at` run the per-shard scans on a small
+//!   rayon-free [`pool::WorkerPool`] and concatenate in range order — shards
+//!   are disjoint, so no merge heap is needed — with the snapshot captured
+//!   *once* across all shards ([`db::ShardSnapshot`]) so a scan never
+//!   observes half of a cross-shard batch.
+//! * One process-wide [`BlockCache`](lsm_storage::BlockCache) with a global
+//!   byte budget serves every shard (and can be shared across engines of
+//!   different types); per-shard accounting stays visible through cache
+//!   scopes.
+//! * One shared [`JobScheduler`](lsm_storage::JobScheduler) runs
+//!   flush/compaction of *all* shards on one worker pool, so compactions of
+//!   disjoint shards proceed genuinely in parallel.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod db;
+pub mod engine;
+pub mod manifest;
+pub mod pool;
+pub mod router;
+pub mod storage;
+
+pub use db::{ShardSnapshot, ShardedDb, ShardedOptions, ShardedStatsSnapshot};
+pub use engine::ShardEngine;
+pub use manifest::ShardManifest;
+pub use pool::WorkerPool;
+pub use router::ShardRouter;
+pub use storage::{DirShardStorage, MemShardStorage, ShardStorageProvider};

@@ -1,0 +1,140 @@
+//! The shard manifest: the persisted topology of a sharded database.
+//!
+//! A tiny checksummed file (`SHARDS`) in the *root* directory recording the
+//! router's split points. Each shard keeps its own per-shard manifest and
+//! WAL inside its subdirectory; this file only pins which key range lives
+//! where, so a reopen reconstructs the exact topology regardless of the
+//! shard count the caller asks for. Written atomically (temp + rename), like
+//! the engine manifests.
+
+use lsm_storage::checksum::crc32;
+use lsm_storage::coding::{put_u32, put_u64, put_varint64, Decoder};
+use lsm_storage::storage::StorageRef;
+use lsm_storage::types::UserKey;
+use lsm_storage::{Error, Result};
+
+use crate::router::ShardRouter;
+
+/// Magic number at the start of a shard manifest.
+const SHARD_MANIFEST_MAGIC: u64 = 0x4C41_5345_5253_4844; // "LASERSHD"
+
+/// Name of the shard manifest file in the root directory.
+pub const SHARD_MANIFEST_NAME: &str = "SHARDS";
+const SHARD_MANIFEST_TMP: &str = "SHARDS.tmp";
+
+/// The persisted shard topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The router's split points (`num_shards - 1` entries, ascending).
+    pub boundaries: Vec<UserKey>,
+}
+
+impl ShardManifest {
+    /// Captures the topology of `router`.
+    pub fn from_router(router: &ShardRouter) -> ShardManifest {
+        ShardManifest {
+            boundaries: router.boundaries().to_vec(),
+        }
+    }
+
+    /// Rebuilds the router this manifest describes.
+    pub fn router(&self) -> Result<ShardRouter> {
+        ShardRouter::from_boundaries(self.boundaries.clone())
+    }
+
+    /// Encodes the manifest with a trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, SHARD_MANIFEST_MAGIC);
+        put_varint64(&mut out, self.boundaries.len() as u64);
+        for b in &self.boundaries {
+            put_u64(&mut out, *b);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decodes and verifies a manifest.
+    pub fn decode(buf: &[u8]) -> Result<ShardManifest> {
+        if buf.len() < 12 {
+            return Err(Error::corruption("shard manifest too short"));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = lsm_storage::coding::get_u32(crc_bytes)?;
+        if crc32(body) != stored {
+            return Err(Error::corruption("shard manifest checksum mismatch"));
+        }
+        let mut d = Decoder::new(body);
+        if d.u64()? != SHARD_MANIFEST_MAGIC {
+            return Err(Error::corruption("bad shard manifest magic"));
+        }
+        let count = d.varint64()? as usize;
+        let mut boundaries = Vec::with_capacity(count);
+        for _ in 0..count {
+            boundaries.push(d.u64()?);
+        }
+        if !d.is_empty() {
+            return Err(Error::corruption("trailing bytes after shard manifest"));
+        }
+        Ok(ShardManifest { boundaries })
+    }
+}
+
+/// Persists the shard manifest atomically (write temp, sync, rename).
+pub fn write_shard_manifest(storage: &StorageRef, manifest: &ShardManifest) -> Result<()> {
+    let mut f = storage.create(SHARD_MANIFEST_TMP)?;
+    f.append(&manifest.encode())?;
+    f.sync()?;
+    storage.rename(SHARD_MANIFEST_TMP, SHARD_MANIFEST_NAME)?;
+    Ok(())
+}
+
+/// Reads the shard manifest, or `None` for a fresh (unsharded) directory.
+pub fn read_shard_manifest(storage: &StorageRef) -> Result<Option<ShardManifest>> {
+    if !storage.exists(SHARD_MANIFEST_NAME) {
+        return Ok(None);
+    }
+    let data = storage.open(SHARD_MANIFEST_NAME)?.read_all()?;
+    Ok(Some(ShardManifest::decode(&data)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::storage::MemStorage;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = ShardManifest {
+            boundaries: vec![100, 2000, 30000],
+        };
+        assert_eq!(ShardManifest::decode(&m.encode()).unwrap(), m);
+        let router = m.router().unwrap();
+        assert_eq!(router.num_shards(), 4);
+        assert_eq!(ShardManifest::from_router(&router).boundaries, m.boundaries);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let m = ShardManifest {
+            boundaries: vec![7],
+        };
+        let mut enc = m.encode();
+        enc[9] ^= 0xFF;
+        assert!(ShardManifest::decode(&enc).is_err());
+        assert!(ShardManifest::decode(&enc[..3]).is_err());
+    }
+
+    #[test]
+    fn write_and_read() {
+        let storage: StorageRef = MemStorage::new_ref();
+        assert!(read_shard_manifest(&storage).unwrap().is_none());
+        let m = ShardManifest {
+            boundaries: vec![1 << 32],
+        };
+        write_shard_manifest(&storage, &m).unwrap();
+        assert_eq!(read_shard_manifest(&storage).unwrap(), Some(m));
+        assert!(!storage.exists(SHARD_MANIFEST_TMP));
+    }
+}

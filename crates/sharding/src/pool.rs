@@ -1,0 +1,213 @@
+//! A small rayon-free worker pool for cross-shard fan-out.
+//!
+//! Cross-shard scans (and multi-shard batch writes) need to run one closure
+//! per shard concurrently and wait for all of them. The pool keeps a fixed
+//! set of threads fed from one queue; [`WorkerPool::run_all`] executes the
+//! first task on the calling thread (the caller would otherwise just block)
+//! and the rest on the workers, returning every result in task order.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+type Task = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of worker threads executing boxed closures.
+pub struct WorkerPool {
+    tx: Sender<Task>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts a pool with `threads` workers (at least one).
+    pub fn new(threads: usize, name: &str) -> WorkerPool {
+        let (tx, rx) = channel::<Task>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { tx, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task to completion — the first inline on the calling
+    /// thread, the rest on the workers — and returns the results in task
+    /// order. Tasks must not submit to the pool themselves (no nesting), so
+    /// the pool cannot deadlock on its own queue.
+    pub fn run_all<T, F>(&self, mut tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let first = tasks.remove(0);
+        let (res_tx, res_rx) = channel::<(usize, T)>();
+        let queued = tasks.len();
+        for (offset, task) in tasks.into_iter().enumerate() {
+            let res_tx = res_tx.clone();
+            let boxed: Task = Box::new(move || {
+                // A disconnected receiver means the caller panicked; there
+                // is nobody left to use the result.
+                let _ = res_tx.send((offset + 1, task()));
+            });
+            self.tx.send(boxed).expect("worker pool queue closed");
+        }
+        // Only the task closures hold senders now: if a task panics (its
+        // sender drops without sending), the channel disconnects once the
+        // rest finish and the recv below reports it instead of hanging.
+        drop(res_tx);
+        let mut results: Vec<Option<T>> = Vec::new();
+        results.resize_with(queued + 1, || None);
+        results[0] = Some(first());
+        for _ in 0..queued {
+            let (idx, value) = res_rx
+                .recv()
+                .expect("a worker-pool task panicked; its result was lost");
+            results[idx] = Some(value);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Closes the queue and joins every worker (queued tasks drain first).
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the channel; workers exit once the
+        // queue is empty.
+        let (closed_tx, _) = channel::<Task>();
+        drop(std::mem::replace(&mut self.tx, closed_tx));
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Task>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing so tasks run in
+        // parallel across workers.
+        let task = {
+            let rx = rx.lock();
+            rx.recv()
+        };
+        match task {
+            // Contain a panicking task to that task: its result sender drops
+            // (the submitter's recv reports the loss) but the worker thread
+            // survives for later submissions.
+            Ok(task) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4, "test-pool");
+        let tasks: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let results = pool.run_all(tasks);
+        assert_eq!(results, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_run_concurrently() {
+        let pool = WorkerPool::new(4, "test-pool");
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..4)
+            .map(|_| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run_all(tasks);
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "expected at least two tasks in flight at once"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_task_work() {
+        let pool = WorkerPool::new(2, "test-pool");
+        assert_eq!(pool.run_all(Vec::<fn() -> u32>::new()), Vec::<u32>::new());
+        assert_eq!(pool.run_all(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn task_panic_is_reported_not_hung() {
+        let pool = WorkerPool::new(2, "test-pool");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_all(vec![
+                Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>,
+                Box::new(|| panic!("boom")),
+            ])
+        }));
+        assert!(outcome.is_err(), "the lost result must surface as a panic");
+        // The worker survives the contained panic and serves later tasks.
+        assert_eq!(pool.run_all(vec![|| 5u32, || 6u32]), vec![5, 6]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(3, "test-pool");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..30)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run_all(tasks);
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
+    }
+}

@@ -1,0 +1,136 @@
+//! Key-range routing: which shard owns which slice of the `UserKey` space.
+
+use lsm_storage::types::UserKey;
+use lsm_storage::{Error, Result};
+
+/// Splits the `UserKey` space into N contiguous, disjoint ranges.
+///
+/// The router is defined by its `N - 1` *split points*, sorted strictly
+/// ascending: shard `i` owns `[boundaries[i-1], boundaries[i])` (shard 0
+/// starts at key 0, the last shard ends at `u64::MAX` inclusive). Because
+/// ranges are contiguous and cover the whole space, concatenating per-shard
+/// scan results in shard order yields a globally key-ordered result with no
+/// merge step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// Split points, strictly ascending; `len() + 1` shards.
+    boundaries: Vec<UserKey>,
+}
+
+impl ShardRouter {
+    /// A router splitting the full `u64` key space into `num_shards` ranges
+    /// of (almost) equal width. `num_shards` is clamped to at least 1.
+    pub fn uniform(num_shards: usize) -> ShardRouter {
+        let n = num_shards.max(1) as u64;
+        let stride = u64::MAX / n;
+        ShardRouter {
+            boundaries: (1..n).map(|i| i * stride).collect(),
+        }
+    }
+
+    /// A router with explicit split points (must be strictly ascending and
+    /// non-zero: a zero split point would leave shard 0 empty).
+    pub fn from_boundaries(boundaries: Vec<UserKey>) -> Result<ShardRouter> {
+        if boundaries.first() == Some(&0) {
+            return Err(Error::invalid("shard boundary 0 leaves shard 0 empty"));
+        }
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::invalid(
+                "shard boundaries must be strictly ascending",
+            ));
+        }
+        Ok(ShardRouter { boundaries })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The split points (empty for a single shard).
+    pub fn boundaries(&self) -> &[UserKey] {
+        &self.boundaries
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: UserKey) -> usize {
+        self.boundaries.partition_point(|b| *b <= key)
+    }
+
+    /// The inclusive key range `[lo, hi]` owned by shard `index`.
+    pub fn shard_range(&self, index: usize) -> (UserKey, UserKey) {
+        let lo = if index == 0 {
+            0
+        } else {
+            self.boundaries[index - 1]
+        };
+        let hi = if index == self.boundaries.len() {
+            UserKey::MAX
+        } else {
+            self.boundaries[index] - 1
+        };
+        (lo, hi)
+    }
+
+    /// The contiguous run of shard indices whose ranges intersect `[lo, hi]`.
+    pub fn shards_overlapping(&self, lo: UserKey, hi: UserKey) -> std::ops::RangeInclusive<usize> {
+        self.shard_of(lo)..=self.shard_of(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_space_contiguously() {
+        for n in [1usize, 2, 3, 4, 8, 13] {
+            let router = ShardRouter::uniform(n);
+            assert_eq!(router.num_shards(), n);
+            assert_eq!(router.shard_of(0), 0);
+            assert_eq!(router.shard_of(u64::MAX), n - 1);
+            // Ranges tile the space: each shard's hi + 1 is the next lo.
+            for i in 0..n {
+                let (lo, hi) = router.shard_range(i);
+                assert!(lo <= hi);
+                assert_eq!(router.shard_of(lo), i);
+                assert_eq!(router.shard_of(hi), i);
+                if i + 1 < n {
+                    let (next_lo, _) = router.shard_range(i + 1);
+                    assert_eq!(hi + 1, next_lo);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_boundaries_route_correctly() {
+        let router = ShardRouter::from_boundaries(vec![100, 1000]).unwrap();
+        assert_eq!(router.num_shards(), 3);
+        assert_eq!(router.shard_of(0), 0);
+        assert_eq!(router.shard_of(99), 0);
+        assert_eq!(router.shard_of(100), 1);
+        assert_eq!(router.shard_of(999), 1);
+        assert_eq!(router.shard_of(1000), 2);
+        assert_eq!(router.shard_range(1), (100, 999));
+        assert_eq!(router.shard_range(2), (1000, u64::MAX));
+    }
+
+    #[test]
+    fn invalid_boundaries_rejected() {
+        assert!(ShardRouter::from_boundaries(vec![0, 10]).is_err());
+        assert!(ShardRouter::from_boundaries(vec![10, 10]).is_err());
+        assert!(ShardRouter::from_boundaries(vec![20, 10]).is_err());
+        assert!(ShardRouter::from_boundaries(vec![]).is_ok());
+    }
+
+    #[test]
+    fn overlap_range_is_tight() {
+        let router = ShardRouter::from_boundaries(vec![100, 200, 300]).unwrap();
+        assert_eq!(router.shards_overlapping(0, 50), 0..=0);
+        assert_eq!(router.shards_overlapping(50, 150), 0..=1);
+        assert_eq!(router.shards_overlapping(150, 250), 1..=2);
+        assert_eq!(router.shards_overlapping(0, u64::MAX), 0..=3);
+        assert_eq!(router.shards_overlapping(300, 300), 3..=3);
+    }
+}

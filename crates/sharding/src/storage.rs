@@ -1,0 +1,119 @@
+//! Per-shard storage layout: one root directory plus one subdirectory per
+//! shard, each an independent [`Storage`](lsm_storage::storage::Storage)
+//! namespace with its own segmented WAL, SSTs and engine manifest.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lsm_storage::storage::{FileStorage, MemStorage, StorageRef};
+use lsm_storage::Result;
+
+/// Provides the root storage (shard manifest) and one storage per shard.
+///
+/// Implementations must be stable across reopens: `shard(i)` must return a
+/// handle onto the same underlying data every time it is called with the
+/// same index.
+pub trait ShardStorageProvider: Send + Sync {
+    /// The root namespace holding the shard manifest.
+    fn root(&self) -> Result<StorageRef>;
+    /// The namespace of shard `index` (created on first use).
+    fn shard(&self, index: usize) -> Result<StorageRef>;
+}
+
+/// In-memory provider for tests and benchmarks: every shard gets its own
+/// [`MemStorage`], so shards never contend on one backend lock and the whole
+/// topology survives engine reopens for as long as the provider lives.
+pub struct MemShardStorage {
+    root: StorageRef,
+    shards: Mutex<Vec<StorageRef>>,
+}
+
+impl Default for MemShardStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemShardStorage {
+    /// Creates an empty provider.
+    pub fn new() -> MemShardStorage {
+        MemShardStorage {
+            root: MemStorage::new_ref(),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates an empty provider wrapped in an [`Arc`] for sharing.
+    pub fn new_ref() -> Arc<MemShardStorage> {
+        Arc::new(Self::new())
+    }
+}
+
+impl ShardStorageProvider for MemShardStorage {
+    fn root(&self) -> Result<StorageRef> {
+        Ok(StorageRef::clone(&self.root))
+    }
+
+    fn shard(&self, index: usize) -> Result<StorageRef> {
+        let mut shards = self.shards.lock();
+        while shards.len() <= index {
+            shards.push(MemStorage::new_ref());
+        }
+        Ok(StorageRef::clone(&shards[index]))
+    }
+}
+
+/// Durable provider rooted at a directory: the shard manifest lives in
+/// `root/`, shard `i` in `root/shard-00i/`.
+pub struct DirShardStorage {
+    root: PathBuf,
+}
+
+impl DirShardStorage {
+    /// Creates a provider rooted at `root` (created on first use).
+    pub fn new(root: impl Into<PathBuf>) -> DirShardStorage {
+        DirShardStorage { root: root.into() }
+    }
+}
+
+impl ShardStorageProvider for DirShardStorage {
+    fn root(&self) -> Result<StorageRef> {
+        FileStorage::open_ref(&self.root)
+    }
+
+    fn shard(&self, index: usize) -> Result<StorageRef> {
+        FileStorage::open_ref(self.root.join(format!("shard-{index:03}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_provider_is_stable_across_calls() {
+        let provider = MemShardStorage::new();
+        provider.shard(2).unwrap().create("x").unwrap();
+        assert!(provider.shard(2).unwrap().exists("x"));
+        assert!(!provider.shard(1).unwrap().exists("x"));
+        provider.root().unwrap().create("r").unwrap();
+        assert!(provider.root().unwrap().exists("r"));
+    }
+
+    #[test]
+    fn dir_provider_uses_subdirectories() {
+        let dir =
+            std::env::temp_dir().join(format!("laser-shard-storage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let provider = DirShardStorage::new(&dir);
+        provider.shard(0).unwrap().create("a.sst").unwrap();
+        provider.shard(1).unwrap().create("b.sst").unwrap();
+        assert!(dir.join("shard-000").join("a.sst").exists());
+        assert!(dir.join("shard-001").join("b.sst").exists());
+        // The root listing never sees shard files (subdirs are skipped).
+        assert!(provider.root().unwrap().list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

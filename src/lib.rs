@@ -12,6 +12,9 @@
 //! * [`laser_cost_model`] — the analytic cost model (Equations 1–9, Table 2).
 //! * [`laser_advisor`] — the per-level design advisor (Section 6).
 //! * [`laser_workload`] — the HTAP benchmark workload generator (Q1–Q5, HW).
+//! * [`laser_sharding`] — range sharding over both engines: shard router,
+//!   parallel cross-shard scans, a process-wide shared block cache and one
+//!   maintenance pool serving every shard.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `crates/bench` for the harness that regenerates every table and figure of
@@ -20,6 +23,7 @@
 pub use laser_advisor;
 pub use laser_core;
 pub use laser_cost_model;
+pub use laser_sharding;
 pub use laser_workload;
 pub use lsm_storage;
 
@@ -29,6 +33,9 @@ pub use laser_core::{
     Value,
 };
 pub use laser_cost_model::{CostModel, TreeParameters};
+pub use laser_sharding::{
+    DirShardStorage, MemShardStorage, ShardRouter, ShardSnapshot, ShardedDb, ShardedOptions,
+};
 pub use laser_workload::{HtapWorkloadSpec, HwQuery, Operation, WorkloadShift};
 
 #[cfg(test)]

@@ -188,6 +188,67 @@ fn equal_stall_and_slowdown_thresholds_make_progress() {
 }
 
 #[test]
+fn freeze_and_schedule_enqueues_the_flush_immediately() {
+    let db = Arc::new(LsmDb::open_in_memory(lsm_options()).unwrap());
+    let scheduler = db.attach_maintenance(2).unwrap();
+
+    // Far below the memtable threshold: the write path would never freeze.
+    for key in 0..20u64 {
+        db.put(key, vec![3u8; 16]).unwrap();
+    }
+    assert!(db.freeze_and_schedule().unwrap());
+    // No further writes: the flush must happen from the enqueued job alone.
+    scheduler.wait_idle();
+    let stats = db.stats();
+    assert!(
+        stats.flushes >= 1,
+        "freeze_and_schedule must flush without another write-path trigger: {stats:?}"
+    );
+    assert_eq!(db.memtable_len(), 0);
+    assert!(stats.bg_jobs_completed >= 1);
+    for key in 0..20u64 {
+        assert_eq!(db.get(key).unwrap(), Some(vec![3u8; 16]));
+    }
+    // An empty memtable is a no-op.
+    assert!(!db.freeze_and_schedule().unwrap());
+}
+
+#[test]
+fn freeze_and_schedule_without_scheduler_drains_inline() {
+    let db = LsmDb::open_in_memory(lsm_options()).unwrap();
+    for key in 0..10u64 {
+        db.put(key, vec![9u8; 16]).unwrap();
+    }
+    assert!(db.freeze_and_schedule().unwrap());
+    assert_eq!(db.memtable_len(), 0);
+    assert!(db.stats().flushes >= 1, "inline drain must have flushed");
+    for key in 0..10u64 {
+        assert_eq!(db.get(key).unwrap(), Some(vec![9u8; 16]));
+    }
+}
+
+#[test]
+fn laser_freeze_and_schedule_enqueues_the_flush() {
+    let schema = Schema::with_columns(4);
+    let mut options = LaserOptions::small_for_tests(LayoutSpec::row_store(&schema, 4));
+    options.auto_compact = false;
+    let db = Arc::new(LaserDb::open_in_memory(options).unwrap());
+    let scheduler = db.attach_maintenance(1).unwrap();
+    for key in 0..15u64 {
+        db.insert_int_row(key, key as i64).unwrap();
+    }
+    assert!(db.freeze_and_schedule().unwrap());
+    scheduler.wait_idle();
+    let stats = db.stats();
+    assert!(stats.flushes >= 1, "{stats:?}");
+    assert_eq!(db.memtable_len(), 0);
+    let projection = Projection::all(&schema);
+    for key in 0..15u64 {
+        assert!(db.read(key, &projection).unwrap().is_some());
+    }
+}
+
+#[test]
 fn attach_twice_is_rejected() {
     let db = Arc::new(LsmDb::open_in_memory(lsm_options()).unwrap());
     let _scheduler = db.attach_maintenance(1).unwrap();
