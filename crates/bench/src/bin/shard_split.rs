@@ -1,0 +1,141 @@
+//! Bench mode for online re-sharding: acked hot-range ingest before, during
+//! and after a live shard split, plus the equivalence checksum against a
+//! no-split control fed the identical trace.
+//!
+//! Usage: `cargo run --release --bin shard_split [--smoke] [hot_keys] [writers]
+//!         [--json PATH] [--baseline PATH]`
+//!
+//! `--json` writes a machine-readable `BENCH_split.json` report (uploaded as
+//! a CI artifact); `--baseline` additionally compares the gated metric —
+//! acked hot-range ingest after the split — against a checked-in baseline
+//! and exits non-zero on a >20% regression.
+
+use laser_bench::report::{enforce_baseline, write_report, JsonValue};
+use laser_bench::split::{run_shard_split, ShardSplitConfig, ShardSplitReport};
+
+/// The metric the regression gate watches.
+const GATE_METRIC: &str = "gate_acked_ingest_ops_per_sec";
+
+fn report_json(config: &ShardSplitConfig, report: &ShardSplitReport) -> JsonValue {
+    JsonValue::obj([
+        ("bench", JsonValue::Str("shard_split".into())),
+        ("hot_keys", JsonValue::Num(config.hot_keys as f64)),
+        ("writers", JsonValue::Num(config.writers as f64)),
+        (GATE_METRIC, JsonValue::Num(report.after_ops_per_sec)),
+        ("shards_before", JsonValue::Num(report.shards_before as f64)),
+        ("shards_after", JsonValue::Num(report.shards_after as f64)),
+        (
+            "before_ops_per_sec",
+            JsonValue::Num(report.before_ops_per_sec),
+        ),
+        ("split_millis", JsonValue::Num(report.split_millis)),
+        ("settle_millis", JsonValue::Num(report.settle_millis)),
+        (
+            "after_ops_per_sec",
+            JsonValue::Num(report.after_ops_per_sec),
+        ),
+        (
+            "control_after_ops_per_sec",
+            JsonValue::Num(report.control_after_ops_per_sec),
+        ),
+        ("speedup", JsonValue::Num(report.speedup())),
+        (
+            "speedup_vs_no_split",
+            JsonValue::Num(report.speedup_vs_no_split()),
+        ),
+        (
+            "before_throttle_events",
+            JsonValue::Num(report.before_throttle_events as f64),
+        ),
+        (
+            "after_throttle_events",
+            JsonValue::Num(report.after_throttle_events as f64),
+        ),
+        ("rows_scanned", JsonValue::Num(report.rows_scanned as f64)),
+        (
+            "checksum",
+            JsonValue::Str(format!("{:#018x}", report.checksum)),
+        ),
+        ("equivalent", JsonValue::Bool(report.equivalent())),
+    ])
+}
+
+fn main() {
+    let mut config = ShardSplitConfig::default();
+    let mut positional = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config = ShardSplitConfig::smoke(),
+            "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            _ => positional.push(arg),
+        }
+    }
+    if let Some(hot_keys) = positional.first().and_then(|s| s.parse().ok()) {
+        config.hot_keys = hot_keys;
+    }
+    if let Some(writers) = positional.get(1).and_then(|s| s.parse().ok()) {
+        config.writers = writers;
+    }
+
+    println!("== shard split bench (online re-sharding) ==");
+    println!(
+        "hot keys {} | writers {} | batch {} | value {} B",
+        config.hot_keys, config.writers, config.batch, config.value_bytes,
+    );
+    let report = run_shard_split(&config).expect("bench run failed");
+
+    println!();
+    println!(
+        "before: {:>9.0} ops/s on {} shard(s)  ({} throttle events)",
+        report.before_ops_per_sec, report.shards_before, report.before_throttle_events
+    );
+    println!(
+        "during: split took {:>7.1} ms (writers block at most this long); \
+         deferred trim/compaction settled in {:.1} ms off the write path",
+        report.split_millis, report.settle_millis
+    );
+    println!(
+        "after:  {:>9.0} ops/s on {} shard(s)  ({} throttle events)  => {:.2}x vs before",
+        report.after_ops_per_sec,
+        report.shards_after,
+        report.after_throttle_events,
+        report.speedup()
+    );
+    println!(
+        "        no-split control on the same overwrite round: {:>9.0} ops/s  => {:.2}x from the split",
+        report.control_after_ops_per_sec,
+        report.speedup_vs_no_split()
+    );
+    println!();
+    if report.equivalent() {
+        println!(
+            "equivalence: OK — split and no-split runs scanned {} rows, checksum {:#018x}",
+            report.rows_scanned, report.checksum
+        );
+    } else {
+        println!(
+            "equivalence: MISMATCH — split {} rows {:#018x}, control {} rows {:#018x}",
+            report.rows_scanned, report.checksum, report.control_rows, report.control_checksum
+        );
+        std::process::exit(1);
+    }
+
+    let json = report_json(&config, &report);
+    if let Some(path) = &json_path {
+        write_report(std::path::Path::new(path), &json).expect("write bench report");
+        println!("report: wrote {path}");
+    }
+    if let Some(baseline) = &baseline_path {
+        match enforce_baseline(&json.render(), std::path::Path::new(baseline), GATE_METRIC) {
+            Ok(summary) => println!("gate: {summary}"),
+            Err(message) => {
+                eprintln!("gate: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

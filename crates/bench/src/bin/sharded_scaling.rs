@@ -2,18 +2,91 @@
 //! scan throughput of `ShardedDb<LsmDb>` at 1/2/4/8 shards, plus the
 //! cross-shard-scan equivalence checksum.
 //!
-//! Usage: `cargo run --release --bin sharded_scaling [--smoke] [keys] [writers]`
+//! Usage: `cargo run --release --bin sharded_scaling [--smoke] [keys] [writers]
+//!         [--json PATH] [--baseline PATH]`
+//!
+//! `--json` writes a machine-readable `BENCH_sharding.json` report (uploaded
+//! as a CI artifact); `--baseline` additionally compares the gated metric —
+//! acked ingest at the highest shard count — against a checked-in baseline
+//! and exits non-zero on a >20% regression.
 
-use laser_bench::sharding::{run_sharded_scaling, ShardScalingConfig};
+use laser_bench::report::{enforce_baseline, write_report, JsonValue};
+use laser_bench::sharding::{run_sharded_scaling, ShardScalingConfig, ShardScalingReport};
+
+/// The metric the regression gate watches.
+const GATE_METRIC: &str = "gate_acked_ingest_ops_per_sec";
+
+fn report_json(config: &ShardScalingConfig, report: &ShardScalingReport) -> JsonValue {
+    let gate = report
+        .rows
+        .last()
+        .map(|r| r.ingest_ops_per_sec)
+        .unwrap_or(0.0);
+    JsonValue::obj([
+        ("bench", JsonValue::Str("sharded_scaling".into())),
+        ("keys", JsonValue::Num(config.keys as f64)),
+        ("writers", JsonValue::Num(config.writers as f64)),
+        (GATE_METRIC, JsonValue::Num(gate)),
+        ("checksums_agree", JsonValue::Bool(report.checksums_agree())),
+        (
+            "checksum",
+            JsonValue::Str(format!(
+                "{:#018x}",
+                report.rows.first().map(|r| r.checksum).unwrap_or(0)
+            )),
+        ),
+        (
+            "rows",
+            JsonValue::Arr(
+                report
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        JsonValue::obj([
+                            ("shards", JsonValue::Num(row.shards as f64)),
+                            ("ingest_ops_per_sec", JsonValue::Num(row.ingest_ops_per_sec)),
+                            (
+                                "ingest_speedup",
+                                JsonValue::Num(report.ingest_speedup(row.shards)),
+                            ),
+                            (
+                                "mixed_scans_per_sec",
+                                JsonValue::Num(row.mixed_scans_per_sec),
+                            ),
+                            (
+                                "mixed_write_ops_per_sec",
+                                JsonValue::Num(row.mixed_write_ops_per_sec),
+                            ),
+                            ("rows_scanned", JsonValue::Num(row.rows_scanned as f64)),
+                            (
+                                "checksum",
+                                JsonValue::Str(format!("{:#018x}", row.checksum)),
+                            ),
+                            (
+                                "throttle_events",
+                                JsonValue::Num(row.throttle_events as f64),
+                            ),
+                            ("bg_jobs", JsonValue::Num(row.bg_jobs as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
     let mut config = ShardScalingConfig::default();
     let mut positional = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            config = ShardScalingConfig::smoke();
-        } else {
-            positional.push(arg);
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config = ShardScalingConfig::smoke(),
+            "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            _ => positional.push(arg),
         }
     }
     if let Some(keys) = positional.first().and_then(|s| s.parse().ok()) {
@@ -68,5 +141,20 @@ fn main() {
             );
         }
         std::process::exit(1);
+    }
+
+    let json = report_json(&config, &report);
+    if let Some(path) = &json_path {
+        write_report(std::path::Path::new(path), &json).expect("write bench report");
+        println!("report: wrote {path}");
+    }
+    if let Some(baseline) = &baseline_path {
+        match enforce_baseline(&json.render(), std::path::Path::new(baseline), GATE_METRIC) {
+            Ok(summary) => println!("gate: {summary}"),
+            Err(message) => {
+                eprintln!("gate: {message}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -31,7 +31,11 @@
 //! tail), plus group-commit fsync coalescing. [`sharding`] /
 //! `sharded_scaling` benches the range-sharded engine: acked-ingest and
 //! mixed HTAP scan throughput at 1/2/4/8 shards, with a cross-shard-scan
-//! equivalence checksum against the single-shard result.
+//! equivalence checksum against the single-shard result. [`split`] /
+//! `shard_split` benches online re-sharding: hot-range ingest before,
+//! during and after a live shard split, with an equivalence checksum
+//! against a no-split control. [`report`] writes the `BENCH_*.json` CI
+//! artifacts and enforces the bench-trajectory regression gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,7 +48,9 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod report;
 pub mod sharding;
+pub mod split;
 pub mod storage_size;
 pub mod table2;
 

@@ -1,0 +1,241 @@
+//! Machine-readable bench reports for CI: a dependency-free JSON writer plus
+//! the regression gate the workflows enforce.
+//!
+//! Every smoke bench emits a `BENCH_*.json` artifact (ops/s, shard count,
+//! equivalence checksum) built from [`JsonValue`]s, and compares its gated
+//! metric against a checked-in baseline under `bench/baselines/`: a drop of
+//! more than [`REGRESSION_TOLERANCE`] fails the job. Baselines are
+//! deliberately conservative floors (CI machines vary); the gate exists to
+//! catch collapses, not single-digit noise.
+
+use std::io::Write;
+use std::path::Path;
+
+/// The fraction below baseline at which the gate trips (20%).
+pub const REGRESSION_TOLERANCE: f64 = 0.2;
+
+/// A JSON value, minimal but sufficient for bench reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A finite number (serialised with enough precision to round-trip).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a report to `path` (pretty enough for humans: one trailing
+/// newline, compact otherwise).
+pub fn write_report(path: &Path, report: &JsonValue) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(report.render().as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Extracts the first numeric value of `"key"` from JSON text produced by
+/// [`write_report`] (good enough for our own flat reports; not a general
+/// JSON parser).
+pub fn extract_metric(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// True if `current` regressed more than [`REGRESSION_TOLERANCE`] below
+/// `baseline`. A non-positive baseline never trips (disabled gate).
+pub fn regressed(current: f64, baseline: f64) -> bool {
+    baseline > 0.0 && current < baseline * (1.0 - REGRESSION_TOLERANCE)
+}
+
+/// Compares the gated metric of a freshly-written report against a baseline
+/// file. Returns `Err(message)` when the gate trips, `Ok(summary)` otherwise
+/// (including when the baseline is missing — the artifact still uploads, the
+/// gate just has nothing to compare against).
+pub fn enforce_baseline(
+    report_text: &str,
+    baseline_path: &Path,
+    metric_key: &str,
+) -> Result<String, String> {
+    let current = extract_metric(report_text, metric_key)
+        .ok_or_else(|| format!("report has no numeric metric {metric_key:?}"))?;
+    let Ok(baseline_text) = std::fs::read_to_string(baseline_path) else {
+        return Ok(format!(
+            "no baseline at {} — gate skipped (current {metric_key} = {current:.0})",
+            baseline_path.display()
+        ));
+    };
+    let baseline = extract_metric(&baseline_text, metric_key)
+        .ok_or_else(|| format!("baseline has no numeric metric {metric_key:?}"))?;
+    if regressed(current, baseline) {
+        Err(format!(
+            "regression gate tripped: {metric_key} = {current:.0} is more than {:.0}% below baseline {baseline:.0}",
+            REGRESSION_TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(format!(
+            "{metric_key} = {current:.0} vs baseline {baseline:.0} (tolerance {:.0}%) — OK",
+            REGRESSION_TOLERANCE * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_extract_roundtrip() {
+        let report = JsonValue::obj([
+            ("bench", JsonValue::Str("shard_split".into())),
+            ("gate_acked_ingest_ops_per_sec", JsonValue::Num(12345.5)),
+            (
+                "rows",
+                JsonValue::Arr(vec![JsonValue::obj([
+                    ("shards", JsonValue::Num(4.0)),
+                    ("ok", JsonValue::Bool(true)),
+                    ("label", JsonValue::Str("a \"quoted\"\nline".into())),
+                ])]),
+            ),
+        ]);
+        let text = report.render();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert_eq!(
+            extract_metric(&text, "gate_acked_ingest_ops_per_sec"),
+            Some(12345.5)
+        );
+        assert_eq!(extract_metric(&text, "shards"), Some(4.0));
+        assert_eq!(extract_metric(&text, "missing"), None);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(JsonValue::Num(4.0).render(), "4");
+        assert_eq!(JsonValue::Num(4.5).render(), "4.5");
+    }
+
+    /// The acceptance criterion: a synthetic 20%+ slowdown trips the gate, a
+    /// smaller one does not.
+    #[test]
+    fn gate_trips_on_a_synthetic_twenty_percent_slowdown() {
+        assert!(regressed(790.0, 1000.0), "21% below must trip");
+        assert!(!regressed(810.0, 1000.0), "19% below must pass");
+        assert!(!regressed(1200.0, 1000.0), "faster never trips");
+        assert!(!regressed(100.0, 0.0), "zero baseline disables the gate");
+    }
+
+    #[test]
+    fn enforce_baseline_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("laser-bench-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline_path = dir.join("baseline.json");
+
+        let report = JsonValue::obj([("gate_ops", JsonValue::Num(1000.0))]).render();
+        // Missing baseline: gate skipped, not tripped.
+        assert!(enforce_baseline(&report, &baseline_path, "gate_ops").is_ok());
+
+        // The measurement is >20% below the baseline: the gate must trip.
+        write_report(
+            &baseline_path,
+            &JsonValue::obj([("gate_ops", JsonValue::Num(1300.0))]),
+        )
+        .unwrap();
+        let err = enforce_baseline(&report, &baseline_path, "gate_ops").unwrap_err();
+        assert!(err.contains("regression gate tripped"), "{err}");
+
+        // Baseline at parity: passes.
+        write_report(
+            &baseline_path,
+            &JsonValue::obj([("gate_ops", JsonValue::Num(1000.0))]),
+        )
+        .unwrap();
+        assert!(enforce_baseline(&report, &baseline_path, "gate_ops").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

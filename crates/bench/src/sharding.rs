@@ -153,7 +153,7 @@ fn value_for(key: UserKey, round: u64, value_bytes: usize) -> Vec<u8> {
 
 /// Runs the ingest + mixed-phase measurement for one shard count.
 fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow> {
-    let provider = MemShardStorage::new();
+    let provider = MemShardStorage::new_ref();
     // Clamp so every shard owns at least one key: with `keys >= n` the
     // computed boundaries are strictly ascending and non-zero, which the
     // router requires.
@@ -170,9 +170,9 @@ fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow
         fanout_threads: shards.min(8),
         maintenance_workers: 2,
         cache_bytes: 8 << 20,
+        ..Default::default()
     };
-    let db: Arc<ShardedDb<LsmDb>> =
-        Arc::new(ShardedDb::open(&provider, engine_options(), options)?);
+    let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(provider, engine_options(), options)?);
 
     // ---- Ingest phase: `writers` threads, disjoint interleaved key sets,
     // timed until every write is acked.

@@ -1,0 +1,301 @@
+//! Online re-sharding bench: acked ingest throughput on a *hot* key range
+//! before, during and after a live shard split, plus the equivalence
+//! checksum against an identical no-split run.
+//!
+//! The workload models the skewed ingest the paper's HTAP traces produce:
+//! every writer hammers one narrow key range, which a static topology pins
+//! to a single shard forever — one write lock, one WAL leader, one Level-0
+//! backpressure gate. `ShardedDb::split_shard` divides all three live. The
+//! bench ingests the hot range (timed), splits the hot shard at its midpoint
+//! (timed — this is the "during" window, when writers briefly block on the
+//! topology swap), then overwrites the hot range (timed). The acceptance
+//! criterion is acked ingest on the hot range after the split vs before,
+//! and a byte-identical full scan vs a control engine fed the same trace
+//! with no split.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use lsm_storage::types::{UserKey, WriteBatch};
+use lsm_storage::{LsmDb, LsmOptions, Result};
+
+/// Workload parameters of one split run.
+#[derive(Debug, Clone)]
+pub struct ShardSplitConfig {
+    /// Keys in the hot range `[0, hot_keys)`; everything is written there.
+    pub hot_keys: u64,
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Entries per write batch.
+    pub batch: usize,
+    /// Value payload size in bytes.
+    pub value_bytes: usize,
+}
+
+impl Default for ShardSplitConfig {
+    fn default() -> Self {
+        // Sized so one hot shard is stall-bound (backpressure, which a split
+        // divides) rather than CPU-bound in compaction (which it cannot
+        // divide on a single core): ~1.8 MB per round.
+        ShardSplitConfig {
+            hot_keys: 12_000,
+            writers: 4,
+            batch: 16,
+            value_bytes: 152,
+        }
+    }
+}
+
+impl ShardSplitConfig {
+    /// A tiny configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        ShardSplitConfig {
+            hot_keys: 6_000,
+            writers: 2,
+            batch: 16,
+            value_bytes: 64,
+        }
+    }
+}
+
+/// Measurements of one split run.
+#[derive(Debug, Clone)]
+pub struct ShardSplitReport {
+    /// Shards before / after the split.
+    pub shards_before: usize,
+    /// Shards after the split.
+    pub shards_after: usize,
+    /// Acked hot-range writes per second before the split.
+    pub before_ops_per_sec: f64,
+    /// Wall-clock milliseconds the split took (writers block for at most
+    /// this long — the "during" window).
+    pub split_millis: f64,
+    /// Milliseconds until background maintenance (trim compactions of the
+    /// adopted SSTs plus the inherited compaction debt) settled after the
+    /// split, off the write path.
+    pub settle_millis: f64,
+    /// Acked hot-range writes per second after the split.
+    pub after_ops_per_sec: f64,
+    /// Acked hot-range writes per second of the no-split control for the
+    /// same (overwrite) round — the apples-to-apples baseline for
+    /// [`ShardSplitReport::speedup_vs_no_split`].
+    pub control_after_ops_per_sec: f64,
+    /// Writer throttle events (stalls + slowdowns) in the before phase.
+    pub before_throttle_events: u64,
+    /// Writer throttle events in the after phase.
+    pub after_throttle_events: u64,
+    /// Rows returned by the verification full scan.
+    pub rows_scanned: u64,
+    /// FNV-1a checksum over the full scan's `(key, value)` bytes.
+    pub checksum: u64,
+    /// The same checksum from the control run that never split.
+    pub control_checksum: u64,
+    /// Rows scanned by the control run.
+    pub control_rows: u64,
+}
+
+impl ShardSplitReport {
+    /// Hot-range ingest speedup after the split vs before it (rounds differ:
+    /// fresh ingest vs overwrite over existing data).
+    pub fn speedup(&self) -> f64 {
+        if self.before_ops_per_sec > 0.0 {
+            self.after_ops_per_sec / self.before_ops_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// Hot-range ingest speedup of the post-split topology vs the no-split
+    /// control running the *identical* overwrite round — the elastic-capacity
+    /// number (same data, same round, only the topology differs).
+    pub fn speedup_vs_no_split(&self) -> f64 {
+        if self.control_after_ops_per_sec > 0.0 {
+            self.after_ops_per_sec / self.control_after_ops_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// True if the split engine's final contents match the no-split control.
+    pub fn equivalent(&self) -> bool {
+        self.checksum == self.control_checksum && self.rows_scanned == self.control_rows
+    }
+}
+
+/// Engine options sized so the hot-range ingest is stall-bound on one shard
+/// (see `sharding::engine_options` — same reasoning: the workload produces
+/// more Level-0 pressure than one shard's backpressure tolerance, but within
+/// the aggregate tolerance of the two children).
+fn engine_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.memtable_size_bytes = 120 << 10;
+    options.level0_size_bytes = 2 << 20;
+    options.sst_target_size_bytes = 256 << 10;
+    options.l0_slowdown_files = 6;
+    options.l0_stall_files = 12;
+    options.auto_compact = true;
+    options
+}
+
+/// The deterministic value of `key` in `round`.
+fn value_for(key: UserKey, round: u64, value_bytes: usize) -> Vec<u8> {
+    let mut value = vec![(key as u8) ^ (round as u8); value_bytes];
+    value[..8].copy_from_slice(&(key * 31 + round).to_le_bytes());
+    value
+}
+
+/// Ingests `round` values over the whole hot range with `writers` threads
+/// (disjoint interleaved key sets, deterministic final state) and returns
+/// the acked ops/s.
+fn ingest_round(db: &Arc<ShardedDb<LsmDb>>, config: &ShardSplitConfig, round: u64) -> Result<f64> {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for writer in 0..config.writers as u64 {
+        let db = Arc::clone(db);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut batch = WriteBatch::new();
+            let mut key = writer;
+            while key < config.hot_keys {
+                batch.put(key, value_for(key, round, config.value_bytes));
+                if batch.len() >= config.batch {
+                    db.write(&batch)?;
+                    batch = WriteBatch::new();
+                }
+                key += config.writers as u64;
+            }
+            if !batch.is_empty() {
+                db.write(&batch)?;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("writer thread panicked")?;
+    }
+    Ok(config.hot_keys as f64 / start.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn throttle_events(db: &ShardedDb<LsmDb>) -> u64 {
+    db.shards()
+        .iter()
+        .map(|s| {
+            let stats = s.stats();
+            stats.stall_events + stats.slowdown_events
+        })
+        .sum()
+}
+
+fn full_scan_checksum(db: &ShardedDb<LsmDb>, hi: UserKey) -> Result<(u64, u64)> {
+    let rows = db.scan(0, hi, &())?;
+    let mut row_bytes = Vec::new();
+    for (key, value) in &rows {
+        row_bytes.extend_from_slice(&key.to_be_bytes());
+        row_bytes.extend_from_slice(value);
+    }
+    Ok((rows.len() as u64, lsm_storage::hash::fnv1a_64(&row_bytes)))
+}
+
+fn open_db(config: &ShardSplitConfig) -> Result<Arc<ShardedDb<LsmDb>>> {
+    // Two shards: the hot range `[0, hot_keys)` pinned to shard 0, the cold
+    // remainder of the key space on shard 1 (never written — the skew the
+    // paper's workloads model).
+    let options = ShardedOptions {
+        num_shards: 2,
+        boundaries: Some(vec![config.hot_keys]),
+        fanout_threads: 4,
+        maintenance_workers: 2,
+        cache_bytes: 8 << 20,
+        ..Default::default()
+    };
+    Ok(Arc::new(ShardedDb::open(
+        MemShardStorage::new_ref(),
+        engine_options(),
+        options,
+    )?))
+}
+
+/// Runs the split bench: hot ingest → live split → hot overwrite, plus the
+/// no-split control fed the identical trace.
+pub fn run_shard_split(config: &ShardSplitConfig) -> Result<ShardSplitReport> {
+    let db = open_db(config)?;
+
+    // Before: round-0 ingest saturates the single hot shard.
+    let before_ops_per_sec = ingest_round(&db, config, 0)?;
+    let before_throttle_events = throttle_events(&db);
+    let shards_before = db.num_shards();
+
+    // During: split the hot shard at its byte midpoint, live. Writers (none
+    // right now — the phases are serialised for determinism) would block for
+    // at most this window.
+    let split_start = Instant::now();
+    db.split_shard(0, config.hot_keys / 2)?;
+    let split_millis = split_start.elapsed().as_secs_f64() * 1e3;
+    let shards_after = db.num_shards();
+    // Let the deferred split work drain off the write path: trim compactions
+    // of the adopted SSTs plus the Level-0 debt the children inherited. This
+    // is background time; writers are not blocked during it.
+    let settle_start = Instant::now();
+    db.wait_maintenance_idle();
+    let settle_millis = settle_start.elapsed().as_secs_f64() * 1e3;
+    // The children start with fresh counters, so the after-phase delta is
+    // relative to the post-split state, not the pre-split total.
+    let post_split_throttle = throttle_events(&db);
+
+    // After: round-1 overwrites the same hot range, now served by two
+    // children with independent write locks, WALs and backpressure gates.
+    let after_ops_per_sec = ingest_round(&db, config, 1)?;
+    let after_throttle_events = throttle_events(&db).saturating_sub(post_split_throttle);
+
+    db.wait_maintenance_idle();
+    db.flush()?;
+    let (rows_scanned, checksum) = full_scan_checksum(&db, config.hot_keys)?;
+
+    // Control: the identical trace with no split. Its round-1 throughput is
+    // the apples-to-apples baseline (same overwrite round, static topology),
+    // and its final contents must be byte-identical to the split engine's.
+    let control = open_db(config)?;
+    ingest_round(&control, config, 0)?;
+    control.wait_maintenance_idle();
+    let control_after_ops_per_sec = ingest_round(&control, config, 1)?;
+    control.wait_maintenance_idle();
+    control.flush()?;
+    let (control_rows, control_checksum) = full_scan_checksum(&control, config.hot_keys)?;
+
+    Ok(ShardSplitReport {
+        shards_before,
+        shards_after,
+        before_ops_per_sec,
+        split_millis,
+        settle_millis,
+        after_ops_per_sec,
+        control_after_ops_per_sec,
+        before_throttle_events,
+        after_throttle_events,
+        rows_scanned,
+        checksum,
+        control_checksum,
+        control_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_splits_and_checksums_agree() {
+        let report = run_shard_split(&ShardSplitConfig::smoke()).unwrap();
+        assert_eq!(report.shards_before, 2);
+        assert_eq!(report.shards_after, 3);
+        assert!(report.before_ops_per_sec > 0.0);
+        assert!(report.after_ops_per_sec > 0.0);
+        assert!(report.control_after_ops_per_sec > 0.0);
+        assert!(report.rows_scanned > 0);
+        assert!(
+            report.equivalent(),
+            "split engine diverged from the no-split control: {report:?}"
+        );
+    }
+}

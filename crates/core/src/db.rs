@@ -1347,6 +1347,27 @@ impl LaserDb {
         inner.mutable.as_ref().map(|m| m.len()).unwrap_or(0)
     }
 
+    /// Approximate bytes buffered in the mutable and frozen memtables.
+    pub fn buffered_bytes(&self) -> u64 {
+        let inner = self.inner.read();
+        let mut total = inner
+            .mutable
+            .as_ref()
+            .map(|m| m.approximate_bytes())
+            .unwrap_or(0);
+        total += inner
+            .immutables
+            .iter()
+            .map(|m| m.memtable.approximate_bytes())
+            .sum::<usize>();
+        total as u64
+    }
+
+    /// Total bytes of all attached SST files.
+    pub fn total_sst_bytes(&self) -> u64 {
+        self.level_sizes().iter().sum()
+    }
+
     /// Flushes outstanding data and persists the manifest.
     pub fn close(&self) -> Result<()> {
         self.flush()?;

@@ -261,6 +261,43 @@ impl BlockCache {
             .collect()
     }
 
+    /// Retires an accounting scope: every cached block charged to it is
+    /// evicted, its table→scope registrations are removed (stragglers still
+    /// reading through old handles charge the default scope 0 from then on)
+    /// and its counter is zeroed. Called when a tenant goes away — e.g. a
+    /// parent shard retired by a shard split — so the retired tenant's bytes
+    /// stop counting against the global budget. Scope 0 cannot be retired.
+    pub fn retire_scope(&self, scope: ScopeId) {
+        if scope == 0 {
+            return;
+        }
+        // Drop the registrations first so a racing insert from an in-flight
+        // reader lands in scope 0 rather than re-charging the retired scope.
+        self.table_scopes.write().retain(|_, s| *s != scope);
+        let scope_used = self.scope_used.read();
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let keys: Vec<Key> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.scope == scope)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in keys {
+                if let Some(entry) = shard.map.remove(&key) {
+                    shard.used_bytes -= entry.weight.min(shard.used_bytes);
+                    evicted += 1;
+                }
+            }
+            // Dangling queue occurrences are skipped during eviction.
+        }
+        if let Some(counter) = scope_used.get(scope as usize) {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
     /// The accounting scope of a registered table (scope 0 when unscoped).
     fn scope_of(&self, table_id: u64) -> ScopeId {
         self.table_scopes
@@ -557,6 +594,38 @@ mod tests {
             cache.scope_usage().iter().sum::<u64>(),
             cache.stats().used_bytes
         );
+    }
+
+    #[test]
+    fn retired_scope_is_drained_and_unregistered() {
+        let cache = BlockCache::with_shards(1 << 20, 2);
+        let s1 = cache.add_scope();
+        let s2 = cache.add_scope();
+        let t1 = cache.register_table_scoped(s1);
+        let t2 = cache.register_table_scoped(s2);
+        for idx in 0..8u32 {
+            cache.insert(t1, idx, block(500));
+            cache.insert(t2, idx, block(500));
+        }
+        assert!(cache.scope_used_bytes(s1) > 0);
+        cache.retire_scope(s1);
+        // The retired scope's blocks are gone and its counter is zero; the
+        // survivor is untouched and global accounting still balances.
+        assert_eq!(cache.scope_used_bytes(s1), 0);
+        assert!(cache.get(t1, 0).is_none());
+        assert!(cache.get(t2, 0).is_some());
+        assert_eq!(cache.scope_used_bytes(s2), 8 * block_weight(500) as u64);
+        assert_eq!(
+            cache.scope_usage().iter().sum::<u64>(),
+            cache.stats().used_bytes
+        );
+        // A straggler insert through the retired table now charges scope 0.
+        cache.insert(t1, 99, block(100));
+        assert_eq!(cache.scope_used_bytes(s1), 0);
+        assert_eq!(cache.scope_used_bytes(0), block_weight(100) as u64);
+        // Scope 0 itself can never be retired.
+        cache.retire_scope(0);
+        assert_eq!(cache.scope_used_bytes(0), block_weight(100) as u64);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct CompactionStats {
     pub stall_events: AtomicU64,
     /// Writes that briefly yielded on backpressure (slowdown threshold).
     pub slowdown_events: AtomicU64,
+    /// Entries dropped because they fell outside the engine's key bound
+    /// (trim compactions plus regular compactions under a bound).
+    pub trimmed_entries: AtomicU64,
+    /// Trim compactions run (out-of-range SSTs rewritten or dropped).
+    pub trim_compactions: AtomicU64,
 }
 
 impl CompactionStats {
@@ -66,6 +71,8 @@ impl CompactionStats {
             entries_written: self.entries_written.load(Ordering::Relaxed),
             stall_events: self.stall_events.load(Ordering::Relaxed),
             slowdown_events: self.slowdown_events.load(Ordering::Relaxed),
+            trimmed_entries: self.trimmed_entries.load(Ordering::Relaxed),
+            trim_compactions: self.trim_compactions.load(Ordering::Relaxed),
             ..Default::default()
         }
     }
@@ -88,6 +95,10 @@ pub struct CompactionStatsSnapshot {
     pub stall_events: u64,
     /// Writes that briefly yielded on backpressure.
     pub slowdown_events: u64,
+    /// Entries dropped for lying outside the engine's key bound.
+    pub trimmed_entries: u64,
+    /// Trim compactions run.
+    pub trim_compactions: u64,
     /// Block-cache hits (0 when no cache is configured).
     pub cache_hits: u64,
     /// Block-cache misses (0 when no cache is configured).
@@ -144,6 +155,13 @@ pub struct LsmDb {
     compaction_lock: Mutex<()>,
     /// Writers stalled on backpressure park here; maintenance jobs notify it.
     write_room: BackpressureGate,
+    /// Optional key-range restriction (`[lo, hi]` inclusive). Set when this
+    /// engine serves one shard of a sharded deployment: compactions drop
+    /// entries outside the bound, and trim compactions proactively rewrite
+    /// SSTs adopted from a pre-split parent that still carry out-of-range
+    /// data. Reads are unaffected (the router never asks for out-of-range
+    /// keys, and scans clamp to the bound's range at the sharding layer).
+    key_bound: RwLock<Option<(UserKey, UserKey)>>,
 }
 
 impl LsmDb {
@@ -225,6 +243,7 @@ impl LsmDb {
             flush_lock: Mutex::new(()),
             compaction_lock: Mutex::new(()),
             write_room: BackpressureGate::new(),
+            key_bound: RwLock::new(None),
         };
 
         {
@@ -805,7 +824,10 @@ impl LsmDb {
         merge.seek_to_first()?;
 
         // Drain, keeping only the newest version of each user key. Tombstones
-        // are dropped once they reach the last level.
+        // are dropped once they reach the last level, and entries outside the
+        // key bound (shard-split leftovers) are dropped at every level.
+        let key_bound = self.key_bound();
+        let mut trimmed = 0u64;
         let mut outputs: Vec<FileMeta> = Vec::new();
         let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let mut current_bytes = 0u64;
@@ -815,7 +837,13 @@ impl LsmDb {
             let is_duplicate = last_user_key == Some(ik.user_key);
             last_user_key = Some(ik.user_key);
             if !is_duplicate {
-                let drop_entry = output_is_last_level && ik.kind == ValueKind::Tombstone;
+                let out_of_bound =
+                    key_bound.is_some_and(|(lo, hi)| ik.user_key < lo || ik.user_key > hi);
+                if out_of_bound {
+                    trimmed += 1;
+                }
+                let drop_entry =
+                    out_of_bound || (output_is_last_level && ik.kind == ValueKind::Tombstone);
                 if !drop_entry {
                     current_bytes += (merge.key().len() + merge.value().len()) as u64;
                     current.push((merge.key().to_vec(), merge.value().to_vec()));
@@ -860,6 +888,11 @@ impl LsmDb {
             }
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        if trimmed > 0 {
+            self.stats
+                .trimmed_entries
+                .fetch_add(trimmed, Ordering::Relaxed);
+        }
         self.notify_write_room();
         Ok(())
     }
@@ -891,6 +924,158 @@ impl LsmDb {
     /// SSTs alone). The engine should be dropped afterwards.
     pub fn remove_wal(&self) -> Result<()> {
         self.wal.remove_all()
+    }
+
+    // ------------------------------------------------------------------
+    // Key-range restriction and trim compaction (shard-split support)
+    // ------------------------------------------------------------------
+
+    /// Restricts this engine to the inclusive key range `[lo, hi]`. From
+    /// then on compactions drop entries outside the bound and
+    /// [`LsmDb::trim_once`] can proactively rewrite SSTs that still carry
+    /// out-of-range data (files adopted by reference from a pre-split
+    /// parent shard). The bound never affects reads: callers are expected to
+    /// route only in-range keys at this engine.
+    pub fn set_key_bound(&self, lo: UserKey, hi: UserKey) {
+        *self.key_bound.write() = Some((lo, hi));
+    }
+
+    /// The key bound, if one is set.
+    pub fn key_bound(&self) -> Option<(UserKey, UserKey)> {
+        *self.key_bound.read()
+    }
+
+    /// Approximate bytes buffered in the mutable and frozen memtables.
+    pub fn buffered_bytes(&self) -> u64 {
+        let inner = self.inner.read();
+        let mut total = inner
+            .mutable
+            .as_ref()
+            .map(|m| m.approximate_bytes())
+            .unwrap_or(0);
+        total += inner
+            .immutables
+            .iter()
+            .map(|m| m.memtable.approximate_bytes())
+            .sum::<usize>();
+        total as u64
+    }
+
+    /// Total bytes of all attached SST files.
+    pub fn total_sst_bytes(&self) -> u64 {
+        self.level_sizes().iter().sum()
+    }
+
+    /// Rewrites one SST whose *contents* exceed the key bound, keeping only
+    /// in-range entries (the file is removed outright if nothing remains).
+    /// Returns true if a file was processed. No-op without a key bound.
+    /// Safe to call concurrently with writes and compactions.
+    pub fn trim_once(&self) -> Result<bool> {
+        let Some((lo, hi)) = self.key_bound() else {
+            return Ok(false);
+        };
+        // Serialise with compactions so the victim cannot be replaced (and
+        // its file deleted) between planning and install.
+        let _compacting = self.compaction_lock.lock();
+        let victim = {
+            let inner = self.inner.read();
+            let mut found = None;
+            'levels: for (level, files) in inner.levels.iter().enumerate() {
+                for file in files {
+                    if file.table.spans_outside(lo, hi) {
+                        found = Some((level, file.clone()));
+                        break 'levels;
+                    }
+                }
+            }
+            found
+        };
+        let Some((level, victim)) = victim else {
+            return Ok(false);
+        };
+
+        // Rewrite outside the lock; the victim stays attached (and readable)
+        // until the replacement is installed.
+        let mut kept: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut iter = victim.table.iter();
+        iter.seek_to_first()?;
+        while iter.valid() {
+            let ik = InternalKey::decode(iter.key())?;
+            if ik.user_key >= lo && ik.user_key <= hi {
+                kept.push((iter.key().to_vec(), iter.value().to_vec()));
+            }
+            iter.next()?;
+        }
+        let trimmed = victim.meta.num_entries.saturating_sub(kept.len() as u64);
+        let replacement = if kept.is_empty() {
+            None
+        } else {
+            let file_number = {
+                let mut inner = self.inner.write();
+                let n = inner.next_file_number;
+                inner.next_file_number += 1;
+                n
+            };
+            // The replacement's manifest bounds are its true content bounds,
+            // which lie within `[lo, hi]` by construction.
+            Some(self.build_sst_from_entries(
+                file_number,
+                level as u32,
+                victim.meta.column_group,
+                kept,
+            )?)
+        };
+
+        {
+            let mut inner = self.inner.write();
+            let Some(pos) = inner.levels[level]
+                .iter()
+                .position(|f| f.meta.file_number == victim.meta.file_number)
+            else {
+                // The victim vanished (e.g. a foreground flush raced us on
+                // Level-0 bookkeeping); discard the replacement we built for
+                // it rather than leaving an orphan file behind.
+                if let Some(meta) = &replacement {
+                    let _ = self.storage.delete(&meta.file_name());
+                }
+                return Ok(true);
+            };
+            match replacement {
+                Some(meta) => {
+                    let table = TableHandle::open_with_cache(
+                        &self.storage,
+                        &meta.file_name(),
+                        self.cache.clone(),
+                    )?;
+                    // Replace in place so Level-0's oldest-first order (and
+                    // deeper levels' sort) is preserved.
+                    inner.levels[level][pos] = LevelFile { meta, table };
+                }
+                None => {
+                    inner.levels[level].remove(pos);
+                }
+            }
+            self.persist_manifest(&inner)?;
+            let _ = self.storage.delete(&victim.meta.file_name());
+        }
+        self.stats
+            .trimmed_entries
+            .fetch_add(trimmed, Ordering::Relaxed);
+        self.stats.trim_compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// True if some SST still carries entries outside the key bound.
+    pub fn needs_trim(&self) -> bool {
+        let Some((lo, hi)) = self.key_bound() else {
+            return false;
+        };
+        let inner = self.inner.read();
+        inner
+            .levels
+            .iter()
+            .flatten()
+            .any(|f| f.table.spans_outside(lo, hi))
     }
 }
 
@@ -968,6 +1153,14 @@ impl EngineMaintenance for LsmDb {
 
     fn auto_compact(&self) -> bool {
         self.options.auto_compact
+    }
+
+    fn trim_once(&self) -> Result<bool> {
+        LsmDb::trim_once(self)
+    }
+
+    fn needs_trim(&self) -> bool {
+        LsmDb::needs_trim(self)
     }
 
     fn record_throttle(&self, throttle: Throttle) {

@@ -73,8 +73,9 @@ pub use db::{CompactionStatsSnapshot, LsmDb};
 pub use error::{Error, Result};
 pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
 pub use maintenance::{
-    attach_engine, attach_shard_engines, BackpressureConfig, BackpressureGate, EngineMaintenance,
-    JobKind, JobScheduler, MaintainableEngine, MaintenanceHandle, Throttle,
+    attach_engine, attach_shard_engines, register_shard_engine, BackpressureConfig,
+    BackpressureGate, EngineMaintenance, JobKind, JobScheduler, MaintainableEngine,
+    MaintenanceHandle, Throttle,
 };
 pub use manifest::FileMeta;
 pub use memtable::{FrozenMemTable, MemTable, MemTableRef};

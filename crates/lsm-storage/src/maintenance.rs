@@ -47,7 +47,14 @@ pub enum JobKind {
     Compaction,
     /// One CG-local compaction step (`laser-core`'s layout-changing merge).
     CgCompaction,
+    /// One trim-compaction step: rewrite one SST that still carries entries
+    /// outside the engine's key bound (left behind by a shard split that
+    /// adopted the file by reference instead of rewriting it).
+    Trim,
 }
+
+/// Number of distinct [`JobKind`] variants (sizes the per-kind counters).
+const NUM_JOB_KINDS: usize = 4;
 
 impl JobKind {
     fn index(self) -> usize {
@@ -55,6 +62,7 @@ impl JobKind {
             JobKind::Flush => 0,
             JobKind::Compaction => 1,
             JobKind::CgCompaction => 2,
+            JobKind::Trim => 3,
         }
     }
 }
@@ -74,7 +82,7 @@ pub trait MaintainableEngine: Send + Sync + 'static {
 #[derive(Debug, Default)]
 struct HandleState {
     pending: AtomicUsize,
-    pending_per_kind: [AtomicUsize; 3],
+    pending_per_kind: [AtomicUsize; NUM_JOB_KINDS],
 }
 
 struct Job {
@@ -96,7 +104,7 @@ enum Message {
 pub struct SchedulerState {
     /// Jobs enqueued or currently running, in total and per kind.
     pending: AtomicUsize,
-    pending_per_kind: [AtomicUsize; 3],
+    pending_per_kind: [AtomicUsize; NUM_JOB_KINDS],
     completed: AtomicU64,
     failed: AtomicU64,
     shutdown: AtomicBool,
@@ -402,6 +410,17 @@ pub trait EngineMaintenance: MaintainableEngine {
     fn auto_compact(&self) -> bool;
     /// Records a throttle outcome in the engine's stats.
     fn record_throttle(&self, throttle: Throttle);
+    /// Rewrites one SST that still carries entries outside the engine's key
+    /// bound, dropping them. Returns true if a file was rewritten. Engines
+    /// without range restriction keep the default no-op.
+    fn trim_once(&self) -> Result<bool> {
+        Ok(false)
+    }
+    /// True if some SST still carries entries outside the engine's key bound
+    /// and a [`EngineMaintenance::trim_once`] would make progress.
+    fn needs_trim(&self) -> bool {
+        false
+    }
 
     // ------------------------------------------------------------------
     // Shared default glue
@@ -513,6 +532,18 @@ pub trait EngineMaintenance: MaintainableEngine {
                 }
                 Ok(())
             }
+            JobKind::Trim => {
+                // Rewrite one out-of-range file per job and re-enqueue while
+                // more remain, so one post-split submission trims the whole
+                // shard without monopolising a worker.
+                let did_work = self.trim_once()?;
+                if did_work && self.needs_trim() {
+                    if let Some(handle) = self.maintenance_cell().get() {
+                        handle.submit(JobKind::Trim);
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -534,6 +565,25 @@ where
     Ok(scheduler)
 }
 
+/// Registers one engine with an existing shared scheduler: a submission
+/// handle with its own pending counters is created and installed in the
+/// engine's maintenance cell. Used both at open (for every initial shard)
+/// and when a shard split brings new child engines online mid-flight.
+/// Errors if the engine already has a scheduler attached.
+pub fn register_shard_engine<E>(scheduler: &JobScheduler, engine: &Arc<E>) -> Result<()>
+where
+    E: EngineMaintenance + 'static,
+{
+    let dyn_engine: Arc<dyn MaintainableEngine> = Arc::clone(engine) as Arc<dyn MaintainableEngine>;
+    let handle = scheduler.register(&dyn_engine);
+    if engine.maintenance_cell().set(handle).is_err() {
+        return Err(Error::invalid(
+            "a maintenance scheduler is already attached to a shard",
+        ));
+    }
+    Ok(())
+}
+
 /// Starts one shared worker pool with `num_workers` threads and registers
 /// every engine of `engines` with it. Used by sharded deployments: all
 /// shards submit to the same queue, so flush/compaction of disjoint shards
@@ -547,14 +597,7 @@ where
 {
     let scheduler = JobScheduler::start_pool(num_workers);
     for engine in engines {
-        let dyn_engine: Arc<dyn MaintainableEngine> =
-            Arc::clone(engine) as Arc<dyn MaintainableEngine>;
-        let handle = scheduler.register(&dyn_engine);
-        if engine.maintenance_cell().set(handle).is_err() {
-            return Err(Error::invalid(
-                "a maintenance scheduler is already attached to a shard",
-            ));
-        }
+        register_shard_engine(&scheduler, engine)?;
     }
     Ok(scheduler)
 }

@@ -51,6 +51,24 @@ impl FileMeta {
         self.min_user_key <= hi && lo <= self.max_user_key
     }
 
+    /// Range-restricted adoption: the metadata this file contributes to a
+    /// version that only owns `[lo, hi]` (a shard-split child adopting a
+    /// parent SST without rewriting it). `None` if the file lies entirely
+    /// outside the range; otherwise the key bounds are clamped to it, so the
+    /// adopting tree's per-level disjointness and binary-search invariants
+    /// hold even though the underlying file may still carry out-of-range
+    /// entries (dropped later by a trim compaction).
+    pub fn restricted_to(&self, lo: UserKey, hi: UserKey) -> Option<FileMeta> {
+        if !self.overlaps(lo, hi) {
+            return None;
+        }
+        Some(FileMeta {
+            min_user_key: self.min_user_key.max(lo),
+            max_user_key: self.max_user_key.min(hi),
+            ..self.clone()
+        })
+    }
+
     fn encode_to(&self, dst: &mut Vec<u8>) {
         put_varint64(dst, self.file_number);
         put_varint64(dst, self.level as u64);

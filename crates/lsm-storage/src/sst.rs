@@ -399,6 +399,14 @@ impl Table {
         self.props.min_user_key <= hi && lo <= self.props.max_user_key
     }
 
+    /// Returns true if some entry's user key lies outside `[lo, hi]`. Unlike
+    /// the (possibly clamped) manifest metadata, this consults the footer's
+    /// *content* bounds — a table adopted into a range-restricted shard
+    /// reports true here until a trim compaction rewrites it.
+    pub fn spans_outside(&self, lo: UserKey, hi: UserKey) -> bool {
+        self.props.min_user_key < lo || self.props.max_user_key > hi
+    }
+
     fn read_data_block(&self, handle: BlockHandle) -> Result<Block> {
         Block::decode(read_verified_block(self.file.as_ref(), handle)?)
     }
@@ -455,6 +463,12 @@ impl TableHandle {
     /// Range overlap check.
     pub fn overlaps(&self, lo: UserKey, hi: UserKey) -> bool {
         self.0.overlaps(lo, hi)
+    }
+
+    /// True if some entry's user key lies outside `[lo, hi]` (see
+    /// [`Table::spans_outside`]).
+    pub fn spans_outside(&self, lo: UserKey, hi: UserKey) -> bool {
+        self.0.spans_outside(lo, hi)
     }
 
     /// Creates an iterator over the whole table.

@@ -237,6 +237,22 @@ impl MemStorage {
         let inner = self.inner.read();
         inner.files.values().map(|f| f.read().len() as u64).sum()
     }
+
+    /// Shares file `name` into `target` under the same name without copying
+    /// the bytes: both backends see the same underlying buffer — the
+    /// in-memory analogue of a hard link. Only meaningful for immutable
+    /// files (SSTs); re-`create`ing the name in either backend detaches it.
+    pub fn link_file_into(&self, name: &str, target: &MemStorage) -> Result<()> {
+        let buf = self
+            .inner
+            .read()
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("file {name}")))?;
+        target.inner.write().files.insert(name.to_string(), buf);
+        Ok(())
+    }
 }
 
 struct MemWritable {

@@ -1,20 +1,94 @@
-//! The sharded database facade.
+//! The sharded database facade, including online re-sharding: a hot shard
+//! can be split live, while writes and scans continue.
+//!
+//! ## Split state machine
+//!
+//! ```text
+//!            ┌────────────┐ write SHARDS.intent ┌──────────┐
+//!   steady ──│  INTENT    │────────────────────▶│ PREPARE  │ link parent SSTs
+//!   state    └────────────┘                     └────┬─────┘ into child slots,
+//!                 ▲  crash ⇒ roll back (clear        │       write child
+//!                 │  child slots, delete intent)     ▼       manifests
+//!            ┌────┴───────┐  rename SHARDS      ┌──────────┐
+//!            │  CLEANUP   │◀────────────────────│  COMMIT  │ (atomic)
+//!            └────────────┘  crash ⇒ roll       └──────────┘
+//!             delete intent,  forward (clear
+//!             clear parent    parent slot,
+//!             slot            delete intent)
+//! ```
+//!
+//! The `SHARDS` manifest rename is the single commit point; the intent file
+//! is only a recovery hint (see [`crate::manifest`] for the crash matrix).
+//! In memory, the topology is an immutable [`Arc`] snapshot swapped under a
+//! write lock: writers hold the lock shared for the duration of a batch (so
+//! a split never observes half a batch and a batch never lands on a retired
+//! shard), while scans pin the `Arc` and run lock-free against a consistent
+//! topology.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use lsm_storage::cache::{BlockCache, BlockCacheStats, ScopedCache};
-use lsm_storage::maintenance::{attach_shard_engines, JobScheduler};
+use lsm_storage::cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
+use lsm_storage::maintenance::{register_shard_engine, JobKind, JobScheduler};
+use lsm_storage::manifest::{read_manifest, write_manifest, VersionSnapshot};
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch, MAX_SEQNO};
-use lsm_storage::{Error, Result};
+use lsm_storage::{EngineMaintenance, Error, Result};
 
 use crate::engine::ShardEngine;
-use crate::manifest::{read_shard_manifest, write_shard_manifest, ShardManifest};
+use crate::manifest::{
+    read_shard_manifest, read_split_intent, remove_split_intent, write_shard_manifest,
+    write_split_intent, ShardManifest, SplitIntent,
+};
 use crate::pool::WorkerPool;
 use crate::router::ShardRouter;
 use crate::storage::ShardStorageProvider;
+
+/// When a shard is split automatically (no trigger fires manually): the
+/// policy is evaluated on the write path from shard-level statistics.
+#[derive(Debug, Clone)]
+pub struct SplitPolicy {
+    /// Resident bytes (memtable + SSTs) above which a shard splits;
+    /// 0 disables this trigger.
+    pub max_resident_bytes: u64,
+    /// Bytes routed into one shard since it was opened (or created by a
+    /// previous split) above which it splits; 0 disables this trigger.
+    pub max_ingest_bytes: u64,
+    /// Pending background jobs of one shard at which it splits (sustained
+    /// flush/compaction pressure); 0 disables this trigger.
+    pub split_pending_jobs: usize,
+    /// Hard cap on the number of shards; no automatic split beyond it.
+    pub max_shards: usize,
+    /// Evaluate the policy once every this many batches (amortises the
+    /// shard-stat scan off the hot path). Clamped to at least 1.
+    pub check_every_batches: u64,
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        SplitPolicy {
+            max_resident_bytes: 64 << 20,
+            max_ingest_bytes: 0,
+            split_pending_jobs: 0,
+            max_shards: 16,
+            check_every_batches: 32,
+        }
+    }
+}
+
+/// Simulated crash points inside [`ShardedDb::split_shard_with_failpoint`],
+/// used by crash-safety tests: the split returns an error at the chosen
+/// stage, leaving on-disk state exactly as a crash there would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitFailpoint {
+    /// Crash right after the intent record is durable (before any child
+    /// state exists). Replay must roll back to the old topology.
+    AfterIntent,
+    /// Crash after the children are fully prepared (SSTs linked, manifests
+    /// written) but before the `SHARDS` commit. Replay must roll back.
+    AfterPrepare,
+}
 
 /// Configuration of the sharding layer (the per-shard engine options are
 /// passed separately and shared by every shard).
@@ -39,6 +113,9 @@ pub struct ShardedOptions {
     /// shards; 0 disables caching (unless an external cache is supplied via
     /// [`ShardedDb::open_with_cache`]).
     pub cache_bytes: usize,
+    /// Automatic shard splitting; `None` splits only on explicit
+    /// [`ShardedDb::split_shard`] calls.
+    pub split_policy: Option<SplitPolicy>,
 }
 
 impl Default for ShardedOptions {
@@ -49,6 +126,7 @@ impl Default for ShardedOptions {
             fanout_threads: 0,
             maintenance_workers: 0,
             cache_bytes: 0,
+            split_policy: None,
         }
     }
 }
@@ -88,13 +166,22 @@ impl ShardedOptions {
         self.cache_bytes = bytes;
         self
     }
+
+    /// Enables automatic shard splitting under `policy`.
+    pub fn split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = Some(policy);
+        self
+    }
 }
 
 /// A consistent cross-shard snapshot: one sequence number per shard,
 /// captured atomically with respect to (multi-shard) batch writes — a
-/// snapshot can never observe half of a batch.
+/// snapshot can never observe half of a batch. A snapshot is pinned to the
+/// topology epoch it was captured in; it does not survive a shard split
+/// (reads against it then fail rather than silently mis-route).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSnapshot {
+    epoch: u64,
     seqs: Vec<SeqNo>,
 }
 
@@ -104,11 +191,40 @@ impl ShardSnapshot {
         &self.seqs
     }
 
-    /// A snapshot that sees everything, for reads that do not need
-    /// cross-shard consistency.
-    fn latest(num_shards: usize) -> ShardSnapshot {
-        ShardSnapshot {
-            seqs: vec![MAX_SEQNO; num_shards],
+    /// The topology epoch this snapshot was captured in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// One shard of the topology: the engine plus its placement bookkeeping.
+struct Shard<E> {
+    engine: Arc<E>,
+    /// Storage slot the shard's data lives in (see [`crate::storage`]).
+    slot: u64,
+    /// Accounting scope of the process-wide cache, if caching is on.
+    cache_scope: Option<ScopeId>,
+    /// Bytes routed into this shard since it was opened (split-policy input).
+    ingested_bytes: AtomicU64,
+}
+
+/// An immutable topology snapshot: the router plus the shard handles, shared
+/// via `Arc` so readers pin a consistent view while a split swaps in a new
+/// one. Non-split shards are carried over by reference (their counters and
+/// engines survive the swap).
+struct Topology<E> {
+    epoch: u64,
+    router: ShardRouter,
+    shards: Vec<Arc<Shard<E>>>,
+    next_slot: u64,
+}
+
+impl<E> Topology<E> {
+    fn manifest(&self) -> ShardManifest {
+        ShardManifest {
+            boundaries: self.router.boundaries().to_vec(),
+            slots: self.shards.iter().map(|s| s.slot).collect(),
+            next_slot: self.next_slot,
         }
     }
 }
@@ -120,6 +236,8 @@ struct ShardedStats {
     batches: AtomicU64,
     cross_shard_batches: AtomicU64,
     fanout_scans: AtomicU64,
+    splits: AtomicU64,
+    auto_split_failures: AtomicU64,
 }
 
 /// Owned snapshot of the sharding layer's counters plus cache accounting.
@@ -127,12 +245,18 @@ struct ShardedStats {
 pub struct ShardedStatsSnapshot {
     /// Number of shards.
     pub num_shards: usize,
+    /// Topology epoch (bumped by every split).
+    pub epoch: u64,
     /// Batches written through the facade.
     pub batches: u64,
     /// Batches that spanned more than one shard.
     pub cross_shard_batches: u64,
     /// Cross-shard scans that fanned out over more than one shard.
     pub fanout_scans: u64,
+    /// Shard splits committed since open.
+    pub splits: u64,
+    /// Automatic splits that were attempted but failed.
+    pub auto_split_failures: u64,
     /// Global block-cache counters (all shards combined), if caching is on.
     pub cache: Option<BlockCacheStats>,
     /// Resident cache bytes per shard (indexed by shard), if caching is on.
@@ -143,7 +267,8 @@ pub struct ShardedStatsSnapshot {
     pub bg_jobs_pending: u64,
 }
 
-/// A range-sharded database: N engine shards behind one router.
+/// A range-sharded database: N engine shards behind one router, with live
+/// shard splitting.
 ///
 /// See the crate docs for the architecture. The facade is generic over the
 /// engine type: `ShardedDb<LsmDb>` shards the plain key-value engine,
@@ -153,18 +278,23 @@ pub struct ShardedStatsSnapshot {
 pub struct ShardedDb<E: ShardEngine> {
     // Field order is drop order: the scheduler drains and joins its workers
     // while every shard is still alive, then the fan-out pool, then the
-    // shards themselves.
+    // topology (and with it the shards themselves).
     scheduler: Option<JobScheduler>,
     pool: WorkerPool,
-    shards: Vec<Arc<E>>,
-    router: ShardRouter,
+    /// The current topology. Writers hold this shared for the duration of a
+    /// batch; a split holds it exclusively while draining the parent and
+    /// swapping the routing table. Scans only pin the inner `Arc`.
+    topology: RwLock<Arc<Topology<E>>>,
+    provider: Arc<dyn ShardStorageProvider>,
+    engine_options: E::Options,
     cache: Option<Arc<BlockCache>>,
-    /// Cache scope of each shard (indexed by shard), for accounting.
-    cache_scopes: Vec<u32>,
     /// Snapshot barrier: batch writers hold it shared while applying every
     /// per-shard sub-batch; [`ShardedDb::snapshot`] takes it exclusively, so
     /// a snapshot waits out in-flight batches instead of splitting one.
     snapshot_lock: RwLock<()>,
+    /// Serialises shard splits (manual and automatic).
+    split_lock: Mutex<()>,
+    split_policy: Option<SplitPolicy>,
     stats: ShardedStats,
 }
 
@@ -181,7 +311,7 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// Opens (or reopens) a sharded database on `provider`, creating its own
     /// process-wide block cache per `options.cache_bytes`.
     pub fn open(
-        provider: &dyn ShardStorageProvider,
+        provider: Arc<dyn ShardStorageProvider>,
         engine_options: E::Options,
         options: ShardedOptions,
     ) -> Result<Self> {
@@ -198,41 +328,75 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// different engine types — can share one memory budget.
     /// `options.cache_bytes` is ignored when a cache is given.
     pub fn open_with_cache(
-        provider: &dyn ShardStorageProvider,
+        provider: Arc<dyn ShardStorageProvider>,
         engine_options: E::Options,
         options: ShardedOptions,
         cache: Option<Arc<BlockCache>>,
     ) -> Result<Self> {
         let root = provider.root()?;
+
+        // Resolve a split interrupted by a crash. The committed SHARDS
+        // manifest is the arbiter: children present there ⇒ roll forward
+        // (finish the cleanup), otherwise ⇒ roll back (discard the
+        // half-prepared children).
+        if let Some(intent) = read_split_intent(&root)? {
+            let manifest = read_shard_manifest(&root)?;
+            let committed = manifest.as_ref().is_some_and(|m| {
+                m.slots.contains(&intent.left_slot) && m.slots.contains(&intent.right_slot)
+            });
+            if committed {
+                provider.clear_shard(intent.parent_slot as usize)?;
+            } else {
+                provider.clear_shard(intent.left_slot as usize)?;
+                provider.clear_shard(intent.right_slot as usize)?;
+            }
+            remove_split_intent(&root)?;
+        }
+
         // The persisted topology wins over the requested one: shard data
         // cannot be re-split by merely asking for a different count.
-        let router = match read_shard_manifest(&root)? {
-            Some(manifest) => manifest.router()?,
+        let manifest = match read_shard_manifest(&root)? {
+            Some(manifest) => manifest,
             None => {
                 let router = match &options.boundaries {
                     Some(boundaries) => ShardRouter::from_boundaries(boundaries.clone())?,
                     None => ShardRouter::uniform(options.num_shards),
                 };
-                write_shard_manifest(&root, &ShardManifest::from_router(&router))?;
-                router
+                let manifest = ShardManifest::from_router(&router);
+                write_shard_manifest(&root, &manifest)?;
+                manifest
             }
         };
+        let router = manifest.router()?;
         let num_shards = router.num_shards();
 
         let mut shards = Vec::with_capacity(num_shards);
-        let mut cache_scopes = Vec::with_capacity(num_shards);
-        for index in 0..num_shards {
-            let scoped = cache.as_ref().map(|c| {
-                let scope = c.add_scope();
-                cache_scopes.push(scope);
-                ScopedCache::new(Arc::clone(c), scope)
-            });
-            let storage = provider.shard(index)?;
-            shards.push(Arc::new(E::open_shard(storage, &engine_options, scoped)?));
+        for (index, &slot) in manifest.slots.iter().enumerate() {
+            let (scope, scoped) = match cache.as_ref() {
+                Some(c) => {
+                    let scope = c.add_scope();
+                    (Some(scope), Some(ScopedCache::new(Arc::clone(c), scope)))
+                }
+                None => (None, None),
+            };
+            let storage = provider.shard(slot as usize)?;
+            let engine = Arc::new(E::open_shard(storage, &engine_options, scoped)?);
+            let (lo, hi) = router.shard_range(index);
+            engine.shard_set_key_bound(lo, hi);
+            shards.push(Arc::new(Shard {
+                engine,
+                slot,
+                cache_scope: scope,
+                ingested_bytes: AtomicU64::new(0),
+            }));
         }
 
         let scheduler = if options.maintenance_workers > 0 {
-            Some(attach_shard_engines(&shards, options.maintenance_workers)?)
+            let scheduler = JobScheduler::start_pool(options.maintenance_workers);
+            for shard in &shards {
+                register_shard_engine(&scheduler, &shard.engine)?;
+            }
+            Some(scheduler)
         } else {
             None
         };
@@ -244,28 +408,45 @@ impl<E: ShardEngine> ShardedDb<E> {
         Ok(ShardedDb {
             scheduler,
             pool: WorkerPool::new(fanout_threads, "shard-fanout"),
-            shards,
-            router,
+            topology: RwLock::new(Arc::new(Topology {
+                epoch: 0,
+                router,
+                shards,
+                next_slot: manifest.next_slot,
+            })),
+            provider,
+            engine_options,
             cache,
-            cache_scopes,
             snapshot_lock: RwLock::new(()),
+            split_lock: Mutex::new(()),
+            split_policy: options.split_policy,
             stats: ShardedStats::default(),
         })
     }
 
+    /// Pins the current topology (readers run lock-free against it).
+    fn current(&self) -> Arc<Topology<E>> {
+        Arc::clone(&self.topology.read())
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.current().shards.len()
     }
 
-    /// The router mapping keys to shards.
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The current router mapping keys to shards.
+    pub fn router(&self) -> ShardRouter {
+        self.current().router.clone()
     }
 
-    /// The shard engines (indexed by shard), for per-shard introspection.
-    pub fn shards(&self) -> &[Arc<E>] {
-        &self.shards
+    /// The current shard engines (indexed by shard), for per-shard
+    /// introspection.
+    pub fn shards(&self) -> Vec<Arc<E>> {
+        self.current()
+            .shards
+            .iter()
+            .map(|s| Arc::clone(&s.engine))
+            .collect()
     }
 
     /// The process-wide block cache, if one is configured.
@@ -282,49 +463,66 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// applied in parallel, and the call returns — one group-commit-style
     /// acknowledgement — only after **every** sub-batch is durable per the
     /// engines' WAL policy. Atomicity is per shard; cross-shard visibility
-    /// is atomic with respect to [`ShardedDb::snapshot`].
+    /// is atomic with respect to [`ShardedDb::snapshot`], and the whole
+    /// batch lands on one topology (a concurrent shard split waits it out).
     pub fn write(&self, batch: &WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        // Fast path for the dominant case — every entry owned by one shard
-        // (all point ops, and any batch with key locality): route, take the
-        // snapshot barrier, hand the caller's batch straight through with no
-        // clone or per-shard allocation.
-        let mut entries = batch.iter();
-        let first_shard = self
-            .router
-            .shard_of(entries.next().expect("non-empty").user_key);
-        if entries.all(|e| self.router.shard_of(e.user_key) == first_shard) {
-            // Shared lock: a concurrent snapshot waits until every sub-batch
-            // of this write landed (or none), never observing half of it.
-            let _batch_guard = self.snapshot_lock.read();
-            return self.shards[first_shard].shard_write(batch);
+        let batches = self.stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            // Hold the topology shared for the whole batch: a split (which
+            // takes it exclusively) can never retire a shard under an
+            // in-flight write or observe half of one.
+            let topology = self.topology.read();
+            let topology = &**topology;
+            // Fast path for the dominant case — every entry owned by one
+            // shard (all point ops, and any batch with key locality): route,
+            // take the snapshot barrier, hand the caller's batch straight
+            // through with no clone or per-shard allocation.
+            let mut entries = batch.iter();
+            let first = entries.next().expect("non-empty");
+            let first_shard = topology.router.shard_of(first.user_key);
+            if entries.all(|e| topology.router.shard_of(e.user_key) == first_shard) {
+                let shard = &topology.shards[first_shard];
+                shard
+                    .ingested_bytes
+                    .fetch_add(batch_bytes(batch), Ordering::Relaxed);
+                // Shared lock: a concurrent snapshot waits until every
+                // sub-batch of this write landed (or none), never observing
+                // half of it.
+                let _batch_guard = self.snapshot_lock.read();
+                shard.engine.shard_write(batch)?;
+            } else {
+                let mut per_shard: Vec<Option<WriteBatch>> = vec![None; topology.shards.len()];
+                for entry in batch.iter() {
+                    let shard = topology.router.shard_of(entry.user_key);
+                    per_shard[shard]
+                        .get_or_insert_with(WriteBatch::new)
+                        .push(entry.clone());
+                }
+                self.stats
+                    .cross_shard_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                let tasks: Vec<_> = per_shard
+                    .iter_mut()
+                    .enumerate()
+                    .filter_map(|(shard, sub)| sub.take().map(|sub| (shard, sub)))
+                    .map(|(index, sub)| {
+                        let shard = &topology.shards[index];
+                        shard
+                            .ingested_bytes
+                            .fetch_add(batch_bytes(&sub), Ordering::Relaxed);
+                        let engine = Arc::clone(&shard.engine);
+                        move || engine.shard_write(&sub)
+                    })
+                    .collect();
+                let _batch_guard = self.snapshot_lock.read();
+                let results = self.pool.run_all(tasks);
+                results.into_iter().collect::<Result<Vec<()>>>()?;
+            }
         }
-
-        let mut per_shard: Vec<Option<WriteBatch>> = vec![None; self.shards.len()];
-        for entry in batch.iter() {
-            let shard = self.router.shard_of(entry.user_key);
-            per_shard[shard]
-                .get_or_insert_with(WriteBatch::new)
-                .push(entry.clone());
-        }
-        self.stats
-            .cross_shard_batches
-            .fetch_add(1, Ordering::Relaxed);
-        let tasks: Vec<_> = per_shard
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(shard, sub)| sub.take().map(|sub| (shard, sub)))
-            .map(|(shard, sub)| {
-                let engine = Arc::clone(&self.shards[shard]);
-                move || engine.shard_write(&sub)
-            })
-            .collect();
-        let _batch_guard = self.snapshot_lock.read();
-        let results = self.pool.run_all(tasks);
-        results.into_iter().collect::<Result<Vec<()>>>()?;
+        self.maybe_auto_split(batches);
         Ok(())
     }
 
@@ -352,18 +550,44 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// horizon, taken while no batch write is in flight. Scans and reads at
     /// this snapshot see every batch acknowledged before the capture and
     /// nothing written after it — in particular, never half of a cross-shard
-    /// batch.
+    /// batch. The snapshot is pinned to the current topology epoch and is
+    /// invalidated by a shard split.
     pub fn snapshot(&self) -> ShardSnapshot {
+        let topology = self.current();
+        self.snapshot_of(&topology)
+    }
+
+    fn snapshot_of(&self, topology: &Topology<E>) -> ShardSnapshot {
         let _barrier = self.snapshot_lock.write();
         ShardSnapshot {
-            seqs: self.shards.iter().map(|s| s.shard_last_seq()).collect(),
+            epoch: topology.epoch,
+            seqs: topology
+                .shards
+                .iter()
+                .map(|s| s.engine.shard_last_seq())
+                .collect(),
         }
+    }
+
+    /// The pinned topology matching `snapshot`, or an error if a split has
+    /// retired it since the snapshot was captured.
+    fn topology_at(&self, snapshot: &ShardSnapshot) -> Result<Arc<Topology<E>>> {
+        let topology = self.current();
+        if topology.epoch != snapshot.epoch || snapshot.seqs.len() != topology.shards.len() {
+            return Err(Error::invalid(
+                "snapshot from a different shard topology (a shard was split since)",
+            ));
+        }
+        Ok(topology)
     }
 
     /// Point lookup of the newest visible value.
     pub fn get(&self, key: UserKey, ctx: &E::ReadCtx) -> Result<Option<E::Value>> {
-        let shard = self.router.shard_of(key);
-        self.shards[shard].shard_get_at(key, ctx, MAX_SEQNO)
+        let topology = self.current();
+        let shard = topology.router.shard_of(key);
+        topology.shards[shard]
+            .engine
+            .shard_get_at(key, ctx, MAX_SEQNO)
     }
 
     /// Point lookup at a snapshot.
@@ -373,34 +597,47 @@ impl<E: ShardEngine> ShardedDb<E> {
         ctx: &E::ReadCtx,
         snapshot: &ShardSnapshot,
     ) -> Result<Option<E::Value>> {
-        let shard = self.router.shard_of(key);
-        let seq = snapshot
-            .seqs
-            .get(shard)
-            .copied()
-            .ok_or_else(|| Error::invalid("snapshot from a different topology"))?;
-        self.shards[shard].shard_get_at(key, ctx, seq)
+        let topology = self.topology_at(snapshot)?;
+        let shard = topology.router.shard_of(key);
+        topology.shards[shard]
+            .engine
+            .shard_get_at(key, ctx, snapshot.seqs[shard])
     }
 
     /// Cross-shard range scan of the newest visible versions in `[lo, hi]`.
     /// Captures a snapshot internally so the result is consistent across
-    /// shards even under concurrent writes.
+    /// shards even under concurrent writes, and runs entirely against one
+    /// pinned topology — a concurrent shard split neither blocks the scan
+    /// nor changes its result.
     pub fn scan(
         &self,
         lo: UserKey,
         hi: UserKey,
         ctx: &E::ReadCtx,
     ) -> Result<Vec<(UserKey, E::Value)>> {
-        let snapshot = self.snapshot();
-        self.scan_at(lo, hi, ctx, &snapshot)
+        let topology = self.current();
+        let snapshot = self.snapshot_of(&topology);
+        self.scan_on(&topology, lo, hi, ctx, &snapshot)
     }
 
-    /// Cross-shard range scan at a snapshot. The per-shard scans run in
-    /// parallel on the fan-out pool; shards own disjoint contiguous ranges,
-    /// so concatenating the results in shard order yields global key order
-    /// with no merge heap.
+    /// Cross-shard range scan at a snapshot (which must be from the current
+    /// topology epoch). The per-shard scans run in parallel on the fan-out
+    /// pool; shards own disjoint contiguous ranges, so concatenating the
+    /// results in shard order yields global key order with no merge heap.
     pub fn scan_at(
         &self,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &E::ReadCtx,
+        snapshot: &ShardSnapshot,
+    ) -> Result<Vec<(UserKey, E::Value)>> {
+        let topology = self.topology_at(snapshot)?;
+        self.scan_on(&topology, lo, hi, ctx, snapshot)
+    }
+
+    fn scan_on(
+        &self,
+        topology: &Topology<E>,
         lo: UserKey,
         hi: UserKey,
         ctx: &E::ReadCtx,
@@ -409,19 +646,18 @@ impl<E: ShardEngine> ShardedDb<E> {
         if lo > hi {
             return Ok(Vec::new());
         }
-        if snapshot.seqs.len() != self.shards.len() {
-            return Err(Error::invalid("snapshot from a different topology"));
-        }
-        let shard_range = self.router.shards_overlapping(lo, hi);
+        let shard_range = topology.router.shards_overlapping(lo, hi);
         if shard_range.start() == shard_range.end() {
             let shard = *shard_range.start();
-            return self.shards[shard].shard_scan_at(lo, hi, ctx, snapshot.seqs[shard]);
+            return topology.shards[shard]
+                .engine
+                .shard_scan_at(lo, hi, ctx, snapshot.seqs[shard]);
         }
         self.stats.fanout_scans.fetch_add(1, Ordering::Relaxed);
         let tasks: Vec<_> = shard_range
             .map(|shard| {
-                let engine = Arc::clone(&self.shards[shard]);
-                let (shard_lo, shard_hi) = self.router.shard_range(shard);
+                let engine = Arc::clone(&topology.shards[shard].engine);
+                let (shard_lo, shard_hi) = topology.router.shard_range(shard);
                 let (clamped_lo, clamped_hi) = (lo.max(shard_lo), hi.min(shard_hi));
                 let seq = snapshot.seqs[shard];
                 let ctx = ctx.clone();
@@ -436,16 +672,269 @@ impl<E: ShardEngine> ShardedDb<E> {
     }
 
     // ------------------------------------------------------------------
+    // Online shard splitting
+    // ------------------------------------------------------------------
+
+    /// Splits shard `shard` at `split_key`, live: the left child keeps
+    /// `[lo, split_key)`, the right child `[split_key, hi]`. In-flight
+    /// batches are waited out, the parent's memtable is drained to SSTs, the
+    /// SSTs are adopted into the two child slots *by reference* (hard link /
+    /// shared buffer — no data rewrite), the `SHARDS` manifest is swapped
+    /// with a crash-safe intent + commit pair, and the router is replaced
+    /// atomically. Out-of-range leftovers inside adopted SSTs are dropped
+    /// afterwards by background trim compactions.
+    ///
+    /// Concurrent scans keep running against the pre-split topology they
+    /// pinned; snapshots captured before the split are invalidated.
+    pub fn split_shard(&self, shard: usize, split_key: UserKey) -> Result<()> {
+        let guard = self.split_lock.lock();
+        self.split_locked(&guard, shard, split_key, None, true)
+    }
+
+    /// [`ShardedDb::split_shard`] with a simulated crash at `failpoint`
+    /// (crash-safety tests; the returned error reports the simulated crash).
+    pub fn split_shard_with_failpoint(
+        &self,
+        shard: usize,
+        split_key: UserKey,
+        failpoint: SplitFailpoint,
+    ) -> Result<()> {
+        let guard = self.split_lock.lock();
+        self.split_locked(&guard, shard, split_key, Some(failpoint), true)
+    }
+
+    fn split_locked(
+        &self,
+        _split_guard: &parking_lot::MutexGuard<'_, ()>,
+        shard_index: usize,
+        split_key: UserKey,
+        failpoint: Option<SplitFailpoint>,
+        inline_trim: bool,
+    ) -> Result<()> {
+        // Exclusive topology access: waits out in-flight batches, blocks new
+        // ones. Scans that already pinned the old topology keep running.
+        let mut topology_slot = self.topology.write();
+        let topology = Arc::clone(&topology_slot);
+        // Derive the post-split manifest up front: this validates the shard
+        // index and split key before any side effect, and is the exact
+        // record the commit below renames into place.
+        let (left_slot, right_slot) = (topology.next_slot, topology.next_slot + 1);
+        let new_manifest =
+            topology
+                .manifest()
+                .with_split(shard_index, split_key, left_slot, right_slot)?;
+        let new_router = new_manifest.router()?;
+        let parent = &topology.shards[shard_index];
+
+        // Quiesce the parent's background jobs: a compaction racing the link
+        // step could delete the very SSTs the children are adopting.
+        wait_shard_idle(&parent.engine);
+
+        // Drain the parent's memtables so every acknowledged write lives in
+        // an SST listed by its engine manifest (the WAL segments retire with
+        // the flush; children start with fresh, empty logs).
+        parent.engine.shard_flush()?;
+        parent.engine.shard_close()?;
+
+        let root = self.provider.root()?;
+        let parent_storage = self.provider.shard(parent.slot as usize)?;
+        let parent_version = read_manifest(&parent_storage)?;
+
+        // Phase one: durable intent. From here a crash is rolled back (or,
+        // after the commit below, rolled forward) on the next open.
+        let intent = SplitIntent {
+            parent_slot: parent.slot,
+            left_slot,
+            right_slot,
+            split_key,
+        };
+        write_split_intent(&root, &intent)?;
+        if failpoint == Some(SplitFailpoint::AfterIntent) {
+            return Err(Error::invalid("simulated crash after split intent"));
+        }
+
+        // Prepare both children: adopt the parent's SSTs by range into fresh
+        // slots and write their engine manifests. A file straddling the
+        // split key is adopted by BOTH children with clamped manifest bounds;
+        // trim compactions reclaim the out-of-range halves later.
+        let (parent_lo, parent_hi) = topology.router.shard_range(shard_index);
+        let child_ranges = [
+            (left_slot, parent_lo, split_key - 1),
+            (right_slot, split_key, parent_hi),
+        ];
+        for &(slot, lo, hi) in &child_ranges {
+            // Clear any leftovers of a previously rolled-back split attempt
+            // that reused this slot id.
+            self.provider.clear_shard(slot as usize)?;
+            let mut files = Vec::new();
+            for meta in &parent_version.files {
+                if let Some(adopted) = meta.restricted_to(lo, hi) {
+                    self.provider.link_file(
+                        parent.slot as usize,
+                        slot as usize,
+                        &meta.file_name(),
+                    )?;
+                    files.push(adopted);
+                }
+            }
+            let child_storage = self.provider.shard(slot as usize)?;
+            write_manifest(
+                &child_storage,
+                &VersionSnapshot {
+                    next_file_number: parent_version.next_file_number,
+                    last_seq: parent_version.last_seq,
+                    files,
+                    wal_segments: Vec::new(),
+                },
+            )?;
+        }
+        if failpoint == Some(SplitFailpoint::AfterPrepare) {
+            return Err(Error::invalid("simulated crash after split prepare"));
+        }
+
+        // Open the child engines before committing, so a failure here leaves
+        // the old topology fully intact (the next open rolls the orphaned
+        // child state back).
+        let mut children = Vec::with_capacity(2);
+        for &(slot, lo, hi) in &child_ranges {
+            let (scope, scoped) = match self.cache.as_ref() {
+                Some(c) => {
+                    let scope = c.add_scope();
+                    (Some(scope), Some(ScopedCache::new(Arc::clone(c), scope)))
+                }
+                None => (None, None),
+            };
+            let storage = self.provider.shard(slot as usize)?;
+            let engine = Arc::new(E::open_shard(storage, &self.engine_options, scoped)?);
+            engine.shard_set_key_bound(lo, hi);
+            if let Some(scheduler) = &self.scheduler {
+                register_shard_engine(scheduler, &engine)?;
+            }
+            children.push(Arc::new(Shard {
+                engine,
+                slot,
+                cache_scope: scope,
+                ingested_bytes: AtomicU64::new(0),
+            }));
+        }
+
+        // Phase two: the commit point. Renaming the new SHARDS manifest into
+        // place atomically switches the durable topology.
+        let mut new_shards = topology.shards.clone();
+        new_shards.splice(shard_index..=shard_index, children.clone());
+        let new_topology = Arc::new(Topology {
+            epoch: topology.epoch + 1,
+            router: new_router,
+            shards: new_shards,
+            next_slot: new_manifest.next_slot,
+        });
+        write_shard_manifest(&root, &new_manifest)?;
+
+        // Swap the in-memory routing table and release writers.
+        *topology_slot = new_topology;
+        drop(topology_slot);
+        self.stats.splits.fetch_add(1, Ordering::Relaxed);
+
+        // Cleanup (crash-tolerant: replay rolls all of this forward). The
+        // parent engine stays alive for any scan still pinning the old
+        // topology — hard links / shared buffers keep the adopted SSTs
+        // readable after the parent's *names* are deleted.
+        remove_split_intent(&root)?;
+        if let Some(scope) = parent.cache_scope {
+            if let Some(cache) = &self.cache {
+                cache.retire_scope(scope);
+            }
+        }
+        self.provider.clear_shard(parent.slot as usize)?;
+
+        // Reclaim out-of-range leftovers in the adopted SSTs: enqueue trim
+        // jobs on the shared scheduler. Without one, only an explicit
+        // `split_shard` call trims inline — a policy-triggered split runs on
+        // some writer's thread and must not turn that caller's `write()`
+        // into a full shard rewrite (ordinary compactions under the key
+        // bound drop the leftovers over time anyway).
+        for child in &children {
+            match child.engine.maintenance_cell().get() {
+                Some(handle) => {
+                    handle.submit(JobKind::Trim);
+                }
+                None if inline_trim => {
+                    while EngineMaintenance::trim_once(child.engine.as_ref())? {}
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the split policy (called from the write path, amortised).
+    fn maybe_auto_split(&self, batches_so_far: u64) {
+        let Some(policy) = &self.split_policy else {
+            return;
+        };
+        if !batches_so_far.is_multiple_of(policy.check_every_batches.max(1)) {
+            return;
+        }
+        // Never block a writer on a split another thread already runs.
+        let Some(guard) = self.split_lock.try_lock() else {
+            return;
+        };
+        let topology = self.current();
+        if topology.shards.len() >= policy.max_shards.max(1) {
+            return;
+        }
+        let mut candidate: Option<(usize, u64)> = None;
+        for (index, shard) in topology.shards.iter().enumerate() {
+            let resident = shard.engine.shard_buffered_bytes()
+                + shard
+                    .engine
+                    .shard_level_files()
+                    .iter()
+                    .flatten()
+                    .map(|f| f.file_size)
+                    .sum::<u64>();
+            let ingested = shard.ingested_bytes.load(Ordering::Relaxed);
+            let pending = shard
+                .engine
+                .maintenance_cell()
+                .get()
+                .map_or(0, |h| h.pending_jobs());
+            let triggered = (policy.max_resident_bytes > 0
+                && resident >= policy.max_resident_bytes)
+                || (policy.max_ingest_bytes > 0 && ingested >= policy.max_ingest_bytes)
+                || (policy.split_pending_jobs > 0 && pending >= policy.split_pending_jobs);
+            if triggered && candidate.is_none_or(|(_, best)| resident > best) {
+                candidate = Some((index, resident));
+            }
+        }
+        let Some((index, _)) = candidate else {
+            return;
+        };
+        let Some(split_key) = pick_split_key(&topology, index) else {
+            return;
+        };
+        if self
+            .split_locked(&guard, index, split_key, None, false)
+            .is_err()
+        {
+            self.stats
+                .auto_split_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Maintenance
     // ------------------------------------------------------------------
 
     /// Flushes every shard's buffered writes to Level-0, in parallel.
     pub fn flush(&self) -> Result<()> {
-        let tasks: Vec<_> = self
+        let topology = self.current();
+        let tasks: Vec<_> = topology
             .shards
             .iter()
             .map(|shard| {
-                let engine = Arc::clone(shard);
+                let engine = Arc::clone(&shard.engine);
                 move || engine.shard_flush()
             })
             .collect();
@@ -454,11 +943,12 @@ impl<E: ShardEngine> ShardedDb<E> {
 
     /// Compacts every shard until no level overflows, in parallel.
     pub fn compact_until_stable(&self) -> Result<()> {
-        let tasks: Vec<_> = self
+        let topology = self.current();
+        let tasks: Vec<_> = topology
             .shards
             .iter()
             .map(|shard| {
-                let engine = Arc::clone(shard);
+                let engine = Arc::clone(&shard.engine);
                 move || engine.shard_compact_until_stable()
             })
             .collect();
@@ -480,14 +970,16 @@ impl<E: ShardEngine> ShardedDb<E> {
 
     /// Flushes outstanding data on every shard and persists their manifests.
     pub fn close(&self) -> Result<()> {
-        for shard in &self.shards {
-            shard.shard_close()?;
+        let topology = self.current();
+        for shard in &topology.shards {
+            shard.engine.shard_close()?;
         }
         Ok(())
     }
 
     /// Counters of the sharding layer plus global/per-shard cache usage.
     pub fn stats(&self) -> ShardedStatsSnapshot {
+        let topology = self.current();
         let (bg_completed, bg_pending) = self
             .scheduler
             .as_ref()
@@ -497,18 +989,22 @@ impl<E: ShardEngine> ShardedDb<E> {
             })
             .unwrap_or((0, 0));
         ShardedStatsSnapshot {
-            num_shards: self.shards.len(),
+            num_shards: topology.shards.len(),
+            epoch: topology.epoch,
             batches: self.stats.batches.load(Ordering::Relaxed),
             cross_shard_batches: self.stats.cross_shard_batches.load(Ordering::Relaxed),
             fanout_scans: self.stats.fanout_scans.load(Ordering::Relaxed),
+            splits: self.stats.splits.load(Ordering::Relaxed),
+            auto_split_failures: self.stats.auto_split_failures.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()),
             per_shard_cache_bytes: self
                 .cache
                 .as_ref()
                 .map(|c| {
-                    self.cache_scopes
+                    topology
+                        .shards
                         .iter()
-                        .map(|&scope| c.scope_used_bytes(scope))
+                        .map(|s| s.cache_scope.map_or(0, |scope| c.scope_used_bytes(scope)))
                         .collect()
                 })
                 .unwrap_or_default(),
@@ -520,6 +1016,76 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// The snapshot every read sees when none is supplied (visible for
     /// tests: `latest` horizons for the current topology).
     pub fn latest_snapshot(&self) -> ShardSnapshot {
-        ShardSnapshot::latest(self.shards.len())
+        let topology = self.current();
+        ShardSnapshot {
+            epoch: topology.epoch,
+            seqs: vec![MAX_SEQNO; topology.shards.len()],
+        }
+    }
+}
+
+/// Blocks until `engine` has no background job queued or running (engines
+/// whose scheduler has shut down report idle immediately).
+fn wait_shard_idle<E: ShardEngine>(engine: &Arc<E>) {
+    while let Some(handle) = engine.maintenance_cell().get() {
+        if handle.is_shutdown() || handle.pending_jobs() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Total payload bytes a batch routes into a shard (key + value), for the
+/// split policy's ingest accounting.
+fn batch_bytes(batch: &WriteBatch) -> u64 {
+    batch.iter().map(|e| 8 + e.value.len() as u64).sum::<u64>()
+}
+
+/// Picks a byte-weighted median split key for shard `index` from its SST
+/// metadata: the key below which roughly half of the shard's on-disk bytes
+/// lie. Returns `None` when the shard has too little (or too degenerate)
+/// data to split.
+fn pick_split_key<E: ShardEngine>(topology: &Topology<E>, index: usize) -> Option<UserKey> {
+    let (lo, hi) = topology.router.shard_range(index);
+    if lo >= hi {
+        // A single-key shard cannot be split further.
+        return None;
+    }
+    let mut spans: Vec<(UserKey, UserKey, u64)> = topology.shards[index]
+        .engine
+        .shard_level_files()
+        .iter()
+        .flatten()
+        .map(|meta| {
+            (
+                meta.min_user_key.max(lo),
+                meta.max_user_key.min(hi),
+                meta.file_size,
+            )
+        })
+        .collect();
+    if spans.is_empty() {
+        return None;
+    }
+    spans.sort_by_key(|&(min, _, _)| min);
+    let total: u64 = spans.iter().map(|&(_, _, size)| size).sum();
+    let mut acc = 0u64;
+    let mut candidate = None;
+    for &(min, max, size) in &spans {
+        acc += size;
+        if acc * 2 >= total {
+            // Split inside the file that crosses the byte median: its span
+            // midpoint approximates the median key at file granularity.
+            candidate = Some(min / 2 + max / 2 + (min & max & 1));
+            break;
+        }
+    }
+    let key = candidate?;
+    // Both children must own at least one key.
+    let key = key.clamp(lo.saturating_add(1), hi);
+    if key > lo && key <= hi {
+        Some(key)
+    } else {
+        None
     }
 }

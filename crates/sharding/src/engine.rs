@@ -4,6 +4,7 @@
 use laser_core::{LaserDb, LaserOptions, Projection, RowFragment};
 use lsm_storage::cache::ScopedCache;
 use lsm_storage::maintenance::EngineMaintenance;
+use lsm_storage::manifest::FileMeta;
 use lsm_storage::storage::StorageRef;
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch};
 use lsm_storage::{LsmDb, LsmOptions, Result};
@@ -67,6 +68,27 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
 
     /// Flushes outstanding data and persists the shard's manifest.
     fn shard_close(&self) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // Size statistics and split support
+    // ------------------------------------------------------------------
+
+    /// Metadata of every attached SST, grouped by level. The split policy
+    /// derives a shard's on-disk size and a byte-weighted split point from
+    /// these.
+    fn shard_level_files(&self) -> Vec<Vec<FileMeta>>;
+
+    /// Approximate bytes buffered in the shard's memtables (mutable plus
+    /// frozen).
+    fn shard_buffered_bytes(&self) -> u64;
+
+    /// Restricts the shard to the inclusive key range `[lo, hi]`: engines
+    /// that support it drop out-of-range entries during compaction and trim
+    /// SSTs adopted from a pre-split parent. Routing guarantees reads never
+    /// ask for out-of-range keys, so engines without range restriction may
+    /// keep this default no-op (the out-of-range leftovers are invisible,
+    /// just not reclaimed).
+    fn shard_set_key_bound(&self, _lo: UserKey, _hi: UserKey) {}
 }
 
 impl ShardEngine for LsmDb {
@@ -121,6 +143,18 @@ impl ShardEngine for LsmDb {
 
     fn shard_close(&self) -> Result<()> {
         self.close()
+    }
+
+    fn shard_level_files(&self) -> Vec<Vec<FileMeta>> {
+        self.level_files()
+    }
+
+    fn shard_buffered_bytes(&self) -> u64 {
+        self.buffered_bytes()
+    }
+
+    fn shard_set_key_bound(&self, lo: UserKey, hi: UserKey) {
+        self.set_key_bound(lo, hi)
     }
 }
 
@@ -177,4 +211,16 @@ impl ShardEngine for LaserDb {
     fn shard_close(&self) -> Result<()> {
         self.close()
     }
+
+    fn shard_level_files(&self) -> Vec<Vec<FileMeta>> {
+        self.level_files()
+    }
+
+    fn shard_buffered_bytes(&self) -> u64 {
+        self.buffered_bytes()
+    }
+
+    // LaserDb keeps the default no-op `shard_set_key_bound`: its CG
+    // compactions do not yet drop out-of-range entries, so a split shard
+    // carries (invisible) out-of-range leftovers until they age out.
 }

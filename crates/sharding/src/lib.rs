@@ -31,6 +31,16 @@
 //! * One shared [`JobScheduler`](lsm_storage::JobScheduler) runs
 //!   flush/compaction of *all* shards on one worker pool, so compactions of
 //!   disjoint shards proceed genuinely in parallel.
+//! * **Online re-sharding** — [`db::ShardedDb::split_shard`] splits a hot
+//!   shard live: the parent's memtable is drained, its SSTs are adopted into
+//!   two child slots *by reference* (filesystem hard links / shared buffers,
+//!   no data rewrite), the `SHARDS` manifest is swapped with a crash-safe
+//!   two-phase record (intent + commit, replayed on open) and the router is
+//!   replaced atomically while scans keep running against the topology they
+//!   pinned. A [`db::SplitPolicy`] triggers splits automatically from
+//!   shard-level statistics (resident size, ingest volume, pending-job
+//!   pressure); background *trim* compactions later reclaim the
+//!   out-of-range halves of adopted SSTs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,9 +52,11 @@ pub mod pool;
 pub mod router;
 pub mod storage;
 
-pub use db::{ShardSnapshot, ShardedDb, ShardedOptions, ShardedStatsSnapshot};
+pub use db::{
+    ShardSnapshot, ShardedDb, ShardedOptions, ShardedStatsSnapshot, SplitFailpoint, SplitPolicy,
+};
 pub use engine::ShardEngine;
-pub use manifest::ShardManifest;
+pub use manifest::{ShardManifest, SplitIntent};
 pub use pool::WorkerPool;
 pub use router::ShardRouter;
 pub use storage::{DirShardStorage, MemShardStorage, ShardStorageProvider};

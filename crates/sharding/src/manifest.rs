@@ -1,11 +1,28 @@
-//! The shard manifest: the persisted topology of a sharded database.
+//! The shard manifest: the persisted topology of a sharded database, plus
+//! the crash-safe two-phase record of an in-flight shard split.
 //!
-//! A tiny checksummed file (`SHARDS`) in the *root* directory recording the
-//! router's split points. Each shard keeps its own per-shard manifest and
-//! WAL inside its subdirectory; this file only pins which key range lives
-//! where, so a reopen reconstructs the exact topology regardless of the
-//! shard count the caller asks for. Written atomically (temp + rename), like
-//! the engine manifests.
+//! A tiny checksummed file (`SHARDS`) in the *root* directory records the
+//! router's split points, the storage *slot* each shard's data lives in and
+//! the next free slot. Slots decouple a shard's position in the routing
+//! table from its directory on disk: a split retires the parent's slot and
+//! allocates two fresh ones for the children, so no shard's data ever has to
+//! move when the topology around it changes. Each shard keeps its own
+//! per-shard manifest and WAL inside its slot directory. Written atomically
+//! (temp + rename), like the engine manifests — the rename IS the commit
+//! point of a split.
+//!
+//! An in-flight split additionally writes a `SHARDS.intent` record (parent
+//! slot, child slots, split key) *before* preparing the children. Replay on
+//! open resolves a crash at any point:
+//!
+//! | crash point                     | replay decision                      |
+//! |---------------------------------|--------------------------------------|
+//! | mid-intent write (torn record)  | ignore + delete the intent           |
+//! | after intent, before commit     | roll back: clear child slots         |
+//! | after commit, before cleanup    | roll forward: clear the parent slot  |
+//!
+//! The committed `SHARDS` manifest is the arbiter: the intent file alone
+//! never changes the topology.
 
 use lsm_storage::checksum::crc32;
 use lsm_storage::coding::{put_u32, put_u64, put_varint64, Decoder};
@@ -18,28 +35,70 @@ use crate::router::ShardRouter;
 /// Magic number at the start of a shard manifest.
 const SHARD_MANIFEST_MAGIC: u64 = 0x4C41_5345_5253_4844; // "LASERSHD"
 
+/// Magic number at the start of a split-intent record.
+const SPLIT_INTENT_MAGIC: u64 = 0x4C41_5345_5253_504C; // "LASERSPL"
+
 /// Name of the shard manifest file in the root directory.
 pub const SHARD_MANIFEST_NAME: &str = "SHARDS";
 const SHARD_MANIFEST_TMP: &str = "SHARDS.tmp";
+
+/// Name of the split-intent file in the root directory.
+pub const SPLIT_INTENT_NAME: &str = "SHARDS.intent";
 
 /// The persisted shard topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardManifest {
     /// The router's split points (`num_shards - 1` entries, ascending).
     pub boundaries: Vec<UserKey>,
+    /// The storage slot of each shard, positionally parallel to the router's
+    /// ranges (`boundaries.len() + 1` entries). Slot ids are never reused.
+    pub slots: Vec<u64>,
+    /// The next slot id a split will allocate.
+    pub next_slot: u64,
 }
 
 impl ShardManifest {
-    /// Captures the topology of `router`.
+    /// Captures the topology of `router` with identity slots (shard `i` in
+    /// slot `i`), as used for a freshly created database.
     pub fn from_router(router: &ShardRouter) -> ShardManifest {
+        let num_shards = router.num_shards();
         ShardManifest {
             boundaries: router.boundaries().to_vec(),
+            slots: (0..num_shards as u64).collect(),
+            next_slot: num_shards as u64,
         }
     }
 
     /// Rebuilds the router this manifest describes.
     pub fn router(&self) -> Result<ShardRouter> {
+        if self.slots.len() != self.boundaries.len() + 1 {
+            return Err(Error::corruption(format!(
+                "shard manifest has {} slots for {} shards",
+                self.slots.len(),
+                self.boundaries.len() + 1
+            )));
+        }
         ShardRouter::from_boundaries(self.boundaries.clone())
+    }
+
+    /// The manifest after committing a split of the shard at position
+    /// `index` into `split_key`, with the parent's slot replaced by
+    /// `left_slot` / `right_slot` (which must come from `next_slot`).
+    pub fn with_split(
+        &self,
+        index: usize,
+        split_key: UserKey,
+        left_slot: u64,
+        right_slot: u64,
+    ) -> Result<ShardManifest> {
+        let router = self.router()?.with_split(index, split_key)?;
+        let mut slots = self.slots.clone();
+        slots.splice(index..=index, [left_slot, right_slot]);
+        Ok(ShardManifest {
+            boundaries: router.boundaries().to_vec(),
+            slots,
+            next_slot: self.next_slot.max(left_slot.max(right_slot) + 1),
+        })
     }
 
     /// Encodes the manifest with a trailing checksum.
@@ -50,12 +109,20 @@ impl ShardManifest {
         for b in &self.boundaries {
             put_u64(&mut out, *b);
         }
+        // Slot table, appended after the boundary list so manifests written
+        // before online re-sharding (no slots) still decode.
+        put_varint64(&mut out, self.slots.len() as u64);
+        for s in &self.slots {
+            put_varint64(&mut out, *s);
+        }
+        put_varint64(&mut out, self.next_slot);
         let crc = crc32(&out);
         put_u32(&mut out, crc);
         out
     }
 
-    /// Decodes and verifies a manifest.
+    /// Decodes and verifies a manifest. Pre-resharding manifests (no slot
+    /// table) decode with identity slots.
     pub fn decode(buf: &[u8]) -> Result<ShardManifest> {
         if buf.len() < 12 {
             return Err(Error::corruption("shard manifest too short"));
@@ -74,14 +141,35 @@ impl ShardManifest {
         for _ in 0..count {
             boundaries.push(d.u64()?);
         }
-        if !d.is_empty() {
-            return Err(Error::corruption("trailing bytes after shard manifest"));
+        let (slots, next_slot) = if d.is_empty() {
+            // Legacy manifest from before online re-sharding.
+            let n = (count + 1) as u64;
+            ((0..n).collect(), n)
+        } else {
+            let slot_count = d.varint64()? as usize;
+            let mut slots = Vec::with_capacity(slot_count);
+            for _ in 0..slot_count {
+                slots.push(d.varint64()?);
+            }
+            let next_slot = d.varint64()?;
+            if !d.is_empty() {
+                return Err(Error::corruption("trailing bytes after shard manifest"));
+            }
+            (slots, next_slot)
+        };
+        if slots.len() != count + 1 {
+            return Err(Error::corruption("shard manifest slot table length"));
         }
-        Ok(ShardManifest { boundaries })
+        Ok(ShardManifest {
+            boundaries,
+            slots,
+            next_slot,
+        })
     }
 }
 
-/// Persists the shard manifest atomically (write temp, sync, rename).
+/// Persists the shard manifest atomically (write temp, sync, rename). For a
+/// split, this rename is the commit point.
 pub fn write_shard_manifest(storage: &StorageRef, manifest: &ShardManifest) -> Result<()> {
     let mut f = storage.create(SHARD_MANIFEST_TMP)?;
     f.append(&manifest.encode())?;
@@ -99,6 +187,93 @@ pub fn read_shard_manifest(storage: &StorageRef) -> Result<Option<ShardManifest>
     Ok(Some(ShardManifest::decode(&data)?))
 }
 
+// ---------------------------------------------------------------------------
+// Split intent (phase one of the two-phase split)
+// ---------------------------------------------------------------------------
+
+/// The durable record of an in-flight shard split, written *before* any
+/// child state is prepared. Never authoritative on its own: replay consults
+/// the committed `SHARDS` manifest to decide roll-back vs. roll-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitIntent {
+    /// Slot of the shard being split.
+    pub parent_slot: u64,
+    /// Slot allocated for the left child (`[lo, split_key)`).
+    pub left_slot: u64,
+    /// Slot allocated for the right child (`[split_key, hi]`).
+    pub right_slot: u64,
+    /// The key the range splits at.
+    pub split_key: UserKey,
+}
+
+impl SplitIntent {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, SPLIT_INTENT_MAGIC);
+        put_varint64(&mut out, self.parent_slot);
+        put_varint64(&mut out, self.left_slot);
+        put_varint64(&mut out, self.right_slot);
+        put_u64(&mut out, self.split_key);
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<SplitIntent> {
+        if buf.len() < 12 {
+            return Err(Error::corruption("split intent too short"));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = lsm_storage::coding::get_u32(crc_bytes)?;
+        if crc32(body) != stored {
+            return Err(Error::corruption("split intent checksum mismatch"));
+        }
+        let mut d = Decoder::new(body);
+        if d.u64()? != SPLIT_INTENT_MAGIC {
+            return Err(Error::corruption("bad split intent magic"));
+        }
+        Ok(SplitIntent {
+            parent_slot: d.varint64()?,
+            left_slot: d.varint64()?,
+            right_slot: d.varint64()?,
+            split_key: d.u64()?,
+        })
+    }
+}
+
+/// Durably records a split intent in the root directory.
+pub fn write_split_intent(storage: &StorageRef, intent: &SplitIntent) -> Result<()> {
+    let mut f = storage.create(SPLIT_INTENT_NAME)?;
+    f.append(&intent.encode())?;
+    f.sync()?;
+    Ok(())
+}
+
+/// Reads the split intent, if a well-formed one exists. A torn or corrupt
+/// intent (crash mid-write, before any child state existed) is treated as
+/// absent — and deleted so it cannot shadow a later split's record.
+pub fn read_split_intent(storage: &StorageRef) -> Result<Option<SplitIntent>> {
+    if !storage.exists(SPLIT_INTENT_NAME) {
+        return Ok(None);
+    }
+    let data = storage.open(SPLIT_INTENT_NAME)?.read_all()?;
+    match SplitIntent::decode(&data) {
+        Ok(intent) => Ok(Some(intent)),
+        Err(_) => {
+            let _ = storage.delete(SPLIT_INTENT_NAME);
+            Ok(None)
+        }
+    }
+}
+
+/// Removes the split intent record (end of phase two). Idempotent.
+pub fn remove_split_intent(storage: &StorageRef) -> Result<()> {
+    if storage.exists(SPLIT_INTENT_NAME) {
+        storage.delete(SPLIT_INTENT_NAME)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,17 +283,55 @@ mod tests {
     fn manifest_roundtrip() {
         let m = ShardManifest {
             boundaries: vec![100, 2000, 30000],
+            slots: vec![7, 3, 4, 9],
+            next_slot: 10,
         };
         assert_eq!(ShardManifest::decode(&m.encode()).unwrap(), m);
         let router = m.router().unwrap();
         assert_eq!(router.num_shards(), 4);
-        assert_eq!(ShardManifest::from_router(&router).boundaries, m.boundaries);
+        let fresh = ShardManifest::from_router(&router);
+        assert_eq!(fresh.boundaries, m.boundaries);
+        assert_eq!(fresh.slots, vec![0, 1, 2, 3]);
+        assert_eq!(fresh.next_slot, 4);
+    }
+
+    #[test]
+    fn legacy_manifest_without_slots_decodes_with_identity() {
+        // Re-create the pre-resharding encoding: magic + boundaries + crc.
+        let mut body = Vec::new();
+        put_u64(&mut body, SHARD_MANIFEST_MAGIC);
+        put_varint64(&mut body, 2);
+        put_u64(&mut body, 500);
+        put_u64(&mut body, 900);
+        let crc = crc32(&body);
+        put_u32(&mut body, crc);
+        let m = ShardManifest::decode(&body).unwrap();
+        assert_eq!(m.boundaries, vec![500, 900]);
+        assert_eq!(m.slots, vec![0, 1, 2]);
+        assert_eq!(m.next_slot, 3);
+    }
+
+    #[test]
+    fn with_split_reslots_the_parent() {
+        let m = ShardManifest {
+            boundaries: vec![1000],
+            slots: vec![0, 1],
+            next_slot: 2,
+        };
+        let split = m.with_split(0, 500, 2, 3).unwrap();
+        assert_eq!(split.boundaries, vec![500, 1000]);
+        assert_eq!(split.slots, vec![2, 3, 1]);
+        assert_eq!(split.next_slot, 4);
+        // Invalid split keys are rejected via the router.
+        assert!(m.with_split(0, 1000, 2, 3).is_err());
     }
 
     #[test]
     fn corruption_rejected() {
         let m = ShardManifest {
             boundaries: vec![7],
+            slots: vec![0, 1],
+            next_slot: 2,
         };
         let mut enc = m.encode();
         enc[9] ^= 0xFF;
@@ -132,9 +345,35 @@ mod tests {
         assert!(read_shard_manifest(&storage).unwrap().is_none());
         let m = ShardManifest {
             boundaries: vec![1 << 32],
+            slots: vec![0, 1],
+            next_slot: 2,
         };
         write_shard_manifest(&storage, &m).unwrap();
         assert_eq!(read_shard_manifest(&storage).unwrap(), Some(m));
         assert!(!storage.exists(SHARD_MANIFEST_TMP));
+    }
+
+    #[test]
+    fn split_intent_roundtrip_and_torn_record() {
+        let storage: StorageRef = MemStorage::new_ref();
+        assert!(read_split_intent(&storage).unwrap().is_none());
+        let intent = SplitIntent {
+            parent_slot: 1,
+            left_slot: 4,
+            right_slot: 5,
+            split_key: 12345,
+        };
+        write_split_intent(&storage, &intent).unwrap();
+        assert_eq!(read_split_intent(&storage).unwrap(), Some(intent));
+        remove_split_intent(&storage).unwrap();
+        assert!(!storage.exists(SPLIT_INTENT_NAME));
+        remove_split_intent(&storage).unwrap();
+
+        // A torn record (crash mid-write) reads as absent and is cleaned up.
+        let mut f = storage.create(SPLIT_INTENT_NAME).unwrap();
+        f.append(&intent.encode()[..7]).unwrap();
+        drop(f);
+        assert!(read_split_intent(&storage).unwrap().is_none());
+        assert!(!storage.exists(SPLIT_INTENT_NAME));
     }
 }

@@ -76,6 +76,26 @@ impl ShardRouter {
     pub fn shards_overlapping(&self, lo: UserKey, hi: UserKey) -> std::ops::RangeInclusive<usize> {
         self.shard_of(lo)..=self.shard_of(hi)
     }
+
+    /// The router after splitting shard `index` at `split_key`: the left
+    /// child owns `[lo, split_key)`, the right child `[split_key, hi]`, and
+    /// every later shard shifts up by one. `split_key` must lie strictly
+    /// inside the shard's range (`lo < split_key <= hi`) so both children
+    /// own at least one key.
+    pub fn with_split(&self, index: usize, split_key: UserKey) -> Result<ShardRouter> {
+        if index >= self.num_shards() {
+            return Err(Error::invalid(format!("shard {index} out of range")));
+        }
+        let (lo, hi) = self.shard_range(index);
+        if split_key <= lo || split_key > hi {
+            return Err(Error::invalid(format!(
+                "split key {split_key} outside the splittable interval ({lo}, {hi}] of shard {index}"
+            )));
+        }
+        let mut boundaries = self.boundaries.clone();
+        boundaries.insert(index, split_key);
+        ShardRouter::from_boundaries(boundaries)
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +142,24 @@ mod tests {
         assert!(ShardRouter::from_boundaries(vec![10, 10]).is_err());
         assert!(ShardRouter::from_boundaries(vec![20, 10]).is_err());
         assert!(ShardRouter::from_boundaries(vec![]).is_ok());
+    }
+
+    #[test]
+    fn with_split_inserts_boundary_and_validates() {
+        let router = ShardRouter::from_boundaries(vec![100, 200]).unwrap();
+        let split = router.with_split(1, 150).unwrap();
+        assert_eq!(split.boundaries(), &[100, 150, 200]);
+        assert_eq!(split.shard_of(149), 1);
+        assert_eq!(split.shard_of(150), 2);
+        assert_eq!(split.shard_of(200), 3);
+        // Splitting at the range's high end is allowed (right child owns one key).
+        let edge = router.with_split(0, 99).unwrap();
+        assert_eq!(edge.shard_range(1), (99, 99));
+        // The split key must fall strictly inside (lo, hi].
+        assert!(router.with_split(1, 100).is_err());
+        assert!(router.with_split(1, 200).is_err());
+        assert!(router.with_split(0, 0).is_err());
+        assert!(router.with_split(5, 150).is_err());
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Per-shard storage layout: one root directory plus one subdirectory per
-//! shard, each an independent [`Storage`](lsm_storage::storage::Storage)
+//! storage *slot*, each an independent [`Storage`](lsm_storage::storage::Storage)
 //! namespace with its own segmented WAL, SSTs and engine manifest.
+//!
+//! Slots are allocated by the shard manifest and never reused: a freshly
+//! created database maps shard `i` to slot `i`, and every shard split
+//! retires the parent's slot and allocates two fresh ones for the children.
+//! Providers also supply the split's fast path: [`ShardStorageProvider::link_file`]
+//! adopts an immutable SST from one slot into another without rewriting its
+//! bytes (a filesystem hard link on the durable backend, a shared buffer on
+//! the in-memory one).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -10,24 +18,48 @@ use parking_lot::Mutex;
 use lsm_storage::storage::{FileStorage, MemStorage, StorageRef};
 use lsm_storage::Result;
 
-/// Provides the root storage (shard manifest) and one storage per shard.
+/// Provides the root storage (shard manifest) and one storage per slot.
 ///
-/// Implementations must be stable across reopens: `shard(i)` must return a
-/// handle onto the same underlying data every time it is called with the
-/// same index.
+/// Implementations must be stable across reopens: `shard(slot)` must return
+/// a handle onto the same underlying data every time it is called with the
+/// same slot.
 pub trait ShardStorageProvider: Send + Sync {
     /// The root namespace holding the shard manifest.
     fn root(&self) -> Result<StorageRef>;
-    /// The namespace of shard `index` (created on first use).
-    fn shard(&self, index: usize) -> Result<StorageRef>;
+
+    /// The namespace of storage slot `slot` (created on first use).
+    fn shard(&self, slot: usize) -> Result<StorageRef>;
+
+    /// Adopts the immutable file `name` from slot `from` into slot `to`
+    /// without mutating the source. The default implementation copies the
+    /// bytes; backends override it with a zero-copy link where they can.
+    fn link_file(&self, from: usize, to: usize, name: &str) -> Result<()> {
+        let data = self.shard(from)?.open(name)?.read_all()?;
+        let mut file = self.shard(to)?.create(name)?;
+        file.append(&data)?;
+        file.sync()?;
+        Ok(())
+    }
+
+    /// Deletes every file of slot `slot` (used to retire a split parent and
+    /// to roll back the half-prepared children of a crashed split).
+    fn clear_shard(&self, slot: usize) -> Result<()> {
+        let storage = self.shard(slot)?;
+        for name in storage.list()? {
+            let _ = storage.delete(&name);
+        }
+        Ok(())
+    }
 }
 
-/// In-memory provider for tests and benchmarks: every shard gets its own
+/// In-memory provider for tests and benchmarks: every slot gets its own
 /// [`MemStorage`], so shards never contend on one backend lock and the whole
 /// topology survives engine reopens for as long as the provider lives.
+/// `link_file` shares the underlying buffer — the in-memory analogue of a
+/// hard link, so a split adopts SSTs without copying.
 pub struct MemShardStorage {
     root: StorageRef,
-    shards: Mutex<Vec<StorageRef>>,
+    shards: Mutex<Vec<Arc<MemStorage>>>,
 }
 
 impl Default for MemShardStorage {
@@ -49,6 +81,14 @@ impl MemShardStorage {
     pub fn new_ref() -> Arc<MemShardStorage> {
         Arc::new(Self::new())
     }
+
+    fn slot(&self, slot: usize) -> Arc<MemStorage> {
+        let mut shards = self.shards.lock();
+        while shards.len() <= slot {
+            shards.push(Arc::new(MemStorage::new()));
+        }
+        Arc::clone(&shards[slot])
+    }
 }
 
 impl ShardStorageProvider for MemShardStorage {
@@ -56,17 +96,20 @@ impl ShardStorageProvider for MemShardStorage {
         Ok(StorageRef::clone(&self.root))
     }
 
-    fn shard(&self, index: usize) -> Result<StorageRef> {
-        let mut shards = self.shards.lock();
-        while shards.len() <= index {
-            shards.push(MemStorage::new_ref());
-        }
-        Ok(StorageRef::clone(&shards[index]))
+    fn shard(&self, slot: usize) -> Result<StorageRef> {
+        Ok(self.slot(slot))
+    }
+
+    fn link_file(&self, from: usize, to: usize, name: &str) -> Result<()> {
+        let (src, dst) = (self.slot(from), self.slot(to));
+        src.link_file_into(name, &dst)
     }
 }
 
 /// Durable provider rooted at a directory: the shard manifest lives in
-/// `root/`, shard `i` in `root/shard-00i/`.
+/// `root/`, slot `i` in `root/shard-00i/`. `link_file` uses filesystem hard
+/// links (falling back to a copy if the filesystem refuses), so a split
+/// adopts parent SSTs without rewriting data.
 pub struct DirShardStorage {
     root: PathBuf,
 }
@@ -76,6 +119,10 @@ impl DirShardStorage {
     pub fn new(root: impl Into<PathBuf>) -> DirShardStorage {
         DirShardStorage { root: root.into() }
     }
+
+    fn slot_dir(&self, slot: usize) -> PathBuf {
+        self.root.join(format!("shard-{slot:03}"))
+    }
 }
 
 impl ShardStorageProvider for DirShardStorage {
@@ -83,8 +130,24 @@ impl ShardStorageProvider for DirShardStorage {
         FileStorage::open_ref(&self.root)
     }
 
-    fn shard(&self, index: usize) -> Result<StorageRef> {
-        FileStorage::open_ref(self.root.join(format!("shard-{index:03}")))
+    fn shard(&self, slot: usize) -> Result<StorageRef> {
+        FileStorage::open_ref(self.slot_dir(slot))
+    }
+
+    fn link_file(&self, from: usize, to: usize, name: &str) -> Result<()> {
+        // Ensure both directories exist (open_ref creates them).
+        let _ = self.shard(from)?;
+        let _ = self.shard(to)?;
+        let src = self.slot_dir(from).join(name);
+        let dst = self.slot_dir(to).join(name);
+        if dst.exists() {
+            let _ = std::fs::remove_file(&dst);
+        }
+        if std::fs::hard_link(&src, &dst).is_err() {
+            // E.g. a filesystem without hard links; fall back to a copy.
+            std::fs::copy(&src, &dst)?;
+        }
+        Ok(())
     }
 }
 
@@ -103,7 +166,30 @@ mod tests {
     }
 
     #[test]
-    fn dir_provider_uses_subdirectories() {
+    fn mem_link_shares_the_buffer_and_clear_retires_a_slot() {
+        let provider = MemShardStorage::new();
+        let src = provider.shard(0).unwrap();
+        let mut f = src.create("a.sst").unwrap();
+        f.append(b"immutable contents").unwrap();
+        drop(f);
+        provider.link_file(0, 1, "a.sst").unwrap();
+        let linked = provider.shard(1).unwrap();
+        assert_eq!(
+            linked.open("a.sst").unwrap().read_all().unwrap(),
+            b"immutable contents"
+        );
+        // Deleting the source name leaves the link readable (shared buffer).
+        src.delete("a.sst").unwrap();
+        assert_eq!(
+            linked.open("a.sst").unwrap().read_all().unwrap(),
+            b"immutable contents"
+        );
+        provider.clear_shard(1).unwrap();
+        assert!(provider.shard(1).unwrap().list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dir_provider_uses_subdirectories_and_hard_links() {
         let dir =
             std::env::temp_dir().join(format!("laser-shard-storage-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -114,6 +200,27 @@ mod tests {
         assert!(dir.join("shard-001").join("b.sst").exists());
         // The root listing never sees shard files (subdirs are skipped).
         assert!(provider.root().unwrap().list().unwrap().is_empty());
+
+        // Linking adopts the file without rewriting; deleting the source
+        // name keeps the adopted copy alive.
+        let mut f = provider.shard(0).unwrap().create("c.sst").unwrap();
+        f.append(b"shared").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        provider.link_file(0, 2, "c.sst").unwrap();
+        provider.shard(0).unwrap().delete("c.sst").unwrap();
+        assert_eq!(
+            provider
+                .shard(2)
+                .unwrap()
+                .open("c.sst")
+                .unwrap()
+                .read_all()
+                .unwrap(),
+            b"shared"
+        );
+        provider.clear_shard(2).unwrap();
+        assert!(provider.shard(2).unwrap().list().unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,9 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fanout_threads: 4,
         maintenance_workers: 2,
         cache_bytes: 16 << 20,
+        ..Default::default()
     };
-    let provider = MemShardStorage::new();
-    let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(&provider, engine_options, options)?);
+    let provider = MemShardStorage::new_ref();
+    let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(provider, engine_options, options)?);
     println!(
         "opened {} shards, boundaries {:?}",
         db.num_shards(),

@@ -29,8 +29,15 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
+        // Like the real proptest, the PROPTEST_CASES environment variable
+        // overrides the default case count (the nightly stress workflow
+        // raises it to 2048).
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
         ProptestConfig {
-            cases: 64,
+            cases,
             seed: 0x1A5E_12F0_0D5E_ED00,
         }
     }

@@ -13,8 +13,9 @@
 //! * [`laser_advisor`] — the per-level design advisor (Section 6).
 //! * [`laser_workload`] — the HTAP benchmark workload generator (Q1–Q5, HW).
 //! * [`laser_sharding`] — range sharding over both engines: shard router,
-//!   parallel cross-shard scans, a process-wide shared block cache and one
-//!   maintenance pool serving every shard.
+//!   parallel cross-shard scans, a process-wide shared block cache, one
+//!   maintenance pool serving every shard, and online re-sharding (live
+//!   shard splits with a crash-safe two-phase manifest swap).
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `crates/bench` for the harness that regenerates every table and figure of
@@ -35,6 +36,7 @@ pub use laser_core::{
 pub use laser_cost_model::{CostModel, TreeParameters};
 pub use laser_sharding::{
     DirShardStorage, MemShardStorage, ShardRouter, ShardSnapshot, ShardedDb, ShardedOptions,
+    SplitFailpoint, SplitPolicy,
 };
 pub use laser_workload::{HtapWorkloadSpec, HwQuery, Operation, WorkloadShift};
 

@@ -105,7 +105,12 @@ fn check_equivalence(db: &LaserDb, model: &Model) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+    // 12 cases on the PR path; the nightly stress workflow raises the count
+    // via PROPTEST_CASES (which ProptestConfig::default() honours).
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(12),
+        .. ProptestConfig::default()
+    })]
 
     /// Random op sequences: the engine matches a naive model for every design.
     #[test]
