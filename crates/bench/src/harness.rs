@@ -92,6 +92,17 @@ pub fn load_phase(db: &LaserDb, n: u64) -> Result<f64> {
     Ok(n as f64 / elapsed)
 }
 
+/// The deterministic value of `key` in overwrite `round`, shared by the
+/// subsystem benches (`sharding`, `split`, `read_path`) so their workload
+/// traces stay mutually comparable and the scheme lives in one place.
+/// Always at least 8 bytes: the first 8 carry `key * 31 + round`
+/// little-endian, the rest a key/round-derived fill byte.
+pub fn deterministic_value(key: u64, round: u64, value_bytes: usize) -> Vec<u8> {
+    let mut value = vec![(key as u8) ^ (round as u8); value_bytes.max(8)];
+    value[..8].copy_from_slice(&key.wrapping_mul(31).wrapping_add(round).to_le_bytes());
+    value
+}
+
 /// Per-operation-kind measurements of a workload run.
 #[derive(Debug, Clone, Default)]
 pub struct KindReport {

@@ -34,8 +34,12 @@
 //! equivalence checksum against the single-shard result. [`split`] /
 //! `shard_split` benches online re-sharding: hot-range ingest before,
 //! during and after a live shard split, with an equivalence checksum
-//! against a no-split control. [`report`] writes the `BENCH_*.json` CI
-//! artifacts and enforces the bench-trajectory regression gate.
+//! against a no-split control. [`read_path`] / `read_path` benches the
+//! scan/get stack: the tournament-tree merge, lazy per-level concat
+//! iterators and the streaming visibility filter versus the pre-overhaul
+//! naive merge, byte-identical by checksum. [`report`] writes the
+//! `BENCH_*.json` CI artifacts and enforces the bench-trajectory regression
+//! gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +52,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod read_path;
 pub mod report;
 pub mod sharding;
 pub mod split;

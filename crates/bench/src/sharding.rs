@@ -18,6 +18,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::harness::deterministic_value as value_for;
 use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
 use lsm_storage::types::{UserKey, WriteBatch};
 use lsm_storage::{LsmDb, LsmOptions, Result};
@@ -142,13 +143,6 @@ fn engine_options() -> LsmOptions {
     options.l0_stall_files = 12;
     options.auto_compact = true;
     options
-}
-
-/// The deterministic value of `key` in `round`.
-fn value_for(key: UserKey, round: u64, value_bytes: usize) -> Vec<u8> {
-    let mut value = vec![(key as u8) ^ (round as u8); value_bytes];
-    value[..8].copy_from_slice(&(key * 31 + round).to_le_bytes());
-    value
 }
 
 /// Runs the ingest + mixed-phase measurement for one shard count.

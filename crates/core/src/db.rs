@@ -740,7 +740,9 @@ impl LaserDb {
     /// Builds the paper's LevelMergingIterator for `[lo, hi]` with the given
     /// projection: the memtable and Level-0 runs (row-oriented) come first,
     /// then one ColumnMergingIterator per deeper level, opened only over the
-    /// column groups that overlap the projection.
+    /// column groups that overlap the projection. Each CG run iterates
+    /// through the substrate's lazy [`ConcatIterator`]: a file of the run is
+    /// opened only when the scan actually crosses into it.
     fn level_merging_iterator(
         &self,
         lo: UserKey,

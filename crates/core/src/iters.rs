@@ -1,7 +1,11 @@
 //! LASER's merging iterators (Section 4.3–4.4 of the paper).
 //!
 //! * [`ConcatIterator`] — iterates the non-overlapping SSTs of one sorted run
-//!   (one column group at one level) in key order.
+//!   (one column group at one level) in key order. Since the read-path
+//!   overhaul this is the substrate's lazy
+//!   [`LevelConcatIterator`](lsm_storage::iterator::LevelConcatIterator)
+//!   re-exported: each table is opened only when the cursor crosses into it,
+//!   and a seek binary-searches the run and touches exactly one file.
 //! * [`ColumnMergingIterator`] — stitches column values from the different
 //!   column groups *within one level*: for every user key it combines the
 //!   fragments found in each overlapping CG run into a single row fragment.
@@ -13,10 +17,13 @@
 //! All three operate on [`RowFragment`]s keyed by user key, which is the unit
 //! the engine's read paths and the CG-local compaction consume.
 
-use lsm_storage::iterator::{BoxedIterator, KvIterator};
-use lsm_storage::sst::TableHandle;
+use lsm_storage::iterator::BoxedIterator;
 use lsm_storage::types::{InternalKey, SeqNo, UserKey, ValueKind};
 use lsm_storage::Result;
+
+/// The non-overlapping-run concatenating iterator, shared with the substrate
+/// (one lazily-opened table at a time; see the module docs).
+pub use lsm_storage::iterator::LevelConcatIterator as ConcatIterator;
 
 use crate::row::RowFragment;
 use crate::schema::Projection;
@@ -49,113 +56,6 @@ pub trait FragmentSource {
 
 /// A boxed fragment source.
 pub type BoxedFragmentSource = Box<dyn FragmentSource + Send>;
-
-// ---------------------------------------------------------------------------
-// ConcatIterator
-// ---------------------------------------------------------------------------
-
-/// Iterates a list of SSTs with disjoint, ascending key ranges as one stream.
-pub struct ConcatIterator {
-    tables: Vec<TableHandle>,
-    current: usize,
-    iter: Option<lsm_storage::sst::TableIterator>,
-    valid: bool,
-}
-
-impl ConcatIterator {
-    /// Creates a concatenating iterator; `tables` must be sorted by min key
-    /// and non-overlapping.
-    pub fn new(tables: Vec<TableHandle>) -> Self {
-        ConcatIterator {
-            tables,
-            current: 0,
-            iter: None,
-            valid: false,
-        }
-    }
-
-    fn open_table(&mut self, idx: usize) -> Result<bool> {
-        if idx >= self.tables.len() {
-            self.iter = None;
-            self.valid = false;
-            return Ok(false);
-        }
-        self.current = idx;
-        self.iter = Some(self.tables[idx].iter());
-        Ok(true)
-    }
-}
-
-impl KvIterator for ConcatIterator {
-    fn seek_to_first(&mut self) -> Result<()> {
-        self.valid = false;
-        let mut idx = 0;
-        while self.open_table(idx)? {
-            let it = self.iter.as_mut().unwrap();
-            it.seek_to_first()?;
-            if it.valid() {
-                self.valid = true;
-                return Ok(());
-            }
-            idx += 1;
-        }
-        Ok(())
-    }
-
-    fn seek(&mut self, target: &[u8]) -> Result<()> {
-        self.valid = false;
-        let target_user = InternalKey::decode_user_key(target).unwrap_or(0);
-        // Find the first table whose max key >= target user key.
-        let mut idx = self
-            .tables
-            .partition_point(|t| t.properties().max_user_key < target_user);
-        while self.open_table(idx)? {
-            let it = self.iter.as_mut().unwrap();
-            it.seek(target)?;
-            if it.valid() {
-                self.valid = true;
-                return Ok(());
-            }
-            idx += 1;
-        }
-        Ok(())
-    }
-
-    fn next(&mut self) -> Result<()> {
-        if !self.valid {
-            return Ok(());
-        }
-        let it = self.iter.as_mut().unwrap();
-        it.next()?;
-        if it.valid() {
-            return Ok(());
-        }
-        let mut idx = self.current + 1;
-        self.valid = false;
-        while self.open_table(idx)? {
-            let it = self.iter.as_mut().unwrap();
-            it.seek_to_first()?;
-            if it.valid() {
-                self.valid = true;
-                return Ok(());
-            }
-            idx += 1;
-        }
-        Ok(())
-    }
-
-    fn valid(&self) -> bool {
-        self.valid
-    }
-
-    fn key(&self) -> &[u8] {
-        self.iter.as_ref().expect("iterator not valid").key()
-    }
-
-    fn value(&self) -> &[u8] {
-        self.iter.as_ref().expect("iterator not valid").value()
-    }
-}
 
 // ---------------------------------------------------------------------------
 // RowSource: a single row-oriented run as a FragmentSource
@@ -484,7 +384,7 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::value::Value;
-    use lsm_storage::iterator::VecIterator;
+    use lsm_storage::iterator::{KvIterator, VecIterator};
     use lsm_storage::types::MAX_SEQNO;
 
     const C: usize = 4;
@@ -740,7 +640,7 @@ mod tests {
 
     #[test]
     fn concat_iterator_over_tables() {
-        use lsm_storage::sst::{TableBuilder, TableOptions};
+        use lsm_storage::sst::{TableBuilder, TableHandle, TableOptions};
         use lsm_storage::storage::MemStorage;
         let storage: lsm_storage::StorageRef = MemStorage::new_ref();
         let mut handles = Vec::new();

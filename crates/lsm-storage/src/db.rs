@@ -20,7 +20,10 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{BlockCache, ScopedCache};
 use crate::error::{Error, Result};
-use crate::iterator::{BoxedIterator, KvIterator, MergingIterator};
+use crate::iterator::{
+    BoxedIterator, KvIterator, LevelConcatIterator, MergingIterator, NaiveMergingIterator,
+    RangeIterator,
+};
 use crate::maintenance::{
     attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
     MaintainableEngine, MaintenanceHandle, Throttle,
@@ -442,33 +445,50 @@ impl LsmDb {
     }
 
     /// Returns the newest value for `key` visible at `snapshot_seq`.
+    ///
+    /// The in-memory sources (mutable and frozen memtables) are probed under
+    /// the engine's read lock — a hit pays no snapshot work at all. On a
+    /// miss, only the candidate tables are Arc-snapshotted and every disk
+    /// probe runs with the lock *released*, so a cold read never stalls
+    /// writers. Files whose manifest key range excludes `key` are pruned
+    /// before their table (or bloom filter) is touched — on Level-0 this
+    /// skips most files outright, and on deeper levels at most one file
+    /// survives the binary search.
     pub fn get_at(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
-        let inner = self.inner.read();
-        // 1. Mutable memtable.
-        if let Some(mutable) = &inner.mutable {
-            if let Some((ik, value)) = mutable.get(key, snapshot_seq) {
-                return Ok(filter_tombstone(ik, value));
-            }
-        }
-        // 2. Immutable memtables, newest first.
-        for imm in inner.immutables.iter().rev() {
-            if let Some((ik, value)) = imm.memtable.get(key, snapshot_seq) {
-                return Ok(filter_tombstone(ik, value));
-            }
-        }
-        // 3. Level 0, newest file first.
-        for file in inner.levels[0].iter().rev() {
-            if let Some((ik, value)) = file.table.get(key, snapshot_seq)? {
-                return Ok(filter_tombstone(ik, value));
-            }
-        }
-        // 4. Deeper levels: at most one file can contain the key.
-        for level in inner.levels.iter().skip(1) {
-            let idx = level.partition_point(|f| f.meta.max_user_key < key);
-            if idx < level.len() && level[idx].meta.min_user_key <= key {
-                if let Some((ik, value)) = level[idx].table.get(key, snapshot_seq)? {
+        let tables = {
+            let inner = self.inner.read();
+            if let Some(mutable) = &inner.mutable {
+                if let Some((ik, value)) = mutable.get(key, snapshot_seq) {
                     return Ok(filter_tombstone(ik, value));
                 }
+            }
+            // Frozen memtables, newest first.
+            for imm in inner.immutables.iter().rev() {
+                if let Some((ik, value)) = imm.memtable.get(key, snapshot_seq) {
+                    return Ok(filter_tombstone(ik, value));
+                }
+            }
+            // Memtable miss: snapshot the Level-0 candidates newest first
+            // (range-pruned via metadata, which may be narrower than the
+            // file contents for SSTs adopted from a pre-split parent shard),
+            // then at most one candidate per deeper level.
+            let mut tables: Vec<TableHandle> = inner.levels[0]
+                .iter()
+                .rev()
+                .filter(|f| f.meta.min_user_key <= key && key <= f.meta.max_user_key)
+                .map(|f| f.table.clone())
+                .collect();
+            for level in inner.levels.iter().skip(1) {
+                let idx = level.partition_point(|f| f.meta.max_user_key < key);
+                if idx < level.len() && level[idx].meta.min_user_key <= key {
+                    tables.push(level[idx].table.clone());
+                }
+            }
+            tables
+        };
+        for table in &tables {
+            if let Some((ik, value)) = table.get(key, snapshot_seq)? {
+                return Ok(filter_tombstone(ik, value));
             }
         }
         Ok(None)
@@ -480,37 +500,39 @@ impl LsmDb {
         self.scan_at(lo, hi, MAX_SEQNO)
     }
 
-    /// Scans keys in `[lo, hi]` as of `snapshot_seq`.
+    /// Scans keys in `[lo, hi]` as of `snapshot_seq`: a thin collect over the
+    /// streaming [`LsmDb::range`] iterator.
     pub fn scan_at(
         &self,
         lo: UserKey,
         hi: UserKey,
         snapshot_seq: SeqNo,
     ) -> Result<Vec<(UserKey, Vec<u8>)>> {
-        let mut iter = self.range_iterator(lo, hi)?;
+        let mut iter = self.range(lo, hi, snapshot_seq)?;
         let mut out = Vec::new();
-        iter.seek(&InternalKey::seek_to(lo).encode())?;
-        let mut last_emitted: Option<UserKey> = None;
-        while iter.valid() {
-            let ik = InternalKey::decode(iter.key())?;
-            if ik.user_key > hi {
-                break;
+        while iter.next_visible()? {
+            if !iter.is_tombstone() {
+                out.push((iter.user_key(), iter.value().to_vec()));
             }
-            if ik.seq <= snapshot_seq && last_emitted != Some(ik.user_key) {
-                last_emitted = Some(ik.user_key);
-                if ik.kind != ValueKind::Tombstone {
-                    out.push((ik.user_key, iter.value().to_vec()));
-                }
-            }
-            iter.next()?;
         }
         Ok(out)
     }
 
-    /// Builds a merging iterator over every source that may contain keys in
-    /// `[lo, hi]`: memtables, all Level-0 files and the overlapping files of
-    /// each deeper level. Children are ordered newest-to-oldest so ties
-    /// resolve toward fresher data.
+    /// Streaming range scan: the newest version of every user key in
+    /// `[lo, hi]` visible at `snapshot_seq`, in key order, produced lazily.
+    /// Tombstones are surfaced via [`RangeIterator::is_tombstone`] (the
+    /// `Iterator` facade skips them). This is the entry point `scan_at`,
+    /// cross-shard scans and the compaction drain build on.
+    pub fn range(&self, lo: UserKey, hi: UserKey, snapshot_seq: SeqNo) -> Result<RangeIterator> {
+        RangeIterator::new(self.range_iterator(lo, hi)?, lo, hi, snapshot_seq)
+    }
+
+    /// Builds the tournament-tree merge over every source that may contain
+    /// keys in `[lo, hi]`: memtables, all overlapping Level-0 files, and one
+    /// lazy [`LevelConcatIterator`] per deeper level — so the merge width is
+    /// `memtables + L0 + #levels`, independent of how many files a deep
+    /// level holds. Children are ordered newest-to-oldest so ties resolve
+    /// toward fresher data.
     pub fn range_iterator(&self, lo: UserKey, hi: UserKey) -> Result<MergingIterator> {
         let inner = self.inner.read();
         let mut children: Vec<BoxedIterator> = Vec::new();
@@ -520,19 +542,63 @@ impl LsmDb {
         for imm in inner.immutables.iter().rev() {
             children.push(Box::new(imm.memtable.iter()));
         }
-        for file in inner.levels[0].iter().rev() {
-            if file.meta.overlaps(lo, hi) {
-                children.push(Box::new(file.table.iter()));
-            }
+        for (level, files) in inner.levels.iter().enumerate() {
+            Self::push_level_children(level, files, Some((lo, hi)), &mut children);
         }
-        for level in inner.levels.iter().skip(1) {
-            for file in level {
+        Ok(MergingIterator::new(children))
+    }
+
+    /// The pre-overhaul merge shape: one child per overlapping file, flat,
+    /// drained by the linear-scan [`NaiveMergingIterator`]. Kept as the
+    /// executable reference the property tests and the `read_path` bench
+    /// compare the tournament stack against; not used by any read path.
+    pub fn naive_range_iterator(&self, lo: UserKey, hi: UserKey) -> Result<NaiveMergingIterator> {
+        let inner = self.inner.read();
+        let mut children: Vec<BoxedIterator> = Vec::new();
+        if let Some(mutable) = &inner.mutable {
+            children.push(Box::new(mutable.iter()));
+        }
+        for imm in inner.immutables.iter().rev() {
+            children.push(Box::new(imm.memtable.iter()));
+        }
+        for level in inner.levels.iter() {
+            for file in level.iter().rev() {
                 if file.meta.overlaps(lo, hi) {
                     children.push(Box::new(file.table.iter()));
                 }
             }
         }
-        Ok(MergingIterator::new(children))
+        Ok(NaiveMergingIterator::new(children))
+    }
+
+    /// Appends the merge children contributed by one level, newest first:
+    /// Level-0 files become one child each (they may overlap), deeper levels
+    /// contribute a single lazy concatenating child over their disjoint
+    /// files. The one place child assembly is encoded — `range_iterator`,
+    /// `iter_level` and the compaction drain all route through it.
+    fn push_level_children(
+        level: usize,
+        files: &[LevelFile],
+        range: Option<(UserKey, UserKey)>,
+        children: &mut Vec<BoxedIterator>,
+    ) {
+        let in_range = |f: &LevelFile| range.is_none_or(|(lo, hi)| f.meta.overlaps(lo, hi));
+        if level == 0 {
+            for file in files.iter().rev() {
+                if in_range(file) {
+                    children.push(Box::new(file.table.iter()));
+                }
+            }
+        } else {
+            let tables: Vec<TableHandle> = files
+                .iter()
+                .filter(|f| in_range(f))
+                .map(|f| f.table.clone())
+                .collect();
+            if !tables.is_empty() {
+                children.push(Box::new(LevelConcatIterator::new(tables)));
+            }
+        }
     }
 
     /// Iterates every entry (all versions) currently stored in `level`.
@@ -542,10 +608,8 @@ impl LsmDb {
         if level >= inner.levels.len() {
             return Err(Error::invalid(format!("level {level} out of range")));
         }
-        let children: Vec<BoxedIterator> = inner.levels[level]
-            .iter()
-            .map(|f| Box::new(f.table.iter()) as BoxedIterator)
-            .collect();
+        let mut children: Vec<BoxedIterator> = Vec::new();
+        Self::push_level_children(level, &inner.levels[level], None, &mut children);
         Ok(MergingIterator::new(children))
     }
 
@@ -813,50 +877,48 @@ impl LsmDb {
             .fetch_add(input_bytes, Ordering::Relaxed);
 
         // Merge: newer sources first so ties resolve toward fresher versions.
+        // The input files may overlap (Level-0) and become one child each;
+        // the target level's overlapping files are disjoint and concatenate
+        // into a single lazy child.
         let mut children: Vec<BoxedIterator> = Vec::new();
         for f in inputs.iter().rev() {
             children.push(Box::new(f.table.iter()));
         }
-        for f in &overlaps {
-            children.push(Box::new(f.table.iter()));
+        if !overlaps.is_empty() {
+            children.push(Box::new(LevelConcatIterator::new(
+                overlaps.iter().map(|f| f.table.clone()).collect(),
+            )));
         }
-        let mut merge = MergingIterator::new(children);
-        merge.seek_to_first()?;
-
-        // Drain, keeping only the newest version of each user key. Tombstones
-        // are dropped once they reach the last level, and entries outside the
-        // key bound (shard-split leftovers) are dropped at every level.
+        // Drain the streaming iterator: it yields exactly the newest version
+        // of each user key (everything is visible at MAX_SEQNO), with no
+        // per-entry key decode. Tombstones are dropped once they reach the
+        // last level, and entries outside the key bound (shard-split
+        // leftovers) are dropped at every level.
+        let mut stream =
+            RangeIterator::new(MergingIterator::new(children), 0, UserKey::MAX, MAX_SEQNO)?;
         let key_bound = self.key_bound();
         let mut trimmed = 0u64;
         let mut outputs: Vec<FileMeta> = Vec::new();
         let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let mut current_bytes = 0u64;
-        let mut last_user_key: Option<UserKey> = None;
-        while merge.valid() {
-            let ik = InternalKey::decode(merge.key())?;
-            let is_duplicate = last_user_key == Some(ik.user_key);
-            last_user_key = Some(ik.user_key);
-            if !is_duplicate {
-                let out_of_bound =
-                    key_bound.is_some_and(|(lo, hi)| ik.user_key < lo || ik.user_key > hi);
-                if out_of_bound {
-                    trimmed += 1;
-                }
-                let drop_entry =
-                    out_of_bound || (output_is_last_level && ik.kind == ValueKind::Tombstone);
-                if !drop_entry {
-                    current_bytes += (merge.key().len() + merge.value().len()) as u64;
-                    current.push((merge.key().to_vec(), merge.value().to_vec()));
-                    if current_bytes >= self.options.sst_target_size_bytes {
-                        outputs.push(self.write_compaction_output(
-                            target_level as u32,
-                            std::mem::take(&mut current),
-                        )?);
-                        current_bytes = 0;
-                    }
+        while stream.next_visible()? {
+            let user_key = stream.user_key();
+            let out_of_bound = key_bound.is_some_and(|(lo, hi)| user_key < lo || user_key > hi);
+            if out_of_bound {
+                trimmed += 1;
+            }
+            let drop_entry = out_of_bound || (output_is_last_level && stream.is_tombstone());
+            if !drop_entry {
+                current_bytes += (stream.key().len() + stream.value().len()) as u64;
+                current.push((stream.key().to_vec(), stream.value().to_vec()));
+                if current_bytes >= self.options.sst_target_size_bytes {
+                    outputs.push(self.write_compaction_output(
+                        target_level as u32,
+                        std::mem::take(&mut current),
+                    )?);
+                    current_bytes = 0;
                 }
             }
-            merge.next()?;
         }
         if !current.is_empty() {
             outputs.push(self.write_compaction_output(target_level as u32, current)?);

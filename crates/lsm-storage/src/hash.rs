@@ -3,16 +3,25 @@
 //! We implement FNV-1a and a 64-bit mix-based hash (inspired by
 //! MurmurHash3's finalizer) in-repo to avoid external dependencies.
 
-/// 64-bit FNV-1a hash.
-pub fn fnv1a_64(data: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit offset basis: the starting state of an incremental
+/// [`fnv1a_64_fold`] chain.
+pub const FNV1A_64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `data` into a running FNV-1a state, so large inputs can be hashed
+/// incrementally (chunk by chunk) without concatenating them into one
+/// buffer: `fnv1a_64(ab) == fnv1a_64_fold(fnv1a_64_fold(OFFSET, a), b)`.
+pub fn fnv1a_64_fold(mut hash: u64, data: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut hash = OFFSET;
     for &b in data {
         hash ^= b as u64;
         hash = hash.wrapping_mul(PRIME);
     }
     hash
+}
+
+/// 64-bit FNV-1a hash.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    fnv1a_64_fold(FNV1A_64_OFFSET, data)
 }
 
 /// A fast 64-bit hash with a seed, built from 8-byte chunks and a strong

@@ -19,7 +19,9 @@
 //! * [`bloom`] — per-SST bloom filters.
 //! * [`sst`] — Sorted String Table files (data blocks + index block + bloom
 //!   filter + footer).
-//! * [`iterator`] — the `KvIterator` trait and a k-way merging iterator.
+//! * [`iterator`] — the `KvIterator` trait and the merge stack: a
+//!   tournament-tree k-way merge, a lazy per-level concatenating iterator
+//!   and the streaming newest-visible-version range iterator.
 //! * [`manifest`] — version metadata (which file lives in which level).
 //! * [`storage`] — pluggable backends: durable files, instrumented in-memory
 //!   storage (counts 4 KiB-block I/O, matching the paper's cost model), and a
@@ -71,7 +73,10 @@ pub mod wal_segment;
 pub use cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
 pub use db::{CompactionStatsSnapshot, LsmDb};
 pub use error::{Error, Result};
-pub use iterator::{BoxedIterator, KvIterator, MergingIterator, VecIterator};
+pub use iterator::{
+    naive_visible_scan, BoxedIterator, KvIterator, LevelConcatIterator, MergingIterator,
+    NaiveMergingIterator, RangeIterator, VecIterator,
+};
 pub use maintenance::{
     attach_engine, attach_shard_engines, register_shard_engine, BackpressureConfig,
     BackpressureGate, EngineMaintenance, JobKind, JobScheduler, MaintainableEngine,

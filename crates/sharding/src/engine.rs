@@ -52,6 +52,11 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
     ) -> Result<Option<Self::Value>>;
 
     /// Range scan over `[lo, hi]` visible at `snapshot`, in key order.
+    ///
+    /// Implementations stream through their engine's merge stack (for
+    /// `LsmDb`, the tournament-tree `range()` iterator; for `LaserDb`, the
+    /// level-merging iterator over lazy per-run concat children), so a
+    /// cross-shard scan's per-shard legs inherit the streaming read path.
     fn shard_scan_at(
         &self,
         lo: UserKey,
