@@ -55,6 +55,17 @@ fn report_json(config: &ReadPathConfig, report: &ReadPathReport) -> JsonValue {
             "point_gets_per_sec",
             JsonValue::Num(report.point_gets_per_sec),
         ),
+        (
+            "instrumented_point_gets_per_sec",
+            JsonValue::Num(report.instrumented_point_gets_per_sec),
+        ),
+        (
+            "telemetry_overhead_pct",
+            JsonValue::Num(report.telemetry_overhead_pct),
+        ),
+        ("get_p50_ns", JsonValue::Num(report.get_p50_ns as f64)),
+        ("get_p95_ns", JsonValue::Num(report.get_p95_ns as f64)),
+        ("get_p99_ns", JsonValue::Num(report.get_p99_ns as f64)),
         ("long_rows", JsonValue::Num(report.long_rows as f64)),
         ("checksums_agree", JsonValue::Bool(report.checksums_agree())),
         (
@@ -143,6 +154,15 @@ fn main() {
     println!(
         "{:>12} | {:>15} | {:>15.0} |",
         "point gets", "-", report.point_gets_per_sec
+    );
+    println!();
+    println!(
+        "telemetry: {:.0} gets/s attached ({:+.2}% overhead) | get latency p50 {} ns, p95 {} ns, p99 {} ns",
+        report.instrumented_point_gets_per_sec,
+        report.telemetry_overhead_pct,
+        report.get_p50_ns,
+        report.get_p95_ns,
+        report.get_p99_ns,
     );
     println!();
     if report.checksums_agree() {

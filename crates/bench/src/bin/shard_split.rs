@@ -57,6 +57,13 @@ fn report_json(config: &ShardSplitConfig, report: &ShardSplitReport) -> JsonValu
             JsonValue::Str(format!("{:#018x}", report.checksum)),
         ),
         ("equivalent", JsonValue::Bool(report.equivalent())),
+        ("commit_p50_ns", JsonValue::Num(report.commit_p50_ns as f64)),
+        ("commit_p95_ns", JsonValue::Num(report.commit_p95_ns as f64)),
+        ("commit_p99_ns", JsonValue::Num(report.commit_p99_ns as f64)),
+        (
+            "split_event_micros",
+            JsonValue::Num(report.split_event_micros as f64),
+        ),
     ])
 }
 
@@ -109,6 +116,13 @@ fn main() {
         "        no-split control on the same overwrite round: {:>9.0} ops/s  => {:.2}x from the split",
         report.control_after_ops_per_sec,
         report.speedup_vs_no_split()
+    );
+    println!(
+        "telemetry: commit latency p50 {} us, p95 {} us, p99 {} us | split event logged at {} us",
+        report.commit_p50_ns / 1_000,
+        report.commit_p95_ns / 1_000,
+        report.commit_p99_ns / 1_000,
+        report.split_event_micros,
     );
     println!();
     if report.equivalent() {

@@ -67,6 +67,10 @@ fn report_json(config: &ShardScalingConfig, report: &ShardScalingReport) -> Json
                                 JsonValue::Num(row.throttle_events as f64),
                             ),
                             ("bg_jobs", JsonValue::Num(row.bg_jobs as f64)),
+                            ("commit_p50_ns", JsonValue::Num(row.commit_p50_ns as f64)),
+                            ("commit_p95_ns", JsonValue::Num(row.commit_p95_ns as f64)),
+                            ("commit_p99_ns", JsonValue::Num(row.commit_p99_ns as f64)),
+                            ("slow_ops", JsonValue::Num(row.slow_ops as f64)),
                         ])
                     })
                     .collect(),
@@ -110,12 +114,20 @@ fn main() {
 
     println!();
     println!(
-        "{:>7} | {:>13} | {:>8} | {:>12} | {:>13} | {:>9} | {:>8}",
-        "shards", "ingest ops/s", "speedup", "scans/s", "mixed wr/s", "throttled", "bg jobs"
+        "{:>7} | {:>13} | {:>8} | {:>12} | {:>13} | {:>9} | {:>8} | {:>10} | {:>10}",
+        "shards",
+        "ingest ops/s",
+        "speedup",
+        "scans/s",
+        "mixed wr/s",
+        "throttled",
+        "bg jobs",
+        "commit p50",
+        "commit p99"
     );
     for row in &report.rows {
         println!(
-            "{:>7} | {:>13.0} | {:>7.2}x | {:>12.1} | {:>13.0} | {:>9} | {:>8}",
+            "{:>7} | {:>13.0} | {:>7.2}x | {:>12.1} | {:>13.0} | {:>9} | {:>8} | {:>7} us | {:>7} us",
             row.shards,
             row.ingest_ops_per_sec,
             report.ingest_speedup(row.shards),
@@ -123,6 +135,8 @@ fn main() {
             row.mixed_write_ops_per_sec,
             row.throttle_events,
             row.bg_jobs,
+            row.commit_p50_ns / 1_000,
+            row.commit_p99_ns / 1_000,
         );
     }
     println!();

@@ -1,0 +1,151 @@
+//! CI telemetry validator: drives a small sharded workload with telemetry
+//! attached (ingest, flush, compaction, a live shard split and its trim),
+//! dumps the Prometheus-style text exposition, and fails unless every metric
+//! registered in the registry appears in the exposition with only finite
+//! values. `--json PATH` additionally writes the JSON snapshot (uploaded as
+//! a nightly CI artifact).
+//!
+//! Usage: `cargo run --release --bin telemetry_check [--json PATH] [--quiet]`
+
+use std::sync::Arc;
+
+use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use lsm_storage::types::WriteBatch;
+use lsm_storage::{LsmDb, LsmOptions, Result};
+use telemetry::{parse_prometheus_text, MetricValue, Telemetry};
+
+/// Engine options small enough that the workload below flushes and compacts
+/// several times.
+fn engine_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.memtable_size_bytes = 32 << 10;
+    options.sst_target_size_bytes = 64 << 10;
+    options.auto_compact = true;
+    options
+}
+
+/// Runs the workload and returns the telemetry hub with every metric of the
+/// stack registered and exercised.
+fn run_workload() -> Result<(Arc<ShardedDb<LsmDb>>, Arc<Telemetry>)> {
+    let options = ShardedOptions {
+        num_shards: 2,
+        boundaries: Some(vec![4_096]),
+        fanout_threads: 2,
+        maintenance_workers: 0,
+        cache_bytes: 4 << 20,
+        ..Default::default()
+    };
+    let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(
+        MemShardStorage::new_ref(),
+        engine_options(),
+        options,
+    )?);
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub);
+
+    let mut batch = WriteBatch::new();
+    for key in 0..6_000u64 {
+        batch.put(key, vec![(key % 251) as u8; 96]);
+        if batch.len() >= 64 {
+            db.write(&batch)?;
+            batch = WriteBatch::new();
+        }
+    }
+    if !batch.is_empty() {
+        db.write(&batch)?;
+    }
+    for key in (0..6_000u64).step_by(17) {
+        db.get(key, &())?;
+    }
+    db.scan(0, 2_000, &())?;
+    db.flush()?;
+    db.compact_until_stable()?;
+    // A live split (inline trim: no maintenance workers) exercises the
+    // split/trim event paths and the post-split shard registration.
+    db.split_shard(0, 2_048)?;
+    db.flush()?;
+    Ok((db, hub))
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("telemetry_check: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (db, hub) = run_workload().expect("telemetry workload failed");
+    let text = db
+        .prometheus_text()
+        .expect("telemetry attached but exposition missing");
+    if !quiet {
+        println!("{text}");
+    }
+
+    let Some(samples) = parse_prometheus_text(&text) else {
+        eprintln!("telemetry_check: FAIL — exposition did not parse");
+        std::process::exit(1);
+    };
+    let mut failures = Vec::new();
+    for sample in &samples {
+        if !sample.value.is_finite() {
+            failures.push(format!(
+                "sample {} has non-finite value {}",
+                sample.name, sample.value
+            ));
+        }
+    }
+    // Every registered metric must be present: counters and gauges as a bare
+    // sample, histograms via their `_count` sample (quantiles may share the
+    // name across label sets; `_count` is one-per-series).
+    for metric in hub.registry().metrics() {
+        let expect = match metric.value {
+            MetricValue::Histogram(_) => format!("{}_count", metric.name),
+            _ => metric.name.clone(),
+        };
+        let found = samples.iter().any(|s| {
+            s.name == expect
+                && metric
+                    .labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        });
+        if !found {
+            failures.push(format!(
+                "registered metric {} (labels {:?}) missing from exposition",
+                metric.name, metric.labels
+            ));
+        }
+    }
+    if hub.recent_events().is_empty() {
+        failures.push("event log is empty after flush/compaction/split workload".into());
+    }
+
+    if let Some(path) = &json_path {
+        let json = db.telemetry_json().expect("telemetry attached");
+        std::fs::write(path, json).expect("write telemetry snapshot");
+        println!("telemetry_check: wrote {path}");
+    }
+
+    if failures.is_empty() {
+        println!(
+            "telemetry_check: OK — {} samples cover {} registered metrics, {} events logged",
+            samples.len(),
+            hub.registry().metrics().len(),
+            hub.recent_events().len(),
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("telemetry_check: FAIL — {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@ use lsm_storage::types::{UserKey, WriteBatch, MAX_SEQNO};
 use lsm_storage::{LsmDb, LsmOptions, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use telemetry::Telemetry;
 
 /// Workload parameters of one read-path run.
 #[derive(Debug, Clone)]
@@ -90,8 +91,22 @@ pub struct ReadPathReport {
     pub naive_merge_width: usize,
     /// Merge width of the same scan under the per-level concat stack.
     pub new_merge_width: usize,
-    /// Point lookups per second (new read path).
+    /// Point lookups per second (new read path), telemetry detached — the
+    /// registry-disabled baseline of the instrumentation-overhead gate.
     pub point_gets_per_sec: f64,
+    /// Point lookups per second with telemetry attached (same keys, run
+    /// second so any residual cache warming favours this pass — the gate
+    /// bounds overhead, not a strict A/B).
+    pub instrumented_point_gets_per_sec: f64,
+    /// Relative throughput cost of telemetry on point gets, in percent
+    /// (negative when the instrumented pass ran faster).
+    pub telemetry_overhead_pct: f64,
+    /// Median point-get latency (ns) from the attached histogram.
+    pub get_p50_ns: u64,
+    /// 95th-percentile point-get latency (ns).
+    pub get_p95_ns: u64,
+    /// 99th-percentile point-get latency (ns).
+    pub get_p99_ns: u64,
     /// Rows per second over the short-scan windows, naive merge.
     pub naive_short_rows_per_sec: f64,
     /// Rows per second over the short-scan windows, tournament stack.
@@ -284,7 +299,8 @@ pub fn run_read_path(config: &ReadPathConfig) -> Result<ReadPathReport> {
         drive_scans(&long, &mut naive_checksum, |lo, hi| naive_scan(&db, lo, hi))?;
     debug_assert_eq!(naive_short_rows, new_short_rows);
 
-    // Point gets over uniformly random keys (the overhauled lock-free path).
+    // Point gets over uniformly random keys (the overhauled lock-free path),
+    // first with telemetry detached: the one-branch disabled cost.
     let mut rng = StdRng::seed_from_u64(0x9E77);
     let start = Instant::now();
     let mut hits = 0u64;
@@ -296,11 +312,40 @@ pub fn run_read_path(config: &ReadPathConfig) -> Result<ReadPathReport> {
     let gets_secs = start.elapsed().as_secs_f64();
     assert!(hits > 0, "point-get phase found no keys");
 
+    // The same keys again with telemetry attached: measures the full
+    // instrumentation cost (timestamping + histogram update per get) and
+    // yields the latency percentiles for the report.
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub, "db");
+    let mut rng = StdRng::seed_from_u64(0x9E77);
+    let start = Instant::now();
+    let mut instrumented_hits = 0u64;
+    for _ in 0..config.point_gets {
+        if db.get(rng.gen_range(0..config.keys))?.is_some() {
+            instrumented_hits += 1;
+        }
+    }
+    let instrumented_secs = start.elapsed().as_secs_f64();
+    assert_eq!(hits, instrumented_hits, "instrumented pass diverged");
+    let get_hist = hub
+        .registry()
+        .aggregate_histogram("laser_get_latency_ns")
+        .expect("get histogram registered by attach_telemetry");
+    let point_gets_per_sec = config.point_gets as f64 / gets_secs.max(1e-9);
+    let instrumented_point_gets_per_sec = config.point_gets as f64 / instrumented_secs.max(1e-9);
+
     Ok(ReadPathReport {
         files_per_level,
         naive_merge_width,
         new_merge_width,
-        point_gets_per_sec: config.point_gets as f64 / gets_secs.max(1e-9),
+        point_gets_per_sec,
+        instrumented_point_gets_per_sec,
+        telemetry_overhead_pct: (1.0
+            - instrumented_point_gets_per_sec / point_gets_per_sec.max(1e-9))
+            * 100.0,
+        get_p50_ns: get_hist.p50(),
+        get_p95_ns: get_hist.p95(),
+        get_p99_ns: get_hist.p99(),
         naive_short_rows_per_sec: naive_short_rows as f64 / naive_short_secs.max(1e-9),
         new_short_rows_per_sec: new_short_rows as f64 / new_short_secs.max(1e-9),
         naive_long_rows_per_sec: naive_long_rows as f64 / naive_long_secs.max(1e-9),

@@ -22,6 +22,7 @@ use crate::harness::deterministic_value as value_for;
 use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
 use lsm_storage::types::{UserKey, WriteBatch};
 use lsm_storage::{LsmDb, LsmOptions, Result};
+use telemetry::Telemetry;
 
 /// Workload parameters of one scaling run.
 #[derive(Debug, Clone)]
@@ -96,6 +97,14 @@ pub struct ShardScalingRow {
     pub bg_jobs: u64,
     /// Batches that spanned more than one shard.
     pub cross_shard_batches: u64,
+    /// Median acked batch-commit latency (ns) across the whole run.
+    pub commit_p50_ns: u64,
+    /// 95th-percentile batch-commit latency (ns).
+    pub commit_p95_ns: u64,
+    /// 99th-percentile batch-commit latency (ns).
+    pub commit_p99_ns: u64,
+    /// Maintenance operations flagged slow by the telemetry thresholds.
+    pub slow_ops: u64,
 }
 
 /// The full report: one row per shard count.
@@ -167,6 +176,8 @@ fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow
         ..Default::default()
     };
     let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(provider, engine_options(), options)?);
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub);
 
     // ---- Ingest phase: `writers` threads, disjoint interleaved key sets,
     // timed until every write is acked.
@@ -275,6 +286,10 @@ fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow
     }
     let checksum = lsm_storage::hash::fnv1a_64(&row_bytes);
     let stats = db.stats();
+    let commit_hist = hub
+        .registry()
+        .aggregate_histogram("laser_sharded_batch_commit_latency_ns")
+        .expect("batch-commit histogram registered by attach_telemetry");
     Ok(ShardScalingRow {
         shards,
         ingest_ops_per_sec,
@@ -285,6 +300,10 @@ fn run_one(config: &ShardScalingConfig, shards: usize) -> Result<ShardScalingRow
         throttle_events,
         bg_jobs: stats.bg_jobs_completed,
         cross_shard_batches: stats.cross_shard_batches,
+        commit_p50_ns: commit_hist.p50(),
+        commit_p95_ns: commit_hist.p95(),
+        commit_p99_ns: commit_hist.p99(),
+        slow_ops: hub.slow_ops(),
     })
 }
 

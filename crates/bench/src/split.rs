@@ -20,6 +20,7 @@ use crate::harness::deterministic_value as value_for;
 use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
 use lsm_storage::types::{UserKey, WriteBatch};
 use lsm_storage::{LsmDb, LsmOptions, Result};
+use telemetry::{EventKind, Telemetry};
 
 /// Workload parameters of one split run.
 #[derive(Debug, Clone)]
@@ -94,6 +95,15 @@ pub struct ShardSplitReport {
     pub control_checksum: u64,
     /// Rows scanned by the control run.
     pub control_rows: u64,
+    /// Median acked batch-commit latency (ns) across both ingest rounds.
+    pub commit_p50_ns: u64,
+    /// 95th-percentile batch-commit latency (ns).
+    pub commit_p95_ns: u64,
+    /// 99th-percentile batch-commit latency (ns).
+    pub commit_p99_ns: u64,
+    /// Duration of the split as recorded in the telemetry event log, in
+    /// microseconds (0 if the event is missing — asserted by tests).
+    pub split_event_micros: u64,
 }
 
 impl ShardSplitReport {
@@ -214,6 +224,8 @@ fn open_db(config: &ShardSplitConfig) -> Result<Arc<ShardedDb<LsmDb>>> {
 /// no-split control fed the identical trace.
 pub fn run_shard_split(config: &ShardSplitConfig) -> Result<ShardSplitReport> {
     let db = open_db(config)?;
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub);
 
     // Before: round-0 ingest saturates the single hot shard.
     let before_ops_per_sec = ingest_round(&db, config, 0)?;
@@ -257,6 +269,17 @@ pub fn run_shard_split(config: &ShardSplitConfig) -> Result<ShardSplitReport> {
     control.flush()?;
     let (control_rows, control_checksum) = full_scan_checksum(&control, config.hot_keys)?;
 
+    let commit_hist = hub
+        .registry()
+        .aggregate_histogram("laser_sharded_batch_commit_latency_ns")
+        .expect("batch-commit histogram registered by attach_telemetry");
+    let split_event_micros = hub
+        .recent_events()
+        .iter()
+        .rev()
+        .find(|e| e.kind == EventKind::Split)
+        .map_or(0, |e| e.duration_us);
+
     Ok(ShardSplitReport {
         shards_before,
         shards_after,
@@ -271,6 +294,10 @@ pub fn run_shard_split(config: &ShardSplitConfig) -> Result<ShardSplitReport> {
         checksum,
         control_checksum,
         control_rows,
+        commit_p50_ns: commit_hist.p50(),
+        commit_p95_ns: commit_hist.p95(),
+        commit_p99_ns: commit_hist.p99(),
+        split_event_micros,
     })
 }
 
@@ -291,5 +318,10 @@ mod tests {
             report.equivalent(),
             "split engine diverged from the no-split control: {report:?}"
         );
+        assert!(
+            report.split_event_micros > 0,
+            "split must appear in the telemetry event log with a duration"
+        );
+        assert!(report.commit_p50_ns > 0);
     }
 }

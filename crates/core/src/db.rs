@@ -18,8 +18,10 @@
 //! column groups of the next level, using the level/column merging iterators.
 
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use telemetry::Telemetry;
 
 use lsm_storage::cache::{BlockCache, ScopedCache};
 use lsm_storage::iterator::KvIterator;
@@ -29,6 +31,7 @@ use lsm_storage::maintenance::{
 };
 use lsm_storage::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
 use lsm_storage::memtable::{FrozenMemTable, MemTable, MemTableRef};
+use lsm_storage::observability::EngineTelemetry;
 use lsm_storage::sst::{TableBuilder, TableHandle};
 use lsm_storage::storage::{MemStorage, StorageRef};
 use lsm_storage::types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, MAX_SEQNO};
@@ -130,6 +133,10 @@ pub struct LaserDb {
     compaction_lock: Mutex<()>,
     /// Writers stalled on backpressure park here; maintenance jobs notify it.
     write_room: BackpressureGate,
+    /// Pre-resolved telemetry handles; set once by
+    /// [`LaserDb::attach_telemetry`]. While absent, instrumentation costs
+    /// one branch per hot-path operation.
+    telemetry: OnceLock<EngineTelemetry>,
 }
 
 impl LaserDb {
@@ -222,6 +229,7 @@ impl LaserDb {
             flush_lock: Mutex::new(()),
             compaction_lock: Mutex::new(()),
             write_room: BackpressureGate::new(),
+            telemetry: OnceLock::new(),
         };
 
         // WAL recovery: replay intact records into a fresh memtable, re-log
@@ -312,6 +320,17 @@ impl LaserDb {
     /// Errors if a scheduler was already attached.
     pub fn attach_maintenance(self: &Arc<Self>, num_workers: usize) -> Result<JobScheduler> {
         attach_engine(self, num_workers)
+    }
+
+    /// Registers this engine (and its WAL) with a shared telemetry hub under
+    /// `shard_label`: latency histograms on the read/scan/commit paths, byte
+    /// counters on flush/CG-compaction, and maintenance events in the hub's
+    /// event log. Idempotent — a second attach keeps the first registration.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>, shard_label: &str) {
+        let _ = self
+            .telemetry
+            .set(EngineTelemetry::register(hub, "laser", shard_label));
+        self.wal.attach_telemetry(hub, shard_label);
     }
 
     /// Resets the statistics counters.
@@ -408,6 +427,8 @@ impl LaserDb {
     }
 
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
+        let telemetry = self.telemetry.get();
+        let commit_start = telemetry.map(|_| Instant::now());
         EngineMaintenance::apply_backpressure(self);
         let ticket = {
             let mut inner = self.inner.write();
@@ -425,6 +446,11 @@ impl LaserDb {
         // The write is acknowledged only once its WAL record is durable
         // (group commit: concurrent writers share one fsync).
         self.wal.ensure_durable(&ticket)?;
+        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
+            telemetry
+                .commit_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
         self.after_write_maintenance()
     }
 
@@ -489,6 +515,21 @@ impl LaserDb {
 
     /// Point lookup at a snapshot sequence number.
     pub fn read_at(
+        &self,
+        key: UserKey,
+        projection: &Projection,
+        snapshot: SeqNo,
+    ) -> Result<Option<RowFragment>> {
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
+        let result = self.read_at_inner(key, projection, snapshot);
+        if let (Some(telemetry), Some(start)) = (telemetry, start) {
+            telemetry.get_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn read_at_inner(
         &self,
         key: UserKey,
         projection: &Projection,
@@ -706,6 +747,8 @@ impl LaserDb {
         projection: &Projection,
         snapshot: SeqNo,
     ) -> Result<Vec<(UserKey, RowFragment)>> {
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
         self.stats.record_scan();
         let projection = if projection.is_empty() {
             Projection::all(self.schema())
@@ -733,6 +776,9 @@ impl LaserDb {
                 break;
             };
             self.stats.record_scan_level(level, share, &projection);
+        }
+        if let (Some(telemetry), Some(start)) = (telemetry, start) {
+            telemetry.scan_ns.record(start.elapsed().as_nanos() as u64);
         }
         Ok(rows.into_iter().map(|r| (r.key, r.fragment)).collect())
     }
@@ -824,6 +870,8 @@ impl LaserDb {
     /// its file deleted — recovery never replays data that already lives in
     /// the tree. Returns true if a memtable was flushed.
     fn flush_frozen_one_impl(&self) -> Result<bool> {
+        let telemetry = self.telemetry.get();
+        let flush_start = telemetry.map(|_| Instant::now());
         // Serialise flushes so Level-0 keeps its oldest-first order.
         let _flushing = self.flush_lock.lock();
         let (frozen, file_number) = {
@@ -849,6 +897,7 @@ impl LaserDb {
         // `immutables` until the SST is installed.
         let meta = self.build_sst(file_number, 0, 0, frozen.memtable.to_sorted_vec())?;
         self.stats.record_flush(meta.file_size, meta.num_entries);
+        let (flushed_bytes, flushed_entries) = (meta.file_size, meta.num_entries);
         {
             let mut inner = self.inner.write();
             let table =
@@ -866,6 +915,9 @@ impl LaserDb {
             self.persist_manifest(&inner)?;
         }
         self.wal.delete_retired()?;
+        if let (Some(telemetry), Some(start)) = (telemetry, flush_start) {
+            telemetry.flush_event(start.elapsed(), flushed_bytes, flushed_entries);
+        }
         self.notify_write_room();
         Ok(true)
     }
@@ -1021,6 +1073,8 @@ impl LaserDb {
     /// column group of `level` into the contained column groups of `level+1`,
     /// re-encoding fragments into the target layout.
     pub fn compact_cg(&self, level: usize, cg_idx: usize) -> Result<()> {
+        let telemetry = self.telemetry.get();
+        let compact_start = telemetry.map(|_| Instant::now());
         // Serialise compaction jobs (background workers and foreground calls
         // share this lock); the plan below re-reads state after acquiring it,
         // so a stale pick degrades to a no-op rather than a double merge.
@@ -1247,6 +1301,14 @@ impl LaserDb {
         }
         self.stats
             .record_compaction(bytes_read, total_bytes_written, total_entries_written);
+        if let (Some(telemetry), Some(start)) = (telemetry, compact_start) {
+            telemetry.compaction_event(
+                start.elapsed(),
+                bytes_read,
+                total_bytes_written,
+                total_entries_written,
+            );
+        }
         self.notify_write_room();
         Ok(())
     }
@@ -1466,6 +1528,12 @@ impl EngineMaintenance for LaserDb {
             Throttle::Stall => self.stats.record_stall(),
             Throttle::Slowdown => self.stats.record_slowdown(),
             Throttle::None => {}
+        }
+    }
+
+    fn record_stall_duration(&self, waited: Duration) {
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.stall_event(waited);
         }
     }
 }

@@ -94,6 +94,42 @@ impl EngineStatsSnapshot {
             .sum()
     }
 
+    /// Returns the counters accumulated since `earlier`. All subtractions
+    /// saturate at zero, so a counter reset between the two snapshots yields
+    /// zeros instead of wrapping. `bg_jobs_pending` is a gauge and keeps this
+    /// snapshot's value; per-level profiles likewise keep the current values.
+    pub fn delta_since(&self, earlier: &EngineStatsSnapshot) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            inserts: self.inserts.saturating_sub(earlier.inserts),
+            updates: self.updates.saturating_sub(earlier.updates),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            point_reads: self.point_reads.saturating_sub(earlier.point_reads),
+            scans: self.scans.saturating_sub(earlier.scans),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            compaction_bytes_written: self
+                .compaction_bytes_written
+                .saturating_sub(earlier.compaction_bytes_written),
+            compaction_bytes_read: self
+                .compaction_bytes_read
+                .saturating_sub(earlier.compaction_bytes_read),
+            compaction_entries_written: self
+                .compaction_entries_written
+                .saturating_sub(earlier.compaction_entries_written),
+            stall_events: self.stall_events.saturating_sub(earlier.stall_events),
+            slowdown_events: self.slowdown_events.saturating_sub(earlier.slowdown_events),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            bg_jobs_completed: self
+                .bg_jobs_completed
+                .saturating_sub(earlier.bg_jobs_completed),
+            bg_jobs_failed: self.bg_jobs_failed.saturating_sub(earlier.bg_jobs_failed),
+            bg_jobs_pending: self.bg_jobs_pending,
+            wal: self.wal.delta_since(&earlier.wal),
+            levels: self.levels.clone(),
+        }
+    }
+
     /// Block-cache hit rate in `[0, 1]`; zero when no cache is configured.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;

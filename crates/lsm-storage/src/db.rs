@@ -15,8 +15,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use telemetry::Telemetry;
 
 use crate::cache::{BlockCache, ScopedCache};
 use crate::error::{Error, Result};
@@ -30,6 +32,7 @@ use crate::maintenance::{
 };
 use crate::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
 use crate::memtable::{FrozenMemTable, MemTable, MemTableRef};
+use crate::observability::EngineTelemetry;
 use crate::options::{CompactionPriority, LsmOptions};
 use crate::sst::{TableBuilder, TableHandle};
 use crate::storage::StorageRef;
@@ -116,6 +119,36 @@ pub struct CompactionStatsSnapshot {
     pub wal: WalStatsSnapshot,
 }
 
+impl CompactionStatsSnapshot {
+    /// Counter increments since `earlier` (saturating, so comparing across
+    /// an engine reopen or stats reset can never underflow). The embedded
+    /// WAL snapshot applies its own saturating delta.
+    pub fn delta_since(&self, earlier: &CompactionStatsSnapshot) -> CompactionStatsSnapshot {
+        CompactionStatsSnapshot {
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            entries_written: self.entries_written.saturating_sub(earlier.entries_written),
+            stall_events: self.stall_events.saturating_sub(earlier.stall_events),
+            slowdown_events: self.slowdown_events.saturating_sub(earlier.slowdown_events),
+            trimmed_entries: self.trimmed_entries.saturating_sub(earlier.trimmed_entries),
+            trim_compactions: self
+                .trim_compactions
+                .saturating_sub(earlier.trim_compactions),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            bg_jobs_completed: self
+                .bg_jobs_completed
+                .saturating_sub(earlier.bg_jobs_completed),
+            bg_jobs_failed: self.bg_jobs_failed.saturating_sub(earlier.bg_jobs_failed),
+            // Pending is a point-in-time gauge, not a counter.
+            bg_jobs_pending: self.bg_jobs_pending,
+            wal: self.wal.delta_since(&earlier.wal),
+        }
+    }
+}
+
 /// One SST file attached to a level.
 #[derive(Clone, Debug)]
 struct LevelFile {
@@ -158,6 +191,10 @@ pub struct LsmDb {
     compaction_lock: Mutex<()>,
     /// Writers stalled on backpressure park here; maintenance jobs notify it.
     write_room: BackpressureGate,
+    /// Pre-resolved telemetry handles; set once by
+    /// [`LsmDb::attach_telemetry`]. While absent, instrumentation costs one
+    /// branch per hot-path operation.
+    telemetry: OnceLock<EngineTelemetry>,
     /// Optional key-range restriction (`[lo, hi]` inclusive). Set when this
     /// engine serves one shard of a sharded deployment: compactions drop
     /// entries outside the bound, and trim compactions proactively rewrite
@@ -246,6 +283,7 @@ impl LsmDb {
             flush_lock: Mutex::new(()),
             compaction_lock: Mutex::new(()),
             write_room: BackpressureGate::new(),
+            telemetry: OnceLock::new(),
             key_bound: RwLock::new(None),
         };
 
@@ -330,6 +368,17 @@ impl LsmDb {
         attach_engine(self, num_workers)
     }
 
+    /// Registers this engine (and its WAL) with a shared telemetry hub under
+    /// `shard_label`: latency histograms on the get/scan/commit paths, byte
+    /// counters on flush/compaction, and maintenance events in the hub's
+    /// event log. Idempotent — a second attach keeps the first registration.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>, shard_label: &str) {
+        let _ = self
+            .telemetry
+            .set(EngineTelemetry::register(hub, "lsm", shard_label));
+        self.wal.attach_telemetry(hub, shard_label);
+    }
+
     /// The last sequence number assigned.
     pub fn last_seq(&self) -> SeqNo {
         self.inner.read().last_seq
@@ -353,6 +402,8 @@ impl LsmDb {
         if batch.is_empty() {
             return Ok(());
         }
+        let telemetry = self.telemetry.get();
+        let commit_start = telemetry.map(|_| Instant::now());
         EngineMaintenance::apply_backpressure(self);
         let ticket = {
             let mut inner = self.inner.write();
@@ -369,6 +420,11 @@ impl LsmDb {
         };
         // The write is acknowledged only once its WAL record is durable.
         self.wal.ensure_durable(&ticket)?;
+        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
+            telemetry
+                .commit_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
         self.after_write_maintenance()
     }
 
@@ -455,6 +511,16 @@ impl LsmDb {
     /// skips most files outright, and on deeper levels at most one file
     /// survives the binary search.
     pub fn get_at(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
+        let result = self.get_at_inner(key, snapshot_seq);
+        if let (Some(telemetry), Some(start)) = (telemetry, start) {
+            telemetry.get_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn get_at_inner(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
         let tables = {
             let inner = self.inner.read();
             if let Some(mutable) = &inner.mutable {
@@ -508,12 +574,17 @@ impl LsmDb {
         hi: UserKey,
         snapshot_seq: SeqNo,
     ) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
         let mut iter = self.range(lo, hi, snapshot_seq)?;
         let mut out = Vec::new();
         while iter.next_visible()? {
             if !iter.is_tombstone() {
                 out.push((iter.user_key(), iter.value().to_vec()));
             }
+        }
+        if let (Some(telemetry), Some(start)) = (telemetry, start) {
+            telemetry.scan_ns.record(start.elapsed().as_nanos() as u64);
         }
         Ok(out)
     }
@@ -657,6 +728,8 @@ impl LsmDb {
     /// data that already lives in the tree. Returns true if a memtable was
     /// flushed.
     fn flush_frozen_one_impl(&self) -> Result<bool> {
+        let telemetry = self.telemetry.get();
+        let flush_start = telemetry.map(|_| Instant::now());
         // Serialise flushes so Level-0 keeps its oldest-first order.
         let _flushing = self.flush_lock.lock();
         let (frozen, file_number) = {
@@ -683,6 +756,7 @@ impl LsmDb {
         // in `immutables` until the file is installed.
         let meta =
             self.build_sst_from_entries(file_number, 0, 0, frozen.memtable.to_sorted_vec())?;
+        let (flushed_bytes, flushed_entries) = (meta.file_size, meta.num_entries);
 
         {
             let mut inner = self.inner.write();
@@ -701,6 +775,9 @@ impl LsmDb {
         }
         self.wal.delete_retired()?;
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        if let (Some(telemetry), Some(start)) = (telemetry, flush_start) {
+            telemetry.flush_event(start.elapsed(), flushed_bytes, flushed_entries);
+        }
         self.notify_write_room();
         Ok(true)
     }
@@ -844,6 +921,8 @@ impl LsmDb {
 
     /// Compacts the given files of `level` into `level + 1`.
     fn compact_files(&self, level: usize, input_numbers: &[u64]) -> Result<()> {
+        let telemetry = self.telemetry.get();
+        let compaction_start = telemetry.map(|_| Instant::now());
         let target_level = level + 1;
         // Gather inputs and overlapping files in the target level.
         let (inputs, overlaps, output_is_last_level) = {
@@ -955,6 +1034,16 @@ impl LsmDb {
                 .trimmed_entries
                 .fetch_add(trimmed, Ordering::Relaxed);
         }
+        if let (Some(telemetry), Some(start)) = (telemetry, compaction_start) {
+            let bytes_written: u64 = outputs.iter().map(|m| m.file_size).sum();
+            let entries_written: u64 = outputs.iter().map(|m| m.num_entries).sum();
+            telemetry.compaction_event(
+                start.elapsed(),
+                input_bytes,
+                bytes_written,
+                entries_written,
+            );
+        }
         self.notify_write_room();
         Ok(())
     }
@@ -1036,6 +1125,8 @@ impl LsmDb {
         let Some((lo, hi)) = self.key_bound() else {
             return Ok(false);
         };
+        let telemetry = self.telemetry.get();
+        let trim_start = telemetry.map(|_| Instant::now());
         // Serialise with compactions so the victim cannot be replaced (and
         // its file deleted) between planning and install.
         let _compacting = self.compaction_lock.lock();
@@ -1088,6 +1179,7 @@ impl LsmDb {
             )?)
         };
 
+        let rewritten_bytes = replacement.as_ref().map_or(0, |meta| meta.file_size);
         {
             let mut inner = self.inner.write();
             let Some(pos) = inner.levels[level]
@@ -1124,6 +1216,14 @@ impl LsmDb {
             .trimmed_entries
             .fetch_add(trimmed, Ordering::Relaxed);
         self.stats.trim_compactions.fetch_add(1, Ordering::Relaxed);
+        if let (Some(telemetry), Some(start)) = (telemetry, trim_start) {
+            telemetry.trim_event(
+                start.elapsed(),
+                victim.meta.file_size,
+                rewritten_bytes,
+                trimmed,
+            );
+        }
         Ok(true)
     }
 
@@ -1234,6 +1334,12 @@ impl EngineMaintenance for LsmDb {
                 self.stats.slowdown_events.fetch_add(1, Ordering::Relaxed);
             }
             Throttle::None => {}
+        }
+    }
+
+    fn record_stall_duration(&self, waited: Duration) {
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.stall_event(waited);
         }
     }
 }

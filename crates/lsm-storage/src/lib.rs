@@ -62,6 +62,7 @@ pub mod iterator;
 pub mod maintenance;
 pub mod manifest;
 pub mod memtable;
+pub mod observability;
 pub mod options;
 pub mod skiplist;
 pub mod sst;
@@ -84,6 +85,7 @@ pub use maintenance::{
 };
 pub use manifest::FileMeta;
 pub use memtable::{FrozenMemTable, MemTable, MemTableRef};
+pub use observability::{EngineTelemetry, WalTelemetry};
 pub use options::{CompactionPriority, LsmOptions};
 pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
 pub use storage::{

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -410,6 +411,11 @@ pub trait EngineMaintenance: MaintainableEngine {
     fn auto_compact(&self) -> bool;
     /// Records a throttle outcome in the engine's stats.
     fn record_throttle(&self, throttle: Throttle);
+    /// Reports how long a write actually stalled on backpressure, so
+    /// attached telemetry can histogram the wait and log a stall event.
+    /// Called by the default [`EngineMaintenance::apply_backpressure`] only
+    /// for [`Throttle::Stall`]; the default is a no-op.
+    fn record_stall_duration(&self, _waited: Duration) {}
     /// Rewrites one SST that still carries entries outside the engine's key
     /// bound, dropping them. Returns true if a file was rewritten. Engines
     /// without range restriction keep the default no-op.
@@ -439,6 +445,7 @@ pub trait EngineMaintenance: MaintainableEngine {
         let Some(handle) = self.active_maintenance() else {
             return;
         };
+        let start = Instant::now();
         let throttle = self.write_room().wait_for_room(
             self.backpressure_config(),
             handle,
@@ -448,6 +455,9 @@ pub trait EngineMaintenance: MaintainableEngine {
         );
         if throttle != Throttle::None {
             self.record_throttle(throttle);
+            if throttle == Throttle::Stall {
+                self.record_stall_duration(start.elapsed());
+            }
         }
     }
 

@@ -1,0 +1,172 @@
+//! Observability glue: pre-resolved telemetry handles that engines and the
+//! WAL update on their hot paths.
+//!
+//! An engine attaches to a shared [`Telemetry`] hub once (post-open, like
+//! the maintenance handle) and keeps an [`EngineTelemetry`] of already-
+//! registered metric handles, so instrumented code never touches the
+//! registry lock: a disabled hub costs one `Option` branch, an enabled one
+//! a relaxed atomic update.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use telemetry::{Counter, EventKind, Histogram, Telemetry};
+
+/// Metric handles shared by both engines (`LsmDb` and the Real-Time engine),
+/// registered under `engine` / `shard` labels.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    hub: Arc<Telemetry>,
+    label: String,
+    /// Point-get latency (nanoseconds).
+    pub get_ns: Histogram,
+    /// Range-scan latency (nanoseconds).
+    pub scan_ns: Histogram,
+    /// Batch-commit latency including WAL group-commit durability and any
+    /// backpressure wait (nanoseconds).
+    pub commit_ns: Histogram,
+    /// Backpressure stall wait durations (nanoseconds).
+    pub stall_ns: Histogram,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: Counter,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: Counter,
+    /// Bytes written by memtable flushes.
+    pub flush_bytes: Counter,
+}
+
+impl EngineTelemetry {
+    /// Registers the engine metric set under
+    /// `{engine="<engine>", shard="<shard>"}` labels. Re-registering the
+    /// same labels (e.g. after a shard reopen) resumes the existing series.
+    pub fn register(hub: &Arc<Telemetry>, engine: &'static str, shard: &str) -> Self {
+        let labels = [("engine", engine), ("shard", shard)];
+        let registry = hub.registry();
+        EngineTelemetry {
+            hub: Arc::clone(hub),
+            label: shard.to_string(),
+            get_ns: registry.histogram("laser_get_latency_ns", &labels),
+            scan_ns: registry.histogram("laser_scan_latency_ns", &labels),
+            commit_ns: registry.histogram("laser_commit_latency_ns", &labels),
+            stall_ns: registry.histogram("laser_stall_wait_ns", &labels),
+            compaction_bytes_read: registry.counter("laser_compaction_bytes_read_total", &labels),
+            compaction_bytes_written: registry
+                .counter("laser_compaction_bytes_written_total", &labels),
+            flush_bytes: registry.counter("laser_flush_bytes_total", &labels),
+        }
+    }
+
+    /// The hub this engine is attached to.
+    pub fn hub(&self) -> &Arc<Telemetry> {
+        &self.hub
+    }
+
+    /// The shard label events are recorded under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Logs a completed memtable flush.
+    pub fn flush_event(&self, duration: Duration, bytes_written: u64, entries: u64) {
+        self.flush_bytes.add(bytes_written);
+        self.hub.record_event(
+            EventKind::Flush,
+            &self.label,
+            duration,
+            0,
+            bytes_written,
+            entries,
+        );
+    }
+
+    /// Logs a completed compaction.
+    pub fn compaction_event(
+        &self,
+        duration: Duration,
+        bytes_read: u64,
+        bytes_written: u64,
+        entries: u64,
+    ) {
+        self.compaction_bytes_read.add(bytes_read);
+        self.compaction_bytes_written.add(bytes_written);
+        self.hub.record_event(
+            EventKind::Compaction,
+            &self.label,
+            duration,
+            bytes_read,
+            bytes_written,
+            entries,
+        );
+    }
+
+    /// Logs a completed trim pass (`entries` counts the entries dropped).
+    pub fn trim_event(
+        &self,
+        duration: Duration,
+        bytes_read: u64,
+        bytes_written: u64,
+        entries: u64,
+    ) {
+        self.hub.record_event(
+            EventKind::Trim,
+            &self.label,
+            duration,
+            bytes_read,
+            bytes_written,
+            entries,
+        );
+    }
+
+    /// Records a backpressure stall wait: histogram plus event log.
+    pub fn stall_event(&self, duration: Duration) {
+        self.stall_ns.record(duration.as_nanos() as u64);
+        self.hub
+            .record_event(EventKind::Stall, &self.label, duration, 0, 0, 0);
+    }
+}
+
+/// Telemetry handles of one segmented WAL.
+#[derive(Debug)]
+pub struct WalTelemetry {
+    hub: Arc<Telemetry>,
+    label: String,
+    /// Group-commit fsync latency (nanoseconds).
+    pub fsync_ns: Histogram,
+}
+
+impl WalTelemetry {
+    /// Registers the WAL metric set under a `{shard="<shard>"}` label.
+    pub fn register(hub: &Arc<Telemetry>, shard: &str) -> Self {
+        WalTelemetry {
+            hub: Arc::clone(hub),
+            label: shard.to_string(),
+            fsync_ns: hub
+                .registry()
+                .histogram("laser_wal_fsync_latency_ns", &[("shard", shard)]),
+        }
+    }
+
+    /// Records one group-commit fsync. Every fsync lands in the latency
+    /// histogram; only those crossing the slow-op threshold are logged as
+    /// events (the log would otherwise be all fsyncs).
+    pub fn record_fsync(&self, duration: Duration) {
+        self.fsync_ns.record(duration.as_nanos() as u64);
+        if duration >= self.hub.thresholds().wal_fsync {
+            self.hub
+                .record_event(EventKind::WalFsync, &self.label, duration, 0, 0, 0);
+        }
+    }
+
+    /// Logs a WAL segment rotation (`sealed_bytes` is the size of the
+    /// segment just sealed).
+    pub fn rotation_event(&self, duration: Duration, sealed_bytes: u64) {
+        self.hub.record_event(
+            EventKind::WalRotation,
+            &self.label,
+            duration,
+            0,
+            sealed_bytes,
+            0,
+        );
+    }
+}

@@ -122,6 +122,20 @@ impl IoStatsSnapshot {
             syncs: self.syncs.saturating_sub(earlier.syncs),
         }
     }
+
+    /// Component-wise sum with `other`, used to aggregate per-shard storage
+    /// counters into one whole-deployment view.
+    pub fn merged(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            blocks_read: self.blocks_read + other.blocks_read,
+            blocks_written: self.blocks_written + other.blocks_written,
+            syncs: self.syncs + other.syncs,
+        }
+    }
 }
 
 /// A shareable handle that can fsync a file without exclusive access to its

@@ -32,10 +32,12 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use telemetry::Telemetry;
 
 use crate::coding::{put_u64, put_varint64, Decoder};
 use crate::error::{Error, Result};
+use crate::observability::WalTelemetry;
 use crate::storage::{SharedSyncHandle, StorageRef};
 use crate::types::{SeqNo, WriteBatch};
 use crate::wal::{recover as recover_segment, WalRecord, WalWriter};
@@ -174,6 +176,55 @@ pub struct WalStatsSnapshot {
     pub live_bytes: u64,
 }
 
+impl WalStatsSnapshot {
+    /// Counter increments since `earlier` (saturating, so a reopened or
+    /// reset WAL can never underflow the delta). The point-in-time gauges
+    /// (`segments_live`, `live_bytes`) keep their current values.
+    pub fn delta_since(&self, earlier: &WalStatsSnapshot) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            records_appended: self
+                .records_appended
+                .saturating_sub(earlier.records_appended),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
+            syncs_off_lock: self.syncs_off_lock.saturating_sub(earlier.syncs_off_lock),
+            coalesced_acks: self.coalesced_acks.saturating_sub(earlier.coalesced_acks),
+            rotations: self.rotations.saturating_sub(earlier.rotations),
+            segments_deleted: self
+                .segments_deleted
+                .saturating_sub(earlier.segments_deleted),
+            records_replayed: self
+                .records_replayed
+                .saturating_sub(earlier.records_replayed),
+            segments_replayed: self
+                .segments_replayed
+                .saturating_sub(earlier.segments_replayed),
+            orphan_segments_deleted: self
+                .orphan_segments_deleted
+                .saturating_sub(earlier.orphan_segments_deleted),
+            segments_live: self.segments_live,
+            live_bytes: self.live_bytes,
+        }
+    }
+
+    /// Field-wise sum with `other` (gauges included), used to aggregate
+    /// per-shard snapshots into one whole-deployment view.
+    pub fn merged(&self, other: &WalStatsSnapshot) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            records_appended: self.records_appended + other.records_appended,
+            syncs: self.syncs + other.syncs,
+            syncs_off_lock: self.syncs_off_lock + other.syncs_off_lock,
+            coalesced_acks: self.coalesced_acks + other.coalesced_acks,
+            rotations: self.rotations + other.rotations,
+            segments_deleted: self.segments_deleted + other.segments_deleted,
+            records_replayed: self.records_replayed + other.records_replayed,
+            segments_replayed: self.segments_replayed + other.segments_replayed,
+            orphan_segments_deleted: self.orphan_segments_deleted + other.orphan_segments_deleted,
+            segments_live: self.segments_live + other.segments_live,
+            live_bytes: self.live_bytes + other.live_bytes,
+        }
+    }
+}
+
 struct ActiveSegment {
     meta: WalSegmentMeta,
     writer: WalWriter,
@@ -246,6 +297,9 @@ pub struct SegmentedWal {
     /// acknowledged without an fsync of its own when the leader covered it.
     sync_lock: Mutex<()>,
     stats: WalStats,
+    /// Pre-resolved telemetry handles (fsync latency histogram, rotation and
+    /// slow-fsync events); set once by [`SegmentedWal::attach_telemetry`].
+    telemetry: OnceLock<WalTelemetry>,
 }
 
 impl SegmentedWal {
@@ -368,8 +422,17 @@ impl SegmentedWal {
                 damaged: false,
             }),
             stats,
+            telemetry: OnceLock::new(),
         };
         Ok((wal, recovery))
+    }
+
+    /// Registers this WAL with a shared telemetry hub under `shard_label`:
+    /// every group-commit fsync lands in a latency histogram, slow fsyncs
+    /// and segment rotations are logged as events. Idempotent — a second
+    /// attach keeps the first registration.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>, shard_label: &str) {
+        let _ = self.telemetry.set(WalTelemetry::register(hub, shard_label));
     }
 
     /// Appends a batch whose first entry has sequence number `start_seq` to
@@ -479,14 +542,19 @@ impl SegmentedWal {
             let mut inner = self.inner.lock();
             Self::check_damaged(&inner)?;
             let target = inner.appended_epoch;
-            return Self::sync_locked(&mut inner, &self.stats, target);
+            return self.sync_locked(&mut inner, target);
         };
         // `target` and `handle` were captured together under `inner`, so
         // every record with epoch <= target is either in this file or in an
         // earlier segment already synced by its sealing rotation. Appends
         // racing with this fsync land in the same file (harmlessly synced
         // early) or in a newer segment (epoch > target, not claimed).
+        let telemetry = self.telemetry.get();
+        let fsync_start = telemetry.map(|_| Instant::now());
         let result = handle.sync();
+        if let (Some(telemetry), Some(start)) = (telemetry, fsync_start) {
+            telemetry.record_fsync(start.elapsed());
+        }
         let mut inner = self.inner.lock();
         match result {
             Ok(()) => {
@@ -505,7 +573,9 @@ impl SegmentedWal {
         }
     }
 
-    fn sync_locked(inner: &mut WalInner, stats: &WalStats, target: u64) -> Result<()> {
+    fn sync_locked(&self, inner: &mut WalInner, target: u64) -> Result<()> {
+        let telemetry = self.telemetry.get();
+        let fsync_start = telemetry.map(|_| Instant::now());
         if let Err(e) = inner.active.writer.sync() {
             // An fsync failure leaves the on-disk state of every record since
             // the last successful sync unknown; fail-stop like a failed
@@ -517,7 +587,10 @@ impl SegmentedWal {
         }
         inner.synced_epoch = inner.synced_epoch.max(target);
         inner.last_sync = Instant::now();
-        stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        if let (Some(telemetry), Some(start)) = (telemetry, fsync_start) {
+            telemetry.record_fsync(start.elapsed());
+        }
         Ok(())
     }
 
@@ -526,10 +599,12 @@ impl SegmentedWal {
     /// sequence numbers `>= next_min_seq`. Returns the sealed segment's id,
     /// which the engine pairs with the frozen memtable for later release.
     pub fn rotate(&self, next_min_seq: SeqNo) -> Result<u64> {
+        let telemetry = self.telemetry.get();
+        let rotate_start = telemetry.map(|_| Instant::now());
         let mut inner = self.inner.lock();
         Self::check_damaged(&inner)?;
         let target = inner.appended_epoch;
-        Self::sync_locked(&mut inner, &self.stats, target)?;
+        self.sync_locked(&mut inner, target)?;
         let id = inner.next_id;
         inner.next_id += 1;
         let new_active = ActiveSegment::create(
@@ -541,11 +616,15 @@ impl SegmentedWal {
         )?;
         let old = std::mem::replace(&mut inner.active, new_active);
         let sealed_id = old.meta.id;
+        let sealed_bytes = old.writer.size();
         inner.sealed.push(SealedSegment {
             meta: old.meta,
-            bytes: old.writer.size(),
+            bytes: sealed_bytes,
         });
         self.stats.rotations.fetch_add(1, Ordering::Relaxed);
+        if let (Some(telemetry), Some(start)) = (telemetry, rotate_start) {
+            telemetry.rotation_event(start.elapsed(), sealed_bytes);
+        }
         Ok(sealed_id)
     }
 
@@ -586,7 +665,7 @@ impl SegmentedWal {
             let mut inner = self.inner.lock();
             let target = inner.appended_epoch;
             if target > 0 {
-                Self::sync_locked(&mut inner, &self.stats, target)?;
+                self.sync_locked(&mut inner, target)?;
             }
             std::mem::take(&mut inner.replayed_files)
         };

@@ -26,15 +26,19 @@
 //! topology.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use lsm_storage::cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
 use lsm_storage::maintenance::{register_shard_engine, JobKind, JobScheduler};
 use lsm_storage::manifest::{read_manifest, write_manifest, VersionSnapshot};
+use lsm_storage::storage::IoStatsSnapshot;
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch, MAX_SEQNO};
+use lsm_storage::wal_segment::WalStatsSnapshot;
 use lsm_storage::{EngineMaintenance, Error, Result};
+use telemetry::{Event, EventKind, Gauge, Histogram, Telemetry};
 
 use crate::engine::ShardEngine;
 use crate::manifest::{
@@ -229,6 +233,16 @@ impl<E> Topology<E> {
     }
 }
 
+/// Pre-resolved handles into a shared telemetry hub: the facade-level
+/// batch-commit histogram plus topology gauges refreshed on export.
+struct ShardedTelemetry {
+    hub: Arc<Telemetry>,
+    batch_commit_ns: Histogram,
+    shards_gauge: Gauge,
+    cache_bytes_gauge: Gauge,
+    bg_pending_gauge: Gauge,
+}
+
 /// Counters of the sharding layer itself (per-shard engine counters stay
 /// available through [`ShardedDb::shards`]).
 #[derive(Debug, Default)]
@@ -265,6 +279,40 @@ pub struct ShardedStatsSnapshot {
     pub bg_jobs_completed: u64,
     /// Background jobs queued or running across all shards.
     pub bg_jobs_pending: u64,
+    /// WAL durability counters summed over every shard.
+    pub wal: WalStatsSnapshot,
+    /// Storage I/O counters summed over every shard.
+    pub io: IoStatsSnapshot,
+}
+
+impl ShardedStatsSnapshot {
+    /// Returns the counters accumulated since `earlier`. All subtractions
+    /// saturate at zero, so counter resets (or a topology change between the
+    /// snapshots) yield zeros instead of wrapping. Gauges — shard count,
+    /// epoch, cache residency, pending jobs — keep this snapshot's values.
+    pub fn delta_since(&self, earlier: &ShardedStatsSnapshot) -> ShardedStatsSnapshot {
+        ShardedStatsSnapshot {
+            num_shards: self.num_shards,
+            epoch: self.epoch,
+            batches: self.batches.saturating_sub(earlier.batches),
+            cross_shard_batches: self
+                .cross_shard_batches
+                .saturating_sub(earlier.cross_shard_batches),
+            fanout_scans: self.fanout_scans.saturating_sub(earlier.fanout_scans),
+            splits: self.splits.saturating_sub(earlier.splits),
+            auto_split_failures: self
+                .auto_split_failures
+                .saturating_sub(earlier.auto_split_failures),
+            cache: self.cache,
+            per_shard_cache_bytes: self.per_shard_cache_bytes.clone(),
+            bg_jobs_completed: self
+                .bg_jobs_completed
+                .saturating_sub(earlier.bg_jobs_completed),
+            bg_jobs_pending: self.bg_jobs_pending,
+            wal: self.wal.delta_since(&earlier.wal),
+            io: self.io.delta_since(&earlier.io),
+        }
+    }
 }
 
 /// A range-sharded database: N engine shards behind one router, with live
@@ -296,6 +344,9 @@ pub struct ShardedDb<E: ShardEngine> {
     split_lock: Mutex<()>,
     split_policy: Option<SplitPolicy>,
     stats: ShardedStats,
+    /// Shared telemetry hub, set once by [`ShardedDb::attach_telemetry`].
+    /// While absent, instrumentation costs one branch per operation.
+    telemetry: OnceLock<ShardedTelemetry>,
 }
 
 impl<E: ShardEngine> std::fmt::Debug for ShardedDb<E> {
@@ -421,7 +472,80 @@ impl<E: ShardEngine> ShardedDb<E> {
             split_lock: Mutex::new(()),
             split_policy: options.split_policy,
             stats: ShardedStats::default(),
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Registers the whole stack with a shared telemetry hub: a facade-level
+    /// batch-commit histogram and topology gauges, plus every current shard
+    /// (labelled by its storage slot). Shards created by later splits attach
+    /// automatically; each split is also recorded in the hub's event log.
+    /// Idempotent — a second attach keeps the first registration.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>) {
+        let engine = E::ENGINE_NAME;
+        let _ = self.telemetry.set(ShardedTelemetry {
+            hub: Arc::clone(hub),
+            batch_commit_ns: hub.registry().histogram(
+                "laser_sharded_batch_commit_latency_ns",
+                &[("engine", engine)],
+            ),
+            shards_gauge: hub.registry().gauge("laser_shards", &[("engine", engine)]),
+            cache_bytes_gauge: hub
+                .registry()
+                .gauge("laser_cache_resident_bytes", &[("engine", engine)]),
+            bg_pending_gauge: hub
+                .registry()
+                .gauge("laser_bg_jobs_pending", &[("engine", engine)]),
+        });
+        let hub = &self.telemetry.get().expect("just set").hub;
+        for shard in &self.current().shards {
+            shard
+                .engine
+                .shard_attach_telemetry(hub, &shard.slot.to_string());
+        }
+        self.refresh_gauges();
+    }
+
+    /// Refreshes point-in-time gauges from the live topology so exports
+    /// never show stale values.
+    fn refresh_gauges(&self) {
+        let Some(telemetry) = self.telemetry.get() else {
+            return;
+        };
+        let stats = self.stats();
+        telemetry.shards_gauge.set(stats.num_shards as u64);
+        telemetry
+            .cache_bytes_gauge
+            .set(stats.per_shard_cache_bytes.iter().sum());
+        telemetry.bg_pending_gauge.set(stats.bg_jobs_pending);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.get().map(|t| &t.hub)
+    }
+
+    /// Prometheus-style text exposition of every registered metric, with
+    /// topology gauges refreshed first. `None` until telemetry is attached.
+    pub fn prometheus_text(&self) -> Option<String> {
+        self.refresh_gauges();
+        self.telemetry.get().map(|t| t.hub.prometheus_text())
+    }
+
+    /// JSON snapshot of all metrics plus the recent maintenance events.
+    /// `None` until telemetry is attached.
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.refresh_gauges();
+        self.telemetry.get().map(|t| t.hub.json_snapshot())
+    }
+
+    /// The most recent maintenance events (oldest first), across every
+    /// shard. Empty until telemetry is attached.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.telemetry
+            .get()
+            .map(|t| t.hub.recent_events())
+            .unwrap_or_default()
     }
 
     /// Pins the current topology (readers run lock-free against it).
@@ -470,6 +594,8 @@ impl<E: ShardEngine> ShardedDb<E> {
             return Ok(());
         }
         let batches = self.stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        let telemetry = self.telemetry.get();
+        let commit_start = telemetry.map(|_| Instant::now());
         {
             // Hold the topology shared for the whole batch: a split (which
             // takes it exclusively) can never retire a shard under an
@@ -521,6 +647,11 @@ impl<E: ShardEngine> ShardedDb<E> {
                 let results = self.pool.run_all(tasks);
                 results.into_iter().collect::<Result<Vec<()>>>()?;
             }
+        }
+        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
+            telemetry
+                .batch_commit_ns
+                .record(start.elapsed().as_nanos() as u64);
         }
         self.maybe_auto_split(batches);
         Ok(())
@@ -711,6 +842,8 @@ impl<E: ShardEngine> ShardedDb<E> {
         failpoint: Option<SplitFailpoint>,
         inline_trim: bool,
     ) -> Result<()> {
+        let telemetry = self.telemetry.get();
+        let split_start = telemetry.map(|_| Instant::now());
         // Exclusive topology access: waits out in-flight batches, blocks new
         // ones. Scans that already pinned the old topology keep running.
         let mut topology_slot = self.topology.write();
@@ -807,6 +940,9 @@ impl<E: ShardEngine> ShardedDb<E> {
             let storage = self.provider.shard(slot as usize)?;
             let engine = Arc::new(E::open_shard(storage, &self.engine_options, scoped)?);
             engine.shard_set_key_bound(lo, hi);
+            if let Some(telemetry) = telemetry {
+                engine.shard_attach_telemetry(&telemetry.hub, &slot.to_string());
+            }
             if let Some(scheduler) = &self.scheduler {
                 register_shard_engine(scheduler, &engine)?;
             }
@@ -834,6 +970,20 @@ impl<E: ShardEngine> ShardedDb<E> {
         *topology_slot = new_topology;
         drop(topology_slot);
         self.stats.splits.fetch_add(1, Ordering::Relaxed);
+        if let (Some(telemetry), Some(start)) = (telemetry, split_start) {
+            // The redistributed bytes/entries are the parent's on-disk SSTs,
+            // adopted (by hard link) into the two children.
+            let split_bytes: u64 = parent_version.files.iter().map(|f| f.file_size).sum();
+            let split_entries: u64 = parent_version.files.iter().map(|f| f.num_entries).sum();
+            telemetry.hub.record_event(
+                EventKind::Split,
+                &parent.slot.to_string(),
+                start.elapsed(),
+                split_bytes,
+                split_bytes,
+                split_entries,
+            );
+        }
 
         // Cleanup (crash-tolerant: replay rolls all of this forward). The
         // parent engine stays alive for any scan still pinning the old
@@ -988,6 +1138,12 @@ impl<E: ShardEngine> ShardedDb<E> {
                 (state.completed_jobs(), state.pending_jobs() as u64)
             })
             .unwrap_or((0, 0));
+        let mut wal = WalStatsSnapshot::default();
+        let mut io = IoStatsSnapshot::default();
+        for shard in &topology.shards {
+            wal = wal.merged(&shard.engine.shard_wal_stats());
+            io = io.merged(&shard.engine.shard_io_stats());
+        }
         ShardedStatsSnapshot {
             num_shards: topology.shards.len(),
             epoch: topology.epoch,
@@ -1010,6 +1166,8 @@ impl<E: ShardEngine> ShardedDb<E> {
                 .unwrap_or_default(),
             bg_jobs_completed: bg_completed,
             bg_jobs_pending: bg_pending,
+            wal,
+            io,
         }
     }
 

@@ -1,13 +1,17 @@
 //! The engine abstraction sharding is generic over, and its implementations
 //! for the two engines of this workspace.
 
+use std::sync::Arc;
+
 use laser_core::{LaserDb, LaserOptions, Projection, RowFragment};
 use lsm_storage::cache::ScopedCache;
 use lsm_storage::maintenance::EngineMaintenance;
 use lsm_storage::manifest::FileMeta;
-use lsm_storage::storage::StorageRef;
+use lsm_storage::storage::{IoStatsSnapshot, StorageRef};
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch};
+use lsm_storage::wal_segment::WalStatsSnapshot;
 use lsm_storage::{LsmDb, LsmOptions, Result};
+use telemetry::Telemetry;
 
 /// An engine that can serve as one shard of a [`ShardedDb`](crate::ShardedDb).
 ///
@@ -94,6 +98,21 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
     /// keep this default no-op (the out-of-range leftovers are invisible,
     /// just not reclaimed).
     fn shard_set_key_bound(&self, _lo: UserKey, _hi: UserKey) {}
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Registers the shard's latency histograms, byte counters and
+    /// maintenance events with a shared telemetry hub under `shard_label`.
+    /// Engines without instrumentation may keep the default no-op.
+    fn shard_attach_telemetry(&self, _hub: &Arc<Telemetry>, _shard_label: &str) {}
+
+    /// Durability counters of the shard's write-ahead log.
+    fn shard_wal_stats(&self) -> WalStatsSnapshot;
+
+    /// I/O counters of the shard's private storage namespace.
+    fn shard_io_stats(&self) -> IoStatsSnapshot;
 }
 
 impl ShardEngine for LsmDb {
@@ -160,6 +179,18 @@ impl ShardEngine for LsmDb {
 
     fn shard_set_key_bound(&self, lo: UserKey, hi: UserKey) {
         self.set_key_bound(lo, hi)
+    }
+
+    fn shard_attach_telemetry(&self, hub: &Arc<Telemetry>, shard_label: &str) {
+        self.attach_telemetry(hub, shard_label)
+    }
+
+    fn shard_wal_stats(&self) -> WalStatsSnapshot {
+        self.wal_stats()
+    }
+
+    fn shard_io_stats(&self) -> IoStatsSnapshot {
+        self.storage().io_stats().snapshot()
     }
 }
 
@@ -228,4 +259,16 @@ impl ShardEngine for LaserDb {
     // LaserDb keeps the default no-op `shard_set_key_bound`: its CG
     // compactions do not yet drop out-of-range entries, so a split shard
     // carries (invisible) out-of-range leftovers until they age out.
+
+    fn shard_attach_telemetry(&self, hub: &Arc<Telemetry>, shard_label: &str) {
+        self.attach_telemetry(hub, shard_label)
+    }
+
+    fn shard_wal_stats(&self) -> WalStatsSnapshot {
+        self.wal_stats()
+    }
+
+    fn shard_io_stats(&self) -> IoStatsSnapshot {
+        self.storage().io_stats().snapshot()
+    }
 }

@@ -1,0 +1,228 @@
+//! The maintenance event log: a bounded ring buffer of everything the
+//! storage stack did in the background, with durations and byte counts.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// What kind of maintenance activity an [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A frozen memtable was flushed to a Level-0 SST.
+    Flush,
+    /// A compaction merged SSTs into the next level (or rewrote a column
+    /// group).
+    Compaction,
+    /// A trim pass rewrote an SST to drop out-of-bound entries left behind
+    /// by a shard split.
+    Trim,
+    /// A shard split: one shard became two, with a crash-safe manifest swap.
+    Split,
+    /// A write stalled on backpressure until maintenance caught up.
+    Stall,
+    /// The WAL sealed its active segment and started a new one.
+    WalRotation,
+    /// A WAL group-commit fsync that crossed the slow-op threshold (fast
+    /// fsyncs are only recorded in the latency histogram, not the log).
+    WalFsync,
+}
+
+impl EventKind {
+    /// Stable lower-case name used in exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Flush => "flush",
+            EventKind::Compaction => "compaction",
+            EventKind::Trim => "trim",
+            EventKind::Split => "split",
+            EventKind::Stall => "stall",
+            EventKind::WalRotation => "wal_rotation",
+            EventKind::WalFsync => "wal_fsync",
+        }
+    }
+}
+
+/// One entry of the maintenance event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Which component it happened to (shard label, e.g. `"3"`, or `"db"`
+    /// for an unsharded engine).
+    pub label: String,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// How long the operation took, in microseconds.
+    pub duration_us: u64,
+    /// Bytes read by the operation (compaction / trim inputs).
+    pub bytes_read: u64,
+    /// Bytes written by the operation (flush / compaction outputs).
+    pub bytes_written: u64,
+    /// Entries written (or trimmed, for [`EventKind::Trim`]).
+    pub entries: u64,
+    /// True if the duration crossed the configured slow-op threshold.
+    pub slow: bool,
+}
+
+/// Per-kind duration thresholds above which an event is flagged `slow` and
+/// counted in `laser_slow_ops_total`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowOpThresholds {
+    /// Threshold for memtable flushes.
+    pub flush: Duration,
+    /// Threshold for compactions.
+    pub compaction: Duration,
+    /// Threshold for post-split trim passes.
+    pub trim: Duration,
+    /// Threshold for shard splits.
+    pub split: Duration,
+    /// Threshold for backpressure stalls.
+    pub stall: Duration,
+    /// Threshold for WAL segment rotations.
+    pub wal_rotation: Duration,
+    /// Threshold for WAL group-commit fsyncs.
+    pub wal_fsync: Duration,
+}
+
+impl Default for SlowOpThresholds {
+    fn default() -> Self {
+        SlowOpThresholds {
+            flush: Duration::from_millis(250),
+            compaction: Duration::from_millis(500),
+            trim: Duration::from_millis(500),
+            split: Duration::from_secs(1),
+            stall: Duration::from_millis(100),
+            wal_rotation: Duration::from_millis(100),
+            wal_fsync: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SlowOpThresholds {
+    /// The threshold applying to `kind`.
+    pub fn threshold_for(&self, kind: EventKind) -> Duration {
+        match kind {
+            EventKind::Flush => self.flush,
+            EventKind::Compaction => self.compaction,
+            EventKind::Trim => self.trim,
+            EventKind::Split => self.split,
+            EventKind::Stall => self.stall,
+            EventKind::WalRotation => self.wal_rotation,
+            EventKind::WalFsync => self.wal_fsync,
+        }
+    }
+}
+
+/// A bounded ring buffer of [`Event`]s: pushing past capacity drops the
+/// oldest entry, so the log always holds the newest `capacity` events.
+#[derive(Debug)]
+pub struct EventLog {
+    inner: Mutex<VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl EventLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A log keeping the newest `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&self, event: Event) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(EventLog::DEFAULT_CAPACITY)
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before the epoch).
+pub(crate) fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u64) -> Event {
+        Event {
+            kind: EventKind::Flush,
+            label: "db".to_string(),
+            at_unix_ms: n,
+            duration_us: n,
+            bytes_read: 0,
+            bytes_written: 0,
+            entries: 0,
+            slow: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_k() {
+        let log = EventLog::with_capacity(4);
+        for n in 0..10 {
+            log.push(event(n));
+        }
+        let kept: Vec<u64> = log.recent().iter().map(|e| e.at_unix_ms).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn thresholds_route_by_kind() {
+        let thresholds = SlowOpThresholds::default();
+        assert_eq!(
+            thresholds.threshold_for(EventKind::Compaction),
+            Duration::from_millis(500)
+        );
+        assert_eq!(
+            thresholds.threshold_for(EventKind::WalFsync),
+            Duration::from_millis(50)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! # telemetry
+//!
+//! Unified observability for the LASER stack: one [`Telemetry`] handle
+//! bundles
+//!
+//! * a lock-free [`MetricsRegistry`] of labelled counters, gauges and
+//!   log-bucketed latency [`Histogram`]s (p50/p95/p99 extraction),
+//! * a bounded ring-buffer [`EventLog`] recording every
+//!   flush/compaction/trim/split/stall/WAL-rotation with timestamps,
+//!   durations and byte counts, and
+//! * a [`SlowOpThresholds`] policy that flags events crossing a per-kind
+//!   duration threshold (`slow: true` plus the `laser_slow_ops_total`
+//!   counter).
+//!
+//! Engines register metrics once with per-shard labels and then update them
+//! through cheap `Arc`-cloned handles; the registry `Mutex` is only taken on
+//! registration and export. Instrumented code is expected to gate on an
+//! `Option<&...>` handle so a disabled registry costs a single branch on the
+//! hot path.
+//!
+//! Two exports serve every consumer the same view: a Prometheus-style text
+//! exposition ([`Telemetry::prometheus_text`]) and a self-contained JSON
+//! snapshot ([`Telemetry::json_snapshot`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod export;
+mod metrics;
+
+pub use events::{Event, EventKind, EventLog, SlowOpThresholds};
+pub use export::{parse_prometheus_text, ExpositionSample};
+pub use metrics::{
+    bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricValue, MetricsRegistry, RegisteredMetric, NUM_BUCKETS,
+};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The shared telemetry hub: metrics registry + event log + slow-op policy.
+///
+/// Created once per process (or per test), wrapped in an [`Arc`], and
+/// attached to engines, WALs and the sharding layer, which register their
+/// metrics into it with per-shard labels.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    events: EventLog,
+    thresholds: SlowOpThresholds,
+    slow_ops: Counter,
+}
+
+impl Telemetry {
+    /// A hub with default thresholds and event capacity.
+    pub fn new() -> Arc<Telemetry> {
+        Telemetry::with_config(SlowOpThresholds::default(), EventLog::DEFAULT_CAPACITY)
+    }
+
+    /// A hub with explicit slow-op thresholds and event-ring capacity.
+    pub fn with_config(thresholds: SlowOpThresholds, event_capacity: usize) -> Arc<Telemetry> {
+        let registry = MetricsRegistry::new();
+        let slow_ops = registry.counter("laser_slow_ops_total", &[]);
+        Arc::new(Telemetry {
+            registry,
+            events: EventLog::with_capacity(event_capacity),
+            thresholds,
+            slow_ops,
+        })
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The slow-op thresholds in force.
+    pub fn thresholds(&self) -> &SlowOpThresholds {
+        &self.thresholds
+    }
+
+    /// How many events have crossed their slow-op threshold.
+    pub fn slow_ops(&self) -> u64 {
+        self.slow_ops.get()
+    }
+
+    /// The retained maintenance events, oldest first.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.events.recent()
+    }
+
+    /// Records a maintenance event: stamps the wall clock, applies the
+    /// slow-op policy (flag + counter) and appends to the ring buffer.
+    /// Returns whether the event was flagged slow.
+    pub fn record_event(
+        &self,
+        kind: EventKind,
+        label: &str,
+        duration: Duration,
+        bytes_read: u64,
+        bytes_written: u64,
+        entries: u64,
+    ) -> bool {
+        let slow = duration >= self.thresholds.threshold_for(kind);
+        if slow {
+            self.slow_ops.inc();
+        }
+        self.events.push(Event {
+            kind,
+            label: label.to_string(),
+            at_unix_ms: events::unix_millis(),
+            duration_us: duration.as_micros() as u64,
+            bytes_read,
+            bytes_written,
+            entries,
+            slow,
+        });
+        slow
+    }
+
+    /// Prometheus-style text exposition of every registered metric.
+    pub fn prometheus_text(&self) -> String {
+        export::prometheus_text(&self.registry)
+    }
+
+    /// Self-contained JSON snapshot: metrics, event log and slow-op count.
+    pub fn json_snapshot(&self) -> String {
+        export::json_snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_policy_flags_and_counts() {
+        let telemetry = Telemetry::new();
+        let fast = telemetry.record_event(
+            EventKind::Compaction,
+            "0",
+            Duration::from_millis(10),
+            0,
+            0,
+            0,
+        );
+        let slow = telemetry.record_event(
+            EventKind::Compaction,
+            "0",
+            Duration::from_millis(900),
+            0,
+            0,
+            0,
+        );
+        assert!(!fast && slow);
+        assert_eq!(telemetry.slow_ops(), 1);
+        let events = telemetry.recent_events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].slow && events[1].slow);
+        assert!(events[1].duration_us >= 900_000);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let telemetry = Telemetry::new();
+        let counter = telemetry.registry().counter("c", &[]);
+        let histogram = telemetry.registry().histogram("h", &[]);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = counter.clone();
+                let histogram = histogram.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.inc();
+                        histogram.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), threads * per_thread);
+        let snap = histogram.snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        assert_eq!(snap.sum, threads * per_thread * (per_thread - 1) / 2);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+}

@@ -1,0 +1,469 @@
+//! Lock-free metric primitives and the label-aware registry.
+//!
+//! The hot path never takes a lock: [`Counter`], [`Gauge`] and [`Histogram`]
+//! are `Arc`-wrapped atomics that instrumented code clones once at
+//! registration time and then updates with relaxed atomic operations. The
+//! registry's `Mutex` guards only the cold paths — registration and export
+//! enumeration.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap and every clone updates the same underlying cell, so a
+/// handle obtained from [`MetricsRegistry::counter`] can be stashed in hot
+/// structures and bumped without ever touching the registry again.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (queue depths, live
+/// bytes, shard counts). Refreshed wholesale via [`Gauge::set`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Replaces the current value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of logarithmic buckets in a [`Histogram`].
+pub const NUM_BUCKETS: usize = 64;
+
+/// Bucket index of `value`: bucket 0 holds exactly 0, bucket `i` (for
+/// `i >= 1`) holds `[2^(i-1), 2^i - 1]`, and the last bucket absorbs
+/// everything from `2^62` up.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `index` (the last bucket is unbounded and
+/// reports `u64::MAX`).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `index`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed latency histogram: 64 power-of-two buckets, a total count
+/// and a running sum, all relaxed atomics. Recording is lock-free and
+/// wait-free; quantiles are extracted from a [`HistogramSnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation (typically nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: `quantile` over a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], from which quantiles are read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_upper_bound`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`, linearly interpolated
+    /// inside the containing bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let lo = bucket_lower_bound(index);
+                let hi = bucket_upper_bound(index);
+                // Interpolate assuming observations spread evenly across the
+                // bucket; the last (unbounded) bucket reports its lower bound
+                // rather than inventing values up to u64::MAX.
+                if index >= NUM_BUCKETS - 1 {
+                    return lo;
+                }
+                let into = (rank - seen) as f64 / in_bucket as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += in_bucket;
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another snapshot into this one (used to aggregate one metric
+    /// across label sets, e.g. per-shard histograms into a whole-db view).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// The value half of a registered metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(Counter),
+    /// A set-in-place gauge.
+    Gauge(Gauge),
+    /// A latency distribution.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: name, sorted label pairs, and the live handle.
+#[derive(Clone, Debug)]
+pub struct RegisteredMetric {
+    /// Metric name (Prometheus-style, e.g. `laser_get_latency_ns`).
+    pub name: String,
+    /// Label pairs, sorted by label name at registration.
+    pub labels: Vec<(String, String)>,
+    /// The live handle; reading it observes the current value.
+    pub value: MetricValue,
+}
+
+/// A registry of named, labelled metrics.
+///
+/// Registration is idempotent: asking for the same name + label set again
+/// returns a clone of the existing handle, so an engine reopened onto the
+/// same shard label keeps accumulating into the same series rather than
+/// shadowing it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<RegisteredMetric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or re-fetches) a counter.
+    ///
+    /// # Panics
+    /// If `name` + `labels` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.find_or_insert(name, labels, || MetricValue::Counter(Counter::default())) {
+            MetricValue::Counter(counter) => counter,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge.
+    ///
+    /// # Panics
+    /// If `name` + `labels` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.find_or_insert(name, labels, || MetricValue::Gauge(Gauge::default())) {
+            MetricValue::Gauge(gauge) => gauge,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram.
+    ///
+    /// # Panics
+    /// If `name` + `labels` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.find_or_insert(
+            name,
+            labels,
+            || MetricValue::Histogram(Histogram::default()),
+        ) {
+            MetricValue::Histogram(histogram) => histogram,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn find_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = entries
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+        {
+            return existing.value.clone();
+        }
+        let value = make();
+        entries.push(RegisteredMetric {
+            name: name.to_string(),
+            labels,
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// Clones the full metric list (handles stay live — reading a clone
+    /// observes current values).
+    pub fn metrics(&self) -> Vec<RegisteredMetric> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Merges every histogram registered under `name` (across all label
+    /// sets) into one snapshot; `None` if the name has no histograms.
+    pub fn aggregate_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for metric in self
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            if metric.name != name {
+                continue;
+            }
+            if let MetricValue::Histogram(histogram) = &metric.value {
+                let snapshot = histogram.snapshot();
+                match merged.as_mut() {
+                    Some(acc) => acc.merge(&snapshot),
+                    None => merged = Some(snapshot),
+                }
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_stable() {
+        // The bucketing scheme is part of the exposition contract: bucket 0
+        // holds exactly 0, bucket i holds [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for index in 1..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_lower_bound(index), (1u64 << index) / 2);
+            assert_eq!(bucket_upper_bound(index), (1u64 << index) - 1);
+            assert_eq!(bucket_index(bucket_lower_bound(index)), index);
+            assert_eq!(bucket_index(bucket_upper_bound(index)), index);
+        }
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_order_and_bound() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        let (p50, p95, p99) = (snap.p50(), snap.p95(), snap.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Log buckets are coarse, but the estimates must stay within the
+        // observed range and the right power-of-two neighbourhood.
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+        assert!((512..=1023).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.quantile(0.0), snap.quantile(1e-9));
+        assert!(snap.quantile(1.0) <= 1023);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_same_handle_for_same_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("ops", &[("shard", "0")]);
+        let b = registry.counter("ops", &[("shard", "0")]);
+        let other = registry.counter("ops", &[("shard", "1")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+        assert_eq!(registry.metrics().len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("ops", &[("engine", "lsm"), ("shard", "0")]);
+        let b = registry.counter("ops", &[("shard", "0"), ("engine", "lsm")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("m", &[]);
+        registry.gauge("m", &[]);
+    }
+
+    #[test]
+    fn aggregate_merges_across_labels() {
+        let registry = MetricsRegistry::new();
+        registry.histogram("lat", &[("shard", "0")]).record(10);
+        registry.histogram("lat", &[("shard", "1")]).record(10_000);
+        let merged = registry.aggregate_histogram("lat").unwrap();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 10_010);
+        assert!(registry.aggregate_histogram("missing").is_none());
+    }
+}

@@ -16,6 +16,9 @@
 //!   parallel cross-shard scans, a process-wide shared block cache, one
 //!   maintenance pool serving every shard, and online re-sharding (live
 //!   shard splits with a crash-safe two-phase manifest swap).
+//! * [`telemetry`] — the unified observability layer: a lock-free metrics
+//!   registry (counters, gauges, log-bucketed latency histograms), a bounded
+//!   maintenance event log, and Prometheus-text / JSON exports.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `crates/bench` for the harness that regenerates every table and figure of
@@ -27,6 +30,7 @@ pub use laser_cost_model;
 pub use laser_sharding;
 pub use laser_workload;
 pub use lsm_storage;
+pub use telemetry;
 
 pub use laser_advisor::{select_design, AdvisorOptions, WorkloadTrace};
 pub use laser_core::{
@@ -39,6 +43,7 @@ pub use laser_sharding::{
     SplitFailpoint, SplitPolicy,
 };
 pub use laser_workload::{HtapWorkloadSpec, HwQuery, Operation, WorkloadShift};
+pub use telemetry::{Event, EventKind, MetricsRegistry, Telemetry};
 
 #[cfg(test)]
 mod tests {

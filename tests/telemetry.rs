@@ -1,0 +1,260 @@
+//! Integration tests for the unified telemetry layer: exact concurrent
+//! accounting, stable histogram bucketing, event-ring wraparound, exposition
+//! round-tripping, and — end to end through `ShardedDb<LsmDb>` — that every
+//! flush/compaction/trim/split/stall maintenance operation lands in the
+//! event log with a duration, plus the slow-op flagging policy.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use laser::laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use laser::lsm_storage::types::WriteBatch;
+use laser::lsm_storage::{LsmDb, LsmOptions};
+use laser::telemetry::{
+    bucket_lower_bound, bucket_upper_bound, parse_prometheus_text, EventKind, EventLog,
+    SlowOpThresholds, NUM_BUCKETS,
+};
+use laser::{Event, Telemetry};
+
+#[test]
+fn concurrent_updates_from_many_threads_sum_exactly() {
+    let hub = Telemetry::new();
+    let counter = hub.registry().counter("ops", &[("shard", "0")]);
+    let gauge = hub.registry().gauge("depth", &[]);
+    let histogram = hub.registry().histogram("lat", &[]);
+    let threads = 8u64;
+    let per_thread = 25_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    counter.add(2);
+                    gauge.set(t);
+                    histogram.record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), 2 * threads * per_thread);
+    assert!(gauge.get() < threads);
+    let snap = histogram.snapshot();
+    assert_eq!(snap.count, threads * per_thread);
+    assert_eq!(snap.sum, threads * per_thread * (per_thread - 1) / 2);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_stable() {
+    // Bucket 0 holds exactly zero; bucket i holds [2^(i-1), 2^i - 1]; the
+    // last bucket is unbounded above. These boundaries are load-bearing for
+    // dashboards, so pin them.
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_upper_bound(0), 0);
+    for i in 1..NUM_BUCKETS - 1 {
+        assert_eq!(bucket_lower_bound(i), 1u64 << (i - 1));
+        assert_eq!(bucket_upper_bound(i), (1u64 << i) - 1);
+        assert_eq!(bucket_lower_bound(i), bucket_upper_bound(i - 1) + 1);
+    }
+    assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+
+    let hub = Telemetry::new();
+    let histogram = hub.registry().histogram("stable", &[]);
+    for value in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        histogram.record(value);
+    }
+    let snap = histogram.snapshot();
+    assert_eq!(snap.buckets[0], 1); // 0
+    assert_eq!(snap.buckets[1], 1); // 1
+    assert_eq!(snap.buckets[2], 2); // 2, 3
+    assert_eq!(snap.buckets[3], 2); // 4, 7
+    assert_eq!(snap.buckets[4], 1); // 8
+    assert_eq!(snap.buckets[10], 1); // 1023
+    assert_eq!(snap.buckets[11], 1); // 1024
+    assert_eq!(snap.buckets[NUM_BUCKETS - 1], 1); // u64::MAX
+}
+
+#[test]
+fn event_ring_wraparound_keeps_newest() {
+    let log = EventLog::with_capacity(16);
+    for i in 0..100u64 {
+        log.push(Event {
+            kind: EventKind::Flush,
+            label: "0".to_string(),
+            at_unix_ms: i,
+            duration_us: i,
+            bytes_read: 0,
+            bytes_written: i,
+            entries: 1,
+            slow: false,
+        });
+    }
+    let recent = log.recent();
+    assert_eq!(recent.len(), 16);
+    // Oldest-first: the retained window is exactly the newest 16 pushes.
+    let expected: Vec<u64> = (84..100).collect();
+    let got: Vec<u64> = recent.iter().map(|e| e.duration_us).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn prometheus_exposition_round_trips_every_metric() {
+    let hub = Telemetry::new();
+    hub.registry()
+        .counter("laser_test_total", &[("engine", "lsm"), ("shard", "3")])
+        .add(42);
+    hub.registry().gauge("laser_test_depth", &[]).set(7);
+    let histogram = hub
+        .registry()
+        .histogram("laser_test_ns", &[("shard", "a\"b")]);
+    for v in [5u64, 500, 50_000] {
+        histogram.record(v);
+    }
+    let text = hub.prometheus_text();
+    let samples = parse_prometheus_text(&text).expect("own exposition must parse");
+    assert!(samples.iter().all(|s| s.value.is_finite()));
+    for metric in hub.registry().metrics() {
+        let expect_count = format!("{}_count", metric.name);
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == metric.name || s.name == expect_count),
+            "metric {} missing from exposition:\n{text}",
+            metric.name
+        );
+    }
+    let counter = samples
+        .iter()
+        .find(|s| s.name == "laser_test_total")
+        .unwrap();
+    assert_eq!(counter.value, 42.0);
+    assert!(counter
+        .labels
+        .iter()
+        .any(|(k, v)| k == "engine" && v == "lsm"));
+    let hist_count = samples
+        .iter()
+        .find(|s| s.name == "laser_test_ns_count")
+        .unwrap();
+    assert_eq!(hist_count.value, 3.0);
+    assert!(hist_count
+        .labels
+        .iter()
+        .any(|(k, v)| k == "shard" && v == "a\"b"));
+}
+
+/// Engine options that force frequent flushes and make every L0 file exceed
+/// the compaction threshold, with the stall gate at one file: each memtable
+/// rotation deterministically stalls the next write until the scheduler has
+/// flushed and compacted L0 empty.
+fn stall_prone_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.memtable_size_bytes = 16 << 10;
+    options.level0_size_bytes = 4 << 10;
+    options.l0_slowdown_files = 1;
+    options.l0_stall_files = 1;
+    options.auto_compact = true;
+    options
+}
+
+#[test]
+fn every_maintenance_operation_lands_in_the_event_log() {
+    let options = ShardedOptions {
+        maintenance_workers: 1,
+        cache_bytes: 1 << 20,
+        ..ShardedOptions::with_boundaries(vec![4_000])
+    };
+    let db: ShardedDb<LsmDb> =
+        ShardedDb::open(MemShardStorage::new_ref(), stall_prone_options(), options).unwrap();
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub);
+
+    // Enough volume for several memtable rotations (≈ 25 flushes at 16 KiB),
+    // each of which stalls the writer behind the 1-file L0 gate.
+    let mut batch = WriteBatch::new();
+    for key in 0..3_000u64 {
+        batch.put(key, vec![(key % 251) as u8; 128]);
+        if batch.len() >= 32 {
+            db.write(&batch).unwrap();
+            batch = WriteBatch::new();
+        }
+    }
+    db.write(&batch).unwrap();
+    db.flush().unwrap();
+    db.compact_until_stable().unwrap();
+    // Live split of the written range: records a Split event and (via the
+    // scheduler) trim jobs over the adopted straddling SSTs.
+    db.split_shard(0, 1_500).unwrap();
+    db.wait_maintenance_idle();
+    db.flush().unwrap();
+
+    let events = db.recent_events();
+    let kinds: HashSet<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+    for kind in ["flush", "compaction", "trim", "split", "stall"] {
+        assert!(
+            kinds.contains(kind),
+            "no {kind} event was logged; kinds seen: {kinds:?}"
+        );
+    }
+    for event in &events {
+        assert!(event.at_unix_ms > 0, "event missing timestamp: {event:?}");
+    }
+    let split = events
+        .iter()
+        .find(|e| e.kind == EventKind::Split)
+        .expect("split event");
+    assert!(split.duration_us > 0, "split duration missing: {split:?}");
+    assert!(split.bytes_written > 0, "split byte count missing");
+    let stall = events.iter().find(|e| e.kind == EventKind::Stall).unwrap();
+    assert!(
+        stall.duration_us > 0,
+        "stall must carry the waited duration: {stall:?}"
+    );
+
+    // The per-shard latency histograms accumulated on the same hub.
+    let commits = hub
+        .registry()
+        .aggregate_histogram("laser_commit_latency_ns")
+        .expect("commit histogram");
+    assert!(commits.count > 0);
+    assert!(commits.p99() >= commits.p50());
+}
+
+#[test]
+fn slow_ops_are_flagged_and_counted_per_thresholds() {
+    // Zero thresholds: every event is slow.
+    let thresholds = SlowOpThresholds {
+        flush: Duration::ZERO,
+        compaction: Duration::ZERO,
+        trim: Duration::ZERO,
+        split: Duration::ZERO,
+        stall: Duration::ZERO,
+        wal_rotation: Duration::ZERO,
+        wal_fsync: Duration::ZERO,
+    };
+    let hub = Telemetry::with_config(thresholds, 64);
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    db.attach_telemetry(&hub, "0");
+    let mut batch = WriteBatch::new();
+    for key in 0..512u64 {
+        batch.put(key, vec![0u8; 64]);
+    }
+    db.write(&batch).unwrap();
+    db.flush().unwrap();
+    assert!(hub.slow_ops() > 0, "zero thresholds must flag every event");
+    assert!(db.stats().flushes > 0);
+    let events = hub.recent_events();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.slow));
+
+    // Default thresholds: the same tiny workload flags nothing.
+    let hub = Telemetry::new();
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    db.attach_telemetry(&hub, "0");
+    db.write(&batch).unwrap();
+    db.flush().unwrap();
+    assert_eq!(hub.slow_ops(), 0);
+    assert!(hub.recent_events().iter().all(|e| !e.slow));
+}
