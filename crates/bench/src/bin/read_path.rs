@@ -17,6 +17,11 @@ use laser_bench::report::{enforce_baseline, write_report, JsonValue};
 /// The metric the regression gate watches.
 const GATE_METRIC: &str = "gate_long_scan_rows_per_sec";
 
+/// Absolute ceiling on the instrumentation overheads (percent): generous
+/// against smoke-run timing noise, but a collapse — e.g. tracing every op
+/// instead of 1 in 64 — blows well past it.
+const MAX_OVERHEAD_PCT: f64 = 25.0;
+
 fn report_json(config: &ReadPathConfig, report: &ReadPathReport) -> JsonValue {
     JsonValue::obj([
         ("bench", JsonValue::Str("read_path".into())),
@@ -62,6 +67,14 @@ fn report_json(config: &ReadPathConfig, report: &ReadPathReport) -> JsonValue {
         (
             "telemetry_overhead_pct",
             JsonValue::Num(report.telemetry_overhead_pct),
+        ),
+        (
+            "traced_point_gets_per_sec",
+            JsonValue::Num(report.traced_point_gets_per_sec),
+        ),
+        (
+            "tracing_overhead_pct",
+            JsonValue::Num(report.tracing_overhead_pct),
         ),
         ("get_p50_ns", JsonValue::Num(report.get_p50_ns as f64)),
         ("get_p95_ns", JsonValue::Num(report.get_p95_ns as f64)),
@@ -164,7 +177,20 @@ fn main() {
         report.get_p95_ns,
         report.get_p99_ns,
     );
+    println!(
+        "tracing: {:.0} gets/s at 1/64 sampling ({:+.2}% overhead over attached)",
+        report.traced_point_gets_per_sec, report.tracing_overhead_pct,
+    );
     println!();
+    for (name, overhead) in [
+        ("telemetry_overhead_pct", report.telemetry_overhead_pct),
+        ("tracing_overhead_pct", report.tracing_overhead_pct),
+    ] {
+        if overhead > MAX_OVERHEAD_PCT {
+            eprintln!("gate: {name} {overhead:+.2}% exceeds the {MAX_OVERHEAD_PCT}% ceiling");
+            std::process::exit(1);
+        }
+    }
     if report.checksums_agree() {
         println!(
             "equivalence: OK — both stacks returned {} long-scan rows, checksum {:#018x}",

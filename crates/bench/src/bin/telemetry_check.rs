@@ -2,17 +2,21 @@
 //! attached (ingest, flush, compaction, a live shard split and its trim),
 //! dumps the Prometheus-style text exposition, and fails unless every metric
 //! registered in the registry appears in the exposition with only finite
-//! values. `--json PATH` additionally writes the JSON snapshot (uploaded as
-//! a nightly CI artifact).
+//! values. The tracing contract is enforced too: the run must leave sampled
+//! traces in the flight recorder, every child span must nest inside its
+//! parent's interval, and the workload heatmaps must be non-empty.
+//! `--json PATH` additionally writes the JSON snapshot and `--traces PATH`
+//! the flight-recorder dump (both uploaded as nightly CI artifacts).
 //!
-//! Usage: `cargo run --release --bin telemetry_check [--json PATH] [--quiet]`
+//! Usage: `cargo run --release --bin telemetry_check
+//!         [--json PATH] [--traces PATH] [--quiet]`
 
 use std::sync::Arc;
 
 use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
 use lsm_storage::types::WriteBatch;
 use lsm_storage::{LsmDb, LsmOptions, Result};
-use telemetry::{parse_prometheus_text, MetricValue, Telemetry};
+use telemetry::{parse_prometheus_text, MetricValue, Telemetry, Trace};
 
 /// Engine options small enough that the workload below flushes and compacts
 /// several times.
@@ -41,6 +45,9 @@ fn run_workload() -> Result<(Arc<ShardedDb<LsmDb>>, Arc<Telemetry>)> {
         options,
     )?);
     let hub = Telemetry::new();
+    // Sample aggressively (1 in 8) so the short CI workload reliably leaves
+    // traces of every kind in the flight recorder.
+    hub.tracer().set_sample_every(8);
     db.attach_telemetry(&hub);
 
     let mut batch = WriteBatch::new();
@@ -63,17 +70,61 @@ fn run_workload() -> Result<(Arc<ShardedDb<LsmDb>>, Arc<Telemetry>)> {
     // A live split (inline trim: no maintenance workers) exercises the
     // split/trim event paths and the post-split shard registration.
     db.split_shard(0, 2_048)?;
+    // Post-split traffic so the freshly registered child profilers (and
+    // their heatmaps) observe keys too.
+    for key in (0..6_000u64).step_by(13) {
+        db.put(key, vec![(key % 251) as u8; 96])?;
+    }
+    for key in (0..6_000u64).step_by(29) {
+        db.get(key, &())?;
+    }
     db.flush()?;
     Ok((db, hub))
 }
 
+/// Structural trace validation: every child span must lie inside its
+/// parent's interval (the flight recorder clamps stragglers, so a violation
+/// means broken span bookkeeping, not late threads).
+fn validate_traces(traces: &[Trace], failures: &mut Vec<String>) {
+    for trace in traces {
+        for span in &trace.spans {
+            if span.parent == 0 {
+                continue;
+            }
+            let Some(parent) = trace.spans.iter().find(|s| s.id == span.parent) else {
+                failures.push(format!(
+                    "trace {}: span {} ({}) references missing parent {}",
+                    trace.trace_id, span.id, span.name, span.parent
+                ));
+                continue;
+            };
+            if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+                failures.push(format!(
+                    "trace {}: span {} ({}) [{}, {}] ns escapes parent {} ({}) [{}, {}] ns",
+                    trace.trace_id,
+                    span.id,
+                    span.name,
+                    span.start_ns,
+                    span.end_ns,
+                    parent.id,
+                    parent.name,
+                    parent.start_ns,
+                    parent.end_ns,
+                ));
+            }
+        }
+    }
+}
+
 fn main() {
     let mut json_path: Option<String> = None;
+    let mut traces_path: Option<String> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next(),
+            "--traces" => traces_path = args.next(),
             "--quiet" => quiet = true,
             other => {
                 eprintln!("telemetry_check: unknown argument {other}");
@@ -129,18 +180,51 @@ fn main() {
         failures.push("event log is empty after flush/compaction/split workload".into());
     }
 
+    // Tracing contract: sampled traces must exist, and spans must nest.
+    let traces = hub.tracer().all_traces();
+    if hub.tracer().sampled_total() == 0 {
+        failures.push("no sampled traces after the workload (sampling broken?)".into());
+    }
+    if traces.is_empty() {
+        failures.push("flight recorder retained no traces".into());
+    }
+    validate_traces(&traces, &mut failures);
+
+    // Workload profiling contract: every live shard profiled its traffic.
+    let profiles = hub.workload_profiles();
+    if profiles.is_empty() {
+        failures.push("no workload profilers registered".into());
+    }
+    for profile in &profiles {
+        if profile.keys_seen() == 0 || profile.heatmap().iter().all(|&h| h == 0) {
+            failures.push(format!(
+                "shard {} workload heatmap is empty after the workload",
+                profile.shard()
+            ));
+        }
+    }
+
     if let Some(path) = &json_path {
         let json = db.telemetry_json().expect("telemetry attached");
         std::fs::write(path, json).expect("write telemetry snapshot");
         println!("telemetry_check: wrote {path}");
     }
+    if let Some(path) = &traces_path {
+        std::fs::write(path, hub.tracer().traces_json()).expect("write flight recorder dump");
+        println!("telemetry_check: wrote {path}");
+    }
 
     if failures.is_empty() {
         println!(
-            "telemetry_check: OK — {} samples cover {} registered metrics, {} events logged",
+            "telemetry_check: OK — {} samples cover {} registered metrics, {} events logged, \
+             {} traces retained ({} sampled, {} forced), {} shards profiled",
             samples.len(),
             hub.registry().metrics().len(),
             hub.recent_events().len(),
+            traces.len(),
+            hub.tracer().sampled_total(),
+            hub.tracer().forced_total(),
+            profiles.len(),
         );
     } else {
         for failure in &failures {

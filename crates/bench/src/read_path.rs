@@ -73,7 +73,9 @@ impl ReadPathConfig {
             value_bytes: 48,
             deep_rounds: 2,
             l0_files: 6,
-            point_gets: 1_200,
+            // Enough gets that the three-pass overhead comparison (detached /
+            // attached / attached+traced) is not dominated by timing noise.
+            point_gets: 4_000,
             short_scans: 400,
             short_scan_len: 32,
             long_scans: 10,
@@ -101,6 +103,13 @@ pub struct ReadPathReport {
     /// Relative throughput cost of telemetry on point gets, in percent
     /// (negative when the instrumented pass ran faster).
     pub telemetry_overhead_pct: f64,
+    /// Point lookups per second with telemetry attached and span tracing
+    /// sampling 1 in 64 ops (the default production rate).
+    pub traced_point_gets_per_sec: f64,
+    /// Relative throughput cost of 1-in-64 span tracing over the attached
+    /// pass with sampling disabled, in percent (negative when the traced
+    /// pass ran faster).
+    pub tracing_overhead_pct: f64,
     /// Median point-get latency (ns) from the attached histogram.
     pub get_p50_ns: u64,
     /// 95th-percentile point-get latency (ns).
@@ -312,11 +321,12 @@ pub fn run_read_path(config: &ReadPathConfig) -> Result<ReadPathReport> {
     let gets_secs = start.elapsed().as_secs_f64();
     assert!(hits > 0, "point-get phase found no keys");
 
-    // The same keys again with telemetry attached: measures the full
-    // instrumentation cost (timestamping + histogram update per get) and
-    // yields the latency percentiles for the report.
+    // The same keys again with telemetry attached but span-trace sampling
+    // off: measures the pure instrumentation cost (timestamping + histogram
+    // update per get) and yields the latency percentiles for the report.
     let hub = Telemetry::new();
     db.attach_telemetry(&hub, "db");
+    hub.tracer().set_sample_every(0);
     let mut rng = StdRng::seed_from_u64(0x9E77);
     let start = Instant::now();
     let mut instrumented_hits = 0u64;
@@ -327,12 +337,27 @@ pub fn run_read_path(config: &ReadPathConfig) -> Result<ReadPathReport> {
     }
     let instrumented_secs = start.elapsed().as_secs_f64();
     assert_eq!(hits, instrumented_hits, "instrumented pass diverged");
+
+    // And once more with span tracing at the default 1-in-64 production
+    // rate: the marginal cost of request tracing on top of metrics.
+    hub.tracer().set_sample_every(64);
+    let mut rng = StdRng::seed_from_u64(0x9E77);
+    let start = Instant::now();
+    let mut traced_hits = 0u64;
+    for _ in 0..config.point_gets {
+        if db.get(rng.gen_range(0..config.keys))?.is_some() {
+            traced_hits += 1;
+        }
+    }
+    let traced_secs = start.elapsed().as_secs_f64();
+    assert_eq!(hits, traced_hits, "traced pass diverged");
     let get_hist = hub
         .registry()
         .aggregate_histogram("laser_get_latency_ns")
         .expect("get histogram registered by attach_telemetry");
     let point_gets_per_sec = config.point_gets as f64 / gets_secs.max(1e-9);
     let instrumented_point_gets_per_sec = config.point_gets as f64 / instrumented_secs.max(1e-9);
+    let traced_point_gets_per_sec = config.point_gets as f64 / traced_secs.max(1e-9);
 
     Ok(ReadPathReport {
         files_per_level,
@@ -342,6 +367,10 @@ pub fn run_read_path(config: &ReadPathConfig) -> Result<ReadPathReport> {
         instrumented_point_gets_per_sec,
         telemetry_overhead_pct: (1.0
             - instrumented_point_gets_per_sec / point_gets_per_sec.max(1e-9))
+            * 100.0,
+        traced_point_gets_per_sec,
+        tracing_overhead_pct: (1.0
+            - traced_point_gets_per_sec / instrumented_point_gets_per_sec.max(1e-9))
             * 100.0,
         get_p50_ns: get_hist.p50(),
         get_p95_ns: get_hist.p95(),

@@ -21,6 +21,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use telemetry::trace::{self, TraceKind};
 use telemetry::Telemetry;
 
 use lsm_storage::cache::{BlockCache, ScopedCache};
@@ -429,8 +430,18 @@ impl LaserDb {
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
         let telemetry = self.telemetry.get();
         let commit_start = telemetry.map(|_| Instant::now());
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Commit));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
         EngineMaintenance::apply_backpressure(self);
         let ticket = {
+            let _apply_span = if traced {
+                trace::span("wal_append")
+            } else {
+                None
+            };
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
             let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
@@ -445,11 +456,23 @@ impl LaserDb {
         };
         // The write is acknowledged only once its WAL record is durable
         // (group commit: concurrent writers share one fsync).
-        self.wal.ensure_durable(&ticket)?;
-        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
-            telemetry
-                .commit_ns
-                .record(start.elapsed().as_nanos() as u64);
+        {
+            let _durable_span = if traced {
+                trace::span("wal_durable")
+            } else {
+                None
+            };
+            self.wal.ensure_durable(&ticket)?;
+        }
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, commit_start, op) {
+            let elapsed = start.elapsed();
+            telemetry.commit_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(
+                TraceKind::Commit,
+                op,
+                elapsed,
+                &[("entries", batch.len() as u64)],
+            );
         }
         self.after_write_maintenance()
     }
@@ -522,9 +545,16 @@ impl LaserDb {
     ) -> Result<Option<RowFragment>> {
         let telemetry = self.telemetry.get();
         let start = telemetry.map(|_| Instant::now());
-        let result = self.read_at_inner(key, projection, snapshot);
-        if let (Some(telemetry), Some(start)) = (telemetry, start) {
-            telemetry.get_ns.record(start.elapsed().as_nanos() as u64);
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Get));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
+        let result = self.read_at_inner(key, projection, snapshot, traced);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            let elapsed = start.elapsed();
+            telemetry.get_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(TraceKind::Get, op, elapsed, &[("key", key)]);
         }
         result
     }
@@ -534,6 +564,7 @@ impl LaserDb {
         key: UserKey,
         projection: &Projection,
         snapshot: SeqNo,
+        traced: bool,
     ) -> Result<Option<RowFragment>> {
         self.stats.record_point_read();
         let needed = if projection.is_empty() {
@@ -547,23 +578,14 @@ impl LaserDb {
         let mut satisfied = false;
 
         // 1. Memtable.
-        if let Some(mutable) = &inner.mutable {
-            let versions = mutable.get_versions(key, snapshot);
-            Self::overlay_versions(
-                &mut acc,
-                &mut deleted,
-                &mut satisfied,
-                &needed,
-                versions.into_iter(),
-                self.num_columns(),
-                true,
-            )?;
-        }
-
-        // 1.5. Frozen memtables awaiting flush, newest first (row-oriented).
-        if !satisfied && !deleted {
-            for imm in inner.immutables.iter().rev() {
-                let versions = imm.memtable.get_versions(key, snapshot);
+        {
+            let _memtable_span = if traced {
+                trace::span("memtable_probe")
+            } else {
+                None
+            };
+            if let Some(mutable) = &inner.mutable {
+                let versions = mutable.get_versions(key, snapshot);
                 Self::overlay_versions(
                     &mut acc,
                     &mut deleted,
@@ -573,16 +595,40 @@ impl LaserDb {
                     self.num_columns(),
                     true,
                 )?;
-                if satisfied || deleted {
-                    break;
+            }
+
+            // 1.5. Frozen memtables awaiting flush, newest first
+            // (row-oriented).
+            if !satisfied && !deleted {
+                for imm in inner.immutables.iter().rev() {
+                    let versions = imm.memtable.get_versions(key, snapshot);
+                    Self::overlay_versions(
+                        &mut acc,
+                        &mut deleted,
+                        &mut satisfied,
+                        &needed,
+                        versions.into_iter(),
+                        self.num_columns(),
+                        true,
+                    )?;
+                    if satisfied || deleted {
+                        break;
+                    }
                 }
             }
         }
 
         // 2. Level 0, newest file first (row-oriented full rows).
         if !satisfied && !deleted {
+            let mut l0_span = if traced {
+                trace::span("l0_probe")
+            } else {
+                None
+            };
+            let mut bloom_skips = 0u64;
             for file in inner.levels[0].runs[0].files.iter().rev() {
                 if !file.table.may_contain(key) {
+                    bloom_skips += 1;
                     continue;
                 }
                 let versions = Self::table_versions(&file.table, key, snapshot)?;
@@ -602,10 +648,20 @@ impl LaserDb {
                     break;
                 }
             }
+            if let Some(span) = l0_span.as_mut() {
+                span.annotate("bloom_skips", bloom_skips);
+            }
         }
 
         // 3. Deeper levels: probe only the CGs overlapping the still-needed columns.
         if !satisfied && !deleted {
+            let mut level_span = if traced {
+                trace::span("level_probe")
+            } else {
+                None
+            };
+            let mut total_groups = 0u64;
+            let mut bloom_skips = 0u64;
             for level in 1..inner.levels.len() {
                 let missing = needed.difference(&acc.columns());
                 if missing.is_empty() {
@@ -625,6 +681,7 @@ impl LaserDb {
                     }
                     let file = &run.files[idx];
                     if !file.table.may_contain(key) {
+                        bloom_skips += 1;
                         continue;
                     }
                     let versions = Self::table_versions(&file.table, key, snapshot)?;
@@ -649,9 +706,14 @@ impl LaserDb {
                     self.stats
                         .record_point_read_level(level, groups_fetched, &needed);
                 }
+                total_groups += groups_fetched;
                 if satisfied || deleted {
                     break;
                 }
+            }
+            if let Some(span) = level_span.as_mut() {
+                span.annotate("groups_fetched", total_groups);
+                span.annotate("bloom_skips", bloom_skips);
             }
         }
 
@@ -749,15 +811,34 @@ impl LaserDb {
     ) -> Result<Vec<(UserKey, RowFragment)>> {
         let telemetry = self.telemetry.get();
         let start = telemetry.map(|_| Instant::now());
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Scan));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
         self.stats.record_scan();
         let projection = if projection.is_empty() {
             Projection::all(self.schema())
         } else {
             projection.clone()
         };
-        let mut lmi = self.level_merging_iterator(lo, hi, &projection, snapshot)?;
-        lmi.seek(lo)?;
-        let rows = lmi.collect_rows()?;
+        let mut lmi = {
+            let mut setup_span = if traced {
+                trace::span("merge_setup")
+            } else {
+                None
+            };
+            let mut lmi = self.level_merging_iterator(lo, hi, &projection, snapshot)?;
+            lmi.seek(lo)?;
+            if let Some(span) = setup_span.as_mut() {
+                span.annotate("merge_width", lmi.merge_width() as u64);
+            }
+            lmi
+        };
+        let rows = {
+            let _drain_span = if traced { trace::span("drain") } else { None };
+            lmi.collect_rows()?
+        };
         // Attribute scanned entries to levels for the per-level profile: the
         // share of entries scanned at level i is proportional to that level's
         // population, which is what the cost model's s_i denotes.
@@ -777,8 +858,10 @@ impl LaserDb {
             };
             self.stats.record_scan_level(level, share, &projection);
         }
-        if let (Some(telemetry), Some(start)) = (telemetry, start) {
-            telemetry.scan_ns.record(start.elapsed().as_nanos() as u64);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            let elapsed = start.elapsed();
+            telemetry.scan_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(TraceKind::Scan, op, elapsed, &[("rows", rows.len() as u64)]);
         }
         Ok(rows.into_iter().map(|r| (r.key, r.fragment)).collect())
     }

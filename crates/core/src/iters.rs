@@ -17,6 +17,9 @@
 //! All three operate on [`RowFragment`]s keyed by user key, which is the unit
 //! the engine's read paths and the CG-local compaction consume.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use lsm_storage::iterator::BoxedIterator;
 use lsm_storage::types::{InternalKey, SeqNo, UserKey, ValueKind};
 use lsm_storage::Result;
@@ -273,6 +276,10 @@ pub struct LevelMergingIterator {
     /// Levels that contributed at least one fragment to the current row, by
     /// source index — used for per-level statistics.
     last_contributors: Vec<usize>,
+    /// The merge frontier: `(current key, source index)` per live source, as
+    /// a min-heap. Equal keys pop in ascending source index, preserving the
+    /// newest-source-first overlay order without a full sweep per row.
+    frontier: BinaryHeap<Reverse<(UserKey, usize)>>,
 }
 
 impl LevelMergingIterator {
@@ -284,13 +291,18 @@ impl LevelMergingIterator {
             projection,
             hi,
             last_contributors: Vec::new(),
+            frontier: BinaryHeap::new(),
         }
     }
 
-    /// Positions every source at `lo`.
+    /// Positions every source at `lo` and rebuilds the merge frontier.
     pub fn seek(&mut self, lo: UserKey) -> Result<()> {
-        for s in &mut self.sources {
+        self.frontier.clear();
+        for (idx, s) in self.sources.iter_mut().enumerate() {
             s.seek(lo)?;
+            if let Some(key) = s.current_key() {
+                self.frontier.push(Reverse((key, idx)));
+            }
         }
         Ok(())
     }
@@ -300,11 +312,16 @@ impl LevelMergingIterator {
         &self.last_contributors
     }
 
+    /// Number of sources this iterator merges across (the merge width).
+    pub fn merge_width(&self) -> usize {
+        self.sources.len()
+    }
+
     /// Produces the next stitched row, or `None` when the range is exhausted.
     pub fn next_row(&mut self) -> Result<Option<MergedRow>> {
         loop {
-            // Smallest key across sources.
-            let Some(key) = self.sources.iter().filter_map(|s| s.current_key()).min() else {
+            // Smallest key across live sources: the top of the frontier.
+            let Some(&Reverse((key, _))) = self.frontier.peek() else {
                 return Ok(None);
             };
             if key > self.hi {
@@ -315,14 +332,21 @@ impl LevelMergingIterator {
             let mut deleted = false;
             let mut satisfied = false;
             self.last_contributors.clear();
-            for (idx, source) in self.sources.iter_mut().enumerate() {
-                if source.current_key() != Some(key) {
-                    continue;
+            while let Some(&Reverse((k, idx))) = self.frontier.peek() {
+                if k != key {
+                    break;
                 }
+                self.frontier.pop();
+                let source = &mut self.sources[idx];
+                // Advances the source past `key`; its next key (strictly
+                // greater) rejoins the frontier, so the drain loop below
+                // cannot revisit it for this row.
                 let versions = source.take_versions()?;
+                if let Some(next_key) = source.current_key() {
+                    self.frontier.push(Reverse((next_key, idx)));
+                }
                 if satisfied || deleted {
-                    // Still must advance the source past this key, which
-                    // take_versions() already did; just skip the data.
+                    // Source already advanced; just skip the data.
                     continue;
                 }
                 let mut contributed = false;

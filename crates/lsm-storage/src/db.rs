@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use telemetry::trace::{self, TraceKind};
 use telemetry::Telemetry;
 
 use crate::cache::{BlockCache, ScopedCache};
@@ -404,8 +405,18 @@ impl LsmDb {
         }
         let telemetry = self.telemetry.get();
         let commit_start = telemetry.map(|_| Instant::now());
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Commit));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
         EngineMaintenance::apply_backpressure(self);
         let ticket = {
+            let _apply_span = if traced {
+                trace::span("wal_append")
+            } else {
+                None
+            };
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
             let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
@@ -419,11 +430,23 @@ impl LsmDb {
             ticket
         };
         // The write is acknowledged only once its WAL record is durable.
-        self.wal.ensure_durable(&ticket)?;
-        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
-            telemetry
-                .commit_ns
-                .record(start.elapsed().as_nanos() as u64);
+        {
+            let _durable_span = if traced {
+                trace::span("wal_durable")
+            } else {
+                None
+            };
+            self.wal.ensure_durable(&ticket)?;
+        }
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, commit_start, op) {
+            let elapsed = start.elapsed();
+            telemetry.commit_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(
+                TraceKind::Commit,
+                op,
+                elapsed,
+                &[("entries", batch.len() as u64)],
+            );
         }
         self.after_write_maintenance()
     }
@@ -513,15 +536,32 @@ impl LsmDb {
     pub fn get_at(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
         let telemetry = self.telemetry.get();
         let start = telemetry.map(|_| Instant::now());
-        let result = self.get_at_inner(key, snapshot_seq);
-        if let (Some(telemetry), Some(start)) = (telemetry, start) {
-            telemetry.get_ns.record(start.elapsed().as_nanos() as u64);
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Get));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
+        let result = self.get_at_inner(key, snapshot_seq, traced);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            let elapsed = start.elapsed();
+            telemetry.get_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(TraceKind::Get, op, elapsed, &[("key", key)]);
         }
         result
     }
 
-    fn get_at_inner(&self, key: UserKey, snapshot_seq: SeqNo) -> Result<Option<Vec<u8>>> {
+    fn get_at_inner(
+        &self,
+        key: UserKey,
+        snapshot_seq: SeqNo,
+        traced: bool,
+    ) -> Result<Option<Vec<u8>>> {
         let tables = {
+            let _memtable_span = if traced {
+                trace::span("memtable_probe")
+            } else {
+                None
+            };
             let inner = self.inner.read();
             if let Some(mutable) = &inner.mutable {
                 if let Some((ik, value)) = mutable.get(key, snapshot_seq) {
@@ -552,10 +592,24 @@ impl LsmDb {
             }
             tables
         };
-        for table in &tables {
+        let mut sst_span = if traced {
+            trace::span("sst_probe")
+        } else {
+            None
+        };
+        if let Some(span) = &mut sst_span {
+            span.annotate("candidates", tables.len());
+        }
+        for (probed, table) in tables.iter().enumerate() {
             if let Some((ik, value)) = table.get(key, snapshot_seq)? {
+                if let Some(span) = &mut sst_span {
+                    span.annotate("tables_probed", probed + 1);
+                }
                 return Ok(filter_tombstone(ik, value));
             }
+        }
+        if let Some(span) = &mut sst_span {
+            span.annotate("tables_probed", tables.len());
         }
         Ok(None)
     }
@@ -576,15 +630,37 @@ impl LsmDb {
     ) -> Result<Vec<(UserKey, Vec<u8>)>> {
         let telemetry = self.telemetry.get();
         let start = telemetry.map(|_| Instant::now());
-        let mut iter = self.range(lo, hi, snapshot_seq)?;
+        let op = telemetry.map(|t| t.begin_op(TraceKind::Scan));
+        // True both when this op won the sampling decision and when an
+        // enclosing router-owned sampled trace is active on this thread
+        // (nested case): child spans record into whichever trace owns us.
+        let traced = trace::is_active();
+        let iter = {
+            let mut setup_span = if traced {
+                trace::span("merge_setup")
+            } else {
+                None
+            };
+            let iter = self.range(lo, hi, snapshot_seq)?;
+            if let Some(span) = &mut setup_span {
+                span.annotate("merge_width", iter.merge_width());
+            }
+            iter
+        };
+        let mut iter = iter;
         let mut out = Vec::new();
-        while iter.next_visible()? {
-            if !iter.is_tombstone() {
-                out.push((iter.user_key(), iter.value().to_vec()));
+        {
+            let _drain_span = if traced { trace::span("drain") } else { None };
+            while iter.next_visible()? {
+                if !iter.is_tombstone() {
+                    out.push((iter.user_key(), iter.value().to_vec()));
+                }
             }
         }
-        if let (Some(telemetry), Some(start)) = (telemetry, start) {
-            telemetry.scan_ns.record(start.elapsed().as_nanos() as u64);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            let elapsed = start.elapsed();
+            telemetry.scan_ns.record(elapsed.as_nanos() as u64);
+            telemetry.end_op(TraceKind::Scan, op, elapsed, &[("rows", out.len() as u64)]);
         }
         Ok(out)
     }

@@ -456,7 +456,13 @@ pub trait EngineMaintenance: MaintainableEngine {
         if throttle != Throttle::None {
             self.record_throttle(throttle);
             if throttle == Throttle::Stall {
+                // Engines route this into their telemetry (histogram, event
+                // log, and a `stall_wait` retro-span on any active trace).
                 self.record_stall_duration(start.elapsed());
+            } else {
+                // Slowdown yields are brief but real: attribute them when a
+                // trace is active (no-op otherwise, off the fast path).
+                telemetry::trace::retro_span("slowdown_wait", start.elapsed(), &[]);
             }
         }
     }

@@ -10,7 +10,81 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use telemetry::trace::{self, TraceContext, TraceDecision, TraceKind};
 use telemetry::{Counter, EventKind, Histogram, Telemetry};
+
+/// How one engine-level operation participates in tracing. Produced by
+/// [`EngineTelemetry::begin_op`], consumed by [`EngineTelemetry::end_op`];
+/// holds the thread-attach (or suppression) guard for the op's extent so
+/// inner spans and retro-spans land on the right trace.
+pub enum OpTrace {
+    /// This op won the sample: spans record into `ctx`.
+    Sampled {
+        /// The trace being recorded.
+        ctx: TraceContext,
+        /// Keeps the trace attached to the current thread.
+        _attach: trace::AttachGuard,
+    },
+    /// Unsampled at this layer: inner layers are suppressed, and the op is
+    /// force-sampled at the end if it crossed its slow threshold.
+    Unsampled(trace::AttachGuard),
+    /// An enclosing layer (the shard router) owns the op.
+    Nested,
+}
+
+impl OpTrace {
+    /// Claims `kind` for tracing at the calling layer (unless an enclosing
+    /// layer already did) and attaches the sampled trace — or a suppression
+    /// marker — to the current thread.
+    pub fn begin(hub: &Telemetry, kind: TraceKind) -> OpTrace {
+        match hub.tracer().decide(kind) {
+            TraceDecision::Sampled(ctx) => {
+                let attach = ctx.attach();
+                OpTrace::Sampled {
+                    ctx,
+                    _attach: attach,
+                }
+            }
+            TraceDecision::Unsampled => OpTrace::Unsampled(trace::suppress()),
+            TraceDecision::Nested => OpTrace::Nested,
+        }
+    }
+
+    /// A clone of the sampled trace context, for fan-out legs that run on
+    /// other threads (`None` for unsampled/nested ops).
+    pub fn context(&self) -> Option<TraceContext> {
+        match self {
+            OpTrace::Sampled { ctx, .. } => Some(ctx.clone()),
+            _ => None,
+        }
+    }
+
+    /// Completes the tracing side of one op: finishes a sampled trace, or
+    /// retroactively force-samples an unsampled one that crossed its
+    /// slow-op threshold. `elapsed` is the op's measured duration.
+    pub fn end(
+        self,
+        hub: &Telemetry,
+        kind: TraceKind,
+        elapsed: Duration,
+        annotations: &[(&'static str, u64)],
+    ) {
+        match self {
+            OpTrace::Sampled { ctx, _attach } => {
+                drop(_attach);
+                for (key, value) in annotations {
+                    ctx.annotate(key, *value);
+                }
+                hub.tracer().finish(ctx);
+            }
+            OpTrace::Unsampled(guard) => {
+                drop(guard);
+                hub.tracer().maybe_force_sample(kind, elapsed, annotations);
+            }
+            OpTrace::Nested => {}
+        }
+    }
+}
 
 /// Metric handles shared by both engines (`LsmDb` and the Real-Time engine),
 /// registered under `engine` / `shard` labels.
@@ -66,6 +140,26 @@ impl EngineTelemetry {
         &self.label
     }
 
+    /// Claims `kind` for tracing at this layer (unless the shard router
+    /// above already did) and attaches the sampled trace — or a suppression
+    /// marker — to the current thread.
+    pub fn begin_op(&self, kind: TraceKind) -> OpTrace {
+        OpTrace::begin(&self.hub, kind)
+    }
+
+    /// Completes the tracing side of one op: finishes a sampled trace, or
+    /// retroactively force-samples an unsampled one that crossed its
+    /// slow-op threshold. `elapsed` is the op's measured duration.
+    pub fn end_op(
+        &self,
+        kind: TraceKind,
+        op: OpTrace,
+        elapsed: Duration,
+        annotations: &[(&'static str, u64)],
+    ) {
+        op.end(&self.hub, kind, elapsed, annotations);
+    }
+
     /// Logs a completed memtable flush.
     pub fn flush_event(&self, duration: Duration, bytes_written: u64, entries: u64) {
         self.flush_bytes.add(bytes_written);
@@ -117,9 +211,12 @@ impl EngineTelemetry {
         );
     }
 
-    /// Records a backpressure stall wait: histogram plus event log.
+    /// Records a backpressure stall wait: histogram, event log, and — when
+    /// the stalled write is being traced — a retro-span attributing the
+    /// wait inside the commit trace.
     pub fn stall_event(&self, duration: Duration) {
         self.stall_ns.record(duration.as_nanos() as u64);
+        trace::retro_span("stall_wait", duration, &[]);
         self.hub
             .record_event(EventKind::Stall, &self.label, duration, 0, 0, 0);
     }
@@ -147,10 +244,13 @@ impl WalTelemetry {
     }
 
     /// Records one group-commit fsync. Every fsync lands in the latency
-    /// histogram; only those crossing the slow-op threshold are logged as
-    /// events (the log would otherwise be all fsyncs).
+    /// histogram (and, when the committing write is traced, as a retro-span
+    /// inside its WAL-durability span); only fsyncs crossing the slow-op
+    /// threshold are logged as events (the log would otherwise be all
+    /// fsyncs).
     pub fn record_fsync(&self, duration: Duration) {
         self.fsync_ns.record(duration.as_nanos() as u64);
+        trace::retro_span("wal_fsync", duration, &[]);
         if duration >= self.hub.thresholds().wal_fsync {
             self.hub
                 .record_event(EventKind::WalFsync, &self.label, duration, 0, 0, 0);
@@ -158,8 +258,9 @@ impl WalTelemetry {
     }
 
     /// Logs a WAL segment rotation (`sealed_bytes` is the size of the
-    /// segment just sealed).
+    /// segment just sealed), attributing it to any active trace.
     pub fn rotation_event(&self, duration: Duration, sealed_bytes: u64) {
+        trace::retro_span("wal_rotate", duration, &[("sealed_bytes", sealed_bytes)]);
         self.hub.record_event(
             EventKind::WalRotation,
             &self.label,

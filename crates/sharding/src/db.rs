@@ -34,11 +34,13 @@ use parking_lot::{Mutex, RwLock};
 use lsm_storage::cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
 use lsm_storage::maintenance::{register_shard_engine, JobKind, JobScheduler};
 use lsm_storage::manifest::{read_manifest, write_manifest, VersionSnapshot};
+use lsm_storage::observability::OpTrace;
 use lsm_storage::storage::IoStatsSnapshot;
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch, MAX_SEQNO};
 use lsm_storage::wal_segment::WalStatsSnapshot;
 use lsm_storage::{EngineMaintenance, Error, Result};
-use telemetry::{Event, EventKind, Gauge, Histogram, Telemetry};
+use telemetry::trace::{self, TraceContext, TraceKind, ROOT_SPAN_ID};
+use telemetry::{Event, EventKind, Gauge, Histogram, Telemetry, WorkloadProfiler};
 
 use crate::engine::ShardEngine;
 use crate::manifest::{
@@ -210,6 +212,9 @@ struct Shard<E> {
     cache_scope: Option<ScopeId>,
     /// Bytes routed into this shard since it was opened (split-policy input).
     ingested_bytes: AtomicU64,
+    /// Workload profile (key heatmap + op mix) fed by the router once
+    /// telemetry is attached; also a split-key source for unflushed shards.
+    profiler: OnceLock<Arc<WorkloadProfiler>>,
 }
 
 /// An immutable topology snapshot: the router plus the shard handles, shared
@@ -241,6 +246,10 @@ struct ShardedTelemetry {
     shards_gauge: Gauge,
     cache_bytes_gauge: Gauge,
     bg_pending_gauge: Gauge,
+    cache_hits_gauge: Gauge,
+    cache_misses_gauge: Gauge,
+    /// Cache hit rate in basis points (gauges are integers).
+    cache_hit_rate_bp_gauge: Gauge,
 }
 
 /// Counters of the sharding layer itself (per-shard engine counters stay
@@ -439,6 +448,7 @@ impl<E: ShardEngine> ShardedDb<E> {
                 slot,
                 cache_scope: scope,
                 ingested_bytes: AtomicU64::new(0),
+                profiler: OnceLock::new(),
             }));
         }
 
@@ -496,12 +506,24 @@ impl<E: ShardEngine> ShardedDb<E> {
             bg_pending_gauge: hub
                 .registry()
                 .gauge("laser_bg_jobs_pending", &[("engine", engine)]),
+            cache_hits_gauge: hub
+                .registry()
+                .gauge("laser_cache_hits", &[("engine", engine)]),
+            cache_misses_gauge: hub
+                .registry()
+                .gauge("laser_cache_misses", &[("engine", engine)]),
+            cache_hit_rate_bp_gauge: hub
+                .registry()
+                .gauge("laser_cache_hit_rate_basis_points", &[("engine", engine)]),
         });
         let hub = &self.telemetry.get().expect("just set").hub;
         for shard in &self.current().shards {
             shard
                 .engine
                 .shard_attach_telemetry(hub, &shard.slot.to_string());
+            shard
+                .profiler
+                .get_or_init(|| hub.register_profiler(&shard.slot.to_string()));
         }
         self.refresh_gauges();
     }
@@ -518,6 +540,32 @@ impl<E: ShardEngine> ShardedDb<E> {
             .cache_bytes_gauge
             .set(stats.per_shard_cache_bytes.iter().sum());
         telemetry.bg_pending_gauge.set(stats.bg_jobs_pending);
+        if let Some(cache) = &self.cache {
+            let cache_stats = cache.stats();
+            telemetry.cache_hits_gauge.set(cache_stats.hits);
+            telemetry.cache_misses_gauge.set(cache_stats.misses);
+            telemetry
+                .cache_hit_rate_bp_gauge
+                .set((cache_stats.hit_rate() * 10_000.0) as u64);
+            // Per-shard residency gauges are registered lazily: the shard set
+            // changes with every split, and re-registering the same labels
+            // resumes the existing series.
+            for shard in &self.current().shards {
+                if let Some(scope) = shard.cache_scope {
+                    telemetry
+                        .hub
+                        .registry()
+                        .gauge(
+                            "laser_cache_shard_resident_bytes",
+                            &[
+                                ("engine", E::ENGINE_NAME),
+                                ("shard", &shard.slot.to_string()),
+                            ],
+                        )
+                        .set(cache.scope_used_bytes(scope));
+                }
+            }
+        }
     }
 
     /// The attached telemetry hub, if any.
@@ -596,7 +644,9 @@ impl<E: ShardEngine> ShardedDb<E> {
         let batches = self.stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
         let telemetry = self.telemetry.get();
         let commit_start = telemetry.map(|_| Instant::now());
-        {
+        let op = telemetry.map(|t| OpTrace::begin(&t.hub, TraceKind::Commit));
+        let traced = matches!(op, Some(OpTrace::Sampled { .. }));
+        let write_result: Result<()> = (|| {
             // Hold the topology shared for the whole batch: a split (which
             // takes it exclusively) can never retire a shard under an
             // in-flight write or observe half of one.
@@ -610,10 +660,18 @@ impl<E: ShardEngine> ShardedDb<E> {
             let first = entries.next().expect("non-empty");
             let first_shard = topology.router.shard_of(first.user_key);
             if entries.all(|e| topology.router.shard_of(e.user_key) == first_shard) {
+                if traced {
+                    trace::annotate("shard", first_shard as u64);
+                }
                 let shard = &topology.shards[first_shard];
                 shard
                     .ingested_bytes
                     .fetch_add(batch_bytes(batch), Ordering::Relaxed);
+                if let Some(profiler) = shard.profiler.get() {
+                    for entry in batch.iter() {
+                        profiler.record_write(entry.user_key);
+                    }
+                }
                 // Shared lock: a concurrent snapshot waits until every
                 // sub-batch of this write landed (or none), never observing
                 // half of it.
@@ -630,6 +688,12 @@ impl<E: ShardEngine> ShardedDb<E> {
                 self.stats
                     .cross_shard_batches
                     .fetch_add(1, Ordering::Relaxed);
+                // Fan-out legs run on pool threads: a sampled trace follows
+                // them as child spans of the root; an op this layer owns but
+                // did not sample is suppressed there too, so engines never
+                // start their own roots for sub-batches.
+                let leg_ctx: Option<TraceContext> = op.as_ref().and_then(|o| o.context());
+                let owned = telemetry.is_some();
                 let tasks: Vec<_> = per_shard
                     .iter_mut()
                     .enumerate()
@@ -639,20 +703,52 @@ impl<E: ShardEngine> ShardedDb<E> {
                         shard
                             .ingested_bytes
                             .fetch_add(batch_bytes(&sub), Ordering::Relaxed);
+                        if let Some(profiler) = shard.profiler.get() {
+                            for entry in sub.iter() {
+                                profiler.record_write(entry.user_key);
+                            }
+                        }
                         let engine = Arc::clone(&shard.engine);
-                        move || engine.shard_write(&sub)
+                        let ctx = leg_ctx.clone();
+                        move || {
+                            let _attach = match &ctx {
+                                Some(ctx) => Some(ctx.attach_child_of(ROOT_SPAN_ID)),
+                                None if owned => Some(trace::suppress()),
+                                None => None,
+                            };
+                            let mut leg_span = if ctx.is_some() {
+                                trace::span("sub_batch")
+                            } else {
+                                None
+                            };
+                            if let Some(span) = leg_span.as_mut() {
+                                span.annotate("shard", index as u64);
+                                span.annotate("entries", sub.len() as u64);
+                            }
+                            engine.shard_write(&sub)
+                        }
                     })
                     .collect();
+                if traced {
+                    trace::annotate("fanout", tasks.len() as u64);
+                }
                 let _batch_guard = self.snapshot_lock.read();
                 let results = self.pool.run_all(tasks);
                 results.into_iter().collect::<Result<Vec<()>>>()?;
             }
+            Ok(())
+        })();
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, commit_start, op) {
+            let elapsed = start.elapsed();
+            telemetry.batch_commit_ns.record(elapsed.as_nanos() as u64);
+            op.end(
+                &telemetry.hub,
+                TraceKind::Commit,
+                elapsed,
+                &[("entries", batch.len() as u64)],
+            );
         }
-        if let (Some(telemetry), Some(start)) = (telemetry, commit_start) {
-            telemetry
-                .batch_commit_ns
-                .record(start.elapsed().as_nanos() as u64);
-        }
+        write_result?;
         self.maybe_auto_split(batches);
         Ok(())
     }
@@ -715,10 +811,7 @@ impl<E: ShardEngine> ShardedDb<E> {
     /// Point lookup of the newest visible value.
     pub fn get(&self, key: UserKey, ctx: &E::ReadCtx) -> Result<Option<E::Value>> {
         let topology = self.current();
-        let shard = topology.router.shard_of(key);
-        topology.shards[shard]
-            .engine
-            .shard_get_at(key, ctx, MAX_SEQNO)
+        self.get_on(&topology, key, ctx, MAX_SEQNO)
     }
 
     /// Point lookup at a snapshot.
@@ -730,9 +823,41 @@ impl<E: ShardEngine> ShardedDb<E> {
     ) -> Result<Option<E::Value>> {
         let topology = self.topology_at(snapshot)?;
         let shard = topology.router.shard_of(key);
-        topology.shards[shard]
-            .engine
-            .shard_get_at(key, ctx, snapshot.seqs[shard])
+        self.get_on(&topology, key, ctx, snapshot.seqs[shard])
+    }
+
+    fn get_on(
+        &self,
+        topology: &Topology<E>,
+        key: UserKey,
+        ctx: &E::ReadCtx,
+        seq: SeqNo,
+    ) -> Result<Option<E::Value>> {
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
+        let op = telemetry.map(|t| OpTrace::begin(&t.hub, TraceKind::Get));
+        let traced = matches!(op, Some(OpTrace::Sampled { .. }));
+        let shard = {
+            let mut route_span = if traced { trace::span("route") } else { None };
+            let shard = topology.router.shard_of(key);
+            if let Some(span) = route_span.as_mut() {
+                span.annotate("shard", shard as u64);
+            }
+            shard
+        };
+        if let Some(profiler) = topology.shards[shard].profiler.get() {
+            profiler.record_read(key);
+        }
+        let result = topology.shards[shard].engine.shard_get_at(key, ctx, seq);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            op.end(
+                &telemetry.hub,
+                TraceKind::Get,
+                start.elapsed(),
+                &[("key", key)],
+            );
+        }
+        result
     }
 
     /// Cross-shard range scan of the newest visible versions in `[lo, hi]`.
@@ -746,8 +871,18 @@ impl<E: ShardEngine> ShardedDb<E> {
         hi: UserKey,
         ctx: &E::ReadCtx,
     ) -> Result<Vec<(UserKey, E::Value)>> {
-        let topology = self.current();
-        let snapshot = self.snapshot_of(&topology);
+        // Re-check the epoch after capturing the seq horizon: a split
+        // committing between pinning the topology and the capture would
+        // otherwise leave the scan reading the retired (frozen) parent
+        // engines with a horizon that already includes post-split writes
+        // landed in surviving shards — observed as a torn batch.
+        let (topology, snapshot) = loop {
+            let topology = self.current();
+            let snapshot = self.snapshot_of(&topology);
+            if self.current().epoch == topology.epoch {
+                break (topology, snapshot);
+            }
+        };
         self.scan_on(&topology, lo, hi, ctx, &snapshot)
     }
 
@@ -777,24 +912,80 @@ impl<E: ShardEngine> ShardedDb<E> {
         if lo > hi {
             return Ok(Vec::new());
         }
+        let telemetry = self.telemetry.get();
+        let start = telemetry.map(|_| Instant::now());
+        let op = telemetry.map(|t| OpTrace::begin(&t.hub, TraceKind::Scan));
+        let result = self.scan_on_inner(topology, lo, hi, ctx, snapshot, &op);
+        if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
+            let rows = result.as_ref().map_or(0, |r| r.len() as u64);
+            op.end(
+                &telemetry.hub,
+                TraceKind::Scan,
+                start.elapsed(),
+                &[("rows", rows)],
+            );
+        }
+        result
+    }
+
+    fn scan_on_inner(
+        &self,
+        topology: &Topology<E>,
+        lo: UserKey,
+        hi: UserKey,
+        ctx: &E::ReadCtx,
+        snapshot: &ShardSnapshot,
+        op: &Option<OpTrace>,
+    ) -> Result<Vec<(UserKey, E::Value)>> {
+        let traced = matches!(op, Some(OpTrace::Sampled { .. }));
         let shard_range = topology.router.shards_overlapping(lo, hi);
         if shard_range.start() == shard_range.end() {
             let shard = *shard_range.start();
+            if traced {
+                trace::annotate("shard", shard as u64);
+            }
+            if let Some(profiler) = topology.shards[shard].profiler.get() {
+                profiler.record_scan(lo, hi);
+            }
             return topology.shards[shard]
                 .engine
                 .shard_scan_at(lo, hi, ctx, snapshot.seqs[shard]);
         }
         self.stats.fanout_scans.fetch_add(1, Ordering::Relaxed);
+        let leg_ctx: Option<TraceContext> = op.as_ref().and_then(|o| o.context());
+        let owned = self.telemetry.get().is_some();
         let tasks: Vec<_> = shard_range
             .map(|shard| {
                 let engine = Arc::clone(&topology.shards[shard].engine);
                 let (shard_lo, shard_hi) = topology.router.shard_range(shard);
                 let (clamped_lo, clamped_hi) = (lo.max(shard_lo), hi.min(shard_hi));
+                if let Some(profiler) = topology.shards[shard].profiler.get() {
+                    profiler.record_scan(clamped_lo, clamped_hi);
+                }
                 let seq = snapshot.seqs[shard];
                 let ctx = ctx.clone();
-                move || engine.shard_scan_at(clamped_lo, clamped_hi, &ctx, seq)
+                let trace_ctx = leg_ctx.clone();
+                move || {
+                    let _attach = match &trace_ctx {
+                        Some(trace_ctx) => Some(trace_ctx.attach_child_of(ROOT_SPAN_ID)),
+                        None if owned => Some(trace::suppress()),
+                        None => None,
+                    };
+                    let mut leg_span = if trace_ctx.is_some() {
+                        trace::span("scan_leg")
+                    } else {
+                        None
+                    };
+                    if let Some(span) = leg_span.as_mut() {
+                        span.annotate("shard", shard as u64);
+                    }
+                    engine.shard_scan_at(clamped_lo, clamped_hi, &ctx, seq)
+                }
             })
             .collect();
+        if traced {
+            trace::annotate("fanout", tasks.len() as u64);
+        }
         let mut out = Vec::new();
         for rows in self.pool.run_all(tasks) {
             out.extend(rows?);
@@ -946,11 +1137,16 @@ impl<E: ShardEngine> ShardedDb<E> {
             if let Some(scheduler) = &self.scheduler {
                 register_shard_engine(scheduler, &engine)?;
             }
+            let profiler = OnceLock::new();
+            if let Some(telemetry) = telemetry {
+                let _ = profiler.set(telemetry.hub.register_profiler(&slot.to_string()));
+            }
             children.push(Arc::new(Shard {
                 engine,
                 slot,
                 cache_scope: scope,
                 ingested_bytes: AtomicU64::new(0),
+                profiler,
             }));
         }
 
@@ -990,6 +1186,9 @@ impl<E: ShardEngine> ShardedDb<E> {
         // topology — hard links / shared buffers keep the adopted SSTs
         // readable after the parent's *names* are deleted.
         remove_split_intent(&root)?;
+        if let Some(telemetry) = telemetry {
+            telemetry.hub.remove_profiler(&parent.slot.to_string());
+        }
         if let Some(scope) = parent.cache_scope {
             if let Some(cache) = &self.cache {
                 cache.retire_scope(scope);
@@ -1060,7 +1259,23 @@ impl<E: ShardEngine> ShardedDb<E> {
         let Some((index, _)) = candidate else {
             return;
         };
-        let Some(split_key) = pick_split_key(&topology, index) else {
+        // Byte-weighted SST median first; a write-heavy shard that has not
+        // flushed yet has no file metadata, so fall back to the workload
+        // profiler's sampled-median key (the point splitting recent traffic
+        // in half), clamped into the shard's routed range.
+        let split_key = pick_split_key(&topology, index).or_else(|| {
+            let (lo, hi) = topology.router.shard_range(index);
+            if lo >= hi {
+                return None;
+            }
+            let key = topology.shards[index]
+                .profiler
+                .get()?
+                .suggest_split_key()?
+                .clamp(lo.saturating_add(1), hi);
+            (key > lo && key <= hi).then_some(key)
+        });
+        let Some(split_key) = split_key else {
             return;
         };
         if self

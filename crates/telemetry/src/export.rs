@@ -179,7 +179,7 @@ pub fn parse_prometheus_text(text: &str) -> Option<Vec<ExpositionSample>> {
     Some(samples)
 }
 
-fn json_escape(value: &str) -> String {
+pub(crate) fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
     for c in value.chars() {
@@ -239,9 +239,13 @@ fn json_metric(metric: &RegisteredMetric) -> String {
     }
 }
 
-/// Renders the full telemetry state (metrics, event log, slow-op count) as a
+/// Renders the full telemetry state (metrics, event log, slow-op count,
+/// slow-trace flight recorder, per-shard workload profiles) as a
 /// self-contained JSON document.
 pub fn json_snapshot(telemetry: &Telemetry) -> String {
+    for profiler in telemetry.workload_profiles() {
+        profiler.refresh_gauges();
+    }
     let mut metrics = telemetry.registry().metrics();
     metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
     let mut out = String::from("{");
@@ -270,6 +274,17 @@ pub fn json_snapshot(telemetry: &Telemetry) -> String {
             event.entries,
             event.slow
         ));
+    }
+    out.push_str("],\"traces\":");
+    out.push_str(&crate::trace::traces_json_array(
+        &telemetry.tracer().all_traces(),
+    ));
+    out.push_str(",\"workload\":[");
+    for (index, profiler) in telemetry.workload_profiles().iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&profiler.json_fragment());
     }
     out.push_str("]}");
     out

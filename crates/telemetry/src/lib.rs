@@ -28,6 +28,8 @@
 mod events;
 mod export;
 mod metrics;
+pub mod profile;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventLog, SlowOpThresholds};
 pub use export::{parse_prometheus_text, ExpositionSample};
@@ -35,8 +37,13 @@ pub use metrics::{
     bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricValue, MetricsRegistry, RegisteredMetric, NUM_BUCKETS,
 };
+pub use profile::{WorkloadProfiler, HEAT_BUCKETS};
+pub use trace::{
+    AnnotationValue, SpanGuard, SpanRecord, Trace, TraceConfig, TraceContext, TraceDecision,
+    TraceKind, Tracer,
+};
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The shared telemetry hub: metrics registry + event log + slow-op policy.
@@ -50,16 +57,27 @@ pub struct Telemetry {
     events: EventLog,
     thresholds: SlowOpThresholds,
     slow_ops: Counter,
+    tracer: Tracer,
+    profilers: Mutex<Vec<Arc<WorkloadProfiler>>>,
 }
 
 impl Telemetry {
-    /// A hub with default thresholds and event capacity.
+    /// A hub with default thresholds, event capacity and trace sampling.
     pub fn new() -> Arc<Telemetry> {
         Telemetry::with_config(SlowOpThresholds::default(), EventLog::DEFAULT_CAPACITY)
     }
 
     /// A hub with explicit slow-op thresholds and event-ring capacity.
     pub fn with_config(thresholds: SlowOpThresholds, event_capacity: usize) -> Arc<Telemetry> {
+        Telemetry::with_trace_config(thresholds, event_capacity, TraceConfig::default())
+    }
+
+    /// A hub with an explicit tracing configuration as well.
+    pub fn with_trace_config(
+        thresholds: SlowOpThresholds,
+        event_capacity: usize,
+        trace_config: TraceConfig,
+    ) -> Arc<Telemetry> {
         let registry = MetricsRegistry::new();
         let slow_ops = registry.counter("laser_slow_ops_total", &[]);
         Arc::new(Telemetry {
@@ -67,12 +85,19 @@ impl Telemetry {
             events: EventLog::with_capacity(event_capacity),
             thresholds,
             slow_ops,
+            tracer: Tracer::new(trace_config),
+            profilers: Mutex::new(Vec::new()),
         })
     }
 
     /// The metrics registry.
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The span tracer and its slow-trace flight recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The slow-op thresholds in force.
@@ -119,8 +144,12 @@ impl Telemetry {
         slow
     }
 
-    /// Prometheus-style text exposition of every registered metric.
+    /// Prometheus-style text exposition of every registered metric
+    /// (workload heat gauges are refreshed first).
     pub fn prometheus_text(&self) -> String {
+        for profiler in self.workload_profiles() {
+            profiler.refresh_gauges();
+        }
         export::prometheus_text(&self.registry)
     }
 

@@ -1,0 +1,309 @@
+//! Per-shard workload profiling: a sampled key-range heatmap plus
+//! read/write/scan mix counters.
+//!
+//! The router records every op's key into its shard's [`WorkloadProfiler`]:
+//! mix counters are plain registry counters (free Prometheus/JSON export),
+//! and keys feed a deterministic reservoir sample from which the profiler
+//! derives a fixed-width [`WorkloadProfiler::heatmap`] over the observed
+//! key range and a [`WorkloadProfiler::suggest_split_key`] — the split-key
+//! source `SplitPolicy` falls back to for write-heavy shards that have not
+//! flushed an SST yet (where byte-weighted file metadata does not exist).
+//!
+//! Costs: mix counters are one relaxed atomic add per op; the reservoir
+//! admits key `n` with probability `RESERVOIR_SIZE / n`, so the per-op lock
+//! is only taken on admission and the steady-state cost is the admission
+//! hash.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge};
+use crate::Telemetry;
+
+/// Number of fixed-width buckets in an exported heatmap.
+pub const HEAT_BUCKETS: usize = 16;
+
+/// Reservoir capacity: enough resolution for a 16-bucket heatmap and a
+/// median split key, small enough to copy on export.
+pub const RESERVOIR_SIZE: usize = 256;
+
+/// SplitMix64 finalizer (deterministic reservoir admission).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One shard's workload profile. Registered on a [`Telemetry`] hub via
+/// [`Telemetry::register_profiler`]; the hub folds every live profiler into
+/// `prometheus_text()` / `json_snapshot()`.
+#[derive(Debug)]
+pub struct WorkloadProfiler {
+    shard: String,
+    reads: Counter,
+    writes: Counter,
+    scans: Counter,
+    heat_gauges: Vec<Gauge>,
+    /// Keys offered so far (reservoir admission sequence).
+    seen: AtomicU64,
+    lo_seen: AtomicU64,
+    hi_seen: AtomicU64,
+    reservoir: Mutex<Vec<u64>>,
+}
+
+impl WorkloadProfiler {
+    pub(crate) fn new(hub: &Telemetry, shard: &str) -> WorkloadProfiler {
+        let registry = hub.registry();
+        let labels = [("shard", shard)];
+        let heat_gauges = (0..HEAT_BUCKETS)
+            .map(|b| {
+                registry.gauge(
+                    "laser_workload_heat",
+                    &[("shard", shard), ("bucket", &b.to_string())],
+                )
+            })
+            .collect();
+        WorkloadProfiler {
+            shard: shard.to_string(),
+            reads: registry.counter("laser_workload_reads_total", &labels),
+            writes: registry.counter("laser_workload_writes_total", &labels),
+            scans: registry.counter("laser_workload_scans_total", &labels),
+            heat_gauges,
+            seen: AtomicU64::new(0),
+            lo_seen: AtomicU64::new(u64::MAX),
+            hi_seen: AtomicU64::new(0),
+            reservoir: Mutex::new(Vec::with_capacity(RESERVOIR_SIZE)),
+        }
+    }
+
+    /// The shard label this profiler reports under.
+    pub fn shard(&self) -> &str {
+        &self.shard
+    }
+
+    /// Offers one key to the reservoir and the observed-range bounds.
+    fn offer(&self, key: u64) {
+        self.lo_seen.fetch_min(key, Ordering::Relaxed);
+        self.hi_seen.fetch_max(key, Ordering::Relaxed);
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n < RESERVOIR_SIZE as u64 {
+            self.reservoir.lock().unwrap().push(key);
+            return;
+        }
+        // Algorithm R with a deterministic hash in place of an RNG: key n
+        // replaces a random slot with probability RESERVOIR_SIZE / (n + 1).
+        let j = mix64(key ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (n + 1);
+        if (j as usize) < RESERVOIR_SIZE {
+            let mut reservoir = self.reservoir.lock().unwrap();
+            if let Some(slot) = reservoir.get_mut(j as usize) {
+                *slot = key;
+            }
+        }
+    }
+
+    /// Records one point read of `key`.
+    pub fn record_read(&self, key: u64) {
+        self.reads.inc();
+        self.offer(key);
+    }
+
+    /// Records one write of `key` (call per batch entry routed here).
+    pub fn record_write(&self, key: u64) {
+        self.writes.inc();
+        self.offer(key);
+    }
+
+    /// Records one scan leg clamped to `[lo, hi]` on this shard.
+    pub fn record_scan(&self, lo: u64, hi: u64) {
+        self.scans.inc();
+        self.offer(lo);
+        if hi != lo {
+            self.offer(hi);
+        }
+    }
+
+    /// `(reads, writes, scans)` op-mix counts.
+    pub fn mix(&self) -> (u64, u64, u64) {
+        (self.reads.get(), self.writes.get(), self.scans.get())
+    }
+
+    /// Total keys sampled (offered) so far.
+    pub fn keys_seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// The observed key range, `None` before the first sample.
+    pub fn observed_range(&self) -> Option<(u64, u64)> {
+        let lo = self.lo_seen.load(Ordering::Relaxed);
+        let hi = self.hi_seen.load(Ordering::Relaxed);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// The [`HEAT_BUCKETS`]-wide fixed-width heatmap of sampled keys over
+    /// the observed key range (all zeros before the first sample).
+    pub fn heatmap(&self) -> [u64; HEAT_BUCKETS] {
+        let mut heat = [0u64; HEAT_BUCKETS];
+        let Some((lo, hi)) = self.observed_range() else {
+            return heat;
+        };
+        let width = ((hi - lo) / HEAT_BUCKETS as u64).max(1);
+        for &key in self.reservoir.lock().unwrap().iter() {
+            let bucket = ((key.saturating_sub(lo)) / width).min(HEAT_BUCKETS as u64 - 1);
+            heat[bucket as usize] += 1;
+        }
+        heat
+    }
+
+    /// A split key from the sampled workload: the median sampled key, i.e.
+    /// the point that splits recent traffic (not bytes) in half. `None`
+    /// until the sample is meaningful (too few keys, or all keys equal).
+    pub fn suggest_split_key(&self) -> Option<u64> {
+        let mut keys = self.reservoir.lock().unwrap().clone();
+        if keys.len() < 16 {
+            return None;
+        }
+        keys.sort_unstable();
+        let median = keys[keys.len() / 2];
+        // A split at the minimum would create an empty left shard.
+        (median > keys[0]).then_some(median)
+    }
+
+    /// Pushes the current heatmap into the per-bucket export gauges (the
+    /// hub calls this before rendering an export).
+    pub(crate) fn refresh_gauges(&self) {
+        for (gauge, count) in self.heat_gauges.iter().zip(self.heatmap()) {
+            gauge.set(count);
+        }
+    }
+
+    /// This profiler's slice of the JSON snapshot.
+    pub(crate) fn json_fragment(&self) -> String {
+        let (reads, writes, scans) = self.mix();
+        let (lo, hi) = self.observed_range().unwrap_or((0, 0));
+        let heat = self.heatmap();
+        let mut out = format!(
+            "{{\"shard\":{},\"reads\":{reads},\"writes\":{writes},\"scans\":{scans},\"keys_seen\":{},\"key_lo\":{lo},\"key_hi\":{hi},\"heat\":[",
+            crate::export::json_escape(&self.shard),
+            self.keys_seen(),
+        );
+        for (i, count) in heat.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&count.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Telemetry {
+    /// Creates (or replaces) the workload profiler for `shard` and folds it
+    /// into this hub's exports. Replacement (e.g. a shard re-attach after a
+    /// split) starts a fresh sample but resumes the existing mix counters.
+    pub fn register_profiler(&self, shard: &str) -> Arc<WorkloadProfiler> {
+        let profiler = Arc::new(WorkloadProfiler::new(self, shard));
+        let mut profilers = self.profilers.lock().unwrap();
+        profilers.retain(|p| p.shard() != shard);
+        profilers.push(Arc::clone(&profiler));
+        profiler
+    }
+
+    /// Drops the profiler for `shard` from exports (a shard retired by a
+    /// split). Its registry counters remain, as retired series do.
+    pub fn remove_profiler(&self, shard: &str) {
+        self.profilers
+            .lock()
+            .unwrap()
+            .retain(|p| p.shard() != shard);
+    }
+
+    /// The live workload profilers.
+    pub fn workload_profiles(&self) -> Vec<Arc<WorkloadProfiler>> {
+        self.profilers.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_tracks_key_distribution_and_mix() {
+        let hub = Telemetry::new();
+        let profiler = hub.register_profiler("0");
+        for key in 0..1000u64 {
+            profiler.record_write(key);
+        }
+        for key in (0..1000u64).step_by(10) {
+            profiler.record_read(key);
+        }
+        profiler.record_scan(0, 999);
+        let (reads, writes, scans) = profiler.mix();
+        assert_eq!((reads, writes, scans), (100, 1000, 1));
+        assert_eq!(profiler.observed_range(), Some((0, 999)));
+        let heat = profiler.heatmap();
+        assert_eq!(heat.iter().sum::<u64>(), RESERVOIR_SIZE as u64);
+        // Uniform keys: no bucket may hog the sample.
+        assert!(
+            heat.iter().all(|&h| h > 0),
+            "uniform keys fill every bucket: {heat:?}"
+        );
+        let split = profiler.suggest_split_key().expect("enough samples");
+        assert!(
+            (200..=800).contains(&split),
+            "median of uniform 0..1000: {split}"
+        );
+    }
+
+    #[test]
+    fn split_suggestion_follows_skew() {
+        let hub = Telemetry::new();
+        let profiler = hub.register_profiler("1");
+        // 90% of traffic in [0, 100), 10% in [100_000, 100_100).
+        for i in 0..900u64 {
+            profiler.record_write(i % 100);
+        }
+        for i in 0..100u64 {
+            profiler.record_write(100_000 + i);
+        }
+        let split = profiler.suggest_split_key().unwrap();
+        assert!(
+            split < 100,
+            "median must stay inside the hot range: {split}"
+        );
+    }
+
+    #[test]
+    fn sparse_profilers_decline_to_suggest() {
+        let hub = Telemetry::new();
+        let profiler = hub.register_profiler("2");
+        assert_eq!(profiler.suggest_split_key(), None);
+        for _ in 0..100 {
+            profiler.record_write(7);
+        }
+        assert_eq!(
+            profiler.suggest_split_key(),
+            None,
+            "a single-key workload has no useful split point"
+        );
+    }
+
+    #[test]
+    fn hub_exports_carry_the_profile() {
+        let hub = Telemetry::new();
+        let profiler = hub.register_profiler("3");
+        for key in 0..64u64 {
+            profiler.record_write(key * 100);
+        }
+        let text = hub.prometheus_text();
+        assert!(text.contains("laser_workload_writes_total{shard=\"3\"} 64"));
+        assert!(text.contains("laser_workload_heat{bucket=\"0\",shard=\"3\"}"));
+        let json = hub.json_snapshot();
+        assert!(json.contains("\"workload\":["));
+        assert!(json.contains("\"keys_seen\":64"));
+        hub.remove_profiler("3");
+        assert!(hub.workload_profiles().is_empty());
+        assert!(!hub.json_snapshot().contains("\"keys_seen\":64"));
+    }
+}

@@ -1,0 +1,856 @@
+//! Sampled per-operation span traces and a slowest-K flight recorder.
+//!
+//! Aggregate histograms say *that* a p99 commit was slow; a trace says
+//! *why*: how long the write stalled on backpressure, waited on the WAL
+//! group commit, or spent probing L0 tables. The pieces:
+//!
+//! * [`Tracer`] — per-hub sampling policy (deterministic 1-in-N per op
+//!   kind, seeded) plus the flight recorder that retains the slowest-K
+//!   completed traces per [`TraceKind`].
+//! * [`TraceContext`] — one in-flight operation: a trace id, a monotonic
+//!   clock, and the growing list of completed [`SpanRecord`]s.
+//! * [`SpanGuard`] — an RAII child span. Spans nest through an implicit
+//!   per-thread context (installed by [`TraceContext::attach`]), so deep
+//!   layers (engine probes, WAL waits, backpressure stalls) annotate the
+//!   active trace without any parameter threading.
+//!
+//! Cost discipline matches the metrics layer: a detached engine never
+//! touches thread-local state (instrumented code gates on its telemetry
+//! `Option` first), an attached-but-unsampled operation pays one sampling
+//! decision (an atomic increment and a hash), and only the sampled 1-in-N
+//! pay for span collection. Operations that were *not* sampled but cross
+//! their slow-op threshold are force-sampled retroactively: the layer that
+//! owns the op records a root-only trace, so tail latency excursions never
+//! vanish just because the sampler skipped them.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::events::unix_millis;
+
+/// The operation kinds that get root spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A point get.
+    Get,
+    /// A range scan.
+    Scan,
+    /// A write-batch commit (including WAL durability and backpressure).
+    Commit,
+}
+
+/// Number of [`TraceKind`] variants (sizes the per-kind state arrays).
+pub const NUM_TRACE_KINDS: usize = 3;
+
+/// Every trace kind, in index order.
+pub const TRACE_KINDS: [TraceKind; NUM_TRACE_KINDS] =
+    [TraceKind::Get, TraceKind::Scan, TraceKind::Commit];
+
+impl TraceKind {
+    /// Stable lower-case name (root span name, export key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Get => "get",
+            TraceKind::Scan => "scan",
+            TraceKind::Commit => "commit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TraceKind::Get => 0,
+            TraceKind::Scan => 1,
+            TraceKind::Commit => 2,
+        }
+    }
+}
+
+/// A span or trace annotation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotationValue {
+    /// An integer (counts, byte sizes, keys).
+    U64(u64),
+    /// Free-form text.
+    Text(String),
+}
+
+impl From<u64> for AnnotationValue {
+    fn from(v: u64) -> Self {
+        AnnotationValue::U64(v)
+    }
+}
+
+impl From<usize> for AnnotationValue {
+    fn from(v: usize) -> Self {
+        AnnotationValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for AnnotationValue {
+    fn from(v: &str) -> Self {
+        AnnotationValue::Text(v.to_string())
+    }
+}
+
+impl AnnotationValue {
+    fn to_json(&self) -> String {
+        match self {
+            AnnotationValue::U64(v) => v.to_string(),
+            AnnotationValue::Text(s) => crate::export::json_escape(s),
+        }
+    }
+}
+
+/// One completed span. Timings are nanoseconds relative to the trace start
+/// (monotonic clock), so `start_ns..end_ns` of every child nests inside its
+/// parent's interval.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace. The root span is id 1.
+    pub id: u32,
+    /// Parent span id (0 for the root).
+    pub parent: u32,
+    /// Static span name (see the README span taxonomy).
+    pub name: &'static str,
+    /// Start offset from the trace start, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the trace start, nanoseconds.
+    pub end_ns: u64,
+    /// Key/value annotations.
+    pub annotations: Vec<(&'static str, AnnotationValue)>,
+}
+
+/// One completed trace retained by the flight recorder.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Process-unique trace id.
+    pub trace_id: u64,
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Wall-clock completion time.
+    pub at_unix_ms: u64,
+    /// Total root duration, nanoseconds.
+    pub total_ns: u64,
+    /// True if this trace was force-sampled because the operation crossed
+    /// its slow-op threshold (rather than winning the 1-in-N sample).
+    pub forced: bool,
+    /// Completed spans; the root (id 1, parent 0) is always present.
+    pub spans: Vec<SpanRecord>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    trace_id: u64,
+    kind: TraceKind,
+    started: Instant,
+    next_span_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    root_annotations: Mutex<Vec<(&'static str, AnnotationValue)>>,
+}
+
+/// One in-flight traced operation. Cheap to clone (an `Arc`), so cross-shard
+/// fan-out can hand a copy to every worker leg.
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    inner: Arc<TraceInner>,
+}
+
+/// Root span id: parent of every top-level child span.
+pub const ROOT_SPAN_ID: u32 = 1;
+
+impl TraceContext {
+    fn new(trace_id: u64, kind: TraceKind) -> TraceContext {
+        TraceContext {
+            inner: Arc::new(TraceInner {
+                trace_id,
+                kind,
+                started: Instant::now(),
+                next_span_id: AtomicU64::new(ROOT_SPAN_ID as u64 + 1),
+                spans: Mutex::new(Vec::new()),
+                root_annotations: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The process-unique trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// Adds a root-level annotation.
+    pub fn annotate(&self, key: &'static str, value: impl Into<AnnotationValue>) {
+        self.inner
+            .root_annotations
+            .lock()
+            .unwrap()
+            .push((key, value.into()));
+    }
+
+    /// Installs this trace as the current thread's active trace, with the
+    /// root span as the parent of subsequent [`span`] calls. Restores the
+    /// previous thread state on drop.
+    pub fn attach(&self) -> AttachGuard {
+        self.attach_child_of(ROOT_SPAN_ID)
+    }
+
+    /// Installs this trace on the current thread with `parent_span` as the
+    /// span parent — the fan-out legs of a cross-shard operation use this to
+    /// parent their work under the coordinating span.
+    pub fn attach_child_of(&self, parent_span: u32) -> AttachGuard {
+        let prev = ACTIVE.with(|a| {
+            a.borrow_mut().replace(ThreadState::Traced {
+                ctx: self.clone(),
+                stack: vec![parent_span],
+            })
+        });
+        AttachGuard { prev }
+    }
+
+    fn alloc_span_id(&self) -> u32 {
+        self.inner.next_span_id.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.inner.started.elapsed().as_nanos() as u64
+    }
+
+    fn push_span(&self, record: SpanRecord) {
+        self.inner.spans.lock().unwrap().push(record);
+    }
+
+    fn into_trace(self, forced: bool) -> Trace {
+        let total_ns = self.elapsed_ns();
+        let inner = match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner,
+            // A fan-out leg still holds a clone (it should have been joined
+            // before finish; tolerate it rather than lose the trace).
+            Err(arc) => TraceInner {
+                trace_id: arc.trace_id,
+                kind: arc.kind,
+                started: arc.started,
+                next_span_id: AtomicU64::new(arc.next_span_id.load(Ordering::Relaxed)),
+                spans: Mutex::new(arc.spans.lock().unwrap().clone()),
+                root_annotations: Mutex::new(arc.root_annotations.lock().unwrap().clone()),
+            },
+        };
+        let mut spans = inner.spans.into_inner().unwrap();
+        // Clamp straggler spans into the root window so the invariant
+        // "children nest inside the parent" holds by construction.
+        for span in &mut spans {
+            span.end_ns = span.end_ns.min(total_ns);
+            span.start_ns = span.start_ns.min(span.end_ns);
+        }
+        spans.push(SpanRecord {
+            id: ROOT_SPAN_ID,
+            parent: 0,
+            name: inner.kind.as_str(),
+            start_ns: 0,
+            end_ns: total_ns,
+            annotations: inner.root_annotations.into_inner().unwrap(),
+        });
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        Trace {
+            trace_id: inner.trace_id,
+            kind: inner.kind,
+            at_unix_ms: unix_millis(),
+            total_ns,
+            forced,
+            spans,
+        }
+    }
+}
+
+enum ThreadState {
+    /// A sampled trace is active: spans record into it.
+    Traced { ctx: TraceContext, stack: Vec<u32> },
+    /// An enclosing layer owns the operation but did not sample it: inner
+    /// layers must not start their own root traces (or force-sample).
+    Suppressed,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous per-thread trace state on drop.
+pub struct AttachGuard {
+    prev: Option<ThreadState>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// Marks the current thread as "operation owned but unsampled": inner
+/// layers skip their own sampling decision (and their force-sampling — the
+/// owning layer will do it). Used by `ShardedDb` so the engine beneath never
+/// double-samples one logical operation.
+pub fn suppress() -> AttachGuard {
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(ThreadState::Suppressed));
+    AttachGuard { prev }
+}
+
+/// True if a sampled trace is active on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| matches!(&*a.borrow(), Some(ThreadState::Traced { .. })))
+}
+
+/// Starts a child span of the active trace; `None` (one thread-local read)
+/// when no sampled trace is active on this thread.
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    ACTIVE.with(|a| {
+        let mut state = a.borrow_mut();
+        let Some(ThreadState::Traced { ctx, stack }) = &mut *state else {
+            return None;
+        };
+        let id = ctx.alloc_span_id();
+        let parent = stack.last().copied().unwrap_or(ROOT_SPAN_ID);
+        stack.push(id);
+        Some(SpanGuard {
+            ctx: ctx.clone(),
+            id,
+            parent,
+            name,
+            start_ns: ctx.elapsed_ns(),
+            annotations: Vec::new(),
+        })
+    })
+}
+
+/// Records an already-measured child span on the active trace: a span that
+/// ends now and started `duration` ago. This is how cold-path costs whose
+/// duration is measured anyway (backpressure stalls, WAL fsyncs, rotations)
+/// attribute themselves without any hot-path bookkeeping.
+pub fn retro_span(name: &'static str, duration: Duration, annotations: &[(&'static str, u64)]) {
+    ACTIVE.with(|a| {
+        let state = a.borrow();
+        let Some(ThreadState::Traced { ctx, stack }) = &*state else {
+            return;
+        };
+        let end_ns = ctx.elapsed_ns();
+        let record = SpanRecord {
+            id: ctx.alloc_span_id(),
+            parent: stack.last().copied().unwrap_or(ROOT_SPAN_ID),
+            name,
+            start_ns: end_ns.saturating_sub(duration.as_nanos() as u64),
+            end_ns,
+            annotations: annotations
+                .iter()
+                .map(|(k, v)| (*k, AnnotationValue::U64(*v)))
+                .collect(),
+        };
+        ctx.push_span(record);
+    });
+}
+
+/// Adds a root-level annotation to the active trace, if any.
+pub fn annotate(key: &'static str, value: u64) {
+    ACTIVE.with(|a| {
+        if let Some(ThreadState::Traced { ctx, .. }) = &*a.borrow() {
+            ctx.annotate(key, value);
+        }
+    });
+}
+
+/// RAII child span: records its duration (and buffered annotations) into
+/// the owning trace on drop.
+pub struct SpanGuard {
+    ctx: TraceContext,
+    id: u32,
+    parent: u32,
+    name: &'static str,
+    start_ns: u64,
+    annotations: Vec<(&'static str, AnnotationValue)>,
+}
+
+impl SpanGuard {
+    /// Buffers a k/v annotation (written out when the span closes).
+    pub fn annotate(&mut self, key: &'static str, value: impl Into<AnnotationValue>) {
+        self.annotations.push((key, value.into()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns: self.ctx.elapsed_ns(),
+            annotations: std::mem::take(&mut self.annotations),
+        };
+        self.ctx.push_span(record);
+        ACTIVE.with(|a| {
+            if let Some(ThreadState::Traced { stack, .. }) = &mut *a.borrow_mut() {
+                if stack.last() == Some(&self.id) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|&s| s == self.id) {
+                    stack.remove(pos);
+                }
+            }
+        });
+    }
+}
+
+/// The outcome of one layer's sampling decision for one operation.
+#[derive(Debug)]
+pub enum TraceDecision {
+    /// This layer owns the root: collect spans and call [`Tracer::finish`].
+    Sampled(TraceContext),
+    /// This layer owns the op but the sampler skipped it: suppress inner
+    /// layers and call [`Tracer::maybe_force_sample`] with the measured
+    /// duration at the end.
+    Unsampled,
+    /// An enclosing layer owns the op (active or suppressed): record child
+    /// spans only, no root and no force-sampling here.
+    Nested,
+}
+
+/// Tracer configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Sample one operation in `sample_every` per kind (0 disables
+    /// sampling; force-sampling of slow ops still applies).
+    pub sample_every: u64,
+    /// Seed for the deterministic sampling hash: the same seed over the
+    /// same operation sequence selects the same set.
+    pub seed: u64,
+    /// How many slowest completed traces the flight recorder retains per
+    /// op kind.
+    pub slowest_per_kind: usize,
+    /// Force-sample thresholds per kind (get, scan, commit): an unsampled
+    /// op whose duration crosses its threshold is recorded root-only.
+    pub slow_op: [Duration; NUM_TRACE_KINDS],
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_every: 64,
+            seed: 0x5eed_1a5e_0b5e_71e0,
+            slowest_per_kind: 8,
+            // Commit matches the stall slow-op threshold so a write blocked
+            // behind the L0 gate always leaves a trace.
+            slow_op: [
+                Duration::from_millis(10),
+                Duration::from_millis(250),
+                Duration::from_millis(100),
+            ],
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic sampling hash.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sampling policy plus the slowest-K flight recorder; one per
+/// [`crate::Telemetry`] hub.
+#[derive(Debug)]
+pub struct Tracer {
+    seed: u64,
+    sample_every: AtomicU64,
+    slowest_per_kind: usize,
+    slow_op_ns: [AtomicU64; NUM_TRACE_KINDS],
+    seqs: [AtomicU64; NUM_TRACE_KINDS],
+    next_trace_id: AtomicU64,
+    recorder: [Mutex<Vec<Trace>>; NUM_TRACE_KINDS],
+    sampled_total: AtomicU64,
+    forced_total: AtomicU64,
+}
+
+impl Tracer {
+    /// Builds a tracer from a config.
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer {
+            seed: config.seed,
+            sample_every: AtomicU64::new(config.sample_every),
+            slowest_per_kind: config.slowest_per_kind.max(1),
+            slow_op_ns: std::array::from_fn(
+                |i| AtomicU64::new(config.slow_op[i].as_nanos() as u64),
+            ),
+            seqs: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_trace_id: AtomicU64::new(1),
+            recorder: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            sampled_total: AtomicU64::new(0),
+            forced_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The current 1-in-N sampling rate (0 = sampling disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Changes the sampling rate at runtime (benches flip this between
+    /// passes; ops tooling can crank it up while debugging).
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::Relaxed);
+    }
+
+    /// Changes one kind's force-sample threshold at runtime.
+    pub fn set_slow_op(&self, kind: TraceKind, threshold: Duration) {
+        self.slow_op_ns[kind.index()].store(threshold.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The deterministic per-kind sampling decision for sequence number
+    /// `seq` (exposed for tests; [`Tracer::decide`] drives it).
+    pub fn is_sampled(&self, kind: TraceKind, seq: u64) -> bool {
+        let n = self.sample_every();
+        n != 0 && mix64(self.seed ^ (kind.index() as u64) << 56 ^ seq).is_multiple_of(n)
+    }
+
+    /// One layer's per-operation entry point: claims the op if no enclosing
+    /// layer did, and applies the sampling policy.
+    pub fn decide(&self, kind: TraceKind) -> TraceDecision {
+        let nested = ACTIVE.with(|a| a.borrow().is_some());
+        if nested {
+            return TraceDecision::Nested;
+        }
+        let seq = self.seqs[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if self.is_sampled(kind, seq) {
+            let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+            TraceDecision::Sampled(TraceContext::new(trace_id, kind))
+        } else {
+            TraceDecision::Unsampled
+        }
+    }
+
+    /// Completes a sampled trace: closes the root span and offers the trace
+    /// to the flight recorder. Call after every child span (and fan-out
+    /// leg) has finished.
+    pub fn finish(&self, ctx: TraceContext) {
+        let kind = ctx.inner.kind;
+        self.sampled_total.fetch_add(1, Ordering::Relaxed);
+        self.offer(kind, ctx.into_trace(false));
+    }
+
+    /// Retroactive force-sampling: records a root-only trace for an
+    /// *unsampled* operation that crossed its slow-op threshold. No-op for
+    /// fast ops.
+    pub fn maybe_force_sample(
+        &self,
+        kind: TraceKind,
+        total: Duration,
+        annotations: &[(&'static str, u64)],
+    ) {
+        let total_ns = total.as_nanos() as u64;
+        if total_ns < self.slow_op_ns[kind.index()].load(Ordering::Relaxed) {
+            return;
+        }
+        self.forced_total.fetch_add(1, Ordering::Relaxed);
+        let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        self.offer(
+            kind,
+            Trace {
+                trace_id,
+                kind,
+                at_unix_ms: unix_millis(),
+                total_ns,
+                forced: true,
+                spans: vec![SpanRecord {
+                    id: ROOT_SPAN_ID,
+                    parent: 0,
+                    name: kind.as_str(),
+                    start_ns: 0,
+                    end_ns: total_ns,
+                    annotations: annotations
+                        .iter()
+                        .map(|(k, v)| (*k, AnnotationValue::U64(*v)))
+                        .collect(),
+                }],
+            },
+        );
+    }
+
+    /// Inserts a completed trace, keeping the per-kind list sorted slowest
+    /// first and bounded at `slowest_per_kind`.
+    fn offer(&self, kind: TraceKind, trace: Trace) {
+        let mut slot = self.recorder[kind.index()].lock().unwrap();
+        let pos = slot.partition_point(|t| t.total_ns >= trace.total_ns);
+        if pos >= self.slowest_per_kind {
+            return; // faster than everything retained, recorder full
+        }
+        slot.insert(pos, trace);
+        slot.truncate(self.slowest_per_kind);
+    }
+
+    /// The retained slowest traces of one kind, slowest first.
+    pub fn slowest(&self, kind: TraceKind) -> Vec<Trace> {
+        self.recorder[kind.index()].lock().unwrap().clone()
+    }
+
+    /// Every retained trace across all kinds, slowest first per kind in
+    /// kind order.
+    pub fn all_traces(&self) -> Vec<Trace> {
+        TRACE_KINDS.iter().flat_map(|&k| self.slowest(k)).collect()
+    }
+
+    /// How many traces completed via sampling.
+    pub fn sampled_total(&self) -> u64 {
+        self.sampled_total.load(Ordering::Relaxed)
+    }
+
+    /// How many traces were force-sampled for crossing a slow-op threshold.
+    pub fn forced_total(&self) -> u64 {
+        self.forced_total.load(Ordering::Relaxed)
+    }
+
+    /// The flight recorder as a self-contained JSON document:
+    /// `{"traces":[{trace_id, kind, total_ns, spans:[...]}, ...]}`.
+    pub fn traces_json(&self) -> String {
+        let mut out = String::from("{\"traces\":");
+        out.push_str(&traces_json_array(&self.all_traces()));
+        out.push('}');
+        out
+    }
+
+    /// The flight recorder in Chrome trace-event format (load via
+    /// `chrome://tracing` or Perfetto): one complete (`"ph":"X"`) event per
+    /// span, with the trace id as the lane (`tid`).
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for trace in self.all_traces() {
+            let base_us = trace.at_unix_ms as f64 * 1_000.0;
+            for span in &trace.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let mut args = format!(
+                    "{{\"trace_id\":{},\"span_id\":{},\"parent\":{},\"forced\":{}",
+                    trace.trace_id, span.id, span.parent, trace.forced
+                );
+                for (key, value) in &span.annotations {
+                    args.push(',');
+                    args.push_str(&crate::export::json_escape(key));
+                    args.push(':');
+                    args.push_str(&value.to_json());
+                }
+                args.push('}');
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    crate::export::json_escape(span.name),
+                    crate::export::json_escape(trace.kind.as_str()),
+                    base_us + span.start_ns as f64 / 1_000.0,
+                    (span.end_ns - span.start_ns) as f64 / 1_000.0,
+                    trace.trace_id,
+                    args
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a slice of traces as a JSON array (shared by
+/// [`Tracer::traces_json`] and the hub's `json_snapshot`).
+pub(crate) fn traces_json_array(traces: &[Trace]) -> String {
+    let mut out = String::from("[");
+    for (ti, trace) in traces.iter().enumerate() {
+        if ti > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace_id\":{},\"kind\":{},\"at_unix_ms\":{},\"total_ns\":{},\"forced\":{},\"spans\":[",
+            trace.trace_id,
+            crate::export::json_escape(trace.kind.as_str()),
+            trace.at_unix_ms,
+            trace.total_ns,
+            trace.forced
+        ));
+        for (si, span) in trace.spans.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"name\":{},\"start_ns\":{},\"end_ns\":{},\"annotations\":{{",
+                span.id,
+                span.parent,
+                crate::export::json_escape(span.name),
+                span.start_ns,
+                span.end_ns
+            ));
+            for (ai, (key, value)) in span.annotations.iter().enumerate() {
+                if ai > 0 {
+                    out.push(',');
+                }
+                out.push_str(&crate::export::json_escape(key));
+                out.push(':');
+                out.push_str(&value.to_json());
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(sample_every: u64, seed: u64, k: usize) -> Tracer {
+        Tracer::new(TraceConfig {
+            sample_every,
+            seed,
+            slowest_per_kind: k,
+            ..TraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = tracer(4, 42, 8);
+        let b = tracer(4, 42, 8);
+        let c = tracer(4, 43, 8);
+        let pick = |t: &Tracer| -> Vec<u64> {
+            (0..256)
+                .filter(|&s| t.is_sampled(TraceKind::Get, s))
+                .collect()
+        };
+        let set_a = pick(&a);
+        assert!(!set_a.is_empty(), "1-in-4 over 256 ops must sample some");
+        assert_eq!(set_a, pick(&b), "same seed must select the same set");
+        assert_ne!(set_a, pick(&c), "different seed must select differently");
+        // Rate sanity: 1-in-4 over 256 ops lands near 64.
+        assert!((32..=110).contains(&set_a.len()), "got {}", set_a.len());
+        // Kinds sample independently.
+        assert_ne!(
+            pick(&a),
+            (0..256)
+                .filter(|&s| a.is_sampled(TraceKind::Commit, s))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_rate_disables_sampling_but_not_forcing() {
+        let t = tracer(0, 1, 4);
+        t.set_slow_op(TraceKind::Get, Duration::from_millis(5));
+        for seq in 0..64 {
+            assert!(!t.is_sampled(TraceKind::Get, seq));
+        }
+        assert!(matches!(t.decide(TraceKind::Get), TraceDecision::Unsampled));
+        t.maybe_force_sample(TraceKind::Get, Duration::from_millis(1), &[]);
+        assert_eq!(t.forced_total(), 0, "fast op must not force-sample");
+        t.maybe_force_sample(TraceKind::Get, Duration::from_millis(9), &[("key", 7)]);
+        assert_eq!(t.forced_total(), 1);
+        let traces = t.slowest(TraceKind::Get);
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].forced);
+        assert_eq!(traces[0].spans.len(), 1, "forced traces are root-only");
+        assert_eq!(traces[0].spans[0].name, "get");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_slowest_k_in_order() {
+        let t = tracer(0, 1, 3);
+        t.set_slow_op(TraceKind::Scan, Duration::ZERO);
+        for ms in [10u64, 50, 20, 40, 30] {
+            t.maybe_force_sample(TraceKind::Scan, Duration::from_millis(ms), &[]);
+        }
+        let kept: Vec<u64> = t
+            .slowest(TraceKind::Scan)
+            .iter()
+            .map(|tr| tr.total_ns / 1_000_000)
+            .collect();
+        assert_eq!(kept, vec![50, 40, 30], "slowest three, slowest first");
+    }
+
+    #[test]
+    fn spans_nest_and_annotations_survive() {
+        let t = tracer(1, 1, 4);
+        let TraceDecision::Sampled(ctx) = t.decide(TraceKind::Get) else {
+            panic!("1-in-1 must sample");
+        };
+        ctx.annotate("key", 99u64);
+        {
+            let _attach = ctx.attach();
+            assert!(is_active());
+            {
+                let mut outer = span("outer").expect("active trace yields spans");
+                outer.annotate("width", 3u64);
+                let _inner = span("inner").expect("nested span");
+                retro_span("measured", Duration::from_nanos(100), &[("bytes", 8)]);
+            }
+        }
+        assert!(!is_active());
+        assert!(span("after").is_none(), "no span outside an active trace");
+        t.finish(ctx);
+        let trace = t.slowest(TraceKind::Get).remove(0);
+        let by_name = |n: &str| trace.spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("get");
+        assert_eq!(root.id, ROOT_SPAN_ID);
+        assert_eq!(root.parent, 0);
+        assert!(root
+            .annotations
+            .contains(&("key", AnnotationValue::U64(99))));
+        let outer = by_name("outer");
+        let inner = by_name("inner");
+        let measured = by_name("measured");
+        assert_eq!(outer.parent, ROOT_SPAN_ID);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(measured.parent, inner.id);
+        for s in [outer, inner, measured] {
+            assert!(s.start_ns <= s.end_ns && s.end_ns <= root.end_ns);
+        }
+        assert!(inner.start_ns >= outer.start_ns && inner.end_ns <= outer.end_ns);
+        assert!(outer
+            .annotations
+            .contains(&("width", AnnotationValue::U64(3))));
+    }
+
+    #[test]
+    fn nested_layers_do_not_double_sample() {
+        let t = tracer(1, 1, 4);
+        let TraceDecision::Sampled(ctx) = t.decide(TraceKind::Commit) else {
+            panic!()
+        };
+        let attach = ctx.attach();
+        assert!(matches!(t.decide(TraceKind::Commit), TraceDecision::Nested));
+        drop(attach);
+        let guard = suppress();
+        assert!(matches!(t.decide(TraceKind::Commit), TraceDecision::Nested));
+        drop(guard);
+        t.finish(ctx);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = tracer(1, 1, 4);
+        let TraceDecision::Sampled(ctx) = t.decide(TraceKind::Scan) else {
+            panic!()
+        };
+        {
+            let _attach = ctx.attach();
+            let mut s = span("merge_setup").unwrap();
+            s.annotate("merge_width", 5u64);
+        }
+        t.finish(ctx);
+        let chrome = t.chrome_trace_json();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"name\":\"merge_setup\""));
+        assert!(chrome.contains("\"merge_width\":5"));
+        assert!(chrome.contains("\"tid\":"));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+        let json = t.traces_json();
+        assert!(json.contains("\"kind\":\"scan\""));
+        assert!(json.contains("\"total_ns\":"));
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -7,12 +7,12 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use laser::laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use laser::laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions, SplitPolicy};
 use laser::lsm_storage::types::WriteBatch;
 use laser::lsm_storage::{LsmDb, LsmOptions};
 use laser::telemetry::{
     bucket_lower_bound, bucket_upper_bound, parse_prometheus_text, EventKind, EventLog,
-    SlowOpThresholds, NUM_BUCKETS,
+    SlowOpThresholds, TraceConfig, TraceKind, Tracer, NUM_BUCKETS,
 };
 use laser::{Event, Telemetry};
 
@@ -257,4 +257,311 @@ fn slow_ops_are_flagged_and_counted_per_thresholds() {
     db.flush().unwrap();
     assert_eq!(hub.slow_ops(), 0);
     assert!(hub.recent_events().iter().all(|e| !e.slow));
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing and workload profiling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sampling_is_deterministic_across_tracers_with_the_same_seed() {
+    let sampled = |tracer: &Tracer| -> Vec<u64> {
+        (0..20_000u64)
+            .filter(|&seq| tracer.is_sampled(TraceKind::Get, seq))
+            .collect()
+    };
+    let a = sampled(&Tracer::new(TraceConfig::default()));
+    let b = sampled(&Tracer::new(TraceConfig::default()));
+    assert_eq!(a, b, "same seed must select the same sampled set");
+    assert!(!a.is_empty());
+    // Roughly 1 in 64 of the sequence, with generous slack for hash variance.
+    assert!((100..=700).contains(&a.len()), "rate off: {}", a.len());
+
+    let other_seed = Tracer::new(TraceConfig {
+        seed: 0xfeed_beef,
+        ..TraceConfig::default()
+    });
+    assert_ne!(
+        a,
+        sampled(&other_seed),
+        "a different seed reshuffles the set"
+    );
+}
+
+#[test]
+fn slow_unsampled_commits_are_force_sampled() {
+    let hub = Telemetry::new();
+    // Sampling fully disabled: only the slow-op rule can record traces.
+    hub.tracer().set_sample_every(0);
+    hub.tracer().set_slow_op(TraceKind::Commit, Duration::ZERO);
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    db.attach_telemetry(&hub, "0");
+    let mut batch = WriteBatch::new();
+    for key in 0..64u64 {
+        batch.put(key, vec![1u8; 32]);
+    }
+    db.write(&batch).unwrap();
+    db.get(5).unwrap();
+
+    assert_eq!(hub.tracer().sampled_total(), 0);
+    assert!(hub.tracer().forced_total() > 0);
+    let commits = hub.tracer().slowest(TraceKind::Commit);
+    assert!(!commits.is_empty(), "forced commit trace must be retained");
+    let trace = &commits[0];
+    assert!(trace.forced);
+    // Forced traces are root-only, with the op's end annotations attached.
+    assert_eq!(trace.spans.len(), 1);
+    assert!(trace.spans[0]
+        .annotations
+        .iter()
+        .any(|(k, _)| *k == "entries"));
+    // Gets stayed under their (default) threshold: nothing recorded.
+    assert!(hub.tracer().slowest(TraceKind::Get).is_empty());
+}
+
+#[test]
+fn sampled_traces_nest_spans_and_export_chrome_events() {
+    let hub = Telemetry::new();
+    hub.tracer().set_sample_every(1);
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    db.attach_telemetry(&hub, "0");
+    let mut batch = WriteBatch::new();
+    for key in 0..256u64 {
+        batch.put(key, vec![2u8; 64]);
+    }
+    db.write(&batch).unwrap();
+    db.flush().unwrap();
+    db.get(17).unwrap();
+    db.scan(0, 255).unwrap();
+
+    // Every op kind was sampled and retained.
+    for kind in [TraceKind::Get, TraceKind::Scan, TraceKind::Commit] {
+        let traces = hub.tracer().slowest(kind);
+        assert!(!traces.is_empty(), "no {kind:?} trace retained");
+        for trace in &traces {
+            assert!(!trace.forced);
+            let root = trace
+                .spans
+                .iter()
+                .find(|s| s.parent == 0)
+                .expect("root span");
+            assert_eq!(root.end_ns - root.start_ns, trace.total_ns);
+            for span in &trace.spans {
+                if span.parent == 0 {
+                    continue;
+                }
+                let parent = trace
+                    .spans
+                    .iter()
+                    .find(|s| s.id == span.parent)
+                    .expect("parent span present");
+                assert!(
+                    span.start_ns >= parent.start_ns && span.end_ns <= parent.end_ns,
+                    "span {} escapes parent {}: {:?}",
+                    span.name,
+                    parent.name,
+                    trace
+                );
+            }
+        }
+    }
+    // The engine probes and WAL phases appear as named child spans.
+    let get = &hub.tracer().slowest(TraceKind::Get)[0];
+    assert!(get.spans.iter().any(|s| s.name == "memtable_probe"));
+    let commit_spans: Vec<&str> = hub.tracer().slowest(TraceKind::Commit)[0]
+        .spans
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    assert!(commit_spans.contains(&"wal_append"), "{commit_spans:?}");
+    assert!(commit_spans.contains(&"wal_durable"), "{commit_spans:?}");
+
+    // Chrome trace-event export: one complete-event object per span, with
+    // the trace id as the thread lane and microsecond timings.
+    let chrome = hub.tracer().chrome_trace_json();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(chrome.contains("\"pid\":1"));
+    assert!(chrome.contains("\"tid\":"));
+    assert!(chrome.contains("\"ts\":"));
+    assert!(chrome.contains("\"dur\":"));
+    assert!(chrome.contains("\"name\":\"wal_append\""));
+    // The JSON dump carries the same traces.
+    let json = hub.tracer().traces_json();
+    assert!(json.contains("\"kind\":\"commit\""));
+    assert!(json.contains("\"spans\":["));
+}
+
+#[test]
+fn flight_recorder_retains_the_slowest_commits_in_order() {
+    let hub = Telemetry::new();
+    hub.tracer().set_sample_every(0);
+    hub.tracer().set_slow_op(TraceKind::Commit, Duration::ZERO);
+    let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
+    db.attach_telemetry(&hub, "0");
+    // Far more forced commits than the recorder retains.
+    for round in 0..64u64 {
+        let mut batch = WriteBatch::new();
+        for key in 0..16u64 {
+            batch.put(round * 16 + key, vec![3u8; 48]);
+        }
+        db.write(&batch).unwrap();
+    }
+    let retained = hub.tracer().slowest(TraceKind::Commit);
+    assert!(retained.len() < 64, "recorder must be bounded");
+    assert!(
+        retained.windows(2).all(|w| w[0].total_ns >= w[1].total_ns),
+        "flight recorder must be ordered slowest first"
+    );
+}
+
+#[test]
+fn stalled_writes_leave_a_trace_attributing_the_stall_wait() {
+    let options = ShardedOptions {
+        maintenance_workers: 1,
+        ..ShardedOptions::with_shards(1)
+    };
+    let db: ShardedDb<LsmDb> =
+        ShardedDb::open(MemShardStorage::new_ref(), stall_prone_options(), options).unwrap();
+    let hub = Telemetry::new();
+    hub.tracer().set_sample_every(1);
+    db.attach_telemetry(&hub);
+
+    // Every memtable rotation stalls the writer behind the 1-file L0 gate,
+    // so the slowest sampled commits are stall-bound.
+    let mut batch = WriteBatch::new();
+    for key in 0..2_000u64 {
+        batch.put(key, vec![(key % 251) as u8; 128]);
+        if batch.len() >= 32 {
+            db.write(&batch).unwrap();
+            batch = WriteBatch::new();
+        }
+    }
+    db.write(&batch).unwrap();
+
+    let stall_events = db
+        .recent_events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Stall)
+        .count();
+    assert!(stall_events > 0, "workload did not stall; tune the options");
+
+    let commits = hub.tracer().slowest(TraceKind::Commit);
+    assert!(!commits.is_empty());
+    // The slowest commit traces must attribute the bulk of their latency to
+    // the backpressure stall wait.
+    let best_attribution = commits
+        .iter()
+        .flat_map(|trace| {
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.name == "stall_wait")
+                .map(|s| (s.end_ns - s.start_ns) as f64 / trace.total_ns.max(1) as f64)
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_attribution > 0.5,
+        "no commit trace attributes most of its latency to stall_wait \
+         (best {best_attribution:.3}); traces: {:?}",
+        commits.iter().map(|t| t.total_ns).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn heatmap_suggests_the_split_key_for_an_unflushed_shard() {
+    // One shard, split policy triggered by ingest volume alone: the shard
+    // never flushes, so SST metadata (the primary split-key source) does not
+    // exist and the workload heatmap must supply the key.
+    let options = ShardedOptions {
+        num_shards: 1,
+        split_policy: Some(SplitPolicy {
+            max_resident_bytes: 0,
+            max_ingest_bytes: 64 << 10,
+            split_pending_jobs: 0,
+            max_shards: 2,
+            check_every_batches: 1,
+        }),
+        ..Default::default()
+    };
+    // Keep everything memtable-resident: with no SSTs the byte-median split
+    // source has nothing to offer, so only the heatmap can pick the key.
+    let mut engine_options = LsmOptions::small_for_tests();
+    engine_options.memtable_size_bytes = 4 << 20;
+    let db: ShardedDb<LsmDb> =
+        ShardedDb::open(MemShardStorage::new_ref(), engine_options, options).unwrap();
+    let hub = Telemetry::new();
+    db.attach_telemetry(&hub);
+
+    // 90% of writes hammer [0, 100), 10% land near 100_000: the sampled
+    // median sits inside the hot range.
+    for i in 0..2_000u64 {
+        let key = if i % 10 == 9 { 100_000 + i } else { i % 100 };
+        db.put(key, vec![4u8; 64]).unwrap();
+    }
+
+    assert_eq!(db.num_shards(), 2, "ingest-triggered split did not happen");
+    let boundaries = db.router().boundaries().to_vec();
+    assert_eq!(boundaries.len(), 1);
+    assert!(
+        boundaries[0] > 0 && boundaries[0] <= 100,
+        "split key {} should fall inside the hot key range (workload median)",
+        boundaries[0]
+    );
+    // The shard split on buffered writes only — nothing was flushed first by
+    // the caller, proving the SST byte-median source had nothing to offer.
+    let stats = db.stats();
+    assert_eq!(stats.splits, 1);
+}
+
+#[test]
+fn sharded_exports_carry_traces_cache_and_workload_sections() {
+    let options = ShardedOptions {
+        cache_bytes: 4 << 20,
+        ..ShardedOptions::with_boundaries(vec![512])
+    };
+    let db: ShardedDb<LsmDb> = ShardedDb::open(
+        MemShardStorage::new_ref(),
+        LsmOptions::small_for_tests(),
+        options,
+    )
+    .unwrap();
+    let hub = Telemetry::new();
+    // Sample everything: the workload below runs each op kind only a
+    // handful of times and the assertions need them retained.
+    hub.tracer().set_sample_every(1);
+    db.attach_telemetry(&hub);
+
+    let mut batch = WriteBatch::new();
+    for key in 0..1_024u64 {
+        batch.put(key, vec![5u8; 64]);
+        if batch.len() >= 64 {
+            db.write(&batch).unwrap();
+            batch = WriteBatch::new();
+        }
+    }
+    db.flush().unwrap();
+    for key in (0..1_024u64).step_by(7) {
+        db.get(key, &()).unwrap();
+    }
+    db.scan(0, 1_023, &()).unwrap();
+
+    let text = db.prometheus_text().unwrap();
+    assert!(text.contains("laser_cache_hits"));
+    assert!(text.contains("laser_cache_misses"));
+    assert!(text.contains("laser_cache_hit_rate_basis_points"));
+    assert!(text.contains("laser_cache_shard_resident_bytes"));
+    assert!(text.contains("laser_workload_reads_total"));
+    assert!(text.contains("laser_workload_heat"));
+
+    let json = db.telemetry_json().unwrap();
+    assert!(json.contains("\"traces\":["));
+    assert!(json.contains("\"workload\":["));
+    assert!(json.contains("\"heat\":["));
+    // Cross-shard ops fan out as child spans under the router's root trace.
+    let scans = hub.tracer().slowest(TraceKind::Scan);
+    assert!(!scans.is_empty());
+    assert!(scans
+        .iter()
+        .any(|t| t.spans.iter().any(|s| s.name == "scan_leg")));
 }
