@@ -23,6 +23,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bridge;
+
+pub use bridge::{trace_from_snapshot, tree_params_from_measured};
+
 use laser_core::lsm_storage::{Error, Result};
 use laser_core::{ColumnGroup, ColumnId, LayoutSpec, LevelLayout, Projection, Schema};
 use laser_cost_model::{level_workload_cost, LevelWorkload, TreeParameters};

@@ -5,18 +5,35 @@
 //! values. The tracing contract is enforced too: the run must leave sampled
 //! traces in the flight recorder, every child span must nest inside its
 //! parent's interval, and the workload heatmaps must be non-empty.
-//! `--json PATH` additionally writes the JSON snapshot and `--traces PATH`
-//! the flight-recorder dump (both uploaded as nightly CI artifacts).
+//!
+//! The cost-model observability contract is validated end to end: the
+//! std-only scrape endpoint is started, `/metrics` is fetched over real
+//! HTTP and round-tripped through `parse_prometheus_text`, the per-shard
+//! amplification gauges (`laser_write_amp` / `laser_read_amp` /
+//! `laser_space_amp`) and model residuals must be present and finite, and
+//! every per-shard workload snapshot must convert into a
+//! `laser_advisor::WorkloadTrace` that `select_design` accepts.
+//!
+//! Telemetry thresholds are env-overridable: `LASER_TRACE_SAMPLE_EVERY`,
+//! `LASER_EVENT_CAPACITY`, and `LASER_SLOW_{FLUSH,COMPACTION,TRIM,SPLIT,
+//! STALL,WAL_ROTATION,WAL_FSYNC}_MS`.
+//!
+//! `--json PATH` additionally writes the JSON snapshot, `--traces PATH` the
+//! flight-recorder dump, and `--advisor-trace PATH` the advisor-ready
+//! workload snapshots (all uploaded as nightly CI artifacts).
 //!
 //! Usage: `cargo run --release --bin telemetry_check
-//!         [--json PATH] [--traces PATH] [--quiet]`
+//!         [--json PATH] [--traces PATH] [--advisor-trace PATH] [--quiet]`
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions};
+use laser_advisor::{select_design, trace_from_snapshot, AdvisorOptions};
+use laser_core::Schema;
+use laser_sharding::{http_get, MemShardStorage, ShardedDb, ShardedOptions};
 use lsm_storage::types::WriteBatch;
 use lsm_storage::{LsmDb, LsmOptions, Result};
-use telemetry::{parse_prometheus_text, MetricValue, Telemetry, Trace};
+use telemetry::{parse_prometheus_text, MetricValue, Telemetry, TelemetryOptions, Trace};
 
 /// Engine options small enough that the workload below flushes and compacts
 /// several times.
@@ -25,6 +42,46 @@ fn engine_options() -> LsmOptions {
     options.memtable_size_bytes = 32 << 10;
     options.sst_target_size_bytes = 64 << 10;
     options.auto_compact = true;
+    options
+}
+
+/// One integer environment override, ignored unless it parses.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Telemetry configuration for the run: CI defaults (aggressive 1-in-8
+/// sampling so the short workload reliably leaves traces of every kind),
+/// overridable per variable from the environment.
+fn telemetry_options_from_env() -> TelemetryOptions {
+    let mut options = TelemetryOptions::default().sample_every(8);
+    if let Some(n) = env_u64("LASER_TRACE_SAMPLE_EVERY") {
+        options.trace.sample_every = n;
+    }
+    if let Some(n) = env_u64("LASER_EVENT_CAPACITY") {
+        options.event_capacity = n as usize;
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_FLUSH_MS") {
+        options.thresholds.flush = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_COMPACTION_MS") {
+        options.thresholds.compaction = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_TRIM_MS") {
+        options.thresholds.trim = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_SPLIT_MS") {
+        options.thresholds.split = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_STALL_MS") {
+        options.thresholds.stall = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_WAL_ROTATION_MS") {
+        options.thresholds.wal_rotation = Duration::from_millis(ms);
+    }
+    if let Some(ms) = env_u64("LASER_SLOW_WAL_FSYNC_MS") {
+        options.thresholds.wal_fsync = Duration::from_millis(ms);
+    }
     options
 }
 
@@ -44,10 +101,7 @@ fn run_workload() -> Result<(Arc<ShardedDb<LsmDb>>, Arc<Telemetry>)> {
         engine_options(),
         options,
     )?);
-    let hub = Telemetry::new();
-    // Sample aggressively (1 in 8) so the short CI workload reliably leaves
-    // traces of every kind in the flight recorder.
-    hub.tracer().set_sample_every(8);
+    let hub = Telemetry::with_options(telemetry_options_from_env());
     db.attach_telemetry(&hub);
 
     let mut batch = WriteBatch::new();
@@ -119,12 +173,14 @@ fn validate_traces(traces: &[Trace], failures: &mut Vec<String>) {
 fn main() {
     let mut json_path: Option<String> = None;
     let mut traces_path: Option<String> = None;
+    let mut advisor_trace_path: Option<String> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next(),
             "--traces" => traces_path = args.next(),
+            "--advisor-trace" => advisor_trace_path = args.next(),
             "--quiet" => quiet = true,
             other => {
                 eprintln!("telemetry_check: unknown argument {other}");
@@ -204,9 +260,108 @@ fn main() {
         }
     }
 
+    // Cost-model observability: scrape the real HTTP endpoint and require
+    // finite per-shard amplifications and model residuals in the exposition.
+    let server = db
+        .serve_telemetry("127.0.0.1:0")
+        .expect("telemetry endpoint failed to bind");
+    let (status, scraped) = http_get(server.addr(), "/metrics").expect("scrape /metrics");
+    if status != 200 {
+        failures.push(format!("/metrics returned HTTP {status}"));
+    }
+    match parse_prometheus_text(&scraped) {
+        None => failures.push("/metrics scrape did not parse as Prometheus text".into()),
+        Some(scraped_samples) => {
+            for name in [
+                "laser_write_amp",
+                "laser_read_amp",
+                "laser_space_amp",
+                "laser_amp_residual",
+            ] {
+                let series: Vec<_> = scraped_samples.iter().filter(|s| s.name == name).collect();
+                if series.is_empty() {
+                    failures.push(format!("scraped /metrics has no {name} samples"));
+                }
+                for sample in series {
+                    if !sample.value.is_finite() {
+                        failures.push(format!(
+                            "scraped {name} {:?} is non-finite: {}",
+                            sample.labels, sample.value
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (path, needle) in [
+        ("/health", "\"status\":\"ok\""),
+        ("/debug/lsm", "\"residual_write\""),
+        ("/debug/workload", "\"params\""),
+        ("/debug/traces", "\"traces\""),
+    ] {
+        match http_get(server.addr(), path) {
+            Err(err) => failures.push(format!("GET {path} failed: {err}")),
+            Ok((status, body)) => {
+                if status != 200 {
+                    failures.push(format!("GET {path} returned HTTP {status}"));
+                } else if !body.contains(needle) {
+                    failures.push(format!("GET {path} body is missing `{needle}`"));
+                }
+            }
+        }
+    }
+    drop(server);
+
+    // Advisor bridge: every live shard's measured workload snapshot must
+    // convert into a trace the design advisor accepts.
+    let snapshots = db.workload_snapshots();
+    if snapshots.is_empty() {
+        failures.push("no workload snapshots to feed the advisor".into());
+    }
+    for snapshot in &snapshots {
+        match trace_from_snapshot(snapshot) {
+            Err(err) => failures.push(format!(
+                "shard {} snapshot rejected by the advisor bridge: {err}",
+                snapshot.shard
+            )),
+            Ok(trace) => {
+                let schema = Schema::with_columns(trace.params.num_columns);
+                let options = AdvisorOptions {
+                    num_levels: trace.num_levels().max(1),
+                    design_name: format!("measured-shard-{}", snapshot.shard),
+                };
+                if let Err(err) = select_design(&schema, &trace, &options) {
+                    failures.push(format!(
+                        "select_design rejected shard {} measured trace: {err}",
+                        snapshot.shard
+                    ));
+                }
+            }
+        }
+    }
+    // Per-shard amplifications must also be finite through the direct API.
+    for index in 0..db.num_shards() {
+        match db.shard_amplification(index) {
+            None => failures.push(format!("shard {index} reported no amplification")),
+            Some((write, read, space)) => {
+                if !write.is_finite() || !read.is_finite() || !space.is_finite() {
+                    failures.push(format!(
+                        "shard {index} amplification non-finite: write={write} read={read} space={space}"
+                    ));
+                }
+            }
+        }
+    }
+
     if let Some(path) = &json_path {
         let json = db.telemetry_json().expect("telemetry attached");
         std::fs::write(path, json).expect("write telemetry snapshot");
+        println!("telemetry_check: wrote {path}");
+    }
+    if let Some(path) = &advisor_trace_path {
+        let body: Vec<String> = snapshots.iter().map(|s| s.to_json()).collect();
+        std::fs::write(path, format!("[{}]", body.join(",")))
+            .expect("write advisor workload snapshots");
         println!("telemetry_check: wrote {path}");
     }
     if let Some(path) = &traces_path {
@@ -217,7 +372,8 @@ fn main() {
     if failures.is_empty() {
         println!(
             "telemetry_check: OK — {} samples cover {} registered metrics, {} events logged, \
-             {} traces retained ({} sampled, {} forced), {} shards profiled",
+             {} traces retained ({} sampled, {} forced), {} shards profiled, \
+             {} scraped samples over HTTP, {} advisor snapshots accepted",
             samples.len(),
             hub.registry().metrics().len(),
             hub.recent_events().len(),
@@ -225,6 +381,8 @@ fn main() {
             hub.tracer().sampled_total(),
             hub.tracer().forced_total(),
             profiles.len(),
+            parse_prometheus_text(&scraped).map_or(0, |s| s.len()),
+            snapshots.len(),
         );
     } else {
         for failure in &failures {

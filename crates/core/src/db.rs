@@ -428,6 +428,11 @@ impl LaserDb {
     }
 
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
+        let logical_bytes: u64 = batch
+            .iter()
+            .map(|e| std::mem::size_of::<UserKey>() as u64 + e.value.len() as u64)
+            .sum();
+        self.stats.record_ingest_bytes(logical_bytes);
         let telemetry = self.telemetry.get();
         let commit_start = telemetry.map(|_| Instant::now());
         let op = telemetry.map(|t| t.begin_op(TraceKind::Commit));

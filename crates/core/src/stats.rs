@@ -28,16 +28,29 @@ pub struct LevelProfile {
     /// Projections observed at this level (reads, scans and updates),
     /// with multiplicity. The advisor splits candidate column groups on these.
     pub projections: Vec<(Projection, u64)>,
+    /// Point-read projections alone, with multiplicity — kept separate from
+    /// the combined list so a workload trace can be rebuilt losslessly per
+    /// operation kind.
+    pub read_projections: Vec<(Projection, u64)>,
+    /// Scan projections alone: `(projection, entries returned, scans)`.
+    pub scan_projections: Vec<(Projection, u64, u64)>,
+    /// Update projections alone, with multiplicity.
+    pub update_projections: Vec<(Projection, u64)>,
 }
 
 impl LevelProfile {
     /// Records one occurrence of a projection.
     pub fn record_projection(&mut self, projection: &Projection) {
-        if let Some(entry) = self.projections.iter_mut().find(|(p, _)| p == projection) {
-            entry.1 += 1;
-        } else {
-            self.projections.push((projection.clone(), 1));
-        }
+        bump_projection(&mut self.projections, projection, 1);
+    }
+}
+
+/// Bumps `projection` by `count` in a `(projection, count)` list.
+fn bump_projection(list: &mut Vec<(Projection, u64)>, projection: &Projection, count: u64) {
+    if let Some(entry) = list.iter_mut().find(|(p, _)| p == projection) {
+        entry.1 += count;
+    } else {
+        list.push((projection.clone(), count));
     }
 }
 
@@ -64,6 +77,10 @@ pub struct EngineStatsSnapshot {
     pub compaction_bytes_read: u64,
     /// Entries written by flushes and compactions.
     pub compaction_entries_written: u64,
+    /// Logical bytes accepted on the write path (key + encoded fragment),
+    /// before any storage overhead — the denominator of measured write
+    /// amplification.
+    pub ingest_bytes: u64,
     /// Writes that blocked on backpressure (stall threshold reached).
     pub stall_events: u64,
     /// Writes that briefly yielded on backpressure (slowdown threshold).
@@ -116,6 +133,7 @@ impl EngineStatsSnapshot {
             compaction_entries_written: self
                 .compaction_entries_written
                 .saturating_sub(earlier.compaction_entries_written),
+            ingest_bytes: self.ingest_bytes.saturating_sub(earlier.ingest_bytes),
             stall_events: self.stall_events.saturating_sub(earlier.stall_events),
             slowdown_events: self.slowdown_events.saturating_sub(earlier.slowdown_events),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
@@ -185,6 +203,7 @@ impl EngineStats {
             profile.point_reads += 1;
             profile.point_read_groups_fetched += groups_fetched;
             profile.record_projection(projection);
+            bump_projection(&mut profile.read_projections, projection, 1);
         }
     }
 
@@ -200,6 +219,18 @@ impl EngineStats {
             profile.scans += 1;
             profile.scan_entries += entries;
             profile.record_projection(projection);
+            if let Some(entry) = profile
+                .scan_projections
+                .iter_mut()
+                .find(|(p, _, _)| p == projection)
+            {
+                entry.1 += entries;
+                entry.2 += 1;
+            } else {
+                profile
+                    .scan_projections
+                    .push((projection.clone(), entries, 1));
+            }
         }
     }
 
@@ -214,7 +245,13 @@ impl EngineStats {
         if let Some(profile) = inner.levels.get_mut(level) {
             profile.updates += 1;
             profile.record_projection(projection);
+            bump_projection(&mut profile.update_projections, projection, 1);
         }
+    }
+
+    /// Records `bytes` of logical payload accepted on the write path.
+    pub fn record_ingest_bytes(&self, bytes: u64) {
+        self.inner.lock().ingest_bytes += bytes;
     }
 
     /// Records a flush that wrote `bytes` / `entries`.
@@ -300,6 +337,12 @@ mod tests {
         assert_eq!(snap.levels[1].point_reads, 2);
         assert_eq!(snap.levels[1].point_read_groups_fetched, 3);
         assert_eq!(snap.levels[1].projections, vec![(proj.clone(), 2)]);
+        assert_eq!(snap.levels[1].read_projections, vec![(proj.clone(), 2)]);
+        assert_eq!(snap.levels[0].update_projections, vec![(proj.clone(), 1)]);
+        assert_eq!(
+            snap.levels[2].scan_projections,
+            vec![(Projection::of([5]), 100, 1)]
+        );
         assert_eq!(snap.levels[2].scans, 1);
         assert_eq!(snap.levels[2].scan_entries, 100);
         assert_eq!(snap.levels[0].updates, 1);

@@ -173,6 +173,12 @@ pub struct BlockCache {
     /// [`BlockCache::add_scope`] so a process-wide cache can report where its
     /// budget went.
     scope_used: RwLock<Vec<Arc<AtomicU64>>>,
+    /// Lookups served from the cache, per scope (index = [`ScopeId`]).
+    /// Together with `scope_misses` this distinguishes a cold shard (few
+    /// lookups) from a thrashing one (many lookups, low hit rate).
+    scope_hits: RwLock<Vec<Arc<AtomicU64>>>,
+    /// Lookups that missed, per scope (index = [`ScopeId`]).
+    scope_misses: RwLock<Vec<Arc<AtomicU64>>>,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -210,6 +216,8 @@ impl BlockCache {
             next_table_id: AtomicU64::new(1),
             table_scopes: RwLock::new(HashMap::new()),
             scope_used: RwLock::new(vec![Arc::new(AtomicU64::new(0))]),
+            scope_hits: RwLock::new(vec![Arc::new(AtomicU64::new(0))]),
+            scope_misses: RwLock::new(vec![Arc::new(AtomicU64::new(0))]),
         })
     }
 
@@ -235,6 +243,8 @@ impl BlockCache {
     pub fn add_scope(&self) -> ScopeId {
         let mut scopes = self.scope_used.write();
         scopes.push(Arc::new(AtomicU64::new(0)));
+        self.scope_hits.write().push(Arc::new(AtomicU64::new(0)));
+        self.scope_misses.write().push(Arc::new(AtomicU64::new(0)));
         (scopes.len() - 1) as ScopeId
     }
 
@@ -259,6 +269,32 @@ impl BlockCache {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// `(hits, misses)` recorded on behalf of `scope` since the cache was
+    /// created (`(0, 0)` for unknown scopes). Monotonic: retiring a scope
+    /// does not reset its totals.
+    pub fn scope_hit_miss(&self, scope: ScopeId) -> (u64, u64) {
+        let hits = self
+            .scope_hits
+            .read()
+            .get(scope as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        let misses = self
+            .scope_misses
+            .read()
+            .get(scope as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        (hits, misses)
+    }
+
+    /// Bumps a per-scope counter (hit or miss), ignoring unknown scopes.
+    fn bump_scope(counters: &RwLock<Vec<Arc<AtomicU64>>>, scope: ScopeId) {
+        if let Some(counter) = counters.read().get(scope as usize) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Retires an accounting scope: every cached block charged to it is
@@ -320,16 +356,20 @@ impl BlockCache {
     pub fn get(&self, table_id: u64, block_idx: u32) -> Option<CachedBlock> {
         let key = (table_id, block_idx);
         let mut shard = self.shard(&key).lock();
-        match shard.map.get(&key).map(|e| Arc::clone(&e.data)) {
-            Some(data) => {
+        match shard.map.get(&key).map(|e| (Arc::clone(&e.data), e.scope)) {
+            Some((data, scope)) => {
                 shard.touch(key);
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                Self::bump_scope(&self.scope_hits, scope);
                 Some(data)
             }
             None => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                // The resident entry that would know its scope is exactly
+                // what's missing; fall back to the table registration.
+                Self::bump_scope(&self.scope_misses, self.scope_of(table_id));
                 None
             }
         }
@@ -594,6 +634,30 @@ mod tests {
             cache.scope_usage().iter().sum::<u64>(),
             cache.stats().used_bytes
         );
+    }
+
+    #[test]
+    fn per_scope_hits_and_misses_attribute_to_the_right_tenant() {
+        let cache = BlockCache::with_shards(1 << 20, 1);
+        let s1 = cache.add_scope();
+        let s2 = cache.add_scope();
+        let t1 = cache.register_table_scoped(s1);
+        let t2 = cache.register_table_scoped(s2);
+        cache.insert(t1, 0, block(100));
+        // s1: two hits, one miss. s2: one miss (cold — never inserted).
+        assert!(cache.get(t1, 0).is_some());
+        assert!(cache.get(t1, 0).is_some());
+        assert!(cache.get(t1, 9).is_none());
+        assert!(cache.get(t2, 0).is_none());
+        assert_eq!(cache.scope_hit_miss(s1), (2, 1));
+        assert_eq!(cache.scope_hit_miss(s2), (0, 1));
+        assert_eq!(cache.scope_hit_miss(0), (0, 0));
+        // Per-scope counts sum to the global counters.
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        // Unknown scopes read as zero.
+        assert_eq!(cache.scope_hit_miss(99), (0, 0));
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct CompactionStats {
     pub trimmed_entries: AtomicU64,
     /// Trim compactions run (out-of-range SSTs rewritten or dropped).
     pub trim_compactions: AtomicU64,
+    /// Logical bytes accepted on the write path (key + value payload),
+    /// before any storage overhead — the denominator of measured write
+    /// amplification.
+    pub ingest_bytes: AtomicU64,
 }
 
 impl CompactionStats {
@@ -80,6 +84,7 @@ impl CompactionStats {
             slowdown_events: self.slowdown_events.load(Ordering::Relaxed),
             trimmed_entries: self.trimmed_entries.load(Ordering::Relaxed),
             trim_compactions: self.trim_compactions.load(Ordering::Relaxed),
+            ingest_bytes: self.ingest_bytes.load(Ordering::Relaxed),
             ..Default::default()
         }
     }
@@ -106,6 +111,8 @@ pub struct CompactionStatsSnapshot {
     pub trimmed_entries: u64,
     /// Trim compactions run.
     pub trim_compactions: u64,
+    /// Logical bytes accepted on the write path (key + value payload).
+    pub ingest_bytes: u64,
     /// Block-cache hits (0 when no cache is configured).
     pub cache_hits: u64,
     /// Block-cache misses (0 when no cache is configured).
@@ -137,6 +144,7 @@ impl CompactionStatsSnapshot {
             trim_compactions: self
                 .trim_compactions
                 .saturating_sub(earlier.trim_compactions),
+            ingest_bytes: self.ingest_bytes.saturating_sub(earlier.ingest_bytes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             bg_jobs_completed: self
@@ -203,6 +211,10 @@ pub struct LsmDb {
     /// data. Reads are unaffected (the router never asks for out-of-range
     /// keys, and scans clamp to the bound's range at the sharding layer).
     key_bound: RwLock<Option<(UserKey, UserKey)>>,
+    /// Point reads answered per level (index = level; memtable hits count
+    /// as level 0, the level they would flush into). Feeds the advisor's
+    /// per-level workload attribution.
+    level_reads: Vec<AtomicU64>,
 }
 
 impl LsmDb {
@@ -273,6 +285,7 @@ impl LsmDb {
             snapshot.last_seq + 1,
         )?;
 
+        let level_reads = (0..options.num_levels).map(|_| AtomicU64::new(0)).collect();
         let db = LsmDb {
             storage,
             options,
@@ -286,6 +299,7 @@ impl LsmDb {
             write_room: BackpressureGate::new(),
             telemetry: OnceLock::new(),
             key_bound: RwLock::new(None),
+            level_reads,
         };
 
         {
@@ -411,6 +425,13 @@ impl LsmDb {
         // (nested case): child spans record into whichever trace owns us.
         let traced = trace::is_active();
         EngineMaintenance::apply_backpressure(self);
+        let logical_bytes: u64 = batch
+            .iter()
+            .map(|e| std::mem::size_of::<UserKey>() as u64 + e.value.len() as u64)
+            .sum();
+        self.stats
+            .ingest_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
         let ticket = {
             let _apply_span = if traced {
                 trace::span("wal_append")
@@ -565,12 +586,14 @@ impl LsmDb {
             let inner = self.inner.read();
             if let Some(mutable) = &inner.mutable {
                 if let Some((ik, value)) = mutable.get(key, snapshot_seq) {
+                    self.record_level_read(0);
                     return Ok(filter_tombstone(ik, value));
                 }
             }
             // Frozen memtables, newest first.
             for imm in inner.immutables.iter().rev() {
                 if let Some((ik, value)) = imm.memtable.get(key, snapshot_seq) {
+                    self.record_level_read(0);
                     return Ok(filter_tombstone(ik, value));
                 }
             }
@@ -578,16 +601,16 @@ impl LsmDb {
             // (range-pruned via metadata, which may be narrower than the
             // file contents for SSTs adopted from a pre-split parent shard),
             // then at most one candidate per deeper level.
-            let mut tables: Vec<TableHandle> = inner.levels[0]
+            let mut tables: Vec<(usize, TableHandle)> = inner.levels[0]
                 .iter()
                 .rev()
                 .filter(|f| f.meta.min_user_key <= key && key <= f.meta.max_user_key)
-                .map(|f| f.table.clone())
+                .map(|f| (0, f.table.clone()))
                 .collect();
-            for level in inner.levels.iter().skip(1) {
+            for (level_no, level) in inner.levels.iter().enumerate().skip(1) {
                 let idx = level.partition_point(|f| f.meta.max_user_key < key);
                 if idx < level.len() && level[idx].meta.min_user_key <= key {
-                    tables.push(level[idx].table.clone());
+                    tables.push((level_no, level[idx].table.clone()));
                 }
             }
             tables
@@ -600,11 +623,12 @@ impl LsmDb {
         if let Some(span) = &mut sst_span {
             span.annotate("candidates", tables.len());
         }
-        for (probed, table) in tables.iter().enumerate() {
+        for (probed, (level, table)) in tables.iter().enumerate() {
             if let Some((ik, value)) = table.get(key, snapshot_seq)? {
                 if let Some(span) = &mut sst_span {
                     span.annotate("tables_probed", probed + 1);
                 }
+                self.record_level_read(*level);
                 return Ok(filter_tombstone(ik, value));
             }
         }
@@ -1170,6 +1194,26 @@ impl LsmDb {
     /// The key bound, if one is set.
     pub fn key_bound(&self) -> Option<(UserKey, UserKey)> {
         *self.key_bound.read()
+    }
+
+    /// Attributes one answered point read to `level` (clamped to the
+    /// deepest configured level).
+    fn record_level_read(&self, level: usize) {
+        if let Some(counter) = self
+            .level_reads
+            .get(level.min(self.level_reads.len().saturating_sub(1)))
+        {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point reads answered per level since open (index = level; memtable
+    /// hits count as level 0). Reads that found nothing are not attributed.
+    pub fn reads_by_level(&self) -> Vec<u64> {
+        self.level_reads
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Approximate bytes buffered in the mutable and frozen memtables.

@@ -64,6 +64,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod observability;
 pub mod options;
+pub mod shape;
 pub mod skiplist;
 pub mod sst;
 pub mod storage;
@@ -87,6 +88,7 @@ pub use manifest::FileMeta;
 pub use memtable::{FrozenMemTable, MemTable, MemTableRef};
 pub use observability::{EngineTelemetry, WalTelemetry};
 pub use options::{CompactionPriority, LsmOptions};
+pub use shape::{LevelShape, TreeShape};
 pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
 pub use storage::{
     FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage,

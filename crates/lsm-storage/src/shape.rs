@@ -1,0 +1,319 @@
+//! LSM shape introspection: a point-in-time description of the tree's
+//! physical layout (files, bytes, entries, overlap, compaction debt per
+//! level) computed from manifest metadata alone, plus the structural
+//! read/space amplification estimates derived from it.
+//!
+//! The shape is engine-agnostic: both the plain key-value engine and the
+//! LASER column-group engine expose their levels as `Vec<Vec<FileMeta>>`,
+//! and `FileMeta::column_group` lets the shape count per-column-group file
+//! sets where they exist. The sharding layer turns one [`TreeShape`] per
+//! shard into the `laser_level_*` / `laser_read_amp` / `laser_space_amp`
+//! gauges and the `/debug/lsm` endpoint body.
+
+use crate::manifest::FileMeta;
+use crate::types::UserKey;
+
+/// One level of a [`TreeShape`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelShape {
+    /// Level number.
+    pub level: u32,
+    /// Files in the level.
+    pub files: u64,
+    /// Total bytes across the level's files.
+    pub bytes: u64,
+    /// Total entries across the level's files.
+    pub entries: u64,
+    /// Distinct column groups with at least one file in the level (1 for a
+    /// plain key-value engine).
+    pub column_groups: u32,
+    /// Bytes of this level's files whose key range overlaps at least one
+    /// file of the next level — the data a compaction out of this level
+    /// would have to merge against.
+    pub overlap_next_bytes: u64,
+    /// Bytes above the level's steady-state target (level 0's target is the
+    /// write buffer; level `i` targets `T^i` times that). Everything in an
+    /// over-target level must eventually be rewritten downward.
+    pub debt_bytes: u64,
+}
+
+/// A point-in-time physical description of one engine's LSM tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreeShape {
+    /// Bytes buffered in memtables (mutable + frozen).
+    pub buffered_bytes: u64,
+    /// Total SST bytes across all levels.
+    pub total_bytes: u64,
+    /// Total SST entries across all levels.
+    pub total_entries: u64,
+    /// Per-level shapes, index = level (trailing empty levels included so
+    /// the vector length is the configured level count).
+    pub levels: Vec<LevelShape>,
+    /// Estimated live bytes: the in-bounds fraction of the deepest
+    /// non-empty level (see [`TreeShape::compute`] on how bounds are
+    /// applied). 0 when the tree has no files.
+    pub live_bytes_estimate: u64,
+}
+
+/// Fraction of `file`'s key span that lies inside `bounds` (inclusive),
+/// assuming keys spread uniformly across the file's span. 1.0 without
+/// bounds; files entirely outside the bounds score 0.0.
+fn in_bounds_fraction(file: &FileMeta, bounds: Option<(UserKey, UserKey)>) -> f64 {
+    let Some((lo, hi)) = bounds else {
+        return 1.0;
+    };
+    if file.max_user_key < lo || hi < file.min_user_key {
+        return 0.0;
+    }
+    let span = (file.max_user_key - file.min_user_key) as f64 + 1.0;
+    let ov_lo = file.min_user_key.max(lo);
+    let ov_hi = file.max_user_key.min(hi);
+    ((ov_hi - ov_lo) as f64 + 1.0) / span
+}
+
+impl TreeShape {
+    /// Computes the shape from per-level file metadata.
+    ///
+    /// * `levels` — `levels[i]` holds level `i`'s files (any order).
+    /// * `buffered_bytes` — current memtable bytes.
+    /// * `size_ratio` — configured level size ratio `T`.
+    /// * `level0_target_bytes` — steady-state target for level 0 (the write
+    ///   buffer capacity); level `i` targets `T^i` times this.
+    /// * `bounds` — the shard's key bounds, if this tree serves one shard of
+    ///   a sharded deployment. Files adopted from a pre-split parent may
+    ///   carry out-of-bounds data; the live-byte estimate discounts them by
+    ///   the in-bounds fraction of their key span.
+    pub fn compute(
+        levels: &[Vec<FileMeta>],
+        buffered_bytes: u64,
+        size_ratio: u64,
+        level0_target_bytes: u64,
+        bounds: Option<(UserKey, UserKey)>,
+    ) -> TreeShape {
+        let mut shapes = Vec::with_capacity(levels.len());
+        let mut total_bytes = 0u64;
+        let mut total_entries = 0u64;
+        for (level_no, files) in levels.iter().enumerate() {
+            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
+            let entries: u64 = files.iter().map(|f| f.num_entries).sum();
+            let mut groups: Vec<u32> = files.iter().map(|f| f.column_group).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            let overlap_next_bytes = match levels.get(level_no + 1) {
+                Some(next) if !next.is_empty() => files
+                    .iter()
+                    .filter(|f| {
+                        next.iter()
+                            .any(|n| f.overlaps(n.min_user_key, n.max_user_key))
+                    })
+                    .map(|f| f.file_size)
+                    .sum(),
+                _ => 0,
+            };
+            let target = size_ratio
+                .saturating_pow(level_no as u32)
+                .saturating_mul(level0_target_bytes);
+            total_bytes += bytes;
+            total_entries += entries;
+            shapes.push(LevelShape {
+                level: level_no as u32,
+                files: files.len() as u64,
+                bytes,
+                entries,
+                column_groups: groups.len() as u32,
+                overlap_next_bytes,
+                debt_bytes: bytes.saturating_sub(target),
+            });
+        }
+        let live_bytes_estimate = levels
+            .iter()
+            .rev()
+            .find(|files| !files.is_empty())
+            .map(|files| {
+                files
+                    .iter()
+                    .map(|f| f.file_size as f64 * in_bounds_fraction(f, bounds))
+                    .sum::<f64>() as u64
+            })
+            .unwrap_or(0);
+        TreeShape {
+            buffered_bytes,
+            total_bytes,
+            total_entries,
+            levels: shapes,
+            live_bytes_estimate,
+        }
+    }
+
+    /// Structural read amplification: the number of sorted runs a point
+    /// lookup may probe. Counts 1 for the memtables, every level-0 file
+    /// per column group (level-0 runs overlap), and one run per column
+    /// group for each non-empty deeper level. ≥ 1 by construction.
+    pub fn read_amp(&self) -> f64 {
+        let mut probes = 1.0;
+        for shape in &self.levels {
+            if shape.files == 0 {
+                continue;
+            }
+            if shape.level == 0 {
+                probes += shape.files as f64;
+            } else {
+                probes += shape.column_groups as f64;
+            }
+        }
+        probes
+    }
+
+    /// Measured space amplification: physical bytes (SSTs + memtables) over
+    /// the live-byte estimate. Both duplicate versions in upper levels and
+    /// out-of-bounds data adopted from a pre-split parent inflate it;
+    /// compactions and trim passes shrink it back toward 1. Reports 1.0 for
+    /// an empty tree (no files ⇒ nothing amplified).
+    pub fn space_amp(&self) -> f64 {
+        if self.live_bytes_estimate == 0 {
+            return 1.0;
+        }
+        (self.total_bytes + self.buffered_bytes) as f64 / self.live_bytes_estimate as f64
+    }
+
+    /// The deepest level holding at least one file, if any.
+    pub fn last_nonempty_level(&self) -> Option<u32> {
+        self.levels
+            .iter()
+            .rev()
+            .find(|shape| shape.files > 0)
+            .map(|shape| shape.level)
+    }
+
+    /// Renders the shape as a JSON object (the per-shard body inside the
+    /// `/debug/lsm` endpoint).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"buffered_bytes\":{},\"total_bytes\":{},\"total_entries\":{},\
+             \"live_bytes_estimate\":{},\"read_amp\":{:.3},\"space_amp\":{:.3},\"levels\":[",
+            self.buffered_bytes,
+            self.total_bytes,
+            self.total_entries,
+            self.live_bytes_estimate,
+            self.read_amp(),
+            self.space_amp(),
+        );
+        for (i, shape) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"level\":{},\"files\":{},\"bytes\":{},\"entries\":{},\"column_groups\":{},\
+                 \"overlap_next_bytes\":{},\"debt_bytes\":{}}}",
+                shape.level,
+                shape.files,
+                shape.bytes,
+                shape.entries,
+                shape.column_groups,
+                shape.overlap_next_bytes,
+                shape.debt_bytes,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(level: u32, lo: UserKey, hi: UserKey, size: u64, entries: u64, cg: u32) -> FileMeta {
+        FileMeta {
+            file_number: 1,
+            level,
+            min_user_key: lo,
+            max_user_key: hi,
+            num_entries: entries,
+            file_size: size,
+            min_seq: 1,
+            max_seq: 1,
+            column_group: cg,
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_unamplified() {
+        let shape = TreeShape::compute(&[Vec::new(), Vec::new()], 0, 4, 1024, None);
+        assert_eq!(shape.read_amp(), 1.0);
+        assert_eq!(shape.space_amp(), 1.0);
+        assert_eq!(shape.last_nonempty_level(), None);
+        assert_eq!(shape.total_bytes, 0);
+    }
+
+    #[test]
+    fn shape_counts_files_overlap_and_debt() {
+        let levels = vec![
+            vec![file(0, 0, 99, 2048, 20, 0), file(0, 50, 149, 2048, 20, 0)],
+            vec![file(1, 0, 79, 4096, 40, 0), file(1, 80, 200, 4096, 40, 0)],
+            Vec::new(),
+        ];
+        let shape = TreeShape::compute(&levels, 512, 4, 1024, None);
+        assert_eq!(shape.levels[0].files, 2);
+        assert_eq!(shape.levels[0].bytes, 4096);
+        // Both L0 files overlap L1's key range.
+        assert_eq!(shape.levels[0].overlap_next_bytes, 4096);
+        // L0 target is 1024 bytes; 4096 resident ⇒ 3072 of debt.
+        assert_eq!(shape.levels[0].debt_bytes, 3072);
+        // L1 target is 4 × 1024; 8192 resident ⇒ 4096 of debt.
+        assert_eq!(shape.levels[1].debt_bytes, 4096);
+        // L1 has no L2 below it ⇒ no overlap.
+        assert_eq!(shape.levels[1].overlap_next_bytes, 0);
+        assert_eq!(shape.last_nonempty_level(), Some(1));
+        // Probes: memtable + 2 L0 files + 1 L1 run.
+        assert_eq!(shape.read_amp(), 4.0);
+        // (4096 + 8192 + 512 buffered) / 8192 live.
+        assert!((shape.space_amp() - 12800.0 / 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_groups_count_per_level() {
+        let levels = vec![
+            Vec::new(),
+            vec![
+                file(1, 0, 99, 1000, 10, 0),
+                file(1, 0, 99, 500, 10, 1),
+                file(1, 0, 99, 250, 10, 2),
+            ],
+        ];
+        let shape = TreeShape::compute(&levels, 0, 4, 1024, None);
+        assert_eq!(shape.levels[1].column_groups, 3);
+        // Memtable + one run per column group.
+        assert_eq!(shape.read_amp(), 4.0);
+    }
+
+    #[test]
+    fn bounds_discount_out_of_range_bytes() {
+        // One last-level file spanning [0, 199]; the shard owns [100, 199].
+        let levels = vec![vec![file(0, 0, 199, 4000, 40, 0)]];
+        let unbounded = TreeShape::compute(&levels, 0, 4, 1 << 20, None);
+        assert_eq!(unbounded.live_bytes_estimate, 4000);
+        assert_eq!(unbounded.space_amp(), 1.0);
+        let bounded = TreeShape::compute(&levels, 0, 4, 1 << 20, Some((100, 199)));
+        // Half the key span is out of bounds ⇒ half the bytes presumed dead.
+        assert_eq!(bounded.live_bytes_estimate, 2000);
+        assert!((bounded.space_amp() - 2.0).abs() < 1e-9);
+        // A trim pass rewrites the file to its in-bounds half: space amp
+        // falls back toward 1.
+        let trimmed = vec![vec![file(0, 100, 199, 2000, 20, 0)]];
+        let after = TreeShape::compute(&trimmed, 0, 4, 1 << 20, Some((100, 199)));
+        assert!(after.space_amp() < bounded.space_amp());
+        assert!((after.space_amp() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_levels() {
+        let levels = vec![vec![file(0, 0, 9, 100, 5, 0)]];
+        let shape = TreeShape::compute(&levels, 64, 4, 1024, None);
+        let json = shape.to_json();
+        assert!(json.contains("\"levels\":[{\"level\":0,\"files\":1"));
+        assert!(json.contains("\"read_amp\":2.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

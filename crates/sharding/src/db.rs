@@ -25,6 +25,7 @@
 //! shard), while scans pin the `Arc` and run lock-free against a consistent
 //! topology.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -40,9 +41,12 @@ use lsm_storage::types::{SeqNo, UserKey, WriteBatch, MAX_SEQNO};
 use lsm_storage::wal_segment::WalStatsSnapshot;
 use lsm_storage::{EngineMaintenance, Error, Result};
 use telemetry::trace::{self, TraceContext, TraceKind, ROOT_SPAN_ID};
-use telemetry::{Event, EventKind, Gauge, Histogram, Telemetry, WorkloadProfiler};
+use telemetry::{
+    Event, EventKind, Gauge, Histogram, Telemetry, WorkloadProfiler, WorkloadSnapshot,
+};
 
 use crate::engine::ShardEngine;
+use crate::http::{self, HttpResponse, TelemetryServer, CONTENT_TYPE_JSON};
 use crate::manifest::{
     read_shard_manifest, read_split_intent, remove_split_intent, write_shard_manifest,
     write_split_intent, ShardManifest, SplitIntent,
@@ -250,6 +254,9 @@ struct ShardedTelemetry {
     cache_misses_gauge: Gauge,
     /// Cache hit rate in basis points (gauges are integers).
     cache_hit_rate_bp_gauge: Gauge,
+    /// Last per-scope cache hit/miss totals exported per shard slot, so the
+    /// monotonic scope counters can feed the Prometheus counters as deltas.
+    cache_export: Mutex<HashMap<u64, (u64, u64)>>,
 }
 
 /// Counters of the sharding layer itself (per-shard engine counters stay
@@ -515,6 +522,7 @@ impl<E: ShardEngine> ShardedDb<E> {
             cache_hit_rate_bp_gauge: hub
                 .registry()
                 .gauge("laser_cache_hit_rate_basis_points", &[("engine", engine)]),
+            cache_export: Mutex::new(HashMap::new()),
         });
         let hub = &self.telemetry.get().expect("just set").hub;
         for shard in &self.current().shards {
@@ -564,6 +572,94 @@ impl<E: ShardEngine> ShardedDb<E> {
                         )
                         .set(cache.scope_used_bytes(scope));
                 }
+            }
+        }
+        self.refresh_amplification(telemetry);
+    }
+
+    /// Refreshes the cost-model-facing per-shard metrics: amplification and
+    /// per-level shape gauges, per-scope cache counters, model residuals,
+    /// and the advisor profilers' level mixes. Everything is registered
+    /// lazily per shard — the shard set changes with every split, and
+    /// re-registering the same labels resumes the existing series.
+    fn refresh_amplification(&self, telemetry: &ShardedTelemetry) {
+        let registry = telemetry.hub.registry();
+        let engine = E::ENGINE_NAME;
+        for shard in &self.current().shards {
+            let label = shard.slot.to_string();
+            let labels = [("engine", engine), ("shard", label.as_str())];
+            let shape = shard.engine.shard_tree_shape();
+            for level in &shape.levels {
+                let level_label = level.level.to_string();
+                let level_labels = [
+                    ("engine", engine),
+                    ("shard", label.as_str()),
+                    ("level", level_label.as_str()),
+                ];
+                registry
+                    .gauge("laser_level_files", &level_labels)
+                    .set(level.files);
+                registry
+                    .gauge("laser_level_bytes", &level_labels)
+                    .set(level.bytes);
+                registry
+                    .gauge("laser_level_column_groups", &level_labels)
+                    .set(level.column_groups as u64);
+                registry
+                    .gauge("laser_level_overlap_next_bytes", &level_labels)
+                    .set(level.overlap_next_bytes);
+                registry
+                    .gauge("laser_level_debt_bytes", &level_labels)
+                    .set(level.debt_bytes);
+            }
+            let (write_amp, _, _) = measured_write_amp(shard.engine.as_ref());
+            registry
+                .float_gauge("laser_write_amp", &labels)
+                .set(write_amp);
+            registry
+                .float_gauge("laser_read_amp", &labels)
+                .set(shape.read_amp());
+            registry
+                .float_gauge("laser_space_amp", &labels)
+                .set(shape.space_amp());
+            let (predicted_write, predicted_space) = shard.engine.shard_predicted_amps();
+            registry
+                .float_gauge(
+                    "laser_amp_residual",
+                    &[
+                        ("engine", engine),
+                        ("shard", label.as_str()),
+                        ("kind", "write"),
+                    ],
+                )
+                .set(write_amp - predicted_write);
+            registry
+                .float_gauge(
+                    "laser_amp_residual",
+                    &[
+                        ("engine", engine),
+                        ("shard", label.as_str()),
+                        ("kind", "space"),
+                    ],
+                )
+                .set(shape.space_amp() - predicted_space);
+            if let (Some(cache), Some(scope)) = (&self.cache, shard.cache_scope) {
+                let (hits, misses) = cache.scope_hit_miss(scope);
+                let mut exported = telemetry.cache_export.lock();
+                let last = exported.entry(shard.slot).or_insert((0, 0));
+                registry
+                    .counter("laser_cache_shard_hits_total", &labels)
+                    .add(hits.saturating_sub(last.0));
+                registry
+                    .counter("laser_cache_shard_misses_total", &labels)
+                    .add(misses.saturating_sub(last.1));
+                *last = (hits, misses);
+            }
+            if let Some(profiler) = shard.profiler.get() {
+                profiler.set_level_mix(
+                    shard.engine.shard_tree_params(),
+                    shard.engine.shard_workload_levels(),
+                );
             }
         }
     }
@@ -847,6 +943,9 @@ impl<E: ShardEngine> ShardedDb<E> {
         };
         if let Some(profiler) = topology.shards[shard].profiler.get() {
             profiler.record_read(key);
+            if let Some(columns) = E::read_ctx_columns(ctx) {
+                profiler.record_projection(&columns);
+            }
         }
         let result = topology.shards[shard].engine.shard_get_at(key, ctx, seq);
         if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
@@ -946,6 +1045,9 @@ impl<E: ShardEngine> ShardedDb<E> {
             }
             if let Some(profiler) = topology.shards[shard].profiler.get() {
                 profiler.record_scan(lo, hi);
+                if let Some(columns) = E::read_ctx_columns(ctx) {
+                    profiler.record_projection(&columns);
+                }
             }
             return topology.shards[shard]
                 .engine
@@ -961,6 +1063,9 @@ impl<E: ShardEngine> ShardedDb<E> {
                 let (clamped_lo, clamped_hi) = (lo.max(shard_lo), hi.min(shard_hi));
                 if let Some(profiler) = topology.shards[shard].profiler.get() {
                     profiler.record_scan(clamped_lo, clamped_hi);
+                    if let Some(columns) = E::read_ctx_columns(ctx) {
+                        profiler.record_projection(&columns);
+                    }
                 }
                 let seq = snapshot.seqs[shard];
                 let ctx = ctx.clone();
@@ -1395,6 +1500,128 @@ impl<E: ShardEngine> ShardedDb<E> {
             seqs: vec![MAX_SEQNO; topology.shards.len()],
         }
     }
+
+    // ------------------------------------------------------------------
+    // Cost-model observability
+    // ------------------------------------------------------------------
+
+    /// Measured amplifications of shard `index`:
+    /// `(write_amp, read_amp, space_amp)`. Write amplification is
+    /// flush+compaction bytes written over logical ingest bytes (0 before
+    /// any ingest); read amplification is the structural sorted-run count a
+    /// point lookup may probe; space amplification is physical bytes over
+    /// the live-byte estimate. All three are finite by construction.
+    pub fn shard_amplification(&self, index: usize) -> Option<(f64, f64, f64)> {
+        let topology = self.current();
+        let shard = topology.shards.get(index)?;
+        let shape = shard.engine.shard_tree_shape();
+        let (write_amp, _, _) = measured_write_amp(shard.engine.as_ref());
+        Some((write_amp, shape.read_amp(), shape.space_amp()))
+    }
+
+    /// A JSON dump of the full LSM shape and amplification accounting of
+    /// every shard (the `/debug/lsm` endpoint body): per-shard key range,
+    /// ingest/rewrite byte counters, measured and model-predicted
+    /// amplifications with their residuals, and the per-level shape.
+    /// Available with or without telemetry attached.
+    pub fn debug_state(&self) -> String {
+        let topology = self.current();
+        let mut out = format!(
+            "{{\"engine\":\"{}\",\"epoch\":{},\"num_shards\":{},\"shards\":[",
+            E::ENGINE_NAME,
+            topology.epoch,
+            topology.shards.len(),
+        );
+        for (index, shard) in topology.shards.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let (lo, hi) = topology.router.shard_range(index);
+            let shape = shard.engine.shard_tree_shape();
+            let (write_amp, ingest, written) = measured_write_amp(shard.engine.as_ref());
+            let (predicted_write, predicted_space) = shard.engine.shard_predicted_amps();
+            out.push_str(&format!(
+                "{{\"shard\":{index},\"slot\":{},\"range\":[{lo},{hi}],\
+                 \"ingest_bytes\":{ingest},\"flush_compact_bytes\":{written},\
+                 \"write_amp\":{write_amp:.4},\"read_amp\":{:.4},\"space_amp\":{:.4},\
+                 \"predicted_write_amp\":{predicted_write:.4},\
+                 \"predicted_space_amp\":{predicted_space:.4},\
+                 \"residual_write\":{:.4},\"residual_space\":{:.4},\"shape\":{}}}",
+                shard.slot,
+                shape.read_amp(),
+                shape.space_amp(),
+                write_amp - predicted_write,
+                shape.space_amp() - predicted_space,
+                shape.to_json(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Advisor-ready workload snapshots, one per shard: op mix, observed
+    /// projections, per-level workload and measured tree parameters — each
+    /// convertible into a `laser_advisor::WorkloadTrace`. Empty until
+    /// telemetry is attached (the profilers live in the hub).
+    pub fn workload_snapshots(&self) -> Vec<WorkloadSnapshot> {
+        self.refresh_gauges();
+        self.current()
+            .shards
+            .iter()
+            .filter_map(|s| s.profiler.get().map(|p| p.snapshot(E::ENGINE_NAME)))
+            .collect()
+    }
+
+    /// JSON dump (`{"traces":[...]}`) of the flight recorder's retained
+    /// traces (slowest per op kind plus the sampled tail). `None` until
+    /// telemetry is attached.
+    pub fn traces_json(&self) -> Option<String> {
+        self.telemetry.get().map(|t| t.hub.tracer().traces_json())
+    }
+
+    /// Starts the scrape endpoint on `addr` (e.g. `"127.0.0.1:0"`): a
+    /// dependency-free blocking HTTP server answering `/metrics` (Prometheus
+    /// text), `/health`, `/debug/lsm`, `/debug/workload` and
+    /// `/debug/traces`, until the returned handle is dropped.
+    pub fn serve_telemetry(self: &Arc<Self>, addr: &str) -> Result<TelemetryServer> {
+        let db = Arc::clone(self);
+        http::serve(addr, move |path| match path {
+            "/metrics" => Some(match db.prometheus_text() {
+                Some(body) => HttpResponse::ok(http::CONTENT_TYPE_PROMETHEUS, body),
+                None => HttpResponse::unavailable("telemetry not attached"),
+            }),
+            "/health" => {
+                let stats = db.stats();
+                Some(HttpResponse::ok(
+                    CONTENT_TYPE_JSON,
+                    format!(
+                        "{{\"status\":\"ok\",\"engine\":\"{}\",\"shards\":{},\"epoch\":{}}}",
+                        E::ENGINE_NAME,
+                        stats.num_shards,
+                        stats.epoch,
+                    ),
+                ))
+            }
+            "/debug/lsm" => Some(HttpResponse::ok(CONTENT_TYPE_JSON, db.debug_state())),
+            "/debug/workload" => {
+                let snapshots = db.workload_snapshots();
+                let mut body = String::from("[");
+                for (i, snapshot) in snapshots.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&snapshot.to_json());
+                }
+                body.push(']');
+                Some(HttpResponse::ok(CONTENT_TYPE_JSON, body))
+            }
+            "/debug/traces" => Some(match db.traces_json() {
+                Some(body) => HttpResponse::ok(CONTENT_TYPE_JSON, body),
+                None => HttpResponse::unavailable("telemetry not attached"),
+            }),
+            _ => None,
+        })
+    }
 }
 
 /// Blocks until `engine` has no background job queued or running (engines
@@ -1412,6 +1639,20 @@ fn wait_shard_idle<E: ShardEngine>(engine: &Arc<E>) {
 /// split policy's ingest accounting.
 fn batch_bytes(batch: &WriteBatch) -> u64 {
     batch.iter().map(|e| 8 + e.value.len() as u64).sum::<u64>()
+}
+
+/// Measured write amplification of one shard engine — flush+compaction
+/// bytes written over logical ingest bytes — as `(amp, ingest, written)`.
+/// Reports 0.0 before any ingest, so the metric is always finite.
+fn measured_write_amp<E: ShardEngine>(engine: &E) -> (f64, u64, u64) {
+    let ingest = engine.shard_ingest_bytes();
+    let written = engine.shard_flush_compact_bytes();
+    let amp = if ingest > 0 {
+        written as f64 / ingest as f64
+    } else {
+        0.0
+    };
+    (amp, ingest, written)
 }
 
 /// Picks a byte-weighted median split key for shard `index` from its SST

@@ -3,15 +3,17 @@
 
 use std::sync::Arc;
 
-use laser_core::{LaserDb, LaserOptions, Projection, RowFragment};
+use laser_core::{LaserDb, LaserOptions, LayoutSpec, LevelLayout, Projection, RowFragment, Schema};
+use laser_cost_model::{CostModel, TreeParameters};
 use lsm_storage::cache::ScopedCache;
 use lsm_storage::maintenance::EngineMaintenance;
 use lsm_storage::manifest::FileMeta;
+use lsm_storage::shape::TreeShape;
 use lsm_storage::storage::{IoStatsSnapshot, StorageRef};
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch};
 use lsm_storage::wal_segment::WalStatsSnapshot;
 use lsm_storage::{LsmDb, LsmOptions, Result};
-use telemetry::Telemetry;
+use telemetry::{LevelMix, MeasuredTreeParams, Telemetry};
 
 /// An engine that can serve as one shard of a [`ShardedDb`](crate::ShardedDb).
 ///
@@ -113,6 +115,47 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
 
     /// I/O counters of the shard's private storage namespace.
     fn shard_io_stats(&self) -> IoStatsSnapshot;
+
+    // ------------------------------------------------------------------
+    // Amplification accounting and the advisor bridge
+    // ------------------------------------------------------------------
+
+    /// Point-in-time physical shape of the shard's tree (files, bytes,
+    /// overlap and compaction debt per level), from which the facade derives
+    /// the structural read amplification and measured space amplification.
+    fn shard_tree_shape(&self) -> TreeShape;
+
+    /// Logical payload bytes accepted on the write path (key + value /
+    /// encoded fragment) — the denominator of measured write amplification.
+    fn shard_ingest_bytes(&self) -> u64;
+
+    /// Bytes written to storage by flushes and compactions — the numerator
+    /// of measured write amplification.
+    fn shard_flush_compact_bytes(&self) -> u64;
+
+    /// Structural tree parameters measured from the live shard (entry
+    /// counts, block occupancy), feeding the cost model and the advisor.
+    fn shard_tree_params(&self) -> MeasuredTreeParams;
+
+    /// Per-level operation mix observed by the shard, in the telemetry
+    /// crate's engine-agnostic form. Losslessly convertible into a
+    /// `laser_advisor::WorkloadTrace` (projections are 0-based column ids;
+    /// engines without projections report whole-row column sets).
+    fn shard_workload_levels(&self) -> Vec<LevelMix>;
+
+    /// Cost-model predictions for this shard under its current layout:
+    /// `(write_amp, space_amp)`. Write amplification is Equation 4 scaled
+    /// from block I/Os per entry to a byte rewrite factor (× `B`); space
+    /// amplification is the Section 5 worst case, `1 + 1/T`. The facade
+    /// exports `measured − predicted` as the per-shard model residual.
+    fn shard_predicted_amps(&self) -> (f64, f64);
+
+    /// The column set a read context projects, as 0-based column ids, for
+    /// workload profiling. `None` for engines whose reads have no
+    /// projection.
+    fn read_ctx_columns(_ctx: &Self::ReadCtx) -> Option<Vec<u32>> {
+        None
+    }
 }
 
 impl ShardEngine for LsmDb {
@@ -191,6 +234,72 @@ impl ShardEngine for LsmDb {
 
     fn shard_io_stats(&self) -> IoStatsSnapshot {
         self.storage().io_stats().snapshot()
+    }
+
+    fn shard_tree_shape(&self) -> TreeShape {
+        TreeShape::compute(
+            &self.level_files(),
+            self.buffered_bytes(),
+            self.options().size_ratio,
+            self.options().level_capacity_bytes(0),
+            self.key_bound(),
+        )
+    }
+
+    fn shard_ingest_bytes(&self) -> u64 {
+        self.stats().ingest_bytes
+    }
+
+    fn shard_flush_compact_bytes(&self) -> u64 {
+        self.stats().bytes_written
+    }
+
+    fn shard_tree_params(&self) -> MeasuredTreeParams {
+        let levels = self.level_files();
+        let total_bytes: u64 = levels.iter().flatten().map(|f| f.file_size).sum();
+        let total_entries: u64 = levels.iter().flatten().map(|f| f.num_entries).sum();
+        let block = self.options().table.block_size;
+        MeasuredTreeParams {
+            num_entries: total_entries + self.memtable_len() as u64,
+            size_ratio: self.options().size_ratio,
+            entries_per_block: entries_per_block(total_bytes, total_entries, block),
+            level0_blocks: level0_blocks(self.options().level_capacity_bytes(0), block),
+            num_columns: 1,
+        }
+    }
+
+    fn shard_workload_levels(&self) -> Vec<LevelMix> {
+        // The plain KV engine has no projections: every op touches the whole
+        // (single-column) row. Inserts pass through every level on their way
+        // down, so each level sees the full WAL append count.
+        let inserts = self.wal_stats().records_appended;
+        self.reads_by_level()
+            .into_iter()
+            .map(|reads| LevelMix {
+                inserts,
+                point_reads: if reads > 0 {
+                    vec![(vec![0], reads)]
+                } else {
+                    Vec::new()
+                },
+                point_read_groups: reads,
+                scans: Vec::new(),
+                updates: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn shard_predicted_amps(&self) -> (f64, f64) {
+        let schema = Schema::with_columns(1);
+        let layouts = (0..self.options().num_levels.max(1))
+            .map(|_| LevelLayout::row_oriented(&schema))
+            .collect();
+        let layout = LayoutSpec::new(schema, layouts, "row").expect("row layout is valid");
+        predicted_amps(
+            &self.shard_tree_params(),
+            layout,
+            self.options().num_levels.max(1),
+        )
     }
 }
 
@@ -271,4 +380,138 @@ impl ShardEngine for LaserDb {
     fn shard_io_stats(&self) -> IoStatsSnapshot {
         self.storage().io_stats().snapshot()
     }
+
+    fn shard_tree_shape(&self) -> TreeShape {
+        // LaserDb keeps the default no-op key bound (see above), so its
+        // live-byte estimate carries no bounds discount.
+        TreeShape::compute(
+            &self.level_files(),
+            self.buffered_bytes(),
+            self.options().size_ratio,
+            self.options().level_capacity_bytes(0),
+            None,
+        )
+    }
+
+    fn shard_ingest_bytes(&self) -> u64 {
+        self.stats().ingest_bytes
+    }
+
+    fn shard_flush_compact_bytes(&self) -> u64 {
+        self.stats().compaction_bytes_written
+    }
+
+    fn shard_tree_params(&self) -> MeasuredTreeParams {
+        let levels = self.level_files();
+        let total_bytes: u64 = levels.iter().flatten().map(|f| f.file_size).sum();
+        let total_entries: u64 = levels.iter().flatten().map(|f| f.num_entries).sum();
+        // A row is stored once per column group of its level, so a level's
+        // row count is its largest per-CG entry sum, not the plain file
+        // total.
+        let rows: u64 = levels
+            .iter()
+            .map(|files| {
+                let mut per_group: Vec<(u32, u64)> = Vec::new();
+                for file in files {
+                    match per_group.iter_mut().find(|(g, _)| *g == file.column_group) {
+                        Some(slot) => slot.1 += file.num_entries,
+                        None => per_group.push((file.column_group, file.num_entries)),
+                    }
+                }
+                per_group.iter().map(|&(_, n)| n).max().unwrap_or(0)
+            })
+            .sum();
+        let block = self.options().table.block_size;
+        MeasuredTreeParams {
+            num_entries: rows + self.memtable_len() as u64,
+            size_ratio: self.options().size_ratio,
+            entries_per_block: entries_per_block(total_bytes, total_entries, block),
+            level0_blocks: level0_blocks(self.options().level_capacity_bytes(0), block),
+            num_columns: self.schema().num_columns() as u32,
+        }
+    }
+
+    fn shard_workload_levels(&self) -> Vec<LevelMix> {
+        let snap = self.stats();
+        // Every accepted write is eventually merged down through each level.
+        let inserts = snap.inserts + snap.updates + snap.deletes;
+        snap.levels
+            .iter()
+            .map(|profile| LevelMix {
+                inserts,
+                point_reads: profile
+                    .read_projections
+                    .iter()
+                    .map(|(p, n)| (projection_columns(p), *n))
+                    .collect(),
+                point_read_groups: profile.point_read_groups_fetched,
+                scans: profile
+                    .scan_projections
+                    .iter()
+                    .map(|(p, entries, n)| (projection_columns(p), *entries, *n))
+                    .collect(),
+                updates: profile
+                    .update_projections
+                    .iter()
+                    .map(|(p, n)| (projection_columns(p), *n))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn shard_predicted_amps(&self) -> (f64, f64) {
+        predicted_amps(
+            &self.shard_tree_params(),
+            self.layout().clone(),
+            self.options().num_levels.max(1),
+        )
+    }
+
+    fn read_ctx_columns(ctx: &Self::ReadCtx) -> Option<Vec<u32>> {
+        Some(projection_columns(ctx))
+    }
+}
+
+/// A projection's column ids as the telemetry crate's 0-based `u32` form.
+fn projection_columns(projection: &Projection) -> Vec<u32> {
+    projection.iter().map(|c| c as u32).collect()
+}
+
+/// Entries-per-block estimate (`B`) from aggregate SST statistics: how many
+/// average-sized entries fit one data block. At least 1.
+fn entries_per_block(total_bytes: u64, total_entries: u64, block_size: usize) -> u64 {
+    if total_entries == 0 || total_bytes == 0 {
+        return 1;
+    }
+    let avg_entry = (total_bytes / total_entries).max(1);
+    (block_size as u64 / avg_entry).max(1)
+}
+
+/// Blocks in a full level 0 (`P`), from its byte capacity. At least 1.
+fn level0_blocks(level0_capacity_bytes: u64, block_size: usize) -> u64 {
+    (level0_capacity_bytes / (block_size as u64).max(1)).max(1)
+}
+
+/// Evaluates the cost model's predictions for `measured` parameters under
+/// `layout`: Equation 4 scaled from block I/Os per entry to a byte rewrite
+/// factor (× `B`), and the Section 5 worst-case space amplification
+/// (`1 + 1/T`). Degenerate measurements are clamped to the model's domain so
+/// the predictions stay finite.
+fn predicted_amps(
+    measured: &MeasuredTreeParams,
+    layout: LayoutSpec,
+    num_levels: usize,
+) -> (f64, f64) {
+    let params = TreeParameters {
+        num_entries: measured.num_entries.max(1),
+        size_ratio: measured.size_ratio.max(2),
+        entries_per_block: measured.entries_per_block.max(1) as f64,
+        level0_blocks: measured.level0_blocks.max(1),
+        num_columns: (measured.num_columns as usize).max(1),
+    };
+    let entries_per_block = params.entries_per_block;
+    let model = CostModel::new(params, layout, num_levels);
+    let write = model.insert_amplification() * entries_per_block;
+    let space = 1.0 + model.space_amplification();
+    (write, space)
 }

@@ -1,0 +1,254 @@
+//! A dependency-free HTTP/1.1 scrape endpoint for the telemetry stack.
+//!
+//! Deliberately minimal: a blocking [`std::net::TcpListener`] accept loop on
+//! one named thread, one short-lived thread per connection, `GET`-only
+//! routing, `Connection: close` on every response. That is exactly enough
+//! for a Prometheus scraper or a `curl` against `/metrics`, `/health` and
+//! the `/debug/*` JSON endpoints, without pulling an async runtime or an
+//! HTTP framework into the workspace.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lsm_storage::Result;
+
+/// Content type of the Prometheus text exposition format.
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+/// Content type of the JSON endpoints.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// One response produced by a route handler.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` response with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A `503 Service Unavailable` response (e.g. telemetry not attached).
+    pub fn unavailable(reason: &str) -> Self {
+        HttpResponse {
+            status: 503,
+            content_type: "text/plain",
+            body: format!("{reason}\n"),
+        }
+    }
+}
+
+/// Handle of a running scrape endpoint. Dropping it stops the server:
+/// the accept loop is woken with a throwaway connection and joined.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The bound address (resolves the port when `addr` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `route` until the returned handle is dropped.
+/// `route` maps a request path (query string already stripped) to a
+/// response; `None` becomes `404`.
+pub(crate) fn serve<F>(addr: &str, route: F) -> Result<TelemetryServer>
+where
+    F: Fn(&str) -> Option<HttpResponse> + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let route = Arc::new(route);
+    let handle = std::thread::Builder::new()
+        .name("laser-telemetry-http".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let route = Arc::clone(&route);
+                let _ = std::thread::Builder::new()
+                    .name("laser-telemetry-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, route.as_ref());
+                    });
+            }
+        })?;
+    Ok(TelemetryServer {
+        addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection<F>(stream: TcpStream, route: &F) -> std::io::Result<()>
+where
+    F: Fn(&str) -> Option<HttpResponse>,
+{
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header section; no endpoint takes a request body.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    let path = target.split(['?', '#']).next().unwrap_or("/");
+    let response = if method != "GET" {
+        HttpResponse {
+            status: 405,
+            content_type: "text/plain",
+            body: "method not allowed\n".into(),
+        }
+    } else {
+        route(path).unwrap_or(HttpResponse {
+            status: 404,
+            content_type: "text/plain",
+            body: "not found\n".into(),
+        })
+    };
+    write_response(stream, &response)
+}
+
+fn write_response(mut stream: TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Issues one blocking GET against a locally-served path and returns
+/// `(status, body)`. Shared by the integration tests and `telemetry_check`;
+/// doubles as a reference client for the exposition endpoints.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some(value) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = Some(value);
+        }
+    }
+    let mut body = String::new();
+    use std::io::Read;
+    match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            body.push_str(&String::from_utf8_lossy(&buf));
+        }
+        None => {
+            reader.read_to_string(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_routes_and_reports_missing_paths() {
+        let server = serve("127.0.0.1:0", |path| match path {
+            "/ping" => Some(HttpResponse::ok("text/plain", "pong")),
+            "/json" => Some(HttpResponse::ok(CONTENT_TYPE_JSON, "{\"a\":1}")),
+            _ => None,
+        })
+        .unwrap();
+        let (status, body) = http_get(server.addr(), "/ping").unwrap();
+        assert_eq!((status, body.as_str()), (200, "pong"));
+        let (status, body) = http_get(server.addr(), "/json?pretty=1").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"a\":1}"));
+        let (status, _) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn dropping_the_handle_stops_the_server() {
+        let server = serve("127.0.0.1:0", |_| {
+            Some(HttpResponse::ok("text/plain", "ok"))
+        })
+        .unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The port may linger in TIME_WAIT, but the accept thread is gone:
+        // a fresh request must not be answered.
+        assert!(
+            http_get(addr, "/").is_err() || TcpStream::connect(addr).is_err(),
+            "server kept answering after drop"
+        );
+    }
+}

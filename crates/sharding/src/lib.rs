@@ -47,6 +47,7 @@
 
 pub mod db;
 pub mod engine;
+pub mod http;
 pub mod manifest;
 pub mod pool;
 pub mod router;
@@ -56,6 +57,7 @@ pub use db::{
     ShardSnapshot, ShardedDb, ShardedOptions, ShardedStatsSnapshot, SplitFailpoint, SplitPolicy,
 };
 pub use engine::ShardEngine;
+pub use http::{http_get, HttpResponse, TelemetryServer};
 pub use manifest::{ShardManifest, SplitIntent};
 pub use pool::WorkerPool;
 pub use router::ShardRouter;

@@ -57,7 +57,7 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         if metric.name != last_name {
             let kind = match metric.value {
                 MetricValue::Counter(_) => "counter",
-                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Gauge(_) | MetricValue::Float(_) => "gauge",
                 MetricValue::Histogram(_) => "summary",
             };
             out.push_str(&format!("# TYPE {} {kind}\n", metric.name));
@@ -73,6 +73,18 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
                 ));
             }
             MetricValue::Gauge(gauge) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    metric.name,
+                    label_block(&metric.labels, &[]),
+                    gauge.get()
+                ));
+            }
+            MetricValue::Float(gauge) => {
+                // `{}` on an f64 always includes enough digits to round-trip
+                // and never produces exponent-free ambiguity the parser
+                // chokes on; non-finite values render as `NaN`/`inf`, which
+                // `f64::parse` also accepts.
                 out.push_str(&format!(
                     "{}{} {}\n",
                     metric.name,
@@ -179,6 +191,17 @@ pub fn parse_prometheus_text(text: &str) -> Option<Vec<ExpositionSample>> {
     Some(samples)
 }
 
+/// Renders an `f64` as a JSON value. JSON has no literal for non-finite
+/// numbers, so those degrade to `null` rather than emitting an invalid
+/// document.
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
 pub(crate) fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
@@ -223,6 +246,12 @@ fn json_metric(metric: &RegisteredMetric) -> String {
         }
         MetricValue::Gauge(gauge) => {
             format!("{head},\"type\":\"gauge\",\"value\":{}}}", gauge.get())
+        }
+        MetricValue::Float(gauge) => {
+            format!(
+                "{head},\"type\":\"gauge\",\"value\":{}}}",
+                json_f64(gauge.get())
+            )
         }
         MetricValue::Histogram(histogram) => {
             let snap = histogram.snapshot();
@@ -325,6 +354,24 @@ mod tests {
         for sample in &samples {
             assert!(sample.value.is_finite(), "{sample:?}");
         }
+    }
+
+    #[test]
+    fn float_gauges_round_trip_through_the_exposition() {
+        let telemetry = Telemetry::new();
+        let amp = telemetry
+            .registry()
+            .float_gauge("laser_write_amp", &[("shard", "0")]);
+        amp.set(2.625);
+        let text = telemetry.prometheus_text();
+        assert!(text.contains("# TYPE laser_write_amp gauge"));
+        let samples = parse_prometheus_text(&text).expect("exposition must parse");
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "laser_write_amp")
+            .unwrap();
+        assert_eq!(sample.value, 2.625);
+        assert!(telemetry.json_snapshot().contains("\"value\":2.625"));
     }
 
     #[test]

@@ -34,10 +34,10 @@ pub mod trace;
 pub use events::{Event, EventKind, EventLog, SlowOpThresholds};
 pub use export::{parse_prometheus_text, ExpositionSample};
 pub use metrics::{
-    bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricValue, MetricsRegistry, RegisteredMetric, NUM_BUCKETS,
+    bucket_lower_bound, bucket_upper_bound, Counter, FloatGauge, Gauge, Histogram,
+    HistogramSnapshot, MetricValue, MetricsRegistry, RegisteredMetric, NUM_BUCKETS,
 };
-pub use profile::{WorkloadProfiler, HEAT_BUCKETS};
+pub use profile::{LevelMix, MeasuredTreeParams, WorkloadProfiler, WorkloadSnapshot, HEAT_BUCKETS};
 pub use trace::{
     AnnotationValue, SpanGuard, SpanRecord, Trace, TraceConfig, TraceContext, TraceDecision,
     TraceKind, Tracer,
@@ -61,10 +61,47 @@ pub struct Telemetry {
     profilers: Mutex<Vec<Arc<WorkloadProfiler>>>,
 }
 
+/// Everything configurable about a [`Telemetry`] hub, bundled so callers
+/// (and env-var overrides in CI harnesses) set policy in one place instead
+/// of threading three positional arguments around.
+#[derive(Clone, Debug)]
+pub struct TelemetryOptions {
+    /// Per-kind duration thresholds above which an event is flagged slow.
+    pub thresholds: SlowOpThresholds,
+    /// Maintenance event ring capacity.
+    pub event_capacity: usize,
+    /// Request-trace sampling and flight-recorder configuration.
+    pub trace: TraceConfig,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            thresholds: SlowOpThresholds::default(),
+            event_capacity: EventLog::DEFAULT_CAPACITY,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+impl TelemetryOptions {
+    /// Sets the trace sampling rate (sample one op in `n` per kind; 0
+    /// disables sampling).
+    pub fn sample_every(mut self, n: u64) -> Self {
+        self.trace.sample_every = n;
+        self
+    }
+}
+
 impl Telemetry {
     /// A hub with default thresholds, event capacity and trace sampling.
     pub fn new() -> Arc<Telemetry> {
-        Telemetry::with_config(SlowOpThresholds::default(), EventLog::DEFAULT_CAPACITY)
+        Telemetry::with_options(TelemetryOptions::default())
+    }
+
+    /// A hub configured by a [`TelemetryOptions`] bundle.
+    pub fn with_options(options: TelemetryOptions) -> Arc<Telemetry> {
+        Telemetry::with_trace_config(options.thresholds, options.event_capacity, options.trace)
     }
 
     /// A hub with explicit slow-op thresholds and event-ring capacity.
@@ -156,6 +193,12 @@ impl Telemetry {
     /// Self-contained JSON snapshot: metrics, event log and slow-op count.
     pub fn json_snapshot(&self) -> String {
         export::json_snapshot(self)
+    }
+
+    /// The flight recorder's retained traces as a JSON array (the
+    /// `/debug/traces` endpoint body).
+    pub fn traces_json(&self) -> String {
+        trace::traces_json_array(&self.tracer.all_traces())
     }
 }
 

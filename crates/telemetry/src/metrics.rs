@@ -51,6 +51,24 @@ impl Gauge {
     }
 }
 
+/// A gauge holding an `f64` (amplification ratios, residuals — values that
+/// are genuinely fractional). Stored as raw bits in an `AtomicU64`, so reads
+/// and writes stay lock-free like every other metric.
+#[derive(Clone, Debug, Default)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl FloatGauge {
+    /// Replaces the current value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// Number of logarithmic buckets in a [`Histogram`].
 pub const NUM_BUCKETS: usize = 64;
 
@@ -234,6 +252,8 @@ pub enum MetricValue {
     Counter(Counter),
     /// A set-in-place gauge.
     Gauge(Gauge),
+    /// A set-in-place floating-point gauge.
+    Float(FloatGauge),
     /// A latency distribution.
     Histogram(Histogram),
 }
@@ -243,6 +263,7 @@ impl MetricValue {
         match self {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
+            MetricValue::Float(_) => "float gauge",
             MetricValue::Histogram(_) => "histogram",
         }
     }
@@ -294,6 +315,17 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.find_or_insert(name, labels, || MetricValue::Gauge(Gauge::default())) {
             MetricValue::Gauge(gauge) => gauge,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a floating-point gauge.
+    ///
+    /// # Panics
+    /// If `name` + `labels` is already registered as a different metric kind.
+    pub fn float_gauge(&self, name: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self.find_or_insert(name, labels, || MetricValue::Float(FloatGauge::default())) {
+            MetricValue::Float(gauge) => gauge,
             other => panic!("{name} already registered as a {}", other.kind()),
         }
     }
@@ -446,6 +478,19 @@ mod tests {
         let b = registry.counter("ops", &[("shard", "0"), ("engine", "lsm")]);
         a.inc();
         assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn float_gauge_round_trips_fractional_values() {
+        let registry = MetricsRegistry::new();
+        let amp = registry.float_gauge("laser_write_amp", &[("shard", "0")]);
+        assert_eq!(amp.get(), 0.0);
+        amp.set(3.75);
+        assert_eq!(amp.get(), 3.75);
+        // Idempotent registration returns the same cell.
+        let again = registry.float_gauge("laser_write_amp", &[("shard", "0")]);
+        assert_eq!(again.get(), 3.75);
+        assert_eq!(registry.metrics().len(), 1);
     }
 
     #[test]

@@ -17,11 +17,197 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::export::json_escape;
 use crate::metrics::{Counter, Gauge};
 use crate::Telemetry;
 
 /// Number of fixed-width buckets in an exported heatmap.
 pub const HEAT_BUCKETS: usize = 16;
+
+/// Cap on distinct projections retained per profiler (and per level mix):
+/// real workloads use a handful of column sets, and the cap bounds the
+/// export size if a client sprays random projections.
+pub const MAX_PROJECTIONS: usize = 32;
+
+/// One level's observed operation mix, keyed by projected column set
+/// (0-based column indexes, sorted). This is the measured counterpart of
+/// the advisor's `LevelWorkload`: the bridge in `laser-advisor` converts a
+/// [`WorkloadSnapshot`] into a `WorkloadTrace` level-for-level.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelMix {
+    /// Entries first written at this level (level 0 for every engine).
+    pub inserts: u64,
+    /// Point lookups answered at this level: `(columns, lookups)`.
+    pub point_reads: Vec<(Vec<u32>, u64)>,
+    /// Column-group fetches performed by those lookups (≥ lookup count on a
+    /// columnar engine; equal to it on a row engine).
+    pub point_read_groups: u64,
+    /// Scans touching this level: `(columns, scans, entries returned)`.
+    pub scans: Vec<(Vec<u32>, u64, u64)>,
+    /// Updates (partial-row writes) landing at this level.
+    pub updates: Vec<(Vec<u32>, u64)>,
+}
+
+impl LevelMix {
+    /// True if no operation has been attributed to this level.
+    pub fn is_empty(&self) -> bool {
+        self.inserts == 0
+            && self.point_reads.is_empty()
+            && self.scans.is_empty()
+            && self.updates.is_empty()
+    }
+}
+
+/// Tree parameters measured from the live engine rather than assumed: the
+/// observed counterpart of the cost model's `TreeParameters`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasuredTreeParams {
+    /// Total entries across all SSTs (plus a memtable estimate).
+    pub num_entries: u64,
+    /// Configured level size ratio `T`.
+    pub size_ratio: u64,
+    /// Entries per 4 KiB block, estimated from on-disk bytes per entry.
+    pub entries_per_block: u64,
+    /// Write buffer capacity in 4 KiB blocks.
+    pub level0_blocks: u64,
+    /// Columns in the schema (1 for a plain key-value engine).
+    pub num_columns: u32,
+}
+
+impl Default for MeasuredTreeParams {
+    fn default() -> Self {
+        MeasuredTreeParams {
+            num_entries: 0,
+            size_ratio: 10,
+            entries_per_block: 1,
+            level0_blocks: 1,
+            num_columns: 1,
+        }
+    }
+}
+
+/// A serializable point-in-time workload profile for one shard: routing-layer
+/// op mix and observed projections, engine-attributed per-level mix, and the
+/// measured tree parameters — everything `laser_advisor` needs to run
+/// `select_design` on real traffic.
+#[derive(Clone, Debug)]
+pub struct WorkloadSnapshot {
+    /// Shard label.
+    pub shard: String,
+    /// Engine name (`"lsm"` / `"laser"`).
+    pub engine: String,
+    /// Point reads routed to this shard.
+    pub reads: u64,
+    /// Writes routed to this shard.
+    pub writes: u64,
+    /// Scan legs routed to this shard.
+    pub scans: u64,
+    /// Measured tree parameters.
+    pub params: MeasuredTreeParams,
+    /// Per-level operation mix, index = level number.
+    pub levels: Vec<LevelMix>,
+    /// Projections observed at the routing layer: `(columns, reads)`.
+    pub projections: Vec<(Vec<u32>, u64)>,
+}
+
+fn json_columns(columns: &[u32]) -> String {
+    let mut out = String::from("[");
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn json_projection_counts(items: &[(Vec<u32>, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, (columns, count)) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"columns\":{},\"count\":{count}}}",
+            json_columns(columns)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+impl LevelMix {
+    fn json_fragment(&self) -> String {
+        let mut out = format!(
+            "{{\"inserts\":{},\"point_read_groups\":{},\"point_reads\":{},\"scans\":[",
+            self.inserts,
+            self.point_read_groups,
+            json_projection_counts(&self.point_reads)
+        );
+        for (i, (columns, count, entries)) in self.scans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"columns\":{},\"count\":{count},\"entries\":{entries}}}",
+                json_columns(columns)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"updates\":{}}}",
+            json_projection_counts(&self.updates)
+        ));
+        out
+    }
+}
+
+impl WorkloadSnapshot {
+    /// Renders the snapshot as a self-contained JSON object (the
+    /// `/debug/workload` endpoint body and the nightly `advisor_trace.json`
+    /// artifact are arrays of these).
+    pub fn to_json(&self) -> String {
+        let p = &self.params;
+        let mut out = format!(
+            "{{\"shard\":{},\"engine\":{},\"reads\":{},\"writes\":{},\"scans\":{},\
+             \"params\":{{\"num_entries\":{},\"size_ratio\":{},\"entries_per_block\":{},\
+             \"level0_blocks\":{},\"num_columns\":{}}},\"projections\":{},\"levels\":[",
+            json_escape(&self.shard),
+            json_escape(&self.engine),
+            self.reads,
+            self.writes,
+            self.scans,
+            p.num_entries,
+            p.size_ratio,
+            p.entries_per_block,
+            p.level0_blocks,
+            p.num_columns,
+            json_projection_counts(&self.projections),
+        );
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&level.json_fragment());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Bumps `columns` by `count` in a capped distinct-projection list.
+fn bump_projection(list: &mut Vec<(Vec<u32>, u64)>, columns: &[u32], count: u64) {
+    let mut columns = columns.to_vec();
+    columns.sort_unstable();
+    columns.dedup();
+    if let Some(slot) = list.iter_mut().find(|(c, _)| *c == columns) {
+        slot.1 += count;
+        return;
+    }
+    if list.len() < MAX_PROJECTIONS {
+        list.push((columns, count));
+    }
+}
 
 /// Reservoir capacity: enough resolution for a 16-bucket heatmap and a
 /// median split key, small enough to copy on export.
@@ -49,6 +235,13 @@ pub struct WorkloadProfiler {
     lo_seen: AtomicU64,
     hi_seen: AtomicU64,
     reservoir: Mutex<Vec<u64>>,
+    /// Projections observed on the read path, `(sorted columns, reads)`.
+    projections: Mutex<Vec<(Vec<u32>, u64)>>,
+    /// Engine-attributed per-level mix, refreshed wholesale by the owner
+    /// (the sharding layer pulls it from engine stats before exports).
+    levels: Mutex<Vec<LevelMix>>,
+    /// Measured tree parameters, refreshed alongside `levels`.
+    params: Mutex<MeasuredTreeParams>,
 }
 
 impl WorkloadProfiler {
@@ -73,6 +266,9 @@ impl WorkloadProfiler {
             lo_seen: AtomicU64::new(u64::MAX),
             hi_seen: AtomicU64::new(0),
             reservoir: Mutex::new(Vec::with_capacity(RESERVOIR_SIZE)),
+            projections: Mutex::new(Vec::new()),
+            levels: Mutex::new(Vec::new()),
+            params: Mutex::new(MeasuredTreeParams::default()),
         }
     }
 
@@ -119,6 +315,54 @@ impl WorkloadProfiler {
         self.offer(lo);
         if hi != lo {
             self.offer(hi);
+        }
+    }
+
+    /// Records the column set a read projected (0-based column indexes).
+    /// Call alongside [`WorkloadProfiler::record_read`] /
+    /// [`WorkloadProfiler::record_scan`] on engines whose read context
+    /// carries a projection.
+    pub fn record_projection(&self, columns: &[u32]) {
+        bump_projection(&mut self.projections.lock().unwrap(), columns, 1);
+    }
+
+    /// Distinct projections observed so far, `(sorted columns, reads)`.
+    pub fn observed_projections(&self) -> Vec<(Vec<u32>, u64)> {
+        self.projections.lock().unwrap().clone()
+    }
+
+    /// Replaces the engine-attributed per-level mix and measured tree
+    /// parameters (the owner refreshes these from engine stats before an
+    /// export or snapshot).
+    pub fn set_level_mix(&self, params: MeasuredTreeParams, levels: Vec<LevelMix>) {
+        *self.params.lock().unwrap() = params;
+        *self.levels.lock().unwrap() = levels;
+    }
+
+    /// The latest per-level mix pushed via
+    /// [`WorkloadProfiler::set_level_mix`].
+    pub fn level_mix(&self) -> Vec<LevelMix> {
+        self.levels.lock().unwrap().clone()
+    }
+
+    /// The latest measured tree parameters.
+    pub fn measured_params(&self) -> MeasuredTreeParams {
+        *self.params.lock().unwrap()
+    }
+
+    /// A serializable snapshot of everything this profiler knows, tagged
+    /// with the engine name it profiles.
+    pub fn snapshot(&self, engine: &str) -> WorkloadSnapshot {
+        let (reads, writes, scans) = self.mix();
+        WorkloadSnapshot {
+            shard: self.shard.clone(),
+            engine: engine.to_string(),
+            reads,
+            writes,
+            scans,
+            params: self.measured_params(),
+            levels: self.level_mix(),
+            projections: self.observed_projections(),
         }
     }
 
@@ -191,6 +435,15 @@ impl WorkloadProfiler {
                 out.push(',');
             }
             out.push_str(&count.to_string());
+        }
+        out.push_str("],\"projections\":");
+        out.push_str(&json_projection_counts(&self.observed_projections()));
+        out.push_str(",\"levels\":[");
+        for (i, level) in self.level_mix().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&level.json_fragment());
         }
         out.push_str("]}");
         out
@@ -287,6 +540,52 @@ mod tests {
             None,
             "a single-key workload has no useful split point"
         );
+    }
+
+    #[test]
+    fn snapshot_carries_levels_projections_and_params() {
+        let hub = Telemetry::new();
+        let profiler = hub.register_profiler("4");
+        profiler.record_read(1);
+        profiler.record_projection(&[2, 0, 2]);
+        profiler.record_projection(&[0, 2]);
+        profiler.record_projection(&[1]);
+        let params = MeasuredTreeParams {
+            num_entries: 5000,
+            size_ratio: 4,
+            entries_per_block: 32,
+            level0_blocks: 8,
+            num_columns: 3,
+        };
+        let levels = vec![
+            LevelMix {
+                inserts: 100,
+                point_reads: vec![(vec![0, 2], 7)],
+                point_read_groups: 9,
+                scans: vec![(vec![1], 2, 40)],
+                updates: vec![(vec![1], 3)],
+            },
+            LevelMix::default(),
+        ];
+        profiler.set_level_mix(params, levels.clone());
+        let snapshot = profiler.snapshot("laser");
+        assert_eq!(snapshot.shard, "4");
+        assert_eq!(snapshot.engine, "laser");
+        assert_eq!(snapshot.reads, 1);
+        assert_eq!(snapshot.params, params);
+        assert_eq!(snapshot.levels, levels);
+        // Unsorted + duplicate columns collapse onto one projection entry.
+        assert_eq!(snapshot.projections, vec![(vec![0, 2], 2), (vec![1], 1)]);
+        assert!(levels[1].is_empty() && !levels[0].is_empty());
+        let json = snapshot.to_json();
+        assert!(json.contains("\"engine\":\"laser\""));
+        assert!(json.contains("\"num_entries\":5000"));
+        assert!(json.contains("{\"columns\":[0,2],\"count\":2}"));
+        assert!(json.contains("\"scans\":[{\"columns\":[1],\"count\":2,\"entries\":40}]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The hub JSON snapshot picks the same detail up via json_fragment.
+        assert!(hub.json_snapshot().contains("\"point_read_groups\":9"));
     }
 
     #[test]
