@@ -1,0 +1,150 @@
+//! Bench mode for the WAL-shipping replication subsystem: acked-ingest
+//! throughput without replication vs leader-only vs quorum acks, replica
+//! convergence and failover (promotion) latency, plus the equivalence
+//! checksum pinning every mode's contents to the unreplicated run.
+//!
+//! Usage: `cargo run --release --bin replication [--smoke] [keys] [writers]
+//!         [--json PATH] [--baseline PATH]`
+//!
+//! `--json` writes a machine-readable `BENCH_replication.json` report
+//! (uploaded as a CI artifact); `--baseline` additionally compares the gated
+//! metric — quorum-acked ingest throughput — against a checked-in baseline
+//! and exits non-zero on a >20% regression.
+
+use laser_bench::replication::{
+    run_replication_bench, ReplicationBenchConfig, ReplicationBenchReport, ReplicationMode,
+};
+use laser_bench::report::{enforce_baseline, write_report, JsonValue};
+
+/// The metric the regression gate watches.
+const GATE_METRIC: &str = "gate_quorum_acked_ingest_ops_per_sec";
+
+fn report_json(config: &ReplicationBenchConfig, report: &ReplicationBenchReport) -> JsonValue {
+    let gate = report
+        .row(ReplicationMode::QuorumAck)
+        .map(|r| r.ingest_ops_per_sec)
+        .unwrap_or(0.0);
+    JsonValue::obj([
+        ("bench", JsonValue::Str("replication".into())),
+        ("keys", JsonValue::Num(config.keys as f64)),
+        ("writers", JsonValue::Num(config.writers as f64)),
+        (
+            "replication_factor",
+            JsonValue::Num(config.replication_factor as f64),
+        ),
+        (GATE_METRIC, JsonValue::Num(gate)),
+        (
+            "quorum_cost_ratio",
+            JsonValue::Num(report.quorum_cost_ratio()),
+        ),
+        ("checksums_agree", JsonValue::Bool(report.checksums_agree())),
+        (
+            "rows",
+            JsonValue::Arr(
+                report
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        JsonValue::obj([
+                            ("mode", JsonValue::Str(row.mode.name().into())),
+                            ("ingest_ops_per_sec", JsonValue::Num(row.ingest_ops_per_sec)),
+                            ("catchup_ms", JsonValue::Num(row.catchup_ms)),
+                            ("failover_ms", JsonValue::Num(row.failover_ms)),
+                            ("rows_scanned", JsonValue::Num(row.rows_scanned as f64)),
+                            (
+                                "checksum",
+                                JsonValue::Str(format!("{:#018x}", row.checksum)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut config = ReplicationBenchConfig::default();
+    let mut positional = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config = ReplicationBenchConfig::smoke(),
+            "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            _ => positional.push(arg),
+        }
+    }
+    if let Some(keys) = positional.first().and_then(|s| s.parse().ok()) {
+        config.keys = keys;
+    }
+    if let Some(writers) = positional.get(1).and_then(|s| s.parse().ok()) {
+        config.writers = writers;
+    }
+
+    println!("== replication bench ==");
+    println!(
+        "keys {} | writers {} | batch {} | value {} B | shards {} | replicas/shard {}",
+        config.keys,
+        config.writers,
+        config.batch,
+        config.value_bytes,
+        config.shards,
+        config.replication_factor,
+    );
+    let report = run_replication_bench(&config).expect("bench run failed");
+
+    println!();
+    println!(
+        "{:>11} | {:>13} | {:>11} | {:>11} | {:>9}",
+        "mode", "ingest ops/s", "catchup ms", "failover ms", "rows"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>11} | {:>13.0} | {:>11.2} | {:>11.2} | {:>9}",
+            row.mode.name(),
+            row.ingest_ops_per_sec,
+            row.catchup_ms,
+            row.failover_ms,
+            row.rows_scanned,
+        );
+    }
+    println!();
+    if report.checksums_agree() {
+        let row = &report.rows[0];
+        println!(
+            "equivalence: OK — every mode scanned {} rows, checksum {:#018x} (quorum cost {:.2}x)",
+            row.rows_scanned,
+            row.checksum,
+            report.quorum_cost_ratio(),
+        );
+    } else {
+        println!("equivalence: MISMATCH across modes:");
+        for row in &report.rows {
+            println!(
+                "  {}: {} rows, checksum {:#018x}",
+                row.mode.name(),
+                row.rows_scanned,
+                row.checksum
+            );
+        }
+        std::process::exit(1);
+    }
+
+    let json = report_json(&config, &report);
+    if let Some(path) = &json_path {
+        write_report(std::path::Path::new(path), &json).expect("write bench report");
+        println!("report: wrote {path}");
+    }
+    if let Some(baseline) = &baseline_path {
+        match enforce_baseline(&json.render(), std::path::Path::new(baseline), GATE_METRIC) {
+            Ok(summary) => println!("gate: {summary}"),
+            Err(message) => {
+                eprintln!("gate: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

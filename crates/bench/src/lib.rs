@@ -37,9 +37,12 @@
 //! against a no-split control. [`read_path`] / `read_path` benches the
 //! scan/get stack: the tournament-tree merge, lazy per-level concat
 //! iterators and the streaming visibility filter versus the pre-overhaul
-//! naive merge, byte-identical by checksum. [`report`] writes the
-//! `BENCH_*.json` CI artifacts and enforces the bench-trajectory regression
-//! gate.
+//! naive merge, byte-identical by checksum. [`replication`] / `replication`
+//! benches the WAL-shipping replication subsystem: acked-ingest throughput
+//! without replication vs leader-only vs quorum acks, replica convergence
+//! and failover (promotion) latency, with an equivalence checksum against
+//! the unreplicated run. [`report`] writes the `BENCH_*.json` CI artifacts
+//! and enforces the bench-trajectory regression gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,6 +56,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod read_path;
+pub mod replication;
 pub mod report;
 pub mod sharding;
 pub mod split;

@@ -1,0 +1,300 @@
+//! Replication bench: acked-ingest throughput of `ShardedDb<LsmDb>` without
+//! replication, with leader-only acks, and with quorum acks, plus the two
+//! operational latencies the subsystem is judged on — replica convergence
+//! after ingest and a leader promotion (failover) — and an equivalence
+//! checksum pinning every mode's final contents to the unreplicated run.
+//!
+//! The regression gate watches quorum-acked ingest: it is the slowest mode
+//! (every batch waits for a replica majority) and the one whose throughput
+//! the WAL-shipping fast path — frame encode outside the commit lock, one
+//! queue hop per replica, ack condvar — is designed to keep close to the
+//! leader-only number.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::harness::deterministic_value as value_for;
+use laser_sharding::{AckMode, MemShardStorage, ReplicationConfig, ShardedDb, ShardedOptions};
+use lsm_storage::types::{UserKey, WriteBatch};
+use lsm_storage::{LsmDb, LsmOptions, Result};
+
+/// How writes are acknowledged in one bench run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No replication: the plain sharded write path.
+    Off,
+    /// Two-replica groups, acked at the leader's WAL.
+    LeaderAck,
+    /// Two-replica groups, acked by a replica majority.
+    QuorumAck,
+}
+
+impl ReplicationMode {
+    /// Stable display/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationMode::Off => "off",
+            ReplicationMode::LeaderAck => "leader-ack",
+            ReplicationMode::QuorumAck => "quorum-ack",
+        }
+    }
+}
+
+/// Workload parameters of one replication bench run.
+#[derive(Debug, Clone)]
+pub struct ReplicationBenchConfig {
+    /// Distinct keys ingested (split evenly across writers).
+    pub keys: u64,
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Entries per write batch.
+    pub batch: usize,
+    /// Value payload size in bytes.
+    pub value_bytes: usize,
+    /// Replicas per shard in the replicated modes.
+    pub replication_factor: usize,
+    /// Shards (leaders) in the group.
+    pub shards: usize,
+}
+
+impl Default for ReplicationBenchConfig {
+    fn default() -> Self {
+        ReplicationBenchConfig {
+            keys: 16_000,
+            writers: 4,
+            batch: 16,
+            value_bytes: 152,
+            replication_factor: 2,
+            shards: 2,
+        }
+    }
+}
+
+impl ReplicationBenchConfig {
+    /// A tiny configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        ReplicationBenchConfig {
+            keys: 4_000,
+            writers: 2,
+            batch: 16,
+            value_bytes: 64,
+            replication_factor: 2,
+            shards: 2,
+        }
+    }
+}
+
+/// Measurements of one acknowledgement mode.
+#[derive(Debug, Clone)]
+pub struct ReplicationBenchRow {
+    /// The acknowledgement mode measured.
+    pub mode: ReplicationMode,
+    /// Acked writes per second during the ingest phase.
+    pub ingest_ops_per_sec: f64,
+    /// Time for every replica to reach the leaders' sequence horizon after
+    /// the last acked write (zero for `Off` and for quorum, which converges
+    /// on the ack path).
+    pub catchup_ms: f64,
+    /// Wall-clock time of one leader promotion (failover), zero for `Off`.
+    pub failover_ms: f64,
+    /// Rows returned by the verification full scan.
+    pub rows_scanned: u64,
+    /// FNV-1a checksum over the full scan's `(key, value)` bytes.
+    pub checksum: u64,
+}
+
+/// The full report: one row per mode.
+#[derive(Debug, Clone)]
+pub struct ReplicationBenchReport {
+    /// Per-mode measurements: `Off`, `LeaderAck`, `QuorumAck`.
+    pub rows: Vec<ReplicationBenchRow>,
+}
+
+impl ReplicationBenchReport {
+    /// The row for `mode`, if it ran.
+    pub fn row(&self, mode: ReplicationMode) -> Option<&ReplicationBenchRow> {
+        self.rows.iter().find(|r| r.mode == mode)
+    }
+
+    /// Replication cost: quorum-acked ingest as a fraction of unreplicated
+    /// ingest (1.0 = free).
+    pub fn quorum_cost_ratio(&self) -> f64 {
+        match (
+            self.row(ReplicationMode::QuorumAck),
+            self.row(ReplicationMode::Off),
+        ) {
+            (Some(quorum), Some(off)) if off.ingest_ops_per_sec > 0.0 => {
+                quorum.ingest_ops_per_sec / off.ingest_ops_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// True if every mode produced the identical full-scan checksum.
+    pub fn checksums_agree(&self) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[0].checksum == w[1].checksum && w[0].rows_scanned == w[1].rows_scanned)
+    }
+}
+
+/// Engine options sized like the sharding bench but with group commit left
+/// on its defaults: the interesting cost here is the replication ack path,
+/// not compaction backpressure.
+fn engine_options() -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.memtable_size_bytes = 120 << 10;
+    options.level0_size_bytes = 2 << 20;
+    options.sst_target_size_bytes = 256 << 10;
+    options.auto_compact = true;
+    options
+}
+
+fn scan_checksum(db: &ShardedDb<LsmDb>, keys: u64) -> Result<(u64, u64)> {
+    let rows = db.scan(0, keys, &())?;
+    let mut row_bytes = Vec::new();
+    for (key, value) in &rows {
+        row_bytes.extend_from_slice(&key.to_be_bytes());
+        row_bytes.extend_from_slice(value);
+    }
+    Ok((rows.len() as u64, lsm_storage::hash::fnv1a_64(&row_bytes)))
+}
+
+/// Runs the ingest + convergence + failover measurement for one mode.
+fn run_one(config: &ReplicationBenchConfig, mode: ReplicationMode) -> Result<ReplicationBenchRow> {
+    let provider = MemShardStorage::new_ref();
+    let shards = config.shards.clamp(1, config.keys.max(1) as usize);
+    let n = shards as u64;
+    let boundaries: Vec<UserKey> = (1..n).map(|i| i * config.keys / n).collect();
+    let mut options = ShardedOptions {
+        num_shards: shards,
+        boundaries: if boundaries.is_empty() {
+            None
+        } else {
+            Some(boundaries)
+        },
+        fanout_threads: shards.min(8),
+        maintenance_workers: 2,
+        cache_bytes: 8 << 20,
+        ..Default::default()
+    };
+    if mode != ReplicationMode::Off {
+        let mut replication = ReplicationConfig::new(config.replication_factor);
+        replication.ack_mode = match mode {
+            ReplicationMode::LeaderAck => AckMode::LeaderOnly,
+            _ => AckMode::Quorum,
+        };
+        options = options.replication(replication);
+    }
+    let db: Arc<ShardedDb<LsmDb>> = Arc::new(ShardedDb::open(provider, engine_options(), options)?);
+
+    // ---- Ingest phase: `writers` threads, disjoint interleaved key sets,
+    // timed until every write is acked under the mode's ack rule.
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for writer in 0..config.writers as u64 {
+        let db = Arc::clone(&db);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut batch = WriteBatch::new();
+            let mut key = writer;
+            while key < config.keys {
+                batch.put(key, value_for(key, 0, config.value_bytes));
+                if batch.len() >= config.batch {
+                    db.write(&batch)?;
+                    batch = WriteBatch::new();
+                }
+                key += config.writers as u64;
+            }
+            if !batch.is_empty() {
+                db.write(&batch)?;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("writer thread panicked")?;
+    }
+    let ingest_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let ingest_ops_per_sec = config.keys as f64 / ingest_secs;
+
+    // ---- Convergence: how long until every replica holds the leaders'
+    // full sequence horizon.
+    let catchup_ms = if mode == ReplicationMode::Off {
+        0.0
+    } else {
+        let horizon: Vec<u64> = db.snapshot().seqs().to_vec();
+        let start = Instant::now();
+        loop {
+            let status = db.replication_status();
+            let converged = status
+                .iter()
+                .zip(horizon.iter())
+                .all(|(s, &seq)| s.replicas.iter().all(|r| r.applied_seq >= seq));
+            if converged {
+                break start.elapsed().as_secs_f64() * 1e3;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    };
+
+    // ---- Failover: promote shard 0's best replica and time the two-phase
+    // promotion end to end.
+    let failover_ms = if mode == ReplicationMode::Off {
+        0.0
+    } else {
+        let start = Instant::now();
+        db.promote_shard(0)?;
+        start.elapsed().as_secs_f64() * 1e3
+    };
+
+    // ---- Settle, then verify: contents (including after the promotion)
+    // must match the unreplicated run byte for byte.
+    db.wait_maintenance_idle();
+    db.flush()?;
+    let (rows_scanned, checksum) = scan_checksum(&db, config.keys)?;
+    db.close()?;
+    Ok(ReplicationBenchRow {
+        mode,
+        ingest_ops_per_sec,
+        catchup_ms,
+        failover_ms,
+        rows_scanned,
+        checksum,
+    })
+}
+
+/// Runs the three-mode comparison.
+pub fn run_replication_bench(config: &ReplicationBenchConfig) -> Result<ReplicationBenchReport> {
+    let mut rows = Vec::new();
+    for mode in [
+        ReplicationMode::Off,
+        ReplicationMode::LeaderAck,
+        ReplicationMode::QuorumAck,
+    ] {
+        rows.push(run_one(config, mode)?);
+    }
+    Ok(ReplicationBenchReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_replicates_and_checksums_agree() {
+        let report = run_replication_bench(&ReplicationBenchConfig::smoke()).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.ingest_ops_per_sec > 0.0, "{row:?}");
+            assert!(row.rows_scanned > 0, "{row:?}");
+        }
+        assert!(
+            report.checksums_agree(),
+            "replicated contents must match the unreplicated run: {:?}",
+            report.rows
+        );
+        let quorum = report.row(ReplicationMode::QuorumAck).unwrap();
+        assert!(quorum.failover_ms > 0.0, "promotion never ran");
+    }
+}

@@ -233,17 +233,35 @@ impl LaserDb {
             telemetry: OnceLock::new(),
         };
 
-        // WAL recovery: replay intact records into a fresh memtable, re-log
-        // them into the new active segment with their original sequence
-        // numbers, then record the active segment in the manifest.
+        // WAL recovery: replay intact records into fresh memtable state and
+        // record the active segment in the manifest. A large clean tail is
+        // adopted in place — the replayed segments stay live, paired with one
+        // frozen memtable rebuilt from their records — so recovery does O(1)
+        // manifest work instead of re-logging every record; a small or dirty
+        // tail keeps the re-log path, which compacts it into one segment.
         {
             let mut inner = db.inner.write();
             inner.mutable = Some(Arc::new(MemTable::new()));
-            for record in &recovery.records {
-                db.wal.append(record.start_seq, &record.batch)?;
-                for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
-                    inner.mutable.as_ref().unwrap().insert(seq, entry);
-                    inner.last_seq = inner.last_seq.max(seq);
+            if recovery.adoptable() && recovery.total_bytes() >= db.options.recovery_adopt_bytes {
+                let rebuilt = Arc::new(MemTable::new());
+                for record in recovery.records() {
+                    for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
+                        rebuilt.insert(seq, entry);
+                        inner.last_seq = inner.last_seq.max(seq);
+                    }
+                }
+                let adopted = db.wal.adopt_recovered(&recovery);
+                inner.immutables.push(FrozenMemTable {
+                    memtable: rebuilt,
+                    wal_segments: adopted,
+                });
+            } else {
+                for record in recovery.records() {
+                    db.wal.append(record.start_seq, &record.batch)?;
+                    for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
+                        inner.mutable.as_ref().unwrap().insert(seq, entry);
+                        inner.last_seq = inner.last_seq.max(seq);
+                    }
                 }
             }
             db.wal.finish_recovery()?;
@@ -518,10 +536,9 @@ impl LaserDb {
     fn freeze_locked(&self, inner: &mut DbInner) -> Result<bool> {
         let frozen = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
         let sealed_segment = self.wal.rotate(inner.last_seq + 1)?;
-        inner.immutables.push(FrozenMemTable {
-            memtable: frozen,
-            wal_segment: sealed_segment,
-        });
+        inner
+            .immutables
+            .push(FrozenMemTable::sealed(frozen, sealed_segment));
         inner.mutable = Some(Arc::new(MemTable::new()));
         // No manifest write here: the previous flush-time manifest already
         // lists the sealed segment, and recovery unconditionally replays any
@@ -971,7 +988,9 @@ impl LaserDb {
                 inner
                     .immutables
                     .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
-                self.wal.retire(frozen.wal_segment);
+                for segment in &frozen.wal_segments {
+                    self.wal.retire(*segment);
+                }
                 self.persist_manifest(&inner)?;
                 drop(inner);
                 self.wal.delete_retired()?;
@@ -999,7 +1018,9 @@ impl LaserDb {
             // Manifest-first segment GC: drop the segment from the live set,
             // persist a manifest that has the SST and no longer lists the
             // segment, and only then unlink the file.
-            self.wal.retire(frozen.wal_segment);
+            for segment in &frozen.wal_segments {
+                self.wal.retire(*segment);
+            }
             self.persist_manifest(&inner)?;
         }
         self.wal.delete_retired()?;

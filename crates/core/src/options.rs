@@ -43,6 +43,11 @@ pub struct LaserOptions {
     /// With background maintenance attached: pending background jobs at
     /// which writers block (bounds queue depth).
     pub max_pending_jobs: usize,
+    /// Recovery tail size (intact WAL bytes) at or above which a clean
+    /// recovery adopts the replayed sealed segments in place instead of
+    /// re-logging every record into a fresh active segment. `u64::MAX`
+    /// disables adoption.
+    pub recovery_adopt_bytes: u64,
     /// SST/block construction parameters.
     pub table: TableOptions,
 }
@@ -64,6 +69,7 @@ impl LaserOptions {
             l0_slowdown_files: 8,
             l0_stall_files: 16,
             max_pending_jobs: 64,
+            recovery_adopt_bytes: 1 << 20,
             table: TableOptions::default(),
         }
     }
@@ -87,6 +93,8 @@ impl LaserOptions {
             l0_slowdown_files: 8,
             l0_stall_files: 16,
             max_pending_jobs: 64,
+            // Small enough that scaled-down tests exercise the adoption path.
+            recovery_adopt_bytes: 4 << 10,
             table: TableOptions::default(),
         }
     }

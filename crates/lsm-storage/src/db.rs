@@ -305,17 +305,38 @@ impl LsmDb {
         {
             let mut inner = db.inner.write();
             inner.mutable = Some(Arc::new(MemTable::new()));
-            for record in &recovery.records {
-                // Re-log with the original sequence numbers so a second
-                // recovery replays identically.
-                db.wal.append(record.start_seq, &record.batch)?;
-                for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
-                    inner.mutable.as_ref().unwrap().insert(seq, entry);
-                    inner.last_seq = inner.last_seq.max(seq);
+            if recovery.adoptable() && recovery.total_bytes() >= db.options.recovery_adopt_bytes {
+                // Large clean tail: adopt the replayed sealed segments in
+                // place instead of re-logging every record. The records are
+                // rebuilt into one frozen memtable paired with all adopted
+                // segments, so the eventual flush retires them together.
+                // Recovery I/O drops from O(records re-logged) to the
+                // manifest write below.
+                let rebuilt = Arc::new(MemTable::new());
+                for record in recovery.records() {
+                    for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
+                        rebuilt.insert(seq, entry);
+                        inner.last_seq = inner.last_seq.max(seq);
+                    }
+                }
+                let adopted = db.wal.adopt_recovered(&recovery);
+                inner.immutables.push(FrozenMemTable {
+                    memtable: rebuilt,
+                    wal_segments: adopted,
+                });
+            } else {
+                for record in recovery.records() {
+                    // Re-log with the original sequence numbers so a second
+                    // recovery replays identically.
+                    db.wal.append(record.start_seq, &record.batch)?;
+                    for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
+                        inner.mutable.as_ref().unwrap().insert(seq, entry);
+                        inner.last_seq = inner.last_seq.max(seq);
+                    }
                 }
             }
-            // Sync the re-logged records, drop the replayed files, and record
-            // the fresh active segment in the manifest.
+            // Sync any re-logged records, drop the non-adopted replayed
+            // files, and record the live segments in the manifest.
             db.wal.finish_recovery()?;
             db.persist_manifest(&inner)?;
         }
@@ -508,10 +529,9 @@ impl LsmDb {
     fn freeze_locked(&self, inner: &mut DbInner) -> Result<bool> {
         let frozen = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
         let sealed_segment = self.wal.rotate(inner.last_seq + 1)?;
-        inner.immutables.push(FrozenMemTable {
-            memtable: frozen,
-            wal_segment: sealed_segment,
-        });
+        inner
+            .immutables
+            .push(FrozenMemTable::sealed(frozen, sealed_segment));
         inner.mutable = Some(Arc::new(MemTable::new()));
         // No manifest write here: the previous flush-time manifest already
         // lists the sealed segment, and recovery unconditionally replays any
@@ -841,7 +861,9 @@ impl LsmDb {
                 inner
                     .immutables
                     .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
-                self.wal.retire(frozen.wal_segment);
+                for segment in &frozen.wal_segments {
+                    self.wal.retire(*segment);
+                }
                 self.persist_manifest(&inner)?;
                 drop(inner);
                 self.wal.delete_retired()?;
@@ -866,11 +888,13 @@ impl LsmDb {
             inner
                 .immutables
                 .retain(|m| !Arc::ptr_eq(&m.memtable, &frozen.memtable));
-            // Manifest-first segment GC: drop the segment from the live set,
-            // persist a manifest that has the SST and no longer lists the
-            // segment, and only then unlink the file. A crash in between
-            // leaves an orphan file that the next open deletes unreplayed.
-            self.wal.retire(frozen.wal_segment);
+            // Manifest-first segment GC: drop the segments from the live set,
+            // persist a manifest that has the SST and no longer lists them,
+            // and only then unlink the files. A crash in between leaves
+            // orphan files that the next open deletes unreplayed.
+            for segment in &frozen.wal_segments {
+                self.wal.retire(*segment);
+            }
             self.persist_manifest(&inner)?;
         }
         self.wal.delete_retired()?;
@@ -1175,6 +1199,168 @@ impl LsmDb {
     /// SSTs alone). The engine should be dropped afterwards.
     pub fn remove_wal(&self) -> Result<()> {
         self.wal.remove_all()
+    }
+
+    // ------------------------------------------------------------------
+    // Replication support (WAL shipping, replicated apply, retention)
+    // ------------------------------------------------------------------
+
+    /// Applies a record replicated from a leader at its original sequence
+    /// numbers, through this replica's own WAL and memtable (so a replica
+    /// crash recovers through the ordinary replay path).
+    ///
+    /// Sequence handling is strict: a record that starts beyond
+    /// `last_seq + 1` is a replication gap and errors (the caller must fall
+    /// back to segment catch-up); a fully duplicate record (retransmission)
+    /// is skipped idempotently; a partially overlapping record logs and
+    /// applies only its unseen suffix — re-logging an already-applied prefix
+    /// would replay duplicate internal keys after a replica restart.
+    /// Returns the replica's new last applied sequence number.
+    pub fn apply_replicated(&self, start_seq: SeqNo, batch: &WriteBatch) -> Result<SeqNo> {
+        if batch.is_empty() {
+            return Ok(self.last_seq());
+        }
+        EngineMaintenance::apply_backpressure(self);
+        let ticket = {
+            let mut inner = self.inner.write();
+            let next = inner.last_seq + 1;
+            if start_seq > next {
+                return Err(Error::invalid(format!(
+                    "replication gap: record starts at seq {start_seq} but this \
+                     replica has only applied through {}",
+                    inner.last_seq
+                )));
+            }
+            let end_seq = start_seq + batch.len() as SeqNo - 1;
+            if end_seq < next {
+                return Ok(inner.last_seq);
+            }
+            let skip = (next - start_seq) as usize;
+            let suffix;
+            let (log_start, log_batch): (SeqNo, &WriteBatch) = if skip == 0 {
+                (start_seq, batch)
+            } else {
+                let mut b = WriteBatch::new();
+                for entry in batch.iter().skip(skip) {
+                    b.push(entry.clone());
+                }
+                suffix = b;
+                (next, &suffix)
+            };
+            let logical_bytes: u64 = log_batch
+                .iter()
+                .map(|e| std::mem::size_of::<UserKey>() as u64 + e.value.len() as u64)
+                .sum();
+            self.stats
+                .ingest_bytes
+                .fetch_add(logical_bytes, Ordering::Relaxed);
+            let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
+            let ticket = self.wal.append(log_start, log_batch)?;
+            let mut seq = log_start;
+            for entry in log_batch.iter() {
+                mutable.insert(seq, entry);
+                seq += 1;
+            }
+            inner.last_seq = seq - 1;
+            ticket
+        };
+        self.wal.ensure_durable(&ticket)?;
+        self.after_write_maintenance()?;
+        Ok(self.last_seq())
+    }
+
+    /// The catch-up payload a leader ships to a replica that has applied
+    /// through `from_seq`: the byte images of every live sealed segment that
+    /// may contain newer records (adopted wholesale on the other end), plus
+    /// the intact records of the live tail. Together they cover everything
+    /// this engine has accepted past `from_seq`.
+    pub fn wal_catchup(
+        &self,
+        from_seq: SeqNo,
+    ) -> Result<(
+        Vec<crate::wal_segment::ShippedSegment>,
+        Vec<crate::wal::WalRecord>,
+    )> {
+        let segments = self.wal.sealed_segments_from(from_seq)?;
+        let tail = self.wal.tail_records_from(from_seq)?;
+        Ok((segments, tail))
+    }
+
+    /// Adopts a shipped sealed-segment image in place (replica catch-up):
+    /// the image becomes a local sealed segment, its records are rebuilt
+    /// into one frozen memtable paired with that segment, and the manifest
+    /// is persisted — O(1) appends per segment instead of one per record.
+    /// The image must continue this replica's sequence run contiguously.
+    /// Returns the new last applied sequence number.
+    pub fn adopt_wal_segment(&self, bytes: &[u8]) -> Result<SeqNo> {
+        let _flushing = self.flush_lock.lock();
+        let mut inner = self.inner.write();
+        let (records, clean, _) = crate::wal::decode_records(bytes)?;
+        if !clean || records.is_empty() {
+            return Err(Error::corruption(
+                "shipped WAL segment image is torn, corrupt or empty",
+            ));
+        }
+        let first = records.first().map(|r| r.start_seq).unwrap_or(0);
+        let last = records.iter().map(|r| r.end_seq()).max().unwrap_or(0);
+        if first > inner.last_seq + 1 {
+            return Err(Error::invalid(format!(
+                "replication gap: shipped segment starts at seq {first} but this \
+                 replica has only applied through {}",
+                inner.last_seq
+            )));
+        }
+        if last <= inner.last_seq {
+            // Entirely duplicate (a re-ship after reconnect): skip.
+            return Ok(inner.last_seq);
+        }
+        if first <= inner.last_seq {
+            // Partially overlapping: adopting the whole image would leave
+            // duplicate sequence numbers in this WAL, and a later recovery
+            // would replay them twice into one memtable. The caller must
+            // apply the records individually instead (which trims overlap).
+            return Err(Error::invalid(format!(
+                "shipped segment [{first}, {last}] overlaps applied prefix \
+                 (through {}); apply its records individually",
+                inner.last_seq
+            )));
+        }
+        let (segment_id, records) = self.wal.adopt_segment_bytes(bytes)?;
+        let rebuilt = Arc::new(MemTable::new());
+        for record in &records {
+            for (seq, entry) in (record.start_seq..).zip(record.batch.iter()) {
+                rebuilt.insert(seq, entry);
+            }
+        }
+        inner.immutables.push(FrozenMemTable {
+            memtable: rebuilt,
+            wal_segments: vec![segment_id],
+        });
+        inner.last_seq = inner.last_seq.max(last);
+        self.persist_manifest(&inner)?;
+        Ok(inner.last_seq)
+    }
+
+    /// Sets the WAL retention floor from replication acknowledgements: every
+    /// record with a sequence number `<= seq` is acked by every replica, so
+    /// segments ending at or below it may retire. When the advance releases
+    /// a previously pinned segment, the manifest is re-persisted and the
+    /// file deleted.
+    pub fn set_wal_retention_floor(&self, seq: SeqNo) -> Result<()> {
+        if self.wal.set_retention_floor(seq) {
+            let inner = self.inner.read();
+            self.persist_manifest(&inner)?;
+            drop(inner);
+            self.wal.delete_retired()?;
+        }
+        Ok(())
+    }
+
+    /// True while the engine can accept writes — its WAL has not
+    /// fail-stopped on an append/fsync failure. The replication health
+    /// monitor treats an unhealthy leader as lost and promotes a replica.
+    pub fn is_healthy(&self) -> bool {
+        !self.wal.is_damaged()
     }
 
     // ------------------------------------------------------------------

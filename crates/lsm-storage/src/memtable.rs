@@ -142,16 +142,30 @@ impl MemTable {
 /// Shared handle to a memtable.
 pub type MemTableRef = Arc<MemTable>;
 
-/// A frozen (immutable) memtable awaiting flush, paired with the WAL segment
-/// that holds exactly its writes. When the memtable is durably flushed to an
-/// SST, the segment is retired and its file deleted — this per-memtable
-/// pairing is what bounds recovery replay to the unflushed tail.
+/// A frozen (immutable) memtable awaiting flush, paired with the WAL
+/// segments that hold exactly its writes. When the memtable is durably
+/// flushed to an SST, the segments are retired and their files deleted —
+/// this per-memtable pairing is what bounds recovery replay to the unflushed
+/// tail. A freeze on the write path pairs exactly one sealed segment; a
+/// recovery that adopts sealed segments in place pairs every adopted segment
+/// with the single memtable rebuilt from their records.
 #[derive(Debug, Clone)]
 pub struct FrozenMemTable {
     /// The frozen memtable (still readable until its flush installs).
     pub memtable: MemTableRef,
-    /// Id of the WAL segment sealed when this memtable was frozen.
-    pub wal_segment: u64,
+    /// Ids of the WAL segments sealed for this memtable's writes.
+    pub wal_segments: Vec<u64>,
+}
+
+impl FrozenMemTable {
+    /// Pairs `memtable` with the single `segment` sealed when it was frozen
+    /// (the ordinary write-path case).
+    pub fn sealed(memtable: MemTableRef, segment: u64) -> Self {
+        FrozenMemTable {
+            memtable,
+            wal_segments: vec![segment],
+        }
+    }
 }
 
 /// An owning iterator over a snapshot of a memtable's contents.

@@ -59,6 +59,13 @@ pub struct LsmOptions {
     /// With background maintenance attached: pending background jobs at which
     /// writers block (bounds queue depth).
     pub max_pending_jobs: usize,
+    /// Recovery tail size (intact WAL bytes) at or above which a clean
+    /// recovery adopts the replayed sealed segments in place instead of
+    /// re-logging every record into a fresh active segment. Adoption turns
+    /// recovery I/O from O(records re-logged) into O(1) manifest work; small
+    /// tails keep the re-log path, which compacts many tiny segments into
+    /// one. `u64::MAX` disables adoption.
+    pub recovery_adopt_bytes: u64,
     /// SST/block construction parameters.
     pub table: TableOptions,
 }
@@ -79,6 +86,7 @@ impl Default for LsmOptions {
             l0_slowdown_files: 8,
             l0_stall_files: 16,
             max_pending_jobs: 64,
+            recovery_adopt_bytes: 1 << 20,
             table: TableOptions::default(),
         }
     }
@@ -105,6 +113,9 @@ impl LsmOptions {
             l0_slowdown_files: 8,
             l0_stall_files: 16,
             max_pending_jobs: 64,
+            // Small enough that the scaled-down tests exercise the adoption
+            // path with a few KB of unflushed tail.
+            recovery_adopt_bytes: 4 << 10,
             table: TableOptions::default(),
         }
     }

@@ -95,14 +95,34 @@ pub struct WalRecord {
     pub batch: WriteBatch,
 }
 
-/// Reads back every intact record of a WAL file.
+impl WalRecord {
+    /// Sequence number of the last entry in the batch (equal to `start_seq`
+    /// for a single-entry batch; `start_seq` itself if the batch is somehow
+    /// empty).
+    pub fn end_seq(&self) -> SeqNo {
+        self.start_seq + (self.batch.len() as SeqNo).saturating_sub(1)
+    }
+}
+
+/// Encodes one record exactly as [`WalWriter::append`] lays it out on disk:
+/// `[len][masked crc][start_seq][payload]`. Replication ships live-tail
+/// records in this form so both ends share one codec with the log itself.
+pub fn encode_record(start_seq: SeqNo, batch: &WriteBatch) -> Vec<u8> {
+    let payload = batch.encode();
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, mask(crc32(&payload)));
+    put_u64(&mut out, start_seq);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes every intact record of a WAL byte image.
 ///
-/// Returns the records recovered before the first corruption/truncation and a
-/// flag saying whether the log ended cleanly (`true`) or a damaged tail was
-/// discarded (`false`).
-pub fn recover(storage: &StorageRef, name: &str) -> Result<(Vec<WalRecord>, bool)> {
-    let file = storage.open(name)?;
-    let data = file.read_all()?;
+/// Returns the records decoded before the first corruption/truncation, a
+/// flag saying whether the image ended cleanly (`true`) or a damaged tail
+/// was discarded (`false`), and the byte length of the intact prefix.
+pub fn decode_records(data: &[u8]) -> Result<(Vec<WalRecord>, bool, u64)> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + RECORD_HEADER <= data.len() {
@@ -113,20 +133,38 @@ pub fn recover(storage: &StorageRef, name: &str) -> Result<(Vec<WalRecord>, bool
         let payload_end = payload_start + len;
         if payload_end > data.len() {
             // Torn tail write.
-            return Ok((records, false));
+            return Ok((records, false, pos as u64));
         }
         let payload = &data[payload_start..payload_end];
         if crc32(payload) != stored_crc {
-            return Ok((records, false));
+            return Ok((records, false, pos as u64));
         }
         match WriteBatch::decode(payload) {
             Ok(batch) => records.push(WalRecord { start_seq, batch }),
-            Err(_) => return Ok((records, false)),
+            Err(_) => return Ok((records, false, pos as u64)),
         }
         pos = payload_end;
     }
     let clean = pos == data.len();
+    Ok((records, clean, pos as u64))
+}
+
+/// Reads back every intact record of a WAL file.
+///
+/// Returns the records recovered before the first corruption/truncation and a
+/// flag saying whether the log ended cleanly (`true`) or a damaged tail was
+/// discarded (`false`).
+pub fn recover(storage: &StorageRef, name: &str) -> Result<(Vec<WalRecord>, bool)> {
+    let (records, clean, _) = recover_detailed(storage, name)?;
     Ok((records, clean))
+}
+
+/// Like [`recover`], but also reports the byte length of the intact prefix
+/// (what an in-place segment adoption would keep).
+pub fn recover_detailed(storage: &StorageRef, name: &str) -> Result<(Vec<WalRecord>, bool, u64)> {
+    let file = storage.open(name)?;
+    let data = file.read_all()?;
+    decode_records(&data)
 }
 
 /// Deletes a WAL file, ignoring not-found errors.

@@ -40,7 +40,7 @@ use crate::error::{Error, Result};
 use crate::observability::WalTelemetry;
 use crate::storage::{SharedSyncHandle, StorageRef};
 use crate::types::{SeqNo, WriteBatch};
-use crate::wal::{recover as recover_segment, WalRecord, WalWriter};
+use crate::wal::{decode_records, recover_detailed, WalRecord, WalWriter};
 
 /// Prefix of WAL segment file names.
 pub const SEGMENT_PREFIX: &str = "wal-";
@@ -93,6 +93,22 @@ impl WalSegmentMeta {
             min_seq: d.u64()?,
         })
     }
+}
+
+/// A sealed segment's byte image as shipped from a leader to a catching-up
+/// replica. `id` is the leader-side segment number (diagnostic only — the
+/// replica renumbers on adoption); `min_seq`/`last_seq` bound the sequence
+/// numbers of the records inside.
+#[derive(Debug, Clone)]
+pub struct ShippedSegment {
+    /// Leader-side segment id.
+    pub id: u64,
+    /// Smallest sequence number any record in the image may carry.
+    pub min_seq: SeqNo,
+    /// Largest sequence number any record in the image may carry.
+    pub last_seq: SeqNo,
+    /// The raw segment file bytes (the WAL record encoding, unchanged).
+    pub bytes: Vec<u8>,
 }
 
 /// When appended records become durable.
@@ -249,6 +265,12 @@ impl ActiveSegment {
 struct SealedSegment {
     meta: WalSegmentMeta,
     bytes: u64,
+    /// Upper bound on the sequence numbers of this segment's records (set at
+    /// seal time from the rotation's `next_min_seq`, or from the decoded
+    /// records when the segment was adopted). The replication retention
+    /// floor compares against this to decide whether a lagging replica may
+    /// still need the segment.
+    last_seq: SeqNo,
 }
 
 struct WalInner {
@@ -260,8 +282,17 @@ struct WalInner {
     /// (deletion happens only after the manifest no longer lists them).
     retired: Vec<u64>,
     /// Files fully replayed by `open`, deleted by `finish_recovery` once
-    /// their records are durable in the new active segment.
+    /// their records are durable in the new active segment (or adopted back
+    /// into the live set by [`SegmentedWal::adopt_recovered`]).
     replayed_files: Vec<String>,
+    /// Replication retention floor: every record with a sequence number at
+    /// or below the floor has been acknowledged by every replica. `None`
+    /// means no replication — segments retire freely.
+    retention_floor: Option<SeqNo>,
+    /// Sealed segments whose retire was requested but blocked because a
+    /// lagging replica may still need them (their `last_seq` exceeds the
+    /// retention floor). Re-examined every time the floor advances.
+    pending_retire: Vec<u64>,
     next_id: u64,
     /// Epoch of the most recently appended record.
     appended_epoch: u64,
@@ -277,13 +308,63 @@ struct WalInner {
     damaged: bool,
 }
 
-/// Outcome of WAL recovery at open.
+/// One replayed WAL file, grouped so recovery can adopt sealed segments in
+/// place instead of re-logging their records one by one.
+#[derive(Debug, Clone)]
+pub struct RecoveredSegment {
+    /// Segment id; `None` for legacy single-file WALs (never adoptable).
+    pub id: Option<u64>,
+    /// The file the records came from.
+    pub file_name: String,
+    /// Byte length of the intact record prefix.
+    pub bytes: u64,
+    /// Whether this file ended cleanly (no torn or corrupt tail).
+    pub clean: bool,
+    /// The intact records, in append order.
+    pub records: Vec<WalRecord>,
+}
+
+/// Outcome of WAL recovery at open, grouped per replayed file.
 #[derive(Debug, Default, Clone)]
 pub struct WalRecovery {
-    /// Every intact record of the live segments, in append order.
-    pub records: Vec<WalRecord>,
+    /// Every replayed file, in replay order.
+    pub segments: Vec<RecoveredSegment>,
     /// False if a torn or corrupt tail was discarded somewhere.
     pub clean: bool,
+}
+
+impl WalRecovery {
+    /// Every intact record of the live segments, in replay order.
+    pub fn records(&self) -> impl Iterator<Item = &WalRecord> + '_ {
+        self.segments.iter().flat_map(|s| s.records.iter())
+    }
+
+    /// Total number of recovered records.
+    pub fn num_records(&self) -> usize {
+        self.segments.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// True when no records were recovered.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.records.is_empty())
+    }
+
+    /// Total intact bytes across the replayed files — the volume a re-log
+    /// would rewrite, and what in-place adoption avoids.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// True when every recovered record sits in a numbered segment that
+    /// ended cleanly, so the whole tail can be adopted in place.
+    pub fn adoptable(&self) -> bool {
+        self.clean
+            && !self.is_empty()
+            && self
+                .segments
+                .iter()
+                .all(|s| s.records.is_empty() || s.id.is_some())
+    }
 }
 
 /// The segmented write-ahead log manager. One per engine.
@@ -312,9 +393,12 @@ impl SegmentedWal {
     /// without replay. `legacy_names` are pre-segmentation single-file WAL
     /// names that are replayed (first) and migrated if present.
     ///
-    /// The caller must re-insert `WalRecovery::records` into its memtable,
-    /// re-log them via [`SegmentedWal::append`], and then call
-    /// [`SegmentedWal::finish_recovery`] to delete the replayed files.
+    /// The caller must re-insert the recovered records into its memtable,
+    /// then either re-log them via [`SegmentedWal::append`] or — when the
+    /// tail is large and [`WalRecovery::adoptable`] — keep the sealed files
+    /// as-is via [`SegmentedWal::adopt_recovered`]; in both cases it then
+    /// calls [`SegmentedWal::finish_recovery`] to delete the leftover
+    /// replayed files.
     pub fn open(
         storage: &StorageRef,
         policy: WalSyncPolicy,
@@ -333,7 +417,7 @@ impl SegmentedWal {
 
         let stats = WalStats::default();
         let mut recovery = WalRecovery {
-            records: Vec::new(),
+            segments: Vec::new(),
             clean: true,
         };
         let mut replayed_files: Vec<String> = Vec::new();
@@ -341,13 +425,19 @@ impl SegmentedWal {
         // Legacy single-file WALs predate every segment: replay them first.
         for name in legacy_names {
             if storage.exists(name) {
-                let (records, clean) = recover_segment(storage, name)?;
+                let (records, clean, bytes) = recover_detailed(storage, name)?;
                 stats
                     .records_replayed
                     .fetch_add(records.len() as u64, Ordering::Relaxed);
                 stats.segments_replayed.fetch_add(1, Ordering::Relaxed);
-                recovery.records.extend(records);
                 recovery.clean &= clean;
+                recovery.segments.push(RecoveredSegment {
+                    id: None,
+                    file_name: name.to_string(),
+                    bytes,
+                    clean,
+                    records,
+                });
                 replayed_files.push(name.to_string());
             }
         }
@@ -380,13 +470,19 @@ impl SegmentedWal {
                 // retired it completed. Nothing to replay.
                 continue;
             }
-            let (records, clean) = recover_segment(storage, &name)?;
+            let (records, clean, bytes) = recover_detailed(storage, &name)?;
             stats
                 .records_replayed
                 .fetch_add(records.len() as u64, Ordering::Relaxed);
             stats.segments_replayed.fetch_add(1, Ordering::Relaxed);
-            recovery.records.extend(records);
             recovery.clean &= clean;
+            recovery.segments.push(RecoveredSegment {
+                id: Some(*id),
+                file_name: name.clone(),
+                bytes,
+                clean,
+                records,
+            });
             replayed_files.push(name);
             if !clean {
                 halted = true;
@@ -395,8 +491,8 @@ impl SegmentedWal {
 
         let next_id = disk_ids.last().copied().unwrap_or(0).max(max_manifest_id) + 1;
         let min_seq = recovery
-            .records
-            .first()
+            .records()
+            .next()
             .map(|r| r.start_seq.min(next_min_seq))
             .unwrap_or(next_min_seq);
         let active = ActiveSegment::create(
@@ -415,6 +511,8 @@ impl SegmentedWal {
                 sealed: Vec::new(),
                 retired: Vec::new(),
                 replayed_files,
+                retention_floor: None,
+                pending_retire: Vec::new(),
                 next_id: next_id + 1,
                 appended_epoch: 0,
                 synced_epoch: 0,
@@ -620,6 +718,9 @@ impl SegmentedWal {
         inner.sealed.push(SealedSegment {
             meta: old.meta,
             bytes: sealed_bytes,
+            // Every record in the sealed segment precedes the new segment's
+            // first sequence number.
+            last_seq: next_min_seq.saturating_sub(1),
         });
         self.stats.rotations.fetch_add(1, Ordering::Relaxed);
         if let (Some(telemetry), Some(start)) = (telemetry, rotate_start) {
@@ -632,13 +733,180 @@ impl SegmentedWal {
     /// yet: the engine first persists a manifest without the segment, then
     /// calls [`SegmentedWal::delete_retired`]. No-op for unknown ids, so the
     /// release path is idempotent.
+    ///
+    /// With a replication retention floor set, a segment that may still
+    /// contain records above the floor is *pinned* instead: it stays in the
+    /// live set (and the manifest, and on disk) until
+    /// [`SegmentedWal::set_retention_floor`] advances past its last record.
+    /// Replaying a pinned segment at recovery is harmless — it re-applies
+    /// the same entries at the same sequence numbers.
     pub fn retire(&self, segment_id: u64) {
         let mut inner = self.inner.lock();
-        let before = inner.sealed.len();
-        inner.sealed.retain(|s| s.meta.id != segment_id);
-        if inner.sealed.len() != before {
-            inner.retired.push(segment_id);
+        let Some(seg) = inner.sealed.iter().find(|s| s.meta.id == segment_id) else {
+            return;
+        };
+        if let Some(floor) = inner.retention_floor {
+            if seg.last_seq > floor {
+                if !inner.pending_retire.contains(&segment_id) {
+                    inner.pending_retire.push(segment_id);
+                }
+                return;
+            }
         }
+        inner.sealed.retain(|s| s.meta.id != segment_id);
+        inner.retired.push(segment_id);
+    }
+
+    /// Sets the replication retention floor: every record with a sequence
+    /// number `<= seq` has been acknowledged by every replica, so segments
+    /// ending at or below it may retire. Returns `true` when a previously
+    /// pinned retire was released — the engine should then persist its
+    /// manifest and call [`SegmentedWal::delete_retired`].
+    pub fn set_retention_floor(&self, seq: SeqNo) -> bool {
+        let mut inner = self.inner.lock();
+        inner.retention_floor = Some(seq);
+        let pending = std::mem::take(&mut inner.pending_retire);
+        let mut released = false;
+        for id in pending {
+            let eligible = inner
+                .sealed
+                .iter()
+                .find(|s| s.meta.id == id)
+                .map(|s| s.last_seq <= seq);
+            match eligible {
+                Some(true) => {
+                    inner.sealed.retain(|s| s.meta.id != id);
+                    inner.retired.push(id);
+                    released = true;
+                }
+                Some(false) => inner.pending_retire.push(id),
+                // The segment vanished (e.g. `remove_all`): drop the request.
+                None => {}
+            }
+        }
+        released
+    }
+
+    /// The current replication retention floor, if one is set.
+    pub fn retention_floor(&self) -> Option<SeqNo> {
+        self.inner.lock().retention_floor
+    }
+
+    /// Moves the cleanly replayed numbered segments of `recovery` back into
+    /// the live sealed set instead of deleting them: the recovered records
+    /// stay durable in their original files, so the caller skips re-logging
+    /// them (the ROADMAP "adopt old segments in place" path). Files with no
+    /// records remain scheduled for deletion by
+    /// [`SegmentedWal::finish_recovery`]. Returns the adopted segment ids,
+    /// oldest first, which the engine pairs with the single frozen memtable
+    /// it rebuilds from the recovered records.
+    ///
+    /// The caller must check [`WalRecovery::adoptable`] first; non-clean or
+    /// legacy-file recoveries must take the re-log path.
+    pub fn adopt_recovered(&self, recovery: &WalRecovery) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        let mut adopted = Vec::new();
+        for seg in &recovery.segments {
+            let Some(id) = seg.id else { continue };
+            if seg.records.is_empty() || !seg.clean {
+                continue;
+            }
+            if !inner.replayed_files.contains(&seg.file_name) {
+                continue;
+            }
+            inner.replayed_files.retain(|f| *f != seg.file_name);
+            let min_seq = seg.records.first().map(|r| r.start_seq).unwrap_or(0);
+            let last_seq = seg.records.iter().map(|r| r.end_seq()).max().unwrap_or(0);
+            inner.sealed.push(SealedSegment {
+                meta: WalSegmentMeta { id, min_seq },
+                bytes: seg.bytes,
+                last_seq,
+            });
+            adopted.push(id);
+        }
+        inner.sealed.sort_by_key(|s| s.meta.id);
+        adopted
+    }
+
+    /// Installs a shipped segment image as a new sealed segment of this log
+    /// (replica catch-up): validates that the image decodes cleanly end to
+    /// end, writes it under the next local segment id, syncs it, and adds it
+    /// to the live sealed set. Returns the local id and the decoded records
+    /// for the caller to replay into a frozen memtable — catch-up cost is
+    /// one file write per shipped segment, not one append per record.
+    pub fn adopt_segment_bytes(&self, bytes: &[u8]) -> Result<(u64, Vec<WalRecord>)> {
+        let (records, clean, intact) = decode_records(bytes)?;
+        if !clean || intact != bytes.len() as u64 || records.is_empty() {
+            return Err(Error::Corruption(
+                "shipped WAL segment image is torn, corrupt or empty".into(),
+            ));
+        }
+        let min_seq = records.first().map(|r| r.start_seq).unwrap_or(0);
+        let last_seq = records.iter().map(|r| r.end_seq()).max().unwrap_or(0);
+        let mut inner = self.inner.lock();
+        Self::check_damaged(&inner)?;
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let meta = WalSegmentMeta { id, min_seq };
+        let mut file = self.storage.create(&meta.file_name())?;
+        file.append(bytes)?;
+        file.sync()?;
+        inner.sealed.push(SealedSegment {
+            meta,
+            bytes: bytes.len() as u64,
+            last_seq,
+        });
+        Ok((id, records))
+    }
+
+    /// Byte images of the live sealed segments that may contain records with
+    /// sequence numbers above `from_seq`, oldest first — what a leader ships
+    /// to a replica that is catching up from `from_seq`. Sealed files are
+    /// immutable, so the reads run without the log lock held; a segment
+    /// retired and deleted concurrently is skipped (the floor protocol
+    /// guarantees a needed segment is never deleted).
+    pub fn sealed_segments_from(&self, from_seq: SeqNo) -> Result<Vec<ShippedSegment>> {
+        let picks: Vec<(WalSegmentMeta, SeqNo)> = {
+            let inner = self.inner.lock();
+            inner
+                .sealed
+                .iter()
+                .filter(|s| s.last_seq > from_seq)
+                .map(|s| (s.meta, s.last_seq))
+                .collect()
+        };
+        let mut out = Vec::new();
+        for (meta, last_seq) in picks {
+            match self.storage.open(&meta.file_name()) {
+                Ok(file) => out.push(ShippedSegment {
+                    id: meta.id,
+                    min_seq: meta.min_seq,
+                    last_seq,
+                    bytes: file.read_all()?,
+                }),
+                Err(Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Intact records currently in the active segment whose batches extend
+    /// past `from_seq` — the live tail a catching-up replica still needs.
+    /// The active file may be appended to concurrently; a torn final record
+    /// is simply not returned yet (it will ship once complete).
+    pub fn tail_records_from(&self, from_seq: SeqNo) -> Result<Vec<WalRecord>> {
+        let name = { self.inner.lock().active.meta.file_name() };
+        let data = match self.storage.open(&name) {
+            Ok(file) => file.read_all()?,
+            Err(Error::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let (records, _clean, _bytes) = decode_records(&data)?;
+        Ok(records
+            .into_iter()
+            .filter(|r| r.end_seq() > from_seq)
+            .collect())
     }
 
     /// Deletes the files of every retired segment. Idempotent: missing files
@@ -780,7 +1048,7 @@ mod tests {
 
     fn open_fresh(storage: &StorageRef, policy: WalSyncPolicy) -> SegmentedWal {
         let (wal, recovery) = SegmentedWal::open(storage, policy, &[], &[], 1).unwrap();
-        assert!(recovery.records.is_empty());
+        assert!(recovery.is_empty());
         wal
     }
 
@@ -820,7 +1088,7 @@ mod tests {
         let (wal, recovery) =
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &live, &[], 6).unwrap();
         assert!(recovery.clean);
-        let seqs: Vec<SeqNo> = recovery.records.iter().map(|r| r.start_seq).collect();
+        let seqs: Vec<SeqNo> = recovery.records().map(|r| r.start_seq).collect();
         assert_eq!(seqs, vec![1, 3, 4], "records must replay in segment order");
         let stats = wal.stats();
         assert_eq!(stats.segments_replayed, 3);
@@ -841,8 +1109,8 @@ mod tests {
         let live = vec![WalSegmentMeta { id: 2, min_seq: 2 }];
         let (wal, recovery) =
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &live, &[], 3).unwrap();
-        assert_eq!(recovery.records.len(), 1);
-        assert_eq!(recovery.records[0].start_seq, 2);
+        assert_eq!(recovery.num_records(), 1);
+        assert_eq!(recovery.records().next().unwrap().start_seq, 2);
         let stats = wal.stats();
         assert_eq!(stats.orphan_segments_deleted, 1);
         assert!(
@@ -945,7 +1213,8 @@ mod tests {
         let (_, recovery) =
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &live, &[], 4).unwrap();
         assert!(!recovery.clean);
-        let seqs: Vec<SeqNo> = recovery.records.iter().map(|r| r.start_seq).collect();
+        assert!(!recovery.adoptable(), "a torn tail must not be adopted");
+        let seqs: Vec<SeqNo> = recovery.records().map(|r| r.start_seq).collect();
         assert_eq!(seqs, vec![1], "replay stops at the damaged segment");
     }
 
@@ -959,9 +1228,13 @@ mod tests {
         let (wal, recovery) =
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &[], &["wal-current.log"], 3)
                 .unwrap();
-        assert_eq!(recovery.records.len(), 1);
+        assert_eq!(recovery.num_records(), 1);
+        assert!(
+            !recovery.adoptable(),
+            "legacy single-file WALs are never adoptable"
+        );
         // Re-log as the engine would, then finish.
-        for r in &recovery.records {
+        for r in recovery.records() {
             wal.append(r.start_seq, &r.batch).unwrap();
         }
         wal.finish_recovery().unwrap();
@@ -1011,8 +1284,8 @@ mod tests {
         let live = vec![WalSegmentMeta { id: 1, min_seq: 1 }];
         let (wal, recovery) =
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &live, &[], 2).unwrap();
-        assert_eq!(recovery.records.len(), 1);
-        assert_eq!(recovery.records[0].start_seq, 1);
+        assert_eq!(recovery.num_records(), 1);
+        assert_eq!(recovery.records().next().unwrap().start_seq, 1);
         wal.append(2, &batch(&[2])).unwrap();
         assert!(!wal.is_damaged());
     }
@@ -1055,6 +1328,104 @@ mod tests {
             wal.append(2, &batch(&[2])).is_err(),
             "fail-stop must survive the fault clearing"
         );
+    }
+
+    #[test]
+    fn adopt_recovered_keeps_segments_live() {
+        let storage: StorageRef = MemStorage::new_ref();
+        {
+            let wal = open_fresh(&storage, WalSyncPolicy::Never);
+            wal.append(1, &batch(&[1, 2])).unwrap();
+            wal.rotate(3).unwrap();
+            wal.append(3, &batch(&[3])).unwrap();
+        }
+        let live = vec![
+            WalSegmentMeta { id: 1, min_seq: 1 },
+            WalSegmentMeta { id: 2, min_seq: 3 },
+        ];
+        let (wal, recovery) =
+            SegmentedWal::open(&storage, WalSyncPolicy::Never, &live, &[], 4).unwrap();
+        assert!(recovery.adoptable());
+        assert!(recovery.total_bytes() > 0);
+        let adopted = wal.adopt_recovered(&recovery);
+        assert_eq!(adopted, vec![1, 2]);
+        // The adopted segments are live again (plus the fresh active one)...
+        let segs = wal.live_segments();
+        assert_eq!(segs.iter().map(|s| s.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // ...and finish_recovery must NOT delete their files.
+        wal.finish_recovery().unwrap();
+        assert!(storage.exists(&segment_file_name(1)));
+        assert!(storage.exists(&segment_file_name(2)));
+        // Retiring an adopted segment works like any sealed one.
+        wal.retire(1);
+        wal.delete_retired().unwrap();
+        assert!(!storage.exists(&segment_file_name(1)));
+    }
+
+    #[test]
+    fn retention_floor_pins_needed_segments() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let wal = open_fresh(&storage, WalSyncPolicy::Never);
+        wal.append(1, &batch(&[1, 2])).unwrap(); // seqs 1-2
+        let seg1 = wal.rotate(3).unwrap();
+        wal.append(3, &batch(&[3, 4])).unwrap(); // seqs 3-4
+        let seg2 = wal.rotate(5).unwrap();
+        // A replica has only acked through seq 2: segment 2 (seqs 3-4) must
+        // survive a retire request, segment 1 (seqs 1-2) may go.
+        wal.set_retention_floor(2);
+        wal.retire(seg1);
+        wal.retire(seg2);
+        let live: Vec<u64> = wal.live_segments().iter().map(|s| s.id).collect();
+        assert!(!live.contains(&seg1), "acked-past segment retires");
+        assert!(live.contains(&seg2), "needed segment stays pinned");
+        wal.delete_retired().unwrap();
+        assert!(storage.exists(&segment_file_name(seg2)));
+        // Once every replica acks past it, the pending retire releases.
+        assert!(wal.set_retention_floor(4));
+        let live: Vec<u64> = wal.live_segments().iter().map(|s| s.id).collect();
+        assert!(!live.contains(&seg2));
+        wal.delete_retired().unwrap();
+        assert!(!storage.exists(&segment_file_name(seg2)));
+    }
+
+    #[test]
+    fn shipped_segments_roundtrip_through_adoption() {
+        let leader_storage: StorageRef = MemStorage::new_ref();
+        let leader = open_fresh(&leader_storage, WalSyncPolicy::Never);
+        leader.append(1, &batch(&[1, 2])).unwrap();
+        leader.rotate(3).unwrap();
+        leader.append(3, &batch(&[3])).unwrap();
+        leader.rotate(4).unwrap();
+        leader.append(4, &batch(&[4])).unwrap();
+
+        // Ship everything above seq 0 (a fresh replica).
+        let shipped = leader.sealed_segments_from(0).unwrap();
+        assert_eq!(shipped.len(), 2);
+        assert_eq!(shipped[0].min_seq, 1);
+        assert_eq!(shipped[0].last_seq, 2);
+        let tail = leader.tail_records_from(0).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].start_seq, 4);
+        // A replica caught up through seq 2 needs only the second segment.
+        assert_eq!(leader.sealed_segments_from(2).unwrap().len(), 1);
+        assert!(leader.sealed_segments_from(4).unwrap().is_empty());
+
+        // The replica adopts the images wholesale.
+        let replica_storage: StorageRef = MemStorage::new_ref();
+        let replica = open_fresh(&replica_storage, WalSyncPolicy::Never);
+        let mut replayed = Vec::new();
+        for seg in &shipped {
+            let (_, records) = replica.adopt_segment_bytes(&seg.bytes).unwrap();
+            replayed.extend(records);
+        }
+        let seqs: Vec<SeqNo> = replayed.iter().map(|r| r.start_seq).collect();
+        assert_eq!(seqs, vec![1, 3]);
+        assert_eq!(replica.live_segments().len(), 3); // active + 2 adopted
+
+        // A torn image is rejected outright.
+        let mut torn = shipped[0].bytes.clone();
+        torn.truncate(torn.len() - 1);
+        assert!(replica.adopt_segment_bytes(&torn).is_err());
     }
 
     #[test]

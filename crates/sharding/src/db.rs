@@ -52,6 +52,15 @@ use crate::manifest::{
     write_split_intent, ShardManifest, SplitIntent,
 };
 use crate::pool::WorkerPool;
+use crate::replication::promotion::{
+    read_promotion_intent, remove_promotion_intent, write_promotion_intent,
+    write_torn_promotion_intent, PromotionIntent,
+};
+use crate::replication::{
+    bootstrap_replica, reconcile_from, record_replication_event, replica_slot, reship_tail,
+    ReplicaSet, ReplicaState, ReplicationConfig, ReplicationFailpoint, ReplicationState,
+    ShardReplicationStatus,
+};
 use crate::router::ShardRouter;
 use crate::storage::ShardStorageProvider;
 
@@ -126,6 +135,10 @@ pub struct ShardedOptions {
     /// Automatic shard splitting; `None` splits only on explicit
     /// [`ShardedDb::split_shard`] calls.
     pub split_policy: Option<SplitPolicy>,
+    /// Per-shard WAL-shipping replication; `None` runs unreplicated. The
+    /// engine must support replication ([`ShardEngine::SUPPORTS_REPLICATION`])
+    /// and shard splits are disabled while replication is on.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ShardedOptions {
@@ -137,6 +150,7 @@ impl Default for ShardedOptions {
             maintenance_workers: 0,
             cache_bytes: 0,
             split_policy: None,
+            replication: None,
         }
     }
 }
@@ -182,6 +196,13 @@ impl ShardedOptions {
         self.split_policy = Some(policy);
         self
     }
+
+    /// Enables per-shard WAL-shipping replication under `config` (disables
+    /// shard splitting).
+    pub fn replication(mut self, config: ReplicationConfig) -> Self {
+        self.replication = Some(config);
+        self
+    }
 }
 
 /// A consistent cross-shard snapshot: one sequence number per shard,
@@ -206,6 +227,10 @@ impl ShardSnapshot {
         self.epoch
     }
 }
+
+/// The replication state and one shard's replica set, as the write path
+/// resolves them per batch.
+type ShardReplication<'a, E> = (&'a Arc<ReplicationState<E>>, Arc<ReplicaSet<E>>);
 
 /// One shard of the topology: the engine plus its placement bookkeeping.
 struct Shard<E> {
@@ -359,10 +384,24 @@ pub struct ShardedDb<E: ShardEngine> {
     /// Serialises shard splits (manual and automatic).
     split_lock: Mutex<()>,
     split_policy: Option<SplitPolicy>,
+    /// Replication runtime (replica sets, health monitor, failpoints), if
+    /// replication was enabled at open. Mutually exclusive with splits.
+    replication: Option<Arc<ReplicationState<E>>>,
     stats: ShardedStats,
     /// Shared telemetry hub, set once by [`ShardedDb::attach_telemetry`].
     /// While absent, instrumentation costs one branch per operation.
     telemetry: OnceLock<ShardedTelemetry>,
+}
+
+impl<E: ShardEngine> Drop for ShardedDb<E> {
+    fn drop(&mut self) {
+        // Stop the health monitor and replica apply threads before any field
+        // drops: they hold engine Arcs and must not race the scheduler
+        // shutdown.
+        if let Some(state) = &self.replication {
+            state.shutdown();
+        }
+    }
 }
 
 impl<E: ShardEngine> std::fmt::Debug for ShardedDb<E> {
@@ -420,6 +459,23 @@ impl<E: ShardEngine> ShardedDb<E> {
             remove_split_intent(&root)?;
         }
 
+        // Resolve a promotion interrupted by a crash, by the same rule: if
+        // the committed SHARDS manifest already lists the promoted replica's
+        // slot, the promotion happened — finish the cleanup by clearing the
+        // old leader's slot. Otherwise the old leader is still the leader
+        // and the intent is simply discarded (the replica's data stays and
+        // is caught up like any other replica).
+        if let Some(intent) = read_promotion_intent(&root)? {
+            let manifest = read_shard_manifest(&root)?;
+            let committed = manifest
+                .as_ref()
+                .is_some_and(|m| m.slots.contains(&intent.replica_slot));
+            if committed {
+                provider.clear_shard(intent.leader_slot as usize)?;
+            }
+            remove_promotion_intent(&root)?;
+        }
+
         // The persisted topology wins over the requested one: shard data
         // cannot be re-split by merely asking for a different count.
         let manifest = match read_shard_manifest(&root)? {
@@ -468,6 +524,69 @@ impl<E: ShardEngine> ShardedDb<E> {
         } else {
             None
         };
+        // Bring up replication: bootstrap (or re-attach) every shard's
+        // replicas, pull back any quorum-acknowledged writes that survived
+        // only on a replica, and start the health monitor.
+        let replication = match &options.replication {
+            Some(_) if !E::SUPPORTS_REPLICATION => {
+                return Err(Error::invalid(format!(
+                    "engine {} does not support replication",
+                    E::ENGINE_NAME
+                )));
+            }
+            Some(config) => {
+                let state = Arc::new(ReplicationState::<E>::new(config.clone()));
+                let failpoint = state.failpoint();
+                for (index, shard) in shards.iter().enumerate() {
+                    let (lo, hi) = router.shard_range(index);
+                    let mut replicas = Vec::with_capacity(config.replication_factor);
+                    for r in 0..config.replication_factor {
+                        let replica = bootstrap_replica(
+                            &provider,
+                            &shard.engine,
+                            shard.slot,
+                            replica_slot(shard.slot, r),
+                            &engine_options,
+                            (lo, hi),
+                            failpoint,
+                        )?;
+                        if let Some(scheduler) = &scheduler {
+                            register_shard_engine(scheduler, &replica.engine)?;
+                        }
+                        replicas.push(replica);
+                    }
+                    // A replica ahead of the leader holds quorum-acked
+                    // writes the leader's WAL lost (e.g. interval fsync):
+                    // pull them back before serving traffic.
+                    let leader_seq = shard.engine.shard_last_seq();
+                    if let Some(best) = replicas
+                        .iter()
+                        .max_by_key(|r| r.shared.applied().0)
+                        .filter(|r| r.shared.applied().0 > leader_seq)
+                    {
+                        reconcile_from(best.engine.as_ref(), shard.engine.as_ref())?;
+                    }
+                    let set = Arc::new(ReplicaSet::new(
+                        Arc::clone(&shard.engine),
+                        shard.slot,
+                        replicas,
+                    ));
+                    // Heal any replica the reconciliation left behind.
+                    let leader_seq = shard.engine.shard_last_seq();
+                    for replica in set.replicas() {
+                        if replica.shared.applied().0 < leader_seq {
+                            reship_tail(set.as_ref(), replica.as_ref())?;
+                        }
+                    }
+                    state.sets.write().push(set);
+                }
+                let monitor = crate::replication::health::spawn_monitor(Arc::clone(&state));
+                *state.monitor.lock() = Some(monitor);
+                Some(state)
+            }
+            None => None,
+        };
+
         let fanout_threads = if options.fanout_threads > 0 {
             options.fanout_threads
         } else {
@@ -488,6 +607,7 @@ impl<E: ShardEngine> ShardedDb<E> {
             snapshot_lock: RwLock::new(()),
             split_lock: Mutex::new(()),
             split_policy: options.split_policy,
+            replication,
             stats: ShardedStats::default(),
             telemetry: OnceLock::new(),
         })
@@ -532,6 +652,16 @@ impl<E: ShardEngine> ShardedDb<E> {
             shard
                 .profiler
                 .get_or_init(|| hub.register_profiler(&shard.slot.to_string()));
+        }
+        if let Some(replication) = &self.replication {
+            let _ = replication.telemetry.set(Arc::clone(hub));
+            for set in replication.sets.read().iter() {
+                for replica in set.replicas() {
+                    replica
+                        .engine
+                        .shard_attach_telemetry(hub, &replica.slot.to_string());
+                }
+            }
         }
         self.refresh_gauges();
     }
@@ -772,7 +902,20 @@ impl<E: ShardEngine> ShardedDb<E> {
                 // sub-batch of this write landed (or none), never observing
                 // half of it.
                 let _batch_guard = self.snapshot_lock.read();
-                shard.engine.shard_write(batch)?;
+                match self.replica_set(first_shard) {
+                    Some((state, set)) => {
+                        let mut replicate_span = if traced {
+                            trace::span("replicate")
+                        } else {
+                            None
+                        };
+                        let end = set.write_through(batch, &state.config, state.failpoint())?;
+                        if let Some(span) = replicate_span.as_mut() {
+                            span.annotate("seq", end);
+                        }
+                    }
+                    None => shard.engine.shard_write(batch)?,
+                }
             } else {
                 let mut per_shard: Vec<Option<WriteBatch>> = vec![None; topology.shards.len()];
                 for entry in batch.iter() {
@@ -805,6 +948,9 @@ impl<E: ShardEngine> ShardedDb<E> {
                             }
                         }
                         let engine = Arc::clone(&shard.engine);
+                        let replication = self
+                            .replica_set(index)
+                            .map(|(state, set)| (Arc::clone(state), set));
                         let ctx = leg_ctx.clone();
                         move || {
                             let _attach = match &ctx {
@@ -821,7 +967,12 @@ impl<E: ShardEngine> ShardedDb<E> {
                                 span.annotate("shard", index as u64);
                                 span.annotate("entries", sub.len() as u64);
                             }
-                            engine.shard_write(&sub)
+                            match &replication {
+                                Some((state, set)) => set
+                                    .write_through(&sub, &state.config, state.failpoint())
+                                    .map(|_| ()),
+                                None => engine.shard_write(&sub),
+                            }
                         }
                     })
                     .collect();
@@ -844,9 +995,47 @@ impl<E: ShardEngine> ShardedDb<E> {
                 &[("entries", batch.len() as u64)],
             );
         }
-        write_result?;
+        if let Err(err) = write_result {
+            // Automatic failover: a leader whose WAL fail-stopped mid-batch
+            // takes itself out of the group — promote its best replica and
+            // retry the batch once against the new leader. Bounded: every
+            // retry consumes one replica of a failed shard, and promotion
+            // only succeeds while a live replica remains.
+            if self.promote_unhealthy_leaders() {
+                return self.write(batch);
+            }
+            return Err(err);
+        }
         self.maybe_auto_split(batches);
         Ok(())
+    }
+
+    /// The replication state and the replica set of the shard at `index`,
+    /// when replication is enabled.
+    fn replica_set(&self, index: usize) -> Option<ShardReplication<'_, E>> {
+        let state = self.replication.as_ref()?;
+        let set = state.set(index)?;
+        Some((state, set))
+    }
+
+    /// Promotes the best replica of every shard whose leader reports
+    /// unhealthy (its WAL fail-stopped). Returns whether any promotion
+    /// succeeded — the caller then retries against the new leaders.
+    fn promote_unhealthy_leaders(&self) -> bool {
+        let Some(state) = &self.replication else {
+            return false;
+        };
+        if !state.config.auto_failover {
+            return false;
+        }
+        let topology = self.current();
+        let mut promoted = false;
+        for (index, shard) in topology.shards.iter().enumerate() {
+            if !shard.engine.shard_is_healthy() && self.promote_shard(index).is_ok() {
+                promoted = true;
+            }
+        }
+        promoted
     }
 
     /// Inserts a single key/value pair (the payload must be whatever the
@@ -947,7 +1136,9 @@ impl<E: ShardEngine> ShardedDb<E> {
                 profiler.record_projection(&columns);
             }
         }
-        let result = topology.shards[shard].engine.shard_get_at(key, ctx, seq);
+        let result = self
+            .read_engine(topology, shard, seq)
+            .shard_get_at(key, ctx, seq);
         if let (Some(telemetry), Some(start), Some(op)) = (telemetry, start, op) {
             op.end(
                 &telemetry.hub,
@@ -1049,8 +1240,8 @@ impl<E: ShardEngine> ShardedDb<E> {
                     profiler.record_projection(&columns);
                 }
             }
-            return topology.shards[shard]
-                .engine
+            return self
+                .read_engine(topology, shard, snapshot.seqs[shard])
                 .shard_scan_at(lo, hi, ctx, snapshot.seqs[shard]);
         }
         self.stats.fanout_scans.fetch_add(1, Ordering::Relaxed);
@@ -1058,7 +1249,7 @@ impl<E: ShardEngine> ShardedDb<E> {
         let owned = self.telemetry.get().is_some();
         let tasks: Vec<_> = shard_range
             .map(|shard| {
-                let engine = Arc::clone(&topology.shards[shard].engine);
+                let engine = self.read_engine(topology, shard, snapshot.seqs[shard]);
                 let (shard_lo, shard_hi) = topology.router.shard_range(shard);
                 let (clamped_lo, clamped_hi) = (lo.max(shard_lo), hi.min(shard_hi));
                 if let Some(profiler) = topology.shards[shard].profiler.get() {
@@ -1096,6 +1287,185 @@ impl<E: ShardEngine> ShardedDb<E> {
             out.extend(rows?);
         }
         Ok(out)
+    }
+
+    /// The engine a read of shard `index` at `seq` should use: the leader,
+    /// unless replica reads are enabled and a streaming replica has applied
+    /// past the required horizon — the snapshot's sequence for snapshot
+    /// reads (byte-identical results by construction), or the leader's
+    /// current horizon minus the configured freshness bound for latest
+    /// reads.
+    fn read_engine(&self, topology: &Topology<E>, index: usize, seq: SeqNo) -> Arc<E> {
+        let leader = Arc::clone(&topology.shards[index].engine);
+        let Some(state) = &self.replication else {
+            return leader;
+        };
+        if !state.config.replica_reads {
+            return leader;
+        }
+        let Some(set) = state.set(index) else {
+            return leader;
+        };
+        let needed = if seq == MAX_SEQNO {
+            leader
+                .shard_last_seq()
+                .saturating_sub(state.config.freshness_bound_seqs)
+        } else {
+            seq
+        };
+        for replica in set.replicas() {
+            let (applied, replica_state) = replica.shared.applied();
+            if replica_state == ReplicaState::Streaming && applied >= needed {
+                return Arc::clone(&replica.engine);
+            }
+        }
+        leader
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: promotion, failover and introspection
+    // ------------------------------------------------------------------
+
+    /// Point-in-time replication status of every shard, indexed by shard.
+    /// Empty when replication is off.
+    pub fn replication_status(&self) -> Vec<ShardReplicationStatus> {
+        self.replication
+            .as_ref()
+            .map(|state| state.sets.read().iter().map(|s| s.status()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Sets (or clears) the replication fault-injection point. No-op when
+    /// replication is off. Test hook for the failover harness.
+    pub fn set_replication_failpoint(&self, failpoint: Option<ReplicationFailpoint>) {
+        if let Some(state) = &self.replication {
+            *state.failpoint.lock() = failpoint;
+        }
+    }
+
+    /// Promotes the most caught-up live replica of shard `index` to leader,
+    /// with the same crash-safe two-phase shape as a shard split: a durable
+    /// `SHARDS.promote` intent, then the `SHARDS` manifest rename as the
+    /// single commit point (the slot table swaps the leader's slot for the
+    /// replica's), then cleanup of the old leader's slot. A crash anywhere
+    /// is resolved on the next open — torn intent ignored, pre-commit rolled
+    /// back, post-commit rolled forward.
+    ///
+    /// Called automatically from the write path when a leader's WAL
+    /// fail-stops (see [`ReplicationConfig::auto_failover`]); callable
+    /// manually for orchestrated switchovers. The demoted leader's replica
+    /// slots are left behind until the next open re-seeds the group from the
+    /// new leader.
+    pub fn promote_shard(&self, index: usize) -> Result<()> {
+        let _guard = self.split_lock.lock();
+        let state = self
+            .replication
+            .as_ref()
+            .ok_or_else(|| Error::invalid("replication is not enabled"))?;
+        let failpoint = state.failpoint();
+        let set = state
+            .set(index)
+            .ok_or_else(|| Error::invalid(format!("no replica set for shard {index}")))?;
+        let promote_start = Instant::now();
+
+        // Exclusive topology access: waits out in-flight batches (whose
+        // quorum waits are bounded by the ack timeout), blocks new ones.
+        let mut topology_slot = self.topology.write();
+        let topology = Arc::clone(&topology_slot);
+        let old = Arc::clone(
+            topology
+                .shards
+                .get(index)
+                .ok_or_else(|| Error::invalid(format!("no shard {index}")))?,
+        );
+
+        // Pick the most caught-up live replica and finalise its horizon by
+        // draining and stopping its apply thread (no writer can race this —
+        // the topology is held exclusively).
+        let best = set
+            .replicas()
+            .into_iter()
+            .filter(|r| r.shared.applied().1 != ReplicaState::Lost)
+            .max_by_key(|r| r.shared.applied().0)
+            .ok_or_else(|| {
+                Error::not_found(format!("shard {index} has no live replica to promote"))
+            })?;
+        best.stop();
+
+        // Best effort: pull anything the old leader still holds beyond the
+        // replica's horizon (a manual switchover loses nothing; a
+        // fail-stopped leader may refuse, which quorum acks cover).
+        let _ = reconcile_from(old.engine.as_ref(), best.engine.as_ref());
+
+        let root = self.provider.root()?;
+        let intent = PromotionIntent {
+            shard_index: index as u64,
+            leader_slot: old.slot,
+            replica_slot: best.slot,
+        };
+        if failpoint == Some(ReplicationFailpoint::MidPromotionIntent) {
+            write_torn_promotion_intent(&root, &intent)?;
+            return Err(Error::StorageFault(
+                "injected failpoint: crash mid promotion intent".to_string(),
+            ));
+        }
+        write_promotion_intent(&root, &intent)?;
+
+        // The commit point: the slot table now names the replica's slot.
+        let mut new_manifest = topology.manifest();
+        new_manifest.slots[index] = best.slot;
+        write_shard_manifest(&root, &new_manifest)?;
+
+        // Swap the in-memory topology and release writers onto the new
+        // leader. The epoch bump invalidates pre-promotion snapshots (a
+        // lagging new leader could not serve their horizons).
+        let profiler = OnceLock::new();
+        if let Some(telemetry) = self.telemetry.get() {
+            let _ = profiler.set(telemetry.hub.register_profiler(&best.slot.to_string()));
+        }
+        let mut new_shards = topology.shards.clone();
+        new_shards[index] = Arc::new(Shard {
+            engine: Arc::clone(&best.engine),
+            slot: best.slot,
+            cache_scope: None,
+            ingested_bytes: AtomicU64::new(old.ingested_bytes.load(Ordering::Relaxed)),
+            profiler,
+        });
+        *topology_slot = Arc::new(Topology {
+            epoch: topology.epoch + 1,
+            router: topology.router.clone(),
+            shards: new_shards,
+            next_slot: topology.next_slot,
+        });
+        drop(topology_slot);
+
+        // Re-target the survivors onto the new leader and heal their gaps.
+        set.promote(best.slot);
+        for replica in set.replicas() {
+            let _ = reship_tail(set.as_ref(), replica.as_ref());
+        }
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.hub.remove_profiler(&old.slot.to_string());
+            record_replication_event(
+                Some(&telemetry.hub),
+                EventKind::Promotion,
+                old.slot,
+                promote_start.elapsed(),
+                0,
+                1,
+            );
+        }
+
+        if failpoint == Some(ReplicationFailpoint::PostPromotionPreCleanup) {
+            return Err(Error::StorageFault(
+                "injected failpoint: crash after promotion commit before cleanup".to_string(),
+            ));
+        }
+
+        // Cleanup (crash-tolerant: the next open rolls this forward).
+        self.provider.clear_shard(old.slot as usize)?;
+        remove_promotion_intent(&root)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1138,6 +1508,11 @@ impl<E: ShardEngine> ShardedDb<E> {
         failpoint: Option<SplitFailpoint>,
         inline_trim: bool,
     ) -> Result<()> {
+        if self.replication.is_some() {
+            return Err(Error::invalid(
+                "shard splits are disabled while replication is enabled",
+            ));
+        }
         let telemetry = self.telemetry.get();
         let split_start = telemetry.map(|_| Instant::now());
         // Exclusive topology access: waits out in-flight batches, blocks new
@@ -1323,6 +1698,9 @@ impl<E: ShardEngine> ShardedDb<E> {
 
     /// Evaluates the split policy (called from the write path, amortised).
     fn maybe_auto_split(&self, batches_so_far: u64) {
+        if self.replication.is_some() {
+            return;
+        }
         let Some(policy) = &self.split_policy else {
             return;
         };
@@ -1439,7 +1817,18 @@ impl<E: ShardEngine> ShardedDb<E> {
     }
 
     /// Flushes outstanding data on every shard and persists their manifests.
+    /// With replication on, the health monitor and replica apply threads are
+    /// stopped first (draining any queued frames) and the replica engines
+    /// are closed too, so a clean reopen re-attaches them without re-seeding.
     pub fn close(&self) -> Result<()> {
+        if let Some(state) = &self.replication {
+            state.shutdown();
+            for set in state.sets.read().iter() {
+                for replica in set.replicas() {
+                    replica.engine.shard_close()?;
+                }
+            }
+        }
         let topology = self.current();
         for shard in &topology.shards {
             shard.engine.shard_close()?;

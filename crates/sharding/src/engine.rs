@@ -11,8 +11,9 @@ use lsm_storage::manifest::FileMeta;
 use lsm_storage::shape::TreeShape;
 use lsm_storage::storage::{IoStatsSnapshot, StorageRef};
 use lsm_storage::types::{SeqNo, UserKey, WriteBatch};
-use lsm_storage::wal_segment::WalStatsSnapshot;
-use lsm_storage::{LsmDb, LsmOptions, Result};
+use lsm_storage::wal::WalRecord;
+use lsm_storage::wal_segment::{ShippedSegment, WalStatsSnapshot};
+use lsm_storage::{Error, LsmDb, LsmOptions, Result};
 use telemetry::{LevelMix, MeasuredTreeParams, Telemetry};
 
 /// An engine that can serve as one shard of a [`ShardedDb`](crate::ShardedDb).
@@ -155,6 +156,63 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
     /// projection.
     fn read_ctx_columns(_ctx: &Self::ReadCtx) -> Option<Vec<u32>> {
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Replication support (WAL shipping and replica apply)
+    // ------------------------------------------------------------------
+
+    /// Whether this engine implements the WAL-shipping replication hooks
+    /// below. [`ShardedDb`](crate::ShardedDb) only accepts a replicated
+    /// configuration for engines that return true.
+    const SUPPORTS_REPLICATION: bool = false;
+
+    /// Applies a record replicated from a leader at its original sequence
+    /// numbers through this replica's own WAL and memtable. Must be
+    /// idempotent under retransmission (duplicate records are skipped,
+    /// partially overlapping ones apply only their unseen suffix) and must
+    /// reject records that would leave a sequence gap. Returns the replica's
+    /// new last applied sequence number.
+    fn shard_apply_replicated(&self, _start_seq: SeqNo, _batch: &WriteBatch) -> Result<SeqNo> {
+        Err(Error::invalid(format!(
+            "engine {} does not support replication",
+            Self::ENGINE_NAME
+        )))
+    }
+
+    /// The catch-up payload for a replica that has applied through
+    /// `from_seq`: sealed WAL segment images plus the intact live-tail
+    /// records past that horizon.
+    fn shard_wal_catchup(&self, _from_seq: SeqNo) -> Result<(Vec<ShippedSegment>, Vec<WalRecord>)> {
+        Err(Error::invalid(format!(
+            "engine {} does not support replication",
+            Self::ENGINE_NAME
+        )))
+    }
+
+    /// Adopts a shipped sealed-segment image wholesale (replica catch-up in
+    /// O(1) appends per segment). Returns the new last applied sequence
+    /// number.
+    fn shard_adopt_wal_segment(&self, _bytes: &[u8]) -> Result<SeqNo> {
+        Err(Error::invalid(format!(
+            "engine {} does not support replication",
+            Self::ENGINE_NAME
+        )))
+    }
+
+    /// Pins sealed WAL segments holding records past `seq` (the lowest
+    /// sequence number any replica still needs) so a lagging-but-healthy
+    /// replica can always catch up from the leader's log. Engines without
+    /// replication hooks keep the default no-op.
+    fn shard_set_wal_retention_floor(&self, _seq: SeqNo) -> Result<()> {
+        Ok(())
+    }
+
+    /// False once the shard's WAL has fail-stopped: the replication health
+    /// monitor treats such a leader as lost. Engines without a fail-stop
+    /// signal report healthy.
+    fn shard_is_healthy(&self) -> bool {
+        true
     }
 }
 
@@ -300,6 +358,28 @@ impl ShardEngine for LsmDb {
             layout,
             self.options().num_levels.max(1),
         )
+    }
+
+    const SUPPORTS_REPLICATION: bool = true;
+
+    fn shard_apply_replicated(&self, start_seq: SeqNo, batch: &WriteBatch) -> Result<SeqNo> {
+        self.apply_replicated(start_seq, batch)
+    }
+
+    fn shard_wal_catchup(&self, from_seq: SeqNo) -> Result<(Vec<ShippedSegment>, Vec<WalRecord>)> {
+        self.wal_catchup(from_seq)
+    }
+
+    fn shard_adopt_wal_segment(&self, bytes: &[u8]) -> Result<SeqNo> {
+        self.adopt_wal_segment(bytes)
+    }
+
+    fn shard_set_wal_retention_floor(&self, seq: SeqNo) -> Result<()> {
+        self.set_wal_retention_floor(seq)
+    }
+
+    fn shard_is_healthy(&self) -> bool {
+        self.is_healthy()
     }
 }
 

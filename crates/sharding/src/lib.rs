@@ -41,6 +41,15 @@
 //!   shard-level statistics (resident size, ingest volume, pending-job
 //!   pressure); background *trim* compactions later reclaim the
 //!   out-of-range halves of adopted SSTs.
+//! * **Replication & failover** — [`replication`] streams each leader
+//!   shard's WAL (sealed segment images plus the live group-commit tail) to
+//!   N in-process replicas over a checksummed, length-prefixed frame
+//!   protocol; quorum acknowledgement makes acked writes survive leader
+//!   loss, a health monitor exports per-replica lag and advances WAL
+//!   retention floors, and leader promotion swaps the shard manifest's slot
+//!   table under a crash-safe two-phase intent (`SHARDS.promote`) with
+//!   automatic failover from the write path. Splits and replication are
+//!   mutually exclusive.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +59,7 @@ pub mod engine;
 pub mod http;
 pub mod manifest;
 pub mod pool;
+pub mod replication;
 pub mod router;
 pub mod storage;
 
@@ -60,5 +70,9 @@ pub use engine::ShardEngine;
 pub use http::{http_get, HttpResponse, TelemetryServer};
 pub use manifest::{ShardManifest, SplitIntent};
 pub use pool::WorkerPool;
+pub use replication::{
+    AckMode, ReplicaInfo, ReplicaState, ReplicationConfig, ReplicationFailpoint,
+    ShardReplicationStatus,
+};
 pub use router::ShardRouter;
 pub use storage::{DirShardStorage, MemShardStorage, ShardStorageProvider};

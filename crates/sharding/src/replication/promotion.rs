@@ -1,0 +1,172 @@
+//! The crash-safe two-phase promotion record, modeled on the split intent.
+//!
+//! Promoting a replica to leader swaps one entry of the shard manifest's
+//! slot table: the dead leader's slot is replaced by the promoted replica's
+//! slot (the routing boundaries never change). A `SHARDS.promote` intent is
+//! written *before* the manifest swap so replay on open can resolve a crash
+//! at any point:
+//!
+//! | crash point                     | replay decision                       |
+//! |---------------------------------|---------------------------------------|
+//! | mid-intent write (torn record)  | ignore + delete the intent            |
+//! | after intent, before commit     | roll back: old leader stays leader    |
+//! | after commit, before cleanup    | roll forward: clear old leader's slot |
+//!
+//! Commit is the atomic `SHARDS` manifest rename, exactly as for splits:
+//! the intent file alone never changes the topology. "Committed" is decided
+//! by whether the manifest's slot table contains the replica's slot.
+
+use lsm_storage::checksum::crc32;
+use lsm_storage::coding::{put_u32, put_u64, put_varint64, Decoder};
+use lsm_storage::storage::StorageRef;
+use lsm_storage::{Error, Result};
+
+/// Magic number at the start of a promotion-intent record.
+const PROMOTION_INTENT_MAGIC: u64 = 0x4C41_5345_5250_524F; // "LASERPRO"
+
+/// Name of the promotion-intent file in the root directory.
+pub const PROMOTION_INTENT_NAME: &str = "SHARDS.promote";
+
+/// The durable record of an in-flight leader promotion, written *before*
+/// the manifest swap. Never authoritative on its own: replay consults the
+/// committed `SHARDS` manifest to decide roll-back vs. roll-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionIntent {
+    /// Position of the shard in the routing table at intent time
+    /// (informational; replay keys off the slots).
+    pub shard_index: u64,
+    /// Slot of the leader being replaced.
+    pub leader_slot: u64,
+    /// Slot of the replica being promoted.
+    pub replica_slot: u64,
+}
+
+impl PromotionIntent {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, PROMOTION_INTENT_MAGIC);
+        put_varint64(&mut out, self.shard_index);
+        put_varint64(&mut out, self.leader_slot);
+        put_varint64(&mut out, self.replica_slot);
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<PromotionIntent> {
+        if buf.len() < 12 {
+            return Err(Error::corruption("promotion intent too short"));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = lsm_storage::coding::get_u32(crc_bytes)?;
+        if crc32(body) != stored {
+            return Err(Error::corruption("promotion intent checksum mismatch"));
+        }
+        let mut d = Decoder::new(body);
+        if d.u64()? != PROMOTION_INTENT_MAGIC {
+            return Err(Error::corruption("bad promotion intent magic"));
+        }
+        Ok(PromotionIntent {
+            shard_index: d.varint64()?,
+            leader_slot: d.varint64()?,
+            replica_slot: d.varint64()?,
+        })
+    }
+}
+
+/// Durably records a promotion intent in the root directory.
+pub fn write_promotion_intent(storage: &StorageRef, intent: &PromotionIntent) -> Result<()> {
+    let mut f = storage.create(PROMOTION_INTENT_NAME)?;
+    f.append(&intent.encode())?;
+    f.sync()?;
+    Ok(())
+}
+
+/// Test hook: writes a torn promotion intent (a prefix of the real record),
+/// simulating a crash mid-intent-write.
+pub fn write_torn_promotion_intent(storage: &StorageRef, intent: &PromotionIntent) -> Result<()> {
+    let encoded = intent.encode();
+    let mut f = storage.create(PROMOTION_INTENT_NAME)?;
+    f.append(&encoded[..encoded.len() / 2])?;
+    f.sync()?;
+    Ok(())
+}
+
+/// Reads the promotion intent, if a well-formed one exists. A torn or
+/// corrupt intent (crash mid-write, before anything else happened) is
+/// treated as absent — and deleted so it cannot shadow a later promotion.
+pub fn read_promotion_intent(storage: &StorageRef) -> Result<Option<PromotionIntent>> {
+    if !storage.exists(PROMOTION_INTENT_NAME) {
+        return Ok(None);
+    }
+    let data = storage.open(PROMOTION_INTENT_NAME)?.read_all()?;
+    match PromotionIntent::decode(&data) {
+        Ok(intent) => Ok(Some(intent)),
+        Err(_) => {
+            let _ = storage.delete(PROMOTION_INTENT_NAME);
+            Ok(None)
+        }
+    }
+}
+
+/// Removes the promotion intent record (end of phase two). Idempotent.
+pub fn remove_promotion_intent(storage: &StorageRef) -> Result<()> {
+    if storage.exists(PROMOTION_INTENT_NAME) {
+        storage.delete(PROMOTION_INTENT_NAME)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::storage::MemStorage;
+
+    #[test]
+    fn promotion_intent_roundtrip() {
+        let storage: StorageRef = MemStorage::new_ref();
+        assert!(read_promotion_intent(&storage).unwrap().is_none());
+        let intent = PromotionIntent {
+            shard_index: 2,
+            leader_slot: 5,
+            replica_slot: 1064,
+        };
+        write_promotion_intent(&storage, &intent).unwrap();
+        assert_eq!(read_promotion_intent(&storage).unwrap(), Some(intent));
+        remove_promotion_intent(&storage).unwrap();
+        assert!(!storage.exists(PROMOTION_INTENT_NAME));
+        remove_promotion_intent(&storage).unwrap();
+    }
+
+    #[test]
+    fn torn_intent_reads_as_absent_and_is_deleted() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let intent = PromotionIntent {
+            shard_index: 0,
+            leader_slot: 0,
+            replica_slot: 1024,
+        };
+        write_torn_promotion_intent(&storage, &intent).unwrap();
+        assert!(storage.exists(PROMOTION_INTENT_NAME));
+        assert!(read_promotion_intent(&storage).unwrap().is_none());
+        assert!(!storage.exists(PROMOTION_INTENT_NAME));
+    }
+
+    #[test]
+    fn corrupt_intent_reads_as_absent() {
+        let storage: StorageRef = MemStorage::new_ref();
+        let intent = PromotionIntent {
+            shard_index: 1,
+            leader_slot: 3,
+            replica_slot: 1048,
+        };
+        let mut encoded = intent.encode();
+        let mid = encoded.len() / 2;
+        encoded[mid] ^= 0xFF;
+        let mut f = storage.create(PROMOTION_INTENT_NAME).unwrap();
+        f.append(&encoded).unwrap();
+        drop(f);
+        assert!(read_promotion_intent(&storage).unwrap().is_none());
+        assert!(!storage.exists(PROMOTION_INTENT_NAME));
+    }
+}

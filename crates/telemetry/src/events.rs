@@ -25,6 +25,15 @@ pub enum EventKind {
     /// A WAL group-commit fsync that crossed the slow-op threshold (fast
     /// fsyncs are only recorded in the latency histogram, not the log).
     WalFsync,
+    /// A lagging replica caught up from the leader's retained WAL (sealed
+    /// segment images plus the live tail).
+    ReplicaCatchup,
+    /// A replica stopped acknowledging and was declared lost by the health
+    /// monitor.
+    ReplicaLost,
+    /// A replica was promoted to leader after the previous leader was lost
+    /// (two-phase: intent record, then manifest commit).
+    Promotion,
 }
 
 impl EventKind {
@@ -38,6 +47,9 @@ impl EventKind {
             EventKind::Stall => "stall",
             EventKind::WalRotation => "wal_rotation",
             EventKind::WalFsync => "wal_fsync",
+            EventKind::ReplicaCatchup => "replica_catchup",
+            EventKind::ReplicaLost => "replica_lost",
+            EventKind::Promotion => "promotion",
         }
     }
 }
@@ -82,6 +94,10 @@ pub struct SlowOpThresholds {
     pub wal_rotation: Duration,
     /// Threshold for WAL group-commit fsyncs.
     pub wal_fsync: Duration,
+    /// Threshold for replica catch-up transfers.
+    pub replica_catchup: Duration,
+    /// Threshold for leader promotions (and replica-loss handling).
+    pub promotion: Duration,
 }
 
 impl Default for SlowOpThresholds {
@@ -94,6 +110,8 @@ impl Default for SlowOpThresholds {
             stall: Duration::from_millis(100),
             wal_rotation: Duration::from_millis(100),
             wal_fsync: Duration::from_millis(50),
+            replica_catchup: Duration::from_secs(1),
+            promotion: Duration::from_secs(1),
         }
     }
 }
@@ -109,6 +127,8 @@ impl SlowOpThresholds {
             EventKind::Stall => self.stall,
             EventKind::WalRotation => self.wal_rotation,
             EventKind::WalFsync => self.wal_fsync,
+            EventKind::ReplicaCatchup => self.replica_catchup,
+            EventKind::ReplicaLost | EventKind::Promotion => self.promotion,
         }
     }
 }

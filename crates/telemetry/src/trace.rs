@@ -39,14 +39,21 @@ pub enum TraceKind {
     Scan,
     /// A write-batch commit (including WAL durability and backpressure).
     Commit,
+    /// A replication round: shipping tail records or catch-up segments to a
+    /// replica and waiting for its acknowledgement.
+    Replicate,
 }
 
 /// Number of [`TraceKind`] variants (sizes the per-kind state arrays).
-pub const NUM_TRACE_KINDS: usize = 3;
+pub const NUM_TRACE_KINDS: usize = 4;
 
 /// Every trace kind, in index order.
-pub const TRACE_KINDS: [TraceKind; NUM_TRACE_KINDS] =
-    [TraceKind::Get, TraceKind::Scan, TraceKind::Commit];
+pub const TRACE_KINDS: [TraceKind; NUM_TRACE_KINDS] = [
+    TraceKind::Get,
+    TraceKind::Scan,
+    TraceKind::Commit,
+    TraceKind::Replicate,
+];
 
 impl TraceKind {
     /// Stable lower-case name (root span name, export key).
@@ -55,6 +62,7 @@ impl TraceKind {
             TraceKind::Get => "get",
             TraceKind::Scan => "scan",
             TraceKind::Commit => "commit",
+            TraceKind::Replicate => "replicate",
         }
     }
 
@@ -63,6 +71,7 @@ impl TraceKind {
             TraceKind::Get => 0,
             TraceKind::Scan => 1,
             TraceKind::Commit => 2,
+            TraceKind::Replicate => 3,
         }
     }
 }
@@ -425,8 +434,9 @@ pub struct TraceConfig {
     /// How many slowest completed traces the flight recorder retains per
     /// op kind.
     pub slowest_per_kind: usize,
-    /// Force-sample thresholds per kind (get, scan, commit): an unsampled
-    /// op whose duration crosses its threshold is recorded root-only.
+    /// Force-sample thresholds per kind (get, scan, commit, replicate): an
+    /// unsampled op whose duration crosses its threshold is recorded
+    /// root-only.
     pub slow_op: [Duration; NUM_TRACE_KINDS],
 }
 
@@ -437,11 +447,13 @@ impl Default for TraceConfig {
             seed: 0x5eed_1a5e_0b5e_71e0,
             slowest_per_kind: 8,
             // Commit matches the stall slow-op threshold so a write blocked
-            // behind the L0 gate always leaves a trace.
+            // behind the L0 gate always leaves a trace; replication rounds
+            // tolerate a catch-up transfer before they count as slow.
             slow_op: [
                 Duration::from_millis(10),
                 Duration::from_millis(250),
                 Duration::from_millis(100),
+                Duration::from_millis(250),
             ],
         }
     }

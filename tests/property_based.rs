@@ -211,7 +211,7 @@ proptest! {
         {
             let (wal, recovery) =
                 SegmentedWal::open(&storage, WalSyncPolicy::Never, &[], &[], 1).unwrap();
-            prop_assert!(recovery.records.is_empty());
+            prop_assert!(recovery.is_empty());
             for (i, (start, b)) in built.iter().enumerate() {
                 wal.append(*start, b).unwrap();
                 if (i + 1) % rotate_every == 0 {
@@ -225,8 +225,8 @@ proptest! {
             SegmentedWal::open(&storage, WalSyncPolicy::Never, &live_segments, &[], seq)
                 .unwrap();
         prop_assert!(recovery.clean);
-        prop_assert_eq!(recovery.records.len(), built.len());
-        for (record, (start, batch)) in recovery.records.iter().zip(built.iter()) {
+        prop_assert_eq!(recovery.records().count(), built.len());
+        for (record, (start, batch)) in recovery.records().zip(built.iter()) {
             prop_assert_eq!(record.start_seq, *start);
             prop_assert_eq!(&record.batch, batch);
         }

@@ -1,0 +1,531 @@
+//! Failover harness for per-shard WAL-shipping replication: an in-process
+//! leader + 2-replica cluster per shard is killed at every injected
+//! failpoint (mid segment ship, mid tail frame, mid promotion intent, post
+//! promotion pre cleanup) and must recover with zero acked-write loss under
+//! quorum acknowledgement, with replica reads byte-identical to leader reads
+//! at the same sequence horizon.
+//!
+//! The CI `fault-matrix` job drives this file across a
+//! {WAL sync policy} x {seed set} matrix via two environment variables:
+//!
+//! * `LASER_FAULT_SYNC_POLICY` — `always` (fsync every commit), `interval`
+//!   (windowed fsync), or unset to run both in one process.
+//! * `LASER_FAULT_SEED` — comma-separated u64 seeds for the deterministic
+//!   workload generator; unset uses a small built-in set.
+//!
+//! Every scenario run prints its `(scenario, policy, seed)` triple, so a
+//! failing matrix cell is reproducible locally by exporting those two
+//! variables and re-running the named test.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use laser::laser_sharding::{
+    MemShardStorage, ReplicaState, ReplicationConfig, ReplicationFailpoint, ShardStorageProvider,
+    ShardedDb, ShardedOptions,
+};
+use laser::lsm_storage::storage::StorageRef;
+use laser::lsm_storage::types::WriteBatch;
+use laser::lsm_storage::{FaultConfig, FaultInjectingStorage, LsmDb, LsmOptions, Result};
+
+/// Reference model of every *acknowledged* write. Unacknowledged writes
+/// (e.g. the batch in flight at a failpoint) are deliberately absent:
+/// recovery may keep or drop them, but must keep everything in here.
+type Model = BTreeMap<u64, Vec<u8>>;
+
+// ---------------------------------------------------------------------------
+// Matrix parameters (environment-driven, CI sets them per matrix cell)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncPolicy {
+    /// fsync covers every acknowledged commit.
+    EveryCommit,
+    /// At most one fsync per 10ms window (bounded-loss group commit).
+    Interval,
+}
+
+impl SyncPolicy {
+    fn name(self) -> &'static str {
+        match self {
+            SyncPolicy::EveryCommit => "always",
+            SyncPolicy::Interval => "interval",
+        }
+    }
+}
+
+fn policies_from_env() -> Vec<SyncPolicy> {
+    match std::env::var("LASER_FAULT_SYNC_POLICY").ok().as_deref() {
+        Some("always") => vec![SyncPolicy::EveryCommit],
+        Some("interval") => vec![SyncPolicy::Interval],
+        _ => vec![SyncPolicy::EveryCommit, SyncPolicy::Interval],
+    }
+}
+
+fn seeds_from_env() -> Vec<u64> {
+    match std::env::var("LASER_FAULT_SEED") {
+        Ok(raw) => {
+            let seeds: Vec<u64> = raw
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            assert!(
+                !seeds.is_empty(),
+                "LASER_FAULT_SEED set but unparsable: {raw}"
+            );
+            seeds
+        }
+        Err(_) => vec![7, 0xC0FFEE],
+    }
+}
+
+fn lsm_options(policy: SyncPolicy) -> LsmOptions {
+    let mut options = LsmOptions::small_for_tests();
+    options.auto_compact = false;
+    match policy {
+        SyncPolicy::EveryCommit => {
+            options.sync_wal = true;
+            options.sync_wal_interval_ms = 0;
+        }
+        SyncPolicy::Interval => {
+            options.sync_wal = false;
+            options.sync_wal_interval_ms = 10;
+        }
+    }
+    options
+}
+
+/// Quorum-acked 2-replica groups with a fast monitor and without the
+/// lost-after cliff (the harness injects its own faults).
+fn replication_config() -> ReplicationConfig {
+    let mut config = ReplicationConfig::new(2);
+    config.heartbeat_interval = Duration::from_millis(5);
+    config.ack_timeout = Duration::from_secs(10);
+    config.lost_after = Duration::from_secs(60);
+    config
+}
+
+/// Two shards split at key 1000.
+fn sharded_options(config: ReplicationConfig) -> ShardedOptions {
+    ShardedOptions::with_boundaries(vec![1000]).replication(config)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic workload
+// ---------------------------------------------------------------------------
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Keys stay inside [0, 900) and [1000, 1900): the range [900, 1000) is
+/// reserved for the in-flight batch a failpoint kills, so the acked model
+/// and the maybe-recovered unacked batch can never disagree about one key.
+fn workload_key(r: u64) -> u64 {
+    let k = r % 1800;
+    if k < 900 {
+        k
+    } else {
+        k + 100
+    }
+}
+
+/// Applies `batches` random batches (1-4 entries, both shards) and records
+/// every *acknowledged* one in the model. Panics (with context) if an
+/// ordinary quorum write fails.
+fn write_workload(
+    db: &ShardedDb<LsmDb>,
+    rng: &mut u64,
+    model: &mut Model,
+    batches: usize,
+    ctx: &str,
+) {
+    for i in 0..batches {
+        let mut batch = WriteBatch::new();
+        let mut staged = Vec::new();
+        for _ in 0..(xorshift(rng) % 4 + 1) {
+            let key = workload_key(xorshift(rng));
+            let value = xorshift(rng).to_le_bytes().to_vec();
+            batch.put(key, value.clone());
+            staged.push((key, value));
+        }
+        db.write(&batch)
+            .unwrap_or_else(|e| panic!("[{ctx}] workload batch {i} not acked: {e}"));
+        for (key, value) in staged {
+            model.insert(key, value);
+        }
+    }
+}
+
+/// Every acked write must be present with its acked value.
+fn verify_model(db: &ShardedDb<LsmDb>, model: &Model, ctx: &str) {
+    for (key, expected) in model {
+        let got = db
+            .get(*key, &())
+            .unwrap_or_else(|e| panic!("[{ctx}] get({key}) failed: {e}"));
+        assert_eq!(
+            got.as_ref(),
+            Some(expected),
+            "[{ctx}] acked write lost or corrupted at key {key}"
+        );
+    }
+}
+
+fn open(
+    provider: Arc<MemShardStorage>,
+    policy: SyncPolicy,
+    config: ReplicationConfig,
+) -> Result<ShardedDb<LsmDb>> {
+    ShardedDb::open(provider, lsm_options(policy), sharded_options(config))
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix
+// ---------------------------------------------------------------------------
+
+/// Mid tail frame: the leader dies after appending to its own WAL but while
+/// shipping the live-tail frame (the first replica receives a torn frame).
+/// The write is not acknowledged; after the crash and reopen nothing acked
+/// is lost and the group converges again.
+#[test]
+fn crash_matrix_mid_tail_frame() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("mid_tail_frame policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            write_workload(&db, &mut rng, &mut model, 30, &ctx);
+
+            db.set_replication_failpoint(Some(ReplicationFailpoint::MidTailFrame));
+            let mut doomed = WriteBatch::new();
+            doomed.put(950, b"never-acked".to_vec());
+            let err = db.write(&doomed);
+            assert!(err.is_err(), "[{ctx}] torn-frame write must not be acked");
+            drop(db); // crash: no close, queues and monitor die with the process
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            verify_model(&db, &model, &ctx);
+            // The group still accepts quorum writes after recovery.
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            verify_model(&db, &model, &ctx);
+            db.close().unwrap();
+        }
+    }
+}
+
+/// Mid segment ship: the leader dies while streaming a sealed WAL segment to
+/// a bootstrapping replica. The open fails (the replica never converges), a
+/// retry without the fault bootstraps cleanly, and nothing acked is lost.
+#[test]
+fn crash_matrix_mid_segment_ship() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("mid_segment_ship policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            // Seed an unreplicated leader with enough data to roll several
+            // WAL segments, then crash it (no close, no flush).
+            let db: ShardedDb<LsmDb> = ShardedDb::open(
+                provider.clone(),
+                lsm_options(policy),
+                ShardedOptions::with_boundaries(vec![1000]),
+            )
+            .unwrap();
+            for _ in 0..6 {
+                let mut batch = WriteBatch::new();
+                let key = workload_key(xorshift(&mut rng));
+                let value = vec![(xorshift(&mut rng) % 256) as u8; 4 << 10];
+                batch.put(key, value.clone());
+                db.write(&batch)
+                    .unwrap_or_else(|e| panic!("[{ctx}] seed write: {e}"));
+                model.insert(key, value);
+            }
+            drop(db);
+
+            // First replicated open hits the failpoint while catching a
+            // fresh replica up from those sealed segments.
+            let mut faulty = replication_config();
+            faulty.failpoint = Some(ReplicationFailpoint::MidSegmentShip);
+            let err = open(provider.clone(), policy, faulty);
+            assert!(
+                err.is_err(),
+                "[{ctx}] bootstrap must fail at the mid-segment-ship failpoint"
+            );
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            verify_model(&db, &model, &ctx);
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            verify_model(&db, &model, &ctx);
+            db.close().unwrap();
+        }
+    }
+}
+
+/// Mid promotion intent: the process dies while writing `SHARDS.promote`
+/// (a torn intent is left on disk). The torn intent is ignored on reopen —
+/// the old leader stays leader and nothing acked is lost.
+#[test]
+fn crash_matrix_mid_promotion_intent() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("mid_promotion_intent policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            write_workload(&db, &mut rng, &mut model, 30, &ctx);
+            let leader_before = db.replication_status()[0].leader_slot;
+
+            db.set_replication_failpoint(Some(ReplicationFailpoint::MidPromotionIntent));
+            let err = db.promote_shard(0);
+            assert!(
+                err.is_err(),
+                "[{ctx}] promotion must crash at the failpoint"
+            );
+            drop(db);
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            let status = db.replication_status();
+            assert_eq!(
+                status[0].leader_slot, leader_before,
+                "[{ctx}] a torn promotion intent must roll back to the old leader"
+            );
+            verify_model(&db, &model, &ctx);
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            verify_model(&db, &model, &ctx);
+            db.close().unwrap();
+        }
+    }
+}
+
+/// Post promotion pre cleanup: the process dies after the `SHARDS` manifest
+/// committed the new leader but before the old leader's slot was cleaned
+/// up. Reopen rolls the promotion forward (the promoted replica serves as
+/// leader) and nothing acked is lost.
+#[test]
+fn crash_matrix_post_promotion_pre_cleanup() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!(
+                "post_promotion_pre_cleanup policy={} seed={seed}",
+                policy.name()
+            );
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            write_workload(&db, &mut rng, &mut model, 30, &ctx);
+            let leader_before = db.replication_status()[0].leader_slot;
+
+            db.set_replication_failpoint(Some(ReplicationFailpoint::PostPromotionPreCleanup));
+            let err = db.promote_shard(0);
+            assert!(
+                err.is_err(),
+                "[{ctx}] promotion must crash at the failpoint"
+            );
+            drop(db);
+
+            let db = open(provider.clone(), policy, replication_config()).unwrap();
+            let status = db.replication_status();
+            assert_ne!(
+                status[0].leader_slot, leader_before,
+                "[{ctx}] a committed promotion must roll forward to the replica"
+            );
+            verify_model(&db, &model, &ctx);
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            verify_model(&db, &model, &ctx);
+            db.close().unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Automatic failover (WAL fail-stop, no process crash)
+// ---------------------------------------------------------------------------
+
+/// A shard-storage provider that wraps every slot in a
+/// [`FaultInjectingStorage`], so a test can fail-stop one shard's WAL at
+/// will while the other slots stay healthy.
+struct FaultyShardStorage {
+    inner: Arc<MemShardStorage>,
+    slots: Mutex<BTreeMap<usize, Arc<FaultInjectingStorage>>>,
+}
+
+impl FaultyShardStorage {
+    fn new() -> Arc<FaultyShardStorage> {
+        Arc::new(FaultyShardStorage {
+            inner: MemShardStorage::new_ref(),
+            slots: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    fn injector(&self, slot: usize) -> Arc<FaultInjectingStorage> {
+        let mut slots = self.slots.lock().unwrap();
+        let entry = slots.entry(slot).or_insert_with(|| {
+            let inner = self.inner.shard(slot).expect("mem shard");
+            Arc::new(FaultInjectingStorage::new(inner))
+        });
+        Arc::clone(entry)
+    }
+}
+
+impl ShardStorageProvider for FaultyShardStorage {
+    fn root(&self) -> Result<StorageRef> {
+        self.inner.root()
+    }
+
+    fn shard(&self, slot: usize) -> Result<StorageRef> {
+        let storage: StorageRef = self.injector(slot);
+        Ok(storage)
+    }
+
+    fn link_file(&self, from: usize, to: usize, name: &str) -> Result<()> {
+        self.inner.link_file(from, to, name)
+    }
+
+    fn clear_shard(&self, slot: usize) -> Result<()> {
+        self.inner.clear_shard(slot)
+    }
+}
+
+/// Fail-stopping the leader's WAL mid-stream makes the next write promote
+/// the best replica automatically and succeed against it; the demoted
+/// leader's acked writes all survive on the new leader.
+#[test]
+fn auto_failover_promotes_replica_on_leader_wal_fail_stop() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("auto_failover policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = FaultyShardStorage::new();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let db: ShardedDb<LsmDb> = ShardedDb::open(
+                provider.clone(),
+                lsm_options(policy),
+                sharded_options(replication_config()),
+            )
+            .unwrap();
+            write_workload(&db, &mut rng, &mut model, 30, &ctx);
+
+            let status_before = db.replication_status();
+            let leader_slot = status_before[0].leader_slot;
+            provider
+                .injector(leader_slot as usize)
+                .set_config(FaultConfig {
+                    fail_append: true,
+                    fail_sync: true,
+                    ..Default::default()
+                });
+
+            // The next write routed to shard 0 fail-stops the old leader,
+            // triggers promotion and must still be acknowledged.
+            let mut batch = WriteBatch::new();
+            batch.put(10, b"after-failover".to_vec());
+            db.write(&batch)
+                .unwrap_or_else(|e| panic!("[{ctx}] failover write not acked: {e}"));
+            model.insert(10, b"after-failover".to_vec());
+
+            let status_after = db.replication_status();
+            assert_ne!(
+                status_after[0].leader_slot, leader_slot,
+                "[{ctx}] the failed leader must have been replaced"
+            );
+            assert_eq!(
+                status_after[0].replicas.len(),
+                status_before[0].replicas.len() - 1,
+                "[{ctx}] promotion consumes one replica"
+            );
+            verify_model(&db, &model, &ctx);
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            verify_model(&db, &model, &ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replica reads
+// ---------------------------------------------------------------------------
+
+/// With replica reads enabled, point reads and cross-shard scans served at
+/// a snapshot horizon are byte-identical to the acked history, whether a
+/// replica or the leader answered; the scan legs fan out to replicas too.
+#[test]
+fn replica_reads_byte_identical_at_snapshot_horizon() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("replica_reads policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let mut config = replication_config();
+            config.replica_reads = true;
+            config.freshness_bound_seqs = 0;
+            let db = open(provider.clone(), policy, config).unwrap();
+            write_workload(&db, &mut rng, &mut model, 40, &ctx);
+
+            // Wait until every replica holds the full snapshot horizon, so
+            // snapshot reads are eligible for replica routing.
+            let snapshot = db.snapshot();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let caught_up =
+                    db.replication_status()
+                        .iter()
+                        .zip(snapshot.seqs())
+                        .all(|(status, &seq)| {
+                            status
+                                .replicas
+                                .iter()
+                                .all(|r| r.state == ReplicaState::Streaming && r.applied_seq >= seq)
+                        });
+                if caught_up {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "[{ctx}] replicas never reached the snapshot horizon"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            for (key, expected) in &model {
+                let got = db
+                    .get_at(*key, &(), &snapshot)
+                    .unwrap_or_else(|e| panic!("[{ctx}] get_at({key}) failed: {e}"));
+                assert_eq!(
+                    got.as_ref(),
+                    Some(expected),
+                    "[{ctx}] snapshot read diverged at key {key}"
+                );
+            }
+            let scanned: Model = db
+                .scan_at(0, 2000, &(), &snapshot)
+                .unwrap_or_else(|e| panic!("[{ctx}] scan_at failed: {e}"))
+                .into_iter()
+                .collect();
+            assert_eq!(scanned, model, "[{ctx}] cross-shard scan diverged");
+            db.close().unwrap();
+        }
+    }
+}

@@ -233,6 +233,8 @@ fn slow_ops_are_flagged_and_counted_per_thresholds() {
         stall: Duration::ZERO,
         wal_rotation: Duration::ZERO,
         wal_fsync: Duration::ZERO,
+        replica_catchup: Duration::ZERO,
+        promotion: Duration::ZERO,
     };
     let hub = Telemetry::with_config(thresholds, 64);
     let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
