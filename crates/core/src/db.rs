@@ -25,6 +25,7 @@ use telemetry::trace::{self, TraceKind};
 use telemetry::Telemetry;
 
 use lsm_storage::cache::{BlockCache, ScopedCache};
+use lsm_storage::degrade::{DegradationController, DegradedInfo};
 use lsm_storage::iterator::KvIterator;
 use lsm_storage::maintenance::{
     attach_engine, BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
@@ -33,6 +34,7 @@ use lsm_storage::maintenance::{
 use lsm_storage::manifest::{read_manifest, write_manifest, FileMeta, VersionSnapshot};
 use lsm_storage::memtable::{FrozenMemTable, MemTable, MemTableRef};
 use lsm_storage::observability::EngineTelemetry;
+use lsm_storage::retry::{retry_io, RetryPolicy};
 use lsm_storage::sst::{TableBuilder, TableHandle};
 use lsm_storage::storage::{MemStorage, StorageRef};
 use lsm_storage::types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, MAX_SEQNO};
@@ -138,6 +140,10 @@ pub struct LaserDb {
     /// [`LaserDb::attach_telemetry`]. While absent, instrumentation costs
     /// one branch per hot-path operation.
     telemetry: OnceLock<EngineTelemetry>,
+    /// Read-only degradation state: entered on persistent storage faults
+    /// (after WAL rotation recovery and SST/manifest retries are exhausted),
+    /// cleared automatically once a storage probe succeeds again.
+    degradation: DegradationController,
 }
 
 impl LaserDb {
@@ -231,6 +237,7 @@ impl LaserDb {
             compaction_lock: Mutex::new(()),
             write_room: BackpressureGate::new(),
             telemetry: OnceLock::new(),
+            degradation: DegradationController::new(),
         };
 
         // WAL recovery: replay intact records into fresh memtable state and
@@ -446,6 +453,7 @@ impl LaserDb {
     }
 
     fn apply(&self, batch: &WriteBatch) -> Result<()> {
+        self.check_writable()?;
         let logical_bytes: u64 = batch
             .iter()
             .map(|e| std::mem::size_of::<UserKey>() as u64 + e.value.len() as u64)
@@ -468,7 +476,10 @@ impl LaserDb {
             let mut inner = self.inner.write();
             let start_seq = inner.last_seq + 1;
             let mutable = Arc::clone(inner.mutable.as_ref().ok_or(Error::Closed)?);
-            let ticket = self.wal.append(start_seq, batch)?;
+            let ticket = self
+                .wal
+                .append(start_seq, batch)
+                .map_err(|e| self.note_write_error(e))?;
             let mut seq = start_seq;
             for entry in batch.iter() {
                 mutable.insert(seq, entry);
@@ -485,7 +496,9 @@ impl LaserDb {
             } else {
                 None
             };
-            self.wal.ensure_durable(&ticket)?;
+            self.wal
+                .ensure_durable(&ticket)
+                .map_err(|e| self.note_write_error(e))?;
         }
         if let (Some(telemetry), Some(start), Some(op)) = (telemetry, commit_start, op) {
             let elapsed = start.elapsed();
@@ -958,6 +971,112 @@ impl LaserDb {
     }
 
     // ------------------------------------------------------------------
+    // Graceful degradation (read-only mode on persistent storage faults)
+    // ------------------------------------------------------------------
+
+    /// True while the engine can accept writes — its WAL has no unrecovered
+    /// damage and it has not entered read-only degradation.
+    pub fn is_healthy(&self) -> bool {
+        !self.wal.is_damaged() && !self.degradation.is_degraded()
+    }
+
+    /// True while the engine is in read-only degradation: writes are
+    /// rejected with [`Error::ReadOnly`], reads continue, flushes and
+    /// compactions are blocked.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_degraded()
+    }
+
+    /// Why (and for how long) the engine has been read-only, if degraded.
+    pub fn degraded_info(&self) -> Option<DegradedInfo> {
+        self.degradation.info()
+    }
+
+    /// Attempts to leave read-only degradation: re-runs WAL rotation
+    /// recovery if the log is still damaged, then probes the storage with a
+    /// small write-fsync-delete cycle. Returns true if the engine is (now)
+    /// healthy. Called automatically by every rejected write.
+    pub fn probe_recovery(&self) -> bool {
+        if !self.degradation.is_degraded() {
+            return true;
+        }
+        if self.wal.is_damaged() && self.wal.sync().is_err() {
+            return false;
+        }
+        if self.storage_probe().is_err() {
+            return false;
+        }
+        if let Some(downtime) = self.degradation.clear() {
+            if let Some(telemetry) = self.telemetry.get() {
+                telemetry.recovered_event(downtime);
+            }
+            self.notify_write_room();
+        }
+        true
+    }
+
+    /// A minimal durability probe: create, append, fsync and delete a scratch
+    /// file — the same failure modes (EIO, ENOSPC) as the real write paths
+    /// without touching live data.
+    fn storage_probe(&self) -> Result<()> {
+        const PROBE_NAME: &str = "health-probe.tmp";
+        let result = (|| {
+            let mut file = self.storage.create(PROBE_NAME)?;
+            file.append(b"laser-storage-probe")?;
+            file.sync()
+        })();
+        let _ = self.storage.delete(PROBE_NAME);
+        result
+    }
+
+    /// Rejects the write with a typed error while degraded, probing for
+    /// recovery first so a healed device resumes service on the very next
+    /// write.
+    fn check_writable(&self) -> Result<()> {
+        if !self.degradation.is_degraded() || self.probe_recovery() {
+            return Ok(());
+        }
+        let reason = self
+            .degradation
+            .info()
+            .map(|i| i.reason)
+            .unwrap_or_else(|| "storage fault".to_string());
+        Err(Error::read_only(reason))
+    }
+
+    /// Enters read-only degradation (idempotently) after a persistent
+    /// storage fault, emitting `Degraded` and raising `laser_degraded` on
+    /// the transition edge.
+    fn enter_degraded(&self, cause: &Error) {
+        if self.degradation.enter(cause.to_string()) {
+            if let Some(telemetry) = self.telemetry.get() {
+                telemetry.degraded_event();
+            }
+        }
+    }
+
+    /// Classifies an error escaping the write or maintenance path: anything
+    /// non-transient (the WAL already self-healed transients, `retry_io`
+    /// already retried the rest) degrades the engine instead of leaving the
+    /// next caller to hit the same broken device.
+    fn note_storage_error(&self, e: &Error) {
+        if !e.is_transient() && !e.is_read_only() {
+            self.enter_degraded(e);
+        }
+    }
+
+    fn note_write_error(&self, e: Error) -> Error {
+        self.note_storage_error(&e);
+        e
+    }
+
+    fn note_io_retry(&self) {
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.io_retry();
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Flush
     // ------------------------------------------------------------------
 
@@ -965,9 +1084,16 @@ impl LaserDb {
     /// row-oriented Level-0 SSTs, retiring their WAL segments. No-op when
     /// nothing is buffered.
     pub fn flush(&self) -> Result<()> {
-        self.freeze_memtable()?;
-        while self.flush_frozen_one_impl()? {}
-        Ok(())
+        self.check_writable()?;
+        let result = (|| {
+            self.freeze_memtable()?;
+            while self.flush_frozen_one_impl()? {}
+            Ok(())
+        })();
+        if let Err(e) = &result {
+            self.note_storage_error(e);
+        }
+        result
     }
 
     /// Flushes the oldest frozen memtable, if any. Once the SST is installed
@@ -975,6 +1101,14 @@ impl LaserDb {
     /// its file deleted — recovery never replays data that already lives in
     /// the tree. Returns true if a memtable was flushed.
     fn flush_frozen_one_impl(&self) -> Result<bool> {
+        if let Some(info) = self.degradation.info() {
+            // While degraded, background flushing is blocked outright:
+            // re-running half-failed jobs against a broken device risks
+            // double-applying work (at-most-once), and the typed error also
+            // trips the backpressure gate's failed-jobs bail-out so stalled
+            // writers are released instead of waiting forever.
+            return Err(Error::read_only(info.reason));
+        }
         let telemetry = self.telemetry.get();
         let flush_start = telemetry.map(|_| Instant::now());
         // Serialise flushes so Level-0 keeps its oldest-first order.
@@ -1039,12 +1173,20 @@ impl LaserDb {
         entries: Vec<(Vec<u8>, Vec<u8>)>,
     ) -> Result<FileMeta> {
         let name = format!("{file_number:08}.sst");
-        let file = self.storage.create(&name)?;
-        let mut builder = TableBuilder::new(file, self.options.table.clone());
-        for (k, v) in &entries {
-            builder.add(k, v)?;
-        }
-        let props = builder.finish()?;
+        // A transient fault mid-build restarts the whole table from scratch
+        // (create truncates), so a retried build never sees torn output.
+        let props = retry_io(
+            &RetryPolicy::transient_io(),
+            |_, _| self.note_io_retry(),
+            || {
+                let file = self.storage.create(&name)?;
+                let mut builder = TableBuilder::new(file, self.options.table.clone());
+                for (k, v) in &entries {
+                    builder.add(k, v)?;
+                }
+                builder.finish()
+            },
+        )?;
         Ok(FileMeta {
             file_number,
             level,
@@ -1074,7 +1216,13 @@ impl LaserDb {
                 .collect(),
             wal_segments: self.wal.live_segments(),
         };
-        write_manifest(&self.storage, &snapshot)
+        // The manifest write is atomic (write-new-then-swap), so a transient
+        // fault can simply be retried.
+        retry_io(
+            &RetryPolicy::transient_io(),
+            |_, _| self.note_io_retry(),
+            || write_manifest(&self.storage, &snapshot),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -1133,6 +1281,11 @@ impl LaserDb {
     /// Runs one CG-local compaction job if any level overflows. Returns true
     /// if work was done.
     pub fn compact_once(&self) -> Result<bool> {
+        if let Some(info) = self.degradation.info() {
+            // Same error-state gate as the flush path: no compactions while
+            // the engine is read-only.
+            return Err(Error::read_only(info.reason));
+        }
         let pick = {
             let inner = self.inner.read();
             self.pick_compaction(&inner)
@@ -1648,9 +1801,16 @@ impl EngineMaintenance for LaserDb {
 }
 
 impl MaintainableEngine for LaserDb {
-    /// Forwards to the shared [`EngineMaintenance::run_job`] protocol.
+    /// Forwards to the shared [`EngineMaintenance::run_job`] protocol. A
+    /// persistent storage fault escaping a background job degrades the
+    /// engine to read-only instead of letting the pool churn against a
+    /// broken device.
     fn run_maintenance_job(&self, kind: JobKind) -> Result<()> {
-        self.run_job(kind)
+        let result = self.run_job(kind);
+        if let Err(e) = &result {
+            self.note_storage_error(e);
+        }
+        result
     }
 }
 

@@ -1,0 +1,112 @@
+//! Graceful read-only degradation after persistent storage faults.
+//!
+//! When an engine's storage keeps failing after the WAL's rotation recovery
+//! and the SST/manifest path's bounded retries, crashing the process (or the
+//! maintenance pool) would also take down every healthy read. Instead the
+//! engine flips a [`DegradationController`] into the degraded state:
+//!
+//! * writes are rejected with [`Error::ReadOnly`](crate::Error::ReadOnly),
+//! * reads, scans and replica serving continue from the already-durable tree,
+//! * flushes and compactions are blocked (re-running them against a broken
+//!   device could duplicate or drop work, breaking at-most-once apply),
+//! * a `Degraded` event fires and the `laser_degraded` gauge goes to 1.
+//!
+//! Recovery is automatic: each rejected write first runs a cheap storage
+//! probe, and the moment the device heals (fault cleared, space freed) the
+//! engine clears the flag, emits `Recovered` and resumes full service.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Why and since when an engine is read-only.
+#[derive(Debug, Clone)]
+pub struct DegradedInfo {
+    /// Human-readable cause (the display of the triggering error).
+    pub reason: String,
+    /// How long the engine has been degraded.
+    pub since: Duration,
+}
+
+#[derive(Debug)]
+struct DegradedSince {
+    reason: String,
+    at: Instant,
+}
+
+/// Tracks one engine's read-only degradation state. The flag itself is a
+/// lock-free atomic so healthy-path checks cost one relaxed load; the
+/// reason/timestamp pair sits behind a mutex taken only on transitions and
+/// status queries.
+#[derive(Debug, Default)]
+pub struct DegradationController {
+    degraded: AtomicBool,
+    detail: Mutex<Option<DegradedSince>>,
+}
+
+impl DegradationController {
+    /// A controller starting in the healthy state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while the engine is read-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Enters the degraded state. Returns true on the transition edge (the
+    /// caller emits the `Degraded` event exactly once); a repeat enter keeps
+    /// the original reason and start time.
+    pub fn enter(&self, reason: impl Into<String>) -> bool {
+        let mut detail = self.detail.lock();
+        if detail.is_some() {
+            return false;
+        }
+        *detail = Some(DegradedSince {
+            reason: reason.into(),
+            at: Instant::now(),
+        });
+        self.degraded.store(true, Ordering::Release);
+        true
+    }
+
+    /// Leaves the degraded state. Returns how long the engine was degraded
+    /// on the transition edge (the caller emits `Recovered`), or `None` if
+    /// it was already healthy.
+    pub fn clear(&self) -> Option<Duration> {
+        let mut detail = self.detail.lock();
+        let since = detail.take()?;
+        self.degraded.store(false, Ordering::Release);
+        Some(since.at.elapsed())
+    }
+
+    /// The current cause and duration, if degraded.
+    pub fn info(&self) -> Option<DegradedInfo> {
+        let detail = self.detail.lock();
+        detail.as_ref().map(|d| DegradedInfo {
+            reason: d.reason.clone(),
+            since: d.at.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_fire_once() {
+        let ctl = DegradationController::new();
+        assert!(!ctl.is_degraded());
+        assert!(ctl.enter("no space"));
+        assert!(!ctl.enter("still no space"), "repeat enter is not an edge");
+        assert!(ctl.is_degraded());
+        assert_eq!(ctl.info().unwrap().reason, "no space");
+        assert!(ctl.clear().is_some());
+        assert!(ctl.clear().is_none(), "repeat clear is not an edge");
+        assert!(!ctl.is_degraded());
+        assert!(ctl.info().is_none());
+    }
+}

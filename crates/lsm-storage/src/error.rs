@@ -18,6 +18,9 @@ pub enum Error {
     InvalidArgument(String),
     /// The storage backend refused the operation (e.g. injected fault, read-only backend).
     StorageFault(String),
+    /// The engine has entered read-only degradation after a persistent
+    /// storage fault: writes are rejected, reads keep serving.
+    ReadOnly(String),
     /// The engine is shutting down or has been closed.
     Closed,
 }
@@ -30,6 +33,7 @@ impl fmt::Display for Error {
             Error::NotFound(msg) => write!(f, "not found: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::StorageFault(msg) => write!(f, "storage fault: {msg}"),
+            Error::ReadOnly(msg) => write!(f, "read-only: {msg}"),
             Error::Closed => write!(f, "engine closed"),
         }
     }
@@ -75,6 +79,47 @@ impl Error {
     pub fn is_not_found(&self) -> bool {
         matches!(self, Error::NotFound(_))
     }
+
+    /// Convenience constructor for read-only rejections.
+    pub fn read_only(msg: impl Into<String>) -> Self {
+        Error::ReadOnly(msg.into())
+    }
+
+    /// Returns true if this error is a read-only rejection.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Error::ReadOnly(_))
+    }
+
+    /// Returns true if this error is worth retrying with backoff: a
+    /// transient I/O condition (interrupted, timed out, would-block) or a
+    /// storage fault explicitly tagged transient by the fault layer.
+    ///
+    /// ENOSPC is deliberately *not* transient — retrying cannot free space;
+    /// the engine degrades to read-only instead and recovers when a later
+    /// probe succeeds.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            Error::StorageFault(msg) => msg.contains("transient"),
+            _ => false,
+        }
+    }
+
+    /// Returns true if this error is the device running out of space
+    /// (ENOSPC), the canonical persistent-but-recoverable fault.
+    pub fn is_disk_full(&self) -> bool {
+        match self {
+            // 28 == ENOSPC on every POSIX platform we target.
+            Error::Io(e) => e.raw_os_error() == Some(28),
+            Error::StorageFault(msg) => msg.contains("no space"),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +150,24 @@ mod tests {
         assert!(Error::corruption("x").is_corruption());
         assert!(!Error::corruption("x").is_not_found());
         assert!(Error::not_found("x").is_not_found());
+        assert!(Error::read_only("degraded").is_read_only());
+        assert_eq!(
+            Error::read_only("degraded").to_string(),
+            "read-only: degraded"
+        );
+    }
+
+    #[test]
+    fn fault_classification() {
+        let transient: Error = std::io::Error::new(std::io::ErrorKind::Interrupted, "eintr").into();
+        assert!(transient.is_transient());
+        assert!(!transient.is_disk_full());
+        assert!(Error::StorageFault("injected transient sync failure".into()).is_transient());
+        let enospc: Error = std::io::Error::from_raw_os_error(28).into();
+        assert!(enospc.is_disk_full());
+        assert!(!enospc.is_transient());
+        let persistent: Error = std::io::Error::other("media error").into();
+        assert!(!persistent.is_transient());
+        assert!(!persistent.is_disk_full());
     }
 }

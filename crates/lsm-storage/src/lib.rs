@@ -56,6 +56,7 @@ pub mod cache;
 pub mod checksum;
 pub mod coding;
 pub mod db;
+pub mod degrade;
 pub mod error;
 pub mod hash;
 pub mod iterator;
@@ -64,6 +65,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod observability;
 pub mod options;
+pub mod retry;
 pub mod shape;
 pub mod skiplist;
 pub mod sst;
@@ -74,25 +76,27 @@ pub mod wal_segment;
 
 pub use cache::{BlockCache, BlockCacheStats, ScopeId, ScopedCache};
 pub use db::{CompactionStatsSnapshot, LsmDb};
+pub use degrade::{DegradationController, DegradedInfo};
 pub use error::{Error, Result};
 pub use iterator::{
     naive_visible_scan, BoxedIterator, KvIterator, LevelConcatIterator, MergingIterator,
     NaiveMergingIterator, RangeIterator, VecIterator,
 };
 pub use maintenance::{
-    attach_engine, attach_shard_engines, register_shard_engine, BackpressureConfig,
-    BackpressureGate, EngineMaintenance, JobKind, JobScheduler, MaintainableEngine,
-    MaintenanceHandle, Throttle,
+    attach_engine, attach_shard_engines, register_shard_engine, register_shard_engine_with,
+    BackpressureConfig, BackpressureGate, EngineMaintenance, JobKind, JobScheduler,
+    MaintainableEngine, MaintenanceHandle, SchedulerClient, Throttle,
 };
 pub use manifest::FileMeta;
 pub use memtable::{FrozenMemTable, MemTable, MemTableRef};
-pub use observability::{EngineTelemetry, WalTelemetry};
+pub use observability::{EngineTelemetry, WalErrorStage, WalTelemetry};
 pub use options::{CompactionPriority, LsmOptions};
+pub use retry::{retry_io, RetryPolicy};
 pub use shape::{LevelShape, TreeShape};
 pub use sst::{TableBuilder, TableHandle, TableOptions, TableProperties};
 pub use storage::{
-    FaultConfig, FaultInjectingStorage, FileStorage, IoStats, IoStatsSnapshot, MemStorage,
-    SharedSyncHandle, Storage, StorageRef,
+    FaultConfig, FaultHandle, FaultInjectingStorage, FaultPlan, FaultStorage, FileStorage, IoStats,
+    IoStatsSnapshot, MemStorage, SharedSyncHandle, Storage, StorageRef,
 };
 pub use types::{InternalKey, SeqNo, UserKey, ValueKind, WriteBatch, WriteEntry, MAX_SEQNO};
 pub use wal_segment::{

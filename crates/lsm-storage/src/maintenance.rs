@@ -251,6 +251,40 @@ impl MaintenanceHandle {
     }
 }
 
+/// A cloneable submission-side view of a [`JobScheduler`]: just the queue
+/// sender and the shared counters, without the worker threads. It lets a
+/// component that cannot borrow the scheduler itself — e.g. the replication
+/// health monitor re-provisioning a lost replica from its own thread —
+/// register late-arriving engines with the shared pool. A client outliving
+/// its scheduler degrades gracefully: handles registered through it refuse
+/// submissions (`is_shutdown`), so the engine maintains itself inline.
+#[derive(Clone)]
+pub struct SchedulerClient {
+    tx: Sender<Message>,
+    state: Arc<SchedulerState>,
+}
+
+impl std::fmt::Debug for SchedulerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerClient")
+            .field("pending", &self.state.pending_jobs())
+            .finish()
+    }
+}
+
+impl SchedulerClient {
+    /// Creates a submission handle for `engine` on the scheduler's queue
+    /// (see [`JobScheduler::register`]).
+    pub fn register(&self, engine: &Arc<dyn MaintainableEngine>) -> MaintenanceHandle {
+        MaintenanceHandle {
+            tx: self.tx.clone(),
+            state: Arc::clone(&self.state),
+            local: Arc::new(HandleState::default()),
+            engine: Arc::downgrade(engine),
+        }
+    }
+}
+
 /// Backpressure thresholds, mirrored from the engine options.
 #[derive(Debug, Clone, Copy)]
 pub struct BackpressureConfig {
@@ -590,8 +624,18 @@ pub fn register_shard_engine<E>(scheduler: &JobScheduler, engine: &Arc<E>) -> Re
 where
     E: EngineMaintenance + 'static,
 {
+    register_shard_engine_with(&scheduler.client(), engine)
+}
+
+/// [`register_shard_engine`] through a cloneable [`SchedulerClient`], for
+/// components that hold a client rather than the scheduler itself (e.g. the
+/// replication health monitor registering a re-provisioned replica).
+pub fn register_shard_engine_with<E>(client: &SchedulerClient, engine: &Arc<E>) -> Result<()>
+where
+    E: EngineMaintenance + 'static,
+{
     let dyn_engine: Arc<dyn MaintainableEngine> = Arc::clone(engine) as Arc<dyn MaintainableEngine>;
-    let handle = scheduler.register(&dyn_engine);
+    let handle = client.register(&dyn_engine);
     if engine.maintenance_cell().set(handle).is_err() {
         return Err(Error::invalid(
             "a maintenance scheduler is already attached to a shard",
@@ -671,11 +715,15 @@ impl JobScheduler {
     /// deduplication and backpressure stay correct when many engines share
     /// one pool.
     pub fn register(&self, engine: &Arc<dyn MaintainableEngine>) -> MaintenanceHandle {
-        MaintenanceHandle {
+        self.client().register(engine)
+    }
+
+    /// A cloneable submission-side view of this scheduler (see
+    /// [`SchedulerClient`]).
+    pub fn client(&self) -> SchedulerClient {
+        SchedulerClient {
             tx: self.tx.clone(),
             state: Arc::clone(&self.state),
-            local: Arc::new(HandleState::default()),
-            engine: Arc::downgrade(engine),
         }
     }
 

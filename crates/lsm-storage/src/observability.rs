@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use telemetry::trace::{self, TraceContext, TraceDecision, TraceKind};
-use telemetry::{Counter, EventKind, Histogram, Telemetry};
+use telemetry::{Counter, EventKind, Gauge, Histogram, Telemetry};
 
 /// How one engine-level operation participates in tracing. Produced by
 /// [`EngineTelemetry::begin_op`], consumed by [`EngineTelemetry::end_op`];
@@ -107,6 +107,10 @@ pub struct EngineTelemetry {
     pub compaction_bytes_written: Counter,
     /// Bytes written by memtable flushes.
     pub flush_bytes: Counter,
+    /// 1 while the engine is in read-only degradation, 0 otherwise.
+    pub degraded: Gauge,
+    /// Transient I/O errors retried on the SST/manifest path.
+    pub io_retries: Counter,
 }
 
 impl EngineTelemetry {
@@ -127,6 +131,8 @@ impl EngineTelemetry {
             compaction_bytes_written: registry
                 .counter("laser_compaction_bytes_written_total", &labels),
             flush_bytes: registry.counter("laser_flush_bytes_total", &labels),
+            degraded: registry.gauge("laser_degraded", &labels),
+            io_retries: registry.counter("laser_io_retries_total", &labels),
         }
     }
 
@@ -220,6 +226,56 @@ impl EngineTelemetry {
         self.hub
             .record_event(EventKind::Stall, &self.label, duration, 0, 0, 0);
     }
+
+    /// Logs the engine entering read-only degradation and raises the
+    /// `laser_degraded` gauge.
+    pub fn degraded_event(&self) {
+        self.degraded.set(1);
+        self.hub
+            .record_event(EventKind::Degraded, &self.label, Duration::ZERO, 0, 0, 0);
+    }
+
+    /// Logs the engine recovering full writability and clears the gauge.
+    /// `duration` is how long the engine was degraded.
+    pub fn recovered_event(&self, duration: Duration) {
+        self.degraded.set(0);
+        self.hub
+            .record_event(EventKind::Recovered, &self.label, duration, 0, 0, 0);
+    }
+
+    /// Counts one retried transient I/O error on the SST/manifest path.
+    pub fn io_retry(&self) {
+        self.io_retries.add(1);
+    }
+}
+
+/// Which stage of the WAL write path an error surfaced on. Used as the
+/// `stage` label of `laser_wal_errors_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalErrorStage {
+    /// A record append to the active segment failed.
+    Append,
+    /// A group-commit fsync (shared handle or under-lock) failed.
+    Fsync,
+    /// Sealing/creating a segment during rotation failed.
+    Rotation,
+    /// The in-place rotation-recovery attempt itself failed.
+    Recovery,
+    /// The best-effort sync on Drop failed.
+    Drop,
+}
+
+impl WalErrorStage {
+    /// Stable label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WalErrorStage::Append => "append",
+            WalErrorStage::Fsync => "fsync",
+            WalErrorStage::Rotation => "rotation",
+            WalErrorStage::Recovery => "recovery",
+            WalErrorStage::Drop => "drop",
+        }
+    }
 }
 
 /// Telemetry handles of one segmented WAL.
@@ -229,18 +285,55 @@ pub struct WalTelemetry {
     label: String,
     /// Group-commit fsync latency (nanoseconds).
     pub fsync_ns: Histogram,
+    /// `laser_wal_errors_total` per [`WalErrorStage`], indexed in stage
+    /// declaration order (append, fsync, rotation, recovery, drop).
+    errors: [Counter; 5],
 }
 
 impl WalTelemetry {
     /// Registers the WAL metric set under a `{shard="<shard>"}` label.
     pub fn register(hub: &Arc<Telemetry>, shard: &str) -> Self {
+        let registry = hub.registry();
+        let error_counter = |stage: WalErrorStage| {
+            registry.counter(
+                "laser_wal_errors_total",
+                &[("shard", shard), ("stage", stage.as_str())],
+            )
+        };
         WalTelemetry {
             hub: Arc::clone(hub),
             label: shard.to_string(),
-            fsync_ns: hub
-                .registry()
-                .histogram("laser_wal_fsync_latency_ns", &[("shard", shard)]),
+            fsync_ns: registry.histogram("laser_wal_fsync_latency_ns", &[("shard", shard)]),
+            errors: [
+                error_counter(WalErrorStage::Append),
+                error_counter(WalErrorStage::Fsync),
+                error_counter(WalErrorStage::Rotation),
+                error_counter(WalErrorStage::Recovery),
+                error_counter(WalErrorStage::Drop),
+            ],
         }
+    }
+
+    /// Counts one WAL write-path error and logs a `WalSyncError` event.
+    /// Every append/fsync/rotation/recovery/drop error funnels through here
+    /// — nothing is swallowed silently.
+    pub fn error_event(&self, stage: WalErrorStage) {
+        let idx = match stage {
+            WalErrorStage::Append => 0,
+            WalErrorStage::Fsync => 1,
+            WalErrorStage::Rotation => 2,
+            WalErrorStage::Recovery => 3,
+            WalErrorStage::Drop => 4,
+        };
+        self.errors[idx].add(1);
+        self.hub.record_event(
+            EventKind::WalSyncError,
+            &self.label,
+            Duration::ZERO,
+            0,
+            0,
+            0,
+        );
     }
 
     /// Records one group-commit fsync. Every fsync lands in the latency

@@ -1,0 +1,176 @@
+//! Bounded retry with exponential backoff and jitter for transient I/O.
+//!
+//! The SST and manifest write paths run through [`retry_io`]: a transient
+//! fault (interrupted syscall, injected transient EIO, a momentarily-busy
+//! device) is retried a few times with exponentially growing, jittered
+//! sleeps before the error escalates to the caller. Persistent faults —
+//! ENOSPC, media errors, corruption — are *never* retried; they escalate
+//! immediately so the engine can degrade instead of spinning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+
+/// Backoff schedule for [`retry_io`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// The default schedule for the SST/manifest path: up to 3 retries at
+    /// 2 ms, 4 ms, 8 ms (plus jitter) — bounded well under a flush tick.
+    pub fn transient_io() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// No retries: every error escalates immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The jittered sleep before retry number `retry` (1-based).
+    fn delay_for(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_delay);
+        // Up to +50% jitter, so a herd of retriers decorrelates.
+        let jitter = exp.mul_f64((jitter_rand() % 512) as f64 / 1024.0);
+        exp + jitter
+    }
+}
+
+/// Process-wide jitter source: a tiny xorshift stream. Jitter only spreads
+/// retries in time; it carries no correctness weight, so a shared stream is
+/// fine.
+fn jitter_rand() -> u64 {
+    static STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let mut x = STATE.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    STATE.store(x, Ordering::Relaxed);
+    x
+}
+
+/// Runs `op`, retrying transient errors per `policy`. `on_retry` is called
+/// before each sleep with the 1-based retry number and the error — the
+/// engines hook their `laser_io_retries_total` counter and event log here.
+pub fn retry_io<T>(
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(u32, &Error),
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                on_retry(attempt, &e);
+                std::thread::sleep(policy.delay_for(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient() -> Error {
+        Error::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "transient",
+        ))
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let mut failures_left = 2;
+        let mut retries = Vec::new();
+        let out = retry_io(
+            &RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_micros(10),
+                max_delay: Duration::from_micros(100),
+            },
+            |n, _| retries.push(n),
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(transient())
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(retries, vec![1, 2]);
+    }
+
+    #[test]
+    fn persistent_errors_escalate_immediately() {
+        let mut calls = 0;
+        let out: Result<()> = retry_io(
+            &RetryPolicy::transient_io(),
+            |_, _| panic!("persistent errors must not retry"),
+            || {
+                calls += 1;
+                Err(Error::Io(std::io::Error::from_raw_os_error(28)))
+            },
+        );
+        assert!(out.unwrap_err().is_disk_full());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_errors_escalate_after_budget() {
+        let mut calls = 0;
+        let out: Result<()> = retry_io(
+            &RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_micros(10),
+                max_delay: Duration::from_micros(50),
+            },
+            |_, _| {},
+            || {
+                calls += 1;
+                Err(transient())
+            },
+        );
+        assert!(out.unwrap_err().is_transient());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn policy_none_never_retries() {
+        let mut calls = 0;
+        let out: Result<()> = retry_io(
+            &RetryPolicy::none(),
+            |_, _| {},
+            || {
+                calls += 1;
+                Err(transient())
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

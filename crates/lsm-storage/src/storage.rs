@@ -719,6 +719,373 @@ impl Storage for FaultInjectingStorage {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Seeded fault storage
+// ---------------------------------------------------------------------------
+
+/// The live fault schedule for a [`FaultStorage`]. Every field can be
+/// changed at runtime through the shared [`FaultHandle`]; cleared fields
+/// heal the storage immediately, which is what the degradation recovery
+/// paths probe for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Fail this many sync calls with a *transient* fault, then heal.
+    pub sync_failures: u64,
+    /// While set, every sync fails persistently (until cleared).
+    pub sync_persistent: bool,
+    /// Tear this many appends: a seeded prefix of the data is written, the
+    /// rest is dropped, and the call errors.
+    pub torn_writes: u64,
+    /// Per-mille probability that a read or append fails with a transient
+    /// EIO (seeded draw, deterministic across runs).
+    pub eio_per_mille: u16,
+    /// While set, every read and append fails with a persistent EIO.
+    pub eio_persistent: bool,
+    /// While set, create/append/sync fail with ENOSPC.
+    pub disk_full: bool,
+    /// Extra latency added to every read, append and sync.
+    pub latency: std::time::Duration,
+}
+
+/// Shared state behind a [`FaultHandle`]: the plan, the seeded PRNG and the
+/// injected-fault counter.
+#[derive(Debug)]
+struct FaultShared {
+    plan: RwLock<FaultPlan>,
+    rng: Mutex<u64>,
+    injected: AtomicU64,
+}
+
+/// Control handle for one or more [`FaultStorage`] wrappers. Cloning shares
+/// the plan, so a single handle can drive faults across every shard of a
+/// sharded deployment at once.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    shared: Arc<FaultShared>,
+}
+
+/// xorshift64* step: small, dependency-free, deterministic.
+fn fault_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultHandle {
+    /// Creates a handle with all faults disabled; `seed` fixes every
+    /// probabilistic draw (torn-write split points, EIO coin flips).
+    pub fn new(seed: u64) -> FaultHandle {
+        FaultHandle {
+            shared: Arc::new(FaultShared {
+                plan: RwLock::new(FaultPlan::default()),
+                rng: Mutex::new(seed.max(1)),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Replaces the whole fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.shared.plan.write() = plan;
+    }
+
+    /// Snapshot of the current plan.
+    pub fn plan(&self) -> FaultPlan {
+        *self.shared.plan.read()
+    }
+
+    /// Clears every fault (the storage heals).
+    pub fn clear(&self) {
+        self.set_plan(FaultPlan::default());
+    }
+
+    /// Arms `n` transient sync failures.
+    pub fn fail_syncs(&self, n: u64) {
+        self.shared.plan.write().sync_failures = n;
+    }
+
+    /// Arms or clears persistent sync failure.
+    pub fn set_sync_persistent(&self, on: bool) {
+        self.shared.plan.write().sync_persistent = on;
+    }
+
+    /// Arms `n` torn writes.
+    pub fn tear_appends(&self, n: u64) {
+        self.shared.plan.write().torn_writes = n;
+    }
+
+    /// Arms or clears ENOSPC.
+    pub fn set_disk_full(&self, on: bool) {
+        self.shared.plan.write().disk_full = on;
+    }
+
+    /// Sets the transient-EIO probability in per-mille (0 disables).
+    pub fn set_eio_per_mille(&self, per_mille: u16) {
+        self.shared.plan.write().eio_per_mille = per_mille;
+    }
+
+    /// Arms or clears persistent EIO on reads and appends.
+    pub fn set_eio_persistent(&self, on: bool) {
+        self.shared.plan.write().eio_persistent = on;
+    }
+
+    /// Sets the injected latency for every I/O call.
+    pub fn set_latency(&self, latency: std::time::Duration) {
+        self.shared.plan.write().latency = latency;
+    }
+
+    /// Total faults injected so far (all wrappers sharing this handle).
+    pub fn injected_faults(&self) -> u64 {
+        self.shared.injected.load(Ordering::Relaxed)
+    }
+
+    fn note_injected(&self) {
+        self.shared.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn rand(&self) -> u64 {
+        fault_rand(&mut self.shared.rng.lock())
+    }
+
+    /// Seeded coin flip at `per_mille` probability.
+    fn coin(&self, per_mille: u16) -> bool {
+        per_mille > 0 && self.rand() % 1000 < per_mille as u64
+    }
+
+    fn sleep_latency(&self) {
+        let latency = self.shared.plan.read().latency;
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+    }
+
+    /// ENOSPC as the OS would report it.
+    fn enospc(&self) -> Error {
+        self.note_injected();
+        Error::Io(std::io::Error::from_raw_os_error(28))
+    }
+
+    fn transient_eio(&self) -> Error {
+        self.note_injected();
+        Error::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected transient eio",
+        ))
+    }
+
+    fn persistent_eio(&self) -> Error {
+        self.note_injected();
+        Error::Io(std::io::Error::other("injected persistent eio"))
+    }
+
+    /// Checks the sync path. Consumes one transient failure if armed.
+    fn check_sync(&self) -> Result<()> {
+        let mut plan = self.shared.plan.write();
+        if plan.disk_full {
+            drop(plan);
+            return Err(self.enospc());
+        }
+        if plan.sync_persistent {
+            drop(plan);
+            self.note_injected();
+            return Err(Error::StorageFault(
+                "injected persistent sync failure".into(),
+            ));
+        }
+        if plan.sync_failures > 0 {
+            plan.sync_failures -= 1;
+            drop(plan);
+            self.note_injected();
+            return Err(Error::StorageFault(
+                "injected transient sync failure".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the read path.
+    fn check_read(&self) -> Result<()> {
+        let plan = *self.shared.plan.read();
+        if plan.eio_persistent {
+            return Err(self.persistent_eio());
+        }
+        if self.coin(plan.eio_per_mille) {
+            return Err(self.transient_eio());
+        }
+        Ok(())
+    }
+}
+
+/// First-class fault-injection storage: wraps any backend and applies the
+/// seeded [`FaultPlan`] shared through its [`FaultHandle`]. Unlike the
+/// test-only [`FaultInjectingStorage`], this wrapper models realistic fault
+/// classes — transient vs persistent EIO, ENOSPC, torn writes, slow I/O —
+/// deterministically, so the same seed replays the same fault schedule.
+pub struct FaultStorage {
+    inner: StorageRef,
+    handle: FaultHandle,
+}
+
+impl FaultStorage {
+    /// Wraps `inner` with a fresh handle seeded by `seed`.
+    pub fn new(inner: StorageRef, seed: u64) -> FaultStorage {
+        FaultStorage {
+            inner,
+            handle: FaultHandle::new(seed),
+        }
+    }
+
+    /// Wraps `inner` sharing an existing handle (one plan, many wrappers).
+    pub fn with_handle(inner: StorageRef, handle: FaultHandle) -> FaultStorage {
+        FaultStorage { inner, handle }
+    }
+
+    /// Convenience: wrap and return `(storage, control handle)`.
+    pub fn wrap(inner: StorageRef, seed: u64) -> (StorageRef, FaultHandle) {
+        let storage = FaultStorage::new(inner, seed);
+        let handle = storage.handle();
+        (Arc::new(storage), handle)
+    }
+
+    /// The control handle shared by every file this storage hands out.
+    pub fn handle(&self) -> FaultHandle {
+        self.handle.clone()
+    }
+}
+
+struct PlannedFaultWritable {
+    inner: Box<dyn WritableFile>,
+    handle: FaultHandle,
+}
+
+impl WritableFile for PlannedFaultWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.handle.sleep_latency();
+        let plan = self.handle.plan();
+        if plan.disk_full {
+            return Err(self.handle.enospc());
+        }
+        if plan.eio_persistent {
+            return Err(self.handle.persistent_eio());
+        }
+        if plan.torn_writes > 0 {
+            {
+                let mut live = self.handle.shared.plan.write();
+                live.torn_writes = live.torn_writes.saturating_sub(1);
+            }
+            self.handle.note_injected();
+            // Write a seeded prefix so the tail of the file is genuinely
+            // torn, the way a crashed kernel write would leave it.
+            let cut = if data.is_empty() {
+                0
+            } else {
+                (self.handle.rand() as usize) % data.len()
+            };
+            self.inner.append(&data[..cut])?;
+            return Err(Error::StorageFault("injected torn write".into()));
+        }
+        if self.handle.coin(plan.eio_per_mille) {
+            return Err(self.handle.transient_eio());
+        }
+        self.inner.append(data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.handle.sleep_latency();
+        self.handle.check_sync()?;
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn shared_sync_handle(&self) -> Option<Arc<dyn SharedSyncHandle>> {
+        self.inner.shared_sync_handle().map(|inner| {
+            Arc::new(PlannedFaultSyncHandle {
+                inner,
+                handle: self.handle.clone(),
+            }) as Arc<dyn SharedSyncHandle>
+        })
+    }
+}
+
+struct PlannedFaultSyncHandle {
+    inner: Arc<dyn SharedSyncHandle>,
+    handle: FaultHandle,
+}
+
+impl SharedSyncHandle for PlannedFaultSyncHandle {
+    fn sync(&self) -> Result<()> {
+        self.handle.sleep_latency();
+        self.handle.check_sync()?;
+        self.inner.sync()
+    }
+}
+
+struct PlannedFaultReadable {
+    inner: Box<dyn RandomAccessFile>,
+    handle: FaultHandle,
+}
+
+impl RandomAccessFile for PlannedFaultReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.handle.sleep_latency();
+        self.handle.check_read()?;
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Storage for FaultStorage {
+    fn create(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        if self.handle.plan().disk_full {
+            return Err(self.handle.enospc());
+        }
+        Ok(Box::new(PlannedFaultWritable {
+            inner: self.inner.create(name)?,
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn RandomAccessFile>> {
+        Ok(Box::new(PlannedFaultReadable {
+            inner: self.inner.open(name)?,
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner.delete(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.inner.io_stats()
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        self.inner.size_of(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -836,5 +1203,93 @@ mod tests {
             ..Default::default()
         });
         assert!(storage.create("x").is_err());
+    }
+
+    #[test]
+    fn fault_storage_transient_sync_heals_after_n_failures() {
+        let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 7);
+        let mut f = storage.create("f").unwrap();
+        f.append(b"x").unwrap();
+        faults.fail_syncs(2);
+        let e1 = f.sync().unwrap_err();
+        assert!(e1.is_transient(), "first injected sync should be transient");
+        assert!(f.sync().is_err());
+        assert!(f.sync().is_ok(), "sync heals after the armed count drains");
+        assert_eq!(faults.injected_faults(), 2);
+    }
+
+    #[test]
+    fn fault_storage_persistent_sync_until_cleared() {
+        let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 7);
+        let mut f = storage.create("f").unwrap();
+        faults.set_sync_persistent(true);
+        for _ in 0..5 {
+            let e = f.sync().unwrap_err();
+            assert!(!e.is_transient());
+        }
+        faults.clear();
+        assert!(f.sync().is_ok());
+    }
+
+    #[test]
+    fn fault_storage_torn_write_leaves_prefix() {
+        let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 42);
+        let mut f = storage.create("f").unwrap();
+        f.append(b"intact").unwrap();
+        faults.tear_appends(1);
+        assert!(f.append(&[0xAA; 100]).is_err());
+        let torn_len = f.len();
+        assert!(
+            (6..106).contains(&torn_len),
+            "torn append must drop at least one byte (len {torn_len})"
+        );
+        // Healed: the next append goes through whole.
+        f.append(b"after").unwrap();
+        assert_eq!(f.len(), torn_len + 5);
+    }
+
+    #[test]
+    fn fault_storage_enospc_blocks_writes_and_heals() {
+        let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 1);
+        let mut f = storage.create("f").unwrap();
+        faults.set_disk_full(true);
+        assert!(f.append(b"x").unwrap_err().is_disk_full());
+        assert!(f.sync().unwrap_err().is_disk_full());
+        let create_err = storage.create("g").err().expect("ENOSPC on create");
+        assert!(create_err.is_disk_full());
+        faults.set_disk_full(false);
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+    }
+
+    #[test]
+    fn fault_storage_eio_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), seed);
+            let mut f = storage.create("f").unwrap();
+            f.append(&[0u8; 64]).unwrap();
+            faults.set_eio_per_mille(300);
+            let r = storage.open("f").unwrap();
+            (0..32)
+                .map(|_| r.read_at(0, 8).is_err())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(99), run(99), "same seed must replay the same faults");
+        let outcomes = run(99);
+        assert!(outcomes.iter().any(|&e| e), "some reads should fail");
+        assert!(outcomes.iter().any(|&e| !e), "some reads should succeed");
+    }
+
+    #[test]
+    fn fault_storage_shared_handle_spans_wrappers() {
+        let faults = FaultHandle::new(5);
+        let a = FaultStorage::with_handle(MemStorage::new_ref(), faults.clone());
+        let b = FaultStorage::with_handle(MemStorage::new_ref(), faults.clone());
+        faults.set_disk_full(true);
+        assert!(a.create("x").is_err());
+        assert!(b.create("x").is_err());
+        faults.clear();
+        assert!(a.create("x").is_ok());
+        assert!(b.create("x").is_ok());
     }
 }

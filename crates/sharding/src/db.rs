@@ -59,7 +59,7 @@ use crate::replication::promotion::{
 use crate::replication::{
     bootstrap_replica, reconcile_from, record_replication_event, replica_slot, reship_tail,
     ReplicaSet, ReplicaState, ReplicationConfig, ReplicationFailpoint, ReplicationState,
-    ShardReplicationStatus,
+    ReprovisionContext, ShardReplicationStatus,
 };
 use crate::router::ShardRouter;
 use crate::storage::ShardStorageProvider;
@@ -580,6 +580,15 @@ impl<E: ShardEngine> ShardedDb<E> {
                     }
                     state.sets.write().push(set);
                 }
+                // Hand the monitor everything it needs to rebuild a lost
+                // replica on its own thread (the routed ranges are frozen:
+                // splits are disabled under replication).
+                let _ = state.reprovision.set(ReprovisionContext {
+                    provider: Arc::clone(&provider),
+                    options: engine_options.clone(),
+                    shard_ranges: (0..num_shards).map(|i| router.shard_range(i)).collect(),
+                    scheduler: scheduler.as_ref().map(|s| s.client()),
+                });
                 let monitor = crate::replication::health::spawn_monitor(Arc::clone(&state));
                 *state.monitor.lock() = Some(monitor);
                 Some(state)
@@ -1343,6 +1352,14 @@ impl<E: ShardEngine> ShardedDb<E> {
         }
     }
 
+    /// Replicas the health monitor has re-provisioned since open (0 when
+    /// replication is off).
+    pub fn replication_reprovisions(&self) -> u64 {
+        self.replication
+            .as_ref()
+            .map_or(0, |s| s.reprovisions.load(Ordering::Relaxed))
+    }
+
     /// Promotes the most caught-up live replica of shard `index` to leader,
     /// with the same crash-safe two-phase shape as a shard split: a durable
     /// `SHARDS.promote` intent, then the `SHARDS` manifest rename as the
@@ -1968,6 +1985,69 @@ impl<E: ShardEngine> ShardedDb<E> {
         self.telemetry.get().map(|t| t.hub.tracer().traces_json())
     }
 
+    /// Aggregated health of the facade: `(all_ok, JSON body)` — what the
+    /// `/health` endpoint serves. Per shard:
+    ///
+    /// * `ok` — writable, WAL healthy, replication (if on) at target.
+    /// * `degraded` — still writable but impaired: the WAL is damaged and
+    ///   pending its in-place rotation recovery, or the shard's live replica
+    ///   count sits below the configured replication factor.
+    /// * `read_only` — a persistent storage fault pushed the engine into
+    ///   graceful degradation; writes are rejected with a typed error while
+    ///   reads, scans and replica serving continue.
+    pub fn health_check(&self) -> (bool, String) {
+        let topology = self.current();
+        let replication = self.replication.as_ref();
+        let target = replication.map_or(0, |s| s.config.replication_factor);
+        let mut all_ok = true;
+        let mut shards = String::new();
+        for (index, shard) in topology.shards.iter().enumerate() {
+            if index > 0 {
+                shards.push(',');
+            }
+            let read_only = shard.engine.shard_degraded_reason();
+            let live = replication
+                .and_then(|s| s.set(index))
+                .map_or(target, |set| {
+                    set.replicas()
+                        .iter()
+                        .filter(|r| r.shared.applied().1 != ReplicaState::Lost)
+                        .count()
+                });
+            let state = if read_only.is_some() {
+                "read_only"
+            } else if !shard.engine.shard_is_healthy() || live < target {
+                "degraded"
+            } else {
+                "ok"
+            };
+            if state != "ok" {
+                all_ok = false;
+            }
+            shards.push_str(&format!(
+                "{{\"shard\":{index},\"slot\":{},\"state\":\"{state}\"",
+                shard.slot
+            ));
+            if let Some(reason) = &read_only {
+                shards.push_str(&format!(",\"reason\":{}", json_escape(reason)));
+            }
+            if target > 0 {
+                shards.push_str(&format!(
+                    ",\"replicas_live\":{live},\"replicas_target\":{target}"
+                ));
+            }
+            shards.push('}');
+        }
+        let status = if all_ok { "ok" } else { "degraded" };
+        let body = format!(
+            "{{\"status\":\"{status}\",\"engine\":\"{}\",\"epoch\":{},\"num_shards\":{},\"shards\":[{shards}]}}",
+            E::ENGINE_NAME,
+            topology.epoch,
+            topology.shards.len(),
+        );
+        (all_ok, body)
+    }
+
     /// Starts the scrape endpoint on `addr` (e.g. `"127.0.0.1:0"`): a
     /// dependency-free blocking HTTP server answering `/metrics` (Prometheus
     /// text), `/health`, `/debug/lsm`, `/debug/workload` and
@@ -1980,16 +2060,12 @@ impl<E: ShardEngine> ShardedDb<E> {
                 None => HttpResponse::unavailable("telemetry not attached"),
             }),
             "/health" => {
-                let stats = db.stats();
-                Some(HttpResponse::ok(
-                    CONTENT_TYPE_JSON,
-                    format!(
-                        "{{\"status\":\"ok\",\"engine\":\"{}\",\"shards\":{},\"epoch\":{}}}",
-                        E::ENGINE_NAME,
-                        stats.num_shards,
-                        stats.epoch,
-                    ),
-                ))
+                // A real probe: per-shard state with a non-200 status while
+                // any shard is degraded or read-only, so load balancers and
+                // orchestrators can act on it.
+                let (healthy, body) = db.health_check();
+                let status = if healthy { 200 } else { 503 };
+                Some(HttpResponse::with_status(status, CONTENT_TYPE_JSON, body))
             }
             "/debug/lsm" => Some(HttpResponse::ok(CONTENT_TYPE_JSON, db.debug_state())),
             "/debug/workload" => {
@@ -2028,6 +2104,27 @@ fn wait_shard_idle<E: ShardEngine>(engine: &Arc<E>) {
 /// split policy's ingest accounting.
 fn batch_bytes(batch: &WriteBatch) -> u64 {
     batch.iter().map(|e| 8 + e.value.len() as u64).sum::<u64>()
+}
+
+/// Encodes `s` as a JSON string literal (quotes included). Degradation
+/// reasons carry arbitrary error display text, which must not break the
+/// hand-rolled `/health` body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Measured write amplification of one shard engine — flush+compaction

@@ -214,6 +214,13 @@ pub trait ShardEngine: EngineMaintenance + Sized + Send + Sync + 'static {
     fn shard_is_healthy(&self) -> bool {
         true
     }
+
+    /// Why the shard is serving read-only (persistent storage fault pushed
+    /// the engine into graceful degradation), or `None` while it accepts
+    /// writes. Engines without a degradation controller report writable.
+    fn shard_degraded_reason(&self) -> Option<String> {
+        None
+    }
 }
 
 impl ShardEngine for LsmDb {
@@ -380,6 +387,10 @@ impl ShardEngine for LsmDb {
 
     fn shard_is_healthy(&self) -> bool {
         self.is_healthy()
+    }
+
+    fn shard_degraded_reason(&self) -> Option<String> {
+        self.degraded_info().map(|info| info.reason)
     }
 }
 
@@ -549,6 +560,14 @@ impl ShardEngine for LaserDb {
 
     fn read_ctx_columns(ctx: &Self::ReadCtx) -> Option<Vec<u32>> {
         Some(projection_columns(ctx))
+    }
+
+    fn shard_is_healthy(&self) -> bool {
+        self.is_healthy()
+    }
+
+    fn shard_degraded_reason(&self) -> Option<String> {
+        self.degraded_info().map(|info| info.reason)
     }
 }
 

@@ -47,6 +47,21 @@ impl HttpResponse {
             body: format!("{reason}\n"),
         }
     }
+
+    /// A response with an explicit status code (e.g. `/health` answering
+    /// `503` with a JSON body while a shard is degraded).
+    pub fn with_status(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// The response's status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
 }
 
 /// Handle of a running scrape endpoint. Dropping it stops the server:

@@ -75,4 +75,4 @@ pub use replication::{
     ShardReplicationStatus,
 };
 pub use router::ShardRouter;
-pub use storage::{DirShardStorage, MemShardStorage, ShardStorageProvider};
+pub use storage::{DirShardStorage, FaultShardStorage, MemShardStorage, ShardStorageProvider};

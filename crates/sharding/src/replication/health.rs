@@ -3,9 +3,11 @@
 //! `laser_replica_lag_seqs` / `laser_replica_lag_bytes` gauges), sends
 //! liveness heartbeats, re-ships missed WAL to gapped or stalled replicas
 //! with exponential backoff, declares replicas that stop making progress
-//! lost, and advances every group member's WAL retention floor to the
-//! slowest live replica's applied horizon — so a sealed segment is never
-//! retired while a lagging-but-healthy replica still needs it.
+//! lost, advances every group member's WAL retention floor to the slowest
+//! live replica's applied horizon — so a sealed segment is never retired
+//! while a lagging-but-healthy replica still needs it — and re-provisions a
+//! replacement replica whenever a group's live count falls below the
+//! configured replication factor (after a `ReplicaLost` or a promotion).
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -13,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use lsm_storage::maintenance::register_shard_engine_with;
 use lsm_storage::observability::OpTrace;
 use telemetry::trace::TraceKind;
 use telemetry::{EventKind, Gauge, Telemetry};
@@ -20,7 +23,10 @@ use telemetry::{EventKind, Gauge, Telemetry};
 use crate::engine::ShardEngine;
 use crate::replication::protocol::Frame;
 use crate::replication::replica::ReplicaState;
-use crate::replication::{record_replication_event, reship_tail, ReplicationState};
+use crate::replication::{
+    bootstrap_replica, record_replication_event, replica_slot, reship_tail, ReplicaSet,
+    ReplicationState, MAX_REPLICAS_PER_SHARD,
+};
 
 /// The pair of lag gauges exported for one (leader, replica) link.
 pub(crate) struct LagGauges {
@@ -71,7 +77,7 @@ pub(crate) fn monitor_tick<E: ShardEngine>(
 ) {
     let telemetry = state.telemetry.get();
     let sets = state.sets.read().clone();
-    for set in sets {
+    for (index, set) in sets.into_iter().enumerate() {
         let (leader, leader_slot) = set.leader();
         let leader_seq = leader.shard_last_seq();
         // Cheap byte estimate for the lag gauge: average ingested bytes per
@@ -167,7 +173,104 @@ pub(crate) fn monitor_tick<E: ShardEngine>(
                     .shard_set_wal_retention_floor(min_live_applied);
             }
         }
+        reprovision_missing(state, index, &set, telemetry);
     }
+}
+
+/// Restores a group whose live replica count fell below the configured
+/// replication factor: bootstraps a replacement from the current leader into
+/// a fresh slot of the leader's deterministic slot family, joins it to the
+/// acknowledgement set and retires one lost predecessor. One replacement per
+/// set per tick bounds the monitor's work; a failed bootstrap (device still
+/// broken, leader flushing mid-clone) simply retries next tick.
+fn reprovision_missing<E: ShardEngine>(
+    state: &ReplicationState<E>,
+    index: usize,
+    set: &Arc<ReplicaSet<E>>,
+    telemetry: Option<&Arc<Telemetry>>,
+) {
+    if !state.config.auto_reprovision {
+        return;
+    }
+    let Some(ctx) = state.reprovision.get() else {
+        return;
+    };
+    let replicas = set.replicas();
+    let live = replicas
+        .iter()
+        .filter(|r| r.shared.applied().1 != ReplicaState::Lost)
+        .count();
+    if live >= state.config.replication_factor {
+        return;
+    }
+    let (leader, leader_slot) = set.leader();
+    // A fail-stopped or degraded leader cannot seed a trustworthy
+    // checkpoint; failover has to fix the leadership first.
+    if !leader.shard_is_healthy() {
+        return;
+    }
+    // A fresh slot from the leader's deterministic family: the first one not
+    // holding a current group member. A lost replica keeps its slot until
+    // its replacement is live, so the replacement never reuses it.
+    let used: Vec<u64> = replicas
+        .iter()
+        .map(|r| r.slot)
+        .chain([leader_slot])
+        .collect();
+    let Some(slot) = (0..MAX_REPLICAS_PER_SHARD)
+        .map(|i| replica_slot(leader_slot, i))
+        .find(|slot| !used.contains(slot))
+    else {
+        return;
+    };
+    let key_bound = ctx
+        .shard_ranges
+        .get(index)
+        .copied()
+        .unwrap_or((0, u64::MAX));
+    let start = Instant::now();
+    // Drop leftovers of a previous tenant of the slot (or a torn attempt).
+    let _ = ctx.provider.clear_shard(slot as usize);
+    let replica = match bootstrap_replica(
+        &ctx.provider,
+        &leader,
+        leader_slot,
+        slot,
+        &ctx.options,
+        key_bound,
+        None,
+    ) {
+        Ok(replica) => replica,
+        Err(_) => return,
+    };
+    if let Some(scheduler) = &ctx.scheduler {
+        let _ = register_shard_engine_with(scheduler, &replica.engine);
+    }
+    if let Some(hub) = telemetry {
+        replica
+            .engine
+            .shard_attach_telemetry(hub, &replica.slot.to_string());
+    }
+    // Retire one lost handle per replacement so the group converges on the
+    // configured factor instead of accumulating dead members.
+    if let Some(lost) = replicas
+        .iter()
+        .find(|r| r.shared.applied().1 == ReplicaState::Lost)
+    {
+        if let Some(old) = set.remove_replica(lost.slot) {
+            old.stop();
+        }
+    }
+    set.add_replica(replica);
+    state.reprovisions.fetch_add(1, Ordering::Relaxed);
+    record_replication_event(
+        telemetry,
+        EventKind::ReplicaProvision,
+        leader_slot,
+        start.elapsed(),
+        0,
+        1,
+    );
 }
 
 #[cfg(test)]
@@ -314,5 +417,75 @@ mod tests {
         );
         assert!(retired.segments_live < pinned.segments_live);
         replica.stop();
+    }
+
+    #[test]
+    fn reprovision_replaces_lost_replica_with_byte_identical_copy() {
+        use crate::replication::ReprovisionContext;
+        use crate::storage::{MemShardStorage, ShardStorageProvider};
+
+        let provider = MemShardStorage::new_ref();
+        let mut options = LsmOptions::small_for_tests();
+        options.auto_compact = false;
+        let leader = Arc::new(LsmDb::open(provider.shard(0).unwrap(), options.clone()).unwrap());
+        for key in 0..20u64 {
+            let mut batch = WriteBatch::new();
+            batch.put(key, vec![key as u8; 64]);
+            leader.write(&batch).unwrap();
+        }
+
+        // A paused replica that the first tick will declare lost.
+        let doomed = Arc::new(ReplicaHandle::start(engine(), replica_slot(0, 0), 0));
+        doomed.pause();
+        let set = Arc::new(ReplicaSet::new(
+            Arc::clone(&leader),
+            0,
+            vec![doomed.clone()],
+        ));
+        let mut config = ReplicationConfig::new(1);
+        config.lost_after = Duration::from_millis(0);
+        let state: ReplicationState<LsmDb> = ReplicationState::new(config);
+        state.sets.write().push(Arc::clone(&set));
+        let dyn_provider: Arc<dyn ShardStorageProvider> = provider.clone();
+        state
+            .reprovision
+            .set(ReprovisionContext {
+                provider: dyn_provider,
+                options,
+                shard_ranges: vec![(0, u64::MAX)],
+                scheduler: None,
+            })
+            .ok()
+            .expect("context set once");
+
+        // One tick: the stalled replica leaves the quorum and a replacement
+        // is bootstrapped into the next fresh slot of the leader's family.
+        let mut gauges = HashMap::new();
+        monitor_tick(&state, &mut gauges);
+        assert_eq!(state.reprovisions.load(Ordering::Relaxed), 1);
+        let replicas = set.replicas();
+        assert_eq!(replicas.len(), 1, "the lost handle must be retired");
+        let replacement = &replicas[0];
+        assert_eq!(replacement.slot, replica_slot(0, 1));
+
+        // The rebuilt replica holds every acked write, byte for byte.
+        let leader_seq = leader.last_seq();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (applied, state_now) = replacement.shared.applied();
+            if applied >= leader_seq && state_now == ReplicaState::Streaming {
+                break;
+            }
+            assert!(Instant::now() < deadline, "replacement never converged");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for key in 0..20u64 {
+            assert_eq!(
+                replacement.engine.get(key).unwrap(),
+                Some(vec![key as u8; 64]),
+                "replacement diverged at key {key}"
+            );
+        }
+        replacement.stop();
     }
 }

@@ -111,6 +111,12 @@ pub struct ReplicationConfig {
     /// Promote the best replica automatically when a leader write fails and
     /// the leader reports itself unhealthy.
     pub auto_failover: bool,
+    /// Re-provision a replacement replica automatically when the live count
+    /// of a group falls below `replication_factor` (a replica was declared
+    /// lost, or promotion consumed one): the health monitor bootstraps a
+    /// fresh replica from the current leader into an unused slot and rejoins
+    /// it to the acknowledgement set.
+    pub auto_reprovision: bool,
     /// Initial fault-injection point (tests only; also settable at runtime).
     pub failpoint: Option<ReplicationFailpoint>,
 }
@@ -128,6 +134,7 @@ impl ReplicationConfig {
             replica_reads: false,
             freshness_bound_seqs: 0,
             auto_failover: true,
+            auto_reprovision: true,
             failpoint: None,
         }
     }
@@ -225,6 +232,21 @@ impl<E: ShardEngine> ReplicaSet<E> {
         Some(promoted)
     }
 
+    /// Adds a freshly provisioned replica to the group: it joins the
+    /// acknowledgement set immediately (quorum waits see it on the next
+    /// write) and the retention-floor accounting on the next monitor tick.
+    pub fn add_replica(&self, replica: Arc<ReplicaHandle<E>>) {
+        self.replicas.write().push(replica);
+    }
+
+    /// Removes and returns the replica in `slot` (a lost one being replaced
+    /// by a re-provisioned successor). The caller stops the handle.
+    pub fn remove_replica(&self, slot: u64) -> Option<Arc<ReplicaHandle<E>>> {
+        let mut replicas = self.replicas.write();
+        let pos = replicas.iter().position(|r| r.slot == slot)?;
+        Some(replicas.remove(pos))
+    }
+
     /// Point-in-time status of the group.
     pub fn status(&self) -> ShardReplicationStatus {
         let (leader, leader_slot) = self.leader();
@@ -306,6 +328,22 @@ impl<E: ShardEngine> ReplicaSet<E> {
     }
 }
 
+/// Everything the health monitor needs to rebuild a lost replica: the
+/// storage provider (slot allocation and checkpoint cloning), the engine
+/// options replicas open with, each shard's routed key range (frozen — shard
+/// splits are disabled under replication) and a submission-side view of the
+/// shared maintenance pool for the replacement engine.
+pub struct ReprovisionContext<E: ShardEngine> {
+    /// The provider the topology was opened on.
+    pub provider: Arc<dyn ShardStorageProvider>,
+    /// Engine options every replica opens with.
+    pub options: E::Options,
+    /// Routed `[lo, hi]` key range per shard index.
+    pub shard_ranges: Vec<(UserKey, UserKey)>,
+    /// Shared maintenance pool client, when background maintenance is on.
+    pub scheduler: Option<lsm_storage::SchedulerClient>,
+}
+
 /// Everything the replication runtime owns, shared with the health-monitor
 /// thread. Lives on the sharded facade as `Option<Arc<ReplicationState>>`.
 pub struct ReplicationState<E: ShardEngine> {
@@ -321,6 +359,12 @@ pub struct ReplicationState<E: ShardEngine> {
     pub monitor: Mutex<Option<JoinHandle<()>>>,
     /// Telemetry hub, once attached.
     pub telemetry: OnceLock<Arc<Telemetry>>,
+    /// Context for automatic replica re-provisioning, set at open. Absent in
+    /// unit harnesses that drive [`health::monitor_tick`] without a
+    /// provider; re-provisioning is then skipped.
+    pub reprovision: OnceLock<ReprovisionContext<E>>,
+    /// Replicas re-provisioned since open (observability and tests).
+    pub reprovisions: AtomicU64,
 }
 
 impl<E: ShardEngine> ReplicationState<E> {
@@ -334,6 +378,8 @@ impl<E: ShardEngine> ReplicationState<E> {
             shutdown: AtomicBool::new(false),
             monitor: Mutex::new(None),
             telemetry: OnceLock::new(),
+            reprovision: OnceLock::new(),
+            reprovisions: AtomicU64::new(0),
         }
     }
 

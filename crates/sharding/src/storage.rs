@@ -10,12 +10,13 @@
 //! bytes (a filesystem hard link on the durable backend, a shared buffer on
 //! the in-memory one).
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use lsm_storage::storage::{FileStorage, MemStorage, StorageRef};
+use lsm_storage::storage::{FaultHandle, FaultStorage, FileStorage, MemStorage, StorageRef};
 use lsm_storage::Result;
 
 /// Provides the root storage (shard manifest) and one storage per slot.
@@ -151,6 +152,103 @@ impl ShardStorageProvider for DirShardStorage {
     }
 }
 
+/// Fault-injecting provider wrapper: every storage namespace an inner
+/// provider hands out — the root and each slot — is wrapped in a
+/// [`FaultStorage`], so the whole sharded stack (shard manifests, engine
+/// manifests, WALs, SSTs, replicas) runs against one deterministic fault
+/// schedule.
+///
+/// One shared [`FaultHandle`] drives all namespaces by default; a test that
+/// wants to break a single shard (e.g. just one leader's disk) carves out a
+/// dedicated per-slot handle with [`FaultShardStorage::slot_handle`]. Handles
+/// are stable: arming a fault plan applies to storage references handed out
+/// both before and after the call.
+///
+/// `link_file` and `clear_shard` delegate to the inner provider's fast paths
+/// (hard links / shared buffers); faults inject on the file I/O surface.
+pub struct FaultShardStorage {
+    inner: Arc<dyn ShardStorageProvider>,
+    shared: FaultHandle,
+    seed: u64,
+    per_slot: Mutex<HashMap<usize, FaultHandle>>,
+}
+
+impl FaultShardStorage {
+    /// Wraps `inner`; `seed` fixes every probabilistic fault draw.
+    pub fn new(inner: Arc<dyn ShardStorageProvider>, seed: u64) -> FaultShardStorage {
+        FaultShardStorage {
+            inner,
+            shared: FaultHandle::new(seed),
+            seed,
+            per_slot: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience: wrap and return `(provider, shared control handle)`.
+    pub fn wrap(
+        inner: Arc<dyn ShardStorageProvider>,
+        seed: u64,
+    ) -> (Arc<FaultShardStorage>, FaultHandle) {
+        let provider = Arc::new(FaultShardStorage::new(inner, seed));
+        let handle = provider.handle();
+        (provider, handle)
+    }
+
+    /// The handle shared by every namespace without a per-slot override.
+    pub fn handle(&self) -> FaultHandle {
+        self.shared.clone()
+    }
+
+    /// A dedicated handle for storage slot `slot`, detaching it from the
+    /// shared plan (created healthy on first call, stable afterwards). Lets
+    /// a test fail exactly one shard's device while the rest stay healthy.
+    pub fn slot_handle(&self, slot: usize) -> FaultHandle {
+        let mut per_slot = self.per_slot.lock();
+        per_slot
+            .entry(slot)
+            .or_insert_with(|| {
+                // Derive a distinct deterministic seed per slot so torn-write
+                // split points differ across shards but replay identically.
+                FaultHandle::new(self.seed ^ ((slot as u64 + 1) << 32))
+            })
+            .clone()
+    }
+
+    fn handle_for(&self, slot: usize) -> FaultHandle {
+        self.per_slot
+            .lock()
+            .get(&slot)
+            .cloned()
+            .unwrap_or_else(|| self.shared.clone())
+    }
+}
+
+impl ShardStorageProvider for FaultShardStorage {
+    fn root(&self) -> Result<StorageRef> {
+        let inner = self.inner.root()?;
+        Ok(Arc::new(FaultStorage::with_handle(
+            inner,
+            self.shared.clone(),
+        )))
+    }
+
+    fn shard(&self, slot: usize) -> Result<StorageRef> {
+        let inner = self.inner.shard(slot)?;
+        Ok(Arc::new(FaultStorage::with_handle(
+            inner,
+            self.handle_for(slot),
+        )))
+    }
+
+    fn link_file(&self, from: usize, to: usize, name: &str) -> Result<()> {
+        self.inner.link_file(from, to, name)
+    }
+
+    fn clear_shard(&self, slot: usize) -> Result<()> {
+        self.inner.clear_shard(slot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +320,45 @@ mod tests {
         provider.clear_shard(2).unwrap();
         assert!(provider.shard(2).unwrap().list().unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_provider_injects_on_every_namespace_and_heals() {
+        let (provider, faults) = FaultShardStorage::wrap(MemShardStorage::new_ref(), 42);
+        // Healthy by default: files pass through to the inner provider.
+        provider.shard(0).unwrap().create("ok").unwrap();
+        assert!(provider.shard(0).unwrap().exists("ok"));
+
+        faults.set_disk_full(true);
+        let mut file = provider.shard(1).unwrap().create("full").err();
+        if file.is_none() {
+            // ENOSPC may land on create or on the first append, depending on
+            // the backend's surface; either is a valid injection point.
+            let mut f = provider.shard(1).unwrap().create("full").unwrap();
+            file = f.append(b"x").err();
+        }
+        assert!(file
+            .expect("ENOSPC somewhere on the write path")
+            .is_disk_full());
+        // The root namespace shares the plan (shard-manifest writes fail too).
+        assert!(
+            provider.root().unwrap().create("SHARDS.tmp").is_err() || faults.injected_faults() > 0
+        );
+        faults.clear();
+        provider.shard(1).unwrap().create("healed").unwrap();
+        assert!(provider.shard(1).unwrap().exists("healed"));
+    }
+
+    #[test]
+    fn fault_provider_per_slot_handle_isolates_one_shard() {
+        let (provider, shared) = FaultShardStorage::wrap(MemShardStorage::new_ref(), 7);
+        let sick = provider.slot_handle(2);
+        sick.set_disk_full(true);
+        // Slot 2 is broken; its sibling and the shared plan stay healthy.
+        assert!(provider.shard(2).unwrap().create("x").is_err());
+        provider.shard(0).unwrap().create("y").unwrap();
+        assert_eq!(shared.injected_faults(), 0);
+        sick.clear();
+        provider.shard(2).unwrap().create("x").unwrap();
     }
 }

@@ -34,6 +34,17 @@ pub enum EventKind {
     /// A replica was promoted to leader after the previous leader was lost
     /// (two-phase: intent record, then manifest commit).
     Promotion,
+    /// A WAL append, fsync or rotation errored (transient or persistent);
+    /// the rotation-recovery path handled it.
+    WalSyncError,
+    /// An engine entered read-only degradation after a persistent storage
+    /// fault.
+    Degraded,
+    /// A degraded engine recovered full writability (the fault cleared).
+    Recovered,
+    /// The health monitor provisioned a replacement replica after a
+    /// promotion or replica loss.
+    ReplicaProvision,
 }
 
 impl EventKind {
@@ -50,6 +61,10 @@ impl EventKind {
             EventKind::ReplicaCatchup => "replica_catchup",
             EventKind::ReplicaLost => "replica_lost",
             EventKind::Promotion => "promotion",
+            EventKind::WalSyncError => "wal_sync_error",
+            EventKind::Degraded => "degraded",
+            EventKind::Recovered => "recovered",
+            EventKind::ReplicaProvision => "replica_provision",
         }
     }
 }
@@ -98,6 +113,10 @@ pub struct SlowOpThresholds {
     pub replica_catchup: Duration,
     /// Threshold for leader promotions (and replica-loss handling).
     pub promotion: Duration,
+    /// Threshold for fault events (WAL errors, degradation transitions).
+    /// Zero by default: a storage fault is always notable, however fast the
+    /// handling was.
+    pub fault: Duration,
 }
 
 impl Default for SlowOpThresholds {
@@ -112,6 +131,7 @@ impl Default for SlowOpThresholds {
             wal_fsync: Duration::from_millis(50),
             replica_catchup: Duration::from_secs(1),
             promotion: Duration::from_secs(1),
+            fault: Duration::ZERO,
         }
     }
 }
@@ -128,7 +148,10 @@ impl SlowOpThresholds {
             EventKind::WalRotation => self.wal_rotation,
             EventKind::WalFsync => self.wal_fsync,
             EventKind::ReplicaCatchup => self.replica_catchup,
-            EventKind::ReplicaLost | EventKind::Promotion => self.promotion,
+            EventKind::ReplicaLost | EventKind::Promotion | EventKind::ReplicaProvision => {
+                self.promotion
+            }
+            EventKind::WalSyncError | EventKind::Degraded | EventKind::Recovered => self.fault,
         }
     }
 }

@@ -12,8 +12,11 @@
 //! ingest grows 10x.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use laser::lsm_storage::storage::{FaultConfig, FaultInjectingStorage, MemStorage, StorageRef};
+use laser::lsm_storage::storage::{
+    FaultConfig, FaultInjectingStorage, FaultStorage, MemStorage, StorageRef,
+};
 use laser::lsm_storage::wal_segment::{parse_segment_file_name, segment_file_name};
 use laser::lsm_storage::{LsmDb, LsmOptions};
 use laser::{LaserDb, LaserOptions, LayoutSpec, Projection, Schema, Value};
@@ -86,15 +89,19 @@ fn crash_mid_append_failed_write_is_not_recovered() {
             db.put(40, value_for(40)).is_err(),
             "append failure must surface"
         );
-        // The WAL fail-stops: even with the fault gone, writes keep erroring
-        // (a torn record may sit in the segment) until the db is reopened.
-        faulty.set_config(FaultConfig::default());
-        assert!(
-            db.put(41, value_for(41)).is_err(),
-            "writes after a WAL append failure must fail-stop"
-        );
         // Reads of acknowledged data still work on the damaged engine.
         assert_eq!(db.get(5).unwrap(), Some(value_for(5)));
+        // Once the fault clears, the WAL self-heals in place: the damaged
+        // segment is sealed, a fresh one opened, and the write acknowledged —
+        // no reopen required.
+        faulty.set_config(FaultConfig::default());
+        db.put(41, value_for(41))
+            .expect("the WAL must rotate past the damaged segment");
+        acknowledged.push(41);
+        assert!(
+            db.stats().wal.recoveries >= 1,
+            "the rotation recovery must be accounted"
+        );
         // Drop without closing: the process is gone.
     }
     faulty.set_config(FaultConfig::default());
@@ -505,10 +512,11 @@ fn off_lock_group_commit_recovers_all_acknowledged_after_crash() {
     assert_exact_contents(&db, 0..WRITERS * KEYS_PER_WRITER, &all);
 }
 
-/// An injected fsync failure on the off-lock path must fail-stop the WAL
-/// (no later append may be acknowledged) and reopen with the intact prefix.
+/// An injected fsync failure on the off-lock path refuses the ack, and once
+/// the fault clears the WAL heals in place — later writes are acknowledged
+/// without a reopen, and a crash afterwards loses nothing acknowledged.
 #[test]
-fn off_lock_sync_failure_fail_stops_until_reopen() {
+fn off_lock_sync_failure_self_heals_without_reopen() {
     let base = MemStorage::new_ref();
     let faulty = Arc::new(FaultInjectingStorage::new(StorageRef::clone(&base)));
     let storage: StorageRef = faulty.clone();
@@ -524,10 +532,9 @@ fn off_lock_sync_failure_fail_stops_until_reopen() {
             "fsync failure must refuse the ack"
         );
         faulty.set_config(FaultConfig::default());
-        assert!(
-            db.put(3, value_for(3)).is_err(),
-            "the WAL must stay fail-stopped after the fault clears"
-        );
+        db.put(3, value_for(3))
+            .expect("the WAL must self-heal once the fault clears");
+        assert!(db.stats().wal.recoveries >= 1);
     }
     let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
     assert_eq!(
@@ -535,10 +542,109 @@ fn off_lock_sync_failure_fail_stops_until_reopen() {
         Some(value_for(1)),
         "acknowledged prefix lost"
     );
-    assert_eq!(db.get(3).unwrap(), None, "unacknowledged write resurrected");
+    // Key 2 was appended but never fsynced: its ack was refused, so it may
+    // legitimately resurface after recovery re-stages the intact tail — the
+    // durability contract only covers acknowledged writes, which must all be
+    // present:
+    assert_eq!(
+        db.get(3).unwrap(),
+        Some(value_for(3)),
+        "post-recovery ack lost"
+    );
     // The reopened log accepts writes again.
     db.put(4, value_for(4)).unwrap();
     assert_eq!(db.get(4).unwrap(), Some(value_for(4)));
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault hardening: seeded fault plans, rotation recovery, read-only
+// degradation
+// ---------------------------------------------------------------------------
+
+/// A transient fsync error mid-ingest seals the damaged segment and continues
+/// in a fresh one: the very next write is acknowledged on the same open
+/// engine, and a crash afterwards loses no acknowledged write.
+#[test]
+fn transient_fsync_error_seals_and_continues_in_fresh_segment() {
+    let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 0xF51);
+    let mut acknowledged = Vec::new();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..32u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        // Exactly one fsync dies; the plan then disarms itself (transient).
+        // The write path seals the damaged segment, re-stages the tail into a
+        // fresh one and syncs it — the fault is masked inside the same call,
+        // so even this put is acknowledged.
+        faults.fail_syncs(1);
+        db.put(32, value_for(32))
+            .expect("a transient fsync fault must be healed in place");
+        acknowledged.push(32);
+        // No clear(), no reopen: the engine keeps ingesting.
+        for key in 33..48u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        let wal = db.stats().wal;
+        assert!(wal.recoveries >= 1, "rotation recovery must be accounted");
+        assert!(
+            db.degraded_info().is_none(),
+            "a healed engine must not report degradation"
+        );
+        assert_eq!(faults.injected_faults(), 1);
+        // Crash without closing.
+    }
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_exact_contents(&db, 0..50, &acknowledged);
+}
+
+/// Persistent ENOSPC degrades the engine to read-only: writes fail with a
+/// typed error, reads keep serving, and once space frees up the engine
+/// recovers on the next write — all without a reopen.
+#[test]
+fn enospc_degrades_to_read_only_then_auto_recovers() {
+    let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 0xE05);
+    let mut acknowledged = Vec::new();
+    {
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        for key in 0..24u64 {
+            db.put(key, value_for(key)).unwrap();
+            acknowledged.push(key);
+        }
+        // The disk fills: the write fails persistently and recovery probes
+        // cannot succeed, so the engine parks itself read-only.
+        faults.set_disk_full(true);
+        assert!(db.put(24, value_for(24)).is_err(), "ENOSPC must surface");
+        let err = db
+            .put(25, value_for(25))
+            .expect_err("a degraded engine must refuse writes");
+        assert!(
+            err.is_read_only(),
+            "expected a typed read-only error, got: {err}"
+        );
+        let info = db.degraded_info().expect("degradation must be reported");
+        assert!(
+            info.reason.to_lowercase().contains("space")
+                || info.reason.to_lowercase().contains("full"),
+            "reason should name the cause: {}",
+            info.reason
+        );
+        // Reads keep serving every acknowledged key while degraded.
+        for key in (0..24u64).step_by(5) {
+            assert_eq!(db.get(key).unwrap(), Some(value_for(key)));
+        }
+        // Space frees up: the next write probes, recovers, and is acked.
+        faults.set_disk_full(false);
+        db.put(26, value_for(26))
+            .expect("the engine must recover once space frees up");
+        acknowledged.push(26);
+        assert!(db.degraded_info().is_none(), "recovery must clear the flag");
+        // Crash without closing.
+    }
+    let db = LsmDb::open(storage, durable_options()).unwrap();
+    assert_exact_contents(&db, 0..30, &acknowledged);
 }
 
 fn laser_options() -> LaserOptions {
@@ -613,4 +719,215 @@ fn laser_remove_wal_is_idempotent() {
         db.read(60, &proj).unwrap().is_none(),
         "unflushed row must be gone"
     );
+}
+
+/// The LASER engine shares the degradation machinery: persistent ENOSPC
+/// parks it read-only (reads fine, writes typed errors), and it recovers in
+/// place once the fault clears.
+#[test]
+fn laser_enospc_degrades_and_recovers_in_place() {
+    let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), 0x1A5);
+    let db = LaserDb::open(Arc::clone(&storage), laser_options()).unwrap();
+    for key in 0..20u64 {
+        db.insert_int_row(key, key as i64).unwrap();
+    }
+    faults.set_disk_full(true);
+    assert!(db.insert_int_row(20, 0).is_err(), "ENOSPC must surface");
+    let err = db
+        .insert_int_row(21, 0)
+        .expect_err("a degraded engine must refuse writes");
+    assert!(err.is_read_only(), "expected read-only, got: {err}");
+    assert!(db.degraded_info().is_some());
+    let proj = Projection::of([0]);
+    assert!(
+        db.read(7, &proj).unwrap().is_some(),
+        "reads must keep serving while degraded"
+    );
+    faults.set_disk_full(false);
+    db.insert_int_row(22, 22)
+        .expect("the engine must recover once the fault clears");
+    assert!(db.degraded_info().is_none());
+    assert!(db.read(22, &proj).unwrap().is_some());
+    assert!(
+        db.read(20, &proj).unwrap().is_none(),
+        "unacknowledged row resurrected"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault matrix and chaos soak (CI: fault-matrix job, nightly soak)
+// ---------------------------------------------------------------------------
+
+fn fault_seeds() -> Vec<u64> {
+    match std::env::var("LASER_FAULT_SEED") {
+        Ok(raw) => {
+            let seeds: Vec<u64> = raw
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            assert!(!seeds.is_empty(), "LASER_FAULT_SEED set but unparsable");
+            seeds
+        }
+        Err(_) => vec![3, 0xBEEF],
+    }
+}
+
+fn fault_policies() -> Vec<(&'static str, LsmOptions)> {
+    let always = durable_options();
+    let mut interval = always.clone();
+    interval.sync_wal_interval_ms = 10;
+    match std::env::var("LASER_FAULT_SYNC_POLICY").ok().as_deref() {
+        Some("always") => vec![("always", always)],
+        Some("interval") => vec![("interval", interval)],
+        _ => vec![("always", always), ("interval", interval)],
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// {fsync-transient, ENOSPC, slow-io} × {WAL sync policy} × {seed}: every
+/// fault class heals on the live engine with zero acked-write loss. The CI
+/// `fault-matrix` job drives the policy and seed axes through
+/// `LASER_FAULT_SYNC_POLICY` / `LASER_FAULT_SEED`, like the failover
+/// harness.
+#[test]
+fn storage_fault_matrix_heals_with_zero_acked_loss() {
+    for (policy, options) in fault_policies() {
+        for seed in fault_seeds() {
+            eprintln!("scenario storage_fault policy={policy} seed={seed}");
+            let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), seed);
+            let db = LsmDb::open(Arc::clone(&storage), options.clone()).unwrap();
+            let mut acked: Vec<u64> = Vec::new();
+            let mut next_key = 0u64;
+            let mut ingest = |db: &LsmDb, acked: &mut Vec<u64>, count: u64| {
+                for _ in 0..count {
+                    let key = next_key;
+                    next_key += 1;
+                    if db.put(key, value_for(key)).is_ok() {
+                        acked.push(key);
+                    }
+                }
+            };
+
+            // Profile 1: transient fsync failures — masked or healed by the
+            // WAL's rotation recovery.
+            ingest(&db, &mut acked, 20);
+            faults.fail_syncs(2);
+            ingest(&db, &mut acked, 10);
+
+            // Profile 2: ENOSPC — graceful read-only degradation, reads keep
+            // serving, recovery once space frees up.
+            faults.set_disk_full(true);
+            ingest(&db, &mut acked, 5);
+            let probe = acked[0];
+            assert_eq!(
+                db.get(probe).unwrap(),
+                Some(value_for(probe)),
+                "[{policy}/{seed}] reads must keep serving under ENOSPC"
+            );
+            faults.set_disk_full(false);
+            ingest(&db, &mut acked, 10);
+
+            // Profile 3: slow I/O — absorbed, never refused.
+            faults.set_latency(Duration::from_micros(500));
+            let before = acked.len();
+            ingest(&db, &mut acked, 10);
+            assert_eq!(
+                acked.len(),
+                before + 10,
+                "[{policy}/{seed}] latency alone must not refuse writes"
+            );
+            faults.clear();
+
+            assert!(
+                db.degraded_info().is_none(),
+                "[{policy}/{seed}] the engine must end the matrix healthy"
+            );
+            for key in &acked {
+                assert_eq!(
+                    db.get(*key).unwrap(),
+                    Some(value_for(*key)),
+                    "[{policy}/{seed}] acked key {key} lost on the live engine"
+                );
+            }
+            drop(db); // the WAL syncs on drop, so reopen keeps both policies exact
+            let db = LsmDb::open(Arc::clone(&storage), options.clone()).unwrap();
+            for key in &acked {
+                assert_eq!(
+                    db.get(*key).unwrap(),
+                    Some(value_for(*key)),
+                    "[{policy}/{seed}] acked key {key} lost across reopen"
+                );
+            }
+        }
+    }
+}
+
+/// Nightly chaos soak: a seeded randomized fault schedule — transient fsync
+/// bursts, torn appends, ENOSPC windows, transient EIO, latency — against a
+/// live engine. The invariant checked after every heal: every acknowledged
+/// write is readable, on the live engine and across a final reopen.
+/// `CHAOS_ROUNDS` scales the duration (default 25 rounds per seed).
+#[test]
+#[ignore = "nightly soak — run with --ignored; CHAOS_ROUNDS scales duration"]
+fn chaos_soak_every_acked_write_readable_after_heal() {
+    let rounds: u64 = std::env::var("CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    for seed in fault_seeds() {
+        eprintln!("scenario chaos_soak seed={seed} rounds={rounds}");
+        let (storage, faults) = FaultStorage::wrap(MemStorage::new_ref(), seed);
+        let db = LsmDb::open(Arc::clone(&storage), durable_options()).unwrap();
+        let mut acked = std::collections::BTreeSet::new();
+        let mut rng = seed | 1;
+        let mut next_key = 0u64;
+        for round in 0..rounds {
+            match xorshift(&mut rng) % 5 {
+                0 => faults.fail_syncs(xorshift(&mut rng) % 3 + 1),
+                1 => faults.tear_appends(1),
+                2 => faults.set_disk_full(true),
+                3 => faults.set_eio_per_mille(150),
+                _ => faults.set_latency(Duration::from_micros(200)),
+            }
+            for _ in 0..20 {
+                let key = next_key;
+                next_key += 1;
+                if db.put(key, value_for(key)).is_ok() {
+                    acked.insert(key);
+                }
+            }
+            // Heal; the next write must recover the engine and be acked.
+            faults.clear();
+            let probe = next_key;
+            next_key += 1;
+            db.put(probe, value_for(probe)).unwrap_or_else(|e| {
+                panic!("seed {seed} round {round}: post-heal write not acked: {e}")
+            });
+            acked.insert(probe);
+            for key in acked.iter().step_by(7) {
+                assert_eq!(
+                    db.get(*key).unwrap(),
+                    Some(value_for(*key)),
+                    "seed {seed} round {round}: acked key {key} lost after heal"
+                );
+            }
+        }
+        drop(db);
+        let db = LsmDb::open(storage, durable_options()).unwrap();
+        for key in &acked {
+            assert_eq!(
+                db.get(*key).unwrap(),
+                Some(value_for(*key)),
+                "seed {seed}: acked key {key} lost across the final reopen"
+            );
+        }
+    }
 }

@@ -418,10 +418,14 @@ fn auto_failover_promotes_replica_on_leader_wal_fail_stop() {
             let mut model = Model::new();
             let mut rng = seed | 1;
 
+            // This scenario asserts that promotion consumed a replica, so
+            // the monitor must not race a replacement into the set.
+            let mut config = replication_config();
+            config.auto_reprovision = false;
             let db: ShardedDb<LsmDb> = ShardedDb::open(
                 provider.clone(),
                 lsm_options(policy),
-                sharded_options(replication_config()),
+                sharded_options(config),
             )
             .unwrap();
             write_workload(&db, &mut rng, &mut model, 30, &ctx);
@@ -457,6 +461,106 @@ fn auto_failover_promotes_replica_on_leader_wal_fail_stop() {
             verify_model(&db, &model, &ctx);
             write_workload(&db, &mut rng, &mut model, 10, &ctx);
             verify_model(&db, &model, &ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Automatic replica re-provisioning
+// ---------------------------------------------------------------------------
+
+/// After a graceful promotion consumes a replica, the health monitor
+/// bootstraps a replacement into a fresh slot: the set returns to the
+/// configured replication factor, and snapshot reads served with replica
+/// routing stay byte-identical to the acked history.
+#[test]
+fn reprovision_restores_replication_factor_after_promotion() {
+    for policy in policies_from_env() {
+        for seed in seeds_from_env() {
+            let ctx = format!("reprovision policy={} seed={seed}", policy.name());
+            eprintln!("scenario {ctx}");
+            let provider = MemShardStorage::new_ref();
+            let mut model = Model::new();
+            let mut rng = seed | 1;
+
+            let mut config = replication_config();
+            config.replica_reads = true;
+            config.freshness_bound_seqs = 0;
+            let db = open(provider.clone(), policy, config).unwrap();
+            write_workload(&db, &mut rng, &mut model, 30, &ctx);
+
+            let factor = db.replication_status()[0].replicas.len();
+            db.promote_shard(0)
+                .unwrap_or_else(|e| panic!("[{ctx}] promote: {e}"));
+
+            // Promotion consumed one replica; the monitor must bootstrap a
+            // replacement and stream it back to parity.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let status = db.replication_status();
+                let healed = status[0].replicas.len() == factor
+                    && status[0]
+                        .replicas
+                        .iter()
+                        .all(|r| r.state == ReplicaState::Streaming);
+                if healed {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "[{ctx}] replica set never returned to the replication factor"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            assert!(
+                db.replication_reprovisions() >= 1,
+                "[{ctx}] the re-provision must be accounted"
+            );
+            assert!(
+                db.replication_status()[0]
+                    .replicas
+                    .iter()
+                    .all(|r| r.slot >= 1024),
+                "[{ctx}] the replacement must live in a fresh replica slot"
+            );
+
+            // Quorum writes flow against the healed set...
+            write_workload(&db, &mut rng, &mut model, 10, &ctx);
+            // ...and snapshot reads (replica routing included) stay
+            // byte-identical once the rebuilt replica reaches the horizon.
+            let snapshot = db.snapshot();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let caught_up =
+                    db.replication_status()
+                        .iter()
+                        .zip(snapshot.seqs())
+                        .all(|(status, &seq)| {
+                            status
+                                .replicas
+                                .iter()
+                                .all(|r| r.state == ReplicaState::Streaming && r.applied_seq >= seq)
+                        });
+                if caught_up {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "[{ctx}] replicas never reached the snapshot horizon"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            for (key, expected) in &model {
+                let got = db
+                    .get_at(*key, &(), &snapshot)
+                    .unwrap_or_else(|e| panic!("[{ctx}] get_at({key}) failed: {e}"));
+                assert_eq!(
+                    got.as_ref(),
+                    Some(expected),
+                    "[{ctx}] snapshot read diverged at key {key}"
+                );
+            }
+            db.close().unwrap();
         }
     }
 }

@@ -7,7 +7,9 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use laser::laser_sharding::{MemShardStorage, ShardedDb, ShardedOptions, SplitPolicy};
+use laser::laser_sharding::{
+    http_get, FaultShardStorage, MemShardStorage, ShardedDb, ShardedOptions, SplitPolicy,
+};
 use laser::lsm_storage::types::WriteBatch;
 use laser::lsm_storage::{LsmDb, LsmOptions};
 use laser::telemetry::{
@@ -235,6 +237,7 @@ fn slow_ops_are_flagged_and_counted_per_thresholds() {
         wal_fsync: Duration::ZERO,
         replica_catchup: Duration::ZERO,
         promotion: Duration::ZERO,
+        fault: Duration::ZERO,
     };
     let hub = Telemetry::with_config(thresholds, 64);
     let db = LsmDb::open_in_memory(LsmOptions::small_for_tests()).unwrap();
@@ -566,4 +569,66 @@ fn sharded_exports_carry_traces_cache_and_workload_sections() {
     assert!(scans
         .iter()
         .any(|t| t.spans.iter().any(|s| s.name == "scan_leg")));
+}
+
+/// The `/health` endpoint follows a shard through the degradation
+/// lifecycle: `200 ok` while healthy, `503` with the shard marked
+/// `read_only` (and its reason) under a persistent ENOSPC, and back to
+/// `200` once the engine recovers in place.
+#[test]
+fn health_endpoint_tracks_shard_degradation_and_recovery() {
+    let (provider, _shared) = FaultShardStorage::wrap(MemShardStorage::new_ref(), 0x4EA17);
+    // Carve the per-slot handle before the engines open their storage: the
+    // wrapper binds each slot to its handle at `shard()` time.
+    let faults = provider.slot_handle(1);
+    let mut options = LsmOptions::small_for_tests();
+    options.sync_wal = true;
+    options.auto_compact = false;
+    let db: ShardedDb<LsmDb> = ShardedDb::open(
+        provider.clone(),
+        options,
+        ShardedOptions::with_boundaries(vec![512]),
+    )
+    .unwrap();
+    let db = std::sync::Arc::new(db);
+    let server = db.serve_telemetry("127.0.0.1:0").unwrap();
+
+    let mut batch = WriteBatch::new();
+    batch.put(100, b"left".to_vec());
+    batch.put(600, b"right".to_vec());
+    db.write(&batch).unwrap();
+
+    let (status, body) = http_get(server.addr(), "/health").unwrap();
+    assert_eq!(status, 200, "healthy cluster must answer 200: {body}");
+    assert!(body.contains("\"status\":\"ok\""));
+    assert!(body.contains("\"state\":\"ok\""));
+
+    // Shard 1's device fills up; its engine parks itself read-only.
+    faults.set_disk_full(true);
+    let mut batch = WriteBatch::new();
+    batch.put(700, b"doomed".to_vec());
+    assert!(db.write(&batch).is_err(), "ENOSPC must refuse the write");
+    let (status, body) = http_get(server.addr(), "/health").unwrap();
+    assert_eq!(status, 503, "a degraded shard must flip /health to 503");
+    assert!(
+        body.contains("\"state\":\"read_only\""),
+        "the degraded shard must be called out: {body}"
+    );
+    assert!(body.contains("\"reason\":"), "the reason must be exported");
+    assert!(
+        body.contains("\"state\":\"ok\""),
+        "the healthy shard must still report ok: {body}"
+    );
+    // Reads keep serving while degraded.
+    assert_eq!(db.get(100, &()).unwrap(), Some(b"left".to_vec()));
+
+    // Space frees up: the next write heals the shard and /health recovers.
+    faults.set_disk_full(false);
+    let mut batch = WriteBatch::new();
+    batch.put(700, b"healed".to_vec());
+    db.write(&batch).unwrap();
+    let (status, body) = http_get(server.addr(), "/health").unwrap();
+    assert_eq!(status, 200, "a recovered cluster must answer 200: {body}");
+    assert!(body.contains("\"status\":\"ok\""));
+    db.close().unwrap();
 }
